@@ -1,0 +1,142 @@
+//! The paper's lower bounds as executable formulas.
+//!
+//! Each function returns the bound's value for concrete parameters so
+//! experiments can print "measured vs bound" rows. Bounds are stated in
+//! *expected operations per query* in the balls-and-bins model.
+
+/// Theorem 3.3: an errorless `(ε, δ)`-DP-IR performs at least `(1 − δ)·n`
+/// expected operations — for every `ε`.
+pub fn thm_3_3_errorless_ir_ops(n: usize, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&delta));
+    (1.0 - delta) * n as f64
+}
+
+/// Theorem 3.4: an `(ε, δ)`-DP-IR with error probability `α > 0` performs
+/// at least `(n − 1)·(1 − α − δ)/e^ε` expected operations.
+pub fn thm_3_4_ir_ops(n: usize, epsilon: f64, alpha: f64, delta: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha <= 1.0);
+    assert!((0.0..=1.0).contains(&delta));
+    ((n as f64 - 1.0) * (1.0 - alpha - delta) / epsilon.exp()).max(0.0)
+}
+
+/// Theorem 3.7: an `ε`-DP-RAM with error `α` and client storage for `c`
+/// blocks performs `Ω(log_c((1 − α)·n / e^ε))` expected amortized
+/// operations per query. Returns the bound's argument of the Ω (clamped at
+/// 0 when the log turns negative, i.e. when `ε` is already large enough
+/// that the bound is vacuous).
+pub fn thm_3_7_ram_ops(n: usize, epsilon: f64, alpha: f64, c: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha));
+    assert!(c >= 2, "need at least two client slots for a log base");
+    let inner = (1.0 - alpha) * n as f64 / epsilon.exp();
+    if inner <= 1.0 {
+        return 0.0;
+    }
+    inner.ln() / (c as f64).ln()
+}
+
+/// The privacy budget at which Theorem 3.7's bound collapses to a constant
+/// `k`: solving `log_c((1 − α)n / e^ε) = k` for ε gives
+/// `ε = ln((1 − α)·n) − k·ln c`. With constant `k` and `c`, this is
+/// `Θ(log n)` — the paper's headline: constant overhead needs
+/// `ε = Ω(log n)`.
+pub fn thm_3_7_epsilon_for_constant_overhead(n: usize, alpha: f64, c: usize, k: f64) -> f64 {
+    (((1.0 - alpha) * n as f64).ln() - k * (c as f64).ln()).max(0.0)
+}
+
+/// Theorem C.1: a `D`-server `(ε, δ)`-DP-IR with error `α` against an
+/// adversary corrupting a `t`-fraction of servers performs
+/// `Ω(((1 − α)·t − δ)·n / e^ε)` expected operations.
+pub fn thm_c1_multi_server_ops(n: usize, epsilon: f64, alpha: f64, delta: f64, t: f64) -> f64 {
+    assert!((0.0..1.0).contains(&t) || t == 1.0);
+    (((1.0 - alpha) * t - delta) * n as f64 / epsilon.exp()).max(0.0)
+}
+
+/// Section 4: the strawman's unavoidable `δ ≥ (n − 1)/n`.
+pub fn strawman_delta(n: usize) -> f64 {
+    (n as f64 - 1.0) / n as f64
+}
+
+/// Basic sequential composition: `k` mechanisms at `ε` each compose to
+/// `k·ε` (used by Theorem 7.1's `ε = O(k(n)·log n)` step).
+pub fn compose(k: usize, epsilon: f64) -> f64 {
+    k as f64 * epsilon
+}
+
+/// Theorem 5.1's download count: `K = ⌈(1 − α)·n / (e^ε − 1)⌉`, clamped to
+/// `[1, n]`. (Duplicated from `dps-core` so this crate stays dependency-
+/// free; the cross-check test in the workspace integration suite keeps the
+/// two in sync.)
+pub fn thm_5_1_download_count(n: usize, epsilon: f64, alpha: f64) -> usize {
+    let raw = (1.0 - alpha) * n as f64 / (epsilon.exp() - 1.0);
+    (raw.ceil() as usize).clamp(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errorless_bound_is_linear_in_n() {
+        assert_eq!(thm_3_3_errorless_ir_ops(1000, 0.0), 1000.0);
+        assert_eq!(thm_3_3_errorless_ir_ops(1000, 0.25), 750.0);
+    }
+
+    #[test]
+    fn ir_bound_decays_exponentially_in_epsilon() {
+        let at_0 = thm_3_4_ir_ops(1024, 0.0_f64.max(0.1), 0.1, 0.0);
+        let at_log_n = thm_3_4_ir_ops(1024, (1024f64).ln(), 0.1, 0.0);
+        assert!(at_0 > 100.0);
+        assert!(at_log_n < 1.0, "at ε = ln n the bound is below one block");
+    }
+
+    #[test]
+    fn ir_bound_clamps_at_zero() {
+        assert_eq!(thm_3_4_ir_ops(10, 1.0, 0.6, 0.5), 0.0);
+    }
+
+    #[test]
+    fn ram_bound_matches_known_points() {
+        // ε = 0, α = 0, c = 2: bound = log2 n.
+        let b = thm_3_7_ram_ops(1024, 0.0, 0.0, 2);
+        assert!((b - 10.0).abs() < 1e-9);
+        // Larger client storage weakens the bound.
+        assert!(thm_3_7_ram_ops(1024, 0.0, 0.0, 32) < b);
+        // Large ε makes it vacuous.
+        assert_eq!(thm_3_7_ram_ops(1024, 20.0, 0.0, 2), 0.0);
+    }
+
+    #[test]
+    fn constant_overhead_needs_log_n_epsilon() {
+        // The ε at which O(1)-overhead DP-RAM becomes possible grows as
+        // ln n: doubling n adds ln 2.
+        let e1 = thm_3_7_epsilon_for_constant_overhead(1 << 10, 0.0, 2, 3.0);
+        let e2 = thm_3_7_epsilon_for_constant_overhead(1 << 11, 0.0, 2, 3.0);
+        assert!((e2 - e1 - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_server_bound_scales_with_t() {
+        let quarter = thm_c1_multi_server_ops(4096, 2.0, 0.1, 0.0, 0.25);
+        let full = thm_c1_multi_server_ops(4096, 2.0, 0.1, 0.0, 1.0);
+        assert!((full / quarter - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strawman_delta_tends_to_one() {
+        assert!(strawman_delta(2) == 0.5);
+        assert!(strawman_delta(1 << 20) > 0.999);
+    }
+
+    #[test]
+    fn composition_is_linear() {
+        assert_eq!(compose(4, 1.5), 6.0);
+    }
+
+    #[test]
+    fn download_count_known_points() {
+        // ε = ln(n): K = ceil((1-α)n/(n-1)) = 1 for α = 0.1, n = 1024.
+        assert_eq!(thm_5_1_download_count(1024, (1024f64).ln(), 0.1), 1);
+        // Tiny ε: K clamps to n.
+        assert_eq!(thm_5_1_download_count(64, 1e-9, 0.1), 64);
+    }
+}

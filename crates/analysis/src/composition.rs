@@ -1,0 +1,229 @@
+//! Differential-privacy composition accounting.
+//!
+//! The paper uses composition in two places: Theorem 7.1 charges DP-KVS
+//! `ε = O(k(n) · log n)` because every KVS operation issues `2·k(n)`
+//! DP-RAM queries ("by the composition theorem"), and any workload of `l`
+//! queries pays sequential composition across the whole sequence if one
+//! wants *sequence-level* (group) privacy rather than the per-query
+//! adjacency of Definition 2.1. This module provides the standard
+//! accounting rules (Dwork–Roth, "The Algorithmic Foundations of
+//! Differential Privacy"):
+//!
+//! * [`basic`] — `k` mechanisms at `(ε, δ)` compose to `(k·ε, k·δ)`;
+//! * [`advanced`] — for any `δ' > 0`, `k`-fold composition satisfies
+//!   `(ε·√(2k·ln(1/δ')) + k·ε·(e^ε − 1), k·δ + δ')` — sublinear in `k`
+//!   for small `ε`, which matters when auditing long query sequences;
+//! * [`best_of`] — the minimum of the two (advanced is *worse* for the
+//!   large `ε = Θ(log n)` budgets the paper's constructions run at, so
+//!   pipelines should always take the min);
+//! * [`group_privacy`] — Definition 2.1 gives adjacency at Hamming
+//!   distance 1; distance-`d` sequences are covered at `(d·ε, d·e^{(d−1)ε}·δ)`.
+
+/// An `(ε, δ)` differential-privacy guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyBudget {
+    /// The multiplicative budget `ε ≥ 0`.
+    pub epsilon: f64,
+    /// The additive slack `δ ∈ [0, 1]`.
+    pub delta: f64,
+}
+
+impl PrivacyBudget {
+    /// A pure-DP budget (`δ = 0`).
+    pub fn pure(epsilon: f64) -> Self {
+        Self { epsilon, delta: 0.0 }
+    }
+
+    /// Validates the budget's ranges.
+    pub fn is_valid(&self) -> bool {
+        self.epsilon >= 0.0 && (0.0..=1.0).contains(&self.delta)
+    }
+}
+
+impl std::fmt::Display for PrivacyBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.delta == 0.0 {
+            write!(f, "ε = {:.4}", self.epsilon)
+        } else {
+            write!(f, "(ε = {:.4}, δ = {:.2e})", self.epsilon, self.delta)
+        }
+    }
+}
+
+/// Basic (sequential) composition: `k` mechanisms, each `(ε, δ)`-DP, are
+/// jointly `(k·ε, k·δ)`-DP.
+///
+/// # Panics
+/// Panics if `per_mechanism` is invalid.
+pub fn basic(per_mechanism: PrivacyBudget, k: usize) -> PrivacyBudget {
+    assert!(per_mechanism.is_valid(), "invalid budget {per_mechanism:?}");
+    PrivacyBudget {
+        epsilon: per_mechanism.epsilon * k as f64,
+        delta: (per_mechanism.delta * k as f64).min(1.0),
+    }
+}
+
+/// Advanced composition (Dwork–Rothblum–Vadhan): for any slack
+/// `δ' ∈ (0, 1)`, `k`-fold composition of `(ε, δ)` mechanisms satisfies
+/// `(ε·√(2k·ln(1/δ')) + k·ε·(e^ε − 1), k·δ + δ')`.
+///
+/// # Panics
+/// Panics if `per_mechanism` is invalid or `slack` is outside `(0, 1)`.
+pub fn advanced(per_mechanism: PrivacyBudget, k: usize, slack: f64) -> PrivacyBudget {
+    assert!(per_mechanism.is_valid(), "invalid budget {per_mechanism:?}");
+    assert!(slack > 0.0 && slack < 1.0, "slack must be in (0, 1), got {slack}");
+    let eps = per_mechanism.epsilon;
+    let k_f = k as f64;
+    PrivacyBudget {
+        epsilon: eps * (2.0 * k_f * (1.0 / slack).ln()).sqrt() + k_f * eps * (eps.exp_m1()),
+        delta: (per_mechanism.delta * k_f + slack).min(1.0),
+    }
+}
+
+/// The tighter of basic and advanced composition at slack `δ'`. For the
+/// paper's `ε = Θ(log n)` budgets, basic composition always wins (the
+/// `e^ε − 1` term explodes); for small per-query `ε`, advanced wins once
+/// `k ≳ 2·ln(1/δ')/ε²`.
+pub fn best_of(per_mechanism: PrivacyBudget, k: usize, slack: f64) -> PrivacyBudget {
+    let b = basic(per_mechanism, k);
+    let a = advanced(per_mechanism, k, slack);
+    if a.epsilon < b.epsilon {
+        a
+    } else {
+        b
+    }
+}
+
+/// Group privacy: an `(ε, δ)`-DP mechanism protects query sequences at
+/// Hamming distance `d` with `(d·ε, d·e^{(d−1)·ε}·δ)`. Definition 2.1's
+/// adjacency is `d = 1`; this quantifies what the paper's schemes promise
+/// about *batches* of changed queries.
+///
+/// # Panics
+/// Panics if `per_query` is invalid or `d == 0`.
+pub fn group_privacy(per_query: PrivacyBudget, d: usize) -> PrivacyBudget {
+    assert!(per_query.is_valid(), "invalid budget {per_query:?}");
+    assert!(d >= 1, "group size must be at least 1");
+    let d_f = d as f64;
+    PrivacyBudget {
+        epsilon: d_f * per_query.epsilon,
+        delta: (d_f * ((d_f - 1.0) * per_query.epsilon).exp() * per_query.delta).min(1.0),
+    }
+}
+
+/// The number of queries a total budget `(E, Δ)` affords under basic
+/// composition of `(ε, δ)` mechanisms: `min(⌊E/ε⌋, ⌊Δ/δ⌋)` (∞-free:
+/// saturates at `usize::MAX` when a denominator is zero).
+pub fn queries_affordable(total: PrivacyBudget, per_query: PrivacyBudget) -> usize {
+    let by_eps = if per_query.epsilon > 0.0 {
+        (total.epsilon / per_query.epsilon).floor() as usize
+    } else {
+        usize::MAX
+    };
+    let by_delta = if per_query.delta > 0.0 {
+        (total.delta / per_query.delta).floor() as usize
+    } else {
+        usize::MAX
+    };
+    by_eps.min(by_delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_is_linear() {
+        let b = basic(PrivacyBudget { epsilon: 0.5, delta: 1e-9 }, 10);
+        assert!((b.epsilon - 5.0).abs() < 1e-12);
+        assert!((b.delta - 1e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn basic_delta_saturates_at_one() {
+        let b = basic(PrivacyBudget { epsilon: 0.1, delta: 0.3 }, 10);
+        assert_eq!(b.delta, 1.0);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_small_epsilon_large_k() {
+        let per = PrivacyBudget::pure(0.01);
+        let k = 100_000;
+        let a = advanced(per, k, 1e-9);
+        let b = basic(per, k);
+        assert!(
+            a.epsilon < b.epsilon,
+            "advanced {} should beat basic {}",
+            a.epsilon,
+            b.epsilon
+        );
+    }
+
+    #[test]
+    fn basic_beats_advanced_for_paper_scale_epsilon() {
+        // ε = ln n is the paper's regime: advanced composition's e^ε − 1
+        // factor makes it useless there.
+        let per = PrivacyBudget::pure((1024f64).ln());
+        let a = advanced(per, 4, 1e-9);
+        let b = basic(per, 4);
+        assert!(b.epsilon < a.epsilon);
+        assert_eq!(best_of(per, 4, 1e-9).epsilon, b.epsilon);
+    }
+
+    #[test]
+    fn advanced_slack_appears_in_delta() {
+        let a = advanced(PrivacyBudget::pure(0.1), 10, 1e-6);
+        assert!((a.delta - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn group_privacy_scales_epsilon_linearly() {
+        let g = group_privacy(PrivacyBudget::pure(2.0), 3);
+        assert!((g.epsilon - 6.0).abs() < 1e-12);
+        assert_eq!(g.delta, 0.0);
+    }
+
+    #[test]
+    fn group_privacy_delta_amplifies_exponentially() {
+        let g = group_privacy(PrivacyBudget { epsilon: 1.0, delta: 1e-9 }, 3);
+        // 3 · e^{2·1} · 1e-9
+        assert!((g.delta - 3.0 * (2.0f64).exp() * 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kvs_composition_matches_theorem_7_1() {
+        // Theorem 7.1: each KVS op issues 2·k(n) = 4 DP-RAM queries at
+        // ε = O(log n) each, so the op is O(k(n)·log n)-DP.
+        let n = 1 << 14;
+        let per_ram_query = PrivacyBudget::pure((n as f64).ln());
+        let per_kvs_op = basic(per_ram_query, 4);
+        assert!((per_kvs_op.epsilon - 4.0 * (n as f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queries_affordable_takes_binding_constraint() {
+        let total = PrivacyBudget { epsilon: 10.0, delta: 1e-6 };
+        let per = PrivacyBudget { epsilon: 1.0, delta: 1e-7 };
+        assert_eq!(queries_affordable(total, per), 10);
+        let per_tight_delta = PrivacyBudget { epsilon: 0.1, delta: 5e-7 };
+        assert_eq!(queries_affordable(total, per_tight_delta), 2);
+    }
+
+    #[test]
+    fn queries_affordable_pure_dp_unbounded_by_delta() {
+        let total = PrivacyBudget { epsilon: 3.0, delta: 0.0 };
+        assert_eq!(queries_affordable(total, PrivacyBudget::pure(1.0)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "slack must be in (0, 1)")]
+    fn advanced_rejects_bad_slack() {
+        advanced(PrivacyBudget::pure(1.0), 2, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", PrivacyBudget::pure(1.0)), "ε = 1.0000");
+        assert!(format!("{}", PrivacyBudget { epsilon: 1.0, delta: 1e-9 }).contains("δ"));
+    }
+}

@@ -1,0 +1,347 @@
+//! Confidence intervals for Monte-Carlo privacy estimates.
+//!
+//! The auditor ([`crate::auditor`]) estimates view probabilities from
+//! finite samples; every `ε̂`/`δ̂` it reports carries sampling error. This
+//! module provides the standard binomial-proportion intervals so that
+//! experiment tables can print calibrated error bars instead of bare point
+//! estimates:
+//!
+//! * [`wilson`] — the Wilson score interval, accurate even at small counts
+//!   and near the 0/1 boundary (unlike the normal/Wald interval);
+//! * [`clopper_pearson`] — the exact (conservative) interval from the
+//!   Beta-distribution tail inversion, computed here by bisection on the
+//!   regularized incomplete Beta function;
+//! * [`log_ratio_interval`] — propagates two Wilson intervals through the
+//!   log-likelihood ratio `ln(p₁/p₂)`, the quantity whose maximum over
+//!   views is the pointwise `ε̂`.
+
+/// A two-sided confidence interval `[lo, hi]` for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True if `p` lies inside the interval.
+    pub fn contains(&self, p: f64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+}
+
+/// Two-sided z-value for a given confidence level (e.g. 0.95 → 1.95996…).
+/// Computed by bisection on the standard normal CDF, so no lookup tables.
+///
+/// # Panics
+/// Panics unless `confidence ∈ (0, 1)`.
+pub fn z_value(confidence: f64) -> f64 {
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0,1)");
+    let target = 0.5 + confidence / 2.0;
+    let (mut lo, mut hi) = (0.0f64, 10.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Standard normal CDF via the complementary error function (Abramowitz &
+/// Stegun 7.1.26 polynomial, |error| < 1.5e-7 — ample for interval work).
+fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Wilson score interval for `successes` out of `trials` at the given
+/// confidence level.
+///
+/// # Panics
+/// Panics if `trials == 0` or `successes > trials`.
+pub fn wilson(successes: u64, trials: u64, confidence: f64) -> Interval {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "successes exceed trials");
+    let z = z_value(confidence);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    // Pin the boundary cases exactly: at k = 0 the analytic lower bound is
+    // identically 0 (and at k = n the upper is 1), but the float expression
+    // leaves ~1e-17 residue that would wrongly make log-ratio intervals
+    // finite.
+    let lo = if successes == 0 { 0.0 } else { (center - half).max(0.0) };
+    let hi = if successes == trials { 1.0 } else { (center + half).min(1.0) };
+    Interval { lo, hi }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` by the continued
+/// fraction of Numerical Recipes §6.4 (Lentz's algorithm).
+fn betai(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b);
+    let front = (ln_beta + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)` (g = 7, n = 9 coefficients).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Exact Clopper–Pearson interval for `successes` out of `trials`.
+///
+/// # Panics
+/// Panics if `trials == 0` or `successes > trials`.
+pub fn clopper_pearson(successes: u64, trials: u64, confidence: f64) -> Interval {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "successes exceed trials");
+    let alpha = 1.0 - confidence;
+    let k = successes as f64;
+    let n = trials as f64;
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        // p such that P[Bin(n,p) >= k] = alpha/2, i.e. I_p(k, n-k+1) = alpha/2.
+        invert_betai(k, n - k + 1.0, alpha / 2.0)
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        invert_betai(k + 1.0, n - k, 1.0 - alpha / 2.0)
+    };
+    Interval { lo, hi }
+}
+
+/// Solves `I_p(a, b) = target` for `p` by bisection.
+fn invert_betai(a: f64, b: f64, target: f64) -> f64 {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if betai(a, b, mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// A conservative interval for `ln(p₁/p₂)` given the two observed counts:
+/// the extreme ratios of the per-proportion Wilson intervals. Returns
+/// `None` when either interval touches 0 (the ratio is then unbounded —
+/// exactly the "support mismatch" case that shows up as δ, not ε).
+pub fn log_ratio_interval(
+    successes_1: u64,
+    successes_2: u64,
+    trials: u64,
+    confidence: f64,
+) -> Option<Interval> {
+    let i1 = wilson(successes_1, trials, confidence);
+    let i2 = wilson(successes_2, trials, confidence);
+    if i1.lo <= 0.0 || i2.lo <= 0.0 {
+        return None;
+    }
+    Some(Interval { lo: (i1.lo / i2.hi).ln(), hi: (i1.hi / i2.lo).ln() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_values_match_tables() {
+        assert!((z_value(0.95) - 1.959_96).abs() < 1e-3);
+        assert!((z_value(0.99) - 2.575_83).abs() < 1e-3);
+        assert!((z_value(0.68) - 0.994_46).abs() < 1e-2);
+    }
+
+    #[test]
+    fn wilson_contains_true_proportion() {
+        // 500/1000 at 95%: interval must straddle 0.5 tightly.
+        let i = wilson(500, 1000, 0.95);
+        assert!(i.contains(0.5));
+        assert!(i.width() < 0.07);
+    }
+
+    #[test]
+    fn wilson_handles_boundaries() {
+        let zero = wilson(0, 100, 0.95);
+        assert_eq!(zero.lo, 0.0);
+        assert!(zero.hi > 0.0 && zero.hi < 0.06);
+        let all = wilson(100, 100, 0.95);
+        assert_eq!(all.hi, 1.0);
+        assert!(all.lo > 0.94);
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let small = wilson(50, 100, 0.95);
+        let large = wilson(5000, 10_000, 0.95);
+        assert!(large.width() < small.width() / 3.0);
+    }
+
+    #[test]
+    fn clopper_pearson_is_conservative_superset_of_wilson() {
+        for &(k, n) in &[(1u64, 50u64), (25, 50), (49, 50), (500, 10_000)] {
+            let cp = clopper_pearson(k, n, 0.95);
+            let w = wilson(k, n, 0.95);
+            // CP must contain the point estimate and be at least roughly as
+            // wide as Wilson (it is the exact, conservative interval).
+            assert!(cp.contains(k as f64 / n as f64), "k={k} n={n}");
+            assert!(cp.width() >= w.width() * 0.8, "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_known_value() {
+        // 0 successes in n trials: upper bound = 1 - (α/2)^(1/n).
+        let i = clopper_pearson(0, 20, 0.95);
+        let expected_hi = 1.0 - (0.025f64).powf(1.0 / 20.0);
+        assert!((i.hi - expected_hi).abs() < 1e-6, "{} vs {expected_hi}", i.hi);
+        assert_eq!(i.lo, 0.0);
+    }
+
+    #[test]
+    fn betai_matches_known_points() {
+        // I_x(1, 1) = x (uniform CDF).
+        assert!((betai(1.0, 1.0, 0.3) - 0.3).abs() < 1e-10);
+        // I_0.5(a, a) = 0.5 by symmetry.
+        assert!((betai(3.0, 3.0, 0.5) - 0.5).abs() < 1e-10);
+        // I_x(1, 2) = 1 - (1-x)^2.
+        assert!((betai(1.0, 2.0, 0.25) - (1.0 - 0.75f64.powi(2))).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1..10u64 {
+            let fact: f64 = (1..n).map(|k| k as f64).product::<f64>().max(1.0);
+            assert!(
+                (ln_gamma(n as f64) - fact.ln()).abs() < 1e-9,
+                "ln Γ({n}) should equal ln (n-1)!"
+            );
+        }
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_ratio_interval_brackets_true_ratio() {
+        // p1 = 0.6, p2 = 0.3: true log ratio = ln 2.
+        let i = log_ratio_interval(6000, 3000, 10_000, 0.95).unwrap();
+        assert!(i.contains(std::f64::consts::LN_2), "{i:?}");
+        assert!(i.width() < 0.2);
+    }
+
+    #[test]
+    fn log_ratio_interval_unbounded_at_zero() {
+        assert!(log_ratio_interval(0, 50, 100, 0.95).is_none());
+        assert!(log_ratio_interval(50, 0, 100, 0.95).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_rejects_zero_trials() {
+        wilson(0, 0, 0.95);
+    }
+}

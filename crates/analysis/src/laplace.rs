@@ -1,0 +1,156 @@
+//! The Laplace mechanism for differentially private disclosures.
+//!
+//! The paper's Section 1 motivates DP-access as "the privacy notion that is
+//! complementary to differential privacy disclosures on outsourced
+//! databases": one retrieves a sample with a DP-access scheme and then
+//! *discloses* an aggregate under classic output differential privacy.
+//! This module supplies that second half — calibrated Laplace noise
+//! (Dwork–McSherry–Nissim–Smith) — so the end-to-end pipeline the paper
+//! sketches is runnable (see the `private_analytics` example).
+//!
+//! Noise is sampled by inverse-CDF from the workspace's deterministic
+//! [`ChaChaRng`], keeping experiments reproducible.
+
+use dps_crypto::ChaChaRng;
+
+/// A Laplace noise source calibrated to `sensitivity / ε`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceMechanism {
+    /// L1 sensitivity of the query being protected.
+    pub sensitivity: f64,
+    /// Privacy budget `ε > 0` of the disclosure.
+    pub epsilon: f64,
+}
+
+impl LaplaceMechanism {
+    /// Builds a mechanism; the noise scale is `b = sensitivity / ε`.
+    ///
+    /// # Panics
+    /// Panics unless `sensitivity > 0` and `epsilon > 0`.
+    pub fn new(sensitivity: f64, epsilon: f64) -> Self {
+        assert!(sensitivity > 0.0, "sensitivity must be positive");
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive and finite");
+        Self { sensitivity, epsilon }
+    }
+
+    /// The noise scale `b`.
+    pub fn scale(&self) -> f64 {
+        self.sensitivity / self.epsilon
+    }
+
+    /// Draws one Laplace(0, b) variate by inverse CDF:
+    /// `X = -b · sgn(u) · ln(1 − 2|u|)` for `u` uniform in `(−1/2, 1/2)`.
+    pub fn sample(&self, rng: &mut ChaChaRng) -> f64 {
+        let b = self.scale();
+        // gen_f64 ∈ [0,1); shift to (−1/2, 1/2], then avoid the log(0) edge.
+        let u = 0.5 - rng.gen_f64();
+        let u = if u == 0.5 { 0.5 - f64::EPSILON } else { u };
+        -b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Releases `true_value + Laplace(sensitivity/ε)` — an `ε`-DP
+    /// disclosure of the aggregate.
+    pub fn release(&self, true_value: f64, rng: &mut ChaChaRng) -> f64 {
+        true_value + self.sample(rng)
+    }
+
+    /// The expected absolute error of a release (= the Laplace mean
+    /// absolute deviation, exactly `b`).
+    pub fn expected_absolute_error(&self) -> f64 {
+        self.scale()
+    }
+
+    /// A two-sided `(1 − β)`-confidence half-width for a release:
+    /// `b · ln(1/β)`.
+    pub fn error_bound(&self, beta: f64) -> f64 {
+        assert!(beta > 0.0 && beta < 1.0, "beta must be in (0, 1)");
+        self.scale() * (1.0 / beta).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_is_sensitivity_over_epsilon() {
+        let m = LaplaceMechanism::new(2.0, 0.5);
+        assert_eq!(m.scale(), 4.0);
+        assert_eq!(m.expected_absolute_error(), 4.0);
+    }
+
+    #[test]
+    fn samples_center_at_zero_with_mad_b() {
+        let m = LaplaceMechanism::new(1.0, 0.5); // b = 2
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        let trials = 60_000;
+        let samples: Vec<f64> = (0..trials).map(|_| m.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let mad = samples.iter().map(|x| x.abs()).sum::<f64>() / trials as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} should be ~0");
+        assert!((mad - 2.0).abs() < 0.05, "MAD {mad} should be ~b = 2");
+    }
+
+    #[test]
+    fn tail_probability_matches_laplace() {
+        // Pr[|X| > b·ln(1/β)] = β.
+        let m = LaplaceMechanism::new(1.0, 1.0);
+        let mut rng = ChaChaRng::seed_from_u64(2);
+        let beta = 0.1;
+        let bound = m.error_bound(beta);
+        let trials = 40_000;
+        let exceed = (0..trials).filter(|_| m.sample(&mut rng).abs() > bound).count();
+        let rate = exceed as f64 / trials as f64;
+        assert!((rate - beta).abs() < 0.01, "tail rate {rate} vs β = {beta}");
+    }
+
+    #[test]
+    fn release_is_centered_on_truth() {
+        let m = LaplaceMechanism::new(1.0, 2.0);
+        let mut rng = ChaChaRng::seed_from_u64(3);
+        let trials = 30_000;
+        let mean: f64 =
+            (0..trials).map(|_| m.release(100.0, &mut rng)).sum::<f64>() / trials as f64;
+        assert!((mean - 100.0).abs() < 0.05);
+    }
+
+    /// Empirical ε check through the generic likelihood-ratio argument:
+    /// histogram releases of two adjacent counts (differing by the
+    /// sensitivity) and confirm the log-ratio of bin masses never
+    /// meaningfully exceeds ε.
+    #[test]
+    fn adjacent_counts_respect_epsilon() {
+        let eps = 1.0;
+        let m = LaplaceMechanism::new(1.0, eps);
+        let mut rng = ChaChaRng::seed_from_u64(4);
+        let trials = 200_000;
+        let bin = |x: f64| (x * 2.0).floor() as i64; // half-unit bins
+        let mut h1 = std::collections::HashMap::new();
+        let mut h2 = std::collections::HashMap::new();
+        for _ in 0..trials {
+            *h1.entry(bin(m.release(10.0, &mut rng))).or_insert(0u64) += 1;
+            *h2.entry(bin(m.release(11.0, &mut rng))).or_insert(0u64) += 1;
+        }
+        let mut worst: f64 = 0.0;
+        for (k, &c1) in &h1 {
+            let c2 = h2.get(k).copied().unwrap_or(0);
+            if c1 >= 500 && c2 >= 500 {
+                worst = worst.max((c1 as f64 / c2 as f64).ln().abs());
+            }
+        }
+        // Bins spanning half a unit add eps/2 of width-slack; plus noise.
+        assert!(worst <= eps + 0.2, "worst log-ratio {worst} exceeds ε = {eps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn zero_epsilon_rejected() {
+        LaplaceMechanism::new(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in")]
+    fn bad_beta_rejected() {
+        LaplaceMechanism::new(1.0, 1.0).error_bound(1.5);
+    }
+}

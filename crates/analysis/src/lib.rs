@@ -1,0 +1,33 @@
+//! Analysis toolkit: the paper's bounds as code, plus an empirical
+//! differential-privacy auditor.
+//!
+//! * [`bounds`] — every lower bound in the paper (Theorems 3.3, 3.4, 3.7,
+//!   C.1) and the basic composition rule, as plain functions. Experiments
+//!   plot measured costs against these curves.
+//! * [`auditor`] — a Monte-Carlo estimator of the `(ε, δ)` of Definition
+//!   2.1: run a scheme many times on two *adjacent* query sequences,
+//!   histogram the adversary's views, and report the empirical worst-case
+//!   likelihood ratio `ε̂` and residual mass `δ̂(ε)`.
+//! * [`composition`] — the standard `(ε, δ)` accounting rules (basic,
+//!   advanced, group privacy) behind Theorem 7.1's `ε = O(k(n)·log n)`
+//!   step and sequence-level privacy statements.
+//! * [`confidence`] — Wilson and Clopper–Pearson intervals so audit
+//!   estimates carry calibrated error bars.
+//! * [`laplace`] — the Laplace mechanism for the *disclosure* half of the
+//!   paper's motivating pipeline (DP-access retrieval + DP release).
+//! * [`stats`] — small summary-statistics helpers shared by experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auditor;
+pub mod bounds;
+pub mod composition;
+pub mod confidence;
+pub mod laplace;
+pub mod stats;
+
+pub use auditor::{audit_views, AuditReport};
+pub use composition::PrivacyBudget;
+pub use confidence::Interval;
+pub use laplace::LaplaceMechanism;

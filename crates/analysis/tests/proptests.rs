@@ -1,0 +1,108 @@
+//! Property-based tests for the analysis toolkit: interval coverage,
+//! composition algebra, bound monotonicity, Laplace mechanics.
+
+use dps_analysis::composition::{advanced, basic, best_of, group_privacy, PrivacyBudget};
+use dps_analysis::confidence::{clopper_pearson, wilson};
+use dps_analysis::{bounds, LaplaceMechanism};
+use dps_crypto::ChaChaRng;
+use proptest::prelude::*;
+
+proptest! {
+    /// Both interval families always contain the point estimate and stay
+    /// inside [0, 1].
+    #[test]
+    fn intervals_contain_point_estimate(successes in 0u64..500, extra in 0u64..500) {
+        let trials = successes + extra.max(1);
+        let p = successes as f64 / trials as f64;
+        for interval in [wilson(successes, trials, 0.95), clopper_pearson(successes, trials, 0.95)] {
+            prop_assert!(interval.lo >= 0.0 && interval.hi <= 1.0);
+            prop_assert!(interval.contains(p), "{:?} misses {}", interval, p);
+        }
+    }
+
+    /// Intervals shrink (weakly) as trials grow at a fixed ratio.
+    #[test]
+    fn intervals_narrow_with_trials(successes in 1u64..50, scale in 2u64..20) {
+        let trials = successes * 2;
+        let small = wilson(successes, trials, 0.95);
+        let large = wilson(successes * scale, trials * scale, 0.95);
+        prop_assert!(large.width() <= small.width() + 1e-12);
+    }
+
+    /// Higher confidence never gives a narrower interval.
+    #[test]
+    fn confidence_monotonicity(successes in 0u64..100, extra in 1u64..100) {
+        let trials = successes + extra;
+        let c90 = wilson(successes, trials, 0.90);
+        let c99 = wilson(successes, trials, 0.99);
+        prop_assert!(c99.width() >= c90.width() - 1e-12);
+    }
+
+    /// Basic composition is additive and best_of never exceeds it.
+    #[test]
+    fn composition_algebra(eps in 0.001f64..5.0, k in 1usize..200, slack_exp in 1.0f64..9.0) {
+        let per = PrivacyBudget::pure(eps);
+        let b = basic(per, k);
+        prop_assert!((b.epsilon - eps * k as f64).abs() < 1e-9);
+        let slack = 10f64.powf(-slack_exp);
+        let best = best_of(per, k, slack);
+        prop_assert!(best.epsilon <= b.epsilon + 1e-12);
+        let a = advanced(per, k, slack);
+        prop_assert!(best.epsilon <= a.epsilon + 1e-12);
+    }
+
+    /// Group privacy at d = 1 is the identity; ε grows linearly in d.
+    #[test]
+    fn group_privacy_algebra(eps in 0.0f64..4.0, delta_exp in 3.0f64..12.0, d in 1usize..10) {
+        let per = PrivacyBudget { epsilon: eps, delta: 10f64.powf(-delta_exp) };
+        let g1 = group_privacy(per, 1);
+        prop_assert!((g1.epsilon - per.epsilon).abs() < 1e-12);
+        prop_assert!((g1.delta - per.delta).abs() < 1e-15);
+        let gd = group_privacy(per, d);
+        prop_assert!((gd.epsilon - d as f64 * eps).abs() < 1e-9);
+        prop_assert!(gd.delta >= per.delta - 1e-15);
+    }
+
+    /// Theorem 3.4's bound is monotone: decreasing in ε and α, increasing
+    /// in n.
+    #[test]
+    fn ir_bound_monotonicity(n in 2usize..100_000, eps in 0.0f64..10.0, alpha in 0.01f64..0.9) {
+        let base = bounds::thm_3_4_ir_ops(n, eps, alpha, 0.0);
+        prop_assert!(bounds::thm_3_4_ir_ops(n, eps + 0.5, alpha, 0.0) <= base + 1e-9);
+        prop_assert!(bounds::thm_3_4_ir_ops(n, eps, (alpha + 0.05).min(1.0), 0.0) <= base + 1e-9);
+        prop_assert!(bounds::thm_3_4_ir_ops(2 * n, eps, alpha, 0.0) >= base - 1e-9);
+    }
+
+    /// Theorem 3.7's bound weakens with client storage and privacy budget.
+    #[test]
+    fn ram_bound_monotonicity(n in 4usize..1_000_000, eps in 0.0f64..8.0, c in 2usize..64) {
+        let base = bounds::thm_3_7_ram_ops(n, eps, 0.0, c);
+        prop_assert!(bounds::thm_3_7_ram_ops(n, eps + 1.0, 0.0, c) <= base + 1e-9);
+        prop_assert!(bounds::thm_3_7_ram_ops(n, eps, 0.0, c * 2) <= base + 1e-9);
+        prop_assert!(base >= 0.0);
+    }
+
+    /// Theorem 5.1's K formula inverts its own epsilon: configuring by ε
+    /// then recomputing ε from K never *under*-delivers privacy.
+    #[test]
+    fn download_count_consistency(n in 8usize..100_000, eps in 0.5f64..12.0, alpha in 0.05f64..0.5) {
+        let k = bounds::thm_5_1_download_count(n, eps, alpha);
+        prop_assert!(k >= 1 && k <= n);
+        // More downloads => at least as private (smaller analytic ε').
+        let eps_k = ((1.0 - alpha) * n as f64 / (alpha * k as f64) + 1.0).ln();
+        let eps_k_plus = ((1.0 - alpha) * n as f64 / (alpha * (k + 1) as f64) + 1.0).ln();
+        prop_assert!(eps_k_plus <= eps_k);
+    }
+
+    /// Laplace releases are finite and mean-centered within tolerance for
+    /// arbitrary calibrations.
+    #[test]
+    fn laplace_release_sanity(sens in 0.1f64..10.0, eps in 0.1f64..5.0, truth in -100.0f64..100.0, seed in any::<u64>()) {
+        let m = LaplaceMechanism::new(sens, eps);
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let v = m.release(truth, &mut rng);
+        prop_assert!(v.is_finite());
+        // Single draw sits within 30 scales of truth w.p. 1 - e^-30.
+        prop_assert!((v - truth).abs() <= 30.0 * m.scale());
+    }
+}

@@ -1,0 +1,90 @@
+//! Criterion bench: the oblivious baselines — Path ORAM, ORAM-KVS, linear
+//! ORAM, full-scan PIR, XOR PIR (companions to E1/E5/E11/E17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_crypto::ChaChaRng;
+use dps_oram::{LinearOram, OramKvs, PathOram, PathOramConfig};
+use dps_pir::{FullScanPir, XorPir};
+use dps_server::SimServer;
+use dps_workloads::generators::database;
+
+fn bench_path_oram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_oram");
+    group.sample_size(20);
+    for n in [1usize << 10, 1 << 14] {
+        let db = database(n, 256);
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        let mut oram = PathOram::setup(
+            PathOramConfig::recommended(n, 256),
+            &db,
+            SimServer::new(),
+            &mut rng,
+        );
+        group.bench_with_input(BenchmarkId::new("read", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % n;
+                oram.read(i, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_oram_kvs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oram_kvs");
+    group.sample_size(15);
+    let n = 1 << 10;
+    let mut rng = ChaChaRng::seed_from_u64(2);
+    let mut kvs = OramKvs::new(n, 64, &mut rng);
+    for k in 0..(n / 4) as u64 {
+        kvs.put(k, vec![0u8; 64], &mut rng).unwrap();
+    }
+    group.bench_function("get_hit_n=1024", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % (n / 4) as u64;
+            kvs.get(i, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_linear_and_pir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linear_baselines");
+    group.sample_size(10);
+    let n = 1 << 10;
+    let db = database(n, 256);
+    let mut rng = ChaChaRng::seed_from_u64(3);
+
+    let mut lin = LinearOram::setup(&db, SimServer::new(), &mut rng);
+    group.bench_function("linear_oram_read_n=1024", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % n;
+            lin.read(i, &mut rng).unwrap()
+        })
+    });
+
+    let mut pir = FullScanPir::setup(&db, SimServer::new());
+    group.bench_function("full_scan_pir_n=1024", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % n;
+            pir.query(i).unwrap()
+        })
+    });
+
+    let mut xor = XorPir::setup(&db);
+    group.bench_function("xor_pir_n=1024", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % n;
+            xor.query(i, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_oram, bench_oram_kvs, bench_linear_and_pir);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: DP-IR query latency across privacy budgets and sizes
+//! (the wall-clock companion to experiments E2/E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_core::dp_ir::{DpIr, DpIrConfig};
+use dps_core::strawman::InsecureStrawmanIr;
+use dps_crypto::ChaChaRng;
+use dps_server::SimServer;
+use dps_workloads::generators::database;
+
+fn bench_dp_ir_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_ir_query");
+    group.sample_size(20);
+    for n in [1usize << 10, 1 << 14] {
+        let db = database(n, 256);
+        for (label, epsilon) in [("eps=ln(n)", (n as f64).ln()), ("eps=ln(n)/2", (n as f64).ln() / 2.0)] {
+            let config = DpIrConfig::with_epsilon(n, epsilon, 0.1).unwrap();
+            let mut ir = DpIr::setup(config, &db, SimServer::new()).unwrap();
+            let mut rng = ChaChaRng::seed_from_u64(1);
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, &n| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        i = (i + 1) % n;
+                        ir.query(i, &mut rng).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_strawman(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strawman_ir_query");
+    group.sample_size(20);
+    let n = 1 << 12;
+    let db = database(n, 256);
+    let mut ir = InsecureStrawmanIr::setup(&db, SimServer::new());
+    let mut rng = ChaChaRng::seed_from_u64(2);
+    group.bench_function("n=4096", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % n;
+            ir.query(i, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_ir_query, bench_strawman);
+criterion_main!(benches);

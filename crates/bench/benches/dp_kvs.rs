@@ -1,0 +1,45 @@
+//! Criterion bench: DP-KVS operations (companion to E11/E12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_core::dp_kvs::{DpKvs, DpKvsConfig};
+use dps_crypto::ChaChaRng;
+use dps_server::SimServer;
+
+fn bench_dp_kvs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_kvs");
+    group.sample_size(15);
+    for n in [1usize << 8, 1 << 12] {
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        let mut kvs =
+            DpKvs::setup(DpKvsConfig::recommended(n, 64), SimServer::new(), &mut rng).unwrap();
+        let keys: Vec<u64> = (0..(n / 4) as u64).map(|k| k * 0x9e37_79b9 + 1).collect();
+        for &k in &keys {
+            kvs.put(k, vec![0u8; 64], &mut rng).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("get_hit", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                kvs.get(keys[i], &mut rng).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("get_miss", n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                kvs.get(0xdead_beef_0000_0000 + i, &mut rng).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("put_update", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                kvs.put(keys[i], vec![1u8; 64], &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_kvs);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: DP-RAM read/write latency (companion to E5/E8/E15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_core::dp_ram::{DpRam, DpRamConfig};
+use dps_core::dp_ram_ro::DpRamReadOnly;
+use dps_crypto::ChaChaRng;
+use dps_server::SimServer;
+use dps_workloads::generators::database;
+
+fn bench_dp_ram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_ram");
+    group.sample_size(20);
+    for n in [1usize << 10, 1 << 14] {
+        let db = database(n, 256);
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        let mut ram =
+            DpRam::setup(DpRamConfig::recommended(n), &db, SimServer::new(), &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("read", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % n;
+                ram.read(i, &mut rng).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("write", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % n;
+                ram.write(i, vec![0u8; 256], &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_ram_read_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_ram_read_only");
+    group.sample_size(20);
+    let n = 1 << 14;
+    let db = database(n, 256);
+    let mut rng = ChaChaRng::seed_from_u64(2);
+    let mut ram = DpRamReadOnly::setup(&db, 0.01, SimServer::new(), &mut rng);
+    group.bench_function("read_n=16384", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % n;
+            ram.read(i, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_ram, bench_dp_ram_read_only);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion bench: the extension schemes — square-root ORAM, recursive
+//! Path ORAM, batched DP-IR, hardened DP-RAM, D-server XOR PIR
+//! (companions to E18–E21).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_core::batched_ir::BatchedDpIr;
+use dps_core::dp_ir::DpIrConfig;
+use dps_core::dp_ram::DpRamConfig;
+use dps_core::hardened_ram::HardenedDpRam;
+use dps_crypto::ChaChaRng;
+use dps_oram::{RecursiveOramConfig, RecursivePathOram, SquareRootOram};
+use dps_pir::MultiServerXorPir;
+use dps_server::SimServer;
+use dps_workloads::generators::database;
+
+fn bench_square_root_oram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("square_root_oram");
+    group.sample_size(20);
+    for n in [1usize << 10, 1 << 12] {
+        let db = database(n, 256);
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        let mut oram = SquareRootOram::setup(&db, SimServer::new(), &mut rng);
+        group.bench_with_input(BenchmarkId::new("read_amortized", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % n;
+                oram.read(i, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recursive_path_oram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recursive_path_oram");
+    group.sample_size(20);
+    for n in [1usize << 10, 1 << 12] {
+        let db = database(n, 256);
+        let mut rng = ChaChaRng::seed_from_u64(2);
+        let mut oram =
+            RecursivePathOram::setup(RecursiveOramConfig::recommended(n, 256), &db, &mut rng);
+        group.bench_with_input(BenchmarkId::new("read", n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % n;
+                oram.read(i, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_dp_ir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_dp_ir");
+    group.sample_size(30);
+    let n = 1 << 12;
+    let db = database(n, 256);
+    let config = DpIrConfig::with_epsilon(n, (n as f64).ln() - 2.0, 0.1).unwrap();
+    let mut rng = ChaChaRng::seed_from_u64(3);
+    let mut ir = BatchedDpIr::setup(config, &db, SimServer::new()).unwrap();
+    for m in [1usize, 16, 256] {
+        let indices: Vec<usize> = (0..m).map(|j| (j * 31) % n).collect();
+        group.bench_with_input(BenchmarkId::new("batch", m), &m, |b, _| {
+            b.iter(|| ir.query_batch(&indices, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hardened_dp_ram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hardened_dp_ram");
+    group.sample_size(30);
+    let n = 1 << 12;
+    let db = database(n, 256);
+    let mut rng = ChaChaRng::seed_from_u64(4);
+    let mut ram = HardenedDpRam::setup(DpRamConfig::recommended(n), &db, &mut rng).unwrap();
+    group.bench_function("read_n=4096", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % n;
+            ram.read(i, &mut rng).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_multi_server_xor_pir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_server_xor_pir");
+    group.sample_size(20);
+    let n = 1 << 12;
+    let db = database(n, 256);
+    let mut rng = ChaChaRng::seed_from_u64(5);
+    for d in [2usize, 4] {
+        let mut pir = MultiServerXorPir::setup(d, &db);
+        group.bench_with_input(BenchmarkId::new("query", d), &d, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % n;
+                pir.query(i, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_square_root_oram,
+    bench_recursive_path_oram,
+    bench_batched_dp_ir,
+    bench_hardened_dp_ram,
+    bench_multi_server_xor_pir
+);
+criterion_main!(benches);

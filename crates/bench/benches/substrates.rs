@@ -1,0 +1,68 @@
+//! Criterion bench: the substrates — crypto primitives and hashing
+//! (companions to E9/E10; also guards against crypto regressions dominating
+//! scheme costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dps_crypto::{BlockCipher, ChaChaRng, HmacPrf, Prf};
+use dps_hashing::classic::{one_choice_loads, two_choice_loads};
+use dps_hashing::forest::{ForestGeometry, ObliviousForest};
+
+fn bench_cipher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cipher");
+    let mut rng = ChaChaRng::seed_from_u64(1);
+    let cipher = BlockCipher::generate(&mut rng);
+    for size in [64usize, 1024, 4096] {
+        let plaintext = vec![0xAAu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encrypt", size), &size, |b, _| {
+            b.iter(|| cipher.encrypt(&plaintext, &mut rng))
+        });
+        let ct = cipher.encrypt(&plaintext, &mut rng);
+        group.bench_with_input(BenchmarkId::new("decrypt", size), &size, |b, _| {
+            b.iter(|| cipher.decrypt(&ct).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_prf_and_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prf_rng");
+    let prf = HmacPrf::new(b"bench-key");
+    group.bench_function("hmac_prf_eval", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            prf.eval_range(&i.to_le_bytes(), 1 << 20)
+        })
+    });
+    let mut rng = ChaChaRng::seed_from_u64(2);
+    group.bench_function("chacha_rng_u64", |b| b.iter(|| rng.next_u64()));
+    group.bench_function("chacha_rng_range", |b| b.iter(|| rng.gen_range(12345)));
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashing");
+    group.sample_size(10);
+    let n = 1 << 14;
+    let mut rng = ChaChaRng::seed_from_u64(3);
+    group.bench_function("one_choice_n=16384", |b| {
+        b.iter(|| one_choice_loads(n, n, &mut rng))
+    });
+    group.bench_function("two_choice_n=16384", |b| {
+        b.iter(|| two_choice_loads(n, n, &mut rng))
+    });
+    group.bench_function("forest_insert_n=16384", |b| {
+        b.iter(|| {
+            let mut forest = ObliviousForest::new(ForestGeometry::recommended(n), b"bench");
+            for key in 0..n as u64 {
+                let _ = forest.insert(key, Vec::new());
+            }
+            forest.super_root_load()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cipher, bench_prf_and_rng, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! Experiments E1–E4 (DP-IR bounds and construction) and E13 (multi-server).
+
+use dps_analysis::bounds;
+use dps_core::dp_ir::{DpIr, DpIrConfig};
+use dps_core::multi_server::{MultiServerDpIr, MultiServerDpIrConfig};
+use dps_core::strawman::InsecureStrawmanIr;
+use dps_crypto::ChaChaRng;
+use dps_pir::{FullScanPir, XorPir};
+use dps_server::SimServer;
+use dps_workloads::generators::database;
+
+use crate::table::{f1, f3, Table};
+
+/// E1 — Theorem 3.3: errorless schemes touch ≥ (1−δ)·n records. We measure
+/// the errorless baselines (full-scan PIR, 2-server XOR PIR) and verify
+/// they sit at the bound; no errorless scheme in this workspace beats it.
+pub fn run_e1(fast: bool) {
+    let sizes: &[usize] = if fast { &[1 << 10, 1 << 12] } else { &[1 << 10, 1 << 12, 1 << 14] };
+    let mut t = Table::new(
+        "E1 (Thm 3.3): errorless retrieval touches >= (1-delta)*n records",
+        &["n", "bound (delta=0)", "full-scan PIR ops/q", "2-server XOR PIR ops/q"],
+    );
+    let queries = 20;
+    for &n in sizes {
+        let db = database(n, 64);
+        let mut rng = ChaChaRng::seed_from_u64(1);
+
+        let mut scan = FullScanPir::setup(&db, SimServer::new());
+        for q in 0..queries {
+            scan.query(q % n).unwrap();
+        }
+        let scan_ops = scan.server_stats().operations() as f64 / queries as f64;
+
+        let mut xor = XorPir::setup(&db);
+        for q in 0..queries {
+            xor.query(q % n, &mut rng).unwrap();
+        }
+        let xor_ops = xor.total_stats().operations() as f64 / queries as f64;
+
+        t.row(vec![
+            n.to_string(),
+            f1(bounds::thm_3_3_errorless_ir_ops(n, 0.0)),
+            f1(scan_ops),
+            f1(xor_ops),
+        ]);
+    }
+    t.print();
+}
+
+/// E2 — Theorem 3.4 vs Theorem 5.1: the construction's download count K
+/// tracks the lower bound within a constant for every ε; at ε = ln n it is
+/// O(1).
+pub fn run_e2(fast: bool) {
+    let sizes: &[usize] = if fast {
+        &[1 << 10, 1 << 14]
+    } else {
+        &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]
+    };
+    let alpha = 0.1;
+    let mut t = Table::new(
+        "E2 (Thm 3.4 + 5.1): DP-IR downloads vs lower bound (alpha = 0.1)",
+        &["n", "epsilon", "lower bound", "construction K", "ratio"],
+    );
+    for &n in sizes {
+        let ln_n = (n as f64).ln();
+        for epsilon in [2.0, ln_n / 2.0, ln_n] {
+            let lb = bounds::thm_3_4_ir_ops(n, epsilon, alpha, 0.0);
+            let k = DpIrConfig::with_epsilon(n, epsilon, alpha).unwrap().k as f64;
+            let ratio = if lb > 0.0 { k / lb } else { f64::NAN };
+            t.row(vec![
+                n.to_string(),
+                f3(epsilon),
+                f1(lb),
+                f1(k),
+                f3(ratio),
+            ]);
+        }
+    }
+    t.print();
+    println!("  shape check: K stays within a small constant of the bound; at ε = ln n, K = O(1).");
+}
+
+/// E3 — Theorem 5.1 headline: at ε = Θ(log n) the construction moves O(1)
+/// blocks regardless of n, plus an empirical (ε̂, δ̂) audit at small n.
+pub fn run_e3(fast: bool) {
+    let sizes: &[usize] = if fast {
+        &[1 << 10, 1 << 14]
+    } else {
+        &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]
+    };
+    let alpha = 0.1;
+    let mut t = Table::new(
+        "E3 (Thm 5.1): constant overhead at epsilon = ln(n) (alpha = 0.1)",
+        &["n", "epsilon = ln n", "K (blocks/query)", "measured blocks/query"],
+    );
+    for &n in sizes {
+        let epsilon = (n as f64).ln();
+        let config = DpIrConfig::with_epsilon(n, epsilon, alpha).unwrap();
+        let db = database(n, 64);
+        let mut ir = DpIr::setup(config, &db, SimServer::new()).unwrap();
+        let mut rng = ChaChaRng::seed_from_u64(3);
+        let queries = 200;
+        let before = ir.server_stats();
+        for q in 0..queries {
+            ir.query(q % n, &mut rng).unwrap();
+        }
+        let per_query = ir.server_stats().since(&before).downloads as f64 / queries as f64;
+        t.row(vec![
+            n.to_string(),
+            f3(epsilon),
+            config.k.to_string(),
+            f3(per_query),
+        ]);
+    }
+    t.print();
+
+    // Empirical privacy audit at small n: adjacent single-query sequences.
+    let n = 16;
+    let alpha = 0.25;
+    let config = DpIrConfig::with_epsilon(n, 2.0, alpha).unwrap();
+    let trials = if fast { 40_000 } else { 400_000 };
+    let view = |query: usize, seed_base: u64| {
+        move |trial: usize| {
+            let mut rng = ChaChaRng::seed_from_u64(seed_base + trial as u64);
+            let db = database(n, 8);
+            let mut ir = DpIr::setup(config, &db, SimServer::new()).unwrap();
+            let (_, set) = ir.query_traced(query, &mut rng).unwrap();
+            set.into_iter().flat_map(|x| (x as u32).to_le_bytes()).collect()
+        }
+    };
+    let report = dps_analysis::audit_views(trials, 40, view(3, 10), view(7, 20_000_000));
+    let mut t = Table::new(
+        "E3b: DP-IR empirical privacy (n = 16, alpha = 0.25)",
+        &["analytic epsilon", "empirical epsilon-hat", "delta-hat at analytic eps", "views (Q1/Q2)"],
+    );
+    let (s1, s2) = report.support_sizes();
+    t.row(vec![
+        f3(config.epsilon()),
+        f3(report.epsilon_hat()),
+        format!("{:.2e}", report.delta_at(config.epsilon())),
+        format!("{s1}/{s2}"),
+    ]);
+    t.print();
+    println!("  shape check: ε̂ ≤ analytic ε and δ̂ ≈ 0 — the construction honors its budget.");
+}
+
+/// E4 — Section 4: the strawman's δ approaches (n−1)/n. The distinguishing
+/// event is "queried-record absent from the download set".
+pub fn run_e4(fast: bool) {
+    let sizes: &[usize] = if fast { &[8, 64, 512] } else { &[8, 64, 512, 4096] };
+    let trials = if fast { 20_000 } else { 100_000 };
+    let mut t = Table::new(
+        "E4 (Sec 4): the strawman is insecure — delta >= (n-1)/n",
+        &["n", "Pr[B_i absent | query i]", "Pr[B_i absent | query j]", "delta lower bound (n-1)/n"],
+    );
+    for &n in sizes {
+        let db = database(n, 8);
+        let mut ir = InsecureStrawmanIr::setup(&db, SimServer::new());
+        let mut rng = ChaChaRng::seed_from_u64(4);
+        let absent_i = (0..trials)
+            .filter(|_| !ir.query_traced(0, &mut rng).unwrap().1.contains(&0))
+            .count();
+        let absent_j = (0..trials)
+            .filter(|_| !ir.query_traced(1, &mut rng).unwrap().1.contains(&0))
+            .count();
+        t.row(vec![
+            n.to_string(),
+            f3(absent_i as f64 / trials as f64),
+            f3(absent_j as f64 / trials as f64),
+            f3(bounds::strawman_delta(n)),
+        ]);
+    }
+    t.print();
+    println!("  shape check: the absence event has probability 0 vs ~(n-1)/n — zero privacy, as proven.");
+}
+
+/// E13 — Theorem C.1: multi-server DP-IR cost vs the corruption-fraction
+/// bound.
+pub fn run_e13(fast: bool) {
+    let n = 1 << 12;
+    let d = 4;
+    let alpha = 0.1;
+    let queries = if fast { 50 } else { 200 };
+    let db = database(n, 64);
+    let mut t = Table::new(
+        "E13 (Thm C.1): multi-server DP-IR, D = 4, n = 4096, alpha = 0.1",
+        &["corrupted t", "epsilon vs t-adversary", "bound ops/query", "measured total ops/query"],
+    );
+    for corrupted in [1usize, 2, 3] {
+        let t_frac = corrupted as f64 / d as f64;
+        // Budget the scheme for the strongest adversary it must resist.
+        let k = 4;
+        let config = MultiServerDpIrConfig { n, servers: d, k, alpha };
+        let eps = config.epsilon_against(corrupted);
+        let bound = bounds::thm_c1_multi_server_ops(n, eps, alpha, 0.0, t_frac);
+        let mut ir = MultiServerDpIr::setup(config, &db).unwrap();
+        let mut rng = ChaChaRng::seed_from_u64(13);
+        let before = ir.total_stats();
+        for q in 0..queries {
+            ir.query(q % n, &mut rng).unwrap();
+        }
+        let measured = ir.total_stats().since(&before).operations() as f64 / queries as f64;
+        t.row(vec![
+            format!("{corrupted}/{d}"),
+            f3(eps),
+            f1(bound),
+            f1(measured),
+        ]);
+    }
+    t.print();
+    println!("  shape check: measured cost sits above the bound; weaker adversaries (smaller t) get more privacy at the same cost.");
+}

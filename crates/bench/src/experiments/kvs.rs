@@ -1,0 +1,89 @@
+//! Experiment E11 (DP-KVS overhead vs ORAM-based KVS).
+
+use dps_core::dp_kvs::{DpKvs, DpKvsConfig};
+use dps_crypto::ChaChaRng;
+use dps_oram::OramKvs;
+use dps_server::SimServer;
+use dps_workloads::generators::{key_universe, kvs_trace};
+use dps_workloads::Op;
+
+use crate::table::{f1, f3, Table};
+
+/// E11 — Theorem 7.5: DP-KVS moves O(log log n) cells per op while an
+/// ORAM-backed KVS moves Θ(log n) blocks; server storage stays O(n).
+pub fn run_e11(fast: bool) {
+    let sizes: &[usize] = if fast {
+        &[1 << 8, 1 << 10]
+    } else {
+        &[1 << 8, 1 << 10, 1 << 12, 1 << 14]
+    };
+    let value = 32;
+    let ops = if fast { 150 } else { 400 };
+    let mut t = Table::new(
+        "E11 (Thm 7.5): DP-KVS O(log log n) vs ORAM-KVS Theta(log n) (cells per op)",
+        &[
+            "n",
+            "depth s(n)",
+            "DP-KVS cells/op",
+            "ORAM-KVS blocks/op",
+            "DP-KVS server cells/n",
+            "DP-KVS client cells",
+        ],
+    );
+    for &n in sizes {
+        let mut rng = ChaChaRng::seed_from_u64(11);
+        let keys = key_universe(n / 2, &mut rng);
+        let trace = kvs_trace(&keys, ops, 0.3, 0.1, &mut rng);
+
+        let config = DpKvsConfig::recommended(n, value);
+        let depth = config.geometry.depth();
+        let server_cells = config.geometry.total_nodes();
+        let mut kvs = DpKvs::setup(config, SimServer::new(), &mut rng).unwrap();
+        for &k in keys.iter().take(n / 4) {
+            kvs.put(k, vec![0u8; value], &mut rng).unwrap();
+        }
+        let before = kvs.server_stats();
+        for q in &trace {
+            match q.op {
+                Op::Read => {
+                    kvs.get(q.key, &mut rng).unwrap();
+                }
+                Op::Write => {
+                    kvs.put(q.key, vec![1u8; value], &mut rng).unwrap();
+                }
+            }
+        }
+        let d = kvs.server_stats().since(&before);
+        let kvs_cells = (d.downloads + d.uploads) as f64 / ops as f64;
+        let client_cells = kvs.client_cells();
+
+        let mut okvs = OramKvs::new(n, value, &mut rng);
+        for &k in keys.iter().take(n / 4) {
+            okvs.put(k, vec![0u8; value], &mut rng).unwrap();
+        }
+        let before = okvs.server_stats();
+        for q in &trace {
+            match q.op {
+                Op::Read => {
+                    okvs.get(q.key, &mut rng).unwrap();
+                }
+                Op::Write => {
+                    okvs.put(q.key, vec![1u8; value], &mut rng).unwrap();
+                }
+            }
+        }
+        let d = okvs.server_stats().since(&before);
+        let oram_blocks = (d.downloads + d.uploads) as f64 / ops as f64;
+
+        t.row(vec![
+            n.to_string(),
+            depth.to_string(),
+            f3(kvs_cells),
+            f1(oram_blocks),
+            f3(server_cells as f64 / n as f64),
+            client_cells.to_string(),
+        ]);
+    }
+    t.print();
+    println!("  shape check: DP-KVS cost grows only with depth = Θ(log log n) while ORAM-KVS grows with log n; server storage stays a constant multiple of n.");
+}

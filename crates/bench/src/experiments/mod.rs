@@ -1,0 +1,9 @@
+//! The experiment suite (index in DESIGN.md).
+
+pub mod audit;
+pub mod compare;
+pub mod extensions;
+pub mod hash;
+pub mod ir;
+pub mod kvs;
+pub mod ram;

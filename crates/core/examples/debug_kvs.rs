@@ -1,0 +1,17 @@
+use dps_crypto::{BlockCipher, ChaChaRng};
+
+fn main() {
+    let mut rng = ChaChaRng::seed_from_u64(11);
+    let cipher = BlockCipher::generate(&mut rng);
+    let cell = vec![0u8; 51];
+    eprintln!("starting encrypts");
+    for i in 0..100 {
+        eprintln!("encrypt {i} begin");
+        let ct = cipher.encrypt(&cell, &mut rng);
+        eprintln!("encrypt {i} done, len {}", ct.len());
+        if i > 3 {
+            break;
+        }
+    }
+    eprintln!("all done");
+}

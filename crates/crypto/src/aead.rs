@@ -1,0 +1,272 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8) with associated data.
+//!
+//! The paper's model is an honest-but-curious server, so the base
+//! [`crate::cipher::BlockCipher`] only needs IND-CPA. A production
+//! deployment also wants protection against an *active* server that swaps,
+//! rolls back, or corrupts cells. [`AeadCipher`] provides that hardening:
+//! each cell is sealed with its address (and, optionally, a version counter)
+//! as associated data, so a ciphertext moved to a different address fails
+//! authentication. See the `tamper_detection` integration tests for the
+//! attack scenarios this defeats.
+
+use crate::chacha;
+use crate::cipher::CryptoError;
+use crate::poly1305::{tags_equal, Poly1305, TAG_LEN};
+use crate::rng::ChaChaRng;
+
+/// Ciphertext expansion of [`AeadCipher`]: nonce plus Poly1305 tag.
+pub const AEAD_OVERHEAD: usize = chacha::NONCE_LEN + TAG_LEN;
+
+/// A sealed AEAD ciphertext: `nonce || body || tag`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Sealed(pub Vec<u8>);
+
+impl Sealed {
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if empty (never the case for valid output).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// ChaCha20-Poly1305 AEAD cipher with per-encryption random nonces.
+#[derive(Clone)]
+pub struct AeadCipher {
+    key: [u8; chacha::KEY_LEN],
+}
+
+impl std::fmt::Debug for AeadCipher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AeadCipher(..)")
+    }
+}
+
+impl AeadCipher {
+    /// Builds a cipher from an existing 256-bit key.
+    pub fn new(key: [u8; chacha::KEY_LEN]) -> Self {
+        Self { key }
+    }
+
+    /// Samples a fresh key.
+    pub fn generate(rng: &mut ChaChaRng) -> Self {
+        let mut key = [0u8; chacha::KEY_LEN];
+        rng.fill_bytes(&mut key);
+        Self { key }
+    }
+
+    /// RFC 8439 §2.6: the Poly1305 one-time key is the first 32 bytes of
+    /// the ChaCha20 block at counter 0.
+    fn one_time_key(&self, nonce: &[u8; chacha::NONCE_LEN]) -> [u8; 32] {
+        let block = chacha::block(&self.key, 0, nonce);
+        block[..32].try_into().expect("32-byte prefix")
+    }
+
+    fn tag(
+        &self,
+        nonce: &[u8; chacha::NONCE_LEN],
+        aad: &[u8],
+        ciphertext: &[u8],
+    ) -> [u8; TAG_LEN] {
+        let mut mac = Poly1305::new(&self.one_time_key(nonce));
+        mac.update(aad);
+        mac.pad16();
+        mac.update(ciphertext);
+        mac.pad16();
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// Seals `plaintext` with a fresh random nonce, binding `aad`.
+    pub fn seal(&self, aad: &[u8], plaintext: &[u8], rng: &mut ChaChaRng) -> Sealed {
+        let mut nonce = [0u8; chacha::NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        self.seal_with_nonce(&nonce, aad, plaintext)
+    }
+
+    /// Seals with a caller-chosen nonce (test vectors; deterministic
+    /// callers must guarantee nonce uniqueness themselves).
+    pub fn seal_with_nonce(
+        &self,
+        nonce: &[u8; chacha::NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+    ) -> Sealed {
+        let mut out = Vec::with_capacity(plaintext.len() + AEAD_OVERHEAD);
+        out.extend_from_slice(nonce);
+        out.extend_from_slice(plaintext);
+        chacha::xor_keystream(&self.key, 1, nonce, &mut out[chacha::NONCE_LEN..]);
+        let tag = self.tag(nonce, aad, &out[chacha::NONCE_LEN..]);
+        out.extend_from_slice(&tag);
+        Sealed(out)
+    }
+
+    /// Opens a sealed ciphertext, verifying the tag against `aad`.
+    pub fn open(&self, aad: &[u8], sealed: &Sealed) -> Result<Vec<u8>, CryptoError> {
+        let data = &sealed.0;
+        if data.len() < AEAD_OVERHEAD {
+            return Err(CryptoError::Malformed);
+        }
+        let nonce: [u8; chacha::NONCE_LEN] =
+            data[..chacha::NONCE_LEN].try_into().expect("nonce prefix");
+        let (body, tag_bytes) = data[chacha::NONCE_LEN..].split_at(data.len() - AEAD_OVERHEAD);
+        let tag: [u8; TAG_LEN] = tag_bytes.try_into().expect("16-byte tag");
+        if !tags_equal(&self.tag(&nonce, aad, body), &tag) {
+            return Err(CryptoError::TagMismatch);
+        }
+        let mut plaintext = body.to_vec();
+        chacha::xor_keystream(&self.key, 1, &nonce, &mut plaintext);
+        Ok(plaintext)
+    }
+}
+
+/// Encodes a storage address as associated data, binding a cell's
+/// ciphertext to its location (and an optional version for rollback
+/// detection).
+pub fn address_aad(address: usize, version: u64) -> [u8; 16] {
+    let mut aad = [0u8; 16];
+    aad[..8].copy_from_slice(&(address as u64).to_le_bytes());
+    aad[8..].copy_from_slice(&version.to_le_bytes());
+    aad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| c.is_ascii_hexdigit()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 8439 §2.8.2: the complete AEAD test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let key: [u8; 32] = hex(
+            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce: [u8; 12] = hex("070000004041424344454647").try_into().unwrap();
+        let aad = hex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+
+        let cipher = AeadCipher::new(key);
+        let sealed = cipher.seal_with_nonce(&nonce, &aad, plaintext);
+
+        let expected_ct = hex(
+            "d31a8d34648e60db7b86afbc53ef7ec2
+             a4aded51296e08fea9e2b5a736ee62d6
+             3dbea45e8ca9671282fafb69da92728b
+             1a71de0a9e060b2905d6a5b67ecd3b36
+             92ddbd7f2d778b8c9803aee328091b58
+             fab324e4fad675945585808b4831d7bc
+             3ff4def08e4b7a9de576d26586cec64b
+             6116",
+        );
+        let expected_tag = hex("1ae10b594f09e26a7e902ecbd0600691");
+        let body = &sealed.0[12..sealed.0.len() - 16];
+        let tag = &sealed.0[sealed.0.len() - 16..];
+        assert_eq!(body, expected_ct.as_slice());
+        assert_eq!(tag, expected_tag.as_slice());
+
+        assert_eq!(cipher.open(&aad, &sealed).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        let cipher = AeadCipher::generate(&mut rng);
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let sealed = cipher.seal(b"aad", &pt, &mut rng);
+            assert_eq!(sealed.len(), len + AEAD_OVERHEAD);
+            assert_eq!(cipher.open(b"aad", &sealed).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_aad_is_rejected() {
+        let mut rng = ChaChaRng::seed_from_u64(2);
+        let cipher = AeadCipher::generate(&mut rng);
+        let sealed = cipher.seal(&address_aad(7, 0), b"cell contents", &mut rng);
+        assert_eq!(
+            cipher.open(&address_aad(8, 0), &sealed),
+            Err(CryptoError::TagMismatch),
+            "moved to a different address"
+        );
+        assert_eq!(
+            cipher.open(&address_aad(7, 1), &sealed),
+            Err(CryptoError::TagMismatch),
+            "rolled back to an older version"
+        );
+        assert!(cipher.open(&address_aad(7, 0), &sealed).is_ok());
+    }
+
+    #[test]
+    fn corruption_anywhere_is_rejected() {
+        let mut rng = ChaChaRng::seed_from_u64(3);
+        let cipher = AeadCipher::generate(&mut rng);
+        let sealed = cipher.seal(b"", b"sixteen byte msg", &mut rng);
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad.0[i] ^= 1;
+            assert_eq!(
+                cipher.open(b"", &bad),
+                Err(CryptoError::TagMismatch),
+                "flip at byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_malformed() {
+        let mut rng = ChaChaRng::seed_from_u64(4);
+        let cipher = AeadCipher::generate(&mut rng);
+        assert_eq!(
+            cipher.open(b"", &Sealed(vec![0u8; AEAD_OVERHEAD - 1])),
+            Err(CryptoError::Malformed)
+        );
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let mut rng = ChaChaRng::seed_from_u64(5);
+        let a = AeadCipher::generate(&mut rng);
+        let b = AeadCipher::generate(&mut rng);
+        let sealed = a.seal(b"x", b"data", &mut rng);
+        assert_eq!(b.open(b"x", &sealed), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn reencryption_randomizes() {
+        let mut rng = ChaChaRng::seed_from_u64(6);
+        let cipher = AeadCipher::generate(&mut rng);
+        let s1 = cipher.seal(b"a", b"same plaintext", &mut rng);
+        let s2 = cipher.seal(b"a", b"same plaintext", &mut rng);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn address_aad_is_injective_on_fields() {
+        assert_ne!(address_aad(1, 0), address_aad(0, 1));
+        assert_ne!(address_aad(3, 9), address_aad(9, 3));
+        assert_eq!(address_aad(5, 7), address_aad(5, 7));
+    }
+
+    #[test]
+    fn empty_aad_and_empty_plaintext() {
+        let mut rng = ChaChaRng::seed_from_u64(7);
+        let cipher = AeadCipher::generate(&mut rng);
+        let sealed = cipher.seal(b"", b"", &mut rng);
+        assert_eq!(sealed.len(), AEAD_OVERHEAD);
+        assert_eq!(cipher.open(b"", &sealed).unwrap(), Vec::<u8>::new());
+    }
+}

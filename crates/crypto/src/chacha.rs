@@ -1,0 +1,158 @@
+//! The ChaCha20 stream cipher core (RFC 8439).
+//!
+//! This is the single primitive from which both the IND-CPA cipher
+//! ([`crate::cipher`]) and the deterministic CSPRNG ([`crate::rng`]) are
+//! built. The implementation follows RFC 8439 §2.3 exactly and is verified
+//! against the RFC's test vectors.
+
+/// Size of a ChaCha20 key in bytes.
+pub const KEY_LEN: usize = 32;
+/// Size of a ChaCha20 nonce in bytes (IETF variant).
+pub const NONCE_LEN: usize = 12;
+/// Size of one keystream block in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block for the given key, block
+/// counter and nonce (RFC 8439 §2.3).
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+    state[12] = counter;
+    for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+        state[13 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; BLOCK_LEN];
+    for (i, word) in working.iter().enumerate() {
+        let sum = word.wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&sum.to_le_bytes());
+    }
+    out
+}
+
+/// XORs `data` in place with the ChaCha20 keystream starting at block
+/// `counter`. This is both encryption and decryption (RFC 8439 §2.4).
+pub fn xor_keystream(
+    key: &[u8; KEY_LEN],
+    mut counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    data: &mut [u8],
+) {
+    for chunk in data.chunks_mut(BLOCK_LEN) {
+        let ks = block(key, counter, nonce);
+        for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+            *byte ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 8439 §2.3.2: ChaCha20 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] = hex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce: [u8; 12] = hex("000000090000004a00000000").try_into().unwrap();
+        let expected = hex(
+            "10f1e7e4d13b5915500fdd1fa32071c4 c7d1f4c733c068030422aa9ac3d46c4e
+             d2826446079faa0914c2d705d98b02a2 b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(block(&key, 1, &nonce).to_vec(), expected);
+    }
+
+    /// RFC 8439 §2.4.2: ChaCha20 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let key: [u8; 32] = hex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce: [u8; 12] = hex("000000000000004a00000000").try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it."
+            .to_vec();
+        xor_keystream(&key, 1, &nonce, &mut data);
+        let expected = hex(
+            "6e2e359a2568f98041ba0728dd0d6981 e97e7aec1d4360c20a27afccfd9fae0b
+             f91b65c5524733ab8f593dabcd62b357 1639d624e65152ab8f530c359f0861d8
+             07ca0dbf500d6a6156a38e088a22b65e 52bc514d16ccf806818ce91ab7793736
+             5af90bbf74a35be6b40b8eedf2785e42 874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    /// Round-trip: XORing twice with the same keystream restores the input.
+    #[test]
+    fn keystream_round_trip() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let original: Vec<u8> = (0..=255).collect();
+        let mut data = original.clone();
+        xor_keystream(&key, 0, &nonce, &mut data);
+        assert_ne!(data, original);
+        xor_keystream(&key, 0, &nonce, &mut data);
+        assert_eq!(data, original);
+    }
+
+    /// Distinct counters produce distinct keystream blocks.
+    #[test]
+    fn counter_separates_blocks() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        assert_ne!(block(&key, 0, &nonce), block(&key, 1, &nonce));
+    }
+
+    /// Distinct nonces produce distinct keystream blocks.
+    #[test]
+    fn nonce_separates_blocks() {
+        let key = [1u8; 32];
+        assert_ne!(block(&key, 0, &[0u8; 12]), block(&key, 0, &[1u8; 12]));
+    }
+}

@@ -1,0 +1,205 @@
+//! IND-CPA symmetric encryption: ChaCha20 in counter mode with a fresh
+//! random 96-bit nonce per encryption.
+//!
+//! DP-RAM (Section 6) assumes an IND-CPA scheme `(Enc, Dec)`: every
+//! overwrite uploads a *freshly randomized* ciphertext so the adversary
+//! cannot tell whether the underlying block changed. Equal-length plaintexts
+//! produce equal-length ciphertexts, which the balls-and-bins model requires
+//! (all balls look alike).
+//!
+//! A 4-byte keyed integrity tag (truncated HMAC) is appended so that tests
+//! and the simulated server can detect accidental corruption; this is a
+//! robustness aid, not an authenticity claim (the paper's adversary is
+//! honest-but-curious).
+
+use crate::chacha;
+use crate::hmac::hmac_sha256;
+use crate::rng::ChaChaRng;
+
+/// Length of the integrity tag appended to each ciphertext.
+const TAG_LEN: usize = 4;
+
+/// Errors produced by the crypto layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Ciphertext shorter than a nonce + tag, or truncated.
+    Malformed,
+    /// Integrity tag mismatch: wrong key or corrupted ciphertext.
+    TagMismatch,
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::Malformed => write!(f, "ciphertext is malformed"),
+            CryptoError::TagMismatch => write!(f, "ciphertext integrity tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+/// A 256-bit symmetric key.
+#[derive(Clone)]
+pub struct Key {
+    enc: [u8; chacha::KEY_LEN],
+    mac: [u8; chacha::KEY_LEN],
+}
+
+impl Key {
+    /// Samples a fresh random key.
+    pub fn generate(rng: &mut ChaChaRng) -> Self {
+        let mut enc = [0u8; chacha::KEY_LEN];
+        let mut mac = [0u8; chacha::KEY_LEN];
+        rng.fill_bytes(&mut enc);
+        rng.fill_bytes(&mut mac);
+        Self { enc, mac }
+    }
+}
+
+impl std::fmt::Debug for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "Key(..)")
+    }
+}
+
+/// An encrypted block: `nonce || body || tag`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ciphertext(pub Vec<u8>);
+
+impl Ciphertext {
+    /// Total length in bytes (what the server stores and transfers).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the ciphertext is empty (never the case for valid output).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The ciphertext expansion over the plaintext, in bytes.
+pub const CIPHERTEXT_OVERHEAD: usize = chacha::NONCE_LEN + TAG_LEN;
+
+/// ChaCha20-CTR cipher with per-encryption random nonces.
+#[derive(Clone, Debug)]
+pub struct BlockCipher {
+    key: Key,
+}
+
+impl BlockCipher {
+    /// Creates a cipher from an existing key.
+    pub fn new(key: Key) -> Self {
+        Self { key }
+    }
+
+    /// Samples a fresh key and builds a cipher from it.
+    pub fn generate(rng: &mut ChaChaRng) -> Self {
+        Self::new(Key::generate(rng))
+    }
+
+    /// Encrypts `plaintext` with a fresh random nonce drawn from `rng`.
+    /// Calling this twice on the same plaintext yields different
+    /// ciphertexts (IND-CPA re-randomization).
+    pub fn encrypt(&self, plaintext: &[u8], rng: &mut ChaChaRng) -> Ciphertext {
+        let mut nonce = [0u8; chacha::NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        let mut out = Vec::with_capacity(plaintext.len() + CIPHERTEXT_OVERHEAD);
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(plaintext);
+        chacha::xor_keystream(&self.key.enc, 0, &nonce, &mut out[chacha::NONCE_LEN..]);
+        let tag = self.tag(&out);
+        out.extend_from_slice(&tag);
+        Ciphertext(out)
+    }
+
+    /// Decrypts a ciphertext, verifying its integrity tag.
+    pub fn decrypt(&self, ciphertext: &Ciphertext) -> Result<Vec<u8>, CryptoError> {
+        let data = &ciphertext.0;
+        if data.len() < CIPHERTEXT_OVERHEAD {
+            return Err(CryptoError::Malformed);
+        }
+        let (body, tag) = data.split_at(data.len() - TAG_LEN);
+        if self.tag(body) != tag {
+            return Err(CryptoError::TagMismatch);
+        }
+        let nonce: [u8; chacha::NONCE_LEN] =
+            body[..chacha::NONCE_LEN].try_into().expect("nonce prefix");
+        let mut plaintext = body[chacha::NONCE_LEN..].to_vec();
+        chacha::xor_keystream(&self.key.enc, 0, &nonce, &mut plaintext);
+        Ok(plaintext)
+    }
+
+    fn tag(&self, nonce_and_body: &[u8]) -> [u8; TAG_LEN] {
+        let digest = hmac_sha256(&self.key.mac, nonce_and_body);
+        digest[..TAG_LEN].try_into().expect("tag prefix")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cipher(seed: u64) -> (BlockCipher, ChaChaRng) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cipher = BlockCipher::generate(&mut rng);
+        (cipher, rng)
+    }
+
+    #[test]
+    fn round_trip() {
+        let (cipher, mut rng) = cipher(1);
+        for len in [0usize, 1, 16, 64, 65, 1000, 4096] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let ct = cipher.encrypt(&plaintext, &mut rng);
+            assert_eq!(cipher.decrypt(&ct).unwrap(), plaintext, "len {len}");
+        }
+    }
+
+    #[test]
+    fn fresh_randomness_per_encryption() {
+        let (cipher, mut rng) = cipher(2);
+        let pt = vec![0xabu8; 64];
+        let c1 = cipher.encrypt(&pt, &mut rng);
+        let c2 = cipher.encrypt(&pt, &mut rng);
+        assert_ne!(c1, c2, "re-encryption must re-randomize");
+        assert_eq!(cipher.decrypt(&c1).unwrap(), cipher.decrypt(&c2).unwrap());
+    }
+
+    #[test]
+    fn equal_length_plaintexts_give_equal_length_ciphertexts() {
+        let (cipher, mut rng) = cipher(3);
+        let a = cipher.encrypt(&[0u8; 128], &mut rng);
+        let b = cipher.encrypt(&[0xffu8; 128], &mut rng);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), 128 + CIPHERTEXT_OVERHEAD);
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let (cipher_a, mut rng) = cipher(4);
+        let (cipher_b, _) = cipher(5);
+        let ct = cipher_a.encrypt(b"secret", &mut rng);
+        assert_eq!(cipher_b.decrypt(&ct), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (cipher, mut rng) = cipher(6);
+        let mut ct = cipher.encrypt(b"some block contents", &mut rng);
+        let mid = ct.0.len() / 2;
+        ct.0[mid] ^= 0x01;
+        assert_eq!(cipher.decrypt(&ct), Err(CryptoError::TagMismatch));
+    }
+
+    #[test]
+    fn truncated_ciphertext_is_malformed() {
+        let (cipher, _) = cipher(7);
+        assert_eq!(
+            cipher.decrypt(&Ciphertext(vec![0u8; CIPHERTEXT_OVERHEAD - 1])),
+            Err(CryptoError::Malformed)
+        );
+    }
+}

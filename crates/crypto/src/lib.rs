@@ -1,0 +1,49 @@
+//! Cryptographic substrate for the `dp-storage` workspace.
+//!
+//! The paper's constructions need exactly three cryptographic tools:
+//!
+//! * an **IND-CPA symmetric encryption scheme** `(Enc, Dec)` used by DP-RAM
+//!   and DP-KVS to re-randomize block contents on every overwrite
+//!   ([`cipher::BlockCipher`], ChaCha20 in CTR mode with fresh nonces);
+//! * a **pseudorandom function** used by the two-choice mapping scheme to
+//!   derive bucket choices `Π(u) = {F(key1, u), F(key2, u)}`
+//!   ([`prf::Prf`], HMAC-SHA256 truncated);
+//! * a **source of private randomness** for the noise each scheme injects
+//!   ([`rng::ChaChaRng`], a deterministic ChaCha20-based CSPRNG so that every
+//!   experiment in this repository is exactly reproducible from a seed).
+//!
+//! Three further tools support the workspace's extensions beyond the
+//! paper's honest-but-curious model and its baselines:
+//!
+//! * **ChaCha20-Poly1305 AEAD** ([`aead::AeadCipher`], RFC 8439 complete,
+//!   built on [`poly1305`]) with associated data, used by the hardened
+//!   DP-RAM to bind each ciphertext to its storage address;
+//! * a **Merkle hash tree** ([`merkle::MerkleTree`]) giving the client a
+//!   32-byte commitment that detects corruption, swaps and rollbacks by an
+//!   actively malicious server;
+//! * a **small-domain PRP** ([`prp::SmallDomainPrp`], 4-round Feistel with
+//!   cycle walking) so the square-root ORAM baseline can evaluate its cell
+//!   permutation from a key instead of storing a table.
+//!
+//! Everything is implemented from primitives (no external crates) and tested
+//! against the published RFC 8439 / FIPS 180-4 / RFC 4231 vectors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha;
+pub mod cipher;
+pub mod hmac;
+pub mod merkle;
+pub mod poly1305;
+pub mod prf;
+pub mod prp;
+pub mod rng;
+pub mod sha256;
+
+pub use aead::{AeadCipher, Sealed};
+pub use cipher::{BlockCipher, Ciphertext, CryptoError, Key};
+pub use prf::{HmacPrf, Prf};
+pub use prp::SmallDomainPrp;
+pub use rng::ChaChaRng;

@@ -1,0 +1,115 @@
+//! Pseudorandom functions over arbitrary byte-string inputs.
+//!
+//! Section 7.2 represents the mapping function succinctly as
+//! `Π(u) = {F(key1, u), F(key2, u)}` for a PRF `F`. [`HmacPrf`] instantiates
+//! `F` as HMAC-SHA256 truncated to 64 bits, with an unbiased reduction into
+//! `[0, n)` for bucket selection.
+
+use crate::hmac::hmac_sha256;
+
+/// A keyed pseudorandom function mapping byte strings to 64-bit outputs.
+pub trait Prf {
+    /// Evaluates the PRF on `input`.
+    fn eval(&self, input: &[u8]) -> u64;
+
+    /// Evaluates the PRF and reduces the output into `[0, n)` without
+    /// modulo bias (the bias of a single 64-bit reduction is at most
+    /// `n / 2^64`, negligible for every `n` this workspace uses, but we use
+    /// the multiply-shift reduction to keep the mapping uniform in
+    /// distribution tests).
+    fn eval_range(&self, input: &[u8], n: u64) -> u64 {
+        assert!(n > 0, "range must be non-empty");
+        // Lemire's multiply-shift: floor(x * n / 2^64).
+        ((u128::from(self.eval(input)) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// HMAC-SHA256-based PRF.
+#[derive(Clone)]
+pub struct HmacPrf {
+    key: Vec<u8>,
+}
+
+impl std::fmt::Debug for HmacPrf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "HmacPrf(..)")
+    }
+}
+
+impl HmacPrf {
+    /// Creates a PRF keyed with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        Self { key: key.to_vec() }
+    }
+
+    /// Derives an independent PRF from this one using a domain-separation
+    /// label. Used to obtain the two hash functions of two-choice hashing
+    /// from a single master key.
+    pub fn derive(&self, label: &[u8]) -> Self {
+        let mut input = Vec::with_capacity(label.len() + 7);
+        input.extend_from_slice(b"derive:");
+        input.extend_from_slice(label);
+        Self { key: hmac_sha256(&self.key, &input).to_vec() }
+    }
+}
+
+impl Prf for HmacPrf {
+    fn eval(&self, input: &[u8]) -> u64 {
+        let digest = hmac_sha256(&self.key, input);
+        u64::from_le_bytes(digest[..8].try_into().expect("8-byte prefix"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let prf = HmacPrf::new(b"key");
+        assert_eq!(prf.eval(b"input"), prf.eval(b"input"));
+    }
+
+    #[test]
+    fn input_separation() {
+        let prf = HmacPrf::new(b"key");
+        assert_ne!(prf.eval(b"a"), prf.eval(b"b"));
+    }
+
+    #[test]
+    fn derived_prfs_are_independent() {
+        let master = HmacPrf::new(b"master");
+        let f1 = master.derive(b"1");
+        let f2 = master.derive(b"2");
+        assert_ne!(f1.eval(b"x"), f2.eval(b"x"));
+        assert_ne!(f1.eval(b"x"), master.eval(b"x"));
+    }
+
+    #[test]
+    fn range_is_respected() {
+        let prf = HmacPrf::new(b"key");
+        for i in 0u64..200 {
+            let v = prf.eval_range(&i.to_le_bytes(), 17);
+            assert!(v < 17);
+        }
+    }
+
+    /// Outputs over a range should be roughly uniform: a chi-squared-style
+    /// sanity check with loose tolerance.
+    #[test]
+    fn range_roughly_uniform() {
+        let prf = HmacPrf::new(b"uniformity");
+        let buckets = 16usize;
+        let trials = 16_000u64;
+        let mut counts = vec![0u64; buckets];
+        for i in 0..trials {
+            counts[prf.eval_range(&i.to_le_bytes(), buckets as u64) as usize] += 1;
+        }
+        let expected = trials as f64 / buckets as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "bucket {b} count {c} deviates {dev:.3} from uniform");
+        }
+    }
+}

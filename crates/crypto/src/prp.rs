@@ -1,0 +1,192 @@
+//! A small-domain pseudorandom permutation (PRP) over `[0, m)`.
+//!
+//! The square-root ORAM baseline permutes server cells with a keyed
+//! permutation that the client must be able to evaluate point-wise without
+//! storing the permutation table (client state must stay `O(1)` cells).
+//! The standard tool is a balanced Feistel network over `2w`-bit strings
+//! combined with *cycle walking* to shrink the power-of-two domain down to
+//! an arbitrary `m` (Black–Rogaway FPE): if the Feistel output lands
+//! outside `[0, m)`, re-apply the permutation until it lands inside. Each
+//! walk step stays inside the Feistel domain, so the composition is still a
+//! permutation of `[0, m)`; the expected number of steps is below 4 because
+//! the Feistel domain is at most 4× the target domain.
+//!
+//! Four Feistel rounds with independent PRF round keys are
+//! indistinguishable from a random permutation up to the birthday bound
+//! (Luby–Rackoff), which is far beyond the adversary's budget at the
+//! database sizes this workspace simulates.
+
+use crate::prf::{HmacPrf, Prf};
+
+/// Number of Feistel rounds (Luby–Rackoff strong-PRP count).
+const ROUNDS: usize = 4;
+
+/// A keyed pseudorandom permutation over the domain `[0, m)`.
+#[derive(Clone)]
+pub struct SmallDomainPrp {
+    m: u64,
+    half_bits: u32,
+    half_mask: u64,
+    rounds: [HmacPrf; ROUNDS],
+}
+
+impl std::fmt::Debug for SmallDomainPrp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SmallDomainPrp(m = {})", self.m)
+    }
+}
+
+impl SmallDomainPrp {
+    /// Builds the permutation over `[0, m)` from a master key. Different
+    /// `(key, tweak)` pairs yield independent permutations; the tweak lets
+    /// one key drive one permutation per shuffle epoch.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn new(key: &[u8], tweak: u64, m: u64) -> Self {
+        assert!(m > 0, "PRP domain must be non-empty");
+        // Feistel domain 2^(2·half_bits), the smallest even-bit-width
+        // power of two covering m (so the domain is less than 4m and cycle
+        // walking terminates quickly).
+        let bits = 64 - (m - 1).leading_zeros();
+        let half_bits = bits.div_ceil(2).max(1);
+        let master = HmacPrf::new(key);
+        let rounds = std::array::from_fn(|r| {
+            let mut label = Vec::with_capacity(24);
+            label.extend_from_slice(b"feistel-round");
+            label.push(r as u8);
+            label.extend_from_slice(&tweak.to_le_bytes());
+            master.derive(&label)
+        });
+        Self { m, half_bits, half_mask: (1u64 << half_bits) - 1, rounds }
+    }
+
+    /// Domain size `m`.
+    pub fn domain(&self) -> u64 {
+        self.m
+    }
+
+    fn feistel(&self, x: u64, forward: bool) -> u64 {
+        let mut left = (x >> self.half_bits) & self.half_mask;
+        let mut right = x & self.half_mask;
+        let order: [usize; ROUNDS] = if forward { [0, 1, 2, 3] } else { [3, 2, 1, 0] };
+        for &r in &order {
+            if forward {
+                let f = self.rounds[r].eval(&right.to_le_bytes()) & self.half_mask;
+                let new_right = left ^ f;
+                left = right;
+                right = new_right;
+            } else {
+                let f = self.rounds[r].eval(&left.to_le_bytes()) & self.half_mask;
+                let new_left = right ^ f;
+                right = left;
+                left = new_left;
+            }
+        }
+        (left << self.half_bits) | right
+    }
+
+    /// Evaluates the permutation at `x`.
+    ///
+    /// # Panics
+    /// Panics if `x >= m`.
+    pub fn permute(&self, x: u64) -> u64 {
+        assert!(x < self.m, "PRP input {x} outside domain {}", self.m);
+        let mut y = self.feistel(x, true);
+        while y >= self.m {
+            y = self.feistel(y, true);
+        }
+        y
+    }
+
+    /// Evaluates the inverse permutation at `y`.
+    ///
+    /// # Panics
+    /// Panics if `y >= m`.
+    pub fn invert(&self, y: u64) -> u64 {
+        assert!(y < self.m, "PRP input {y} outside domain {}", self.m);
+        let mut x = self.feistel(y, false);
+        while x >= self.m {
+            x = self.feistel(x, false);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_permutation() {
+        for m in [1u64, 2, 3, 7, 16, 100, 257, 1000] {
+            let prp = SmallDomainPrp::new(b"key", 0, m);
+            let mut seen = vec![false; m as usize];
+            for x in 0..m {
+                let y = prp.permute(x);
+                assert!(y < m, "m = {m}: output {y} out of range");
+                assert!(!seen[y as usize], "m = {m}: duplicate output {y}");
+                seen[y as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        for m in [2u64, 5, 64, 1001] {
+            let prp = SmallDomainPrp::new(b"key", 3, m);
+            for x in 0..m {
+                assert_eq!(prp.invert(prp.permute(x)), x, "m = {m}, x = {x}");
+                assert_eq!(prp.permute(prp.invert(x)), x, "m = {m}, x = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_tweaks_give_different_permutations() {
+        let m = 256;
+        let a = SmallDomainPrp::new(b"key", 0, m);
+        let b = SmallDomainPrp::new(b"key", 1, m);
+        let differing = (0..m).filter(|&x| a.permute(x) != b.permute(x)).count();
+        assert!(differing > 200, "tweaked permutations nearly identical: {differing}");
+    }
+
+    #[test]
+    fn different_keys_give_different_permutations() {
+        let m = 256;
+        let a = SmallDomainPrp::new(b"key-a", 0, m);
+        let b = SmallDomainPrp::new(b"key-b", 0, m);
+        let differing = (0..m).filter(|&x| a.permute(x) != b.permute(x)).count();
+        assert!(differing > 200);
+    }
+
+    #[test]
+    fn outputs_look_uniform() {
+        // Coarse uniformity: over many domain points, the mean output of a
+        // random permutation of [0, m) is (m-1)/2 with small deviation.
+        let m = 4096u64;
+        let prp = SmallDomainPrp::new(b"uniformity", 7, m);
+        let mean: f64 = (0..m).map(|x| prp.permute(x) as f64).sum::<f64>() / m as f64;
+        let expected = (m as f64 - 1.0) / 2.0;
+        // A permutation's mean is exactly (m-1)/2; this is really testing
+        // that permute() covers the domain. The stronger test is
+        // `is_a_permutation`; here check no catastrophic bias in low bits.
+        assert!((mean - expected).abs() < 1e-9);
+        let low_bit_ones = (0..m).filter(|&x| prp.permute(x) & 1 == 1).count();
+        assert_eq!(low_bit_ones, (m / 2) as usize, "permutation preserves bit balance");
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let prp = SmallDomainPrp::new(b"k", 0, 1);
+        assert_eq!(prp.permute(0), 0);
+        assert_eq!(prp.invert(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_input_panics() {
+        let prp = SmallDomainPrp::new(b"k", 0, 10);
+        let _ = prp.permute(10);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the crypto substrate.
+
+use dps_crypto::{BlockCipher, ChaChaRng, Prf};
+use proptest::prelude::*;
+
+proptest! {
+    /// Encryption round-trips for arbitrary plaintexts.
+    #[test]
+    fn cipher_round_trip(plaintext in proptest::collection::vec(any::<u8>(), 0..512), seed in any::<u64>()) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cipher = BlockCipher::generate(&mut rng);
+        let ct = cipher.encrypt(&plaintext, &mut rng);
+        prop_assert_eq!(cipher.decrypt(&ct).unwrap(), plaintext);
+    }
+
+    /// Ciphertext length depends only on plaintext length.
+    #[test]
+    fn ciphertext_length_is_deterministic(len in 0usize..300, seed in any::<u64>()) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cipher = BlockCipher::generate(&mut rng);
+        let a = cipher.encrypt(&vec![0u8; len], &mut rng);
+        let b = cipher.encrypt(&vec![0xFF; len], &mut rng);
+        prop_assert_eq!(a.len(), b.len());
+    }
+
+    /// Any single-byte corruption is detected.
+    #[test]
+    fn corruption_detected(len in 1usize..128, pos_frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cipher = BlockCipher::generate(&mut rng);
+        let mut ct = cipher.encrypt(&vec![7u8; len], &mut rng);
+        let pos = ((ct.0.len() - 1) as f64 * pos_frac) as usize;
+        ct.0[pos] ^= 1;
+        prop_assert!(cipher.decrypt(&ct).is_err());
+    }
+
+    /// SHA-256 incremental hashing is split-invariant.
+    #[test]
+    fn sha256_split_invariant(data in proptest::collection::vec(any::<u8>(), 0..400), split_frac in 0.0f64..1.0) {
+        let split = (data.len() as f64 * split_frac) as usize;
+        let mut h = dps_crypto::sha256::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), dps_crypto::sha256::digest(&data));
+    }
+
+    /// gen_range stays in range and gen_index covers [0, n).
+    #[test]
+    fn rng_range_bounds(n in 1u64..=u64::MAX, seed in any::<u64>()) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            prop_assert!(rng.gen_range(n) < n);
+        }
+    }
+
+    /// sample_distinct returns exactly k distinct in-range values.
+    #[test]
+    fn sample_distinct_invariants(k in 0usize..64, extra in 0usize..64, seed in any::<u64>()) {
+        let n = k + extra.max(1);
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let sample = rng.sample_distinct(k, n);
+        prop_assert_eq!(sample.len(), k);
+        let set: std::collections::HashSet<_> = sample.iter().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(sample.iter().all(|&v| v < n));
+    }
+
+    /// Shuffle preserves the multiset.
+    #[test]
+    fn shuffle_is_permutation(mut v in proptest::collection::vec(any::<u16>(), 0..80), seed in any::<u64>()) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let mut sorted_before = v.clone();
+        sorted_before.sort_unstable();
+        rng.shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, sorted_before);
+    }
+
+    /// PRF range reduction is in range for arbitrary inputs.
+    #[test]
+    fn prf_range(input in proptest::collection::vec(any::<u8>(), 0..64), n in 1u64..1_000_000) {
+        let prf = dps_crypto::HmacPrf::new(b"prop-key");
+        prop_assert!(prf.eval_range(&input, n) < n);
+    }
+
+    /// AEAD round-trips for arbitrary plaintexts and associated data.
+    #[test]
+    fn aead_round_trip(
+        plaintext in proptest::collection::vec(any::<u8>(), 0..256),
+        aad in proptest::collection::vec(any::<u8>(), 0..48),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cipher = dps_crypto::AeadCipher::generate(&mut rng);
+        let sealed = cipher.seal(&aad, &plaintext, &mut rng);
+        prop_assert_eq!(cipher.open(&aad, &sealed).unwrap(), plaintext);
+    }
+
+    /// AEAD rejects any single-byte corruption of ciphertext or AAD.
+    #[test]
+    fn aead_rejects_corruption(
+        len in 1usize..96,
+        pos_frac in 0.0f64..1.0,
+        flip_aad in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cipher = dps_crypto::AeadCipher::generate(&mut rng);
+        let mut aad = vec![1u8, 2, 3];
+        let mut sealed = cipher.seal(&aad, &vec![9u8; len], &mut rng);
+        if flip_aad {
+            aad[1] ^= 1;
+        } else {
+            let pos = ((sealed.0.len() - 1) as f64 * pos_frac) as usize;
+            sealed.0[pos] ^= 1;
+        }
+        prop_assert!(cipher.open(&aad, &sealed).is_err());
+    }
+
+    /// Poly1305 incremental absorption is split-invariant.
+    #[test]
+    fn poly1305_split_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        split_frac in 0.0f64..1.0,
+        key in proptest::array::uniform32(any::<u8>()),
+    ) {
+        let split = (data.len() as f64 * split_frac) as usize;
+        let mut p = dps_crypto::poly1305::Poly1305::new(&key);
+        p.update(&data[..split]);
+        p.update(&data[split..]);
+        prop_assert_eq!(p.finalize(), dps_crypto::poly1305::poly1305(&key, &data));
+    }
+
+    /// The small-domain PRP is a bijection on [0, m) and invertible.
+    #[test]
+    fn prp_bijection(m in 1u64..2048, tweak in any::<u64>()) {
+        let prp = dps_crypto::SmallDomainPrp::new(b"prop", tweak, m);
+        let mut seen = vec![false; m as usize];
+        for x in 0..m {
+            let y = prp.permute(x);
+            prop_assert!(y < m);
+            prop_assert!(!seen[y as usize], "duplicate image {}", y);
+            seen[y as usize] = true;
+            prop_assert_eq!(prp.invert(y), x);
+        }
+    }
+
+    /// Merkle proofs verify for every leaf, and any leaf substitution or
+    /// wrong-position serve fails.
+    #[test]
+    fn merkle_soundness(
+        cells in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..40),
+        pick_frac in 0.0f64..1.0,
+    ) {
+        use dps_crypto::merkle::MerkleTree;
+        let tree = MerkleTree::build(&cells);
+        let root = tree.root();
+        let i = ((cells.len() - 1) as f64 * pick_frac) as usize;
+        let proof = tree.prove(i);
+        prop_assert!(MerkleTree::verify(&root, &cells[i], &proof));
+        // Substituted content fails (unless identical content).
+        let mut other = cells[i].clone();
+        other.push(0xA5);
+        prop_assert!(!MerkleTree::verify(&root, &other, &proof));
+        // Serving a different leaf's content under this proof fails unless
+        // the cells are byte-identical.
+        let j = (i + 1) % cells.len();
+        if cells[j] != cells[i] {
+            prop_assert!(!MerkleTree::verify(&root, &cells[j], &proof));
+        }
+    }
+
+    /// Merkle incremental update equals a full rebuild.
+    #[test]
+    fn merkle_update_matches_rebuild(
+        mut cells in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..32),
+        pick_frac in 0.0f64..1.0,
+        new_cell in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        use dps_crypto::merkle::MerkleTree;
+        let mut tree = MerkleTree::build(&cells);
+        let i = ((cells.len() - 1) as f64 * pick_frac) as usize;
+        cells[i] = new_cell.clone();
+        tree.update(i, &new_cell);
+        prop_assert_eq!(tree.root(), MerkleTree::build(&cells).root());
+    }
+}

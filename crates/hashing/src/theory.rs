@@ -1,0 +1,131 @@
+//! The `β_i` recursion of Theorem 7.2 / Lemma 7.3 as executable formulas.
+//!
+//! The proof tracks `H_i`, the number of *filled* nodes at height `i` of
+//! the forest, and shows `H_i <= β_i` with high probability where
+//!
+//! ```text
+//! β_0     = n / (e · 3^4)
+//! β_{i+1} = (e / n) · β_i^2 · 2^{2(i+1)}
+//! ```
+//!
+//! with closed form (Lemma 7.3)
+//!
+//! ```text
+//! β_i = (n / e) · (2/3)^{2^{i+2}} · (1/2)^{2(i+2)}
+//! ```
+//!
+//! The doubly-exponential decay of `β_i` is what makes the super root's
+//! height `i* = Θ(log log n)` and its load `O(Φ(n))`.
+
+/// `β_i` by the recursion.
+pub fn beta_recursive(n: f64, i: u32) -> f64 {
+    let mut beta = n / (std::f64::consts::E * 81.0);
+    for level in 0..i {
+        beta = (std::f64::consts::E / n) * beta * beta * 4f64.powi(level as i32 + 1);
+    }
+    beta
+}
+
+/// `β_i` by the closed form of Lemma 7.3.
+pub fn beta_closed(n: f64, i: u32) -> f64 {
+    let two_thirds_exp = 2f64.powi(i as i32 + 2); // 2^{i+2}
+    (n / std::f64::consts::E)
+        * (2.0f64 / 3.0).powf(two_thirds_exp)
+        * 0.5f64.powi(2 * (i as i32 + 2))
+}
+
+/// The largest `i` with `β_i >= φ` — the height `i*` at which the proof
+/// hands over from the recursion to a direct Chernoff argument. Returns
+/// `None` if already `β_0 < φ`.
+pub fn i_star(n: f64, phi: f64) -> Option<u32> {
+    if beta_closed(n, 0) < phi {
+        return None;
+    }
+    let mut i = 0;
+    while beta_closed(n, i + 1) >= phi {
+        i += 1;
+        if i > 64 {
+            break; // β decays doubly exponentially; unreachable in practice
+        }
+    }
+    Some(i)
+}
+
+/// Chernoff tail bound of Theorem A.2: for `X ~ Bin(n, p)` with mean
+/// `μ = np` and any `t >= μ`, `Pr[X >= t] <= (μ/t)^t · e^{t-μ}`.
+pub fn chernoff_upper_tail(mu: f64, t: f64) -> f64 {
+    assert!(t >= mu, "bound only valid for t >= mu");
+    if mu == 0.0 {
+        return if t > 0.0 { 0.0 } else { 1.0 };
+    }
+    ((mu / t).ln() * t + (t - mu)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_recursion() {
+        for n in [1e3, 1e5, 1e7] {
+            for i in 0..6 {
+                let r = beta_recursive(n, i);
+                let c = beta_closed(n, i);
+                let rel = if c.abs() > 0.0 { (r - c).abs() / c.abs() } else { (r - c).abs() };
+                assert!(rel < 1e-9, "n={n} i={i}: recursive {r} vs closed {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn beta_decreases_with_height() {
+        let n = 1e6;
+        for i in 0..8 {
+            assert!(
+                beta_closed(n, i + 1) < beta_closed(n, i),
+                "β must decrease at i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_zero_matches_base_case() {
+        let n = 81.0 * std::f64::consts::E;
+        assert!((beta_closed(n, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn i_star_is_loglog_scale() {
+        // For n = 2^20 and Φ = log^2 n ≈ 192, i* should be small (≤ ~5):
+        // β decays doubly exponentially.
+        let n = (1u64 << 20) as f64;
+        let phi = (n.ln() / std::f64::consts::LN_2).powi(2);
+        let i = i_star(n, phi).expect("β_0 >> Φ for this n");
+        assert!(i <= 5, "i* = {i} too large");
+        assert!(beta_closed(n, i) >= phi);
+        assert!(beta_closed(n, i + 1) < phi);
+    }
+
+    #[test]
+    fn i_star_none_for_tiny_n() {
+        assert_eq!(i_star(10.0, 1e9), None);
+    }
+
+    #[test]
+    fn chernoff_bound_sane() {
+        // At t = e·μ the bound equals e^{-μ} (the form used in Lemma 7.4).
+        let mu = 30.0;
+        let bound = chernoff_upper_tail(mu, std::f64::consts::E * mu);
+        assert!((bound.ln() + mu).abs() < 1e-9);
+        // Monotone decreasing in t.
+        assert!(chernoff_upper_tail(10.0, 40.0) < chernoff_upper_tail(10.0, 20.0));
+        // Never exceeds 1 at t = mu.
+        assert!(chernoff_upper_tail(5.0, 5.0) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "t >= mu")]
+    fn chernoff_rejects_lower_tail() {
+        chernoff_upper_tail(10.0, 5.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the hashing crate.
+
+use dps_hashing::forest::{choose_slot, ForestGeometry, ObliviousForest};
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = ForestGeometry> {
+    (1usize..200, 1u32..4, 1usize..4, 1usize..32).prop_map(
+        |(n, leaves_pow, capacity, super_cap)| ForestGeometry {
+            n_buckets: n,
+            leaves_per_tree: 1 << leaves_pow,
+            node_capacity: capacity,
+            super_root_capacity: super_cap,
+        },
+    )
+}
+
+proptest! {
+    /// Paths always have `depth` nodes with strictly increasing heights and
+    /// end at a tree root, for arbitrary geometry.
+    #[test]
+    fn bucket_paths_are_well_formed(g in arb_geometry(), bucket_frac in 0.0f64..1.0) {
+        let bucket = ((g.n_buckets - 1) as f64 * bucket_frac) as usize;
+        let path = g.bucket_path(bucket);
+        prop_assert_eq!(path.len(), g.depth());
+        for (h, &node) in path.iter().enumerate() {
+            prop_assert!(node < g.total_nodes());
+            prop_assert_eq!(g.node_height(node), h);
+        }
+        prop_assert_eq!(path.last().unwrap() % g.nodes_per_tree(), 0);
+    }
+
+    /// Two buckets in the same tree share their root; in different trees
+    /// they share nothing above tree boundaries.
+    #[test]
+    fn path_sharing_respects_tree_boundaries(g in arb_geometry(), a_frac in 0.0f64..1.0, b_frac in 0.0f64..1.0) {
+        let a = ((g.n_buckets - 1) as f64 * a_frac) as usize;
+        let b = ((g.n_buckets - 1) as f64 * b_frac) as usize;
+        let pa = g.bucket_path(a);
+        let pb = g.bucket_path(b);
+        let same_tree = a / g.leaves_per_tree == b / g.leaves_per_tree;
+        prop_assert_eq!(pa.last() == pb.last(), same_tree);
+    }
+
+    /// choose_slot returns the lowest eligible height and an in-capacity
+    /// node, or None iff both paths are saturated.
+    #[test]
+    fn choose_slot_is_lowest_fit(
+        loads in proptest::collection::vec((0usize..5, 0usize..5), 1..8),
+        capacity in 1usize..5,
+    ) {
+        let la: Vec<usize> = loads.iter().map(|&(a, _)| a.min(capacity)).collect();
+        let lb: Vec<usize> = loads.iter().map(|&(_, b)| b.min(capacity)).collect();
+        match choose_slot(&la, &lb, capacity) {
+            Some((which, h)) => {
+                let load = if which == 0 { la[h] } else { lb[h] };
+                prop_assert!(load < capacity);
+                // No lower height had space on either path.
+                for lower in 0..h {
+                    prop_assert!(la[lower] >= capacity && lb[lower] >= capacity);
+                }
+            }
+            None => {
+                prop_assert!(la.iter().zip(&lb).all(|(&a, &b)| a >= capacity && b >= capacity));
+            }
+        }
+    }
+
+    /// The forest agrees with a HashMap model under arbitrary programs of
+    /// insert / remove / get (capacity failures tolerated and checked).
+    #[test]
+    fn forest_matches_hashmap_model(
+        ops in proptest::collection::vec((0u8..3, 0u64..24), 1..120),
+        seed in any::<u64>(),
+    ) {
+        let geometry = ForestGeometry {
+            n_buckets: 32,
+            leaves_per_tree: 8,
+            node_capacity: 2,
+            super_root_capacity: 64,
+        };
+        let mut forest = ObliviousForest::new(geometry, &seed.to_le_bytes());
+        let mut model: std::collections::HashMap<u64, Vec<u8>> = std::collections::HashMap::new();
+        for (step, (kind, key)) in ops.into_iter().enumerate() {
+            match kind {
+                0 => {
+                    let value = vec![(step % 256) as u8];
+                    // Capacity 32*... slots >> 24 keys: must never fail.
+                    forest.insert(key, value.clone()).unwrap();
+                    model.insert(key, value);
+                }
+                1 => {
+                    prop_assert_eq!(forest.remove(key), model.remove(&key), "step {}", step);
+                }
+                _ => {
+                    prop_assert_eq!(
+                        forest.get(key).map(<[u8]>::to_vec),
+                        model.get(&key).cloned(),
+                        "step {}", step
+                    );
+                }
+            }
+            prop_assert_eq!(forest.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The trivial linear-scan ORAM.
+//!
+//! Touches every cell on every access: perfectly oblivious (the transcript
+//! is constant), `Θ(n)` overhead, no client state beyond the key. This is
+//! the degenerate point the DP-IR lower bound (Theorem 3.3) says *errorless*
+//! schemes cannot beat, so it doubles as the errorless baseline in E1.
+
+use dps_crypto::{BlockCipher, ChaChaRng, Ciphertext};
+use dps_server::SimServer;
+
+/// A linear-scan ORAM client.
+#[derive(Debug)]
+pub struct LinearOram {
+    n: usize,
+    block_size: usize,
+    cipher: BlockCipher,
+    server: SimServer,
+}
+
+/// Errors from linear ORAM operations.
+#[derive(Debug)]
+pub enum LinearOramError {
+    /// Index out of range.
+    IndexOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Capacity.
+        n: usize,
+    },
+    /// Storage or decryption failure.
+    Storage(String),
+}
+
+impl std::fmt::Display for LinearOramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinearOramError::IndexOutOfRange { index, n } => {
+                write!(f, "index {index} out of range (n = {n})")
+            }
+            LinearOramError::Storage(msg) => write!(f, "storage failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinearOramError {}
+
+impl LinearOram {
+    /// Encrypts `blocks` onto the server.
+    pub fn setup(blocks: &[Vec<u8>], mut server: SimServer, rng: &mut ChaChaRng) -> Self {
+        assert!(!blocks.is_empty(), "need at least one block");
+        let block_size = blocks[0].len();
+        assert!(blocks.iter().all(|b| b.len() == block_size), "uniform block size required");
+        let cipher = BlockCipher::generate(rng);
+        let cells = blocks.iter().map(|b| cipher.encrypt(b, rng).0).collect();
+        server.init(cells);
+        Self { n: blocks.len(), block_size, cipher, server }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (setup requires at least one block).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Server cost counters.
+    pub fn server_stats(&self) -> dps_server::CostStats {
+        self.server.stats()
+    }
+
+    /// Accesses block `index`: downloads **all** cells, re-encrypts and
+    /// re-uploads all of them (applying `new_value` if given), and returns
+    /// the block's (old) value.
+    pub fn access(
+        &mut self,
+        index: usize,
+        new_value: Option<Vec<u8>>,
+        rng: &mut ChaChaRng,
+    ) -> Result<Vec<u8>, LinearOramError> {
+        if index >= self.n {
+            return Err(LinearOramError::IndexOutOfRange { index, n: self.n });
+        }
+        let addrs: Vec<usize> = (0..self.n).collect();
+        let cells = self
+            .server
+            .read_batch(&addrs)
+            .map_err(|e| LinearOramError::Storage(e.to_string()))?;
+        let mut plains: Vec<Vec<u8>> = Vec::with_capacity(self.n);
+        for cell in cells {
+            plains.push(
+                self.cipher
+                    .decrypt(&Ciphertext(cell))
+                    .map_err(|e| LinearOramError::Storage(e.to_string()))?,
+            );
+        }
+        let old = plains[index].clone();
+        if let Some(v) = new_value {
+            assert_eq!(v.len(), self.block_size, "block size mismatch");
+            plains[index] = v;
+        }
+        let writes: Vec<(usize, Vec<u8>)> = plains
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, self.cipher.encrypt(p, rng).0))
+            .collect();
+        self.server
+            .write_batch(writes)
+            .map_err(|e| LinearOramError::Storage(e.to_string()))?;
+        Ok(old)
+    }
+
+    /// Reads block `index`.
+    pub fn read(&mut self, index: usize, rng: &mut ChaChaRng) -> Result<Vec<u8>, LinearOramError> {
+        self.access(index, None, rng)
+    }
+
+    /// Overwrites block `index`.
+    pub fn write(
+        &mut self,
+        index: usize,
+        value: Vec<u8>,
+        rng: &mut ChaChaRng,
+    ) -> Result<Vec<u8>, LinearOramError> {
+        self.access(index, Some(value), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize) -> (LinearOram, ChaChaRng) {
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 8]).collect();
+        let oram = LinearOram::setup(&blocks, SimServer::new(), &mut rng);
+        (oram, rng)
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let (mut oram, mut rng) = build(10);
+        assert_eq!(oram.read(3, &mut rng).unwrap(), vec![3u8; 8]);
+        oram.write(3, vec![0xFF; 8], &mut rng).unwrap();
+        assert_eq!(oram.read(3, &mut rng).unwrap(), vec![0xFF; 8]);
+    }
+
+    #[test]
+    fn every_access_touches_all_cells() {
+        let (mut oram, mut rng) = build(16);
+        let before = oram.server_stats();
+        oram.read(0, &mut rng).unwrap();
+        let diff = oram.server_stats().since(&before);
+        assert_eq!(diff.downloads, 16);
+        assert_eq!(diff.uploads, 16);
+    }
+
+    #[test]
+    fn transcript_is_query_independent() {
+        // Perfect obliviousness: identical views for different queries.
+        let (mut a, mut rng_a) = build(8);
+        a.server.start_recording();
+        a.read(1, &mut rng_a).unwrap();
+        let view_a = a.server.take_transcript().canonical_encoding();
+
+        let (mut b, mut rng_b) = build(8);
+        b.server.start_recording();
+        b.read(6, &mut rng_b).unwrap();
+        let view_b = b.server.take_transcript().canonical_encoding();
+        assert_eq!(view_a, view_b);
+    }
+
+    #[test]
+    fn out_of_range() {
+        let (mut oram, mut rng) = build(4);
+        assert!(matches!(
+            oram.read(4, &mut rng),
+            Err(LinearOramError::IndexOutOfRange { .. })
+        ));
+    }
+}

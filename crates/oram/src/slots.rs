@@ -1,0 +1,7 @@
+//! Re-export of the shared fixed-size slot encoding.
+//!
+//! Bucket cells (ORAM) and tree-node cells (DP-KVS) share one encoding,
+//! which lives in [`dps_server::cells`]; this alias keeps older paths
+//! (`dps_oram::slots`) working.
+
+pub use dps_server::cells::*;

@@ -1,0 +1,152 @@
+//! Property-based tests for the ORAM baselines.
+
+use dps_crypto::ChaChaRng;
+use dps_oram::{
+    OramKvs, PathOram, PathOramConfig, RecursiveOramConfig, RecursivePathOram, SquareRootOram,
+};
+use dps_server::SimServer;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Path ORAM matches a plain array under arbitrary programs, for
+    /// arbitrary (small) n including non-powers of two.
+    #[test]
+    fn path_oram_matches_reference(
+        n in 1usize..48,
+        ops in proptest::collection::vec((any::<u16>(), any::<bool>(), any::<u8>()), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![(i % 251) as u8; 8]).collect();
+        let mut reference = blocks.clone();
+        let mut oram = PathOram::setup(
+            PathOramConfig::recommended(n, 8),
+            &blocks,
+            SimServer::new(),
+            &mut rng,
+        );
+        for (step, (raw_i, is_write, byte)) in ops.into_iter().enumerate() {
+            let i = raw_i as usize % n;
+            if is_write {
+                let value = vec![byte; 8];
+                oram.write(i, value.clone(), &mut rng).unwrap();
+                reference[i] = value;
+            } else {
+                prop_assert_eq!(oram.read(i, &mut rng).unwrap(), reference[i].clone(), "step {}", step);
+            }
+        }
+    }
+
+    /// ORAM-KVS matches a HashMap under arbitrary programs.
+    #[test]
+    fn oram_kvs_matches_reference(
+        ops in proptest::collection::vec((0u8..3, 0u64..20), 1..50),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let mut kvs = OramKvs::new(32, 4, &mut rng);
+        let mut model: std::collections::HashMap<u64, Vec<u8>> = std::collections::HashMap::new();
+        for (step, (kind, key)) in ops.into_iter().enumerate() {
+            match kind {
+                0 => {
+                    let value = vec![(step % 256) as u8; 4];
+                    kvs.put(key, value.clone(), &mut rng).unwrap();
+                    model.insert(key, value);
+                }
+                1 => {
+                    prop_assert_eq!(kvs.remove(key, &mut rng).unwrap(), model.remove(&key), "step {}", step);
+                }
+                _ => {
+                    prop_assert_eq!(kvs.get(key, &mut rng).unwrap(), model.get(&key).cloned(), "step {}", step);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Square-root ORAM matches a plain array under arbitrary programs,
+    /// crossing epoch boundaries (reshuffles) arbitrarily.
+    #[test]
+    fn square_root_oram_matches_reference(
+        n in 1usize..40,
+        ops in proptest::collection::vec((any::<u16>(), any::<bool>(), any::<u8>()), 1..80),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![(i % 251) as u8; 8]).collect();
+        let mut reference = blocks.clone();
+        let mut oram = SquareRootOram::setup(&blocks, SimServer::new(), &mut rng);
+        for (step, (raw_i, is_write, byte)) in ops.into_iter().enumerate() {
+            let i = raw_i as usize % n;
+            if is_write {
+                let value = vec![byte; 8];
+                oram.write(i, value.clone(), &mut rng).unwrap();
+                reference[i] = value;
+            } else {
+                prop_assert_eq!(oram.read(i, &mut rng).unwrap(), reference[i].clone(), "step {}", step);
+            }
+        }
+    }
+
+    /// Recursive Path ORAM matches a plain array for arbitrary n, pack and
+    /// client-map limits (recursion depths 1..4).
+    #[test]
+    fn recursive_path_oram_matches_reference(
+        n in 1usize..48,
+        pack in 2usize..6,
+        limit in 1usize..8,
+        ops in proptest::collection::vec((any::<u16>(), any::<bool>(), any::<u8>()), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![(i % 251) as u8; 8]).collect();
+        let mut reference = blocks.clone();
+        let config = RecursiveOramConfig {
+            n,
+            block_size: 8,
+            bucket_size: 4,
+            pack,
+            client_map_limit: limit,
+        };
+        let mut oram = RecursivePathOram::setup(config, &blocks, &mut rng);
+        prop_assert!(oram.client_map_len() <= limit.max(1));
+        for (step, (raw_i, is_write, byte)) in ops.into_iter().enumerate() {
+            let i = raw_i as usize % n;
+            if is_write {
+                let value = vec![byte; 8];
+                oram.write(i, value.clone(), &mut rng).unwrap();
+                reference[i] = value;
+            } else {
+                prop_assert_eq!(oram.read(i, &mut rng).unwrap(), reference[i].clone(), "step {}", step);
+            }
+        }
+    }
+
+    /// Cost invariant: every recursive access uses exactly 2 round trips
+    /// per layer, independent of the access pattern.
+    #[test]
+    fn recursive_round_trip_invariant(
+        accesses in proptest::collection::vec(any::<u16>(), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let n = 64;
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let blocks: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; 8]).collect();
+        let mut oram = RecursivePathOram::setup(
+            RecursiveOramConfig { n, block_size: 8, bucket_size: 4, pack: 4, client_map_limit: 4 },
+            &blocks,
+            &mut rng,
+        );
+        let expected = oram.round_trips_per_access() as u64;
+        for raw_i in accesses {
+            let before = oram.total_stats();
+            oram.read(raw_i as usize % n, &mut rng).unwrap();
+            prop_assert_eq!(oram.total_stats().since(&before).round_trips, expected);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! D-server XOR PIR (the CGKS \[19\] replication scheme, generalized).
+//!
+//! The 2-server XOR trick extends to any number of servers `D ≥ 2`: the
+//! client samples `D − 1` independent uniform subsets `S_1, …, S_{D−1}` of
+//! `[n]` and sets `S_D = S_1 Δ ⋯ Δ S_{D−1} Δ {i}`. Each server XORs the
+//! records in its subset; XORing all `D` answers yields record `i`. Any
+//! coalition of up to `D − 1` servers sees independent uniform subsets, so
+//! the scheme is information-theoretically private against `D − 1`
+//! colluding servers — strictly stronger collusion resistance than the
+//! 2-server scheme, at the price of `D` replicas and `Θ(n)` total server
+//! work per query.
+//!
+//! This is the fully-oblivious multi-server baseline that the Appendix C
+//! lower bound (Theorem C.1) and the multi-server DP-IR construction trade
+//! against: DP-IR drops the per-server work to `O(n/e^ε)` by accepting
+//! `ε`-DP instead of obliviousness.
+
+use dps_crypto::ChaChaRng;
+use dps_server::{ReplicatedServers, ServerError};
+
+/// A `D`-server XOR PIR client.
+#[derive(Debug)]
+pub struct MultiServerXorPir {
+    servers: ReplicatedServers,
+    n: usize,
+}
+
+impl MultiServerXorPir {
+    /// Replicates the (public, plaintext) database onto `d` servers.
+    ///
+    /// # Panics
+    /// Panics if `d < 2`, `blocks` is empty, or block sizes differ.
+    pub fn setup(d: usize, blocks: &[Vec<u8>]) -> Self {
+        assert!(d >= 2, "XOR PIR needs at least two servers");
+        assert!(!blocks.is_empty(), "need at least one block");
+        let size = blocks[0].len();
+        assert!(blocks.iter().all(|b| b.len() == size), "uniform block size required");
+        Self { servers: ReplicatedServers::replicate(d, blocks), n: blocks.len() }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (setup requires at least one record).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of servers `D`.
+    pub fn num_servers(&self) -> usize {
+        self.servers.count()
+    }
+
+    /// Total cost across all servers.
+    pub fn total_stats(&self) -> dps_server::CostStats {
+        self.servers.total_stats()
+    }
+
+    /// Access to the underlying server pool (transcript control).
+    pub fn servers_mut(&mut self) -> &mut ReplicatedServers {
+        &mut self.servers
+    }
+
+    /// Retrieves record `index`.
+    pub fn query(&mut self, index: usize, rng: &mut ChaChaRng) -> Result<Vec<u8>, ServerError> {
+        assert!(index < self.n, "index out of range");
+        let d = self.servers.count();
+
+        // Membership bitmaps: servers 0..D-1 get independent uniform
+        // subsets; the last is their symmetric difference with {index}.
+        let mut last = vec![false; self.n];
+        last[index] = true;
+        let mut subsets: Vec<Vec<usize>> = Vec::with_capacity(d);
+        for _ in 0..d - 1 {
+            let mut subset = Vec::new();
+            for (j, flag) in last.iter_mut().enumerate() {
+                if rng.gen_bool(0.5) {
+                    subset.push(j);
+                    *flag = !*flag;
+                }
+            }
+            subsets.push(subset);
+        }
+        subsets.push(
+            last.iter()
+                .enumerate()
+                .filter_map(|(j, &m)| m.then_some(j))
+                .collect(),
+        );
+
+        let mut out = Vec::new();
+        for (server, subset) in subsets.iter().enumerate() {
+            let answer = self.servers.server_mut(server).xor_cells(subset)?;
+            if answer.len() > out.len() {
+                out.resize(answer.len(), 0);
+            }
+            for (x, y) in out.iter_mut().zip(answer.iter()) {
+                *x ^= y;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(d: usize, n: usize) -> MultiServerXorPir {
+        let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8, (i * 13) as u8]).collect();
+        MultiServerXorPir::setup(d, &blocks)
+    }
+
+    #[test]
+    fn returns_requested_record_for_various_d() {
+        for d in [2usize, 3, 4, 7] {
+            let mut pir = build(d, 24);
+            let mut rng = ChaChaRng::seed_from_u64(d as u64);
+            for i in [0usize, 11, 23] {
+                assert_eq!(
+                    pir.query(i, &mut rng).unwrap(),
+                    vec![i as u8, (i * 13) as u8],
+                    "d = {d}, i = {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_two_server_special_case() {
+        // d = 2 must behave like the dedicated XorPir: correct retrievals
+        // and ~n/2 ops per server.
+        let mut pir = build(2, 64);
+        let mut rng = ChaChaRng::seed_from_u64(42);
+        let before = pir.total_stats();
+        for _ in 0..50 {
+            pir.query(5, &mut rng).unwrap();
+        }
+        let per_query = pir.total_stats().since(&before).computed as f64 / 50.0;
+        assert!((per_query - 64.0).abs() < 8.0, "expected ~n ops total, got {per_query}");
+    }
+
+    /// Any single server's subset is marginally uniform: each record
+    /// appears with frequency ~1/2 regardless of the query — including at
+    /// the last (derived) server.
+    #[test]
+    fn every_server_sees_uniform_subsets() {
+        let d = 3;
+        let n = 12;
+        let mut pir = build(d, n);
+        let mut rng = ChaChaRng::seed_from_u64(7);
+        let trials = 3000;
+        let mut inclusion = vec![vec![0u32; n]; d];
+        for _ in 0..trials {
+            pir.servers_mut().start_recording_all();
+            pir.query(4, &mut rng).unwrap();
+            let transcripts = pir.servers_mut().take_transcripts();
+            for (server, t) in transcripts.iter().enumerate() {
+                for addr in t.computed_addresses() {
+                    inclusion[server][addr] += 1;
+                }
+            }
+        }
+        for (server, counts) in inclusion.iter().enumerate() {
+            for (record, &c) in counts.iter().enumerate() {
+                let f = f64::from(c) / f64::from(trials);
+                assert!(
+                    (f - 0.5).abs() < 0.05,
+                    "server {server}, record {record}: inclusion {f}"
+                );
+            }
+        }
+    }
+
+    /// The subsets XOR to exactly {index}: correctness of the sharing.
+    #[test]
+    fn subsets_xor_to_singleton() {
+        let mut pir = build(4, 16);
+        let mut rng = ChaChaRng::seed_from_u64(9);
+        pir.servers_mut().start_recording_all();
+        pir.query(7, &mut rng).unwrap();
+        let transcripts = pir.servers_mut().take_transcripts();
+        let mut parity = [0u32; 16];
+        for t in &transcripts {
+            for addr in t.computed_addresses() {
+                parity[addr] ^= 1;
+            }
+        }
+        let odd: Vec<usize> = (0..16).filter(|&i| parity[i] == 1).collect();
+        assert_eq!(odd, vec![7]);
+    }
+
+    #[test]
+    fn total_work_grows_with_d() {
+        let mut rng = ChaChaRng::seed_from_u64(11);
+        let mut work = Vec::new();
+        for d in [2usize, 4, 8] {
+            let mut pir = build(d, 32);
+            let before = pir.total_stats();
+            for _ in 0..30 {
+                pir.query(0, &mut rng).unwrap();
+            }
+            work.push(pir.total_stats().since(&before).computed as f64 / 30.0);
+        }
+        assert!(work[1] > work[0] && work[2] > work[1], "work must grow with D: {work:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two servers")]
+    fn one_server_rejected() {
+        let _ = build(1, 4);
+    }
+}

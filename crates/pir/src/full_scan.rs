@@ -1,0 +1,91 @@
+//! Trivial single-server PIR: download the whole database.
+//!
+//! Both client and server are stateless; the transcript is the same for
+//! every query, so this is perfectly oblivious — and maximally expensive.
+//! It is the errorless baseline of experiment E1 (Theorem 3.3 says no
+//! errorless DP-IR can asymptotically beat it in the balls-and-bins model).
+
+use dps_server::{ServerError, SimServer};
+
+/// A stateless full-download PIR client bound to a server.
+#[derive(Debug)]
+pub struct FullScanPir {
+    server: SimServer,
+    n: usize,
+}
+
+impl FullScanPir {
+    /// Stores the (public, plaintext) database on the server.
+    pub fn setup(blocks: &[Vec<u8>], mut server: SimServer) -> Self {
+        assert!(!blocks.is_empty(), "need at least one block");
+        server.init(blocks.to_vec());
+        Self { server, n: blocks.len() }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (setup requires at least one record).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Server cost counters.
+    pub fn server_stats(&self) -> dps_server::CostStats {
+        self.server.stats()
+    }
+
+    /// Mutable access to the underlying server (transcript control).
+    pub fn server_mut(&mut self) -> &mut SimServer {
+        &mut self.server
+    }
+
+    /// Retrieves record `index` by downloading all `n` records.
+    pub fn query(&mut self, index: usize) -> Result<Vec<u8>, ServerError> {
+        let addrs: Vec<usize> = (0..self.n).collect();
+        let mut cells = self.server.read_batch(&addrs)?;
+        Ok(cells.swap_remove(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize) -> FullScanPir {
+        let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 4]).collect();
+        FullScanPir::setup(&blocks, SimServer::new())
+    }
+
+    #[test]
+    fn returns_requested_record() {
+        let mut pir = build(16);
+        for i in [0usize, 7, 15] {
+            assert_eq!(pir.query(i).unwrap(), vec![i as u8; 4]);
+        }
+    }
+
+    #[test]
+    fn touches_all_records() {
+        let mut pir = build(32);
+        let before = pir.server_stats();
+        pir.query(3).unwrap();
+        assert_eq!(pir.server_stats().since(&before).downloads, 32);
+    }
+
+    #[test]
+    fn transcript_is_query_independent() {
+        let mut a = build(8);
+        a.server_mut().start_recording();
+        a.query(0).unwrap();
+        let view_a = a.server_mut().take_transcript().canonical_encoding();
+
+        let mut b = build(8);
+        b.server_mut().start_recording();
+        b.query(7).unwrap();
+        let view_b = b.server_mut().take_transcript().canonical_encoding();
+        assert_eq!(view_a, view_b, "full scan must be perfectly oblivious");
+    }
+}

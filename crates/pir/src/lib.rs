@@ -1,0 +1,29 @@
+//! Private information retrieval baselines.
+//!
+//! PIR is the stateless end of the paper's spectrum: the server must
+//! "operate on" every record, because any record it skips is provably not
+//! the one retrieved (and Theorem 3.3 extends this to *every* errorless
+//! (ε,δ)-DP-IR: at least `(1-δ)·n` operations). These baselines realize
+//! that `Θ(n)` cost so experiments can measure the separation from
+//! erroring DP-IR:
+//!
+//! * [`full_scan`] — trivial single-server PIR: download everything.
+//!   Perfectly oblivious, `n` operations, `n` blocks of bandwidth.
+//! * [`xor_pir`] — 2-server XOR PIR (Chor, Goldreich, Kushilevitz, Sudan):
+//!   information-theoretically private against each single server, `n`
+//!   server operations total but only `O(1)` blocks of *download*
+//!   bandwidth.
+//! * [`cgks`] — the `D`-server generalization: private against any `D − 1`
+//!   colluding servers, still `Θ(n)` total server work — the oblivious
+//!   multi-server baseline Theorem C.1's DP relaxation escapes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cgks;
+pub mod full_scan;
+pub mod xor_pir;
+
+pub use cgks::MultiServerXorPir;
+pub use full_scan::FullScanPir;
+pub use xor_pir::XorPir;

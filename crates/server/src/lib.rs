@@ -1,0 +1,39 @@
+//! The balls-and-bins storage server model (Definition 3.1 of the paper).
+//!
+//! The paper's lower bounds and constructions all live in a model where the
+//! server is *passive storage*: the client may only download the cell at an
+//! address or upload a cell to an address. Everything the adversary learns
+//! is the **transcript** — the sequence of addresses touched (cell contents
+//! are ciphertexts, handled as opaque bytes here).
+//!
+//! [`SimServer`] is an in-process simulation of that model. It stores opaque
+//! cells, optionally records the full adversarial transcript
+//! ([`transcript::Transcript`]), and keeps running cost counters
+//! ([`stats::CostStats`]: operations, bytes, round trips) so that every
+//! overhead claim in the paper is measurable.
+//!
+//! For PIR-style baselines the model is extended with one *active* server
+//! operation, [`SimServer::xor_cells`], which models "the server operates on
+//! these records" and is charged one operation per record touched — exactly
+//! the accounting used by Theorems 3.3/3.4.
+//!
+//! [`multi::ReplicatedServers`] replicates a database over `D` servers for
+//! the multi-server DP-IR setting of Appendix C.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod latency;
+pub mod multi;
+pub mod server;
+pub mod stats;
+pub mod transcript;
+pub mod verified;
+
+pub use latency::NetworkModel;
+pub use multi::ReplicatedServers;
+pub use server::{ServerError, SimServer};
+pub use stats::CostStats;
+pub use transcript::{AccessEvent, Transcript};
+pub use verified::{VerifiedError, VerifiedServer};

@@ -1,0 +1,370 @@
+//! The simulated passive storage server.
+
+use crate::stats::CostStats;
+use crate::transcript::{AccessEvent, Transcript};
+
+/// Errors returned by server operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// An address outside `[0, capacity)` was touched.
+    OutOfBounds {
+        /// The offending address.
+        addr: usize,
+        /// The server's capacity in cells.
+        capacity: usize,
+    },
+    /// A cell was read before ever being written.
+    Uninitialized {
+        /// The offending address.
+        addr: usize,
+    },
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::OutOfBounds { addr, capacity } => {
+                write!(f, "address {addr} out of bounds (capacity {capacity})")
+            }
+            ServerError::Uninitialized { addr } => {
+                write!(f, "cell {addr} read before initialization")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// An in-process passive storage server (Definition 3.1).
+///
+/// Cells are opaque byte strings. The server never interprets them; the
+/// only operations are batched downloads and uploads (plus the PIR-style
+/// [`SimServer::xor_cells`] active operation). Each batch counts as one
+/// round trip.
+#[derive(Debug, Clone, Default)]
+pub struct SimServer {
+    cells: Vec<Option<Vec<u8>>>,
+    stats: CostStats,
+    transcript: Option<Transcript>,
+}
+
+impl SimServer {
+    /// Creates an empty server with no cells. Call [`SimServer::init`] (or a
+    /// scheme's setup) to populate it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the server contents with `cells`. Initialization is not
+    /// charged to the query-cost counters (the paper treats setup
+    /// separately from per-query overhead).
+    pub fn init(&mut self, cells: Vec<Vec<u8>>) {
+        self.cells = cells.into_iter().map(Some).collect();
+    }
+
+    /// Reserves `capacity` uninitialized cells.
+    pub fn init_empty(&mut self, capacity: usize) {
+        self.cells = vec![None; capacity];
+    }
+
+    /// Number of cells the server stores.
+    pub fn capacity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns true if no cells are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total bytes currently stored (server-storage measure).
+    pub fn stored_bytes(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.as_ref().map_or(0, |v| v.len() as u64))
+            .sum()
+    }
+
+    /// Starts recording the adversarial transcript.
+    pub fn start_recording(&mut self) {
+        if self.transcript.is_none() {
+            self.transcript = Some(Transcript::new());
+        }
+    }
+
+    /// Stops recording and returns the transcript captured so far.
+    pub fn take_transcript(&mut self) -> Transcript {
+        self.transcript.take().unwrap_or_default()
+    }
+
+    /// Whether a transcript is being recorded.
+    pub fn is_recording(&self) -> bool {
+        self.transcript.is_some()
+    }
+
+    /// Cumulative cost counters.
+    pub fn stats(&self) -> CostStats {
+        self.stats
+    }
+
+    /// Resets cost counters (e.g. after setup, before measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = CostStats::default();
+    }
+
+    fn check(&self, addr: usize) -> Result<(), ServerError> {
+        if addr < self.cells.len() {
+            Ok(())
+        } else {
+            Err(ServerError::OutOfBounds { addr, capacity: self.cells.len() })
+        }
+    }
+
+    fn record(&mut self, events: Vec<AccessEvent>) {
+        if let Some(t) = self.transcript.as_mut() {
+            t.push_batch(events);
+        }
+    }
+
+    /// Downloads the cells at `addrs` in one round trip.
+    pub fn read_batch(&mut self, addrs: &[usize]) -> Result<Vec<Vec<u8>>, ServerError> {
+        let mut out = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            self.check(addr)?;
+            let cell = self.cells[addr]
+                .as_ref()
+                .ok_or(ServerError::Uninitialized { addr })?;
+            self.stats.downloads += 1;
+            self.stats.bytes_down += cell.len() as u64;
+            out.push(cell.clone());
+        }
+        self.stats.round_trips += 1;
+        self.record(addrs.iter().map(|&a| AccessEvent::Download(a)).collect());
+        Ok(out)
+    }
+
+    /// Downloads a single cell (one round trip).
+    pub fn read(&mut self, addr: usize) -> Result<Vec<u8>, ServerError> {
+        Ok(self.read_batch(&[addr])?.pop().expect("one cell requested"))
+    }
+
+    /// Uploads the given cells in one round trip.
+    pub fn write_batch(&mut self, writes: Vec<(usize, Vec<u8>)>) -> Result<(), ServerError> {
+        for (addr, _) in &writes {
+            self.check(*addr)?;
+        }
+        let events = writes.iter().map(|&(a, _)| AccessEvent::Upload(a)).collect();
+        for (addr, cell) in writes {
+            self.stats.uploads += 1;
+            self.stats.bytes_up += cell.len() as u64;
+            self.cells[addr] = Some(cell);
+        }
+        self.stats.round_trips += 1;
+        self.record(events);
+        Ok(())
+    }
+
+    /// Uploads a single cell (one round trip).
+    pub fn write(&mut self, addr: usize, cell: Vec<u8>) -> Result<(), ServerError> {
+        self.write_batch(vec![(addr, cell)])
+    }
+
+    /// Downloads `reads` and uploads `writes` in a single combined round
+    /// trip. Used by schemes that pipeline a download and an overwrite.
+    pub fn access_batch(
+        &mut self,
+        reads: &[usize],
+        writes: Vec<(usize, Vec<u8>)>,
+    ) -> Result<Vec<Vec<u8>>, ServerError> {
+        for &addr in reads {
+            self.check(addr)?;
+        }
+        for (addr, _) in &writes {
+            self.check(*addr)?;
+        }
+        let mut events: Vec<AccessEvent> =
+            reads.iter().map(|&a| AccessEvent::Download(a)).collect();
+        events.extend(writes.iter().map(|&(a, _)| AccessEvent::Upload(a)));
+
+        let mut out = Vec::with_capacity(reads.len());
+        for &addr in reads {
+            let cell = self.cells[addr]
+                .as_ref()
+                .ok_or(ServerError::Uninitialized { addr })?;
+            self.stats.downloads += 1;
+            self.stats.bytes_down += cell.len() as u64;
+            out.push(cell.clone());
+        }
+        for (addr, cell) in writes {
+            self.stats.uploads += 1;
+            self.stats.bytes_up += cell.len() as u64;
+            self.cells[addr] = Some(cell);
+        }
+        self.stats.round_trips += 1;
+        self.record(events);
+        Ok(out)
+    }
+
+    /// PIR-style active operation: the server XORs the cells at `addrs`
+    /// together and returns the result, charging one *compute* operation per
+    /// cell touched. All cells must have equal length.
+    pub fn xor_cells(&mut self, addrs: &[usize]) -> Result<Vec<u8>, ServerError> {
+        let mut acc: Option<Vec<u8>> = None;
+        for &addr in addrs {
+            self.check(addr)?;
+            let cell = self.cells[addr]
+                .as_ref()
+                .ok_or(ServerError::Uninitialized { addr })?;
+            self.stats.computed += 1;
+            match acc.as_mut() {
+                None => acc = Some(cell.clone()),
+                Some(a) => {
+                    debug_assert_eq!(a.len(), cell.len(), "XOR over unequal cells");
+                    for (x, y) in a.iter_mut().zip(cell) {
+                        *x ^= y;
+                    }
+                }
+            }
+        }
+        let result = acc.unwrap_or_default();
+        self.stats.bytes_down += result.len() as u64;
+        self.stats.round_trips += 1;
+        self.record(addrs.iter().map(|&a| AccessEvent::Compute(a)).collect());
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server_with(n: usize) -> SimServer {
+        let mut s = SimServer::new();
+        s.init((0..n).map(|i| vec![i as u8; 4]).collect());
+        s
+    }
+
+    #[test]
+    fn read_returns_stored_cell() {
+        let mut s = server_with(8);
+        assert_eq!(s.read(3).unwrap(), vec![3u8; 4]);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut s = server_with(8);
+        s.write(5, vec![9u8; 4]).unwrap();
+        assert_eq!(s.read(5).unwrap(), vec![9u8; 4]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut s = server_with(4);
+        assert_eq!(
+            s.read(4),
+            Err(ServerError::OutOfBounds { addr: 4, capacity: 4 })
+        );
+        assert_eq!(
+            s.write(9, vec![]),
+            Err(ServerError::OutOfBounds { addr: 9, capacity: 4 })
+        );
+    }
+
+    #[test]
+    fn uninitialized_cell_is_reported() {
+        let mut s = SimServer::new();
+        s.init_empty(4);
+        assert_eq!(s.read(2), Err(ServerError::Uninitialized { addr: 2 }));
+        s.write(2, vec![1]).unwrap();
+        assert_eq!(s.read(2).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn stats_track_ops_bytes_and_round_trips() {
+        let mut s = server_with(8);
+        s.read_batch(&[0, 1, 2]).unwrap();
+        s.write(3, vec![0u8; 10]).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.downloads, 3);
+        assert_eq!(stats.uploads, 1);
+        assert_eq!(stats.bytes_down, 12);
+        assert_eq!(stats.bytes_up, 10);
+        assert_eq!(stats.round_trips, 2);
+    }
+
+    #[test]
+    fn access_batch_is_one_round_trip() {
+        let mut s = server_with(8);
+        let before = s.stats();
+        let cells = s.access_batch(&[1, 2], vec![(3, vec![7u8; 4])]).unwrap();
+        assert_eq!(cells.len(), 2);
+        let diff = s.stats().since(&before);
+        assert_eq!(diff.round_trips, 1);
+        assert_eq!(diff.downloads, 2);
+        assert_eq!(diff.uploads, 1);
+    }
+
+    #[test]
+    fn transcript_records_exact_view() {
+        let mut s = server_with(4);
+        s.start_recording();
+        s.read_batch(&[2, 0]).unwrap();
+        s.write(1, vec![0u8; 4]).unwrap();
+        let t = s.take_transcript();
+        let batches: Vec<Vec<AccessEvent>> = t.batches().map(|b| b.to_vec()).collect();
+        assert_eq!(
+            batches,
+            vec![
+                vec![AccessEvent::Download(2), AccessEvent::Download(0)],
+                vec![AccessEvent::Upload(1)],
+            ]
+        );
+        // Recording stops after take_transcript.
+        assert!(!s.is_recording());
+    }
+
+    #[test]
+    fn xor_cells_computes_parity_and_charges_ops() {
+        let mut s = SimServer::new();
+        s.init(vec![vec![0b1010], vec![0b0110], vec![0b0001]]);
+        let before = s.stats();
+        let x = s.xor_cells(&[0, 1, 2]).unwrap();
+        assert_eq!(x, vec![0b1101]);
+        let diff = s.stats().since(&before);
+        assert_eq!(diff.computed, 3);
+        assert_eq!(diff.round_trips, 1);
+    }
+
+    #[test]
+    fn xor_cells_empty_set_is_empty() {
+        let mut s = server_with(2);
+        assert_eq!(s.xor_cells(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn failed_batch_mutates_nothing() {
+        let mut s = server_with(2);
+        let before_stats = s.stats();
+        // Second write is out of bounds: the whole batch must be rejected
+        // without applying the first write.
+        let err = s.write_batch(vec![(0, vec![9u8; 4]), (7, vec![1u8; 4])]);
+        assert!(err.is_err());
+        assert_eq!(s.read(0).unwrap(), vec![0u8; 4]);
+        // Only the successful read above should have been charged.
+        assert_eq!(s.stats().since(&before_stats).uploads, 0);
+    }
+
+    #[test]
+    fn stored_bytes_counts_cells() {
+        let s = server_with(4);
+        assert_eq!(s.stored_bytes(), 16);
+    }
+
+    #[test]
+    fn reset_stats_zeroes() {
+        let mut s = server_with(2);
+        s.read(0).unwrap();
+        s.reset_stats();
+        assert_eq!(s.stats(), CostStats::default());
+    }
+}

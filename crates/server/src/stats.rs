@@ -1,0 +1,118 @@
+//! Running cost counters for a simulated server.
+//!
+//! Every overhead claim in the paper is stated in one of three currencies:
+//! *operations* (cells touched — the balls-and-bins measure used by the
+//! lower bounds), *bandwidth* (bytes moved), and *round trips* (the
+//! client-to-server latency measure used in the comparison with recursive
+//! Path ORAM). [`CostStats`] tracks all three.
+
+/// Cumulative cost counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostStats {
+    /// Number of cells downloaded.
+    pub downloads: u64,
+    /// Number of cells uploaded.
+    pub uploads: u64,
+    /// Number of cells the server computed over (PIR-style operations).
+    pub computed: u64,
+    /// Bytes transferred server -> client.
+    pub bytes_down: u64,
+    /// Bytes transferred client -> server.
+    pub bytes_up: u64,
+    /// Number of client-server round trips.
+    pub round_trips: u64,
+}
+
+impl CostStats {
+    /// Total cell-level operations (the measure of Theorems 3.3/3.4/3.7).
+    pub fn operations(&self) -> u64 {
+        self.downloads + self.uploads + self.computed
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_down + self.bytes_up
+    }
+
+    /// Component-wise sum `self + other`; useful for aggregating over
+    /// multiple servers (multi-server PIR, recursive ORAM layers).
+    pub fn plus(&self, other: &CostStats) -> CostStats {
+        CostStats {
+            downloads: self.downloads + other.downloads,
+            uploads: self.uploads + other.uploads,
+            computed: self.computed + other.computed,
+            bytes_down: self.bytes_down + other.bytes_down,
+            bytes_up: self.bytes_up + other.bytes_up,
+            round_trips: self.round_trips + other.round_trips,
+        }
+    }
+
+    /// Component-wise difference `self - earlier`; useful for measuring the
+    /// cost of a single query given snapshots before and after.
+    pub fn since(&self, earlier: &CostStats) -> CostStats {
+        CostStats {
+            downloads: self.downloads - earlier.downloads,
+            uploads: self.uploads - earlier.uploads,
+            computed: self.computed - earlier.computed,
+            bytes_down: self.bytes_down - earlier.bytes_down,
+            bytes_up: self.bytes_up - earlier.bytes_up,
+            round_trips: self.round_trips - earlier.round_trips,
+        }
+    }
+}
+
+impl std::fmt::Display for CostStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ops={} (down={} up={} compute={}), bytes={} (down={} up={}), round_trips={}",
+            self.operations(),
+            self.downloads,
+            self.uploads,
+            self.computed,
+            self.bytes_total(),
+            self.bytes_down,
+            self.bytes_up,
+            self.round_trips
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operations_sum() {
+        let s = CostStats { downloads: 2, uploads: 3, computed: 5, ..Default::default() };
+        assert_eq!(s.operations(), 10);
+    }
+
+    #[test]
+    fn plus_adds_componentwise() {
+        let a = CostStats { downloads: 1, uploads: 2, round_trips: 1, ..Default::default() };
+        let b = CostStats { downloads: 3, bytes_up: 7, round_trips: 2, ..Default::default() };
+        let sum = a.plus(&b);
+        assert_eq!(sum.downloads, 4);
+        assert_eq!(sum.uploads, 2);
+        assert_eq!(sum.bytes_up, 7);
+        assert_eq!(sum.round_trips, 3);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let early = CostStats { downloads: 1, bytes_down: 100, round_trips: 1, ..Default::default() };
+        let late = CostStats { downloads: 4, bytes_down: 500, round_trips: 3, ..Default::default() };
+        let diff = late.since(&early);
+        assert_eq!(diff.downloads, 3);
+        assert_eq!(diff.bytes_down, 400);
+        assert_eq!(diff.round_trips, 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = CostStats { downloads: 1, uploads: 1, ..Default::default() };
+        let rendered = format!("{s}");
+        assert!(rendered.contains("ops=2"));
+    }
+}

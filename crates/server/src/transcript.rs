@@ -1,0 +1,176 @@
+//! Adversarial transcripts: the server-side view of a protocol execution.
+//!
+//! Definition 2.1 quantifies privacy over the distribution of the
+//! adversary's view. In the balls-and-bins model that view is the sequence
+//! of addresses downloaded and uploaded (cell contents are IND-CPA
+//! ciphertexts and are replaced by opaque placeholders in the proofs, so we
+//! do not record them). Events are grouped into *round trips*: one batch of
+//! requests sent together by the client.
+
+/// A single cell-level event observed by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessEvent {
+    /// The client downloaded the cell at this address.
+    Download(usize),
+    /// The client uploaded a (fresh, opaque) cell to this address.
+    Upload(usize),
+    /// The server computed over the cell at this address on the client's
+    /// behalf (PIR-style active operation).
+    Compute(usize),
+}
+
+impl AccessEvent {
+    /// The address this event touches.
+    pub fn address(&self) -> usize {
+        match *self {
+            AccessEvent::Download(a) | AccessEvent::Upload(a) | AccessEvent::Compute(a) => a,
+        }
+    }
+}
+
+/// The full adversarial view: events grouped by round trip.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Transcript {
+    batches: Vec<Vec<AccessEvent>>,
+}
+
+impl Transcript {
+    /// Creates an empty transcript.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one round trip's worth of events.
+    pub fn push_batch(&mut self, events: Vec<AccessEvent>) {
+        self.batches.push(events);
+    }
+
+    /// Number of round trips recorded.
+    pub fn round_trips(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Iterates over round-trip batches.
+    pub fn batches(&self) -> impl Iterator<Item = &[AccessEvent]> {
+        self.batches.iter().map(Vec::as_slice)
+    }
+
+    /// Iterates over all events in order.
+    pub fn events(&self) -> impl Iterator<Item = AccessEvent> + '_ {
+        self.batches.iter().flatten().copied()
+    }
+
+    /// Total number of cell-level operations.
+    pub fn operations(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+
+    /// The set of distinct addresses downloaded anywhere in the transcript.
+    /// This is the random variable `IR(q)` of Section 3.2.
+    pub fn downloaded_addresses(&self) -> std::collections::BTreeSet<usize> {
+        self.events()
+            .filter_map(|e| match e {
+                AccessEvent::Download(a) | AccessEvent::Compute(a) => Some(a),
+                AccessEvent::Upload(_) => None,
+            })
+            .collect()
+    }
+
+    /// The set of distinct addresses the server *computed over* (PIR-style
+    /// operations only; plain downloads and uploads are excluded).
+    pub fn computed_addresses(&self) -> std::collections::BTreeSet<usize> {
+        self.events()
+            .filter_map(|e| match e {
+                AccessEvent::Compute(a) => Some(a),
+                AccessEvent::Download(_) | AccessEvent::Upload(_) => None,
+            })
+            .collect()
+    }
+
+    /// Clears all recorded events.
+    pub fn clear(&mut self) {
+        self.batches.clear();
+    }
+
+    /// A compact canonical encoding of the transcript, suitable as a
+    /// histogram key in the Monte-Carlo privacy auditor. Two executions
+    /// produce the same encoding iff the adversary's views are identical.
+    pub fn canonical_encoding(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.operations() * 9 + self.batches.len());
+        for batch in &self.batches {
+            for event in batch {
+                let (tag, addr): (u8, usize) = match *event {
+                    AccessEvent::Download(a) => (b'D', a),
+                    AccessEvent::Upload(a) => (b'U', a),
+                    AccessEvent::Compute(a) => (b'C', a),
+                };
+                out.push(tag);
+                out.extend_from_slice(&(addr as u64).to_le_bytes());
+            }
+            out.push(b'|');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Transcript {
+        let mut t = Transcript::new();
+        t.push_batch(vec![AccessEvent::Download(3), AccessEvent::Download(7)]);
+        t.push_batch(vec![AccessEvent::Upload(3)]);
+        t.push_batch(vec![AccessEvent::Compute(1)]);
+        t
+    }
+
+    #[test]
+    fn counts() {
+        let t = sample();
+        assert_eq!(t.round_trips(), 3);
+        assert_eq!(t.operations(), 4);
+    }
+
+    #[test]
+    fn downloaded_addresses_ignores_uploads() {
+        let t = sample();
+        let set: Vec<usize> = t.downloaded_addresses().into_iter().collect();
+        assert_eq!(set, vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn computed_addresses_only_counts_compute_events() {
+        let t = sample();
+        let set: Vec<usize> = t.computed_addresses().into_iter().collect();
+        assert_eq!(set, vec![1]);
+    }
+
+    #[test]
+    fn canonical_encoding_distinguishes_views() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.canonical_encoding(), b.canonical_encoding());
+        b.push_batch(vec![AccessEvent::Download(9)]);
+        assert_ne!(a.canonical_encoding(), b.canonical_encoding());
+    }
+
+    #[test]
+    fn canonical_encoding_distinguishes_batching() {
+        // Same events, different round-trip structure => different views.
+        let mut a = Transcript::new();
+        a.push_batch(vec![AccessEvent::Download(1), AccessEvent::Download(2)]);
+        let mut b = Transcript::new();
+        b.push_batch(vec![AccessEvent::Download(1)]);
+        b.push_batch(vec![AccessEvent::Download(2)]);
+        assert_ne!(a.canonical_encoding(), b.canonical_encoding());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = sample();
+        t.clear();
+        assert_eq!(t.operations(), 0);
+        assert_eq!(t.round_trips(), 0);
+    }
+}

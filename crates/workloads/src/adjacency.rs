@@ -1,0 +1,157 @@
+//! Adjacent sequence pairs for privacy audits.
+//!
+//! Definition 2.1 compares transcript distributions on sequences at Hamming
+//! distance exactly 1. The auditor needs *worst-case* pairs: the proofs of
+//! Section 6 show that the positions whose transcript factors can differ are
+//! `{k, nx(Q,k), nx(Q',k)}` — the changed position and the next re-query of
+//! either record — so the hardest pairs re-query the changed records soon
+//! after the change. The builders here produce those shapes.
+
+use crate::query::{hamming_distance, IrQuery, KvsQuery, Op, RamQuery};
+
+/// A pair of adjacent query sequences (`d(q1, q2) == 1`) for an audit.
+#[derive(Debug, Clone)]
+pub struct AdjacentPair<Q> {
+    /// First sequence.
+    pub q1: Vec<Q>,
+    /// Second sequence, differing from `q1` at exactly one position.
+    pub q2: Vec<Q>,
+    /// The differing position.
+    pub position: usize,
+}
+
+impl<Q: PartialEq + Clone> AdjacentPair<Q> {
+    /// Builds a pair from a base sequence by substituting `replacement` at
+    /// `position`.
+    ///
+    /// # Panics
+    /// Panics if the replacement equals the original query there (the pair
+    /// would not be adjacent) or `position` is out of range.
+    pub fn substitute(base: Vec<Q>, position: usize, replacement: Q) -> Self {
+        assert!(position < base.len(), "position out of range");
+        assert!(
+            base[position] != replacement,
+            "replacement must change the query at `position`"
+        );
+        let mut q2 = base.clone();
+        q2[position] = replacement;
+        Self { q1: base, q2, position }
+    }
+
+    /// Verifies adjacency (Hamming distance exactly one).
+    pub fn is_adjacent(&self) -> bool {
+        hamming_distance(&self.q1, &self.q2) == 1
+    }
+}
+
+/// The canonical worst-case IR pair: both sequences are length `l`; at
+/// `position` one queries record `a`, the other record `b`. (DP-IR is
+/// stateless, so a single differing position is fully general — see the
+/// proof of Theorem 5.1.)
+pub fn ir_pair(l: usize, position: usize, a: usize, b: usize) -> AdjacentPair<IrQuery> {
+    assert_ne!(a, b, "records must differ");
+    let base = vec![IrQuery(a); l];
+    AdjacentPair::substitute(base, position, IrQuery(b))
+}
+
+/// Worst-case RAM pair exercising the `{k, nx(Q,k), nx(Q',k)}` structure of
+/// Lemma 6.7: `Q1 = [a, a, ..., a]` reads, `Q2` replaces position `k` with a
+/// read of `b`. Every later query re-queries both `a` (in `Q1`'s role) and
+/// the changed position's records, making all three "bad" factors active.
+pub fn ram_read_pair(l: usize, k: usize, a: usize, b: usize) -> AdjacentPair<RamQuery> {
+    assert_ne!(a, b, "records must differ");
+    let base = vec![RamQuery::read(a); l];
+    AdjacentPair::substitute(base, k, RamQuery::read(b))
+}
+
+/// RAM pair differing only in the operation (read vs write) at `k` — the
+/// second flavor of adjacency in Section 2.1. Any DP-RAM must hide whether
+/// a query mutates.
+pub fn ram_op_pair(l: usize, k: usize, a: usize) -> AdjacentPair<RamQuery> {
+    let base = vec![RamQuery::read(a); l];
+    AdjacentPair::substitute(base, k, RamQuery::write(a))
+}
+
+/// Interleaved RAM pair: `Q1` cycles over `[a, b, a, b, ...]`; `Q2` replaces
+/// position `k` with `c`. Exercises `pr`/`nx` chains with multiple records.
+pub fn ram_interleaved_pair(
+    l: usize,
+    k: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+) -> AdjacentPair<RamQuery> {
+    let base: Vec<RamQuery> = (0..l)
+        .map(|i| RamQuery::read(if i % 2 == 0 { a } else { b }))
+        .collect();
+    assert_ne!(base[k].index, c, "replacement must differ at position k");
+    AdjacentPair::substitute(base, k, RamQuery::read(c))
+}
+
+/// KVS pair where the differing query swaps a *present* key for an *absent*
+/// one — the adversary must not learn whether a lookup hit or missed.
+pub fn kvs_hit_miss_pair(
+    l: usize,
+    k: usize,
+    present: u64,
+    absent: u64,
+) -> AdjacentPair<KvsQuery> {
+    assert_ne!(present, absent);
+    let base = vec![KvsQuery::read(present); l];
+    AdjacentPair::substitute(base, k, KvsQuery::read(absent))
+}
+
+/// KVS pair between two present keys, differing at `k`; may also flip the op.
+pub fn kvs_key_pair(l: usize, k: usize, key_a: u64, key_b: u64, op_b: Op) -> AdjacentPair<KvsQuery> {
+    let base = vec![KvsQuery::read(key_a); l];
+    let replacement = KvsQuery { key: key_b, op: op_b };
+    AdjacentPair::substitute(base, k, replacement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ir_pair_is_adjacent() {
+        let p = ir_pair(5, 2, 0, 3);
+        assert!(p.is_adjacent());
+        assert_eq!(p.q1[2], IrQuery(0));
+        assert_eq!(p.q2[2], IrQuery(3));
+    }
+
+    #[test]
+    fn ram_read_pair_is_adjacent() {
+        let p = ram_read_pair(4, 1, 0, 1);
+        assert!(p.is_adjacent());
+        assert_eq!(p.position, 1);
+    }
+
+    #[test]
+    fn ram_op_pair_differs_only_in_op() {
+        let p = ram_op_pair(3, 0, 5);
+        assert!(p.is_adjacent());
+        assert_eq!(p.q1[0].index, p.q2[0].index);
+        assert_ne!(p.q1[0].op, p.q2[0].op);
+    }
+
+    #[test]
+    fn interleaved_pair_is_adjacent() {
+        let p = ram_interleaved_pair(6, 3, 0, 1, 2);
+        assert!(p.is_adjacent());
+        assert_eq!(p.q1[3].index, 1);
+        assert_eq!(p.q2[3].index, 2);
+    }
+
+    #[test]
+    fn kvs_pairs_are_adjacent() {
+        assert!(kvs_hit_miss_pair(4, 2, 10, 99).is_adjacent());
+        assert!(kvs_key_pair(4, 0, 1, 2, Op::Write).is_adjacent());
+    }
+
+    #[test]
+    #[should_panic(expected = "must change")]
+    fn identical_replacement_rejected() {
+        AdjacentPair::substitute(vec![IrQuery(1); 3], 0, IrQuery(1));
+    }
+}

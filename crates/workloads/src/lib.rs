@@ -1,0 +1,22 @@
+//! Workload generation for the `dp-storage` experiments.
+//!
+//! The paper's privacy definition (Definition 2.1) quantifies over *pairs of
+//! adjacent query sequences*; its overhead claims are per-query and hold for
+//! any sequence. This crate provides both sides:
+//!
+//! * realistic traces for overhead/throughput measurements — uniform and
+//!   Zipfian index distributions, read/write mixes, and key-value traces
+//!   with misses ([`generators`]);
+//! * worst-case adjacent sequence pairs for the Monte-Carlo privacy auditor
+//!   ([`adjacency`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod generators;
+pub mod query;
+pub mod zipf;
+
+pub use query::{IrQuery, KvsQuery, Op, RamQuery};
+pub use zipf::Zipf;

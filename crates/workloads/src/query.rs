@@ -1,0 +1,97 @@
+//! Query types shared across the three storage primitives (Section 2.1).
+
+/// Whether a query retrieves or overwrites a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Record retrieval.
+    Read,
+    /// Record overwrite.
+    Write,
+}
+
+/// An information-retrieval query: the index of the record to fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IrQuery(pub usize);
+
+/// A RAM query: `(index, op)` as in Section 2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RamQuery {
+    /// The record index in `[0, n)`.
+    pub index: usize,
+    /// Retrieval or overwrite.
+    pub op: Op,
+}
+
+impl RamQuery {
+    /// A read of `index`.
+    pub fn read(index: usize) -> Self {
+        Self { index, op: Op::Read }
+    }
+
+    /// A write of `index`.
+    pub fn write(index: usize) -> Self {
+        Self { index, op: Op::Write }
+    }
+}
+
+/// A key-value-storage query: `(key, op)` with keys from a large universe.
+/// Reads of keys never inserted must return "not present".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KvsQuery {
+    /// The key in universe `U` (modeled as `u64`).
+    pub key: u64,
+    /// Retrieval or overwrite.
+    pub op: Op,
+}
+
+impl KvsQuery {
+    /// A read of `key`.
+    pub fn read(key: u64) -> Self {
+        Self { key, op: Op::Read }
+    }
+
+    /// A write of `key`.
+    pub fn write(key: u64) -> Self {
+        Self { key, op: Op::Write }
+    }
+}
+
+/// Hamming distance between two equal-length query sequences — the
+/// adjacency measure of Section 2 (`d(Q1, Q2)`).
+pub fn hamming_distance<Q: PartialEq>(a: &[Q], b: &[Q]) -> usize {
+    assert_eq!(a.len(), b.len(), "sequences must have equal length");
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(RamQuery::read(3), RamQuery { index: 3, op: Op::Read });
+        assert_eq!(KvsQuery::write(9), KvsQuery { key: 9, op: Op::Write });
+    }
+
+    #[test]
+    fn hamming() {
+        let a = [RamQuery::read(1), RamQuery::read(2), RamQuery::write(3)];
+        let b = [RamQuery::read(1), RamQuery::write(2), RamQuery::write(3)];
+        assert_eq!(hamming_distance(&a, &b), 1);
+        assert_eq!(hamming_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn op_change_alone_is_a_difference() {
+        // Section 2.1: adjacent RAM sequences may differ in record *or* op.
+        let a = [RamQuery::read(5)];
+        let b = [RamQuery::write(5)];
+        assert_eq!(hamming_distance(&a, &b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn hamming_rejects_unequal_lengths() {
+        hamming_distance(&[IrQuery(0)], &[IrQuery(0), IrQuery(1)]);
+    }
+}

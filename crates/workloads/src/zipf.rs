@@ -1,0 +1,134 @@
+//! Zipfian sampling over `[0, n)`.
+//!
+//! Storage workloads in large infrastructures are famously skewed; the
+//! paper's motivation (heavily trafficked storage systems) makes Zipfian
+//! traces the natural realistic workload. Sampling uses a precomputed CDF
+//! with binary search — O(n) memory once, O(log n) per sample.
+
+use dps_crypto::ChaChaRng;
+
+/// A Zipf(θ) distribution over ranks `0..n` (rank 0 most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution with exponent `theta > 0` over `n` items.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is not finite and positive.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(theta.is_finite() && theta > 0.0, "theta must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the distribution is over zero items (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples one rank.
+    pub fn sample(&self, rng: &mut ChaChaRng) -> usize {
+        let u = rng.gen_f64();
+        // First index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let z = Zipf::new(100, 0.99);
+        for w in z.cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(*z.cdf.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 50);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = ChaChaRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99]);
+    }
+
+    #[test]
+    fn empirical_frequency_matches_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = ChaChaRng::seed_from_u64(3);
+        let trials = 100_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (rank, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / trials as f64;
+            let pmf = z.pmf(rank);
+            assert!(
+                (freq - pmf).abs() < 0.01,
+                "rank {rank}: freq {freq:.4} vs pmf {pmf:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(64, 0.8);
+        let total: f64 = (0..64).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_item_always_sampled() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = ChaChaRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # dp-storage
+//!
+//! A reproduction of *"What Storage Access Privacy is Achievable with Small
+//! Overhead?"* (Patel, Persiano, Yeo — PODS 2019) as a production-quality
+//! Rust workspace.
+//!
+//! This umbrella crate re-exports every workspace crate under one roof so
+//! that applications can depend on a single package:
+//!
+//! * [`crypto`] — ChaCha20/CTR encryption, HMAC-SHA256 PRF, deterministic CSPRNG.
+//! * [`server`] — the balls-and-bins passive storage server with transcript
+//!   recording and cost accounting.
+//! * [`workloads`] — query-sequence generators (uniform, Zipf, adjacency pairs).
+//! * [`hashing`] — classic and oblivious two-choice hashing (Section 7.2).
+//! * [`oram`] — Path ORAM and linear-scan ORAM baselines.
+//! * [`pir`] — full-scan and 2-server XOR PIR baselines.
+//! * [`core`] — the paper's constructions: DP-IR, DP-RAM, DP-KVS,
+//!   multi-server DP-IR, and the insecure strawman of Section 4.
+//! * [`analysis`] — the paper's bounds as executable formulas, plus the
+//!   Monte-Carlo privacy auditor.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dp_storage::core::dp_ram::{DpRam, DpRamConfig};
+//! use dp_storage::crypto::ChaChaRng;
+//! use dp_storage::server::SimServer;
+//!
+//! let mut rng = ChaChaRng::seed_from_u64(7);
+//! let n = 256;
+//! let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 32]).collect();
+//! let server = SimServer::new();
+//! let mut ram = DpRam::setup(DpRamConfig::recommended(n), &blocks, server, &mut rng).unwrap();
+//!
+//! let value = ram.read(42, &mut rng).unwrap();
+//! assert_eq!(value, vec![42u8; 32]);
+//! ram.write(42, vec![0xAA; 32], &mut rng).unwrap();
+//! assert_eq!(ram.read(42, &mut rng).unwrap(), vec![0xAA; 32]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dps_analysis as analysis;
+pub use dps_core as core;
+pub use dps_crypto as crypto;
+pub use dps_hashing as hashing;
+pub use dps_oram as oram;
+pub use dps_pir as pir;
+pub use dps_server as server;
+pub use dps_workloads as workloads;
