@@ -1,0 +1,600 @@
+//! Offline, API-compatible stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this workspace has no network access to
+//! crates.io, so this vendored shim implements the (small) slice of the
+//! proptest API that the workspace's property suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * [`Strategy`] with `prop_map` / `prop_filter` / `prop_flat_map`,
+//! * [`any`] for primitive types, integer/float range strategies, tuple
+//!   strategies, [`collection::vec`], [`array::uniform32`], and [`Just`].
+//!
+//! There is **no shrinking**: a failing case panics immediately with the
+//! assertion message. Generation is fully deterministic — the RNG seed is
+//! derived from the test name (override with `PROPTEST_SEED`), and the
+//! case count honours `PROPTEST_CASES` so CI can trim long suites
+//! globally.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic splitmix64-based RNG driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from an explicit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Creates an RNG whose seed is derived from `name` (typically the
+    /// test function name) so every test gets an independent but
+    /// reproducible stream. `PROPTEST_SEED` overrides the base seed.
+    pub fn from_name(name: &str) -> Self {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        // FNV-1a over the name, mixed with the base seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ base,
+        }
+    }
+
+    /// Next raw 64-bit output (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform u128 below `bound` (`bound > 0`).
+    fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % bound
+    }
+}
+
+/// Runner configuration; only the case count is meaningful here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Applies the `PROPTEST_CASES` environment cap, if set.
+    pub fn capped(self) -> Self {
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+        {
+            Some(cap) => ProptestConfig {
+                cases: self.cases.min(cap.max(1)),
+            },
+            None => self,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Re-draws until `f` accepts the value (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Chains a dependent strategy derived from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Boxes the strategy (API-compatibility helper).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Boxed dynamic strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter ({}) rejected 10000 consecutive candidates",
+            self.whence
+        );
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its payload.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Like real proptest's default float strategy: both signs and the full
+// finite magnitude spectrum (including zero and subnormals), but never
+// infinities or NaN.
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        loop {
+            let v = f64::from_bits(rng.next_u64());
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        loop {
+            let v = f32::from_bits(rng.next_u64() as u32);
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// Ranges are widened through $wide (u128 for unsigned, i128 for signed)
+// so that spans of ranges crossing zero are computed without overflow.
+macro_rules! range_strategy {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide - self.start as $wide) as u128;
+                (self.start as $wide + rng.below(span) as $wide) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as $wide - start as $wide) as u128 + 1;
+                (start as $wide + rng.below(span) as $wide) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, usize => u128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
+);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates a vector with length drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_inclusive - self.size.min) as u128 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array::uniform32`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    macro_rules! uniform_array {
+        ($($fn_name:ident, $struct_name:ident, $n:expr;)*) => {$(
+            /// Strategy for `[S::Value; N]` arrays.
+            pub struct $struct_name<S>(S);
+
+            /// Generates arrays whose elements all come from `element`.
+            pub fn $fn_name<S: Strategy>(element: S) -> $struct_name<S> {
+                $struct_name(element)
+            }
+
+            impl<S: Strategy> Strategy for $struct_name<S> {
+                type Value = [S::Value; $n];
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    std::array::from_fn(|_| self.0.generate(rng))
+                }
+            }
+        )*};
+    }
+
+    uniform_array! {
+        uniform4, Uniform4, 4;
+        uniform8, Uniform8, 8;
+        uniform16, Uniform16, 16;
+        uniform32, Uniform32, 32;
+    }
+}
+
+/// Equivalent of `proptest::test_runner` for config paths.
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+    pub use super::TestRng;
+}
+
+/// Short-hand module mirroring `proptest::prop`.
+pub mod prop {
+    pub use super::{array, collection};
+}
+
+/// The strategy namespace mirroring `proptest::strategy`.
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Strategy};
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property; panics with the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Skips the current case when the assumption fails. Without shrinking or
+/// rejection bookkeeping this simply `continue`s the case loop, so it must
+/// appear directly inside the `proptest!` body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_prop(x in 0usize..100, flip in any::<bool>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $crate::ProptestConfig::capped($config);
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                let ($($pat,)+) =
+                    ($($crate::Strategy::generate(&($strategy), &mut __rng),)+);
+                $body
+            }
+        }
+    )*};
+}
