@@ -1,0 +1,218 @@
+//! Fast bench smoke-run: one median ns/op figure per scheme, suitable for
+//! CI and for tracking the perf trajectory across PRs.
+//!
+//! ```text
+//! cargo run -p dps_bench --release --bin bench_smoke
+//! cargo run -p dps_bench --release --bin bench_smoke -- --json BENCH_2.json
+//! ```
+//!
+//! Unlike the full Criterion targets this finishes in a few seconds; the
+//! `--json` flag emits `{"scheme": median_ns, ...}` so each PR can record
+//! its numbers (`BENCH_<pr>.json`) and diff against the previous ones.
+
+use std::time::Instant;
+
+use dps_core::dp_ir::{DpIr, DpIrConfig};
+use dps_core::dp_kvs::{DpKvs, DpKvsConfig};
+use dps_core::dp_ram::{DpRam, DpRamConfig};
+use dps_core::dp_ram_ro::DpRamReadOnly;
+use dps_crypto::ChaChaRng;
+use dps_oram::{LinearOram, PathOram, PathOramConfig};
+use dps_pir::{FullScanPir, XorPir};
+use dps_server::SimServer;
+use dps_workloads::generators::database;
+
+/// Times `op` and returns the median ns/op over `samples` samples of
+/// `iters` iterations each (after one warm-up sample).
+fn median_ns(samples: usize, iters: usize, mut op: impl FnMut()) -> u64 {
+    let mut medians = Vec::with_capacity(samples);
+    for sample in 0..=samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        let ns = start.elapsed().as_nanos() as u64 / iters as u64;
+        if sample > 0 {
+            medians.push(ns); // sample 0 is warm-up
+        }
+    }
+    medians.sort_unstable();
+    medians[medians.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "BENCH.json".into()));
+
+    let mut results: Vec<(&str, u64)> = Vec::new();
+    let samples = 15;
+
+    // DP-RAM (the paper's headline O(1) scheme), n = 1024, 256 B blocks.
+    {
+        let n = 1 << 10;
+        let db = database(n, 256);
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        let mut ram =
+            DpRam::setup(DpRamConfig::recommended(n), &db, SimServer::new(), &mut rng).unwrap();
+        let mut i = 0;
+        results.push((
+            "dp_ram_read",
+            median_ns(samples, 400, || {
+                i = (i + 1) % n;
+                ram.read(i, &mut rng).unwrap();
+            }),
+        ));
+        let mut i = 0;
+        results.push((
+            "dp_ram_write",
+            median_ns(samples, 400, || {
+                i = (i + 1) % n;
+                ram.write(i, vec![0u8; 256], &mut rng).unwrap();
+            }),
+        ));
+    }
+
+    // Retrieval-only DP-RAM over public data.
+    {
+        let n = 1 << 12;
+        let db = database(n, 256);
+        let mut rng = ChaChaRng::seed_from_u64(2);
+        let mut ram = DpRamReadOnly::setup(&db, 0.01, SimServer::new(), &mut rng);
+        let mut i = 0;
+        results.push((
+            "dp_ram_ro_read",
+            median_ns(samples, 4000, || {
+                i = (i + 1) % n;
+                ram.read(i, &mut rng).unwrap();
+            }),
+        ));
+    }
+
+    // DP-KVS, n = 256 capacity, 64 B values.
+    {
+        let n = 1 << 8;
+        let mut rng = ChaChaRng::seed_from_u64(3);
+        let mut kvs =
+            DpKvs::setup(DpKvsConfig::recommended(n, 64), SimServer::new(), &mut rng).unwrap();
+        let keys: Vec<u64> = (0..(n / 4) as u64).map(|k| k * 0x9e37_79b9 + 1).collect();
+        for &k in &keys {
+            kvs.put(k, vec![0u8; 64], &mut rng).unwrap();
+        }
+        let mut i = 0;
+        results.push((
+            "dp_kvs_get_hit",
+            median_ns(samples, 60, || {
+                i = (i + 1) % keys.len();
+                kvs.get(keys[i], &mut rng).unwrap();
+            }),
+        ));
+        let mut i = 0;
+        results.push((
+            "dp_kvs_put_update",
+            median_ns(samples, 60, || {
+                i = (i + 1) % keys.len();
+                kvs.put(keys[i], vec![1u8; 64], &mut rng).unwrap();
+            }),
+        ));
+    }
+
+    // DP-IR, n = 4096, K from eps = ln n.
+    {
+        let n = 1 << 12;
+        let db = database(n, 256);
+        let mut rng = ChaChaRng::seed_from_u64(4);
+        let config = DpIrConfig::with_epsilon(n, (n as f64).ln(), 0.1).unwrap();
+        let mut ir = DpIr::setup(config, &db, SimServer::new()).unwrap();
+        let mut i = 0;
+        results.push((
+            "dp_ir_query",
+            median_ns(samples, 2000, || {
+                i = (i + 1) % n;
+                ir.query(i, &mut rng).unwrap();
+            }),
+        ));
+    }
+
+    // Path ORAM, n = 256, 64 B blocks.
+    {
+        let n = 1 << 8;
+        let db = database(n, 64);
+        let mut rng = ChaChaRng::seed_from_u64(5);
+        let mut oram =
+            PathOram::setup(PathOramConfig::recommended(n, 64), &db, SimServer::new(), &mut rng);
+        let mut i = 0;
+        results.push((
+            "path_oram_read",
+            median_ns(samples, 150, || {
+                i = (i + 1) % n;
+                oram.read(i, &mut rng).unwrap();
+            }),
+        ));
+    }
+
+    // Linear ORAM (errorless baseline), n = 256, 64 B blocks.
+    {
+        let n = 1 << 8;
+        let db = database(n, 64);
+        let mut rng = ChaChaRng::seed_from_u64(6);
+        let mut oram = LinearOram::setup(&db, SimServer::new(), &mut rng);
+        let mut i = 0;
+        results.push((
+            "linear_oram_read",
+            median_ns(samples, 20, || {
+                i = (i + 1) % n;
+                oram.read(i, &mut rng).unwrap();
+            }),
+        ));
+    }
+
+    // Full-scan PIR baseline, n = 1024, 256 B records.
+    {
+        let n = 1 << 10;
+        let db = database(n, 256);
+        let mut pir = FullScanPir::setup(&db, SimServer::new());
+        let mut i = 0;
+        results.push((
+            "full_scan_pir_query",
+            median_ns(samples, 400, || {
+                i = (i + 1) % n;
+                pir.query(i).unwrap();
+            }),
+        ));
+    }
+
+    // 2-server XOR PIR, n = 1024, 256 B records.
+    {
+        let n = 1 << 10;
+        let db = database(n, 256);
+        let mut rng = ChaChaRng::seed_from_u64(7);
+        let mut pir = XorPir::setup(&db);
+        let mut i = 0;
+        results.push((
+            "xor_pir_query",
+            median_ns(samples, 300, || {
+                i = (i + 1) % n;
+                pir.query(i, &mut rng).unwrap();
+            }),
+        ));
+    }
+
+    println!("{:<24} median ns/op", "scheme");
+    for (name, ns) in &results {
+        println!("{name:<24} {ns}");
+    }
+
+    if let Some(path) = json_path {
+        let mut json = String::from("{\n");
+        for (i, (name, ns)) in results.iter().enumerate() {
+            let comma = if i + 1 == results.len() { "" } else { "," };
+            json.push_str(&format!("  \"{name}\": {ns}{comma}\n"));
+        }
+        json.push_str("}\n");
+        std::fs::write(&path, json).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -130,14 +130,39 @@ impl BatchedDpIr {
         }
         let (union, successes) = self.sample_batch(indices, rng);
         let addrs: Vec<usize> = union.iter().copied().collect();
-        let cells = self.server.read_batch(&addrs).map_err(DpIrError::Server)?;
+        // Count how many successful queries need each union position so
+        // the zero-copy scan copies only those cells out of the server
+        // arena, and each copy is moved (not re-cloned) into the last
+        // result that needs it.
+        let mut needed = vec![0u32; addrs.len()];
+        for (&index, &success) in indices.iter().zip(&successes) {
+            if success {
+                let pos = addrs.binary_search(&index).expect("real index in union");
+                needed[pos] += 1;
+            }
+        }
+        let mut fetched: Vec<Option<Vec<u8>>> = vec![None; addrs.len()];
+        self.server
+            .read_batch_with(&addrs, |i, cell| {
+                if needed[i] > 0 {
+                    fetched[i] = Some(cell.to_vec());
+                }
+            })
+            .map_err(DpIrError::Server)?;
         let results = indices
             .iter()
             .zip(&successes)
             .map(|(&index, &success)| {
                 success.then(|| {
                     let pos = addrs.binary_search(&index).expect("real index in union");
-                    cells[pos].clone()
+                    needed[pos] -= 1;
+                    if needed[pos] == 0 {
+                        fetched[pos].take().expect("needed cell fetched")
+                    } else {
+                        // Duplicate successful queries for one index share
+                        // the record; only non-final uses clone.
+                        fetched[pos].clone().expect("needed cell fetched")
+                    }
                 })
             })
             .collect();

@@ -25,7 +25,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use dps_crypto::{BlockCipher, ChaChaRng, Ciphertext};
+use dps_crypto::{BlockCipher, ChaChaRng, CryptoError, CIPHERTEXT_OVERHEAD};
 use dps_server::{ServerError, SimServer};
 
 /// The typed per-bucket-query adversarial view.
@@ -96,6 +96,16 @@ pub struct BucketRam {
     refcount: HashMap<usize, u32>,
     /// High-water mark of stashed cells, for client-storage experiments.
     max_stashed_cells: usize,
+    /// Reusable flat ciphertext scratch for the overwrite phase's
+    /// download (decoy refresh path).
+    ct_scratch: Vec<u8>,
+    /// Reusable per-cell plaintext scratch.
+    pt_scratch: Vec<u8>,
+    /// Reusable per-cell encryption output scratch.
+    enc_cell: Vec<u8>,
+    /// Reusable flat encryption scratch handed to
+    /// [`SimServer::write_batch_strided`].
+    enc_flat: Vec<u8>,
 }
 
 impl BucketRam {
@@ -151,6 +161,10 @@ impl BucketRam {
             cell_stash: HashMap::new(),
             refcount: HashMap::new(),
             max_stashed_cells: 0,
+            ct_scratch: Vec::new(),
+            pt_scratch: Vec::new(),
+            enc_cell: Vec::new(),
+            enc_flat: Vec::new(),
         };
         // Setup-time stashing (per-bucket, like Algorithm 2's per-record).
         for b in 0..ram.buckets.len() {
@@ -238,18 +252,31 @@ impl BucketRam {
         contents
     }
 
-    fn decrypt(&self, cell: Vec<u8>) -> Result<Vec<u8>, BucketRamError> {
-        self.cipher
-            .decrypt(&Ciphertext(cell))
-            .map_err(|e| BucketRamError::Crypto(e.to_string()))
+    /// Downloads the cells of bucket `b` from the server (one round trip)
+    /// and decrypts each borrowed cell slice straight into the returned
+    /// plaintexts; does not consult the stash. No ciphertext copies.
+    fn download_bucket(&mut self, b: usize) -> Result<Vec<Vec<u8>>, BucketRamError> {
+        let mut contents: Vec<Vec<u8>> = Vec::with_capacity(self.buckets[b].len());
+        let cipher = &self.cipher;
+        let mut failure: Option<CryptoError> = None;
+        self.server.read_batch_with(&self.buckets[b], |_, cell| {
+            let mut plain = Vec::new();
+            if let Err(e) = cipher.decrypt_into(cell, &mut plain) {
+                failure.get_or_insert(e);
+            }
+            contents.push(plain);
+        })?;
+        if let Some(e) = failure {
+            return Err(BucketRamError::Crypto(e.to_string()));
+        }
+        Ok(contents)
     }
 
-    /// Downloads the cells of bucket `b` from the server (one round trip)
-    /// and decrypts them; does not consult the stash.
-    fn download_bucket(&mut self, b: usize) -> Result<Vec<Vec<u8>>, BucketRamError> {
-        let addrs = self.buckets[b].clone();
-        let cells = self.server.read_batch(&addrs)?;
-        cells.into_iter().map(|c| self.decrypt(c)).collect()
+    /// Downloads the cells of bucket `b` and discards them (decoy-download
+    /// shape): the bytes never leave the server arena.
+    fn download_bucket_discard(&mut self, b: usize) -> Result<(), BucketRamError> {
+        self.server.read_batch_with(&self.buckets[b], |_, _| {})?;
+        Ok(())
     }
 
     /// One bucket query: retrieves bucket `bucket`'s current contents,
@@ -275,7 +302,7 @@ impl BucketRam {
         let mut contents;
         if self.stashed_buckets.contains(&bucket) {
             download = rng.gen_index(b);
-            let _ = self.download_bucket(download)?; // decoy, discarded
+            self.download_bucket_discard(download)?; // decoy, discarded
             contents = self.unstash_bucket(bucket);
         } else {
             download = bucket;
@@ -300,30 +327,53 @@ impl BucketRam {
         // ---- Overwrite phase ----
         let overwrite;
         if rng.gen_bool(self.stash_probability) {
-            // Stash the bucket; refresh a uniform decoy bucket.
+            // Stash the bucket; refresh a uniform decoy bucket: download
+            // its ciphertexts into flat scratch, decrypt + re-encrypt each
+            // cell through the reusable buffers, upload the flat result.
             self.stash_bucket(bucket, &contents);
             overwrite = rng.gen_index(b);
-            let addrs = self.buckets[overwrite].clone();
-            let cells = self.server.read_batch(&addrs)?;
-            let mut writes = Vec::with_capacity(addrs.len());
-            for (addr, cell) in addrs.into_iter().zip(cells) {
-                let plain = self.decrypt(cell)?;
-                writes.push((addr, self.cipher.encrypt(&plain, rng).0));
+            let ct_len = self.cell_size + CIPHERTEXT_OVERHEAD;
+            let ct = &mut self.ct_scratch;
+            ct.clear();
+            self.server.read_batch_with(&self.buckets[overwrite], |_, cell| {
+                ct.extend_from_slice(cell);
+            })?;
+            // A tampered/odd-length cell must surface as a crypto error (as
+            // the per-cell decrypt did before), not skew the chunking and
+            // the strided upload's inferred stride.
+            if self.ct_scratch.len() != self.buckets[overwrite].len() * ct_len {
+                return Err(BucketRamError::Crypto(format!(
+                    "decoy bucket {} has malformed cell lengths ({} bytes total, expected {})",
+                    overwrite,
+                    self.ct_scratch.len(),
+                    self.buckets[overwrite].len() * ct_len
+                )));
             }
-            self.server.write_batch(writes)?;
+            self.enc_flat.clear();
+            for chunk in self.ct_scratch.chunks_exact(ct_len) {
+                self.cipher
+                    .decrypt_into(chunk, &mut self.pt_scratch)
+                    .map_err(|e| BucketRamError::Crypto(e.to_string()))?;
+                self.cipher.encrypt_into(&self.pt_scratch, &mut self.enc_cell, rng);
+                self.enc_flat.extend_from_slice(&self.enc_cell);
+            }
+            self.server
+                .write_batch_strided(&self.buckets[overwrite], &self.enc_flat)?;
         } else {
             // Write the bucket back fresh; keep any client copies in sync.
             overwrite = bucket;
-            let addrs = self.buckets[bucket].clone();
-            let _ = self.server.read_batch(&addrs)?; // same shape as decoy path
-            let mut writes = Vec::with_capacity(addrs.len());
-            for (&addr, content) in addrs.iter().zip(&contents) {
+            // Same download shape as the decoy path, bytes discarded.
+            self.server.read_batch_with(&self.buckets[bucket], |_, _| {})?;
+            self.enc_flat.clear();
+            for (&addr, content) in self.buckets[bucket].iter().zip(&contents) {
                 if self.cell_stash.contains_key(&addr) {
                     self.cell_stash.insert(addr, content.clone());
                 }
-                writes.push((addr, self.cipher.encrypt(content, rng).0));
+                self.cipher.encrypt_into(content, &mut self.enc_cell, rng);
+                self.enc_flat.extend_from_slice(&self.enc_cell);
             }
-            self.server.write_batch(writes)?;
+            self.server
+                .write_batch_strided(&self.buckets[bucket], &self.enc_flat)?;
         }
 
         Ok((contents, BucketTrace { download, overwrite }))

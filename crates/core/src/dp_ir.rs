@@ -191,14 +191,17 @@ impl DpIr {
         }
         let (set, success) = self.sample_download_set(index, rng);
         let addrs: Vec<usize> = set.iter().copied().collect();
-        let cells = self.server.read_batch(&addrs)?;
-        let result = if success {
-            let pos = addrs.binary_search(&index).expect("real index in set");
-            Some(cells[pos].clone())
-        } else {
-            None
-        };
-        Ok((result, set))
+        // Zero-copy download: only the real record (if this query succeeds)
+        // is copied out of the server arena; decoys are read and discarded.
+        let pos = success
+            .then(|| addrs.binary_search(&index).expect("real index in set"));
+        let mut record = Vec::new();
+        self.server.read_batch_with(&addrs, |i, cell| {
+            if Some(i) == pos {
+                record.extend_from_slice(cell);
+            }
+        })?;
+        Ok((success.then_some(record), set))
     }
 }
 

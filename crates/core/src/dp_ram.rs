@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use dps_crypto::{BlockCipher, ChaChaRng, Ciphertext};
+use dps_crypto::{BlockCipher, ChaChaRng};
 use dps_server::{ServerError, SimServer};
 use dps_workloads::Op;
 
@@ -136,6 +136,11 @@ pub struct DpRam {
     server: SimServer,
     /// High-water mark of the stash, for Lemma D.1 experiments.
     max_stash: usize,
+    /// Reusable ciphertext/plaintext scratch: cells are copied here from
+    /// the server arena and decrypted in place (zero per-query allocation).
+    cell_scratch: Vec<u8>,
+    /// Reusable encryption output scratch for the overwrite phase.
+    enc_scratch: Vec<u8>,
 }
 
 impl DpRam {
@@ -180,7 +185,16 @@ impl DpRam {
             }
         }
         let max_stash = stash.len();
-        Ok(Self { config, block_size, cipher, stash, server, max_stash })
+        Ok(Self {
+            config,
+            block_size,
+            cipher,
+            stash,
+            server,
+            max_stash,
+            cell_scratch: Vec::new(),
+            enc_scratch: Vec::new(),
+        })
     }
 
     /// The configuration in force.
@@ -257,17 +271,18 @@ impl DpRam {
         let mut current;
         let download;
         if let Some(stashed) = self.stash.remove(&index) {
-            // Decoy download; the record comes from the stash.
+            // Decoy download; the record comes from the stash. The cell is
+            // discarded, so the zero-copy read never leaves the server.
             download = rng.gen_index(self.config.n);
-            let _ = self.server.read(download)?;
+            self.server.read_batch_with(&[download], |_, _| {})?;
             current = stashed;
         } else {
             download = index;
-            let cell = self.server.read(download)?;
-            current = self
-                .cipher
-                .decrypt(&Ciphertext(cell))
+            self.fetch_cell(download)?;
+            self.cipher
+                .decrypt_in_place(&mut self.cell_scratch)
                 .map_err(|e| DpRamError::Crypto(e.to_string()))?;
+            current = self.cell_scratch.clone();
         }
         if let Some(v) = new_value {
             current = v;
@@ -281,21 +296,30 @@ impl DpRam {
             self.stash.insert(index, current.clone());
             self.max_stash = self.max_stash.max(self.stash.len());
             overwrite = rng.gen_index(self.config.n);
-            let cell = self.server.read(overwrite)?;
-            let plain = self
-                .cipher
-                .decrypt(&Ciphertext(cell))
+            self.fetch_cell(overwrite)?;
+            self.cipher
+                .decrypt_in_place(&mut self.cell_scratch)
                 .map_err(|e| DpRamError::Crypto(e.to_string()))?;
-            let fresh = self.cipher.encrypt(&plain, rng);
-            self.server.write(overwrite, fresh.0)?;
+            self.cipher
+                .encrypt_into(&self.cell_scratch, &mut self.enc_scratch, rng);
+            self.server.write_from(overwrite, &self.enc_scratch)?;
         } else {
             overwrite = index;
-            let _ = self.server.read(overwrite)?;
-            let fresh = self.cipher.encrypt(&current, rng);
-            self.server.write(overwrite, fresh.0)?;
+            self.server.read_batch_with(&[overwrite], |_, _| {})?;
+            self.cipher.encrypt_into(&current, &mut self.enc_scratch, rng);
+            self.server.write_from(overwrite, &self.enc_scratch)?;
         }
 
         Ok((current, RamQueryTrace { download, overwrite }))
+    }
+
+    /// Copies the cell at `addr` into the reusable scratch buffer (one
+    /// round trip, no allocation after warm-up).
+    fn fetch_cell(&mut self, addr: usize) -> Result<(), ServerError> {
+        let scratch = &mut self.cell_scratch;
+        scratch.clear();
+        self.server
+            .read_batch_with(&[addr], |_, cell| scratch.extend_from_slice(cell))
     }
 }
 

@@ -88,12 +88,15 @@ impl DpRamReadOnly {
     ) -> Result<(Vec<u8>, usize), ServerError> {
         assert!(index < self.n, "index out of range");
         if let Some(v) = self.stash.get(&index) {
+            // Decoy download, discarded without leaving the server arena.
             let decoy = rng.gen_index(self.n);
-            let _ = self.server.read(decoy)?;
+            self.server.read_batch_with(&[decoy], |_, _| {})?;
             Ok((v.clone(), decoy))
         } else {
-            let cell = self.server.read(index)?;
-            Ok((cell, index))
+            let mut out = Vec::new();
+            self.server
+                .read_batch_with(&[index], |_, cell| out.extend_from_slice(cell))?;
+            Ok((out, index))
         }
     }
 

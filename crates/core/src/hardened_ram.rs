@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use dps_crypto::aead::{address_aad, AeadCipher, Sealed};
+use dps_crypto::aead::{address_aad, AeadCipher};
 use dps_crypto::ChaChaRng;
 use dps_server::verified::{VerifiedError, VerifiedServer};
 use dps_workloads::Op;
@@ -117,6 +117,11 @@ pub struct HardenedDpRam {
     cipher: AeadCipher,
     stash: HashMap<usize, Vec<u8>>,
     server: VerifiedServer,
+    /// Reusable sealed-cell scratch: cells are copied here from the
+    /// (verified) arena and opened in place.
+    cell_scratch: Vec<u8>,
+    /// Reusable seal output scratch for the overwrite phase.
+    enc_scratch: Vec<u8>,
 }
 
 impl HardenedDpRam {
@@ -163,7 +168,15 @@ impl HardenedDpRam {
                 stash.insert(i, block.clone());
             }
         }
-        Ok(Self { config, block_size, cipher, stash, server })
+        Ok(Self {
+            config,
+            block_size,
+            cipher,
+            stash,
+            server,
+            cell_scratch: Vec::new(),
+            enc_scratch: Vec::new(),
+        })
     }
 
     /// The configuration in force.
@@ -188,9 +201,19 @@ impl HardenedDpRam {
         &mut self.server
     }
 
-    fn open(&self, addr: usize, cell: Vec<u8>) -> Result<Vec<u8>, HardenedRamError> {
+    /// Copies the verified cell at `addr` into the reusable scratch buffer
+    /// (one round trip, no allocation after warm-up).
+    fn fetch_cell(&mut self, addr: usize) -> Result<(), VerifiedError> {
+        let scratch = &mut self.cell_scratch;
+        scratch.clear();
+        self.server
+            .read_batch_with(&[addr], |_, cell| scratch.extend_from_slice(cell))
+    }
+
+    /// Opens the scratch buffer's sealed cell in place against `addr`.
+    fn open_scratch(&mut self, addr: usize) -> Result<(), HardenedRamError> {
         self.cipher
-            .open(&address_aad(addr, 0), &Sealed(cell))
+            .open_in_place(&address_aad(addr, 0), &mut self.cell_scratch)
             .map_err(|_| HardenedRamError::Tampering {
                 addr,
                 detected_by: TamperDetection::AddressBoundAead,
@@ -238,19 +261,18 @@ impl HardenedDpRam {
         let mut current;
         let download;
         if let Some(stashed) = self.stash.remove(&index) {
+            // Decoy download: verified, then discarded without copying.
             download = rng.gen_index(self.config.n);
-            let _ = self
-                .server
-                .read(download)
+            self.server
+                .read_batch_with(&[download], |_, _| {})
                 .map_err(HardenedRamError::from_verified)?;
             current = stashed;
         } else {
             download = index;
-            let cell = self
-                .server
-                .read(download)
+            self.fetch_cell(download)
                 .map_err(HardenedRamError::from_verified)?;
-            current = self.open(download, cell)?;
+            self.open_scratch(download)?;
+            current = self.cell_scratch.clone();
         }
         if let Some(v) = new_value {
             current = v;
@@ -261,24 +283,27 @@ impl HardenedDpRam {
         if rng.gen_bool(self.config.stash_probability) {
             self.stash.insert(index, current.clone());
             overwrite = rng.gen_index(self.config.n);
-            let cell = self
-                .server
-                .read(overwrite)
+            self.fetch_cell(overwrite)
                 .map_err(HardenedRamError::from_verified)?;
-            let plain = self.open(overwrite, cell)?;
-            let fresh = self.cipher.seal(&address_aad(overwrite, 0), &plain, rng);
+            self.open_scratch(overwrite)?;
+            self.cipher.seal_into(
+                &address_aad(overwrite, 0),
+                &self.cell_scratch,
+                &mut self.enc_scratch,
+                rng,
+            );
             self.server
-                .write(overwrite, fresh.0)
+                .write_from(overwrite, &self.enc_scratch)
                 .map_err(HardenedRamError::from_verified)?;
         } else {
             overwrite = index;
-            let _ = self
-                .server
-                .read(overwrite)
-                .map_err(HardenedRamError::from_verified)?;
-            let fresh = self.cipher.seal(&address_aad(overwrite, 0), &current, rng);
             self.server
-                .write(overwrite, fresh.0)
+                .read_batch_with(&[overwrite], |_, _| {})
+                .map_err(HardenedRamError::from_verified)?;
+            self.cipher
+                .seal_into(&address_aad(overwrite, 0), &current, &mut self.enc_scratch, rng);
+            self.server
+                .write_from(overwrite, &self.enc_scratch)
                 .map_err(HardenedRamError::from_verified)?;
         }
 

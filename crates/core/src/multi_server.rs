@@ -190,11 +190,15 @@ impl MultiServerDpIr {
         let mut result = None;
         for (s, set) in sets.iter().enumerate() {
             let addrs: Vec<usize> = set.iter().copied().collect();
-            let cells = self.servers.read_batch(s, &addrs)?;
-            if real_server == Some(s) {
-                let pos = addrs.binary_search(&index).expect("real index in its server's set");
-                result = Some(cells[pos].clone());
-            }
+            // Zero-copy per-server scan: only the real record (on its one
+            // server) is copied out; every decoy is read and discarded.
+            let pos = (real_server == Some(s))
+                .then(|| addrs.binary_search(&index).expect("real index in its server's set"));
+            self.servers.read_batch_with(s, &addrs, |i, cell| {
+                if Some(i) == pos {
+                    result = Some(cell.to_vec());
+                }
+            })?;
         }
         Ok(result)
     }

@@ -83,9 +83,15 @@ impl InsecureStrawmanIr {
         assert!(index < self.n, "index out of range");
         let set = self.sample_download_set(index, rng);
         let addrs: Vec<usize> = set.iter().copied().collect();
-        let cells = self.server.read_batch(&addrs)?;
         let pos = addrs.binary_search(&index).expect("real index always in set");
-        Ok((cells[pos].clone(), set))
+        // Zero-copy scan: only the real record leaves the server arena.
+        let mut out = Vec::new();
+        self.server.read_batch_with(&addrs, |i, cell| {
+            if i == pos {
+                out.extend_from_slice(cell);
+            }
+        })?;
+        Ok((out, set))
     }
 
     /// The paper's lower bound on this scheme's δ: `(n−1)/n`.

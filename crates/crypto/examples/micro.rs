@@ -1,0 +1,36 @@
+//! Quick component timing for the cipher hot path (dev aid).
+use std::time::Instant;
+
+use dps_crypto::chacha;
+use dps_crypto::hmac::HmacKey;
+use dps_crypto::poly1305::Poly1305;
+
+fn main() {
+    let key = [7u8; 32];
+    let nonce = [3u8; 12];
+    let mut data = vec![0xAAu8; 272];
+    let iters = 200_000u32;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        chacha::xor_keystream(&key, 0, &nonce, &mut data);
+    }
+    println!("chacha 272B: {:?}/op", t.elapsed() / iters);
+
+    let mac = HmacKey::new(&key);
+    let t = Instant::now();
+    let mut acc = 0u8;
+    for _ in 0..iters {
+        acc ^= mac.mac(&data)[0];
+    }
+    println!("hmac 272B: {:?}/op  ({acc})", t.elapsed() / iters);
+
+    let t = Instant::now();
+    let mut acc = 0u8;
+    for _ in 0..iters {
+        let mut p = Poly1305::new(&key);
+        p.update(&data);
+        acc ^= p.finalize()[0];
+    }
+    println!("poly1305 272B: {:?}/op  ({acc})", t.elapsed() / iters);
+}

@@ -26,32 +26,46 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
-/// Computes one 64-byte ChaCha20 keystream block for the given key, block
-/// counter and nonce (RFC 8439 §2.3).
-pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+/// Parses key and nonce into the 16-word initial state (counter word left
+/// at 0); shared by [`block`] and [`xor_keystream`] so multi-block calls
+/// parse the inputs once.
+#[inline(always)]
+fn init_state(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u32; 16] {
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&CONSTANTS);
     for (i, chunk) in key.chunks_exact(4).enumerate() {
         state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
     }
-    state[12] = counter;
     for (i, chunk) in nonce.chunks_exact(4).enumerate() {
         state[13 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
     }
+    state
+}
 
-    let mut working = state;
+/// The 20 ChaCha rounds (RFC 8439 §2.3).
+#[inline(always)]
+fn permute(working: &mut [u32; 16]) {
     for _ in 0..10 {
         // Column rounds.
-        quarter_round(&mut working, 0, 4, 8, 12);
-        quarter_round(&mut working, 1, 5, 9, 13);
-        quarter_round(&mut working, 2, 6, 10, 14);
-        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(working, 0, 4, 8, 12);
+        quarter_round(working, 1, 5, 9, 13);
+        quarter_round(working, 2, 6, 10, 14);
+        quarter_round(working, 3, 7, 11, 15);
         // Diagonal rounds.
-        quarter_round(&mut working, 0, 5, 10, 15);
-        quarter_round(&mut working, 1, 6, 11, 12);
-        quarter_round(&mut working, 2, 7, 8, 13);
-        quarter_round(&mut working, 3, 4, 9, 14);
+        quarter_round(working, 0, 5, 10, 15);
+        quarter_round(working, 1, 6, 11, 12);
+        quarter_round(working, 2, 7, 8, 13);
+        quarter_round(working, 3, 4, 9, 14);
     }
+}
+
+/// Computes one 64-byte ChaCha20 keystream block for the given key, block
+/// counter and nonce (RFC 8439 §2.3).
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let mut state = init_state(key, nonce);
+    state[12] = counter;
+    let mut working = state;
+    permute(&mut working);
 
     let mut out = [0u8; BLOCK_LEN];
     for (i, word) in working.iter().enumerate() {
@@ -63,18 +77,39 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
 
 /// XORs `data` in place with the ChaCha20 keystream starting at block
 /// `counter`. This is both encryption and decryption (RFC 8439 §2.4).
+///
+/// Multi-block fast path: the state is parsed once, full blocks are XORed
+/// as `u32` words directly into `data` (no `[u8; 64]` keystream buffer is
+/// materialized), and only a sub-block tail falls back to byte granularity.
 pub fn xor_keystream(
     key: &[u8; KEY_LEN],
     mut counter: u32,
     nonce: &[u8; NONCE_LEN],
     data: &mut [u8],
 ) {
-    for chunk in data.chunks_mut(BLOCK_LEN) {
-        let ks = block(key, counter, nonce);
-        for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
-            *byte ^= k;
+    let mut state = init_state(key, nonce);
+    let mut chunks = data.chunks_exact_mut(BLOCK_LEN);
+    for chunk in &mut chunks {
+        state[12] = counter;
+        let mut working = state;
+        permute(&mut working);
+        for (i, word) in working.iter().enumerate() {
+            let ks = word.wrapping_add(state[i]);
+            let lane = &mut chunk[4 * i..4 * i + 4];
+            let mixed = u32::from_le_bytes(lane.try_into().expect("4-byte lane")) ^ ks;
+            lane.copy_from_slice(&mixed.to_le_bytes());
         }
         counter = counter.wrapping_add(1);
+    }
+    let tail = chunks.into_remainder();
+    if !tail.is_empty() {
+        state[12] = counter;
+        let mut working = state;
+        permute(&mut working);
+        for (i, byte) in tail.iter_mut().enumerate() {
+            let ks = working[i / 4].wrapping_add(state[i / 4]);
+            *byte ^= ks.to_le_bytes()[i % 4];
+        }
     }
 }
 

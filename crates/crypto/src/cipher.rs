@@ -7,13 +7,16 @@
 //! produce equal-length ciphertexts, which the balls-and-bins model requires
 //! (all balls look alike).
 //!
-//! A 4-byte keyed integrity tag (truncated HMAC) is appended so that tests
-//! and the simulated server can detect accidental corruption; this is a
-//! robustness aid, not an authenticity claim (the paper's adversary is
-//! honest-but-curious).
+//! A 4-byte keyed integrity tag (truncated Poly1305 under a one-time key
+//! derived RFC 8439-style from a separate MAC key and the nonce) is
+//! appended so that tests and the simulated server can detect accidental
+//! corruption; this is a robustness aid, not an authenticity claim (the
+//! paper's adversary is honest-but-curious). Poly1305 keeps the tag a few
+//! ChaCha-block-equivalents of work, so tagging never dominates the
+//! per-query crypto the benches measure.
 
 use crate::chacha;
-use crate::hmac::hmac_sha256;
+use crate::poly1305::Poly1305;
 use crate::rng::ChaChaRng;
 
 /// Length of the integrity tag appended to each ciphertext.
@@ -104,20 +107,39 @@ impl BlockCipher {
     /// Calling this twice on the same plaintext yields different
     /// ciphertexts (IND-CPA re-randomization).
     pub fn encrypt(&self, plaintext: &[u8], rng: &mut ChaChaRng) -> Ciphertext {
+        let mut out = Vec::new();
+        self.encrypt_into(plaintext, &mut out, rng);
+        Ciphertext(out)
+    }
+
+    /// Encrypts `plaintext` into `out` (cleared first) with a fresh random
+    /// nonce. Performs no heap allocation once `out` has capacity for
+    /// `plaintext.len() + CIPHERTEXT_OVERHEAD` bytes — the hot-path form of
+    /// [`BlockCipher::encrypt`] for callers with a reusable scratch buffer.
+    pub fn encrypt_into(&self, plaintext: &[u8], out: &mut Vec<u8>, rng: &mut ChaChaRng) {
         let mut nonce = [0u8; chacha::NONCE_LEN];
         rng.fill_bytes(&mut nonce);
-        let mut out = Vec::with_capacity(plaintext.len() + CIPHERTEXT_OVERHEAD);
+        out.clear();
+        out.reserve(plaintext.len() + CIPHERTEXT_OVERHEAD);
         out.extend_from_slice(&nonce);
         out.extend_from_slice(plaintext);
         chacha::xor_keystream(&self.key.enc, 0, &nonce, &mut out[chacha::NONCE_LEN..]);
-        let tag = self.tag(&out);
+        let tag = self.tag(out);
         out.extend_from_slice(&tag);
-        Ciphertext(out)
     }
 
     /// Decrypts a ciphertext, verifying its integrity tag.
     pub fn decrypt(&self, ciphertext: &Ciphertext) -> Result<Vec<u8>, CryptoError> {
-        let data = &ciphertext.0;
+        let mut out = Vec::new();
+        self.decrypt_into(&ciphertext.0, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decrypts raw ciphertext bytes into `out` (cleared first), verifying
+    /// the integrity tag. Performs no heap allocation once `out` has
+    /// capacity — the zero-copy read path hands borrowed cell slices
+    /// straight to this.
+    pub fn decrypt_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CryptoError> {
         if data.len() < CIPHERTEXT_OVERHEAD {
             return Err(CryptoError::Malformed);
         }
@@ -127,13 +149,45 @@ impl BlockCipher {
         }
         let nonce: [u8; chacha::NONCE_LEN] =
             body[..chacha::NONCE_LEN].try_into().expect("nonce prefix");
-        let mut plaintext = body[chacha::NONCE_LEN..].to_vec();
-        chacha::xor_keystream(&self.key.enc, 0, &nonce, &mut plaintext);
-        Ok(plaintext)
+        out.clear();
+        out.extend_from_slice(&body[chacha::NONCE_LEN..]);
+        chacha::xor_keystream(&self.key.enc, 0, &nonce, out);
+        Ok(())
     }
 
+    /// Decrypts `buf` in place: on success `buf` holds the plaintext (the
+    /// nonce prefix and tag suffix are stripped); on failure `buf` is
+    /// unchanged. No heap allocation ever.
+    pub fn decrypt_in_place(&self, buf: &mut Vec<u8>) -> Result<(), CryptoError> {
+        if buf.len() < CIPHERTEXT_OVERHEAD {
+            return Err(CryptoError::Malformed);
+        }
+        let body_len = buf.len() - TAG_LEN;
+        let (body, tag) = buf.split_at(body_len);
+        if self.tag(body) != tag {
+            return Err(CryptoError::TagMismatch);
+        }
+        let nonce: [u8; chacha::NONCE_LEN] =
+            buf[..chacha::NONCE_LEN].try_into().expect("nonce prefix");
+        chacha::xor_keystream(&self.key.enc, 0, &nonce, &mut buf[chacha::NONCE_LEN..body_len]);
+        buf.copy_within(chacha::NONCE_LEN..body_len, 0);
+        buf.truncate(body_len - chacha::NONCE_LEN);
+        Ok(())
+    }
+
+    /// Truncated Poly1305 over `nonce || body` under a one-time key derived
+    /// from the MAC key and the nonce (the RFC 8439 §2.6 construction, but
+    /// keyed by the independent MAC key so it never overlaps the
+    /// encryption keystream).
     fn tag(&self, nonce_and_body: &[u8]) -> [u8; TAG_LEN] {
-        let digest = hmac_sha256(&self.key.mac, nonce_and_body);
+        let nonce: [u8; chacha::NONCE_LEN] = nonce_and_body[..chacha::NONCE_LEN]
+            .try_into()
+            .expect("nonce prefix");
+        let block = chacha::block(&self.key.mac, 0, &nonce);
+        let one_time_key: [u8; 32] = block[..32].try_into().expect("32-byte prefix");
+        let mut mac = Poly1305::new(&one_time_key);
+        mac.update(nonce_and_body);
+        let digest = mac.finalize();
         digest[..TAG_LEN].try_into().expect("tag prefix")
     }
 }

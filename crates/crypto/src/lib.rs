@@ -43,7 +43,8 @@ pub mod rng;
 pub mod sha256;
 
 pub use aead::{AeadCipher, Sealed};
-pub use cipher::{BlockCipher, Ciphertext, CryptoError, Key};
+pub use cipher::{BlockCipher, Ciphertext, CryptoError, Key, CIPHERTEXT_OVERHEAD};
+pub use hmac::HmacKey;
 pub use prf::{HmacPrf, Prf};
 pub use prp::SmallDomainPrp;
 pub use rng::ChaChaRng;

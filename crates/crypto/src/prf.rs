@@ -5,7 +5,7 @@
 //! `F` as HMAC-SHA256 truncated to 64 bits, with an unbiased reduction into
 //! `[0, n)` for bucket selection.
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::{hmac_sha256, HmacKey};
 
 /// A keyed pseudorandom function mapping byte strings to 64-bit outputs.
 pub trait Prf {
@@ -24,10 +24,12 @@ pub trait Prf {
     }
 }
 
-/// HMAC-SHA256-based PRF.
+/// HMAC-SHA256-based PRF. The HMAC pad states are precomputed once per
+/// key, so each evaluation costs only the message compressions.
 #[derive(Clone)]
 pub struct HmacPrf {
     key: Vec<u8>,
+    mac: HmacKey,
 }
 
 impl std::fmt::Debug for HmacPrf {
@@ -40,7 +42,7 @@ impl std::fmt::Debug for HmacPrf {
 impl HmacPrf {
     /// Creates a PRF keyed with `key`.
     pub fn new(key: &[u8]) -> Self {
-        Self { key: key.to_vec() }
+        Self { key: key.to_vec(), mac: HmacKey::new(key) }
     }
 
     /// Derives an independent PRF from this one using a domain-separation
@@ -50,13 +52,13 @@ impl HmacPrf {
         let mut input = Vec::with_capacity(label.len() + 7);
         input.extend_from_slice(b"derive:");
         input.extend_from_slice(label);
-        Self { key: hmac_sha256(&self.key, &input).to_vec() }
+        Self::new(&hmac_sha256(&self.key, &input))
     }
 }
 
 impl Prf for HmacPrf {
     fn eval(&self, input: &[u8]) -> u64 {
-        let digest = hmac_sha256(&self.key, input);
+        let digest = self.mac.mac(input);
         u64::from_le_bytes(digest[..8].try_into().expect("8-byte prefix"))
     }
 }

@@ -75,14 +75,16 @@ impl Sha256 {
     /// Finalizes the hash and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
         let bit_len = self.length.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buffered != 56 {
-            self.update(&[0x00]);
+        // One `0x80` marker, zeros up to the next 56-mod-64 boundary, then
+        // the 8-byte bit length: at most two compressions, fed in one call.
+        let mut tail = [0u8; 2 * BLOCK_LEN];
+        tail[0] = 0x80;
+        let mut n = 1;
+        while (self.buffered + n) % BLOCK_LEN != 56 {
+            n += 1;
         }
-        // `update` counts padding into `length`, but `bit_len` was latched
-        // before padding, so the encoded length is correct.
-        self.length = 0;
-        self.update(&bit_len.to_be_bytes());
+        tail[n..n + 8].copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&tail[..n + 8]);
         let mut out = [0u8; DIGEST_LEN];
         for (i, word) in self.state.iter().enumerate() {
             out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());

@@ -18,6 +18,76 @@ proptest! {
         prop_assert_eq!(cipher.decrypt(&ct).unwrap(), plaintext);
     }
 
+    /// The in-place / into-scratch crypto paths agree exactly with the
+    /// owning paths: `encrypt_into` output decrypts via `decrypt`, owned
+    /// `encrypt` output decrypts via both `decrypt_into` and
+    /// `decrypt_in_place`, and a reused scratch buffer never leaks state
+    /// between calls.
+    #[test]
+    fn in_place_crypto_matches_owning(
+        pt_a in proptest::collection::vec(any::<u8>(), 0..300),
+        pt_b in proptest::collection::vec(any::<u8>(), 0..300),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cipher = BlockCipher::generate(&mut rng);
+        let mut ct_scratch = Vec::new();
+        let mut pt_scratch = vec![0xEEu8; 64]; // stale contents must be cleared
+        for pt in [&pt_a, &pt_b, &pt_a] {
+            // encrypt_into -> decrypt
+            cipher.encrypt_into(pt, &mut ct_scratch, &mut rng);
+            prop_assert_eq!(
+                &cipher.decrypt(&dps_crypto::Ciphertext(ct_scratch.clone())).unwrap(),
+                pt
+            );
+            // encrypt_into -> decrypt_into (scratch reuse)
+            cipher.decrypt_into(&ct_scratch.clone(), &mut pt_scratch).unwrap();
+            prop_assert_eq!(&pt_scratch, pt);
+            // encrypt (owned) -> decrypt_in_place
+            let mut buf = cipher.encrypt(pt, &mut rng).0;
+            cipher.decrypt_in_place(&mut buf).unwrap();
+            prop_assert_eq!(&buf, pt);
+        }
+    }
+
+    /// `decrypt_in_place` detects corruption and leaves the buffer intact
+    /// on failure.
+    #[test]
+    fn decrypt_in_place_rejects_corruption(
+        len in 0usize..128,
+        pos_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cipher = BlockCipher::generate(&mut rng);
+        let mut buf = cipher.encrypt(&vec![3u8; len], &mut rng).0;
+        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
+        buf[pos] ^= 1;
+        let before = buf.clone();
+        prop_assert!(cipher.decrypt_in_place(&mut buf).is_err());
+        prop_assert_eq!(buf, before);
+    }
+
+    /// AEAD `seal_into` / `open_in_place` agree with the owning paths.
+    #[test]
+    fn aead_in_place_matches_owning(
+        plaintext in proptest::collection::vec(any::<u8>(), 0..200),
+        aad in proptest::collection::vec(any::<u8>(), 0..32),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cipher = dps_crypto::AeadCipher::generate(&mut rng);
+        let mut sealed_scratch = vec![0xAAu8; 8];
+        cipher.seal_into(&aad, &plaintext, &mut sealed_scratch, &mut rng);
+        prop_assert_eq!(
+            cipher.open(&aad, &dps_crypto::Sealed(sealed_scratch.clone())).unwrap(),
+            plaintext.clone()
+        );
+        let mut buf = cipher.seal(&aad, &plaintext, &mut rng).0;
+        cipher.open_in_place(&aad, &mut buf).unwrap();
+        prop_assert_eq!(buf, plaintext);
+    }
+
     /// Ciphertext length depends only on plaintext length.
     #[test]
     fn ciphertext_length_is_deterministic(len in 0usize..300, seed in any::<u64>()) {

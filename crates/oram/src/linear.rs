@@ -5,7 +5,7 @@
 //! the degenerate point the DP-IR lower bound (Theorem 3.3) says *errorless*
 //! schemes cannot beat, so it doubles as the errorless baseline in E1.
 
-use dps_crypto::{BlockCipher, ChaChaRng, Ciphertext};
+use dps_crypto::{BlockCipher, ChaChaRng};
 use dps_server::SimServer;
 
 /// A linear-scan ORAM client.
@@ -15,6 +15,15 @@ pub struct LinearOram {
     block_size: usize,
     cipher: BlockCipher,
     server: SimServer,
+    /// Cached full-scan address list `[0, n)` (every access touches all).
+    addrs: Vec<usize>,
+    /// Reusable single-block plaintext scratch (only one block is ever
+    /// decrypted at a time — the client keeps no plaintext between cells).
+    pt_scratch: Vec<u8>,
+    /// Reusable per-cell encryption output scratch.
+    enc_cell: Vec<u8>,
+    /// Reusable flat upload scratch for the strided write-back.
+    enc_flat: Vec<u8>,
 }
 
 /// Errors from linear ORAM operations.
@@ -53,7 +62,17 @@ impl LinearOram {
         let cipher = BlockCipher::generate(rng);
         let cells = blocks.iter().map(|b| cipher.encrypt(b, rng).0).collect();
         server.init(cells);
-        Self { n: blocks.len(), block_size, cipher, server }
+        let n = blocks.len();
+        Self {
+            n,
+            block_size,
+            cipher,
+            server,
+            addrs: (0..n).collect(),
+            pt_scratch: Vec::new(),
+            enc_cell: Vec::new(),
+            enc_flat: Vec::new(),
+        }
     }
 
     /// Number of blocks.
@@ -83,31 +102,42 @@ impl LinearOram {
         if index >= self.n {
             return Err(LinearOramError::IndexOutOfRange { index, n: self.n });
         }
-        let addrs: Vec<usize> = (0..self.n).collect();
-        let cells = self
-            .server
-            .read_batch(&addrs)
-            .map_err(|e| LinearOramError::Storage(e.to_string()))?;
-        let mut plains: Vec<Vec<u8>> = Vec::with_capacity(self.n);
-        for cell in cells {
-            plains.push(
-                self.cipher
-                    .decrypt(&Ciphertext(cell))
-                    .map_err(|e| LinearOramError::Storage(e.to_string()))?,
-            );
-        }
-        let old = plains[index].clone();
-        if let Some(v) = new_value {
+        if let Some(v) = &new_value {
             assert_eq!(v.len(), self.block_size, "block size mismatch");
-            plains[index] = v;
         }
-        let writes: Vec<(usize, Vec<u8>)> = plains
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i, self.cipher.encrypt(p, rng).0))
-            .collect();
+        // Streaming zero-copy scan: each borrowed cell is decrypted into
+        // the single-block scratch and immediately re-encrypted into the
+        // flat upload buffer, so only one plaintext block is ever resident
+        // client-side.
+        let cipher = &self.cipher;
+        let pt = &mut self.pt_scratch;
+        let enc_cell = &mut self.enc_cell;
+        let enc_flat = &mut self.enc_flat;
+        enc_flat.clear();
+        let mut old = Vec::new();
+        let mut failure = None;
         self.server
-            .write_batch(writes)
+            .read_batch_with(&self.addrs, |i, cell| {
+                if let Err(e) = cipher.decrypt_into(cell, pt) {
+                    failure.get_or_insert(e);
+                    return;
+                }
+                if i == index {
+                    old.extend_from_slice(pt);
+                    if let Some(v) = &new_value {
+                        pt.clear();
+                        pt.extend_from_slice(v);
+                    }
+                }
+                cipher.encrypt_into(pt, enc_cell, rng);
+                enc_flat.extend_from_slice(enc_cell);
+            })
+            .map_err(|e| LinearOramError::Storage(e.to_string()))?;
+        if let Some(e) = failure {
+            return Err(LinearOramError::Storage(e.to_string()));
+        }
+        self.server
+            .write_batch_strided(&self.addrs, &self.enc_flat)
             .map_err(|e| LinearOramError::Storage(e.to_string()))?;
         Ok(old)
     }

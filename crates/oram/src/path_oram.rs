@@ -11,7 +11,7 @@
 use dps_crypto::{BlockCipher, ChaChaRng};
 use dps_server::SimServer;
 
-use crate::slots::{decode_bucket, encode_bucket, Slot};
+use crate::slots::{decode_bucket, encode_bucket, encode_bucket_into, Slot};
 
 /// Configuration for [`PathOram`].
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +78,15 @@ pub struct PathOram {
     position: Vec<usize>,
     stash: std::collections::HashMap<u64, Vec<u8>>,
     server: SimServer,
+    /// Reusable root-to-leaf address scratch (read order; reversed for the
+    /// bottom-up eviction upload).
+    path_scratch: Vec<usize>,
+    evict_addrs: Vec<usize>,
+    /// Reusable plaintext / bucket-encode / encryption scratch buffers.
+    pt_scratch: Vec<u8>,
+    bucket_scratch: Vec<u8>,
+    enc_cell: Vec<u8>,
+    enc_flat: Vec<u8>,
 }
 
 impl PathOram {
@@ -139,7 +148,20 @@ impl PathOram {
             .collect();
         server.init(cells);
 
-        Self { config, height, cipher, position, stash, server }
+        Self {
+            config,
+            height,
+            cipher,
+            position,
+            stash,
+            server,
+            path_scratch: Vec::new(),
+            evict_addrs: Vec::new(),
+            pt_scratch: Vec::new(),
+            bucket_scratch: Vec::new(),
+            enc_cell: Vec::new(),
+            enc_flat: Vec::new(),
+        }
     }
 
     /// The bucket id at `level` on the path to `leaf` (level 0 = root).
@@ -222,23 +244,39 @@ impl PathOram {
         let leaf = self.position[index];
         self.position[index] = rng.gen_index(1usize << self.height);
 
-        // Round trip 1: read the whole path into the stash.
-        let path: Vec<usize> = (0..=self.height)
-            .map(|level| Self::bucket_index(leaf, level, self.height))
-            .collect();
-        let cells = self
-            .server
-            .read_batch(&path)
-            .map_err(|e| OramError::Storage(e.to_string()))?;
-        for cell in cells {
-            let plain = self
-                .cipher
-                .decrypt(&dps_crypto::Ciphertext(cell))
+        // Round trip 1: read the whole path into the stash. Each borrowed
+        // bucket ciphertext is decrypted into the reusable plaintext
+        // scratch and decoded from there — no per-bucket allocation beyond
+        // the stash entries themselves.
+        self.path_scratch.clear();
+        self.path_scratch
+            .extend((0..=self.height).map(|level| Self::bucket_index(leaf, level, self.height)));
+        {
+            let cipher = &self.cipher;
+            let stash = &mut self.stash;
+            let pt = &mut self.pt_scratch;
+            let (bucket_size, block_size) = (self.config.bucket_size, self.config.block_size);
+            let mut failure: Option<String> = None;
+            self.server
+                .read_batch_with(&self.path_scratch, |_, cell| {
+                    if let Err(e) = cipher.decrypt_into(cell, pt) {
+                        failure.get_or_insert(e.to_string());
+                        return;
+                    }
+                    match decode_bucket(pt, bucket_size, block_size) {
+                        Ok(slots) => {
+                            for slot in slots {
+                                stash.insert(slot.id, slot.payload);
+                            }
+                        }
+                        Err(e) => {
+                            failure.get_or_insert(e.to_string());
+                        }
+                    }
+                })
                 .map_err(|e| OramError::Storage(e.to_string()))?;
-            let slots = decode_bucket(&plain, self.config.bucket_size, self.config.block_size)
-                .map_err(|e| OramError::Storage(e.to_string()))?;
-            for slot in slots {
-                self.stash.insert(slot.id, slot.payload);
+            if let Some(e) = failure {
+                return Err(OramError::Storage(e));
             }
         }
 
@@ -251,8 +289,11 @@ impl PathOram {
             self.stash.insert(index as u64, value);
         }
 
-        // Round trip 2: greedy bottom-up eviction along the same path.
-        let mut writes = Vec::with_capacity(path.len());
+        // Round trip 2: greedy bottom-up eviction along the same path,
+        // each bucket encoded and encrypted through reusable scratch into
+        // one flat strided upload.
+        self.evict_addrs.clear();
+        self.enc_flat.clear();
         for level in (0..=self.height).rev() {
             let bucket_id = Self::bucket_index(leaf, level, self.height);
             let mut chosen: Vec<u64> = Vec::with_capacity(self.config.bucket_size);
@@ -272,11 +313,18 @@ impl PathOram {
                     payload: self.stash.remove(id).expect("chosen from stash"),
                 })
                 .collect();
-            let plain = encode_bucket(&slots, self.config.bucket_size, self.config.block_size);
-            writes.push((bucket_id, self.cipher.encrypt(&plain, rng).0));
+            encode_bucket_into(
+                &slots,
+                self.config.bucket_size,
+                self.config.block_size,
+                &mut self.bucket_scratch,
+            );
+            self.cipher.encrypt_into(&self.bucket_scratch, &mut self.enc_cell, rng);
+            self.enc_flat.extend_from_slice(&self.enc_cell);
+            self.evict_addrs.push(bucket_id);
         }
         self.server
-            .write_batch(writes)
+            .write_batch_strided(&self.evict_addrs, &self.enc_flat)
             .map_err(|e| OramError::Storage(e.to_string()))?;
 
         Ok(current)

@@ -19,11 +19,11 @@
 
 use std::collections::HashMap;
 
-use dps_crypto::{BlockCipher, ChaChaRng, Ciphertext};
+use dps_crypto::{BlockCipher, ChaChaRng};
 use dps_server::SimServer;
 
 use crate::path_oram::OramError;
-use crate::slots::{decode_bucket, encode_bucket, Slot};
+use crate::slots::{decode_bucket, encode_bucket, encode_bucket_into, Slot};
 
 /// Bytes used to encode one leaf label inside a payload.
 const LEAF_BYTES: usize = 4;
@@ -41,6 +41,13 @@ struct TreeLayer {
     /// Stash entries: block id → (current leaf, payload).
     stash: HashMap<u64, (usize, Vec<u8>)>,
     server: SimServer,
+    /// Reusable scratch buffers for the zero-copy access path.
+    path_scratch: Vec<usize>,
+    evict_addrs: Vec<usize>,
+    pt_scratch: Vec<u8>,
+    bucket_scratch: Vec<u8>,
+    enc_cell: Vec<u8>,
+    enc_flat: Vec<u8>,
 }
 
 impl TreeLayer {
@@ -93,7 +100,21 @@ impl TreeLayer {
         server.init(cells);
 
         (
-            Self { n, payload_size, bucket_size, height, cipher, stash, server },
+            Self {
+                n,
+                payload_size,
+                bucket_size,
+                height,
+                cipher,
+                stash,
+                server,
+                path_scratch: Vec::new(),
+                evict_addrs: Vec::new(),
+                pt_scratch: Vec::new(),
+                bucket_scratch: Vec::new(),
+                enc_cell: Vec::new(),
+                enc_flat: Vec::new(),
+            },
             positions,
         )
     }
@@ -132,24 +153,38 @@ impl TreeLayer {
         debug_assert!(index < self.n);
         let stored_size = LEAF_BYTES + self.payload_size;
 
-        // Round trip 1: path down into the stash.
-        let path: Vec<usize> = (0..=self.height)
-            .map(|level| Self::bucket_index(old_leaf, level, self.height))
-            .collect();
-        let cells = self
-            .server
-            .read_batch(&path)
-            .map_err(|e| OramError::Storage(e.to_string()))?;
-        for cell in cells {
-            let plain = self
-                .cipher
-                .decrypt(&Ciphertext(cell))
+        // Round trip 1: path down into the stash, decrypting each borrowed
+        // bucket slice through the reusable plaintext scratch.
+        self.path_scratch.clear();
+        self.path_scratch
+            .extend((0..=self.height).map(|level| Self::bucket_index(old_leaf, level, self.height)));
+        {
+            let cipher = &self.cipher;
+            let stash = &mut self.stash;
+            let pt = &mut self.pt_scratch;
+            let bucket_size = self.bucket_size;
+            let mut failure: Option<String> = None;
+            self.server
+                .read_batch_with(&self.path_scratch, |_, cell| {
+                    if let Err(e) = cipher.decrypt_into(cell, pt) {
+                        failure.get_or_insert(e.to_string());
+                        return;
+                    }
+                    match decode_bucket(pt, bucket_size, stored_size) {
+                        Ok(slots) => {
+                            for slot in slots {
+                                let (leaf, payload) = Self::split_leaf(&slot.payload);
+                                stash.insert(slot.id, (leaf, payload));
+                            }
+                        }
+                        Err(e) => {
+                            failure.get_or_insert(e.to_string());
+                        }
+                    }
+                })
                 .map_err(|e| OramError::Storage(e.to_string()))?;
-            for slot in decode_bucket(&plain, self.bucket_size, stored_size)
-                .map_err(|e| OramError::Storage(e.to_string()))?
-            {
-                let (leaf, payload) = Self::split_leaf(&slot.payload);
-                self.stash.insert(slot.id, (leaf, payload));
+            if let Some(e) = failure {
+                return Err(OramError::Storage(e));
             }
         }
 
@@ -161,8 +196,10 @@ impl TreeLayer {
         entry.0 = new_leaf;
         mutate(&mut entry.1);
 
-        // Round trip 2: greedy bottom-up eviction along the old path.
-        let mut writes = Vec::with_capacity(path.len());
+        // Round trip 2: greedy bottom-up eviction along the old path, into
+        // one flat strided upload.
+        self.evict_addrs.clear();
+        self.enc_flat.clear();
         for level in (0..=self.height).rev() {
             let bucket_id = Self::bucket_index(old_leaf, level, self.height);
             let chosen: Vec<u64> = self
@@ -181,11 +218,13 @@ impl TreeLayer {
                     Slot { id: *id, payload: Self::attach_leaf(leaf, &payload) }
                 })
                 .collect();
-            let plain = encode_bucket(&slots, self.bucket_size, stored_size);
-            writes.push((bucket_id, self.cipher.encrypt(&plain, rng).0));
+            encode_bucket_into(&slots, self.bucket_size, stored_size, &mut self.bucket_scratch);
+            self.cipher.encrypt_into(&self.bucket_scratch, &mut self.enc_cell, rng);
+            self.enc_flat.extend_from_slice(&self.enc_cell);
+            self.evict_addrs.push(bucket_id);
         }
         self.server
-            .write_batch(writes)
+            .write_batch_strided(&self.evict_addrs, &self.enc_flat)
             .map_err(|e| OramError::Storage(e.to_string()))?;
 
         Ok(before)

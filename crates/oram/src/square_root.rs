@@ -25,11 +25,11 @@
 
 use std::collections::HashMap;
 
-use dps_crypto::{BlockCipher, ChaChaRng, Ciphertext, SmallDomainPrp};
+use dps_crypto::{BlockCipher, ChaChaRng, SmallDomainPrp};
 use dps_server::SimServer;
 
 use crate::path_oram::OramError;
-use crate::slots::{decode_bucket, encode_bucket, Slot};
+use crate::slots::{decode_bucket, encode_bucket, encode_bucket_into, Slot};
 
 /// A square-root ORAM client bound to a simulated server.
 #[derive(Debug)]
@@ -47,6 +47,11 @@ pub struct SquareRootOram {
     /// Dummies consumed in the current epoch.
     used_dummies: usize,
     server: SimServer,
+    /// Reusable scratch buffers for the zero-copy query path.
+    shelter_scratch: Vec<usize>,
+    pt_scratch: Vec<u8>,
+    bucket_scratch: Vec<u8>,
+    enc_cell: Vec<u8>,
     /// Authoritative plaintext contents are re-derived at shuffle time; the
     /// client holds only counters and keys between queries.
     _private: (),
@@ -101,6 +106,10 @@ impl SquareRootOram {
             epoch_queries: 0,
             used_dummies: 0,
             server,
+            shelter_scratch: Vec::new(),
+            pt_scratch: Vec::new(),
+            bucket_scratch: Vec::new(),
+            enc_cell: Vec::new(),
             _private: (),
         }
     }
@@ -147,14 +156,6 @@ impl SquareRootOram {
         self.n + self.shelter_size + slot
     }
 
-    fn decrypt_slots(&self, cell: Vec<u8>) -> Result<Vec<Slot>, OramError> {
-        let plain = self
-            .cipher
-            .decrypt(&Ciphertext(cell))
-            .map_err(|e| OramError::Storage(e.to_string()))?;
-        decode_bucket(&plain, 1, self.block_size).map_err(|e| OramError::Storage(e.to_string()))
-    }
-
     /// Reads block `index`.
     pub fn read(&mut self, index: usize, rng: &mut ChaChaRng) -> Result<Vec<u8>, OramError> {
         self.access(index, None, rng)
@@ -184,19 +185,39 @@ impl SquareRootOram {
         }
 
         // Round trip 1: scan the whole shelter. Later slots are fresher, so
-        // a plain insert (which overwrites) yields the newest version.
-        let shelter_addrs: Vec<usize> =
-            (0..self.epoch_queries).map(|s| self.shelter_addr(s)).collect();
+        // a plain insert (which overwrites) yields the newest version. The
+        // zero-copy read decrypts each borrowed shelter cell through the
+        // reusable plaintext scratch.
+        self.shelter_scratch.clear();
+        for s in 0..self.epoch_queries {
+            self.shelter_scratch.push(self.shelter_addr(s));
+        }
         let mut sheltered: HashMap<u64, Vec<u8>> = HashMap::new();
-        if !shelter_addrs.is_empty() {
-            let cells = self
-                .server
-                .read_batch(&shelter_addrs)
+        if !self.shelter_scratch.is_empty() {
+            let cipher = &self.cipher;
+            let pt = &mut self.pt_scratch;
+            let block_size = self.block_size;
+            let mut failure: Option<String> = None;
+            self.server
+                .read_batch_with(&self.shelter_scratch, |_, cell| {
+                    if let Err(e) = cipher.decrypt_into(cell, pt) {
+                        failure.get_or_insert(e.to_string());
+                        return;
+                    }
+                    match decode_bucket(pt, 1, block_size) {
+                        Ok(slots) => {
+                            for slot in slots {
+                                sheltered.insert(slot.id, slot.payload);
+                            }
+                        }
+                        Err(e) => {
+                            failure.get_or_insert(e.to_string());
+                        }
+                    }
+                })
                 .map_err(|e| OramError::Storage(e.to_string()))?;
-            for cell in cells {
-                for slot in self.decrypt_slots(cell)? {
-                    sheltered.insert(slot.id, slot.payload);
-                }
+            if let Some(e) = failure {
+                return Err(OramError::Storage(e));
             }
         }
 
@@ -209,11 +230,16 @@ impl SquareRootOram {
         } else {
             self.prp.permute(index as u64) as usize
         };
-        let cell = self
-            .server
-            .read(target)
+        let pt = &mut self.pt_scratch;
+        pt.clear();
+        self.server
+            .read_batch_with(&[target], |_, cell| pt.extend_from_slice(cell))
             .map_err(|e| OramError::Storage(e.to_string()))?;
-        let main_slots = self.decrypt_slots(cell)?;
+        self.cipher
+            .decrypt_in_place(&mut self.pt_scratch)
+            .map_err(|e| OramError::Storage(e.to_string()))?;
+        let main_slots = decode_bucket(&self.pt_scratch, 1, self.block_size)
+            .map_err(|e| OramError::Storage(e.to_string()))?;
 
         let current = if in_shelter {
             sheltered
@@ -229,15 +255,18 @@ impl SquareRootOram {
         };
         let updated = new_value.unwrap_or_else(|| current.clone());
 
-        // Round trip 3: append to the next shelter slot.
-        let slot_plain = encode_bucket(
+        // Round trip 3: append to the next shelter slot (encode + encrypt
+        // through reusable scratch, borrowed upload).
+        encode_bucket_into(
             &[Slot { id: index as u64, payload: updated }],
             1,
             self.block_size,
+            &mut self.bucket_scratch,
         );
+        self.cipher.encrypt_into(&self.bucket_scratch, &mut self.enc_cell, rng);
         let shelter_slot = self.shelter_addr(self.epoch_queries);
         self.server
-            .write(shelter_slot, self.cipher.encrypt(&slot_plain, rng).0)
+            .write_from(shelter_slot, &self.enc_cell)
             .map_err(|e| OramError::Storage(e.to_string()))?;
         self.epoch_queries += 1;
 
@@ -252,27 +281,48 @@ impl SquareRootOram {
     fn reshuffle(&mut self, rng: &mut ChaChaRng) -> Result<(), OramError> {
         let total = self.n + 2 * self.shelter_size;
         let all: Vec<usize> = (0..total).collect();
-        let cells = self
-            .server
-            .read_batch(&all)
-            .map_err(|e| OramError::Storage(e.to_string()))?;
 
         // Rebuild plaintext contents: permuted region first, then shelter
-        // (in slot order, so fresher shelter versions win).
+        // (in slot order, so fresher shelter versions win). The zero-copy
+        // scan decrypts each borrowed cell through the plaintext scratch.
         let mut contents: Vec<Option<Vec<u8>>> = vec![None; self.n];
-        for (addr, cell) in cells.into_iter().enumerate() {
-            for slot in self.decrypt_slots(cell)? {
-                let id = slot.id as usize;
-                if id < self.n {
-                    if addr < self.n + self.shelter_size {
-                        // Main region: only fill if nothing fresher known.
-                        contents[id].get_or_insert(slot.payload);
-                    } else {
-                        // Shelter: always fresher than main; later slots
-                        // are fresher than earlier ones.
-                        contents[id] = Some(slot.payload);
+        {
+            let cipher = &self.cipher;
+            let pt = &mut self.pt_scratch;
+            let (n, shelter_size, block_size) = (self.n, self.shelter_size, self.block_size);
+            let mut failure: Option<String> = None;
+            self.server
+                .read_batch_with(&all, |addr, cell| {
+                    if let Err(e) = cipher.decrypt_into(cell, pt) {
+                        failure.get_or_insert(e.to_string());
+                        return;
                     }
-                }
+                    match decode_bucket(pt, 1, block_size) {
+                        Ok(slots) => {
+                            for slot in slots {
+                                let id = slot.id as usize;
+                                if id < n {
+                                    if addr < n + shelter_size {
+                                        // Main region: only fill if nothing
+                                        // fresher known.
+                                        contents[id].get_or_insert(slot.payload);
+                                    } else {
+                                        // Shelter: always fresher than main;
+                                        // later slots are fresher than
+                                        // earlier ones.
+                                        contents[id] = Some(slot.payload);
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            failure.get_or_insert(e.to_string());
+                        }
+                    }
+                })
+                .map_err(|e| OramError::Storage(e.to_string()))?;
+            if let Some(e) = failure {
+                return Err(OramError::Storage(e));
             }
         }
         // Shelter slots override main-region versions; ensure shelter pass

@@ -23,6 +23,8 @@ use dps_server::{ReplicatedServers, ServerError};
 pub struct MultiServerXorPir {
     servers: ReplicatedServers,
     n: usize,
+    /// Reusable per-server answer scratch for the zero-alloc XOR path.
+    answer_scratch: Vec<u8>,
 }
 
 impl MultiServerXorPir {
@@ -35,7 +37,11 @@ impl MultiServerXorPir {
         assert!(!blocks.is_empty(), "need at least one block");
         let size = blocks[0].len();
         assert!(blocks.iter().all(|b| b.len() == size), "uniform block size required");
-        Self { servers: ReplicatedServers::replicate(d, blocks), n: blocks.len() }
+        Self {
+            servers: ReplicatedServers::replicate(d, blocks),
+            n: blocks.len(),
+            answer_scratch: Vec::new(),
+        }
     }
 
     /// Number of records.
@@ -92,11 +98,13 @@ impl MultiServerXorPir {
 
         let mut out = Vec::new();
         for (server, subset) in subsets.iter().enumerate() {
-            let answer = self.servers.server_mut(server).xor_cells(subset)?;
-            if answer.len() > out.len() {
-                out.resize(answer.len(), 0);
+            self.servers
+                .server_mut(server)
+                .xor_cells_into(subset, &mut self.answer_scratch)?;
+            if self.answer_scratch.len() > out.len() {
+                out.resize(self.answer_scratch.len(), 0);
             }
-            for (x, y) in out.iter_mut().zip(answer.iter()) {
+            for (x, y) in out.iter_mut().zip(self.answer_scratch.iter()) {
                 *x ^= y;
             }
         }

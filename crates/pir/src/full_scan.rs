@@ -12,6 +12,9 @@ use dps_server::{ServerError, SimServer};
 pub struct FullScanPir {
     server: SimServer,
     n: usize,
+    /// Cached `[0, n)` address list: the scan is the same every query, so
+    /// it is built once at setup instead of reallocated per query.
+    addrs: Vec<usize>,
 }
 
 impl FullScanPir {
@@ -19,7 +22,8 @@ impl FullScanPir {
     pub fn setup(blocks: &[Vec<u8>], mut server: SimServer) -> Self {
         assert!(!blocks.is_empty(), "need at least one block");
         server.init(blocks.to_vec());
-        Self { server, n: blocks.len() }
+        let n = blocks.len();
+        Self { server, n, addrs: (0..n).collect() }
     }
 
     /// Number of records.
@@ -27,7 +31,9 @@ impl FullScanPir {
         self.n
     }
 
-    /// Always false (setup requires at least one record).
+    /// True when the PIR holds no records. Derived from the actual record
+    /// count rather than hard-coded (setup currently guarantees `n > 0`,
+    /// but this method must not silently lie if that invariant changes).
     pub fn is_empty(&self) -> bool {
         self.n == 0
     }
@@ -42,11 +48,18 @@ impl FullScanPir {
         &mut self.server
     }
 
-    /// Retrieves record `index` by downloading all `n` records.
+    /// Retrieves record `index` by downloading all `n` records. The scan
+    /// uses the zero-copy read path: only the requested record is copied
+    /// out of the server arena; the other `n − 1` cells are never cloned.
     pub fn query(&mut self, index: usize) -> Result<Vec<u8>, ServerError> {
-        let addrs: Vec<usize> = (0..self.n).collect();
-        let mut cells = self.server.read_batch(&addrs)?;
-        Ok(cells.swap_remove(index))
+        assert!(index < self.n, "index out of range");
+        let mut out = Vec::new();
+        self.server.read_batch_with(&self.addrs, |i, cell| {
+            if i == index {
+                out.extend_from_slice(cell);
+            }
+        })?;
+        Ok(out)
     }
 }
 

@@ -16,6 +16,8 @@ use dps_server::{ReplicatedServers, ServerError};
 pub struct XorPir {
     servers: ReplicatedServers,
     n: usize,
+    /// Reusable per-server answer scratch for the zero-alloc XOR path.
+    answer_scratch: Vec<u8>,
 }
 
 impl XorPir {
@@ -24,7 +26,11 @@ impl XorPir {
         assert!(!blocks.is_empty(), "need at least one block");
         let size = blocks[0].len();
         assert!(blocks.iter().all(|b| b.len() == size), "uniform block size required");
-        Self { servers: ReplicatedServers::replicate(2, blocks), n: blocks.len() }
+        Self {
+            servers: ReplicatedServers::replicate(2, blocks),
+            n: blocks.len(),
+            answer_scratch: Vec::new(),
+        }
     }
 
     /// Number of records.
@@ -60,16 +66,19 @@ impl XorPir {
             }
             Err(pos) => s1.insert(pos, index),
         }
-        let a0 = self.servers.server_mut(0).xor_cells(&s0)?;
-        let a1 = self.servers.server_mut(1).xor_cells(&s1)?;
-        // XOR the two answers; an empty subset yields an empty answer,
-        // which XORs as all-zeroes.
-        let mut out = vec![0u8; a0.len().max(a1.len())];
-        for (x, y) in out.iter_mut().zip(a0.iter()) {
-            *x ^= y;
-        }
-        for (x, y) in out.iter_mut().zip(a1.iter()) {
-            *x ^= y;
+        // XOR the two answers through the reusable scratch; an empty subset
+        // yields an empty answer, which XORs as all-zeroes.
+        let mut out = Vec::new();
+        for (server, subset) in [&s0, &s1].into_iter().enumerate() {
+            self.servers
+                .server_mut(server)
+                .xor_cells_into(subset, &mut self.answer_scratch)?;
+            if self.answer_scratch.len() > out.len() {
+                out.resize(self.answer_scratch.len(), 0);
+            }
+            for (x, y) in out.iter_mut().zip(self.answer_scratch.iter()) {
+                *x ^= y;
+            }
         }
         Ok(out)
     }

@@ -55,8 +55,22 @@ pub fn encoded_len(capacity: usize, payload_len: usize) -> usize {
 /// Panics if more than `capacity` slots are given or a payload has the
 /// wrong length.
 pub fn encode_bucket(slots: &[Slot], capacity: usize, payload_len: usize) -> Vec<u8> {
-    assert!(slots.len() <= capacity, "bucket overflow: {} > {capacity}", slots.len());
     let mut out = Vec::with_capacity(encoded_len(capacity, payload_len));
+    encode_bucket_into(slots, capacity, payload_len, &mut out);
+    out
+}
+
+/// [`encode_bucket`] into a caller scratch buffer (cleared first): no heap
+/// allocation once `out` has capacity. The hot-path form for ORAM write
+/// paths that re-encode buckets on every access.
+///
+/// # Panics
+/// Panics if more than `capacity` slots are given or a payload has the
+/// wrong length.
+pub fn encode_bucket_into(slots: &[Slot], capacity: usize, payload_len: usize, out: &mut Vec<u8>) {
+    assert!(slots.len() <= capacity, "bucket overflow: {} > {capacity}", slots.len());
+    out.clear();
+    out.reserve(encoded_len(capacity, payload_len));
     for slot in slots {
         assert_eq!(slot.payload.len(), payload_len, "payload length mismatch");
         out.push(1);
@@ -68,7 +82,6 @@ pub fn encode_bucket(slots: &[Slot], capacity: usize, payload_len: usize) -> Vec
         out.extend_from_slice(&[0u8; 8]);
         out.extend(std::iter::repeat_n(0u8, payload_len));
     }
-    out
 }
 
 /// Decodes a bucket produced by [`encode_bucket`]. Vacant slots are omitted

@@ -28,12 +28,14 @@ pub mod latency;
 pub mod multi;
 pub mod server;
 pub mod stats;
+pub mod store;
 pub mod transcript;
 pub mod verified;
 
 pub use latency::NetworkModel;
 pub use multi::ReplicatedServers;
 pub use server::{ServerError, SimServer};
+pub use store::CellStore;
 pub use stats::CostStats;
 pub use transcript::{AccessEvent, Transcript};
 pub use verified::{VerifiedError, VerifiedServer};

@@ -100,6 +100,17 @@ impl ReplicatedServers {
     pub fn read_batch(&mut self, i: usize, addrs: &[usize]) -> Result<Vec<Vec<u8>>, ServerError> {
         self.servers[i].read_batch(addrs)
     }
+
+    /// Downloads `addrs` from server `i` in one round trip, handing each
+    /// cell to `visit` as a borrowed slice (zero-copy).
+    pub fn read_batch_with(
+        &mut self,
+        i: usize,
+        addrs: &[usize],
+        visit: impl FnMut(usize, &[u8]),
+    ) -> Result<(), ServerError> {
+        self.servers[i].read_batch_with(addrs, visit)
+    }
 }
 
 #[cfg(test)]

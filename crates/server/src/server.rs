@@ -1,6 +1,7 @@
 //! The simulated passive storage server.
 
 use crate::stats::CostStats;
+use crate::store::{xor_slices, CellStore};
 use crate::transcript::{AccessEvent, Transcript};
 
 /// Errors returned by server operations.
@@ -41,9 +42,16 @@ impl std::error::Error for ServerError {}
 /// only operations are batched downloads and uploads (plus the PIR-style
 /// [`SimServer::xor_cells`] active operation). Each batch counts as one
 /// round trip.
+///
+/// Storage is a flat arena ([`CellStore`]): one contiguous allocation,
+/// fixed cell stride. The owning read API ([`SimServer::read_batch`])
+/// copies cells out for callers that need ownership; the zero-copy API
+/// ([`SimServer::read_batch_with`], [`SimServer::read_into`]) hands out
+/// borrowed slices / copies into caller scratch without any per-cell heap
+/// traffic — that is the hot path every scheme in this workspace uses.
 #[derive(Debug, Clone, Default)]
 pub struct SimServer {
-    cells: Vec<Option<Vec<u8>>>,
+    cells: CellStore,
     stats: CostStats,
     transcript: Option<Transcript>,
 }
@@ -59,17 +67,17 @@ impl SimServer {
     /// charged to the query-cost counters (the paper treats setup
     /// separately from per-query overhead).
     pub fn init(&mut self, cells: Vec<Vec<u8>>) {
-        self.cells = cells.into_iter().map(Some).collect();
+        self.cells = CellStore::from_cells(&cells);
     }
 
     /// Reserves `capacity` uninitialized cells.
     pub fn init_empty(&mut self, capacity: usize) {
-        self.cells = vec![None; capacity];
+        self.cells = CellStore::with_capacity(capacity);
     }
 
     /// Number of cells the server stores.
     pub fn capacity(&self) -> usize {
-        self.cells.len()
+        self.cells.capacity()
     }
 
     /// Returns true if no cells are allocated.
@@ -79,10 +87,12 @@ impl SimServer {
 
     /// Total bytes currently stored (server-storage measure).
     pub fn stored_bytes(&self) -> u64 {
-        self.cells
-            .iter()
-            .map(|c| c.as_ref().map_or(0, |v| v.len() as u64))
-            .sum()
+        self.cells.stored_bytes()
+    }
+
+    /// The fixed cell stride of the backing arena (0 before any init).
+    pub fn cell_stride(&self) -> usize {
+        self.cells.stride()
     }
 
     /// Starts recording the adversarial transcript.
@@ -113,33 +123,53 @@ impl SimServer {
     }
 
     fn check(&self, addr: usize) -> Result<(), ServerError> {
-        if addr < self.cells.len() {
+        if addr < self.cells.capacity() {
             Ok(())
         } else {
-            Err(ServerError::OutOfBounds { addr, capacity: self.cells.len() })
+            Err(ServerError::OutOfBounds { addr, capacity: self.cells.capacity() })
         }
     }
 
-    fn record(&mut self, events: Vec<AccessEvent>) {
+    /// Records one round trip's events, building them only when a
+    /// transcript is actually being captured (the common no-transcript case
+    /// pays nothing).
+    fn record_with(&mut self, events: impl FnOnce() -> Vec<AccessEvent>) {
         if let Some(t) = self.transcript.as_mut() {
-            t.push_batch(events);
+            t.push_batch(events());
         }
+    }
+
+    /// Downloads the cells at `addrs` in one round trip, handing each cell
+    /// to `visit` as a slice borrowed straight from the storage arena —
+    /// zero-copy, no per-cell allocation. `visit` receives the cell's
+    /// position within the batch and its bytes.
+    ///
+    /// This is the hot-path form of [`SimServer::read_batch`]; stats and
+    /// transcript accounting are identical.
+    pub fn read_batch_with(
+        &mut self,
+        addrs: &[usize],
+        mut visit: impl FnMut(usize, &[u8]),
+    ) -> Result<(), ServerError> {
+        for (i, &addr) in addrs.iter().enumerate() {
+            self.check(addr)?;
+            let cell = self
+                .cells
+                .get(addr)
+                .ok_or(ServerError::Uninitialized { addr })?;
+            self.stats.downloads += 1;
+            self.stats.bytes_down += cell.len() as u64;
+            visit(i, cell);
+        }
+        self.stats.round_trips += 1;
+        self.record_with(|| addrs.iter().map(|&a| AccessEvent::Download(a)).collect());
+        Ok(())
     }
 
     /// Downloads the cells at `addrs` in one round trip.
     pub fn read_batch(&mut self, addrs: &[usize]) -> Result<Vec<Vec<u8>>, ServerError> {
         let mut out = Vec::with_capacity(addrs.len());
-        for &addr in addrs {
-            self.check(addr)?;
-            let cell = self.cells[addr]
-                .as_ref()
-                .ok_or(ServerError::Uninitialized { addr })?;
-            self.stats.downloads += 1;
-            self.stats.bytes_down += cell.len() as u64;
-            out.push(cell.clone());
-        }
-        self.stats.round_trips += 1;
-        self.record(addrs.iter().map(|&a| AccessEvent::Download(a)).collect());
+        self.read_batch_with(addrs, |_, cell| out.push(cell.to_vec()))?;
         Ok(out)
     }
 
@@ -148,25 +178,81 @@ impl SimServer {
         Ok(self.read_batch(&[addr])?.pop().expect("one cell requested"))
     }
 
+    /// Downloads a single cell (one round trip) into the caller's scratch
+    /// buffer, returning the cell's length. No heap allocation.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than the cell.
+    pub fn read_into(&mut self, addr: usize, out: &mut [u8]) -> Result<usize, ServerError> {
+        let mut len = 0;
+        self.read_batch_with(&[addr], |_, cell| {
+            out[..cell.len()].copy_from_slice(cell);
+            len = cell.len();
+        })?;
+        Ok(len)
+    }
+
     /// Uploads the given cells in one round trip.
     pub fn write_batch(&mut self, writes: Vec<(usize, Vec<u8>)>) -> Result<(), ServerError> {
         for (addr, _) in &writes {
             self.check(*addr)?;
         }
-        let events = writes.iter().map(|&(a, _)| AccessEvent::Upload(a)).collect();
-        for (addr, cell) in writes {
+        for (addr, cell) in &writes {
             self.stats.uploads += 1;
             self.stats.bytes_up += cell.len() as u64;
-            self.cells[addr] = Some(cell);
+            self.cells.set(*addr, cell);
         }
         self.stats.round_trips += 1;
-        self.record(events);
+        self.record_with(|| writes.iter().map(|&(a, _)| AccessEvent::Upload(a)).collect());
         Ok(())
     }
 
     /// Uploads a single cell (one round trip).
     pub fn write(&mut self, addr: usize, cell: Vec<u8>) -> Result<(), ServerError> {
-        self.write_batch(vec![(addr, cell)])
+        self.write_from(addr, &cell)
+    }
+
+    /// Uploads a single borrowed cell (one round trip). The hot-path form
+    /// of [`SimServer::write`]: the caller keeps ownership of its scratch
+    /// buffer and no heap allocation happens.
+    pub fn write_from(&mut self, addr: usize, cell: &[u8]) -> Result<(), ServerError> {
+        self.check(addr)?;
+        self.stats.uploads += 1;
+        self.stats.bytes_up += cell.len() as u64;
+        self.cells.set(addr, cell);
+        self.stats.round_trips += 1;
+        self.record_with(|| vec![AccessEvent::Upload(addr)]);
+        Ok(())
+    }
+
+    /// Uploads equal-length cells packed back-to-back in `flat` (cell `i`
+    /// at `i * (flat.len() / addrs.len())`) in one round trip. The
+    /// hot-path form of [`SimServer::write_batch`] for schemes that
+    /// re-encrypt a batch into one flat scratch buffer.
+    ///
+    /// # Panics
+    /// Panics if `flat.len()` is not a multiple of `addrs.len()`.
+    pub fn write_batch_strided(&mut self, addrs: &[usize], flat: &[u8]) -> Result<(), ServerError> {
+        if addrs.is_empty() {
+            assert!(flat.is_empty(), "flat bytes without addresses");
+            self.stats.round_trips += 1;
+            self.record_with(Vec::new);
+            return Ok(());
+        }
+        assert_eq!(flat.len() % addrs.len(), 0, "flat length not a multiple of cell count");
+        let stride = flat.len() / addrs.len();
+        for &addr in addrs {
+            self.check(addr)?;
+        }
+        for (i, &addr) in addrs.iter().enumerate() {
+            let cell = &flat[i * stride..(i + 1) * stride];
+            self.stats.uploads += 1;
+            self.stats.bytes_up += cell.len() as u64;
+            self.cells.set(addr, cell);
+        }
+        self.stats.round_trips += 1;
+        self.record_with(|| addrs.iter().map(|&a| AccessEvent::Upload(a)).collect());
+        Ok(())
     }
 
     /// Downloads `reads` and uploads `writes` in a single combined round
@@ -182,26 +268,28 @@ impl SimServer {
         for (addr, _) in &writes {
             self.check(*addr)?;
         }
-        let mut events: Vec<AccessEvent> =
-            reads.iter().map(|&a| AccessEvent::Download(a)).collect();
-        events.extend(writes.iter().map(|&(a, _)| AccessEvent::Upload(a)));
-
         let mut out = Vec::with_capacity(reads.len());
         for &addr in reads {
-            let cell = self.cells[addr]
-                .as_ref()
+            let cell = self
+                .cells
+                .get(addr)
                 .ok_or(ServerError::Uninitialized { addr })?;
             self.stats.downloads += 1;
             self.stats.bytes_down += cell.len() as u64;
-            out.push(cell.clone());
+            out.push(cell.to_vec());
         }
-        for (addr, cell) in writes {
+        for (addr, cell) in &writes {
             self.stats.uploads += 1;
             self.stats.bytes_up += cell.len() as u64;
-            self.cells[addr] = Some(cell);
+            self.cells.set(*addr, cell);
         }
         self.stats.round_trips += 1;
-        self.record(events);
+        self.record_with(|| {
+            let mut events: Vec<AccessEvent> =
+                reads.iter().map(|&a| AccessEvent::Download(a)).collect();
+            events.extend(writes.iter().map(|&(a, _)| AccessEvent::Upload(a)));
+            events
+        });
         Ok(out)
     }
 
@@ -209,28 +297,36 @@ impl SimServer {
     /// together and returns the result, charging one *compute* operation per
     /// cell touched. All cells must have equal length.
     pub fn xor_cells(&mut self, addrs: &[usize]) -> Result<Vec<u8>, ServerError> {
-        let mut acc: Option<Vec<u8>> = None;
+        let mut out = Vec::new();
+        self.xor_cells_into(addrs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SimServer::xor_cells`] into a caller scratch buffer (cleared
+    /// first): XOR runs u64-chunked over contiguous arena slices, with no
+    /// allocation once `acc` has capacity.
+    pub fn xor_cells_into(&mut self, addrs: &[usize], acc: &mut Vec<u8>) -> Result<(), ServerError> {
+        acc.clear();
+        let mut first = true;
         for &addr in addrs {
             self.check(addr)?;
-            let cell = self.cells[addr]
-                .as_ref()
+            let cell = self
+                .cells
+                .get(addr)
                 .ok_or(ServerError::Uninitialized { addr })?;
             self.stats.computed += 1;
-            match acc.as_mut() {
-                None => acc = Some(cell.clone()),
-                Some(a) => {
-                    debug_assert_eq!(a.len(), cell.len(), "XOR over unequal cells");
-                    for (x, y) in a.iter_mut().zip(cell) {
-                        *x ^= y;
-                    }
-                }
+            if first {
+                acc.extend_from_slice(cell);
+                first = false;
+            } else {
+                debug_assert_eq!(acc.len(), cell.len(), "XOR over unequal cells");
+                xor_slices(acc, cell);
             }
         }
-        let result = acc.unwrap_or_default();
-        self.stats.bytes_down += result.len() as u64;
+        self.stats.bytes_down += acc.len() as u64;
         self.stats.round_trips += 1;
-        self.record(addrs.iter().map(|&a| AccessEvent::Compute(a)).collect());
-        Ok(result)
+        self.record_with(|| addrs.iter().map(|&a| AccessEvent::Compute(a)).collect());
+        Ok(())
     }
 }
 
@@ -366,5 +462,106 @@ mod tests {
         s.read(0).unwrap();
         s.reset_stats();
         assert_eq!(s.stats(), CostStats::default());
+    }
+
+    #[test]
+    fn read_batch_with_visits_cells_in_order() {
+        let mut s = server_with(8);
+        let before = s.stats();
+        let mut seen = Vec::new();
+        s.read_batch_with(&[5, 1, 5], |i, cell| seen.push((i, cell.to_vec())))
+            .unwrap();
+        assert_eq!(
+            seen,
+            vec![(0, vec![5u8; 4]), (1, vec![1u8; 4]), (2, vec![5u8; 4])]
+        );
+        let diff = s.stats().since(&before);
+        assert_eq!(diff.downloads, 3);
+        assert_eq!(diff.bytes_down, 12);
+        assert_eq!(diff.round_trips, 1);
+    }
+
+    #[test]
+    fn read_into_copies_without_allocating() {
+        let mut s = server_with(4);
+        let mut scratch = [0u8; 8];
+        let len = s.read_into(2, &mut scratch).unwrap();
+        assert_eq!(len, 4);
+        assert_eq!(&scratch[..4], &[2u8; 4]);
+        assert_eq!(s.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn write_from_and_strided_match_owning_writes() {
+        let mut s = server_with(8);
+        s.write_from(1, &[9u8; 4]).unwrap();
+        assert_eq!(s.read(1).unwrap(), vec![9u8; 4]);
+
+        let flat = [7u8, 7, 7, 7, 8, 8, 8, 8];
+        s.write_batch_strided(&[2, 3], &flat).unwrap();
+        assert_eq!(s.read(2).unwrap(), vec![7u8; 4]);
+        assert_eq!(s.read(3).unwrap(), vec![8u8; 4]);
+        // Same stats accounting as the owning write path.
+        let mut reference = server_with(8);
+        reference.write(1, vec![9u8; 4]).unwrap();
+        reference
+            .write_batch(vec![(2, vec![7u8; 4]), (3, vec![8u8; 4])])
+            .unwrap();
+        let mut lhs = s.stats();
+        let mut rhs = reference.stats();
+        // Cancel the three verification reads done above.
+        lhs.downloads = 0;
+        lhs.bytes_down = 0;
+        lhs.round_trips -= 3;
+        rhs.downloads = 0;
+        rhs.bytes_down = 0;
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn strided_write_out_of_bounds_mutates_nothing() {
+        let mut s = server_with(2);
+        let err = s.write_batch_strided(&[0, 9], &[1u8, 1, 1, 1, 2, 2, 2, 2]);
+        assert!(err.is_err());
+        assert_eq!(s.read(0).unwrap(), vec![0u8; 4]);
+        assert_eq!(s.stats().uploads, 0);
+    }
+
+    #[test]
+    fn xor_cells_into_reuses_scratch() {
+        let mut s = SimServer::new();
+        s.init(vec![vec![0b1010], vec![0b0110], vec![0b0001]]);
+        let mut acc = vec![0xFFu8; 16]; // stale contents must be cleared
+        s.xor_cells_into(&[0, 1, 2], &mut acc).unwrap();
+        assert_eq!(acc, vec![0b1101]);
+    }
+
+    #[test]
+    fn zero_copy_paths_record_same_transcript_as_owning() {
+        let mut a = server_with(4);
+        a.start_recording();
+        a.read_batch(&[2, 0]).unwrap();
+        a.write(1, vec![0u8; 4]).unwrap();
+        a.write_batch(vec![(2, vec![1u8; 4]), (3, vec![2u8; 4])]).unwrap();
+        let view_a = a.take_transcript().canonical_encoding();
+
+        let mut b = server_with(4);
+        b.start_recording();
+        b.read_batch_with(&[2, 0], |_, _| {}).unwrap();
+        b.write_from(1, &[0u8; 4]).unwrap();
+        b.write_batch_strided(&[2, 3], &[1, 1, 1, 1, 2, 2, 2, 2]).unwrap();
+        let view_b = b.take_transcript().canonical_encoding();
+        assert_eq!(view_a, view_b);
+    }
+
+    #[test]
+    fn cell_stride_tracks_arena_geometry() {
+        let s = server_with(4);
+        assert_eq!(s.cell_stride(), 4);
+        let mut empty = SimServer::new();
+        assert_eq!(empty.cell_stride(), 0);
+        empty.init_empty(4);
+        empty.write(0, vec![0u8; 7]).unwrap();
+        assert_eq!(empty.cell_stride(), 7);
     }
 }

@@ -105,34 +105,62 @@ impl VerifiedServer {
         self.tree = tree;
     }
 
-    /// Downloads and verifies the cell at `addr`.
-    pub fn read(&mut self, addr: usize) -> Result<Vec<u8>, VerifiedError> {
-        let cell = self.server.read(addr)?;
-        let proof = self.tree.prove(addr);
-        if !MerkleTree::verify(&self.root, &cell, &proof) {
+    /// Downloads a batch in one round trip, verifying each cell against
+    /// the trusted root and handing the verified bytes to `visit` as a
+    /// slice borrowed from the storage arena (zero-copy). Fails on the
+    /// first address whose verification fails; `visit` is never called on
+    /// an unverified cell.
+    pub fn read_batch_with(
+        &mut self,
+        addrs: &[usize],
+        mut visit: impl FnMut(usize, &[u8]),
+    ) -> Result<(), VerifiedError> {
+        let (tree, root) = (&self.tree, &self.root);
+        let mut violation: Option<usize> = None;
+        self.server.read_batch_with(addrs, |i, cell| {
+            if violation.is_some() {
+                return;
+            }
+            let addr = addrs[i];
+            let proof = tree.prove(addr);
+            if MerkleTree::verify(root, cell, &proof) {
+                visit(i, cell);
+            } else {
+                violation = Some(addr);
+            }
+        })?;
+        if let Some(addr) = violation {
             return Err(VerifiedError::IntegrityViolation { addr });
         }
-        Ok(cell)
+        Ok(())
+    }
+
+    /// Downloads and verifies the cell at `addr`.
+    pub fn read(&mut self, addr: usize) -> Result<Vec<u8>, VerifiedError> {
+        let mut out = Vec::new();
+        self.read_batch_with(&[addr], |_, cell| out.extend_from_slice(cell))?;
+        Ok(out)
     }
 
     /// Downloads and verifies a batch in one round trip. Fails on the
     /// first address whose verification fails.
     pub fn read_batch(&mut self, addrs: &[usize]) -> Result<Vec<Vec<u8>>, VerifiedError> {
-        let cells = self.server.read_batch(addrs)?;
-        for (&addr, cell) in addrs.iter().zip(&cells) {
-            let proof = self.tree.prove(addr);
-            if !MerkleTree::verify(&self.root, cell, &proof) {
-                return Err(VerifiedError::IntegrityViolation { addr });
-            }
-        }
-        Ok(cells)
+        let mut out = Vec::with_capacity(addrs.len());
+        self.read_batch_with(addrs, |_, cell| out.push(cell.to_vec()))?;
+        Ok(out)
     }
 
     /// Uploads a cell and refreshes the trusted root.
     pub fn write(&mut self, addr: usize, cell: Vec<u8>) -> Result<(), VerifiedError> {
-        self.tree.update(addr, &cell);
+        self.write_from(addr, &cell)
+    }
+
+    /// Uploads a borrowed cell and refreshes the trusted root — the
+    /// hot-path form of [`VerifiedServer::write`], no allocation.
+    pub fn write_from(&mut self, addr: usize, cell: &[u8]) -> Result<(), VerifiedError> {
+        self.tree.update(addr, cell);
         self.root = self.tree.root();
-        self.server.write(addr, cell)?;
+        self.server.write_from(addr, cell)?;
         Ok(())
     }
 

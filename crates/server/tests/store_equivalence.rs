@@ -1,0 +1,339 @@
+//! Observational equivalence of the flat-arena [`SimServer`] against the
+//! old per-cell `Vec<Option<Vec<u8>>>` model.
+//!
+//! The arena rewrite must be invisible: for any program of batched reads,
+//! writes, XORs and combined accesses — including failing operations and
+//! the zero-copy variants — the cells returned, the `CostStats` charged,
+//! and the recorded transcript must be byte-identical to the reference
+//! model's.
+
+use dps_server::{AccessEvent, CostStats, ServerError, SimServer, Transcript};
+use proptest::prelude::*;
+
+/// The old storage model, reimplemented verbatim as the test oracle: cells
+/// as individually boxed optional vectors, with the original charging and
+/// recording order.
+#[derive(Default)]
+struct ReferenceServer {
+    cells: Vec<Option<Vec<u8>>>,
+    stats: CostStats,
+    transcript: Option<Transcript>,
+}
+
+impl ReferenceServer {
+    fn init(&mut self, cells: Vec<Vec<u8>>) {
+        self.cells = cells.into_iter().map(Some).collect();
+    }
+
+    fn init_empty(&mut self, capacity: usize) {
+        self.cells = vec![None; capacity];
+    }
+
+    fn start_recording(&mut self) {
+        self.transcript = Some(Transcript::new());
+    }
+
+    fn take_transcript(&mut self) -> Transcript {
+        self.transcript.take().unwrap_or_default()
+    }
+
+    fn check(&self, addr: usize) -> Result<(), ServerError> {
+        if addr < self.cells.len() {
+            Ok(())
+        } else {
+            Err(ServerError::OutOfBounds { addr, capacity: self.cells.len() })
+        }
+    }
+
+    fn record(&mut self, events: Vec<AccessEvent>) {
+        if let Some(t) = self.transcript.as_mut() {
+            t.push_batch(events);
+        }
+    }
+
+    fn read_batch(&mut self, addrs: &[usize]) -> Result<Vec<Vec<u8>>, ServerError> {
+        let mut out = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            self.check(addr)?;
+            let cell = self.cells[addr]
+                .as_ref()
+                .ok_or(ServerError::Uninitialized { addr })?;
+            self.stats.downloads += 1;
+            self.stats.bytes_down += cell.len() as u64;
+            out.push(cell.clone());
+        }
+        self.stats.round_trips += 1;
+        self.record(addrs.iter().map(|&a| AccessEvent::Download(a)).collect());
+        Ok(out)
+    }
+
+    fn write_batch(&mut self, writes: Vec<(usize, Vec<u8>)>) -> Result<(), ServerError> {
+        for (addr, _) in &writes {
+            self.check(*addr)?;
+        }
+        let events = writes.iter().map(|&(a, _)| AccessEvent::Upload(a)).collect();
+        for (addr, cell) in writes {
+            self.stats.uploads += 1;
+            self.stats.bytes_up += cell.len() as u64;
+            self.cells[addr] = Some(cell);
+        }
+        self.stats.round_trips += 1;
+        self.record(events);
+        Ok(())
+    }
+
+    fn access_batch(
+        &mut self,
+        reads: &[usize],
+        writes: Vec<(usize, Vec<u8>)>,
+    ) -> Result<Vec<Vec<u8>>, ServerError> {
+        for &addr in reads {
+            self.check(addr)?;
+        }
+        for (addr, _) in &writes {
+            self.check(*addr)?;
+        }
+        let mut events: Vec<AccessEvent> =
+            reads.iter().map(|&a| AccessEvent::Download(a)).collect();
+        events.extend(writes.iter().map(|&(a, _)| AccessEvent::Upload(a)));
+        let mut out = Vec::with_capacity(reads.len());
+        for &addr in reads {
+            let cell = self.cells[addr]
+                .as_ref()
+                .ok_or(ServerError::Uninitialized { addr })?;
+            self.stats.downloads += 1;
+            self.stats.bytes_down += cell.len() as u64;
+            out.push(cell.clone());
+        }
+        for (addr, cell) in writes {
+            self.stats.uploads += 1;
+            self.stats.bytes_up += cell.len() as u64;
+            self.cells[addr] = Some(cell);
+        }
+        self.stats.round_trips += 1;
+        self.record(events);
+        Ok(out)
+    }
+
+    fn xor_cells(&mut self, addrs: &[usize]) -> Result<Vec<u8>, ServerError> {
+        let mut acc: Option<Vec<u8>> = None;
+        for &addr in addrs {
+            self.check(addr)?;
+            let cell = self.cells[addr]
+                .as_ref()
+                .ok_or(ServerError::Uninitialized { addr })?;
+            self.stats.computed += 1;
+            match acc.as_mut() {
+                None => acc = Some(cell.clone()),
+                Some(a) => {
+                    for (x, y) in a.iter_mut().zip(cell) {
+                        *x ^= y;
+                    }
+                }
+            }
+        }
+        let result = acc.unwrap_or_default();
+        self.stats.bytes_down += result.len() as u64;
+        self.stats.round_trips += 1;
+        self.record(addrs.iter().map(|&a| AccessEvent::Compute(a)).collect());
+        Ok(result)
+    }
+}
+
+/// One step of a random server program. Addresses range a little beyond
+/// the capacity so out-of-bounds behavior is exercised too; cell lengths
+/// are uniform (`CELL_LEN`) except for `WriteOdd`, which exercises the
+/// arena's re-stride and short-cell paths.
+#[derive(Debug, Clone)]
+enum Op {
+    ReadBatch(Vec<usize>),
+    /// Issued through `read_batch_with` on the arena server.
+    ReadZeroCopy(Vec<usize>),
+    /// Issued through `read_into` on the arena server.
+    ReadInto(usize),
+    WriteBatch(Vec<(usize, u8)>),
+    /// Issued through `write_batch_strided` on the arena server.
+    WriteStrided(Vec<(usize, u8)>),
+    /// Issued through `write_from` on the arena server.
+    WriteFrom(usize, u8),
+    /// A write of a non-standard length (re-stride / short-cell paths).
+    WriteOdd(usize, u8, usize),
+    Access(Vec<usize>, Vec<(usize, u8)>),
+    Xor(Vec<usize>),
+}
+
+const CAPACITY: usize = 12;
+const CELL_LEN: usize = 10;
+
+fn cell(byte: u8, len: usize) -> Vec<u8> {
+    (0..len).map(|i| byte.wrapping_add(i as u8)).collect()
+}
+
+fn arb_addr() -> impl Strategy<Value = usize> {
+    0usize..CAPACITY + 2
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The vendored proptest has no `prop_oneof!`; a selector byte picks the
+    // variant from one tuple of raw ingredients.
+    let addrs = proptest::collection::vec(arb_addr(), 0..5);
+    let writes = proptest::collection::vec((arb_addr(), any::<u8>()), 0..5);
+    (0u8..9, addrs, writes, arb_addr(), any::<u8>(), 0usize..20).prop_map(
+        |(variant, addrs, writes, addr, byte, odd_len)| match variant {
+            0 => Op::ReadBatch(addrs),
+            1 => Op::ReadZeroCopy(addrs),
+            2 => Op::ReadInto(addr),
+            3 => Op::WriteBatch(writes),
+            4 => Op::WriteStrided(writes),
+            5 => Op::WriteFrom(addr, byte),
+            6 => Op::WriteOdd(addr, byte, odd_len),
+            7 => Op::Access(addrs, writes),
+            _ => Op::Xor(addrs),
+        },
+    )
+}
+
+/// Applies `op` to both servers and asserts identical observable results.
+fn step(op: &Op, arena: &mut SimServer, reference: &mut ReferenceServer) {
+    match op {
+        Op::ReadBatch(addrs) => {
+            assert_eq!(arena.read_batch(addrs), reference.read_batch(addrs));
+        }
+        Op::ReadZeroCopy(addrs) => {
+            let mut seen = Vec::new();
+            let got = arena.read_batch_with(addrs, |i, cell| seen.push((i, cell.to_vec())));
+            match reference.read_batch(addrs) {
+                Ok(cells) => {
+                    assert_eq!(got, Ok(()));
+                    let expected: Vec<(usize, Vec<u8>)> = cells.into_iter().enumerate().collect();
+                    assert_eq!(seen, expected);
+                }
+                Err(e) => assert_eq!(got, Err(e)),
+            }
+        }
+        Op::ReadInto(addr) => {
+            let mut scratch = [0u8; 64];
+            let got = arena.read_into(*addr, &mut scratch);
+            match reference.read_batch(&[*addr]) {
+                Ok(cells) => {
+                    let len = got.expect("reference read succeeded");
+                    assert_eq!(&scratch[..len], cells[0].as_slice());
+                }
+                Err(e) => assert_eq!(got, Err(e)),
+            }
+        }
+        Op::WriteBatch(writes) => {
+            let w = |(a, b): &(usize, u8)| (*a, cell(*b, CELL_LEN));
+            assert_eq!(
+                arena.write_batch(writes.iter().map(w).collect()),
+                reference.write_batch(writes.iter().map(w).collect()),
+            );
+        }
+        Op::WriteStrided(writes) => {
+            let addrs: Vec<usize> = writes.iter().map(|&(a, _)| a).collect();
+            let mut flat = Vec::new();
+            for &(_, b) in writes {
+                flat.extend_from_slice(&cell(b, CELL_LEN));
+            }
+            let got = arena.write_batch_strided(&addrs, &flat);
+            let expected = reference
+                .write_batch(writes.iter().map(|&(a, b)| (a, cell(b, CELL_LEN))).collect());
+            assert_eq!(got, expected);
+        }
+        Op::WriteFrom(addr, byte) => {
+            assert_eq!(
+                arena.write_from(*addr, &cell(*byte, CELL_LEN)),
+                reference.write_batch(vec![(*addr, cell(*byte, CELL_LEN))]),
+            );
+        }
+        Op::WriteOdd(addr, byte, len) => {
+            assert_eq!(
+                arena.write(*addr, cell(*byte, *len)),
+                reference.write_batch(vec![(*addr, cell(*byte, *len))]),
+            );
+        }
+        Op::Access(reads, writes) => {
+            let w = |(a, b): &(usize, u8)| (*a, cell(*b, CELL_LEN));
+            assert_eq!(
+                arena.access_batch(reads, writes.iter().map(w).collect()),
+                reference.access_batch(reads, writes.iter().map(w).collect()),
+            );
+        }
+        Op::Xor(addrs) => {
+            // XOR over unequal-length cells is a caller contract violation
+            // (debug-asserted in the arena); only issue the op when the
+            // walk reaches no two initialized cells of different lengths
+            // before erroring out.
+            let mut len: Option<usize> = None;
+            let mut well_formed = true;
+            for &a in addrs {
+                if a >= CAPACITY {
+                    break; // out-of-bounds error aborts the walk
+                }
+                match reference.cells[a].as_ref() {
+                    None => break, // uninitialized error aborts the walk
+                    Some(c) => match len {
+                        Some(l) if l != c.len() => {
+                            well_formed = false;
+                            break;
+                        }
+                        _ => len = Some(c.len()),
+                    },
+                }
+            }
+            if well_formed {
+                assert_eq!(arena.xor_cells(addrs), reference.xor_cells(addrs));
+            }
+        }
+    }
+}
+
+fn run_program(init_all: bool, ops: &[Op]) {
+    let mut arena = SimServer::new();
+    let mut reference = ReferenceServer::default();
+    if init_all {
+        let cells: Vec<Vec<u8>> = (0..CAPACITY).map(|i| cell(i as u8, CELL_LEN)).collect();
+        arena.init(cells.clone());
+        reference.init(cells);
+    } else {
+        arena.init_empty(CAPACITY);
+        reference.init_empty(CAPACITY);
+    }
+    arena.start_recording();
+    reference.start_recording();
+
+    for op in ops {
+        step(op, &mut arena, &mut reference);
+        assert_eq!(arena.stats(), reference.stats, "stats diverged after {op:?}");
+    }
+
+    assert_eq!(
+        arena.take_transcript().canonical_encoding(),
+        reference.take_transcript().canonical_encoding(),
+        "transcripts diverged"
+    );
+    // Final cell-by-cell state match (including initialized-ness).
+    assert_eq!(arena.stored_bytes(), reference.cells.iter().flatten().map(|c| c.len() as u64).sum());
+    for addr in 0..CAPACITY {
+        let got = arena.read_batch(&[addr]).map(|mut v| v.pop().unwrap());
+        let expected = reference.read_batch(&[addr]).map(|mut v| v.pop().unwrap());
+        assert_eq!(got, expected, "cell {addr} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random programs over a fully initialized server.
+    #[test]
+    fn arena_matches_reference_initialized(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        run_program(true, &ops);
+    }
+
+    /// Random programs starting from an uninitialized server, exercising
+    /// the `Uninitialized` error paths and first-write stride selection.
+    #[test]
+    fn arena_matches_reference_uninitialized(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        run_program(false, &ops);
+    }
+}
