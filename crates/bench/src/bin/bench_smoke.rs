@@ -3,12 +3,16 @@
 //!
 //! ```text
 //! cargo run -p dps_bench --release --bin bench_smoke
-//! cargo run -p dps_bench --release --bin bench_smoke -- --json BENCH_2.json
+//! cargo run -p dps_bench --release --bin bench_smoke -- --json BENCH_3.json
 //! ```
 //!
 //! Unlike the full Criterion targets this finishes in a few seconds; the
-//! `--json` flag emits `{"scheme": median_ns, ...}` so each PR can record
-//! its numbers (`BENCH_<pr>.json`) and diff against the previous ones.
+//! `--json` flag emits one record per measurement —
+//! `{"scheme": .., "shards": S, "threads": T, "median_ns": ..}` — so each
+//! PR can record its numbers (`BENCH_<pr>.json`) and diff against the
+//! previous ones. Single-config schemes carry `shards = threads = 1`,
+//! keeping their rows comparable with the flat `{"scheme": ns}` maps of
+//! BENCH_1/BENCH_2; the sharded sweeps add S/T columns on top.
 
 use std::time::Instant;
 
@@ -16,28 +20,88 @@ use dps_core::dp_ir::{DpIr, DpIrConfig};
 use dps_core::dp_kvs::{DpKvs, DpKvsConfig};
 use dps_core::dp_ram::{DpRam, DpRamConfig};
 use dps_core::dp_ram_ro::DpRamReadOnly;
-use dps_crypto::ChaChaRng;
+use dps_crypto::{BlockCipher, ChaChaRng, CIPHERTEXT_OVERHEAD};
 use dps_oram::{LinearOram, PathOram, PathOramConfig};
 use dps_pir::{FullScanPir, XorPir};
-use dps_server::SimServer;
+use dps_server::batch_crypto::encrypt_batch_strided;
+use dps_server::{ShardedServer, SimServer, Storage, WorkerPool};
 use dps_workloads::generators::database;
 
-/// Times `op` and returns the median ns/op over `samples` samples of
-/// `iters` iterations each (after one warm-up sample).
-fn median_ns(samples: usize, iters: usize, mut op: impl FnMut()) -> u64 {
+/// One bench record: scheme name plus the sharding/threading configuration
+/// it ran under (1/1 for the sequential baselines). `threads` counts the
+/// threads doing the work, whichever side they live on: concurrent
+/// *client* threads for `sharded_read_mt`, worker-*pool* width for
+/// `sharded_write_strided` / `par_encrypt_batch`.
+struct Record {
+    scheme: String,
+    shards: usize,
+    threads: usize,
+    median_ns: u64,
+}
+
+impl Record {
+    fn single(scheme: &str, median_ns: u64) -> Self {
+        Self { scheme: scheme.to_string(), shards: 1, threads: 1, median_ns }
+    }
+}
+
+/// The shared sampling protocol: runs `measure` once per sample (plus one
+/// discarded warm-up sample) and returns the median of its ns/op results.
+fn median_over_samples(samples: usize, mut measure: impl FnMut() -> u64) -> u64 {
     let mut medians = Vec::with_capacity(samples);
     for sample in 0..=samples {
-        let start = Instant::now();
-        for _ in 0..iters {
-            op();
-        }
-        let ns = start.elapsed().as_nanos() as u64 / iters as u64;
+        let ns = measure();
         if sample > 0 {
             medians.push(ns); // sample 0 is warm-up
         }
     }
     medians.sort_unstable();
     medians[medians.len() / 2]
+}
+
+/// Times `op` and returns the median ns/op over `samples` samples of
+/// `iters` iterations each (after one warm-up sample).
+fn median_ns(samples: usize, iters: usize, mut op: impl FnMut()) -> u64 {
+    median_over_samples(samples, || {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        start.elapsed().as_nanos() as u64 / iters as u64
+    })
+}
+
+/// Multi-client read throughput: `clients` threads each issue `iters`
+/// zero-copy batch reads of `batch` cells against their own disjoint
+/// address range of a shared [`ShardedServer`]. Returns the median ns per
+/// *cell read* across samples (total wall time / total cells moved), the
+/// throughput measure that shard-count scaling should improve.
+fn mt_read_ns(server: &ShardedServer, clients: usize, samples: usize, iters: usize, batch: usize) -> u64 {
+    let n = Storage::capacity(server);
+    let per_client = n / clients;
+    median_over_samples(samples, || {
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                scope.spawn(move || {
+                    let base = c * per_client;
+                    let mut sink = 0u64;
+                    for i in 0..iters {
+                        let addrs: Vec<usize> =
+                            (0..batch).map(|k| base + (i * 13 + k * 7) % per_client).collect();
+                        server
+                            .read_batch_with_shared(&addrs, |_, cell| {
+                                sink = sink.wrapping_add(u64::from(cell[0]));
+                            })
+                            .expect("bench read");
+                    }
+                    std::hint::black_box(sink);
+                });
+            }
+        });
+        let total_cells = (clients * iters * batch) as u64;
+        start.elapsed().as_nanos() as u64 / total_cells
+    })
 }
 
 fn main() {
@@ -47,7 +111,7 @@ fn main() {
         .position(|a| a == "--json")
         .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "BENCH.json".into()));
 
-    let mut results: Vec<(&str, u64)> = Vec::new();
+    let mut results: Vec<Record> = Vec::new();
     let samples = 15;
 
     // DP-RAM (the paper's headline O(1) scheme), n = 1024, 256 B blocks.
@@ -58,7 +122,7 @@ fn main() {
         let mut ram =
             DpRam::setup(DpRamConfig::recommended(n), &db, SimServer::new(), &mut rng).unwrap();
         let mut i = 0;
-        results.push((
+        results.push(Record::single(
             "dp_ram_read",
             median_ns(samples, 400, || {
                 i = (i + 1) % n;
@@ -66,7 +130,7 @@ fn main() {
             }),
         ));
         let mut i = 0;
-        results.push((
+        results.push(Record::single(
             "dp_ram_write",
             median_ns(samples, 400, || {
                 i = (i + 1) % n;
@@ -82,7 +146,7 @@ fn main() {
         let mut rng = ChaChaRng::seed_from_u64(2);
         let mut ram = DpRamReadOnly::setup(&db, 0.01, SimServer::new(), &mut rng);
         let mut i = 0;
-        results.push((
+        results.push(Record::single(
             "dp_ram_ro_read",
             median_ns(samples, 4000, || {
                 i = (i + 1) % n;
@@ -102,7 +166,7 @@ fn main() {
             kvs.put(k, vec![0u8; 64], &mut rng).unwrap();
         }
         let mut i = 0;
-        results.push((
+        results.push(Record::single(
             "dp_kvs_get_hit",
             median_ns(samples, 60, || {
                 i = (i + 1) % keys.len();
@@ -110,7 +174,7 @@ fn main() {
             }),
         ));
         let mut i = 0;
-        results.push((
+        results.push(Record::single(
             "dp_kvs_put_update",
             median_ns(samples, 60, || {
                 i = (i + 1) % keys.len();
@@ -127,7 +191,7 @@ fn main() {
         let config = DpIrConfig::with_epsilon(n, (n as f64).ln(), 0.1).unwrap();
         let mut ir = DpIr::setup(config, &db, SimServer::new()).unwrap();
         let mut i = 0;
-        results.push((
+        results.push(Record::single(
             "dp_ir_query",
             median_ns(samples, 2000, || {
                 i = (i + 1) % n;
@@ -144,7 +208,7 @@ fn main() {
         let mut oram =
             PathOram::setup(PathOramConfig::recommended(n, 64), &db, SimServer::new(), &mut rng);
         let mut i = 0;
-        results.push((
+        results.push(Record::single(
             "path_oram_read",
             median_ns(samples, 150, || {
                 i = (i + 1) % n;
@@ -160,7 +224,7 @@ fn main() {
         let mut rng = ChaChaRng::seed_from_u64(6);
         let mut oram = LinearOram::setup(&db, SimServer::new(), &mut rng);
         let mut i = 0;
-        results.push((
+        results.push(Record::single(
             "linear_oram_read",
             median_ns(samples, 20, || {
                 i = (i + 1) % n;
@@ -175,7 +239,7 @@ fn main() {
         let db = database(n, 256);
         let mut pir = FullScanPir::setup(&db, SimServer::new());
         let mut i = 0;
-        results.push((
+        results.push(Record::single(
             "full_scan_pir_query",
             median_ns(samples, 400, || {
                 i = (i + 1) % n;
@@ -191,7 +255,7 @@ fn main() {
         let mut rng = ChaChaRng::seed_from_u64(7);
         let mut pir = XorPir::setup(&db);
         let mut i = 0;
-        results.push((
+        results.push(Record::single(
             "xor_pir_query",
             median_ns(samples, 300, || {
                 i = (i + 1) % n;
@@ -200,18 +264,96 @@ fn main() {
         ));
     }
 
-    println!("{:<24} median ns/op", "scheme");
-    for (name, ns) in &results {
-        println!("{name:<24} {ns}");
+    // Multi-client read throughput against the sharded server: C client
+    // threads on disjoint address ranges, swept over shard counts. With
+    // S = 1 every client serializes on one lock; more shards should push
+    // ns/cell back toward the single-client figure (bounded by available
+    // cores — a 1-core CI box only shows contention relief, not true
+    // parallel speedup).
+    {
+        let n = 1 << 12;
+        let db = database(n, 256);
+        for clients in [1usize, 4] {
+            for shards in [1usize, 2, 4, 8] {
+                let mut server = ShardedServer::new(shards);
+                Storage::init(&mut server, db.clone());
+                let ns = mt_read_ns(&server, clients, samples, 40, 64);
+                results.push(Record {
+                    scheme: "sharded_read_mt".to_string(),
+                    shards,
+                    threads: clients,
+                    median_ns: ns,
+                });
+            }
+        }
+    }
+
+    // Cross-shard strided batch writes through the worker pool (one
+    // client, intra-batch fan-out).
+    {
+        let n = 1 << 12;
+        let db = database(n, 256);
+        let addrs: Vec<usize> = (0..n).collect();
+        let flat: Vec<u8> = db.iter().flatten().copied().collect();
+        for (shards, threads) in [(1usize, 1usize), (4, 1), (4, 4), (8, 4)] {
+            let mut server =
+                ShardedServer::new(shards).with_pool(WorkerPool::new(threads));
+            Storage::init(&mut server, db.clone());
+            let ns = median_ns(samples, 20, || {
+                server.write_batch_strided_shared(&addrs, &flat).unwrap();
+            });
+            results.push(Record {
+                scheme: "sharded_write_strided".to_string(),
+                shards,
+                threads,
+                median_ns: ns / n as u64, // per cell
+            });
+        }
+    }
+
+    // Deterministic parallel batch encryption (nonces pre-drawn on the
+    // caller thread, cells fanned over the pool).
+    {
+        let cells = 256;
+        let pt_len = 256;
+        let mut rng = ChaChaRng::seed_from_u64(8);
+        let cipher = BlockCipher::generate(&mut rng);
+        let plaintexts: Vec<u8> =
+            (0..cells * pt_len).map(|i| (i % 251) as u8).collect();
+        let mut out = vec![0u8; cells * (pt_len + CIPHERTEXT_OVERHEAD)];
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let nonces = rng.draw_nonces(cells);
+            let ns = median_ns(samples, 20, || {
+                encrypt_batch_strided(&pool, &cipher, &nonces, &plaintexts, &mut out);
+            });
+            results.push(Record {
+                scheme: "par_encrypt_batch".to_string(),
+                shards: 1,
+                threads,
+                median_ns: ns / cells as u64, // per cell
+            });
+        }
+    }
+
+    println!("{:<24} {:>6} {:>7}  median ns/op", "scheme", "shards", "threads");
+    for r in &results {
+        println!(
+            "{:<24} {:>6} {:>7}  {}",
+            r.scheme, r.shards, r.threads, r.median_ns
+        );
     }
 
     if let Some(path) = json_path {
-        let mut json = String::from("{\n");
-        for (i, (name, ns)) in results.iter().enumerate() {
+        let mut json = String::from("[\n");
+        for (i, r) in results.iter().enumerate() {
             let comma = if i + 1 == results.len() { "" } else { "," };
-            json.push_str(&format!("  \"{name}\": {ns}{comma}\n"));
+            json.push_str(&format!(
+                "  {{\"scheme\": \"{}\", \"shards\": {}, \"threads\": {}, \"median_ns\": {}}}{comma}\n",
+                r.scheme, r.shards, r.threads, r.median_ns
+            ));
         }
-        json.push_str("}\n");
+        json.push_str("]\n");
         std::fs::write(&path, json).expect("write bench json");
         eprintln!("wrote {path}");
     }

@@ -24,7 +24,7 @@ use std::collections::BTreeSet;
 use dps_crypto::ChaChaRng;
 
 use crate::dp_ir::{DpIrConfig, DpIrError};
-use dps_server::SimServer;
+use dps_server::{SimServer, Storage};
 
 /// A batch's results paired with its union download set (the transcript).
 pub type BatchOutcome = (Vec<Option<Vec<u8>>>, BTreeSet<usize>);
@@ -32,18 +32,18 @@ pub type BatchOutcome = (Vec<Option<Vec<u8>>>, BTreeSet<usize>);
 /// A stateless batched DP-IR client bound to a server storing public
 /// records.
 #[derive(Debug)]
-pub struct BatchedDpIr {
+pub struct BatchedDpIr<S: Storage = SimServer> {
     config: DpIrConfig,
-    server: SimServer,
+    server: S,
 }
 
-impl BatchedDpIr {
+impl<S: Storage> BatchedDpIr<S> {
     /// Stores the public database on the server (no secrets, like
     /// [`crate::dp_ir::DpIr::setup`]).
     pub fn setup(
         config: DpIrConfig,
         blocks: &[Vec<u8>],
-        mut server: SimServer,
+        mut server: S,
     ) -> Result<Self, DpIrError> {
         if blocks.len() != config.n {
             return Err(DpIrError::InvalidConfig(format!(
@@ -67,7 +67,7 @@ impl BatchedDpIr {
     }
 
     /// Mutable access to the underlying server (transcript control).
-    pub fn server_mut(&mut self) -> &mut SimServer {
+    pub fn server_mut(&mut self) -> &mut S {
         &mut self.server
     }
 

@@ -26,7 +26,7 @@
 use std::collections::{HashMap, HashSet};
 
 use dps_crypto::{BlockCipher, ChaChaRng, CryptoError, CIPHERTEXT_OVERHEAD};
-use dps_server::{ServerError, SimServer};
+use dps_server::{ServerError, SimServer, Storage};
 
 /// The typed per-bucket-query adversarial view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,13 +81,13 @@ impl From<ServerError> for BucketRamError {
 
 /// DP-RAM over a repertoire of (possibly overlapping) buckets of cells.
 #[derive(Debug)]
-pub struct BucketRam {
+pub struct BucketRam<S: Storage = SimServer> {
     /// Σ: bucket id -> ordered cell ids.
     buckets: Vec<Vec<usize>>,
     cell_size: usize,
     stash_probability: f64,
     cipher: BlockCipher,
-    server: SimServer,
+    server: S,
     /// Buckets currently held client-side.
     stashed_buckets: HashSet<usize>,
     /// Client-authoritative plaintext cells (cells of stashed buckets).
@@ -108,7 +108,7 @@ pub struct BucketRam {
     enc_flat: Vec<u8>,
 }
 
-impl BucketRam {
+impl<S: Storage> BucketRam<S> {
     /// Sets up the RAM: `cells` are the initial plaintext cell contents
     /// (all of equal length), `buckets` is the repertoire Σ. Each bucket is
     /// stashed at setup independently with probability `p`, mirroring
@@ -117,7 +117,7 @@ impl BucketRam {
         cells: Vec<Vec<u8>>,
         buckets: Vec<Vec<usize>>,
         stash_probability: f64,
-        mut server: SimServer,
+        mut server: S,
         rng: &mut ChaChaRng,
     ) -> Result<Self, BucketRamError> {
         if cells.is_empty() {
@@ -210,7 +210,7 @@ impl BucketRam {
     }
 
     /// Mutable access to the underlying server (transcript control).
-    pub fn server_mut(&mut self) -> &mut SimServer {
+    pub fn server_mut(&mut self) -> &mut S {
         &mut self.server
     }
 

@@ -18,7 +18,7 @@
 use std::collections::BTreeSet;
 
 use dps_crypto::ChaChaRng;
-use dps_server::{ServerError, SimServer};
+use dps_server::{ServerError, SimServer, Storage};
 
 /// Parameters of a DP-IR instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,16 +118,16 @@ impl DpIrConfig {
 
 /// A stateless DP-IR client bound to a server storing public records.
 #[derive(Debug)]
-pub struct DpIr {
+pub struct DpIr<S: Storage = SimServer> {
     config: DpIrConfig,
-    server: SimServer,
+    server: S,
 }
 
-impl DpIr {
+impl<S: Storage> DpIr<S> {
     /// Stores the public database on the server. DP-IR needs no setup
     /// secret: records are stored in the clear (retrieval privacy, not
     /// content privacy, is the goal — Section 5).
-    pub fn setup(config: DpIrConfig, blocks: &[Vec<u8>], mut server: SimServer) -> Result<Self, DpIrError> {
+    pub fn setup(config: DpIrConfig, blocks: &[Vec<u8>], mut server: S) -> Result<Self, DpIrError> {
         if blocks.len() != config.n {
             return Err(DpIrError::InvalidConfig(format!(
                 "expected {} blocks, got {}",
@@ -150,7 +150,7 @@ impl DpIr {
     }
 
     /// Mutable access to the underlying server (transcript control).
-    pub fn server_mut(&mut self) -> &mut SimServer {
+    pub fn server_mut(&mut self) -> &mut S {
         &mut self.server
     }
 

@@ -25,7 +25,7 @@
 use dps_crypto::{ChaChaRng, HmacPrf, Prf};
 use dps_hashing::forest::{choose_slot, ForestGeometry};
 use dps_server::cells::{decode_bucket, encode_bucket, Slot};
-use dps_server::SimServer;
+use dps_server::{SimServer, Storage};
 
 use crate::bucket_ram::{BucketRam, BucketRamError, BucketTrace};
 
@@ -136,22 +136,22 @@ enum NodePlan {
 
 /// A DP-KVS client bound to a simulated server.
 #[derive(Debug)]
-pub struct DpKvs {
+pub struct DpKvs<S: Storage = SimServer> {
     config: DpKvsConfig,
-    ram: BucketRam,
+    ram: BucketRam<S>,
     prf1: HmacPrf,
     prf2: HmacPrf,
     super_root: Vec<(u64, Vec<u8>)>,
     len: usize,
 }
 
-impl DpKvs {
+impl<S: Storage> DpKvs<S> {
     /// Sets up an empty DP-KVS: allocates the forest's node cells (all
     /// vacant), derives the two mapping PRFs, and initializes the bucketed
     /// DP-RAM over the path repertoire.
     pub fn setup(
         config: DpKvsConfig,
-        server: SimServer,
+        server: S,
         rng: &mut ChaChaRng,
     ) -> Result<Self, DpKvsError> {
         let geometry = config.geometry;
@@ -207,7 +207,7 @@ impl DpKvs {
     }
 
     /// Mutable access to the underlying server (transcript control).
-    pub fn server_mut(&mut self) -> &mut SimServer {
+    pub fn server_mut(&mut self) -> &mut S {
         self.ram.server_mut()
     }
 

@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 
 use dps_crypto::{BlockCipher, ChaChaRng};
-use dps_server::{ServerError, SimServer};
+use dps_server::{ServerError, SimServer, Storage};
 use dps_workloads::Op;
 
 /// The typed per-query adversarial view: the download-phase address and the
@@ -126,14 +126,15 @@ impl From<ServerError> for DpRamError {
     }
 }
 
-/// A DP-RAM client bound to a simulated server.
+/// A DP-RAM client bound to a storage server (any [`Storage`]
+/// implementation; defaults to the in-process [`SimServer`]).
 #[derive(Debug)]
-pub struct DpRam {
+pub struct DpRam<S: Storage = SimServer> {
     config: DpRamConfig,
     block_size: usize,
     cipher: BlockCipher,
     stash: HashMap<usize, Vec<u8>>,
-    server: SimServer,
+    server: S,
     /// High-water mark of the stash, for Lemma D.1 experiments.
     max_stash: usize,
     /// Reusable ciphertext/plaintext scratch: cells are copied here from
@@ -143,14 +144,14 @@ pub struct DpRam {
     enc_scratch: Vec<u8>,
 }
 
-impl DpRam {
+impl<S: Storage> DpRam<S> {
     /// Algorithm 2 (`DP-RAM.Setup`): samples a key, uploads
     /// `A[i] = Enc(K, B_i)` for every record, and stashes each record
     /// independently with probability `p`.
     pub fn setup(
         config: DpRamConfig,
         blocks: &[Vec<u8>],
-        mut server: SimServer,
+        mut server: S,
         rng: &mut ChaChaRng,
     ) -> Result<Self, DpRamError> {
         if config.n == 0 {
@@ -223,7 +224,7 @@ impl DpRam {
     }
 
     /// Mutable access to the underlying server (transcript control).
-    pub fn server_mut(&mut self) -> &mut SimServer {
+    pub fn server_mut(&mut self) -> &mut S {
         &mut self.server
     }
 

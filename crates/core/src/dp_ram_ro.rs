@@ -17,24 +17,24 @@
 use std::collections::HashMap;
 
 use dps_crypto::ChaChaRng;
-use dps_server::{ServerError, SimServer};
+use dps_server::{ServerError, SimServer, Storage};
 
 /// A retrieval-only DP-RAM over plaintext public data.
 #[derive(Debug)]
-pub struct DpRamReadOnly {
+pub struct DpRamReadOnly<S: Storage = SimServer> {
     n: usize,
     stash_probability: f64,
     stash: HashMap<usize, Vec<u8>>,
-    server: SimServer,
+    server: S,
 }
 
-impl DpRamReadOnly {
+impl<S: Storage> DpRamReadOnly<S> {
     /// Stores `blocks` in plaintext and stashes each independently with
     /// probability `p`.
     ///
     /// # Panics
     /// Panics if `blocks` is empty or `p ∉ [0, 1]`.
-    pub fn setup(blocks: &[Vec<u8>], p: f64, mut server: SimServer, rng: &mut ChaChaRng) -> Self {
+    pub fn setup(blocks: &[Vec<u8>], p: f64, mut server: S, rng: &mut ChaChaRng) -> Self {
         assert!(!blocks.is_empty(), "need at least one block");
         assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
         server.init(blocks.to_vec());

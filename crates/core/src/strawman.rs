@@ -19,19 +19,19 @@
 use std::collections::BTreeSet;
 
 use dps_crypto::ChaChaRng;
-use dps_server::{ServerError, SimServer};
+use dps_server::{ServerError, SimServer, Storage};
 
 /// The insecure strawman scheme. Exists only to demonstrate its own
 /// insecurity (Section 4); use [`crate::dp_ir::DpIr`] instead.
 #[derive(Debug)]
-pub struct InsecureStrawmanIr {
+pub struct InsecureStrawmanIr<S: Storage = SimServer> {
     n: usize,
-    server: SimServer,
+    server: S,
 }
 
-impl InsecureStrawmanIr {
+impl<S: Storage> InsecureStrawmanIr<S> {
     /// Stores the public database.
-    pub fn setup(blocks: &[Vec<u8>], mut server: SimServer) -> Self {
+    pub fn setup(blocks: &[Vec<u8>], mut server: S) -> Self {
         assert!(!blocks.is_empty(), "need at least one block");
         let n = blocks.len();
         server.init(blocks.to_vec());
@@ -94,6 +94,9 @@ impl InsecureStrawmanIr {
         Ok((out, set))
     }
 
+}
+
+impl InsecureStrawmanIr {
     /// The paper's lower bound on this scheme's δ: `(n−1)/n`.
     pub fn delta_lower_bound(n: usize) -> f64 {
         (n as f64 - 1.0) / n as f64

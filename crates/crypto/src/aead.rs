@@ -129,6 +129,63 @@ impl AeadCipher {
         Ok(())
     }
 
+    /// Deterministic slice-form seal: writes `nonce || body || tag` into
+    /// `out`, which must be exactly `plaintext.len() + AEAD_OVERHEAD`
+    /// bytes. The parallel-batch primitive: nonces are pre-drawn on the
+    /// caller thread and worker threads seal disjoint cells into disjoint
+    /// slots, byte-identical to a sequential [`AeadCipher::seal_into`]
+    /// loop over the same RNG stream.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != plaintext.len() + AEAD_OVERHEAD`.
+    pub fn seal_with_nonce_into(
+        &self,
+        nonce: &[u8; chacha::NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+        out: &mut [u8],
+    ) {
+        assert_eq!(
+            out.len(),
+            plaintext.len() + AEAD_OVERHEAD,
+            "output slot must be plaintext + overhead"
+        );
+        let body_end = chacha::NONCE_LEN + plaintext.len();
+        out[..chacha::NONCE_LEN].copy_from_slice(nonce);
+        out[chacha::NONCE_LEN..body_end].copy_from_slice(plaintext);
+        chacha::xor_keystream(&self.key, 1, nonce, &mut out[chacha::NONCE_LEN..body_end]);
+        let tag = self.tag(nonce, aad, &out[chacha::NONCE_LEN..body_end]);
+        out[body_end..].copy_from_slice(&tag);
+    }
+
+    /// Deterministic slice-form open: verifies the tag against `aad` and
+    /// writes the plaintext into the first `data.len() - AEAD_OVERHEAD`
+    /// bytes of `out`, returning that length. `out` is untouched on error.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than the plaintext.
+    pub fn open_to_slice(
+        &self,
+        aad: &[u8],
+        data: &[u8],
+        out: &mut [u8],
+    ) -> Result<usize, CryptoError> {
+        if data.len() < AEAD_OVERHEAD {
+            return Err(CryptoError::Malformed);
+        }
+        let nonce: [u8; chacha::NONCE_LEN] =
+            data[..chacha::NONCE_LEN].try_into().expect("nonce prefix");
+        let body_len = data.len() - TAG_LEN;
+        let tag: [u8; TAG_LEN] = data[body_len..].try_into().expect("16-byte tag");
+        if !tags_equal(&self.tag(&nonce, aad, &data[chacha::NONCE_LEN..body_len]), &tag) {
+            return Err(CryptoError::TagMismatch);
+        }
+        let pt_len = body_len - chacha::NONCE_LEN;
+        out[..pt_len].copy_from_slice(&data[chacha::NONCE_LEN..body_len]);
+        chacha::xor_keystream(&self.key, 1, &nonce, &mut out[..pt_len]);
+        Ok(pt_len)
+    }
+
     /// Seals with a caller-chosen nonce (test vectors; deterministic
     /// callers must guarantee nonce uniqueness themselves).
     pub fn seal_with_nonce(

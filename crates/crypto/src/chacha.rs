@@ -9,6 +9,9 @@
 pub const KEY_LEN: usize = 32;
 /// Size of a ChaCha20 nonce in bytes (IETF variant).
 pub const NONCE_LEN: usize = 12;
+/// A ChaCha20 nonce: the per-cell randomness unit the batch-crypto helpers
+/// pre-draw on the caller thread before fanning work across a pool.
+pub type Nonce = [u8; NONCE_LEN];
 /// Size of one keystream block in bytes.
 pub const BLOCK_LEN: usize = 64;
 

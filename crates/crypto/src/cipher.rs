@@ -128,6 +128,36 @@ impl BlockCipher {
         out.extend_from_slice(&tag);
     }
 
+    /// Deterministic slice-form encryption: writes `nonce || body || tag`
+    /// into `out`, which must be exactly `plaintext.len() +
+    /// CIPHERTEXT_OVERHEAD` bytes. This is the parallel-batch primitive —
+    /// the caller draws every nonce up front on one thread
+    /// ([`ChaChaRng::draw_nonces`](crate::rng::ChaChaRng::draw_nonces)) and
+    /// worker threads encrypt disjoint cells into disjoint slots, producing
+    /// output byte-identical to a sequential [`BlockCipher::encrypt_into`]
+    /// loop over the same RNG stream.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != plaintext.len() + CIPHERTEXT_OVERHEAD`.
+    pub fn encrypt_with_nonce_into(
+        &self,
+        nonce: &[u8; chacha::NONCE_LEN],
+        plaintext: &[u8],
+        out: &mut [u8],
+    ) {
+        assert_eq!(
+            out.len(),
+            plaintext.len() + CIPHERTEXT_OVERHEAD,
+            "output slot must be plaintext + overhead"
+        );
+        let body_end = chacha::NONCE_LEN + plaintext.len();
+        out[..chacha::NONCE_LEN].copy_from_slice(nonce);
+        out[chacha::NONCE_LEN..body_end].copy_from_slice(plaintext);
+        chacha::xor_keystream(&self.key.enc, 0, nonce, &mut out[chacha::NONCE_LEN..body_end]);
+        let tag = self.tag(&out[..body_end]);
+        out[body_end..].copy_from_slice(&tag);
+    }
+
     /// Decrypts a ciphertext, verifying its integrity tag.
     pub fn decrypt(&self, ciphertext: &Ciphertext) -> Result<Vec<u8>, CryptoError> {
         let mut out = Vec::new();
@@ -153,6 +183,29 @@ impl BlockCipher {
         out.extend_from_slice(&body[chacha::NONCE_LEN..]);
         chacha::xor_keystream(&self.key.enc, 0, &nonce, out);
         Ok(())
+    }
+
+    /// Deterministic slice-form decryption: verifies the tag and writes the
+    /// plaintext into the first `data.len() - CIPHERTEXT_OVERHEAD` bytes of
+    /// `out`, returning that length. `out` is untouched on error. The
+    /// parallel-batch counterpart of [`BlockCipher::encrypt_with_nonce_into`].
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than the plaintext.
+    pub fn decrypt_to_slice(&self, data: &[u8], out: &mut [u8]) -> Result<usize, CryptoError> {
+        if data.len() < CIPHERTEXT_OVERHEAD {
+            return Err(CryptoError::Malformed);
+        }
+        let (body, tag) = data.split_at(data.len() - TAG_LEN);
+        if self.tag(body) != tag {
+            return Err(CryptoError::TagMismatch);
+        }
+        let nonce: [u8; chacha::NONCE_LEN] =
+            body[..chacha::NONCE_LEN].try_into().expect("nonce prefix");
+        let pt_len = body.len() - chacha::NONCE_LEN;
+        out[..pt_len].copy_from_slice(&body[chacha::NONCE_LEN..]);
+        chacha::xor_keystream(&self.key.enc, 0, &nonce, &mut out[..pt_len]);
+        Ok(pt_len)
     }
 
     /// Decrypts `buf` in place: on success `buf` holds the plaintext (the

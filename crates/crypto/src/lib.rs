@@ -42,7 +42,8 @@ pub mod prp;
 pub mod rng;
 pub mod sha256;
 
-pub use aead::{AeadCipher, Sealed};
+pub use aead::{AeadCipher, Sealed, AEAD_OVERHEAD};
+pub use chacha::Nonce;
 pub use cipher::{BlockCipher, Ciphertext, CryptoError, Key, CIPHERTEXT_OVERHEAD};
 pub use hmac::HmacKey;
 pub use prf::{HmacPrf, Prf};

@@ -85,6 +85,23 @@ impl ChaChaRng {
         }
     }
 
+    /// Draws `count` encryption nonces, in order, on this thread. Feeding
+    /// these to the slice-form batch encryption primitives
+    /// ([`crate::cipher::BlockCipher::encrypt_with_nonce_into`],
+    /// [`crate::aead::AeadCipher::seal_with_nonce_into`]) yields output
+    /// byte-identical to a sequential loop drawing one nonce per cell from
+    /// the same stream — which is what makes parallel batch crypto
+    /// deterministic regardless of thread interleaving.
+    pub fn draw_nonces(&mut self, count: usize) -> Vec<chacha::Nonce> {
+        (0..count)
+            .map(|_| {
+                let mut nonce = [0u8; chacha::NONCE_LEN];
+                self.fill_bytes(&mut nonce);
+                nonce
+            })
+            .collect()
+    }
+
     /// Returns a uniformly random `u64`.
     pub fn next_u64(&mut self) -> u64 {
         let mut bytes = [0u8; 8];

@@ -12,14 +12,14 @@
 //! separation.
 
 use dps_crypto::ChaChaRng;
-use dps_server::SimServer;
+use dps_server::{SimServer, Storage};
 
 use crate::path_oram::{OramError, PathOram, PathOramConfig};
 
 /// An oblivious KVS built on Path ORAM.
 #[derive(Debug)]
-pub struct OramKvs {
-    oram: PathOram,
+pub struct OramKvs<S: Storage = SimServer> {
+    oram: PathOram<S>,
     directory: std::collections::HashMap<u64, usize>,
     free: Vec<usize>,
     value_size: usize,
@@ -64,14 +64,32 @@ impl From<OramError> for OramKvsError {
 
 impl OramKvs {
     /// Creates an empty KVS with room for `capacity` keys of
-    /// `value_size`-byte values.
+    /// `value_size`-byte values, backed by an in-process [`SimServer`].
     pub fn new(capacity: usize, value_size: usize, rng: &mut ChaChaRng) -> Self {
+        Self::new_on(capacity, value_size, rng)
+    }
+}
+
+impl<S: Storage> OramKvs<S> {
+    /// [`OramKvs::new`] over a default-constructed backend of type `S`.
+    /// To configure the server (shard count, worker pool), use
+    /// [`OramKvs::new_with`].
+    pub fn new_on(capacity: usize, value_size: usize, rng: &mut ChaChaRng) -> Self
+    where
+        S: Default,
+    {
+        Self::new_with(capacity, value_size, S::default(), rng)
+    }
+
+    /// [`OramKvs::new`] over a caller-constructed backend — e.g.
+    /// `OramKvs::new_with(n, v, ShardedServer::new(8).with_pool(..), rng)`.
+    pub fn new_with(capacity: usize, value_size: usize, server: S, rng: &mut ChaChaRng) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         let zeroes: Vec<Vec<u8>> = vec![vec![0u8; value_size]; capacity];
         let oram = PathOram::setup(
             PathOramConfig::recommended(capacity, value_size),
             &zeroes,
-            SimServer::new(),
+            server,
             rng,
         );
         Self {

@@ -6,15 +6,15 @@
 //! schemes cannot beat, so it doubles as the errorless baseline in E1.
 
 use dps_crypto::{BlockCipher, ChaChaRng};
-use dps_server::SimServer;
+use dps_server::{SimServer, Storage};
 
 /// A linear-scan ORAM client.
 #[derive(Debug)]
-pub struct LinearOram {
+pub struct LinearOram<S: Storage = SimServer> {
     n: usize,
     block_size: usize,
     cipher: BlockCipher,
-    server: SimServer,
+    server: S,
     /// Cached full-scan address list `[0, n)` (every access touches all).
     addrs: Vec<usize>,
     /// Reusable single-block plaintext scratch (only one block is ever
@@ -53,9 +53,9 @@ impl std::fmt::Display for LinearOramError {
 
 impl std::error::Error for LinearOramError {}
 
-impl LinearOram {
+impl<S: Storage> LinearOram<S> {
     /// Encrypts `blocks` onto the server.
-    pub fn setup(blocks: &[Vec<u8>], mut server: SimServer, rng: &mut ChaChaRng) -> Self {
+    pub fn setup(blocks: &[Vec<u8>], mut server: S, rng: &mut ChaChaRng) -> Self {
         assert!(!blocks.is_empty(), "need at least one block");
         let block_size = blocks[0].len();
         assert!(blocks.iter().all(|b| b.len() == block_size), "uniform block size required");

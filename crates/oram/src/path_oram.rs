@@ -9,7 +9,7 @@
 //! overhead.
 
 use dps_crypto::{BlockCipher, ChaChaRng};
-use dps_server::SimServer;
+use dps_server::{SimServer, Storage};
 
 use crate::slots::{decode_bucket, encode_bucket, encode_bucket_into, Slot};
 
@@ -70,14 +70,14 @@ impl std::error::Error for OramError {}
 
 /// A Path ORAM client bound to a simulated server.
 #[derive(Debug)]
-pub struct PathOram {
+pub struct PathOram<S: Storage = SimServer> {
     config: PathOramConfig,
     /// Tree height: leaves are at level `height`, `2^height` of them.
     height: u32,
     cipher: BlockCipher,
     position: Vec<usize>,
     stash: std::collections::HashMap<u64, Vec<u8>>,
-    server: SimServer,
+    server: S,
     /// Reusable root-to-leaf address scratch (read order; reversed for the
     /// bottom-up eviction upload).
     path_scratch: Vec<usize>,
@@ -89,7 +89,7 @@ pub struct PathOram {
     enc_flat: Vec<u8>,
 }
 
-impl PathOram {
+impl<S: Storage> PathOram<S> {
     /// Builds the ORAM over `blocks`, encrypting and uploading the initial
     /// tree, and returns the client.
     ///
@@ -99,7 +99,7 @@ impl PathOram {
     pub fn setup(
         config: PathOramConfig,
         blocks: &[Vec<u8>],
-        mut server: SimServer,
+        mut server: S,
         rng: &mut ChaChaRng,
     ) -> Self {
         assert_eq!(blocks.len(), config.n, "block count mismatch");
@@ -206,7 +206,7 @@ impl PathOram {
     }
 
     /// Mutable access to the underlying server (transcript control).
-    pub fn server_mut(&mut self) -> &mut SimServer {
+    pub fn server_mut(&mut self) -> &mut S {
         &mut self.server
     }
 

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use dps_crypto::{BlockCipher, ChaChaRng};
-use dps_server::SimServer;
+use dps_server::{SimServer, Storage};
 
 use crate::path_oram::OramError;
 use crate::slots::{decode_bucket, encode_bucket, encode_bucket_into, Slot};
@@ -31,7 +31,7 @@ const LEAF_BYTES: usize = 4;
 /// One Path ORAM tree whose position map lives *outside* it: callers pass
 /// the block's current leaf and its replacement on every access.
 #[derive(Debug)]
-struct TreeLayer {
+struct TreeLayer<S: Storage> {
     n: usize,
     /// Payload bytes per logical block (excluding the attached leaf label).
     payload_size: usize,
@@ -40,7 +40,7 @@ struct TreeLayer {
     cipher: BlockCipher,
     /// Stash entries: block id → (current leaf, payload).
     stash: HashMap<u64, (usize, Vec<u8>)>,
-    server: SimServer,
+    server: S,
     /// Reusable scratch buffers for the zero-copy access path.
     path_scratch: Vec<usize>,
     evict_addrs: Vec<usize>,
@@ -50,14 +50,14 @@ struct TreeLayer {
     enc_flat: Vec<u8>,
 }
 
-impl TreeLayer {
+impl<S: Storage> TreeLayer<S> {
     /// Builds the layer over `blocks`, assigning each a random leaf.
     /// Returns the layer and the assigned leaves (the caller must store
     /// them — that is the whole point of the recursion).
     fn setup(
         blocks: &[Vec<u8>],
         bucket_size: usize,
-        mut server: SimServer,
+        mut server: S,
         rng: &mut ChaChaRng,
     ) -> (Self, Vec<usize>) {
         assert!(!blocks.is_empty());
@@ -259,23 +259,53 @@ impl RecursiveOramConfig {
 /// the small-client deployment whose `Θ(log n)` round trips the paper's
 /// DP-RAM comparison targets.
 #[derive(Debug)]
-pub struct RecursivePathOram {
+pub struct RecursivePathOram<S: Storage = SimServer> {
     config: RecursiveOramConfig,
     /// `layers[0]` stores data; `layers[j]` stores the position map of
     /// `layers[j-1]`, packed `pack` labels per block.
-    layers: Vec<TreeLayer>,
+    layers: Vec<TreeLayer<S>>,
     /// Positions of the top layer's blocks, held client-side.
     client_map: Vec<usize>,
 }
 
 impl RecursivePathOram {
-    /// Builds the recursion bottom-up over `blocks`. Each position-map
-    /// layer gets its own simulated server; cost counters aggregate over
-    /// all of them.
+    /// Builds the recursion over in-process [`SimServer`]s (one per
+    /// layer). See [`RecursivePathOram::setup_on`] for other backends.
     ///
     /// # Panics
     /// Panics on empty input, non-uniform block sizes, or `pack < 2`.
     pub fn setup(config: RecursiveOramConfig, blocks: &[Vec<u8>], rng: &mut ChaChaRng) -> Self {
+        Self::setup_on(config, blocks, rng)
+    }
+}
+
+impl<S: Storage> RecursivePathOram<S> {
+    /// Builds the recursion over default-constructed servers of type `S`
+    /// (one per layer). Use [`RecursivePathOram::setup_with`] to configure
+    /// each layer's server.
+    ///
+    /// # Panics
+    /// Panics on empty input, non-uniform block sizes, or `pack < 2`.
+    pub fn setup_on(config: RecursiveOramConfig, blocks: &[Vec<u8>], rng: &mut ChaChaRng) -> Self
+    where
+        S: Default,
+    {
+        Self::setup_with(config, blocks, rng, |_| S::default())
+    }
+
+    /// Builds the recursion bottom-up over `blocks` with a caller-supplied
+    /// server factory: `make(j)` builds the server backing layer `j`
+    /// (layer 0 stores data, higher layers the position maps). Cost
+    /// counters aggregate over all of them.
+    ///
+    /// # Panics
+    /// Panics on empty input, non-uniform block sizes, or `pack < 2`.
+    pub fn setup_with(
+        config: RecursiveOramConfig,
+        blocks: &[Vec<u8>],
+        rng: &mut ChaChaRng,
+        mut make: impl FnMut(usize) -> S,
+    ) -> Self {
         assert_eq!(blocks.len(), config.n, "block count mismatch");
         assert!(config.n > 0, "need at least one block");
         assert!(config.pack >= 2, "pack must be at least 2");
@@ -284,7 +314,7 @@ impl RecursivePathOram {
         }
 
         let (layer0, mut positions) =
-            TreeLayer::setup(blocks, config.bucket_size, SimServer::new(), rng);
+            TreeLayer::setup(blocks, config.bucket_size, make(0), rng);
         let mut layers = vec![layer0];
 
         while positions.len() > config.client_map_limit {
@@ -300,7 +330,7 @@ impl RecursivePathOram {
                 })
                 .collect();
             let (layer, next_positions) =
-                TreeLayer::setup(&packed, config.bucket_size, SimServer::new(), rng);
+                TreeLayer::setup(&packed, config.bucket_size, make(layers.len()), rng);
             layers.push(layer);
             positions = next_positions;
         }

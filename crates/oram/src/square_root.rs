@@ -26,14 +26,14 @@
 use std::collections::HashMap;
 
 use dps_crypto::{BlockCipher, ChaChaRng, SmallDomainPrp};
-use dps_server::SimServer;
+use dps_server::{SimServer, Storage};
 
 use crate::path_oram::OramError;
 use crate::slots::{decode_bucket, encode_bucket, encode_bucket_into, Slot};
 
 /// A square-root ORAM client bound to a simulated server.
 #[derive(Debug)]
-pub struct SquareRootOram {
+pub struct SquareRootOram<S: Storage = SimServer> {
     n: usize,
     /// Shelter size `s = ⌈√n⌉` (also the dummy count and epoch length).
     shelter_size: usize,
@@ -46,7 +46,7 @@ pub struct SquareRootOram {
     epoch_queries: usize,
     /// Dummies consumed in the current epoch.
     used_dummies: usize,
-    server: SimServer,
+    server: S,
     /// Reusable scratch buffers for the zero-copy query path.
     shelter_scratch: Vec<usize>,
     pt_scratch: Vec<u8>,
@@ -57,14 +57,14 @@ pub struct SquareRootOram {
     _private: (),
 }
 
-impl SquareRootOram {
+impl<S: Storage> SquareRootOram<S> {
     /// Builds the ORAM over `blocks`: permutes `n` real + `s` dummy cells
     /// under a fresh PRP, appends `s` empty shelter cells, and uploads the
     /// encrypted layout.
     ///
     /// # Panics
     /// Panics if `blocks` is empty or block sizes are not uniform.
-    pub fn setup(blocks: &[Vec<u8>], mut server: SimServer, rng: &mut ChaChaRng) -> Self {
+    pub fn setup(blocks: &[Vec<u8>], mut server: S, rng: &mut ChaChaRng) -> Self {
         assert!(!blocks.is_empty(), "need at least one block");
         let n = blocks.len();
         let block_size = blocks[0].len();
@@ -148,7 +148,7 @@ impl SquareRootOram {
     }
 
     /// Mutable access to the underlying server (transcript control).
-    pub fn server_mut(&mut self) -> &mut SimServer {
+    pub fn server_mut(&mut self) -> &mut S {
         &mut self.server
     }
 

@@ -16,29 +16,54 @@
 //! `ε`-DP instead of obliviousness.
 
 use dps_crypto::ChaChaRng;
-use dps_server::{ReplicatedServers, ServerError};
+use dps_server::{ReplicatedServers, ServerError, SimServer, Storage};
 
 /// A `D`-server XOR PIR client.
 #[derive(Debug)]
-pub struct MultiServerXorPir {
-    servers: ReplicatedServers,
+pub struct MultiServerXorPir<S: Storage = SimServer> {
+    servers: ReplicatedServers<S>,
     n: usize,
     /// Reusable per-server answer scratch for the zero-alloc XOR path.
     answer_scratch: Vec<u8>,
 }
 
 impl MultiServerXorPir {
-    /// Replicates the (public, plaintext) database onto `d` servers.
+    /// Replicates the (public, plaintext) database onto `d` in-process
+    /// [`SimServer`]s.
     ///
     /// # Panics
     /// Panics if `d < 2`, `blocks` is empty, or block sizes differ.
     pub fn setup(d: usize, blocks: &[Vec<u8>]) -> Self {
+        Self::setup_on(d, blocks)
+    }
+}
+
+impl<S: Storage> MultiServerXorPir<S> {
+    /// [`MultiServerXorPir::setup`] over default-constructed backends of
+    /// type `S`. Use [`MultiServerXorPir::setup_with`] to configure each
+    /// server.
+    ///
+    /// # Panics
+    /// Panics if `d < 2`, `blocks` is empty, or block sizes differ.
+    pub fn setup_on(d: usize, blocks: &[Vec<u8>]) -> Self
+    where
+        S: Default,
+    {
+        Self::setup_with(d, blocks, |_| S::default())
+    }
+
+    /// [`MultiServerXorPir::setup`] with a caller-supplied server factory
+    /// (`make(i)` builds server `i`).
+    ///
+    /// # Panics
+    /// Panics if `d < 2`, `blocks` is empty, or block sizes differ.
+    pub fn setup_with(d: usize, blocks: &[Vec<u8>], make: impl FnMut(usize) -> S) -> Self {
         assert!(d >= 2, "XOR PIR needs at least two servers");
         assert!(!blocks.is_empty(), "need at least one block");
         let size = blocks[0].len();
         assert!(blocks.iter().all(|b| b.len() == size), "uniform block size required");
         Self {
-            servers: ReplicatedServers::replicate(d, blocks),
+            servers: ReplicatedServers::replicate_with(d, blocks, make),
             n: blocks.len(),
             answer_scratch: Vec::new(),
         }
@@ -65,7 +90,7 @@ impl MultiServerXorPir {
     }
 
     /// Access to the underlying server pool (transcript control).
-    pub fn servers_mut(&mut self) -> &mut ReplicatedServers {
+    pub fn servers_mut(&mut self) -> &mut ReplicatedServers<S> {
         &mut self.servers
     }
 

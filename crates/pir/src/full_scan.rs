@@ -5,21 +5,21 @@
 //! It is the errorless baseline of experiment E1 (Theorem 3.3 says no
 //! errorless DP-IR can asymptotically beat it in the balls-and-bins model).
 
-use dps_server::{ServerError, SimServer};
+use dps_server::{ServerError, SimServer, Storage};
 
 /// A stateless full-download PIR client bound to a server.
 #[derive(Debug)]
-pub struct FullScanPir {
-    server: SimServer,
+pub struct FullScanPir<S: Storage = SimServer> {
+    server: S,
     n: usize,
     /// Cached `[0, n)` address list: the scan is the same every query, so
     /// it is built once at setup instead of reallocated per query.
     addrs: Vec<usize>,
 }
 
-impl FullScanPir {
+impl<S: Storage> FullScanPir<S> {
     /// Stores the (public, plaintext) database on the server.
-    pub fn setup(blocks: &[Vec<u8>], mut server: SimServer) -> Self {
+    pub fn setup(blocks: &[Vec<u8>], mut server: S) -> Self {
         assert!(!blocks.is_empty(), "need at least one block");
         server.init(blocks.to_vec());
         let n = blocks.len();
@@ -44,13 +44,14 @@ impl FullScanPir {
     }
 
     /// Mutable access to the underlying server (transcript control).
-    pub fn server_mut(&mut self) -> &mut SimServer {
+    pub fn server_mut(&mut self) -> &mut S {
         &mut self.server
     }
 
     /// Retrieves record `index` by downloading all `n` records. The scan
     /// uses the zero-copy read path: only the requested record is copied
     /// out of the server arena; the other `n − 1` cells are never cloned.
+    #[inline]
     pub fn query(&mut self, index: usize) -> Result<Vec<u8>, ServerError> {
         assert!(index < self.n, "index out of range");
         let mut out = Vec::new();

@@ -9,25 +9,43 @@
 //! relaxation (Appendix C) trades privacy to escape.
 
 use dps_crypto::ChaChaRng;
-use dps_server::{ReplicatedServers, ServerError};
+use dps_server::{ReplicatedServers, ServerError, SimServer, Storage};
 
 /// A 2-server XOR PIR client.
 #[derive(Debug)]
-pub struct XorPir {
-    servers: ReplicatedServers,
+pub struct XorPir<S: Storage = SimServer> {
+    servers: ReplicatedServers<S>,
     n: usize,
     /// Reusable per-server answer scratch for the zero-alloc XOR path.
     answer_scratch: Vec<u8>,
 }
 
 impl XorPir {
-    /// Replicates the (public, plaintext) database onto two servers.
+    /// Replicates the (public, plaintext) database onto two in-process
+    /// [`SimServer`]s.
     pub fn setup(blocks: &[Vec<u8>]) -> Self {
+        Self::setup_on(blocks)
+    }
+}
+
+impl<S: Storage> XorPir<S> {
+    /// [`XorPir::setup`] over default-constructed backends of type `S`.
+    /// Use [`XorPir::setup_with`] to configure each server.
+    pub fn setup_on(blocks: &[Vec<u8>]) -> Self
+    where
+        S: Default,
+    {
+        Self::setup_with(blocks, |_| S::default())
+    }
+
+    /// [`XorPir::setup`] with a caller-supplied server factory (`make(i)`
+    /// builds server `i`, e.g. a sharded server with a worker pool).
+    pub fn setup_with(blocks: &[Vec<u8>], make: impl FnMut(usize) -> S) -> Self {
         assert!(!blocks.is_empty(), "need at least one block");
         let size = blocks[0].len();
         assert!(blocks.iter().all(|b| b.len() == size), "uniform block size required");
         Self {
-            servers: ReplicatedServers::replicate(2, blocks),
+            servers: ReplicatedServers::replicate_with(2, blocks, make),
             n: blocks.len(),
             answer_scratch: Vec::new(),
         }
@@ -49,7 +67,7 @@ impl XorPir {
     }
 
     /// Access to the underlying server pool (transcript control).
-    pub fn servers_mut(&mut self) -> &mut ReplicatedServers {
+    pub fn servers_mut(&mut self) -> &mut ReplicatedServers<S> {
         &mut self.servers
     }
 

@@ -23,18 +23,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch_crypto;
 pub mod cells;
 pub mod latency;
 pub mod multi;
+pub mod pool;
 pub mod server;
+pub mod shard;
 pub mod stats;
+pub mod storage;
 pub mod store;
 pub mod transcript;
 pub mod verified;
 
 pub use latency::NetworkModel;
 pub use multi::ReplicatedServers;
+pub use pool::WorkerPool;
 pub use server::{ServerError, SimServer};
+pub use shard::ShardedServer;
+pub use storage::Storage;
 pub use store::CellStore;
 pub use stats::CostStats;
 pub use transcript::{AccessEvent, Transcript};

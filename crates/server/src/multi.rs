@@ -7,57 +7,24 @@
 //! a corruption-view helper for the auditor.
 
 use crate::server::{ServerError, SimServer};
+use crate::storage::Storage;
 use crate::stats::CostStats;
 use crate::transcript::Transcript;
 
 /// `D` replicas of a database on independent passive servers.
 #[derive(Debug, Clone)]
-pub struct ReplicatedServers {
-    servers: Vec<SimServer>,
+pub struct ReplicatedServers<S: Storage = SimServer> {
+    servers: Vec<S>,
 }
 
 impl ReplicatedServers {
-    /// Creates `d` servers each storing a replica of `cells`.
+    /// Creates `d` in-process [`SimServer`]s each storing a replica of
+    /// `cells`.
     ///
     /// # Panics
     /// Panics if `d == 0`.
     pub fn replicate(d: usize, cells: &[Vec<u8>]) -> Self {
-        assert!(d > 0, "need at least one server");
-        let servers = (0..d)
-            .map(|_| {
-                let mut s = SimServer::new();
-                s.init(cells.to_vec());
-                s
-            })
-            .collect();
-        Self { servers }
-    }
-
-    /// Number of servers.
-    pub fn count(&self) -> usize {
-        self.servers.len()
-    }
-
-    /// Mutable access to server `i`.
-    pub fn server_mut(&mut self, i: usize) -> &mut SimServer {
-        &mut self.servers[i]
-    }
-
-    /// Shared access to server `i`.
-    pub fn server(&self, i: usize) -> &SimServer {
-        &self.servers[i]
-    }
-
-    /// Starts transcript recording on every server.
-    pub fn start_recording_all(&mut self) {
-        for s in &mut self.servers {
-            s.start_recording();
-        }
-    }
-
-    /// Takes each server's transcript (index-aligned with server ids).
-    pub fn take_transcripts(&mut self) -> Vec<Transcript> {
-        self.servers.iter_mut().map(SimServer::take_transcript).collect()
+        Self::replicate_on(d, cells)
     }
 
     /// The adversary's view when it corrupts exactly the servers in
@@ -72,6 +39,66 @@ impl ReplicatedServers {
             view.extend_from_slice(&transcripts[i].canonical_encoding());
         }
         view
+    }
+}
+
+impl<S: Storage> ReplicatedServers<S> {
+    /// [`ReplicatedServers::replicate`] over default-constructed backends
+    /// of type `S`. Use [`ReplicatedServers::replicate_with`] to configure
+    /// each server (shard count, worker pool).
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn replicate_on(d: usize, cells: &[Vec<u8>]) -> Self
+    where
+        S: Default,
+    {
+        Self::replicate_with(d, cells, |_| S::default())
+    }
+
+    /// [`ReplicatedServers::replicate`] with a caller-supplied factory:
+    /// `make(i)` builds (un-initialized) server `i`, which is then loaded
+    /// with a replica of `cells`.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn replicate_with(d: usize, cells: &[Vec<u8>], mut make: impl FnMut(usize) -> S) -> Self {
+        assert!(d > 0, "need at least one server");
+        let servers = (0..d)
+            .map(|i| {
+                let mut s = make(i);
+                s.init(cells.to_vec());
+                s
+            })
+            .collect();
+        Self { servers }
+    }
+
+    /// Number of servers.
+    pub fn count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Mutable access to server `i`.
+    pub fn server_mut(&mut self, i: usize) -> &mut S {
+        &mut self.servers[i]
+    }
+
+    /// Shared access to server `i`.
+    pub fn server(&self, i: usize) -> &S {
+        &self.servers[i]
+    }
+
+    /// Starts transcript recording on every server.
+    pub fn start_recording_all(&mut self) {
+        for s in &mut self.servers {
+            s.start_recording();
+        }
+    }
+
+    /// Takes each server's transcript (index-aligned with server ids).
+    pub fn take_transcripts(&mut self) -> Vec<Transcript> {
+        self.servers.iter_mut().map(Storage::take_transcript).collect()
     }
 
     /// Sum of all servers' cost counters.

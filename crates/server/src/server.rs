@@ -146,6 +146,7 @@ impl SimServer {
     ///
     /// This is the hot-path form of [`SimServer::read_batch`]; stats and
     /// transcript accounting are identical.
+    #[inline]
     pub fn read_batch_with(
         &mut self,
         addrs: &[usize],
@@ -215,6 +216,7 @@ impl SimServer {
     /// Uploads a single borrowed cell (one round trip). The hot-path form
     /// of [`SimServer::write`]: the caller keeps ownership of its scratch
     /// buffer and no heap allocation happens.
+    #[inline]
     pub fn write_from(&mut self, addr: usize, cell: &[u8]) -> Result<(), ServerError> {
         self.check(addr)?;
         self.stats.uploads += 1;
@@ -232,6 +234,7 @@ impl SimServer {
     ///
     /// # Panics
     /// Panics if `flat.len()` is not a multiple of `addrs.len()`.
+    #[inline]
     pub fn write_batch_strided(&mut self, addrs: &[usize], flat: &[u8]) -> Result<(), ServerError> {
         if addrs.is_empty() {
             assert!(flat.is_empty(), "flat bytes without addresses");
@@ -305,6 +308,7 @@ impl SimServer {
     /// [`SimServer::xor_cells`] into a caller scratch buffer (cleared
     /// first): XOR runs u64-chunked over contiguous arena slices, with no
     /// allocation once `acc` has capacity.
+    #[inline]
     pub fn xor_cells_into(&mut self, addrs: &[usize], acc: &mut Vec<u8>) -> Result<(), ServerError> {
         acc.clear();
         let mut first = true;

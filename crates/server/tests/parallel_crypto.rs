@@ -1,0 +1,196 @@
+//! Determinism of the worker-pool batch crypto against the sequential
+//! in-place paths.
+//!
+//! The contract ([`dps_server::batch_crypto`]): drawing all nonces
+//! up-front on the caller thread and fanning the strided
+//! encrypt/decrypt/seal/open work across any pool width produces output
+//! **byte-identical** to the sequential `encrypt_into` /
+//! `decrypt_in_place` / `seal_into` / `open_in_place` loop consuming the
+//! same RNG stream — for the IND-CPA ChaCha20 cipher, the AEAD seal/open
+//! pair, and raw Poly1305 tags. Error reporting is also pinned: a
+//! corrupted batch yields the lowest-indexed cell's error under every
+//! pool width.
+
+use dps_crypto::aead::address_aad;
+use dps_crypto::poly1305::{poly1305, KEY_LEN as POLY_KEY_LEN, TAG_LEN as POLY_TAG_LEN};
+use dps_crypto::{
+    AeadCipher, BlockCipher, ChaChaRng, CryptoError, AEAD_OVERHEAD, CIPHERTEXT_OVERHEAD,
+};
+use dps_server::batch_crypto::{
+    decrypt_batch_strided, encrypt_batch_strided, open_batch_strided, poly1305_batch_strided,
+    seal_batch_strided,
+};
+use dps_server::WorkerPool;
+
+const POOL_WIDTHS: [usize; 4] = [1, 2, 4, 7];
+const CELLS: usize = 37; // deliberately not a multiple of any pool width
+const PT_LEN: usize = 100;
+
+fn plaintexts(seed: u8) -> Vec<u8> {
+    (0..CELLS * PT_LEN).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+}
+
+/// ChaCha20 cipher: the pooled strided path equals the sequential
+/// `encrypt_into` loop byte-for-byte, and decrypts back both ways.
+#[test]
+fn block_cipher_parallel_equals_sequential() {
+    let mut rng = ChaChaRng::seed_from_u64(100);
+    let cipher = BlockCipher::generate(&mut rng);
+    let pts = plaintexts(3);
+    let ct_stride = PT_LEN + CIPHERTEXT_OVERHEAD;
+
+    // Sequential reference: one encrypt_into per cell, nonces drawn from
+    // the stream one at a time.
+    let mut seq_rng = rng.clone();
+    let mut sequential = Vec::with_capacity(CELLS * ct_stride);
+    let mut scratch = Vec::new();
+    for cell in 0..CELLS {
+        cipher.encrypt_into(&pts[cell * PT_LEN..(cell + 1) * PT_LEN], &mut scratch, &mut seq_rng);
+        sequential.extend_from_slice(&scratch);
+    }
+
+    for threads in POOL_WIDTHS {
+        let pool = WorkerPool::new(threads);
+        // Same starting stream: nonces pre-drawn up-front.
+        let nonces = rng.clone().draw_nonces(CELLS);
+        let mut parallel = vec![0u8; CELLS * ct_stride];
+        encrypt_batch_strided(&pool, &cipher, &nonces, &pts, &mut parallel);
+        assert_eq!(parallel, sequential, "ciphertexts diverged at T = {threads}");
+
+        // Pooled strided decrypt returns the plaintexts…
+        let mut back = vec![0u8; CELLS * PT_LEN];
+        decrypt_batch_strided(&pool, &cipher, &parallel, CELLS, &mut back).unwrap();
+        assert_eq!(back, pts, "decrypt diverged at T = {threads}");
+    }
+
+    // …and matches the sequential decrypt_in_place cell by cell.
+    for cell in 0..CELLS {
+        let mut buf = sequential[cell * ct_stride..(cell + 1) * ct_stride].to_vec();
+        cipher.decrypt_in_place(&mut buf).unwrap();
+        assert_eq!(buf, &pts[cell * PT_LEN..(cell + 1) * PT_LEN]);
+    }
+}
+
+/// AEAD: pooled seal with per-cell address AAD equals the sequential
+/// `seal_into` loop; pooled open equals `open_in_place`.
+#[test]
+fn aead_parallel_equals_sequential() {
+    let mut rng = ChaChaRng::seed_from_u64(200);
+    let cipher = AeadCipher::generate(&mut rng);
+    let pts = plaintexts(7);
+    let ct_stride = PT_LEN + AEAD_OVERHEAD;
+    let aads: Vec<[u8; 16]> = (0..CELLS).map(|a| address_aad(a, a as u64 % 5)).collect();
+
+    let mut seq_rng = rng.clone();
+    let mut sequential = Vec::with_capacity(CELLS * ct_stride);
+    let mut scratch = Vec::new();
+    for cell in 0..CELLS {
+        cipher.seal_into(
+            &aads[cell],
+            &pts[cell * PT_LEN..(cell + 1) * PT_LEN],
+            &mut scratch,
+            &mut seq_rng,
+        );
+        sequential.extend_from_slice(&scratch);
+    }
+
+    for threads in POOL_WIDTHS {
+        let pool = WorkerPool::new(threads);
+        let nonces = rng.clone().draw_nonces(CELLS);
+        let mut parallel = vec![0u8; CELLS * ct_stride];
+        seal_batch_strided(&pool, &cipher, &nonces, &aads, &pts, &mut parallel);
+        assert_eq!(parallel, sequential, "sealed cells diverged at T = {threads}");
+
+        let mut back = vec![0u8; CELLS * PT_LEN];
+        open_batch_strided(&pool, &cipher, &aads, &parallel, &mut back).unwrap();
+        assert_eq!(back, pts, "open diverged at T = {threads}");
+    }
+
+    for cell in 0..CELLS {
+        let mut buf = sequential[cell * ct_stride..(cell + 1) * ct_stride].to_vec();
+        cipher.open_in_place(&aads[cell], &mut buf).unwrap();
+        assert_eq!(buf, &pts[cell * PT_LEN..(cell + 1) * PT_LEN]);
+    }
+}
+
+/// Swapping a sealed cell to another address (wrong AAD) fails under every
+/// pool width — the address binding survives parallelization.
+#[test]
+fn aead_address_binding_survives_the_pool() {
+    let mut rng = ChaChaRng::seed_from_u64(300);
+    let cipher = AeadCipher::generate(&mut rng);
+    let pts = plaintexts(9);
+    let aads: Vec<[u8; 16]> = (0..CELLS).map(|a| address_aad(a, 0)).collect();
+    let nonces = rng.draw_nonces(CELLS);
+    let mut sealed = vec![0u8; CELLS * (PT_LEN + AEAD_OVERHEAD)];
+    seal_batch_strided(&WorkerPool::single(), &cipher, &nonces, &aads, &pts, &mut sealed);
+
+    // Open with the aads of a rotated address assignment: every cell is
+    // "moved" one slot, so the tag check must fail.
+    let mut rotated = aads.clone();
+    rotated.rotate_left(1);
+    let mut out = vec![0u8; CELLS * PT_LEN];
+    for threads in POOL_WIDTHS {
+        let pool = WorkerPool::new(threads);
+        assert_eq!(
+            open_batch_strided(&pool, &cipher, &rotated, &sealed, &mut out),
+            Err(CryptoError::TagMismatch),
+            "T = {threads}"
+        );
+    }
+}
+
+/// Poly1305 over the pool equals the sequential one-shot helper for every
+/// cell, including multi-cell tag batches under distinct one-time keys.
+#[test]
+fn poly1305_tags_parallel_equal_sequential() {
+    let mut rng = ChaChaRng::seed_from_u64(400);
+    let keys: Vec<[u8; POLY_KEY_LEN]> = (0..CELLS)
+        .map(|_| {
+            let mut k = [0u8; POLY_KEY_LEN];
+            rng.fill_bytes(&mut k);
+            k
+        })
+        .collect();
+    let msgs = plaintexts(11);
+
+    let sequential: Vec<[u8; POLY_TAG_LEN]> = (0..CELLS)
+        .map(|cell| poly1305(&keys[cell], &msgs[cell * PT_LEN..(cell + 1) * PT_LEN]))
+        .collect();
+
+    for threads in POOL_WIDTHS {
+        let pool = WorkerPool::new(threads);
+        let mut tags = vec![[0u8; POLY_TAG_LEN]; CELLS];
+        poly1305_batch_strided(&pool, &keys, &msgs, &mut tags);
+        assert_eq!(tags, sequential, "tags diverged at T = {threads}");
+    }
+}
+
+/// Corruption at one cell reports `TagMismatch` (and only the lowest
+/// failing cell's error kind) for the plain cipher under every width;
+/// truncated strides report `Malformed` deterministically too.
+#[test]
+fn error_reporting_is_width_independent() {
+    let mut rng = ChaChaRng::seed_from_u64(500);
+    let cipher = BlockCipher::generate(&mut rng);
+    let pts = plaintexts(13);
+    let nonces = rng.draw_nonces(CELLS);
+    let ct_stride = PT_LEN + CIPHERTEXT_OVERHEAD;
+    let mut cts = vec![0u8; CELLS * ct_stride];
+    encrypt_batch_strided(&WorkerPool::single(), &cipher, &nonces, &pts, &mut cts);
+
+    let mut corrupted = cts.clone();
+    corrupted[20 * ct_stride + 1] ^= 0x80;
+    let mut out = vec![0u8; CELLS * PT_LEN];
+    for threads in POOL_WIDTHS {
+        let pool = WorkerPool::new(threads);
+        assert_eq!(
+            decrypt_batch_strided(&pool, &cipher, &corrupted, CELLS, &mut out),
+            Err(CryptoError::TagMismatch),
+            "T = {threads}"
+        );
+        // The uncorrupted batch still opens after the failed attempt.
+        decrypt_batch_strided(&pool, &cipher, &cts, CELLS, &mut out).unwrap();
+        assert_eq!(out, pts);
+    }
+}

@@ -1,0 +1,135 @@
+//! Concurrency stress suite for [`ShardedServer`]'s shared (`&self`) API.
+//!
+//! N writer threads own disjoint contiguous address ranges and overwrite
+//! them round after round while a mixed-range adversary thread reads and
+//! XORs across every range. The suite asserts:
+//!
+//! * **no lost writes** — after the threads join, every cell holds exactly
+//!   its owner's final-round pattern;
+//! * **read-your-writes** — mid-run, a writer always sees its own last
+//!   write (per-shard locking makes each batch atomic);
+//! * **fixed-seed determinism** — two complete runs with the same seed
+//!   produce byte-identical final cells and identical aggregate
+//!   [`CostStats`], independent of how the OS interleaved the threads
+//!   (cells are fixed-length and writers are disjoint, so every counter is
+//!   interleaving-invariant).
+
+use dps_server::{CostStats, ShardedServer, Storage, WorkerPool};
+
+const WRITERS: usize = 4;
+const CELLS_PER_WRITER: usize = 64;
+const N: usize = WRITERS * CELLS_PER_WRITER;
+const CELL_LEN: usize = 24;
+const ROUNDS: usize = 40;
+
+/// The deterministic pattern writer `t` uploads to `addr` in `round`.
+fn pattern(t: usize, round: usize, addr: usize, seed: u64) -> Vec<u8> {
+    (0..CELL_LEN)
+        .map(|i| {
+            (seed as usize)
+                .wrapping_mul(31)
+                .wrapping_add(t * 17 + round * 7 + addr * 3 + i)
+                as u8
+        })
+        .collect()
+}
+
+/// One full multi-threaded run; returns the final cells and the total
+/// stats accumulated by the concurrent phase (the read-back afterwards is
+/// not counted).
+fn run(seed: u64, shards: usize, pool_threads: usize) -> (Vec<Vec<u8>>, CostStats) {
+    let mut server = ShardedServer::new(shards).with_pool(WorkerPool::new(pool_threads));
+    Storage::init(
+        &mut server,
+        (0..N).map(|a| pattern(a / CELLS_PER_WRITER, 0, a, seed)).collect(),
+    );
+
+    {
+        let server = &server;
+        std::thread::scope(|scope| {
+            for t in 0..WRITERS {
+                scope.spawn(move || {
+                    let range: Vec<usize> =
+                        (t * CELLS_PER_WRITER..(t + 1) * CELLS_PER_WRITER).collect();
+                    for round in 1..=ROUNDS {
+                        let flat: Vec<u8> =
+                            range.iter().flat_map(|&a| pattern(t, round, a, seed)).collect();
+                        server.write_batch_strided_shared(&range, &flat).unwrap();
+                        // Read-your-writes: this writer's batch is already
+                        // visible to itself, whatever the other threads do.
+                        let mut seen = vec![0u8; range.len() * CELL_LEN];
+                        server
+                            .read_batch_with_shared(&range, |i, cell| {
+                                seen[i * CELL_LEN..(i + 1) * CELL_LEN].copy_from_slice(cell);
+                            })
+                            .unwrap();
+                        assert_eq!(seen, flat, "writer {t} lost its round-{round} batch");
+                    }
+                });
+            }
+            // The adversary: mixed-range reads and XOR folds across every
+            // writer's territory. Values race by design — only shape and
+            // termination are asserted here; its *charges* are
+            // deterministic because every cell keeps the same length.
+            scope.spawn(move || {
+                let all: Vec<usize> = (0..N).collect();
+                let stripes: Vec<usize> = (0..N).step_by(7).collect();
+                let mut acc = Vec::new();
+                for _ in 0..ROUNDS {
+                    server
+                        .read_batch_with_shared(&stripes, |_, cell| {
+                            assert_eq!(cell.len(), CELL_LEN);
+                        })
+                        .unwrap();
+                    server.xor_cells_into_shared(&all, &mut acc).unwrap();
+                    assert_eq!(acc.len(), CELL_LEN);
+                }
+            });
+        });
+    }
+
+    let stats = Storage::stats(&server);
+    let cells = (0..N).map(|a| Storage::read(&mut server, a).unwrap()).collect();
+    (cells, stats)
+}
+
+#[test]
+fn disjoint_writers_lose_nothing() {
+    let seed = 0xD15C0;
+    for shards in [1usize, 4, 8] {
+        let (cells, _) = run(seed as u64, shards, 2);
+        for (addr, cell) in cells.iter().enumerate() {
+            let owner = addr / CELLS_PER_WRITER;
+            assert_eq!(
+                *cell,
+                pattern(owner, ROUNDS, addr, seed as u64),
+                "cell {addr} (owner {owner}) lost a write (S = {shards})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fixed_seed_runs_are_byte_identical() {
+    for shards in [2usize, 8] {
+        let (cells_a, stats_a) = run(42, shards, 2);
+        let (cells_b, stats_b) = run(42, shards, 2);
+        assert_eq!(cells_a, cells_b, "final cells diverged across reruns (S = {shards})");
+        assert_eq!(stats_a, stats_b, "aggregate stats diverged across reruns (S = {shards})");
+    }
+}
+
+#[test]
+fn concurrent_throughput_totals_add_up() {
+    // Every writer issues 2 batches per round (1 write + 1 verify read);
+    // the adversary issues 2 per round (1 read + 1 xor). All must be
+    // accounted exactly once despite interleaving.
+    let (_, stats) = run(7, 4, 1);
+    let expected_round_trips = (WRITERS * 2 * ROUNDS + 2 * ROUNDS) as u64;
+    assert_eq!(stats.round_trips, expected_round_trips);
+    assert_eq!(stats.uploads, (WRITERS * CELLS_PER_WRITER * ROUNDS) as u64);
+    let adversary_reads = (N.div_ceil(7) * ROUNDS) as u64;
+    let writer_reads = (WRITERS * CELLS_PER_WRITER * ROUNDS) as u64;
+    assert_eq!(stats.downloads, adversary_reads + writer_reads);
+    assert_eq!(stats.computed, (N * ROUNDS) as u64);
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Soft bench-regression check across BENCH_*.json generations.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--warn-pct 25]
+
+Handles both bench_smoke JSON formats:
+  * flat map  {"scheme": median_ns, ...}            (BENCH_1 / BENCH_2)
+  * record list [{"scheme": .., "shards": S, "threads": T,
+                  "median_ns": ..}, ...]            (BENCH_3 onward)
+
+Only single-config rows (shards == threads == 1) are compared against a
+flat-map baseline, so the files stay comparable across PRs as sweeps are
+added. Always exits 0: this is a *soft* check — it prints warnings for
+medians that regressed more than the threshold and a summary either way.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    """Returns {scheme: median_ns} for the comparable single-config rows."""
+    with open(path) as f:
+        data = json.load(f)
+    if isinstance(data, dict):
+        return {k: int(v) for k, v in data.items()}
+    out = {}
+    for rec in data:
+        if rec.get("shards", 1) == 1 and rec.get("threads", 1) == 1:
+            out[rec["scheme"]] = int(rec["median_ns"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--warn-pct", type=float, default=25.0)
+    args = parser.parse_args()
+    warn_pct = args.warn_pct
+    baseline_path, current_path = args.baseline, args.current
+    baseline = load(baseline_path)
+    current = load(current_path)
+
+    regressions = 0
+    for scheme in sorted(baseline):
+        if scheme not in current:
+            print(f"  [gone]  {scheme}: present in {baseline_path} only")
+            continue
+        old, new = baseline[scheme], current[scheme]
+        delta = 100.0 * (new - old) / old if old else 0.0
+        marker = " "
+        if delta > warn_pct:
+            marker = "!"
+            regressions += 1
+            print(f"::warning::bench regression {scheme}: {old} -> {new} ns (+{delta:.0f}%)")
+        print(f"  [{marker}] {scheme:<24} {old:>10} -> {new:>10} ns  ({delta:+.0f}%)")
+    for scheme in sorted(set(current) - set(baseline)):
+        print(f"  [new]   {scheme}: {current[scheme]} ns")
+
+    if regressions:
+        print(f"{regressions} scheme(s) regressed more than {warn_pct:.0f}% (soft check, not failing)")
+    else:
+        print(f"no scheme regressed more than {warn_pct:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
