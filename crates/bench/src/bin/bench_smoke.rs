@@ -12,7 +12,9 @@
 //! PR can record its numbers (`BENCH_<pr>.json`) and diff against the
 //! previous ones. Single-config schemes carry `shards = threads = 1`,
 //! keeping their rows comparable with the flat `{"scheme": ns}` maps of
-//! BENCH_1/BENCH_2; the sharded sweeps add S/T columns on top.
+//! BENCH_1/BENCH_2; the sharded sweeps add S/T columns on top, and
+//! throughput rows (`chacha_wide_throughput`, `linear_oram_reencrypt`)
+//! add a `"bytes"` field recording the payload bytes per op.
 
 use std::time::Instant;
 
@@ -31,17 +33,26 @@ use dps_workloads::generators::database;
 /// it ran under (1/1 for the sequential baselines). `threads` counts the
 /// threads doing the work, whichever side they live on: concurrent
 /// *client* threads for `sharded_read_mt`, worker-*pool* width for
-/// `sharded_write_strided` / `par_encrypt_batch`.
+/// `sharded_write_strided` / `par_encrypt_batch`. Throughput-oriented rows
+/// additionally record `bytes` — the payload bytes one op moves through
+/// the crypto core — so ns/op stays interpretable as bytes/s across PRs;
+/// `bytes` is omitted from the JSON when zero, keeping legacy rows
+/// byte-stable.
 struct Record {
     scheme: String,
     shards: usize,
     threads: usize,
     median_ns: u64,
+    bytes: u64,
 }
 
 impl Record {
     fn single(scheme: &str, median_ns: u64) -> Self {
-        Self { scheme: scheme.to_string(), shards: 1, threads: 1, median_ns }
+        Self { scheme: scheme.to_string(), shards: 1, threads: 1, median_ns, bytes: 0 }
+    }
+
+    fn throughput(scheme: &str, median_ns: u64, bytes: u64) -> Self {
+        Self { scheme: scheme.to_string(), shards: 1, threads: 1, median_ns, bytes }
     }
 }
 
@@ -233,6 +244,44 @@ fn main() {
         ));
     }
 
+    // Linear ORAM full-database re-encryption at production-ish scale:
+    // n = 1024 cells of 256 B. One op = decrypt + re-encrypt the whole
+    // database (the bytes figure), the workload the wide 4-lane core
+    // exists for.
+    {
+        let n = 1 << 10;
+        let block = 256;
+        let db = database(n, block);
+        let mut rng = ChaChaRng::seed_from_u64(9);
+        let mut oram = LinearOram::setup(&db, SimServer::new(), &mut rng);
+        let mut i = 0;
+        results.push(Record::throughput(
+            "linear_oram_reencrypt",
+            median_ns(samples, 4, || {
+                i = (i + 1) % n;
+                oram.read(i, &mut rng).unwrap();
+            }),
+            2 * (n * (block + CIPHERTEXT_OVERHEAD)) as u64,
+        ));
+    }
+
+    // Raw wide-keystream throughput: one op XORs a 4 KiB buffer (16
+    // passes of the 4-lane core) — the denominator every keystream-bound
+    // scheme above divides into.
+    {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let mut buf = vec![0u8; 4096];
+        results.push(Record::throughput(
+            "chacha_wide_throughput",
+            median_ns(samples, 2000, || {
+                dps_crypto::chacha::xor_keystream(&key, 0, &nonce, &mut buf);
+                std::hint::black_box(&buf);
+            }),
+            4096,
+        ));
+    }
+
     // Full-scan PIR baseline, n = 1024, 256 B records.
     {
         let n = 1 << 10;
@@ -283,6 +332,7 @@ fn main() {
                     shards,
                     threads: clients,
                     median_ns: ns,
+                    bytes: 0,
                 });
             }
         }
@@ -307,6 +357,7 @@ fn main() {
                 shards,
                 threads,
                 median_ns: ns / n as u64, // per cell
+                bytes: 0,
             });
         }
     }
@@ -332,6 +383,7 @@ fn main() {
                 shards: 1,
                 threads,
                 median_ns: ns / cells as u64, // per cell
+                bytes: 0,
             });
         }
     }
@@ -348,8 +400,10 @@ fn main() {
         let mut json = String::from("[\n");
         for (i, r) in results.iter().enumerate() {
             let comma = if i + 1 == results.len() { "" } else { "," };
+            let bytes_field =
+                if r.bytes > 0 { format!(", \"bytes\": {}", r.bytes) } else { String::new() };
             json.push_str(&format!(
-                "  {{\"scheme\": \"{}\", \"shards\": {}, \"threads\": {}, \"median_ns\": {}}}{comma}\n",
+                "  {{\"scheme\": \"{}\", \"shards\": {}, \"threads\": {}, \"median_ns\": {}{bytes_field}}}{comma}\n",
                 r.scheme, r.shards, r.threads, r.median_ns
             ));
         }

@@ -21,20 +21,46 @@
 
 use std::collections::BTreeSet;
 
-use dps_crypto::ChaChaRng;
+use dps_crypto::aead::{address_aad, AeadCipher};
+use dps_crypto::{ChaChaRng, AEAD_OVERHEAD};
 
 use crate::dp_ir::{DpIrConfig, DpIrError};
-use dps_server::{SimServer, Storage};
+use dps_server::{batch_crypto, SimServer, Storage, WorkerPool};
 
 /// A batch's results paired with its union download set (the transcript).
 pub type BatchOutcome = (Vec<Option<Vec<u8>>>, BTreeSet<usize>);
 
+/// Key and layout of a sealed-at-rest record store.
+#[derive(Debug)]
+struct SealedStore {
+    cipher: AeadCipher,
+    /// Uniform sealed-cell length (`record_len + AEAD_OVERHEAD`).
+    ct_stride: usize,
+}
+
 /// A stateless batched DP-IR client bound to a server storing public
-/// records.
+/// records — or, with [`BatchedDpIr::setup_sealed`], records sealed at
+/// rest under the client's AEAD key with each cell's address as
+/// associated data.
+///
+/// Sealing changes nothing about the privacy argument (the transcript is
+/// still exactly the union download set), but it adds confidentiality and
+/// tamper/swap detection against the storage backend. Batch opens run
+/// through [`dps_server::batch_crypto`] — the wide 4-lane AEAD core per
+/// chunk, chunks optionally fanned across a [`WorkerPool`]
+/// ([`BatchedDpIr::with_pool`], sequential/inline by default).
 #[derive(Debug)]
 pub struct BatchedDpIr<S: Storage = SimServer> {
     config: DpIrConfig,
     server: S,
+    /// `Some` when records are sealed at rest (AEAD under address AAD).
+    sealed: Option<SealedStore>,
+    /// Worker pool for the batch open phase (sequential by default).
+    pool: WorkerPool,
+    /// Reusable flat scratch for the needed cells' ciphertexts.
+    ct_scratch: Vec<u8>,
+    /// Reusable flat scratch for the opened plaintexts.
+    pt_scratch: Vec<u8>,
 }
 
 impl<S: Storage> BatchedDpIr<S> {
@@ -53,7 +79,78 @@ impl<S: Storage> BatchedDpIr<S> {
             )));
         }
         server.init(blocks.to_vec());
-        Ok(Self { config, server })
+        Ok(Self {
+            config,
+            server,
+            sealed: None,
+            pool: WorkerPool::single(),
+            ct_scratch: Vec::new(),
+            pt_scratch: Vec::new(),
+        })
+    }
+
+    /// Like [`BatchedDpIr::setup`], but seals every record onto the server
+    /// under a fresh AEAD key with [`address_aad`]`(i, 0)` bound to cell
+    /// `i`, so the backend holds only ciphertext and any moved or
+    /// corrupted cell fails authentication at query time. Requires
+    /// uniform record sizes (the batch open path works on equal strides);
+    /// the sealing itself runs through the wide batch core.
+    pub fn setup_sealed(
+        config: DpIrConfig,
+        blocks: &[Vec<u8>],
+        mut server: S,
+        rng: &mut ChaChaRng,
+    ) -> Result<Self, DpIrError> {
+        if blocks.len() != config.n {
+            return Err(DpIrError::InvalidConfig(format!(
+                "expected {} blocks, got {}",
+                config.n,
+                blocks.len()
+            )));
+        }
+        let record_len = blocks.first().map_or(0, Vec::len);
+        if blocks.iter().any(|b| b.len() != record_len) {
+            return Err(DpIrError::InvalidConfig(
+                "sealed stores require uniform record sizes".into(),
+            ));
+        }
+        let cipher = AeadCipher::generate(rng);
+        let nonces = rng.draw_nonces(blocks.len());
+        let aads: Vec<[u8; 16]> = (0..blocks.len()).map(|i| address_aad(i, 0)).collect();
+        let flat_pt: Vec<u8> = blocks.iter().flatten().copied().collect();
+        let ct_stride = record_len + AEAD_OVERHEAD;
+        let mut flat_ct = vec![0u8; blocks.len() * ct_stride];
+        batch_crypto::seal_batch_strided(
+            &WorkerPool::single(),
+            &cipher,
+            &nonces,
+            &aads,
+            &flat_pt,
+            &mut flat_ct,
+        );
+        server.init(flat_ct.chunks(ct_stride).map(<[u8]>::to_vec).collect());
+        Ok(Self {
+            config,
+            server,
+            sealed: Some(SealedStore { cipher, ct_stride }),
+            pool: WorkerPool::single(),
+            ct_scratch: Vec::new(),
+            pt_scratch: Vec::new(),
+        })
+    }
+
+    /// Sets the worker pool that fans the batch open of a query's needed
+    /// cells across threads (sealed stores only; plaintext stores do no
+    /// crypto). The default is sequential/inline; results are identical
+    /// for every width.
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// True when records are sealed at rest.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed.is_some()
     }
 
     /// The configuration in force.
@@ -142,13 +239,58 @@ impl<S: Storage> BatchedDpIr<S> {
             }
         }
         let mut fetched: Vec<Option<Vec<u8>>> = vec![None; addrs.len()];
-        self.server
-            .read_batch_with(&addrs, |i, cell| {
-                if needed[i] > 0 {
-                    fetched[i] = Some(cell.to_vec());
+        match &self.sealed {
+            None => {
+                self.server
+                    .read_batch_with(&addrs, |i, cell| {
+                        if needed[i] > 0 {
+                            fetched[i] = Some(cell.to_vec());
+                        }
+                    })
+                    .map_err(DpIrError::Server)?;
+            }
+            Some(store) => {
+                // Gather the needed sealed cells into a flat strided
+                // scratch during the (still full-union) download, then
+                // open them as one batch — per-cell address AADs, wide
+                // AEAD core, chunks fanned across the pool.
+                let needed_positions: Vec<usize> = needed
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &count)| count > 0)
+                    .map(|(i, _)| i)
+                    .collect();
+                let ct_stride = store.ct_stride;
+                let ct_scratch = &mut self.ct_scratch;
+                ct_scratch.resize(needed_positions.len() * ct_stride, 0);
+                let mut slot = 0;
+                self.server
+                    .read_batch_with(&addrs, |i, cell| {
+                        if needed[i] > 0 {
+                            ct_scratch[slot * ct_stride..slot * ct_stride + cell.len()]
+                                .copy_from_slice(cell);
+                            slot += 1;
+                        }
+                    })
+                    .map_err(DpIrError::Server)?;
+                let pt_stride = ct_stride - AEAD_OVERHEAD;
+                let aads: Vec<[u8; 16]> =
+                    needed_positions.iter().map(|&pos| address_aad(addrs[pos], 0)).collect();
+                self.pt_scratch.resize(needed_positions.len() * pt_stride, 0);
+                batch_crypto::open_batch_strided(
+                    &self.pool,
+                    &store.cipher,
+                    &aads,
+                    &self.ct_scratch,
+                    &mut self.pt_scratch,
+                )
+                .map_err(|e| DpIrError::Crypto(e.to_string()))?;
+                for (k, &pos) in needed_positions.iter().enumerate() {
+                    fetched[pos] =
+                        Some(self.pt_scratch[k * pt_stride..(k + 1) * pt_stride].to_vec());
                 }
-            })
-            .map_err(DpIrError::Server)?;
+            }
+        }
         let results = indices
             .iter()
             .zip(&successes)
@@ -288,6 +430,104 @@ mod tests {
             Err(DpIrError::IndexOutOfRange { index: 99, n: 16 })
         ));
         assert_eq!(ir.server_stats().since(&before).downloads, 0);
+    }
+
+    fn build_sealed(n: usize, epsilon: f64, alpha: f64, seed: u64) -> (BatchedDpIr, ChaChaRng) {
+        let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![(i % 251) as u8; 8]).collect();
+        let config = DpIrConfig::with_epsilon(n, epsilon, alpha).unwrap();
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let ir = BatchedDpIr::setup_sealed(config, &blocks, SimServer::new(), &mut rng).unwrap();
+        (ir, rng)
+    }
+
+    /// Sealed stores return the same records as plaintext stores and hold
+    /// only ciphertext server-side.
+    #[test]
+    fn sealed_batch_returns_correct_records() {
+        let (mut ir, mut rng) = build_sealed(128, 4.0, 0.1, 11);
+        assert!(ir.is_sealed());
+        // No stored cell equals any plaintext record (all sealed).
+        let plain = vec![5u8; 8];
+        assert!(ir.server_mut().read(5).unwrap() != plain);
+        let indices = [5usize, 90, 5, 127];
+        for _ in 0..30 {
+            let results = ir.query_batch(&indices, &mut rng).unwrap();
+            for (j, result) in results.iter().enumerate() {
+                if let Some(block) = result {
+                    assert_eq!(*block, vec![(indices[j] % 251) as u8; 8], "slot {j}");
+                }
+            }
+        }
+    }
+
+    /// A pooled sealed client returns identical results from the same seed
+    /// as the sequential default.
+    #[test]
+    fn sealed_pooled_matches_sequential() {
+        let indices = [1usize, 17, 40, 17, 63];
+        let run = |threads: usize| {
+            let (ir, mut rng) = build_sealed(64, 3.0, 0.2, 7);
+            let mut ir = ir.with_pool(dps_server::WorkerPool::new(threads));
+            let mut all = Vec::new();
+            for _ in 0..20 {
+                all.push(ir.query_batch_traced(&indices, &mut rng).unwrap());
+            }
+            all
+        };
+        let sequential = run(1);
+        for threads in [2usize, 4] {
+            assert_eq!(run(threads), sequential, "threads = {threads}");
+        }
+    }
+
+    /// A cell moved to a different address fails authentication (the
+    /// address AAD binds position), surfacing as a Crypto error.
+    #[test]
+    fn sealed_detects_swapped_cells() {
+        let (mut ir, mut rng) = build_sealed(32, 4.0, 0.05, 13);
+        let a = ir.server_mut().read(3).unwrap();
+        let b = ir.server_mut().read(9).unwrap();
+        ir.server_mut().write(3, b).unwrap();
+        ir.server_mut().write(9, a).unwrap();
+        // Query index 3 repeatedly; as soon as a query succeeds (downloads
+        // and opens the real record), the swap must be detected.
+        let mut detected = false;
+        for _ in 0..100 {
+            match ir.query_batch(&[3], &mut rng) {
+                Err(DpIrError::Crypto(_)) => {
+                    detected = true;
+                    break;
+                }
+                Ok(results) => assert!(results[0].is_none(), "swapped cell must not open"),
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(detected, "swap never detected across 100 queries");
+    }
+
+    /// Sealed setup rejects ragged record sizes.
+    #[test]
+    fn sealed_requires_uniform_records() {
+        let blocks = vec![vec![1u8; 8], vec![2u8; 9]];
+        let config = DpIrConfig::with_epsilon(2, 1.0, 0.3).unwrap();
+        let mut rng = ChaChaRng::seed_from_u64(1);
+        assert!(matches!(
+            BatchedDpIr::<SimServer>::setup_sealed(config, &blocks, SimServer::new(), &mut rng),
+            Err(DpIrError::InvalidConfig(_))
+        ));
+    }
+
+    /// Sealing does not change the transcript shape: the union download
+    /// set remains the whole observable access pattern.
+    #[test]
+    fn sealed_transcript_is_still_the_union() {
+        let (mut ir, mut rng) = build_sealed(64, 3.0, 0.2, 21);
+        ir.server_mut().start_recording();
+        let (_, union) = ir.query_batch_traced(&[5, 40], &mut rng).unwrap();
+        let transcript = ir.server_mut().take_transcript();
+        let downloaded: std::collections::BTreeSet<usize> =
+            transcript.downloaded_addresses().into_iter().collect();
+        assert_eq!(downloaded, union);
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub enum DpIrError {
     InvalidConfig(String),
     /// Underlying server failure.
     Server(ServerError),
+    /// Sealed-cell authentication or decryption failure (sealed
+    /// [`crate::batched_ir::BatchedDpIr`] stores only).
+    Crypto(String),
 }
 
 impl std::fmt::Display for DpIrError {
@@ -56,6 +59,7 @@ impl std::fmt::Display for DpIrError {
             }
             DpIrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DpIrError::Server(e) => write!(f, "server failure: {e}"),
+            DpIrError::Crypto(msg) => write!(f, "sealed-cell crypto failure: {msg}"),
         }
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::chacha;
 use crate::cipher::CryptoError;
-use crate::poly1305::{tags_equal, Poly1305, TAG_LEN};
+use crate::poly1305::{tags_equal, Poly1305, Poly1305x4, TAG_LEN};
 use crate::rng::ChaChaRng;
 
 /// Ciphertext expansion of [`AeadCipher`]: nonce plus Poly1305 tag.
@@ -186,6 +186,188 @@ impl AeadCipher {
         Ok(pt_len)
     }
 
+    /// The shared `aad_len || ct_len` trailer block of the tag message for
+    /// a 16-byte AAD and `pt_stride`-byte body (RFC 8439 §2.8 lengths).
+    fn lens_block(pt_stride: usize) -> [u8; 16] {
+        let mut lens = [0u8; 16];
+        lens[..8].copy_from_slice(&16u64.to_le_bytes());
+        lens[8..].copy_from_slice(&(pt_stride as u64).to_le_bytes());
+        lens
+    }
+
+    /// Derives four one-time Poly1305 keys in one wide ChaCha pass.
+    fn one_time_keys4(&self, nonces: &[&[u8; chacha::NONCE_LEN]; 4]) -> [[u8; 32]; 4] {
+        let blocks = chacha::blocks4(&self.key, &[0; 4], nonces);
+        std::array::from_fn(|l| blocks[l][..32].try_into().expect("32-byte prefix"))
+    }
+
+    /// Computes the AEAD tags of cells `cell..cell + 4` laid out in `flat`
+    /// at `ct_stride` (nonces read from the slot prefixes, bodies of
+    /// `pt_stride` bytes, `lens` the shared `aad_len || ct_len` block):
+    /// one wide pass for the 4 one-time keys, interleaved Poly1305 over
+    /// `aad || pad16 || body || pad16 || lens` per lane. Returns the
+    /// group's nonces alongside the tags.
+    fn group_tags4(
+        &self,
+        flat: &[u8],
+        aads: &[[u8; 16]],
+        cell: usize,
+        ct_stride: usize,
+        pt_stride: usize,
+        lens: &[u8; 16],
+    ) -> ([chacha::Nonce; 4], [[u8; TAG_LEN]; 4]) {
+        let body_end = chacha::NONCE_LEN + pt_stride;
+        let nonces: [chacha::Nonce; 4] = std::array::from_fn(|l| {
+            flat[(cell + l) * ct_stride..(cell + l) * ct_stride + chacha::NONCE_LEN]
+                .try_into()
+                .expect("nonce prefix")
+        });
+        let nonce_refs: [&chacha::Nonce; 4] = std::array::from_fn(|l| &nonces[l]);
+        let otks = self.one_time_keys4(&nonce_refs);
+        let mut mac = Poly1305x4::new([&otks[0], &otks[1], &otks[2], &otks[3]]);
+        mac.update(std::array::from_fn(|l| &aads[cell + l][..]));
+        // 16-byte aads are already block-aligned (pad16 is a no-op),
+        // matching the scalar tag()'s update(aad); pad16() sequence.
+        mac.update(std::array::from_fn(|l| {
+            let base = (cell + l) * ct_stride;
+            &flat[base + chacha::NONCE_LEN..base + body_end]
+        }));
+        mac.pad16();
+        mac.update([lens; 4]);
+        (nonces, mac.finalize())
+    }
+
+    /// Seals `nonces.len()` equal-length plaintexts packed back-to-back in
+    /// `plaintexts` into `nonce || body || tag` slots of `out`, binding
+    /// `aads[i]` to cell `i`. Byte-identical to a
+    /// [`AeadCipher::seal_with_nonce_into`] loop, but drives the wide
+    /// 4-lane keystream across cells and interleaves 4 tags' Poly1305
+    /// arithmetic (one-time keys also derived 4 per pass).
+    ///
+    /// # Panics
+    /// Panics if `aads.len() != nonces.len()`, `plaintexts.len()` is not
+    /// `nonces.len()` equal strides, or `out.len()` is not
+    /// `nonces.len() * (stride + AEAD_OVERHEAD)`.
+    pub fn seal_batch_with_nonces(
+        &self,
+        nonces: &[chacha::Nonce],
+        aads: &[[u8; 16]],
+        plaintexts: &[u8],
+        out: &mut [u8],
+    ) {
+        let cells = nonces.len();
+        assert_eq!(aads.len(), cells, "one aad per cell");
+        if cells == 0 {
+            assert!(plaintexts.is_empty() && out.is_empty(), "bytes without nonces");
+            return;
+        }
+        assert_eq!(plaintexts.len() % cells, 0, "plaintext length not a multiple of cell count");
+        let pt_stride = plaintexts.len() / cells;
+        let ct_stride = pt_stride + AEAD_OVERHEAD;
+        assert_eq!(out.len(), cells * ct_stride, "output must hold every ciphertext");
+
+        for (i, nonce) in nonces.iter().enumerate() {
+            let slot = &mut out[i * ct_stride..(i + 1) * ct_stride];
+            slot[..chacha::NONCE_LEN].copy_from_slice(nonce);
+            slot[chacha::NONCE_LEN..chacha::NONCE_LEN + pt_stride]
+                .copy_from_slice(&plaintexts[i * pt_stride..(i + 1) * pt_stride]);
+        }
+        chacha::xor_keystream_batch_strided(
+            &self.key,
+            1,
+            nonces,
+            out,
+            ct_stride,
+            chacha::NONCE_LEN,
+            pt_stride,
+        );
+
+        let body_end = chacha::NONCE_LEN + pt_stride;
+        let lens = Self::lens_block(pt_stride);
+        let mut cell = 0;
+        while cell + 4 <= cells {
+            let (_, tags) = self.group_tags4(out, aads, cell, ct_stride, pt_stride, &lens);
+            for (l, tag) in tags.iter().enumerate() {
+                let base = (cell + l) * ct_stride;
+                out[base + body_end..base + ct_stride].copy_from_slice(tag);
+            }
+            cell += 4;
+        }
+        for (i, aad) in aads.iter().enumerate().skip(cell) {
+            let base = i * ct_stride;
+            let nonce: [u8; chacha::NONCE_LEN] =
+                out[base..base + chacha::NONCE_LEN].try_into().expect("nonce prefix");
+            let tag = self.tag(&nonce, aad, &out[base + chacha::NONCE_LEN..base + body_end]);
+            out[base + body_end..base + ct_stride].copy_from_slice(&tag);
+        }
+    }
+
+    /// Opens `aads.len()` equal-length sealed cells packed back-to-back in
+    /// `ciphertexts` into the plaintext slots of `out`, verifying 4 tags
+    /// per interleaved pass. Returns the lowest-indexed cell's error on
+    /// failure, with the contents of `out` unspecified. The batch twin of
+    /// [`AeadCipher::open_to_slice`].
+    ///
+    /// # Panics
+    /// Panics if the flat lengths are inconsistent with `aads.len()`.
+    pub fn open_batch_to_slices(
+        &self,
+        aads: &[[u8; 16]],
+        ciphertexts: &[u8],
+        out: &mut [u8],
+    ) -> Result<(), CryptoError> {
+        let cells = aads.len();
+        if cells == 0 {
+            assert!(ciphertexts.is_empty() && out.is_empty(), "bytes without cells");
+            return Ok(());
+        }
+        assert_eq!(ciphertexts.len() % cells, 0, "ciphertext length not a multiple of cell count");
+        let ct_stride = ciphertexts.len() / cells;
+        if ct_stride < AEAD_OVERHEAD {
+            return Err(CryptoError::Malformed);
+        }
+        let pt_stride = ct_stride - AEAD_OVERHEAD;
+        assert_eq!(out.len(), cells * pt_stride, "output must hold every plaintext");
+        let body_end = chacha::NONCE_LEN + pt_stride;
+        let lens = Self::lens_block(pt_stride);
+
+        let mut cell = 0;
+        while cell + 4 <= cells {
+            let (group_nonces, tags) =
+                self.group_tags4(ciphertexts, aads, cell, ct_stride, pt_stride, &lens);
+            for (l, expected) in tags.iter().enumerate() {
+                let base = (cell + l) * ct_stride;
+                let stored: [u8; TAG_LEN] = ciphertexts[base + body_end..base + ct_stride]
+                    .try_into()
+                    .expect("16-byte tag");
+                if !tags_equal(expected, &stored) {
+                    return Err(CryptoError::TagMismatch);
+                }
+            }
+            for l in 0..4 {
+                let base = (cell + l) * ct_stride;
+                out[(cell + l) * pt_stride..(cell + l + 1) * pt_stride]
+                    .copy_from_slice(&ciphertexts[base + chacha::NONCE_LEN..base + body_end]);
+            }
+            let group_out = &mut out[cell * pt_stride..(cell + 4) * pt_stride];
+            chacha::xor_keystream_batch_strided(
+                &self.key,
+                1,
+                &group_nonces,
+                group_out,
+                pt_stride,
+                0,
+                pt_stride,
+            );
+            cell += 4;
+        }
+        for i in cell..cells {
+            let ct = &ciphertexts[i * ct_stride..(i + 1) * ct_stride];
+            self.open_to_slice(&aads[i], ct, &mut out[i * pt_stride..(i + 1) * pt_stride])?;
+        }
+        Ok(())
+    }
+
     /// Seals with a caller-chosen nonce (test vectors; deterministic
     /// callers must guarantee nonce uniqueness themselves).
     pub fn seal_with_nonce(
@@ -322,6 +504,74 @@ mod tests {
                 "flip at byte {i}"
             );
         }
+    }
+
+    /// The batch seal/open entry points are byte-identical to per-cell
+    /// loops across cell-count remainder classes and strides, with
+    /// per-cell address AADs.
+    #[test]
+    fn batch_matches_sequential_loop() {
+        let mut rng = ChaChaRng::seed_from_u64(8);
+        let cipher = AeadCipher::generate(&mut rng);
+        for cells in [1usize, 3, 4, 6, 8, 9] {
+            for pt_stride in [0usize, 1, 15, 16, 17, 64, 100, 256] {
+                let plaintexts: Vec<u8> =
+                    (0..cells * pt_stride).map(|i| (i * 23 % 251) as u8).collect();
+                let nonces = rng.draw_nonces(cells);
+                let aads: Vec<[u8; 16]> =
+                    (0..cells).map(|i| address_aad(i * 3 + 1, i as u64)).collect();
+                let ct_stride = pt_stride + AEAD_OVERHEAD;
+                let mut batch = vec![0u8; cells * ct_stride];
+                cipher.seal_batch_with_nonces(&nonces, &aads, &plaintexts, &mut batch);
+                let mut seq = vec![0u8; cells * ct_stride];
+                for i in 0..cells {
+                    cipher.seal_with_nonce_into(
+                        &nonces[i],
+                        &aads[i],
+                        &plaintexts[i * pt_stride..(i + 1) * pt_stride],
+                        &mut seq[i * ct_stride..(i + 1) * ct_stride],
+                    );
+                }
+                assert_eq!(batch, seq, "cells {cells} stride {pt_stride}");
+                let mut back = vec![0u8; cells * pt_stride];
+                cipher.open_batch_to_slices(&aads, &batch, &mut back).unwrap();
+                assert_eq!(back, plaintexts, "cells {cells} stride {pt_stride}");
+            }
+        }
+    }
+
+    /// Batch open rejects a swapped AAD or corrupted byte in any cell.
+    #[test]
+    fn batch_open_rejects_wrong_aad_and_corruption() {
+        let mut rng = ChaChaRng::seed_from_u64(9);
+        let cipher = AeadCipher::generate(&mut rng);
+        let cells = 5;
+        let pt_stride = 48;
+        let plaintexts = vec![7u8; cells * pt_stride];
+        let nonces = rng.draw_nonces(cells);
+        let aads: Vec<[u8; 16]> = (0..cells).map(|i| address_aad(i, 0)).collect();
+        let ct_stride = pt_stride + AEAD_OVERHEAD;
+        let mut cts = vec![0u8; cells * ct_stride];
+        cipher.seal_batch_with_nonces(&nonces, &aads, &plaintexts, &mut cts);
+        let mut out = vec![0u8; cells * pt_stride];
+        // Swap two cells' AADs: both verifications must fail.
+        let mut swapped = aads.clone();
+        swapped.swap(1, 4);
+        assert_eq!(
+            cipher.open_batch_to_slices(&swapped, &cts, &mut out),
+            Err(CryptoError::TagMismatch)
+        );
+        // Corrupt each cell in turn (covers wide groups and the remainder).
+        for bad_cell in 0..cells {
+            let mut corrupted = cts.clone();
+            corrupted[bad_cell * ct_stride + 5] ^= 1;
+            assert_eq!(
+                cipher.open_batch_to_slices(&aads, &corrupted, &mut out),
+                Err(CryptoError::TagMismatch),
+                "cell {bad_cell}"
+            );
+        }
+        assert!(cipher.open_batch_to_slices(&aads, &cts, &mut out).is_ok());
     }
 
     #[test]

@@ -4,6 +4,21 @@
 //! ([`crate::cipher`]) and the deterministic CSPRNG ([`crate::rng`]) are
 //! built. The implementation follows RFC 8439 §2.3 exactly and is verified
 //! against the RFC's test vectors.
+//!
+//! Two permutation cores share the RFC semantics:
+//!
+//! * the scalar core ([`block`]) permutes one 64-byte block at a time;
+//! * the **wide core** permutes [`WIDE_LANES`] = 4 independent blocks per
+//!   pass in a structure-of-arrays state (`[[u32; 4]; 16]`, word-major) so
+//!   every quarter-round step is a 4-iteration loop over `[u32; 4]` lanes
+//!   that LLVM auto-vectorizes to 128-bit SIMD on any baseline x86-64 /
+//!   aarch64 target — no unstable SIMD APIs, no `unsafe`.
+//!
+//! The wide core backs [`xor_keystream`] (4 consecutive counters of one
+//! stream) and [`xor_keystream_batch_strided`] (one block each of 4
+//! *different* nonce streams, the shape batch re-encryption of short cells
+//! produces). Both are byte-identical to the scalar core: the lanes compute
+//! exactly the blocks the scalar loop would, in the same positions.
 
 /// Size of a ChaCha20 key in bytes.
 pub const KEY_LEN: usize = 32;
@@ -14,6 +29,8 @@ pub const NONCE_LEN: usize = 12;
 pub type Nonce = [u8; NONCE_LEN];
 /// Size of one keystream block in bytes.
 pub const BLOCK_LEN: usize = 64;
+/// Number of independent blocks the wide core permutes per pass.
+pub const WIDE_LANES: usize = 4;
 
 const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 
@@ -62,6 +79,329 @@ fn permute(working: &mut [u32; 16]) {
     }
 }
 
+/// The wide core's state: 16 state words × [`WIDE_LANES`] blocks
+/// (structure-of-arrays, word-major): `state[w][l]` is word `w` of lane
+/// `l`'s block.
+type WideState = [[u32; WIDE_LANES]; 16];
+
+/// Portable wide core: permutes 4 interleaved blocks and returns the
+/// feed-forward sum `permute(init) + init`, word-major.
+///
+/// The per-step lane loops are written to auto-vectorize, but current
+/// LLVM refuses to build SLP trees through `v4i32` funnel-shift (rotate)
+/// nodes, so on x86-64 the [`sse2`] twin below — explicit 128-bit
+/// intrinsics, same arithmetic — is used instead. This portable form is
+/// the fallback for every other target and the cross-check oracle the
+/// `wide_cores_agree` test pins the SSE2 path against.
+#[cfg_attr(
+    all(target_arch = "x86_64", target_feature = "sse2"),
+    allow(dead_code) // only the test oracle on targets with the SSE2 core
+)]
+fn wide_core_portable(init: &WideState) -> WideState {
+    #[derive(Clone, Copy)]
+    #[repr(align(16))]
+    struct Lane([u32; WIDE_LANES]);
+
+    impl Lane {
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            Lane(std::array::from_fn(|i| self.0[i].wrapping_add(o.0[i])))
+        }
+
+        #[inline(always)]
+        fn xor_rotl(self, o: Self, n: u32) -> Self {
+            Lane(std::array::from_fn(|i| (self.0[i] ^ o.0[i]).rotate_left(n)))
+        }
+    }
+
+    #[inline(always)]
+    fn quarter(a: Lane, b: Lane, c: Lane, d: Lane) -> (Lane, Lane, Lane, Lane) {
+        let a = a.add(b);
+        let d = d.xor_rotl(a, 16);
+        let c = c.add(d);
+        let b = b.xor_rotl(c, 12);
+        let a = a.add(b);
+        let d = d.xor_rotl(a, 8);
+        let c = c.add(d);
+        let b = b.xor_rotl(c, 7);
+        (a, b, c, d)
+    }
+
+    let start: [Lane; 16] = std::array::from_fn(|w| Lane(init[w]));
+    let [mut x0, mut x1, mut x2, mut x3, mut x4, mut x5, mut x6, mut x7, mut x8, mut x9, mut x10, mut x11, mut x12, mut x13, mut x14, mut x15] =
+        start;
+    for _ in 0..10 {
+        // Column rounds.
+        (x0, x4, x8, x12) = quarter(x0, x4, x8, x12);
+        (x1, x5, x9, x13) = quarter(x1, x5, x9, x13);
+        (x2, x6, x10, x14) = quarter(x2, x6, x10, x14);
+        (x3, x7, x11, x15) = quarter(x3, x7, x11, x15);
+        // Diagonal rounds.
+        (x0, x5, x10, x15) = quarter(x0, x5, x10, x15);
+        (x1, x6, x11, x12) = quarter(x1, x6, x11, x12);
+        (x2, x7, x8, x13) = quarter(x2, x7, x8, x13);
+        (x3, x4, x9, x14) = quarter(x3, x4, x9, x14);
+    }
+    let end = [x0, x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11, x12, x13, x14, x15];
+    std::array::from_fn(|w| end[w].add(start[w]).0)
+}
+
+/// SSE2 wide core: the x86-64 fast path. SSE2 is part of the x86-64
+/// baseline ABI (statically enabled on every rustc x86-64 target unless
+/// explicitly disabled, which the `cfg` guard respects), so the lone
+/// `unsafe` block below — required only because `#[target_feature]`
+/// functions are formally unsafe to call — can never execute an
+/// unsupported instruction. All intrinsics used are value operations
+/// (no pointers), stable since Rust 1.27.
+#[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+mod sse2 {
+    use super::{WideState, WIDE_LANES};
+    use std::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_loadu_si128, _mm_or_si128, _mm_set_epi32, _mm_slli_epi32,
+        _mm_srli_epi32, _mm_storeu_si128, _mm_unpackhi_epi32, _mm_unpackhi_epi64,
+        _mm_unpacklo_epi32, _mm_unpacklo_epi64, _mm_xor_si128,
+    };
+
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    fn load(w: &[u32; WIDE_LANES]) -> __m128i {
+        _mm_set_epi32(w[3] as i32, w[2] as i32, w[1] as i32, w[0] as i32)
+    }
+
+    /// Permute + feed-forward + transpose, all in vector registers:
+    /// returns `[lane][tile]`, where tile `t` holds lane words
+    /// `4t..4t + 4` (16 contiguous keystream bytes).
+    #[target_feature(enable = "sse2")]
+    fn keystream_tiles(init: &WideState) -> [[__m128i; 4]; WIDE_LANES] {
+        macro_rules! rotl {
+            ($v:expr, $n:literal) => {
+                _mm_or_si128(_mm_slli_epi32::<$n>($v), _mm_srli_epi32::<{ 32 - $n }>($v))
+            };
+        }
+        let mut x: [__m128i; 16] = std::array::from_fn(|w| load(&init[w]));
+        macro_rules! quarter {
+            ($a:literal, $b:literal, $c:literal, $d:literal) => {
+                x[$a] = _mm_add_epi32(x[$a], x[$b]);
+                x[$d] = rotl!(_mm_xor_si128(x[$d], x[$a]), 16);
+                x[$c] = _mm_add_epi32(x[$c], x[$d]);
+                x[$b] = rotl!(_mm_xor_si128(x[$b], x[$c]), 12);
+                x[$a] = _mm_add_epi32(x[$a], x[$b]);
+                x[$d] = rotl!(_mm_xor_si128(x[$d], x[$a]), 8);
+                x[$c] = _mm_add_epi32(x[$c], x[$d]);
+                x[$b] = rotl!(_mm_xor_si128(x[$b], x[$c]), 7);
+            };
+        }
+        for _ in 0..10 {
+            // Column rounds.
+            quarter!(0, 4, 8, 12);
+            quarter!(1, 5, 9, 13);
+            quarter!(2, 6, 10, 14);
+            quarter!(3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter!(0, 5, 10, 15);
+            quarter!(1, 6, 11, 12);
+            quarter!(2, 7, 8, 13);
+            quarter!(3, 4, 9, 14);
+        }
+        for w in 0..16 {
+            x[w] = _mm_add_epi32(x[w], load(&init[w]));
+        }
+        let mut out = [[_mm_set_epi32(0, 0, 0, 0); 4]; WIDE_LANES];
+        for tile in 0..4 {
+            let [r0, r1, r2, r3] =
+                [x[4 * tile], x[4 * tile + 1], x[4 * tile + 2], x[4 * tile + 3]];
+            let t0 = _mm_unpacklo_epi32(r0, r1);
+            let t1 = _mm_unpackhi_epi32(r0, r1);
+            let t2 = _mm_unpacklo_epi32(r2, r3);
+            let t3 = _mm_unpackhi_epi32(r2, r3);
+            out[0][tile] = _mm_unpacklo_epi64(t0, t2);
+            out[1][tile] = _mm_unpackhi_epi64(t0, t2);
+            out[2][tile] = _mm_unpacklo_epi64(t1, t3);
+            out[3][tile] = _mm_unpackhi_epi64(t1, t3);
+        }
+        out
+    }
+
+    #[target_feature(enable = "sse2")]
+    #[allow(unsafe_code)]
+    fn wide_core_impl(init: &WideState, out: &mut [[u32; 16]; WIDE_LANES]) {
+        let tiles = keystream_tiles(init);
+        for (lane_words, lane_tiles) in out.iter_mut().zip(tiles) {
+            for (tile, v) in lane_tiles.into_iter().enumerate() {
+                // SAFETY: `lane_words[4 * tile..4 * tile + 4]` is 16
+                // valid, exclusively borrowed bytes; `_mm_storeu_si128`
+                // has no alignment requirement.
+                unsafe {
+                    _mm_storeu_si128(lane_words[4 * tile..].as_mut_ptr().cast::<__m128i>(), v);
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    #[allow(unsafe_code)]
+    fn xor_lanes_impl(init: &WideState, lanes: [&mut [u8]; WIDE_LANES]) {
+        let tiles = keystream_tiles(init);
+        for (lane, lane_tiles) in lanes.into_iter().zip(tiles) {
+            assert_eq!(lane.len(), super::BLOCK_LEN, "lane must be one full block");
+            for (tile, v) in lane_tiles.into_iter().enumerate() {
+                let chunk = &mut lane[16 * tile..16 * tile + 16];
+                // SAFETY: `chunk` is 16 valid, exclusively borrowed bytes;
+                // the unaligned load/store intrinsics have no alignment
+                // requirement.
+                unsafe {
+                    let ptr = chunk.as_mut_ptr().cast::<__m128i>();
+                    _mm_storeu_si128(ptr, _mm_xor_si128(_mm_loadu_si128(ptr), v));
+                }
+            }
+        }
+    }
+
+    #[allow(unsafe_code)]
+    pub(super) fn wide_core(init: &WideState, out: &mut [[u32; 16]; WIDE_LANES]) {
+        // SAFETY: guarded by `cfg(target_feature = "sse2")` above, so the
+        // required feature is statically enabled for this compilation.
+        unsafe { wide_core_impl(init, out) }
+    }
+
+    #[allow(unsafe_code)]
+    pub(super) fn xor_lanes(init: &WideState, lanes: [&mut [u8]; WIDE_LANES]) {
+        // SAFETY: as for `wide_core` — sse2 is statically enabled here.
+        unsafe { xor_lanes_impl(init, lanes) }
+    }
+}
+
+/// Builds the wide initial state: constants and key splatted across the
+/// lanes, per-lane counters in word 12, per-lane nonces in words 13–15.
+/// Batch loops build this once and only rewrite word 12 between passes.
+#[inline]
+fn wide_init(
+    key: &[u8; KEY_LEN],
+    counters: &[u32; WIDE_LANES],
+    nonces: &[&[u8; NONCE_LEN]; WIDE_LANES],
+) -> WideState {
+    let mut init: WideState = [[0u32; WIDE_LANES]; 16];
+    for (w, c) in CONSTANTS.iter().enumerate() {
+        init[w] = [*c; WIDE_LANES];
+    }
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        init[4 + i] = [word; WIDE_LANES];
+    }
+    init[12] = *counters;
+    for (l, nonce) in nonces.iter().enumerate() {
+        for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+            init[13 + i][l] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+    }
+    init
+}
+
+/// Permutes the 4 interleaved blocks of `init` and returns the keystream
+/// as lane-major `u32` words (feed-forward included), dispatching to the
+/// fastest core for the target.
+#[inline]
+fn wide_words_from_init(init: &WideState) -> [[u32; 16]; WIDE_LANES] {
+    let mut out = [[0u32; 16]; WIDE_LANES];
+    #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+    sse2::wide_core(init, &mut out);
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
+    {
+        let summed = wide_core_portable(init);
+        for (w, row) in summed.iter().enumerate() {
+            for l in 0..WIDE_LANES {
+                out[l][w] = row[l];
+            }
+        }
+    }
+    out
+}
+
+/// XORs each lane's 64-byte keystream block straight into `lanes[l]`
+/// (which must be exactly [`BLOCK_LEN`] bytes). On x86-64 the data rides
+/// vector registers end to end: permute, feed-forward, transpose, XOR.
+#[inline]
+fn wide_xor_lanes(init: &WideState, lanes: [&mut [u8]; WIDE_LANES]) {
+    #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+    sse2::xor_lanes(init, lanes);
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
+    {
+        let words = wide_words_from_init(init);
+        for (lane, lane_words) in lanes.into_iter().zip(&words) {
+            xor_full_block(lane, lane_words);
+        }
+    }
+}
+
+/// Reborrows 4 equal-length disjoint regions of `flat`, starting at
+/// `first` and separated by `stride` bytes (`len <= stride`).
+#[inline]
+fn lanes_mut(
+    flat: &mut [u8],
+    first: usize,
+    stride: usize,
+    len: usize,
+) -> [&mut [u8]; WIDE_LANES] {
+    let (_, tail) = flat.split_at_mut(first);
+    let (c0, tail) = tail.split_at_mut(stride);
+    let (c1, tail) = tail.split_at_mut(stride);
+    let (c2, tail) = tail.split_at_mut(stride);
+    [&mut c0[..len], &mut c1[..len], &mut c2[..len], &mut tail[..len]]
+}
+
+/// Runs the wide core once: lane `l` computes the keystream block for
+/// (`counters[l]`, `nonces[l]`) under `key`. Returns the keystream as
+/// lane-major `u32` words (lane `l`, word `w` — already including the
+/// final feed-forward addition), ready to XOR or serialize.
+#[inline]
+fn wide_keystream_words(
+    key: &[u8; KEY_LEN],
+    counters: &[u32; WIDE_LANES],
+    nonces: &[&[u8; NONCE_LEN]; WIDE_LANES],
+) -> [[u32; 16]; WIDE_LANES] {
+    wide_words_from_init(&wide_init(key, counters, nonces))
+}
+
+/// Computes [`WIDE_LANES`] keystream blocks in one interleaved pass: output
+/// `l` is [`block`]`(key, counters[l], nonces[l])`. Used to derive 4 cells'
+/// Poly1305 one-time keys per pass in the batch tag paths.
+pub fn blocks4(
+    key: &[u8; KEY_LEN],
+    counters: &[u32; WIDE_LANES],
+    nonces: &[&[u8; NONCE_LEN]; WIDE_LANES],
+) -> [[u8; BLOCK_LEN]; WIDE_LANES] {
+    let words = wide_keystream_words(key, counters, nonces);
+    let mut out = [[0u8; BLOCK_LEN]; WIDE_LANES];
+    for (lane, lane_words) in out.iter_mut().zip(&words) {
+        for (i, word) in lane_words.iter().enumerate() {
+            lane[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// XORs one full 64-byte block with precomputed keystream words.
+#[cfg_attr(
+    all(target_arch = "x86_64", target_feature = "sse2"),
+    allow(dead_code) // the SSE2 xor_lanes path covers full blocks there
+)]
+#[inline(always)]
+fn xor_full_block(chunk: &mut [u8], words: &[u32; 16]) {
+    for (i, word) in words.iter().enumerate() {
+        let lane = &mut chunk[4 * i..4 * i + 4];
+        let mixed = u32::from_le_bytes(lane.try_into().expect("4-byte lane")) ^ word;
+        lane.copy_from_slice(&mixed.to_le_bytes());
+    }
+}
+
+/// XORs a sub-block tail with precomputed keystream words.
+#[inline(always)]
+fn xor_partial_block(tail: &mut [u8], words: &[u32; 16]) {
+    for (i, byte) in tail.iter_mut().enumerate() {
+        *byte ^= words[i / 4].to_le_bytes()[i % 4];
+    }
+}
+
 /// Computes one 64-byte ChaCha20 keystream block for the given key, block
 /// counter and nonce (RFC 8439 §2.3).
 pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
@@ -81,17 +421,38 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
 /// XORs `data` in place with the ChaCha20 keystream starting at block
 /// `counter`. This is both encryption and decryption (RFC 8439 §2.4).
 ///
-/// Multi-block fast path: the state is parsed once, full blocks are XORed
-/// as `u32` words directly into `data` (no `[u8; 64]` keystream buffer is
-/// materialized), and only a sub-block tail falls back to byte granularity.
+/// Fast paths: runs of 4 full blocks go through the wide core (4
+/// consecutive counters permuted per pass); the 1–3 block remainder keeps
+/// the scalar single-parse path, and only a sub-block tail falls back to
+/// byte granularity. Output is byte-identical for every length.
 pub fn xor_keystream(
     key: &[u8; KEY_LEN],
     mut counter: u32,
     nonce: &[u8; NONCE_LEN],
     data: &mut [u8],
 ) {
+    let mut quads = data.chunks_exact_mut(WIDE_LANES * BLOCK_LEN);
+    if quads.len() > 0 {
+        // Parse key and nonce into the wide state once; only the counter
+        // word changes between passes.
+        let mut init = wide_init(key, &[0; WIDE_LANES], &[nonce; WIDE_LANES]);
+        for quad in &mut quads {
+            init[12] = [
+                counter,
+                counter.wrapping_add(1),
+                counter.wrapping_add(2),
+                counter.wrapping_add(3),
+            ];
+            wide_xor_lanes(&init, lanes_mut(quad, 0, BLOCK_LEN, BLOCK_LEN));
+            counter = counter.wrapping_add(WIDE_LANES as u32);
+        }
+    }
+    let rest = quads.into_remainder();
+    if rest.is_empty() {
+        return;
+    }
     let mut state = init_state(key, nonce);
-    let mut chunks = data.chunks_exact_mut(BLOCK_LEN);
+    let mut chunks = rest.chunks_exact_mut(BLOCK_LEN);
     for chunk in &mut chunks {
         state[12] = counter;
         let mut working = state;
@@ -113,6 +474,78 @@ pub fn xor_keystream(
             let ks = working[i / 4].wrapping_add(state[i / 4]);
             *byte ^= ks.to_le_bytes()[i % 4];
         }
+    }
+}
+
+/// XORs one equal-length region of many cells with per-cell keystreams in
+/// one call: cell `i` occupies `flat[i * stride..(i + 1) * stride]`, and
+/// its region `[offset, offset + len)` is XORed with the keystream of
+/// (`key`, `counter`, `nonces[i]`) — exactly what a [`xor_keystream`] loop
+/// over the cells would do, byte for byte.
+///
+/// This is the batch re-encryption fast path: when `len` is shorter than
+/// the wide core's 256-byte stripe, four *different* cells' keystreams are
+/// permuted per pass (same block index, four nonces), so short-cell batches
+/// vectorize as well as long streams. Cells of 4 blocks or more instead use
+/// the intra-cell wide path of [`xor_keystream`], which is equally wide.
+/// Leftover cells (count not a multiple of 4) take the scalar path.
+///
+/// # Panics
+/// Panics if `flat.len() != nonces.len() * stride` or
+/// `offset + len > stride`.
+pub fn xor_keystream_batch_strided(
+    key: &[u8; KEY_LEN],
+    counter: u32,
+    nonces: &[Nonce],
+    flat: &mut [u8],
+    stride: usize,
+    offset: usize,
+    len: usize,
+) {
+    assert_eq!(flat.len(), nonces.len() * stride, "flat must hold one stride per nonce");
+    assert!(offset + len <= stride, "cell region must fit its stride");
+    if len == 0 || nonces.is_empty() {
+        return;
+    }
+    if len >= WIDE_LANES * BLOCK_LEN {
+        // Long cells: each cell's own keystream already fills the wide core.
+        for (i, nonce) in nonces.iter().enumerate() {
+            let base = i * stride + offset;
+            xor_keystream(key, counter, nonce, &mut flat[base..base + len]);
+        }
+        return;
+    }
+    let full_blocks = len / BLOCK_LEN;
+    let tail = len % BLOCK_LEN;
+    let mut cell = 0;
+    while cell + WIDE_LANES <= nonces.len() {
+        let lane_nonces = [
+            &nonces[cell],
+            &nonces[cell + 1],
+            &nonces[cell + 2],
+            &nonces[cell + 3],
+        ];
+        // One state parse per 4-cell group; only the counter word changes
+        // between block indices.
+        let mut init = wide_init(key, &[counter; WIDE_LANES], &lane_nonces);
+        for j in 0..full_blocks {
+            init[12] = [counter.wrapping_add(j as u32); WIDE_LANES];
+            let first = cell * stride + offset + j * BLOCK_LEN;
+            wide_xor_lanes(&init, lanes_mut(flat, first, stride, BLOCK_LEN));
+        }
+        if tail > 0 {
+            init[12] = [counter.wrapping_add(full_blocks as u32); WIDE_LANES];
+            let words = wide_words_from_init(&init);
+            for (l, lane_words) in words.iter().enumerate() {
+                let base = (cell + l) * stride + offset + full_blocks * BLOCK_LEN;
+                xor_partial_block(&mut flat[base..base + tail], lane_words);
+            }
+        }
+        cell += WIDE_LANES;
+    }
+    for (i, nonce) in nonces.iter().enumerate().skip(cell) {
+        let base = i * stride + offset;
+        xor_keystream(key, counter, nonce, &mut flat[base..base + len]);
     }
 }
 
@@ -192,5 +625,158 @@ only one tip for the future, sunscreen would be it."
     fn nonce_separates_blocks() {
         let key = [1u8; 32];
         assert_ne!(block(&key, 0, &[0u8; 12]), block(&key, 0, &[1u8; 12]));
+    }
+
+    /// The portable and SSE2 wide cores compute identical feed-forward
+    /// sums for asymmetric per-lane states (the SSE2 path is what runs on
+    /// x86-64; the portable path is every other target).
+    #[test]
+    fn wide_cores_agree() {
+        let mut init = [[0u32; WIDE_LANES]; 16];
+        for (w, row) in init.iter_mut().enumerate() {
+            for (l, v) in row.iter_mut().enumerate() {
+                *v = (w as u32).wrapping_mul(0x9e37_79b9) ^ (l as u32) << 13;
+            }
+        }
+        let portable = wide_core_portable(&init);
+        let mut portable_lane_major = [[0u32; 16]; WIDE_LANES];
+        for (w, row) in portable.iter().enumerate() {
+            for l in 0..WIDE_LANES {
+                portable_lane_major[l][w] = row[l];
+            }
+        }
+        #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+        {
+            let mut dispatched = [[0u32; 16]; WIDE_LANES];
+            sse2::wide_core(&init, &mut dispatched);
+            assert_eq!(portable_lane_major, dispatched);
+        }
+        // Sanity even where only the portable core exists: the sum differs
+        // from the raw input (the permutation actually ran).
+        assert_ne!(portable_lane_major[0][0], init[0][0]);
+    }
+
+    /// RFC 8439 §2.3.2 through the wide core: every lane of [`blocks4`]
+    /// reproduces the published block when fed the vector's inputs, and
+    /// mixed-lane calls agree with the scalar core lane by lane.
+    #[test]
+    fn rfc8439_block_vector_wide_lanes() {
+        let key: [u8; 32] = hex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce: [u8; 12] = hex("000000090000004a00000000").try_into().unwrap();
+        let expected = block(&key, 1, &nonce);
+        let all = blocks4(&key, &[1; 4], &[&nonce; 4]);
+        for (l, lane) in all.iter().enumerate() {
+            assert_eq!(lane, &expected, "lane {l}");
+        }
+        // Mixed counters and nonces: each lane must match its scalar twin.
+        let other_nonce = [7u8; 12];
+        let counters = [0u32, 1, u32::MAX, 5];
+        let nonces = [&nonce, &other_nonce, &nonce, &other_nonce];
+        let mixed = blocks4(&key, &counters, &nonces);
+        for l in 0..4 {
+            assert_eq!(mixed[l], block(&key, counters[l], nonces[l]), "lane {l}");
+        }
+    }
+
+    /// RFC 8439 §2.4.2 through the wide batch path: four cells each holding
+    /// the RFC plaintext, encrypted per-cell at counter 1 under the RFC
+    /// nonce, must all equal the published ciphertext.
+    #[test]
+    fn rfc8439_encrypt_vector_wide_batch() {
+        let key: [u8; 32] = hex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce: [u8; 12] = hex("000000000000004a00000000").try_into().unwrap();
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let expected = {
+            let mut data = plaintext.to_vec();
+            xor_keystream(&key, 1, &nonce, &mut data);
+            data
+        };
+        let stride = plaintext.len();
+        let mut flat: Vec<u8> = plaintext.iter().copied().cycle().take(4 * stride).collect();
+        xor_keystream_batch_strided(&key, 1, &[nonce; 4], &mut flat, stride, 0, stride);
+        for (l, cell) in flat.chunks(stride).enumerate() {
+            assert_eq!(cell, expected.as_slice(), "cell {l}");
+        }
+    }
+
+    /// The wide multi-block fast path agrees with a scalar per-block
+    /// reference across every length class (empty, sub-block, block
+    /// boundaries, 4-block stripe boundaries, long).
+    #[test]
+    fn wide_keystream_matches_scalar_reference() {
+        let key = [0x42u8; 32];
+        let nonce = [9u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 255, 256, 257, 320, 511, 1024] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let mut data = original.clone();
+            xor_keystream(&key, 7, &nonce, &mut data);
+            // Scalar reference: XOR block-by-block via `block`.
+            let mut expected = original.clone();
+            for (j, chunk) in expected.chunks_mut(BLOCK_LEN).enumerate() {
+                let ks = block(&key, 7 + j as u32, &nonce);
+                for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                    *b ^= k;
+                }
+            }
+            assert_eq!(data, expected, "len {len}");
+        }
+    }
+
+    /// Counter wraparound behaves identically on the wide and scalar paths.
+    #[test]
+    fn wide_keystream_counter_wraps() {
+        let key = [3u8; 32];
+        let nonce = [1u8; 12];
+        let mut wide = vec![0u8; 6 * BLOCK_LEN];
+        xor_keystream(&key, u32::MAX - 1, &nonce, &mut wide);
+        let mut scalar = vec![0u8; 6 * BLOCK_LEN];
+        for (j, chunk) in scalar.chunks_mut(BLOCK_LEN).enumerate() {
+            let ks = block(&key, (u32::MAX - 1).wrapping_add(j as u32), &nonce);
+            chunk.copy_from_slice(&ks);
+        }
+        assert_eq!(wide, scalar);
+    }
+
+    /// The strided batch path equals a per-cell loop for every cell count
+    /// (including non-multiples of 4) and offset/length combination.
+    #[test]
+    fn batch_strided_matches_per_cell_loop() {
+        let key = [0x5au8; 32];
+        for cells in [1usize, 2, 3, 4, 5, 7, 8, 9] {
+            for (stride, offset, len) in
+                [(80usize, 12usize, 64usize), (48, 0, 48), (100, 12, 77), (300, 12, 280), (16, 4, 0)]
+            {
+                let nonces: Vec<Nonce> = (0..cells)
+                    .map(|i| {
+                        let mut n = [0u8; NONCE_LEN];
+                        n[0] = i as u8;
+                        n[5] = 0xA0 | i as u8;
+                        n
+                    })
+                    .collect();
+                let original: Vec<u8> =
+                    (0..cells * stride).map(|i| (i * 13 % 251) as u8).collect();
+                let mut batch = original.clone();
+                xor_keystream_batch_strided(&key, 1, &nonces, &mut batch, stride, offset, len);
+                let mut expected = original.clone();
+                for (i, nonce) in nonces.iter().enumerate() {
+                    let base = i * stride + offset;
+                    xor_keystream(&key, 1, nonce, &mut expected[base..base + len]);
+                }
+                assert_eq!(
+                    batch, expected,
+                    "cells {cells} stride {stride} offset {offset} len {len}"
+                );
+            }
+        }
     }
 }

@@ -16,7 +16,7 @@
 //! per-query crypto the benches measure.
 
 use crate::chacha;
-use crate::poly1305::Poly1305;
+use crate::poly1305::{Poly1305, Poly1305x4};
 use crate::rng::ChaChaRng;
 
 /// Length of the integrity tag appended to each ciphertext.
@@ -228,6 +228,167 @@ impl BlockCipher {
         Ok(())
     }
 
+    /// Encrypts `nonces.len()` equal-length plaintexts packed back-to-back
+    /// in `plaintexts` into equal-length `nonce || body || tag` slots of
+    /// `out`, one pre-drawn nonce per cell. Byte-identical to a
+    /// [`BlockCipher::encrypt_with_nonce_into`] loop over the cells, but
+    /// runs the wide 4-lane keystream across cells (4 different nonces per
+    /// permutation pass when cells are short) and batches the Poly1305
+    /// one-time-key derivation and tag arithmetic 4 cells at a time.
+    ///
+    /// # Panics
+    /// Panics if `plaintexts.len()` is not `nonces.len()` equal strides or
+    /// `out.len() != nonces.len() * (stride + CIPHERTEXT_OVERHEAD)`.
+    pub fn encrypt_batch_with_nonces(
+        &self,
+        nonces: &[chacha::Nonce],
+        plaintexts: &[u8],
+        out: &mut [u8],
+    ) {
+        let cells = nonces.len();
+        if cells == 0 {
+            assert!(plaintexts.is_empty() && out.is_empty(), "bytes without nonces");
+            return;
+        }
+        assert_eq!(plaintexts.len() % cells, 0, "plaintext length not a multiple of cell count");
+        let pt_stride = plaintexts.len() / cells;
+        let ct_stride = pt_stride + CIPHERTEXT_OVERHEAD;
+        assert_eq!(out.len(), cells * ct_stride, "output must hold every ciphertext");
+
+        // Lay out nonce || plaintext per slot, then encrypt every body in
+        // one wide strided pass.
+        for (i, nonce) in nonces.iter().enumerate() {
+            let slot = &mut out[i * ct_stride..(i + 1) * ct_stride];
+            slot[..chacha::NONCE_LEN].copy_from_slice(nonce);
+            slot[chacha::NONCE_LEN..chacha::NONCE_LEN + pt_stride]
+                .copy_from_slice(&plaintexts[i * pt_stride..(i + 1) * pt_stride]);
+        }
+        chacha::xor_keystream_batch_strided(
+            &self.key.enc,
+            0,
+            nonces,
+            out,
+            ct_stride,
+            chacha::NONCE_LEN,
+            pt_stride,
+        );
+
+        // Tag phase: derive 4 one-time keys per wide pass and run 4 tags'
+        // field arithmetic interleaved.
+        let msg_len = ct_stride - TAG_LEN;
+        let mut cell = 0;
+        while cell + 4 <= cells {
+            let (_, tags) = self.group_tags4(out, cell, ct_stride, msg_len);
+            for (l, full_tag) in tags.iter().enumerate() {
+                let base = (cell + l) * ct_stride;
+                out[base + msg_len..base + ct_stride].copy_from_slice(&full_tag[..TAG_LEN]);
+            }
+            cell += 4;
+        }
+        for i in cell..cells {
+            let base = i * ct_stride;
+            let tag = self.tag(&out[base..base + msg_len]);
+            out[base + msg_len..base + ct_stride].copy_from_slice(&tag);
+        }
+    }
+
+    /// Computes the full (untruncated) Poly1305 tags of the 4 cells
+    /// starting at `cell`, laid out in `flat` at `ct_stride`: nonces are
+    /// read from the slot prefixes, the 4 one-time keys derive in one
+    /// wide ChaCha pass ([`chacha::blocks4`]), and the 4 tags' field
+    /// arithmetic runs interleaved. Returns the group's nonces alongside
+    /// the tags.
+    fn group_tags4(
+        &self,
+        flat: &[u8],
+        cell: usize,
+        ct_stride: usize,
+        msg_len: usize,
+    ) -> ([chacha::Nonce; 4], [[u8; 16]; 4]) {
+        let nonces: [chacha::Nonce; 4] = std::array::from_fn(|l| {
+            flat[(cell + l) * ct_stride..(cell + l) * ct_stride + chacha::NONCE_LEN]
+                .try_into()
+                .expect("nonce prefix")
+        });
+        let nonce_refs: [&chacha::Nonce; 4] = std::array::from_fn(|l| &nonces[l]);
+        let otk_blocks = chacha::blocks4(&self.key.mac, &[0; 4], &nonce_refs);
+        let otks: [[u8; 32]; 4] =
+            std::array::from_fn(|l| otk_blocks[l][..32].try_into().expect("32-byte prefix"));
+        let mut mac = Poly1305x4::new([&otks[0], &otks[1], &otks[2], &otks[3]]);
+        mac.update(std::array::from_fn(|l| {
+            let base = (cell + l) * ct_stride;
+            &flat[base..base + msg_len]
+        }));
+        (nonces, mac.finalize())
+    }
+
+    /// Decrypts `cells` equal-length ciphertexts packed back-to-back in
+    /// `ciphertexts` into the equal-length plaintext slots of `out`,
+    /// verifying every tag (4 cells' tags checked per interleaved pass).
+    /// On failure, returns the error of the lowest-indexed bad cell and
+    /// the contents of `out` are unspecified. The batch twin of
+    /// [`BlockCipher::decrypt_to_slice`].
+    ///
+    /// # Panics
+    /// Panics if the flat lengths are inconsistent with `cells`.
+    pub fn decrypt_batch_to_slices(
+        &self,
+        ciphertexts: &[u8],
+        cells: usize,
+        out: &mut [u8],
+    ) -> Result<(), CryptoError> {
+        if cells == 0 {
+            assert!(ciphertexts.is_empty() && out.is_empty(), "bytes without cells");
+            return Ok(());
+        }
+        assert_eq!(ciphertexts.len() % cells, 0, "ciphertext length not a multiple of cell count");
+        let ct_stride = ciphertexts.len() / cells;
+        if ct_stride < CIPHERTEXT_OVERHEAD {
+            return Err(CryptoError::Malformed);
+        }
+        let pt_stride = ct_stride - CIPHERTEXT_OVERHEAD;
+        assert_eq!(out.len(), cells * pt_stride, "output must hold every plaintext");
+        let msg_len = ct_stride - TAG_LEN;
+
+        let mut cell = 0;
+        while cell + 4 <= cells {
+            let (group_nonces, tags) = self.group_tags4(ciphertexts, cell, ct_stride, msg_len);
+            for (l, full_tag) in tags.iter().enumerate() {
+                let base = (cell + l) * ct_stride;
+                let stored = &ciphertexts[base + msg_len..base + ct_stride];
+                // Constant-time comparison of the truncated tag.
+                let diff = full_tag[..TAG_LEN]
+                    .iter()
+                    .zip(stored)
+                    .fold(0u8, |acc, (a, b)| acc | (a ^ b));
+                if diff != 0 {
+                    return Err(CryptoError::TagMismatch);
+                }
+            }
+            for l in 0..4 {
+                let base = (cell + l) * ct_stride;
+                out[(cell + l) * pt_stride..(cell + l + 1) * pt_stride]
+                    .copy_from_slice(&ciphertexts[base + chacha::NONCE_LEN..base + msg_len]);
+            }
+            let group_out = &mut out[cell * pt_stride..(cell + 4) * pt_stride];
+            chacha::xor_keystream_batch_strided(
+                &self.key.enc,
+                0,
+                &group_nonces,
+                group_out,
+                pt_stride,
+                0,
+                pt_stride,
+            );
+            cell += 4;
+        }
+        for i in cell..cells {
+            let ct = &ciphertexts[i * ct_stride..(i + 1) * ct_stride];
+            self.decrypt_to_slice(ct, &mut out[i * pt_stride..(i + 1) * pt_stride])?;
+        }
+        Ok(())
+    }
+
     /// Truncated Poly1305 over `nonce || body` under a one-time key derived
     /// from the MAC key and the nonce (the RFC 8439 §2.6 construction, but
     /// keyed by the independent MAC key so it never overlaps the
@@ -299,6 +460,72 @@ mod tests {
         let mid = ct.0.len() / 2;
         ct.0[mid] ^= 0x01;
         assert_eq!(cipher.decrypt(&ct), Err(CryptoError::TagMismatch));
+    }
+
+    /// The batch entry points are byte-identical to per-cell loops for
+    /// every cell count remainder class and stride.
+    #[test]
+    fn batch_matches_sequential_loop() {
+        let (cipher, mut rng) = cipher(8);
+        for cells in [1usize, 2, 3, 4, 5, 8, 9] {
+            for pt_stride in [0usize, 1, 16, 33, 64, 100, 256, 300] {
+                let plaintexts: Vec<u8> =
+                    (0..cells * pt_stride).map(|i| (i * 17 % 251) as u8).collect();
+                let nonces = rng.draw_nonces(cells);
+                let ct_stride = pt_stride + CIPHERTEXT_OVERHEAD;
+                let mut batch = vec![0u8; cells * ct_stride];
+                cipher.encrypt_batch_with_nonces(&nonces, &plaintexts, &mut batch);
+                let mut seq = vec![0u8; cells * ct_stride];
+                for i in 0..cells {
+                    cipher.encrypt_with_nonce_into(
+                        &nonces[i],
+                        &plaintexts[i * pt_stride..(i + 1) * pt_stride],
+                        &mut seq[i * ct_stride..(i + 1) * ct_stride],
+                    );
+                }
+                assert_eq!(batch, seq, "cells {cells} stride {pt_stride}");
+                let mut back = vec![0u8; cells * pt_stride];
+                cipher.decrypt_batch_to_slices(&batch, cells, &mut back).unwrap();
+                assert_eq!(back, plaintexts, "cells {cells} stride {pt_stride}");
+            }
+        }
+    }
+
+    /// Batch decryption reports corruption in any cell (first group, mid
+    /// group, and scalar remainder cells alike).
+    #[test]
+    fn batch_decrypt_detects_corruption_everywhere() {
+        let (cipher, mut rng) = cipher(9);
+        let cells = 6;
+        let pt_stride = 40;
+        let plaintexts = vec![0xCDu8; cells * pt_stride];
+        let nonces = rng.draw_nonces(cells);
+        let ct_stride = pt_stride + CIPHERTEXT_OVERHEAD;
+        let mut cts = vec![0u8; cells * ct_stride];
+        cipher.encrypt_batch_with_nonces(&nonces, &plaintexts, &mut cts);
+        let mut out = vec![0u8; cells * pt_stride];
+        for bad_cell in 0..cells {
+            let mut corrupted = cts.clone();
+            corrupted[bad_cell * ct_stride + 20] ^= 1;
+            assert_eq!(
+                cipher.decrypt_batch_to_slices(&corrupted, cells, &mut out),
+                Err(CryptoError::TagMismatch),
+                "cell {bad_cell}"
+            );
+        }
+        assert!(cipher.decrypt_batch_to_slices(&cts, cells, &mut out).is_ok());
+    }
+
+    /// A stride shorter than the overhead is malformed, matching the
+    /// sequential `decrypt_to_slice` error for the first cell.
+    #[test]
+    fn batch_decrypt_short_stride_is_malformed() {
+        let (cipher, _) = cipher(10);
+        let data = vec![0u8; 2 * (CIPHERTEXT_OVERHEAD - 1)];
+        assert_eq!(
+            cipher.decrypt_batch_to_slices(&data, 2, &mut []),
+            Err(CryptoError::Malformed)
+        );
     }
 
     #[test]

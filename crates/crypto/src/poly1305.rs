@@ -1,8 +1,20 @@
 //! Poly1305 one-time authenticator (RFC 8439 §2.5).
 //!
 //! Used by the [`crate::aead`] module to build the ChaCha20-Poly1305 AEAD.
-//! The implementation is the standard 26-bit-limb ("donna") arithmetic over
-//! the field `GF(2^130 − 5)`, verified against the RFC 8439 test vectors.
+//! The field arithmetic over `GF(2^130 − 5)` uses the 44/44/42-bit-limb
+//! ("donna-64") representation — three `u64` limbs, `u128` products, 9
+//! wide multiplies per 16-byte block — and is verified against the RFC
+//! 8439 test vectors (tags are fully reduced before serialization, so the
+//! limb radix is unobservable).
+//!
+//! For batch tagging, [`Poly1305x4`] advances four authenticators in
+//! lock-step with limb-major ("interleaved") state — `h[limb][lane]` — so
+//! the field multiply and carry chain run as short lane loops over
+//! independent data. Each lane's arithmetic is the shared [`block_step`]
+//! applied to its own column, so the tags are bit-identical to four
+//! sequential [`Poly1305`] runs (pinned by the `x4_matches_scalar` tests
+//! and the crypto proptests). [`poly1305_batch`] is the strided one-shot
+//! form the batch cipher/AEAD paths drive.
 
 /// Length of a Poly1305 key (`r || s`).
 pub const KEY_LEN: usize = 32;
@@ -11,20 +23,37 @@ pub const KEY_LEN: usize = 32;
 pub const TAG_LEN: usize = 16;
 
 #[inline]
-fn le32(b: &[u8]) -> u32 {
-    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+fn le64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b.try_into().expect("8-byte chunk"))
 }
+
+/// 44-bit limb mask (limbs 0 and 1 of the radix-2^44 representation).
+const M44: u64 = 0x0fff_ffff_ffff;
+/// 42-bit limb mask (top limb; 44 + 44 + 42 = 130 bits).
+const M42: u64 = 0x03ff_ffff_ffff;
 
 /// Incremental Poly1305 state.
 ///
 /// The one-shot [`poly1305`] helper suffices for most callers; the
 /// incremental form lets the AEAD feed `aad || pad || ct || pad || lengths`
 /// without concatenating buffers.
+///
+/// Internally the field arithmetic uses three 44/44/42-bit limbs in `u64`s
+/// with `u128` products (the "donna-64" layout): 9 wide multiplies per
+/// 16-byte block instead of the 25 narrow ones of the classic 26-bit-limb
+/// form. The representation is invisible in the output — tags are fully
+/// reduced before serialization, so they match any correct Poly1305
+/// bit-for-bit (pinned by the RFC 8439 vectors below).
 #[derive(Clone)]
 pub struct Poly1305 {
-    r: [u32; 5],
-    s: [u32; 4],
-    h: [u32; 5],
+    /// Clamped `r` in radix-2^44 limbs.
+    r: [u64; 3],
+    /// Precomputed `20·r1`, `20·r2` (the `5·4·r` folding constants).
+    s: [u64; 2],
+    /// The final added pad `s` from the key, as two little-endian words.
+    pad: [u64; 2],
+    /// Accumulator limbs.
+    h: [u64; 3],
     buf: [u8; 16],
     buf_len: usize,
 }
@@ -36,68 +65,137 @@ impl std::fmt::Debug for Poly1305 {
     }
 }
 
+/// Splits a little-endian 16-byte value (`t0 || t1`) into 44/44/42-bit
+/// limbs, applying `mask` to each limb position (the key clamp masks or
+/// the plain limb masks).
+#[inline(always)]
+fn limbs(t0: u64, t1: u64, masks: [u64; 3]) -> [u64; 3] {
+    [
+        t0 & masks[0],
+        ((t0 >> 44) | (t1 << 20)) & masks[1],
+        (t1 >> 24) & masks[2],
+    ]
+}
+
+/// One Poly1305 block step on radix-2^44 limbs: `h = (h + m) · r mod p`,
+/// shared verbatim by the scalar and interleaved 4-lane forms so their
+/// accumulators evolve identically.
+#[inline(always)]
+fn block_step(h: &mut [u64; 3], r: &[u64; 3], s: &[u64; 2], m: &[u8; 16], hibit: u64) {
+    let t0 = le64(&m[0..8]);
+    let t1 = le64(&m[8..16]);
+    let h0 = h[0] + (t0 & M44);
+    let h1 = h[1] + (((t0 >> 44) | (t1 << 20)) & M44);
+    let h2 = h[2] + (((t1 >> 24) & M42) | hibit);
+
+    let d0 = u128::from(h0) * u128::from(r[0])
+        + u128::from(h1) * u128::from(s[1])
+        + u128::from(h2) * u128::from(s[0]);
+    let d1 = u128::from(h0) * u128::from(r[1])
+        + u128::from(h1) * u128::from(r[0])
+        + u128::from(h2) * u128::from(s[1]);
+    let d2 = u128::from(h0) * u128::from(r[2])
+        + u128::from(h1) * u128::from(r[1])
+        + u128::from(h2) * u128::from(r[0]);
+
+    let mut c = (d0 >> 44) as u64;
+    h[0] = (d0 as u64) & M44;
+    let d1 = d1 + u128::from(c);
+    c = (d1 >> 44) as u64;
+    h[1] = (d1 as u64) & M44;
+    let d2 = d2 + u128::from(c);
+    c = (d2 >> 42) as u64;
+    h[2] = (d2 as u64) & M42;
+    h[0] += c * 5;
+    c = h[0] >> 44;
+    h[0] &= M44;
+    h[1] += c;
+}
+
+/// Final reduction and serialization shared by the scalar and 4-lane
+/// forms: fully reduces `h mod 2^130 − 5`, adds the key pad and returns
+/// the 16-byte tag.
+#[inline(always)]
+fn finalize_limbs(mut h: [u64; 3], pad: [u64; 2]) -> [u8; TAG_LEN] {
+    // Fully carry h.
+    let mut c = h[1] >> 44;
+    h[1] &= M44;
+    h[2] += c;
+    c = h[2] >> 42;
+    h[2] &= M42;
+    h[0] += c * 5;
+    c = h[0] >> 44;
+    h[0] &= M44;
+    h[1] += c;
+    c = h[1] >> 44;
+    h[1] &= M44;
+    h[2] += c;
+    c = h[2] >> 42;
+    h[2] &= M42;
+    h[0] += c * 5;
+    c = h[0] >> 44;
+    h[0] &= M44;
+    h[1] += c;
+
+    // Compute g = h + 5 − 2^130 and select it when non-negative.
+    let mut g0 = h[0] + 5;
+    c = g0 >> 44;
+    g0 &= M44;
+    let mut g1 = h[1] + c;
+    c = g1 >> 44;
+    g1 &= M44;
+    let g2 = h[2].wrapping_add(c).wrapping_sub(1 << 42);
+
+    // mask = all-ones iff g >= 0 (no borrow out of the top limb).
+    let mask = (g2 >> 63).wrapping_sub(1);
+    h[0] = (h[0] & !mask) | (g0 & mask);
+    h[1] = (h[1] & !mask) | (g1 & mask);
+    h[2] = (h[2] & !mask) | (g2 & mask);
+
+    // h = (h + pad) mod 2^128, still in limb form.
+    let p = limbs(pad[0], pad[1], [M44, M44, M42]);
+    h[0] += p[0];
+    c = h[0] >> 44;
+    h[0] &= M44;
+    h[1] += p[1] + c;
+    c = h[1] >> 44;
+    h[1] &= M44;
+    h[2] = (h[2] + p[2] + c) & M42;
+
+    // Serialize as two little-endian 64-bit words.
+    let t0 = h[0] | (h[1] << 44);
+    let t1 = (h[1] >> 20) | (h[2] << 24);
+    let mut tag = [0u8; TAG_LEN];
+    tag[..8].copy_from_slice(&t0.to_le_bytes());
+    tag[8..].copy_from_slice(&t1.to_le_bytes());
+    tag
+}
+
+/// The key clamp in limb form (RFC 8439's `0x0ffffffc...` mask applied at
+/// the 44/44/42-bit limb positions).
+const CLAMP: [u64; 3] = [0x0ffc_0fff_ffff, 0x0fff_ffc0_ffff, 0x000f_ffff_fc0f];
+
 impl Poly1305 {
     /// Initializes the authenticator from a 32-byte one-time key `r || s`.
     /// `r` is clamped as RFC 8439 requires.
     pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let r = limbs(le64(&key[0..8]), le64(&key[8..16]), CLAMP);
         Self {
-            r: [
-                le32(&key[0..4]) & 0x03ff_ffff,
-                (le32(&key[3..7]) >> 2) & 0x03ff_ff03,
-                (le32(&key[6..10]) >> 4) & 0x03ff_c0ff,
-                (le32(&key[9..13]) >> 6) & 0x03f0_3fff,
-                (le32(&key[12..16]) >> 8) & 0x000f_ffff,
-            ],
-            s: [
-                le32(&key[16..20]),
-                le32(&key[20..24]),
-                le32(&key[24..28]),
-                le32(&key[28..32]),
-            ],
-            h: [0; 5],
+            r,
+            s: [r[1] * 20, r[2] * 20],
+            pad: [le64(&key[16..24]), le64(&key[24..32])],
+            h: [0; 3],
             buf: [0; 16],
             buf_len: 0,
         }
     }
 
-    /// One 16-byte block; `hibit` is `1 << 24` for full message blocks and
-    /// `0` for the final padded partial block.
-    fn block(&mut self, m: &[u8; 16], hibit: u32) {
-        let [r0, r1, r2, r3, r4] = self.r.map(u64::from);
-        let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
-
-        let h0 = u64::from(self.h[0] + (le32(&m[0..4]) & 0x03ff_ffff));
-        let h1 = u64::from(self.h[1] + ((le32(&m[3..7]) >> 2) & 0x03ff_ffff));
-        let h2 = u64::from(self.h[2] + ((le32(&m[6..10]) >> 4) & 0x03ff_ffff));
-        let h3 = u64::from(self.h[3] + ((le32(&m[9..13]) >> 6) & 0x03ff_ffff));
-        let h4 = u64::from(self.h[4] + ((le32(&m[12..16]) >> 8) | hibit));
-
-        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
-        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
-        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
-        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
-        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
-
-        let mut c = d0 >> 26;
-        let mut h = [0u32; 5];
-        h[0] = (d0 & 0x03ff_ffff) as u32;
-        let d1 = d1 + c;
-        c = d1 >> 26;
-        h[1] = (d1 & 0x03ff_ffff) as u32;
-        let d2 = d2 + c;
-        c = d2 >> 26;
-        h[2] = (d2 & 0x03ff_ffff) as u32;
-        let d3 = d3 + c;
-        c = d3 >> 26;
-        h[3] = (d3 & 0x03ff_ffff) as u32;
-        let d4 = d4 + c;
-        c = d4 >> 26;
-        h[4] = (d4 & 0x03ff_ffff) as u32;
-        h[0] += (c as u32) * 5;
-        let carry = h[0] >> 26;
-        h[0] &= 0x03ff_ffff;
-        h[1] += carry;
-        self.h = h;
+    /// One 16-byte block; `hibit` is `1 << 40` (the 2^128 marker in the
+    /// top limb) for full message blocks and `0` for the final padded
+    /// partial block.
+    fn block(&mut self, m: &[u8; 16], hibit: u64) {
+        let (r, s) = (self.r, self.s);
+        block_step(&mut self.h, &r, &s, m, hibit);
     }
 
     /// Absorbs `data` into the authenticator.
@@ -109,13 +207,13 @@ impl Poly1305 {
             data = &data[take..];
             if self.buf_len == 16 {
                 let block = self.buf;
-                self.block(&block, 1 << 24);
+                self.block(&block, 1 << 40);
                 self.buf_len = 0;
             }
         }
         while data.len() >= 16 {
             let block: [u8; 16] = data[..16].try_into().expect("16-byte chunk");
-            self.block(&block, 1 << 24);
+            self.block(&block, 1 << 40);
             data = &data[16..];
         }
         if !data.is_empty() {
@@ -143,64 +241,7 @@ impl Poly1305 {
             block[self.buf_len] = 1;
             self.block(&block, 0);
         }
-
-        // Fully reduce h mod 2^130 - 5.
-        let mut h = self.h;
-        let mut c = h[1] >> 26;
-        h[1] &= 0x03ff_ffff;
-        h[2] += c;
-        c = h[2] >> 26;
-        h[2] &= 0x03ff_ffff;
-        h[3] += c;
-        c = h[3] >> 26;
-        h[3] &= 0x03ff_ffff;
-        h[4] += c;
-        c = h[4] >> 26;
-        h[4] &= 0x03ff_ffff;
-        h[0] += c * 5;
-        c = h[0] >> 26;
-        h[0] &= 0x03ff_ffff;
-        h[1] += c;
-
-        // Compute h + -p = h - (2^130 - 5) and select it if non-negative.
-        let mut g = [0u32; 5];
-        g[0] = h[0].wrapping_add(5);
-        c = g[0] >> 26;
-        g[0] &= 0x03ff_ffff;
-        for i in 1..4 {
-            g[i] = h[i].wrapping_add(c);
-            c = g[i] >> 26;
-            g[i] &= 0x03ff_ffff;
-        }
-        g[4] = h[4].wrapping_add(c).wrapping_sub(1 << 26);
-
-        // mask = all-ones iff g >= 0 (no borrow out of the top limb).
-        let mask = (g[4] >> 31).wrapping_sub(1);
-        for i in 0..5 {
-            h[i] = (h[i] & !mask) | (g[i] & mask);
-        }
-
-        // Serialize h as 128 bits little-endian and add s.
-        let h0 = h[0] | (h[1] << 26);
-        let h1 = (h[1] >> 6) | (h[2] << 20);
-        let h2 = (h[2] >> 12) | (h[3] << 14);
-        let h3 = (h[3] >> 18) | (h[4] << 8);
-
-        let mut acc = u64::from(h0) + u64::from(self.s[0]);
-        let t0 = acc as u32;
-        acc = u64::from(h1) + u64::from(self.s[1]) + (acc >> 32);
-        let t1 = acc as u32;
-        acc = u64::from(h2) + u64::from(self.s[2]) + (acc >> 32);
-        let t2 = acc as u32;
-        acc = u64::from(h3) + u64::from(self.s[3]) + (acc >> 32);
-        let t3 = acc as u32;
-
-        let mut tag = [0u8; TAG_LEN];
-        tag[0..4].copy_from_slice(&t0.to_le_bytes());
-        tag[4..8].copy_from_slice(&t1.to_le_bytes());
-        tag[8..12].copy_from_slice(&t2.to_le_bytes());
-        tag[12..16].copy_from_slice(&t3.to_le_bytes());
-        tag
+        finalize_limbs(self.h, self.pad)
     }
 }
 
@@ -209,6 +250,187 @@ pub fn poly1305(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
     let mut p = Poly1305::new(key);
     p.update(msg);
     p.finalize()
+}
+
+/// Number of authenticators [`Poly1305x4`] advances per pass.
+pub const BATCH_LANES: usize = 4;
+
+/// Four Poly1305 authenticators in lock-step, limb-interleaved
+/// (`h[limb][lane]` — the state of lane `l` lives in column `l` of each
+/// limb row, so the four field multiplies and carry chains advance
+/// together per absorbed block).
+///
+/// All four lanes must absorb the same number of bytes per
+/// [`Poly1305x4::update`] call (the batch paths tag equal-length cells, so
+/// this costs nothing), which keeps the shared block buffer fill identical
+/// across lanes. Lane `l`'s tag equals a scalar [`Poly1305`] run over the
+/// concatenation of the `msgs[l]` slices — the same [`block_step`] /
+/// [`finalize_limbs`] arithmetic runs on each column.
+#[derive(Clone)]
+pub struct Poly1305x4 {
+    /// Clamped `r` per lane, limb-major: `r[limb][lane]`.
+    r: [[u64; BATCH_LANES]; 3],
+    /// Precomputed `20·r1`, `20·r2` per lane.
+    s: [[u64; BATCH_LANES]; 2],
+    /// Key pads per lane: `pad[word][lane]`.
+    pad: [[u64; BATCH_LANES]; 2],
+    /// Accumulators, limb-major.
+    h: [[u64; BATCH_LANES]; 3],
+    buf: [[u8; 16]; BATCH_LANES],
+    buf_len: usize,
+}
+
+impl std::fmt::Debug for Poly1305x4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material or the accumulators.
+        write!(f, "Poly1305x4(..)")
+    }
+}
+
+impl Poly1305x4 {
+    /// Initializes four authenticators from four one-time keys.
+    pub fn new(keys: [&[u8; KEY_LEN]; BATCH_LANES]) -> Self {
+        let lanes = keys.map(Poly1305::new);
+        let mut out = Self {
+            r: [[0; BATCH_LANES]; 3],
+            s: [[0; BATCH_LANES]; 2],
+            pad: [[0; BATCH_LANES]; 2],
+            h: [[0; BATCH_LANES]; 3],
+            buf: [[0; 16]; BATCH_LANES],
+            buf_len: 0,
+        };
+        for (l, lane) in lanes.iter().enumerate() {
+            for (limb, row) in out.r.iter_mut().enumerate() {
+                row[l] = lane.r[limb];
+            }
+            for (i, row) in out.s.iter_mut().enumerate() {
+                row[l] = lane.s[i];
+            }
+            for (word, row) in out.pad.iter_mut().enumerate() {
+                row[l] = lane.pad[word];
+            }
+        }
+        out
+    }
+
+    /// One 16-byte block per lane; `hibit` as in [`Poly1305::block`]. Each
+    /// column runs [`block_step`], so the interleaved state stays
+    /// bit-identical to four scalar authenticators.
+    fn block4(&mut self, m: [&[u8; 16]; BATCH_LANES], hibit: u64) {
+        for (l, block) in m.into_iter().enumerate() {
+            let mut h = [self.h[0][l], self.h[1][l], self.h[2][l]];
+            let r = [self.r[0][l], self.r[1][l], self.r[2][l]];
+            let s = [self.s[0][l], self.s[1][l]];
+            block_step(&mut h, &r, &s, block, hibit);
+            for (row, value) in self.h.iter_mut().zip(h) {
+                row[l] = value;
+            }
+        }
+    }
+
+    /// Absorbs one equal-length slice into each lane.
+    ///
+    /// # Panics
+    /// Panics if the four slices differ in length.
+    pub fn update(&mut self, msgs: [&[u8]; BATCH_LANES]) {
+        let len = msgs[0].len();
+        assert!(msgs.iter().all(|m| m.len() == len), "lanes must absorb equal lengths");
+        let mut off = 0;
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(len);
+            for (buf, msg) in self.buf.iter_mut().zip(&msgs) {
+                buf[self.buf_len..self.buf_len + take].copy_from_slice(&msg[..take]);
+            }
+            self.buf_len += take;
+            off = take;
+            if self.buf_len == 16 {
+                let blocks = self.buf;
+                self.block4([&blocks[0], &blocks[1], &blocks[2], &blocks[3]], 1 << 40);
+                self.buf_len = 0;
+            }
+        }
+        while len - off >= 16 {
+            let blocks: [&[u8; 16]; BATCH_LANES] = std::array::from_fn(|l| {
+                msgs[l][off..off + 16].try_into().expect("16-byte chunk")
+            });
+            self.block4(blocks, 1 << 40);
+            off += 16;
+        }
+        if off < len {
+            for (buf, msg) in self.buf.iter_mut().zip(&msgs) {
+                buf[..len - off].copy_from_slice(&msg[off..]);
+            }
+            self.buf_len = len - off;
+        }
+    }
+
+    /// Pads every lane's absorbed length up to a 16-byte boundary with
+    /// zeros (the AEAD's `pad16`; a no-op on aligned lengths).
+    pub fn pad16(&mut self) {
+        if self.buf_len > 0 {
+            let zeros = [0u8; 16];
+            let pad = 16 - self.buf_len;
+            self.update([&zeros[..pad]; BATCH_LANES]);
+        }
+    }
+
+    /// Finalizes all four lanes, returning their tags in lane order. Each
+    /// lane runs the scalar trailing-partial-block and [`finalize_limbs`]
+    /// path on its column.
+    pub fn finalize(self) -> [[u8; TAG_LEN]; BATCH_LANES] {
+        std::array::from_fn(|l| {
+            let mut h = [self.h[0][l], self.h[1][l], self.h[2][l]];
+            if self.buf_len > 0 {
+                let mut block = [0u8; 16];
+                block[..self.buf_len].copy_from_slice(&self.buf[l][..self.buf_len]);
+                block[self.buf_len] = 1;
+                let r = [self.r[0][l], self.r[1][l], self.r[2][l]];
+                let s = [self.s[0][l], self.s[1][l]];
+                block_step(&mut h, &r, &s, &block, 0);
+            }
+            finalize_limbs(h, [self.pad[0][l], self.pad[1][l]])
+        })
+    }
+}
+
+/// One tag per cell over equal-shape strided messages: message `i` is
+/// `flat[i * stride..i * stride + len]`, tagged under `keys[i]` into
+/// `tags[i]`. Cells are processed four at a time through [`Poly1305x4`];
+/// a leftover `keys.len() % 4` takes the scalar path. Identical to a
+/// sequential [`poly1305`] loop for any cell count.
+///
+/// # Panics
+/// Panics if `tags.len() != keys.len()`, `flat.len() != keys.len() *
+/// stride`, or `len > stride`.
+pub fn poly1305_batch(
+    keys: &[[u8; KEY_LEN]],
+    flat: &[u8],
+    stride: usize,
+    len: usize,
+    tags: &mut [[u8; TAG_LEN]],
+) {
+    assert_eq!(tags.len(), keys.len(), "one tag slot per key");
+    assert_eq!(flat.len(), keys.len() * stride, "flat must hold one stride per key");
+    assert!(len <= stride, "message region must fit its stride");
+    let mut cell = 0;
+    while cell + BATCH_LANES <= keys.len() {
+        let mut mac = Poly1305x4::new([
+            &keys[cell],
+            &keys[cell + 1],
+            &keys[cell + 2],
+            &keys[cell + 3],
+        ]);
+        mac.update(std::array::from_fn(|l| {
+            let base = (cell + l) * stride;
+            &flat[base..base + len]
+        }));
+        tags[cell..cell + BATCH_LANES].copy_from_slice(&mac.finalize());
+        cell += BATCH_LANES;
+    }
+    for i in cell..keys.len() {
+        let base = i * stride;
+        tags[i] = poly1305(&keys[i], &flat[base..base + len]);
+    }
 }
 
 /// Constant-time 16-byte tag comparison.
@@ -345,6 +567,85 @@ mod tests {
         .try_into()
         .unwrap();
         assert_ne!(poly1305(&key, b"message one"), poly1305(&key, b"message two"));
+    }
+
+    /// Four interleaved lanes produce exactly the four scalar tags, across
+    /// message lengths with and without trailing partial blocks.
+    #[test]
+    fn x4_matches_scalar() {
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 64, 76, 100, 255, 256, 1024] {
+            let keys: [[u8; 32]; 4] = std::array::from_fn(|l| {
+                let mut k = [0u8; 32];
+                for (i, b) in k.iter_mut().enumerate() {
+                    *b = (l * 37 + i * 11 + 5) as u8;
+                }
+                k
+            });
+            let msgs: [Vec<u8>; 4] = std::array::from_fn(|l| {
+                (0..len).map(|i| ((l + 1) * (i + 3) % 251) as u8).collect()
+            });
+            let mut mac =
+                Poly1305x4::new([&keys[0], &keys[1], &keys[2], &keys[3]]);
+            mac.update(std::array::from_fn(|l| msgs[l].as_slice()));
+            let tags = mac.finalize();
+            for l in 0..4 {
+                assert_eq!(tags[l], poly1305(&keys[l], &msgs[l]), "lane {l}, len {len}");
+            }
+        }
+    }
+
+    /// Split updates and pad16 agree with scalar split updates and pad16.
+    #[test]
+    fn x4_incremental_and_pad16_match_scalar() {
+        let keys: [[u8; 32]; 4] =
+            std::array::from_fn(|l| std::array::from_fn(|i| (l * 91 + i * 7 + 1) as u8));
+        let msg_a: Vec<u8> = (0..23).map(|i| (i * 3) as u8).collect();
+        let msg_b: Vec<u8> = (0..40).map(|i| (i * 5 + 1) as u8).collect();
+        let mut mac = Poly1305x4::new([&keys[0], &keys[1], &keys[2], &keys[3]]);
+        mac.update([&msg_a; 4]);
+        mac.pad16();
+        mac.update([&msg_b; 4]);
+        let tags = mac.finalize();
+        for (l, key) in keys.iter().enumerate() {
+            let mut scalar = Poly1305::new(key);
+            scalar.update(&msg_a);
+            scalar.pad16();
+            scalar.update(&msg_b);
+            assert_eq!(tags[l], scalar.finalize(), "lane {l}");
+        }
+    }
+
+    /// The strided one-shot batch covers every remainder class (cell count
+    /// mod 4) and gap layouts where `len < stride`.
+    #[test]
+    fn batch_matches_scalar_loop() {
+        for cells in [0usize, 1, 2, 3, 4, 5, 7, 8, 11] {
+            for (stride, len) in [(80usize, 76usize), (48, 48), (20, 0), (33, 17)] {
+                let keys: Vec<[u8; 32]> = (0..cells)
+                    .map(|c| std::array::from_fn(|i| (c * 53 + i * 13 + 2) as u8))
+                    .collect();
+                let flat: Vec<u8> =
+                    (0..cells * stride).map(|i| (i * 7 % 251) as u8).collect();
+                let mut tags = vec![[0u8; TAG_LEN]; cells];
+                poly1305_batch(&keys, &flat, stride, len, &mut tags);
+                for (i, key) in keys.iter().enumerate() {
+                    let base = i * stride;
+                    assert_eq!(
+                        tags[i],
+                        poly1305(key, &flat[base..base + len]),
+                        "cell {i} of {cells}, stride {stride}, len {len}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn x4_rejects_unequal_lane_lengths() {
+        let key = [1u8; 32];
+        let mut mac = Poly1305x4::new([&key; 4]);
+        mac.update([&[1u8, 2][..], &[1u8][..], &[1u8, 2][..], &[1u8, 2][..]]);
     }
 
     #[test]

@@ -192,6 +192,146 @@ proptest! {
         prop_assert!(cipher.open(&aad, &sealed).is_err());
     }
 
+    /// The wide multi-block keystream (4 consecutive counters per pass) is
+    /// byte-identical to a scalar per-block reference for lengths spanning
+    /// sub-block tails through several 256-byte stripes.
+    #[test]
+    fn wide_keystream_matches_scalar_blocks(
+        len in 0usize..=1024,
+        counter in any::<u32>(),
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce_seed in any::<u64>(),
+    ) {
+        use dps_crypto::chacha;
+        let mut nonce = [0u8; 12];
+        ChaChaRng::seed_from_u64(nonce_seed).fill_bytes(&mut nonce);
+        let original: Vec<u8> = (0..len).map(|i| (i * 29 % 251) as u8).collect();
+        let mut data = original.clone();
+        chacha::xor_keystream(&key, counter, &nonce, &mut data);
+        let mut expected = original;
+        for (j, chunk) in expected.chunks_mut(chacha::BLOCK_LEN).enumerate() {
+            let ks = chacha::block(&key, counter.wrapping_add(j as u32), &nonce);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+        prop_assert_eq!(data, expected);
+    }
+
+    /// The strided multi-cell keystream entry point (4 different nonces per
+    /// pass) equals a per-cell `xor_keystream` loop for every cell count
+    /// (incl. non-multiples of 4) and sub-block cell lengths.
+    #[test]
+    fn wide_batch_strided_matches_per_cell(
+        cells in 0usize..9,
+        len in 0usize..300,
+        pad in 0usize..20,
+        key in proptest::array::uniform32(any::<u8>()),
+        seed in any::<u64>(),
+    ) {
+        use dps_crypto::chacha;
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let stride = len + pad;
+        let nonces = rng.draw_nonces(cells);
+        let original: Vec<u8> = (0..cells * stride).map(|i| (i * 31 % 251) as u8).collect();
+        let mut batch = original.clone();
+        chacha::xor_keystream_batch_strided(&key, 1, &nonces, &mut batch, stride, 0, len);
+        let mut expected = original;
+        for (i, nonce) in nonces.iter().enumerate() {
+            chacha::xor_keystream(&key, 1, nonce, &mut expected[i * stride..i * stride + len]);
+        }
+        prop_assert_eq!(batch, expected);
+    }
+
+    /// `poly1305_batch` (4 tags' field arithmetic interleaved) equals a
+    /// scalar per-message loop for message lengths 0..=1024 and every cell
+    /// count remainder class.
+    #[test]
+    fn poly1305_batch_matches_scalar(
+        cells in 0usize..10,
+        len in 0usize..=1024,
+        seed in any::<u64>(),
+    ) {
+        use dps_crypto::poly1305::{poly1305, poly1305_batch, TAG_LEN};
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let keys: Vec<[u8; 32]> = (0..cells)
+            .map(|_| {
+                let mut k = [0u8; 32];
+                rng.fill_bytes(&mut k);
+                k
+            })
+            .collect();
+        let flat: Vec<u8> = (0..cells * len).map(|i| (i * 13 % 251) as u8).collect();
+        let mut tags = vec![[0u8; TAG_LEN]; cells];
+        poly1305_batch(&keys, &flat, len, len, &mut tags);
+        for (i, key) in keys.iter().enumerate() {
+            prop_assert_eq!(tags[i], poly1305(key, &flat[i * len..(i + 1) * len]));
+        }
+    }
+
+    /// The batch cipher entry points are byte-identical to sequential
+    /// per-cell loops over the same pre-drawn nonces, and round-trip.
+    #[test]
+    fn cipher_batch_matches_sequential(
+        cells in 0usize..9,
+        pt_stride in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        use dps_crypto::CIPHERTEXT_OVERHEAD;
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cipher = BlockCipher::generate(&mut rng);
+        let plaintexts: Vec<u8> = (0..cells * pt_stride).map(|i| (i * 7 % 251) as u8).collect();
+        let nonces = rng.draw_nonces(cells);
+        let ct_stride = pt_stride + CIPHERTEXT_OVERHEAD;
+        let mut batch = vec![0u8; cells * ct_stride];
+        cipher.encrypt_batch_with_nonces(&nonces, &plaintexts, &mut batch);
+        let mut seq = vec![0u8; cells * ct_stride];
+        for i in 0..cells {
+            cipher.encrypt_with_nonce_into(
+                &nonces[i],
+                &plaintexts[i * pt_stride..(i + 1) * pt_stride],
+                &mut seq[i * ct_stride..(i + 1) * ct_stride],
+            );
+        }
+        prop_assert_eq!(&batch, &seq);
+        let mut back = vec![0u8; cells * pt_stride];
+        cipher.decrypt_batch_to_slices(&batch, cells, &mut back).unwrap();
+        prop_assert_eq!(back, plaintexts);
+    }
+
+    /// The batch AEAD entry points are byte-identical to sequential
+    /// per-cell seals over the same nonces and AADs, and open correctly.
+    #[test]
+    fn aead_batch_matches_sequential(
+        cells in 0usize..9,
+        pt_stride in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        use dps_crypto::aead::address_aad;
+        use dps_crypto::AEAD_OVERHEAD;
+        let mut rng = ChaChaRng::seed_from_u64(seed);
+        let cipher = dps_crypto::AeadCipher::generate(&mut rng);
+        let plaintexts: Vec<u8> = (0..cells * pt_stride).map(|i| (i * 11 % 251) as u8).collect();
+        let nonces = rng.draw_nonces(cells);
+        let aads: Vec<[u8; 16]> = (0..cells).map(|i| address_aad(i, 1)).collect();
+        let ct_stride = pt_stride + AEAD_OVERHEAD;
+        let mut batch = vec![0u8; cells * ct_stride];
+        cipher.seal_batch_with_nonces(&nonces, &aads, &plaintexts, &mut batch);
+        let mut seq = vec![0u8; cells * ct_stride];
+        for i in 0..cells {
+            cipher.seal_with_nonce_into(
+                &nonces[i],
+                &aads[i],
+                &plaintexts[i * pt_stride..(i + 1) * pt_stride],
+                &mut seq[i * ct_stride..(i + 1) * ct_stride],
+            );
+        }
+        prop_assert_eq!(&batch, &seq);
+        let mut back = vec![0u8; cells * pt_stride];
+        cipher.open_batch_to_slices(&aads, &batch, &mut back).unwrap();
+        prop_assert_eq!(back, plaintexts);
+    }
+
     /// Poly1305 incremental absorption is split-invariant.
     #[test]
     fn poly1305_split_invariant(

@@ -5,23 +5,41 @@
 //! the degenerate point the DP-IR lower bound (Theorem 3.3) says *errorless*
 //! schemes cannot beat, so it doubles as the errorless baseline in E1.
 
-use dps_crypto::{BlockCipher, ChaChaRng};
-use dps_server::{SimServer, Storage};
+use dps_crypto::{BlockCipher, ChaChaRng, CIPHERTEXT_OVERHEAD};
+use dps_server::{batch_crypto, SimServer, Storage, WorkerPool};
 
 /// A linear-scan ORAM client.
+///
+/// Every access re-encrypts the whole database, so this is the workspace's
+/// most keystream-bound scheme. The scan runs as three flat batch phases —
+/// bulk strided download, batch decrypt, batch re-encrypt, strided upload —
+/// through [`dps_server::batch_crypto`], which drives the wide 4-lane
+/// ChaCha20/Poly1305 core per chunk and optionally fans chunks across a
+/// [`WorkerPool`] ([`LinearOram::with_pool`]; the default pool is
+/// sequential and runs everything inline on the caller thread). Output is
+/// byte-identical for every pool width: nonces are pre-drawn in cell order
+/// on the caller thread.
+///
+/// Memory profile: the batch phases hold the whole database (ciphertext,
+/// plaintext, and re-encrypted forms — ~3× the DB size in reusable
+/// scratch) for the duration of one access, where the former streaming
+/// scan held a single plaintext block. The plaintext scratch is zeroed
+/// before each access returns; the client is trusted in this model, so
+/// the trade is residency, not privacy.
 #[derive(Debug)]
 pub struct LinearOram<S: Storage = SimServer> {
     n: usize,
     block_size: usize,
     cipher: BlockCipher,
     server: S,
+    /// Worker pool for the batch crypto phases (sequential by default).
+    pool: WorkerPool,
     /// Cached full-scan address list `[0, n)` (every access touches all).
     addrs: Vec<usize>,
-    /// Reusable single-block plaintext scratch (only one block is ever
-    /// decrypted at a time — the client keeps no plaintext between cells).
-    pt_scratch: Vec<u8>,
-    /// Reusable per-cell encryption output scratch.
-    enc_cell: Vec<u8>,
+    /// Reusable flat download scratch (all `n` ciphertexts, strided).
+    ct_flat: Vec<u8>,
+    /// Reusable flat plaintext scratch (all `n` blocks, strided).
+    pt_flat: Vec<u8>,
     /// Reusable flat upload scratch for the strided write-back.
     enc_flat: Vec<u8>,
 }
@@ -68,11 +86,21 @@ impl<S: Storage> LinearOram<S> {
             block_size,
             cipher,
             server,
+            pool: WorkerPool::single(),
             addrs: (0..n).collect(),
-            pt_scratch: Vec::new(),
-            enc_cell: Vec::new(),
+            ct_flat: Vec::new(),
+            pt_flat: Vec::new(),
             enc_flat: Vec::new(),
         }
+    }
+
+    /// Sets the worker pool that fans the per-access batch decrypt and
+    /// re-encrypt across threads. The default ([`WorkerPool::single`])
+    /// runs inline on the caller thread; any width produces byte-identical
+    /// cells and transcripts.
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Number of blocks.
@@ -105,37 +133,48 @@ impl<S: Storage> LinearOram<S> {
         if let Some(v) = &new_value {
             assert_eq!(v.len(), self.block_size, "block size mismatch");
         }
-        // Streaming zero-copy scan: each borrowed cell is decrypted into
-        // the single-block scratch and immediately re-encrypted into the
-        // flat upload buffer, so only one plaintext block is ever resident
-        // client-side.
-        let cipher = &self.cipher;
-        let pt = &mut self.pt_scratch;
-        let enc_cell = &mut self.enc_cell;
-        let enc_flat = &mut self.enc_flat;
-        enc_flat.clear();
-        let mut old = Vec::new();
-        let mut failure = None;
+        // Flat batch scan: bulk-download every ciphertext, batch-decrypt
+        // the whole database, apply the overwrite, then batch re-encrypt
+        // and upload. Nonces are pre-drawn in cell order, so the upload is
+        // byte-identical to the former streaming per-cell loop over the
+        // same RNG stream — for any pool width.
+        let ct_stride = self.block_size + CIPHERTEXT_OVERHEAD;
+        self.ct_flat.resize(self.n * ct_stride, 0);
         self.server
-            .read_batch_with(&self.addrs, |i, cell| {
-                if let Err(e) = cipher.decrypt_into(cell, pt) {
-                    failure.get_or_insert(e);
-                    return;
-                }
-                if i == index {
-                    old.extend_from_slice(pt);
-                    if let Some(v) = &new_value {
-                        pt.clear();
-                        pt.extend_from_slice(v);
-                    }
-                }
-                cipher.encrypt_into(pt, enc_cell, rng);
-                enc_flat.extend_from_slice(enc_cell);
-            })
+            .read_batch_strided(&self.addrs, &mut self.ct_flat)
             .map_err(|e| LinearOramError::Storage(e.to_string()))?;
-        if let Some(e) = failure {
+        self.pt_flat.resize(self.n * self.block_size, 0);
+        if let Err(e) = batch_crypto::decrypt_batch_strided(
+            &self.pool,
+            &self.cipher,
+            &self.ct_flat,
+            self.n,
+            &mut self.pt_flat,
+        ) {
+            // Scrub the partially decrypted blocks on the error path too —
+            // no plaintext may outlive the call in the reusable scratch.
+            self.pt_flat.fill(0);
             return Err(LinearOramError::Storage(e.to_string()));
         }
+        let slot = &mut self.pt_flat[index * self.block_size..(index + 1) * self.block_size];
+        let old = slot.to_vec();
+        if let Some(v) = &new_value {
+            slot.copy_from_slice(v);
+        }
+        let nonces = rng.draw_nonces(self.n);
+        self.enc_flat.resize(self.n * ct_stride, 0);
+        batch_crypto::encrypt_batch_strided(
+            &self.pool,
+            &self.cipher,
+            &nonces,
+            &self.pt_flat,
+            &mut self.enc_flat,
+        );
+        // Unlike the former streaming scan (one plaintext block resident
+        // at a time), the batch phases hold the whole decrypted database
+        // for the duration of the access. Scrub it before returning so no
+        // plaintext outlives the call in the reusable scratch.
+        self.pt_flat.fill(0);
         self.server
             .write_batch_strided(&self.addrs, &self.enc_flat)
             .map_err(|e| LinearOramError::Storage(e.to_string()))?;
@@ -209,5 +248,31 @@ mod tests {
             oram.read(4, &mut rng),
             Err(LinearOramError::IndexOutOfRange { .. })
         ));
+    }
+
+    /// A pooled LinearOram produces the same results, stats, and
+    /// transcripts as the sequential default from the same seed — the
+    /// determinism contract of the batch-crypto wiring.
+    #[test]
+    fn pooled_access_is_byte_identical() {
+        let n = 16;
+        let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 24]).collect();
+        let run = |threads: usize| {
+            let mut rng = ChaChaRng::seed_from_u64(99);
+            let mut oram = LinearOram::setup(&blocks, SimServer::new(), &mut rng)
+                .with_pool(WorkerPool::new(threads));
+            oram.server.start_recording();
+            let mut outputs = Vec::new();
+            for i in [3usize, 0, 15, 3] {
+                outputs.push(oram.read(i, &mut rng).unwrap());
+            }
+            outputs.push(oram.write(7, vec![0xEE; 24], &mut rng).unwrap());
+            outputs.push(oram.read(7, &mut rng).unwrap());
+            (outputs, oram.server_stats(), oram.server.take_transcript().canonical_encoding())
+        };
+        let sequential = run(1);
+        for threads in [2usize, 4] {
+            assert_eq!(run(threads), sequential, "threads = {threads}");
+        }
     }
 }

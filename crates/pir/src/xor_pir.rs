@@ -9,15 +9,26 @@
 //! relaxation (Appendix C) trades privacy to escape.
 
 use dps_crypto::ChaChaRng;
-use dps_server::{ReplicatedServers, ServerError, SimServer, Storage};
+use dps_server::pool::Task;
+use dps_server::{ReplicatedServers, ServerError, SimServer, Storage, WorkerPool};
 
 /// A 2-server XOR PIR client.
+///
+/// With a non-sequential [`WorkerPool`] ([`XorPir::with_pool`]) the two
+/// replicas' `Θ(n)` XOR scans run concurrently on separate threads — the
+/// deployment reality, where the servers are independent machines. The
+/// answers are combined in fixed server order, so results, per-server
+/// stats and transcripts are identical to the sequential default.
 #[derive(Debug)]
 pub struct XorPir<S: Storage = SimServer> {
     servers: ReplicatedServers<S>,
     n: usize,
+    /// Worker pool for the two-server concurrent scan (sequential default).
+    pool: WorkerPool,
     /// Reusable per-server answer scratch for the zero-alloc XOR path.
     answer_scratch: Vec<u8>,
+    /// Second answer scratch so concurrent scans write disjoint buffers.
+    answer_scratch2: Vec<u8>,
 }
 
 impl XorPir {
@@ -47,8 +58,17 @@ impl<S: Storage> XorPir<S> {
         Self {
             servers: ReplicatedServers::replicate_with(2, blocks, make),
             n: blocks.len(),
+            pool: WorkerPool::single(),
             answer_scratch: Vec::new(),
+            answer_scratch2: Vec::new(),
         }
+    }
+
+    /// Sets the worker pool; with 2 or more threads, each query scans the
+    /// two replicas concurrently. Results are identical for any width.
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Number of records.
@@ -84,17 +104,36 @@ impl<S: Storage> XorPir<S> {
             }
             Err(pos) => s1.insert(pos, index),
         }
-        // XOR the two answers through the reusable scratch; an empty subset
-        // yields an empty answer, which XORs as all-zeroes.
-        let mut out = Vec::new();
-        for (server, subset) in [&s0, &s1].into_iter().enumerate() {
-            self.servers
-                .server_mut(server)
-                .xor_cells_into(subset, &mut self.answer_scratch)?;
-            if self.answer_scratch.len() > out.len() {
-                out.resize(self.answer_scratch.len(), 0);
+        // Compute both servers' answers — concurrently when the pool has
+        // threads to spare, sequentially otherwise. Both scans always run
+        // to completion and errors propagate in server order afterwards,
+        // so per-server stats and transcripts are identical for every
+        // pool width even on error paths. An empty subset yields an empty
+        // answer, which XORs as all-zeroes.
+        let results: [Result<(), ServerError>; 2] = {
+            let (srv0, srv1) = self.servers.pair_mut(0, 1);
+            let (scratch0, scratch1) = (&mut self.answer_scratch, &mut self.answer_scratch2);
+            let (sub0, sub1) = (&s0, &s1);
+            if self.pool.threads() >= 2 {
+                let tasks: Vec<Task<'_, Result<(), ServerError>>> = vec![
+                    Box::new(move || srv0.xor_cells_into(sub0, scratch0)),
+                    Box::new(move || srv1.xor_cells_into(sub1, scratch1)),
+                ];
+                let mut run = self.pool.run(tasks).into_iter();
+                [run.next().expect("two tasks"), run.next().expect("two tasks")]
+            } else {
+                [srv0.xor_cells_into(sub0, scratch0), srv1.xor_cells_into(sub1, scratch1)]
             }
-            for (x, y) in out.iter_mut().zip(self.answer_scratch.iter()) {
+        };
+        for result in results {
+            result?;
+        }
+        let mut out = Vec::new();
+        for answer in [&self.answer_scratch, &self.answer_scratch2] {
+            if answer.len() > out.len() {
+                out.resize(answer.len(), 0);
+            }
+            for (x, y) in out.iter_mut().zip(answer.iter()) {
                 *x ^= y;
             }
         }
@@ -139,6 +178,25 @@ mod tests {
         for (i, &c) in inclusion.iter().enumerate() {
             let f = c as f64 / trials as f64;
             assert!((f - 0.5).abs() < 0.06, "record {i} inclusion {f}");
+        }
+    }
+
+    /// A pooled client (concurrent two-server scan) returns the same
+    /// answers and per-server stats as the sequential default from the
+    /// same seed.
+    #[test]
+    fn pooled_query_matches_sequential() {
+        let blocks: Vec<Vec<u8>> = (0..48).map(|i| vec![i as u8, (i * 3) as u8, 7]).collect();
+        let run = |threads: usize| {
+            let mut pir = XorPir::<SimServer>::setup(&blocks).with_pool(WorkerPool::new(threads));
+            let mut rng = ChaChaRng::seed_from_u64(5);
+            let answers: Vec<Vec<u8>> =
+                (0..48).map(|i| pir.query(i, &mut rng).unwrap()).collect();
+            (answers, pir.total_stats())
+        };
+        let sequential = run(1);
+        for threads in [2usize, 4] {
+            assert_eq!(run(threads), sequential, "threads = {threads}");
         }
     }
 

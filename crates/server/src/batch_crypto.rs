@@ -12,10 +12,17 @@
 //! `parallel_crypto` test suite pins against `encrypt_into` /
 //! `decrypt_in_place` / `seal_into` / `open_in_place` for every cipher.
 //!
+//! Each worker chunk runs the **wide 4-lane** batch entry points
+//! ([`BlockCipher::encrypt_batch_with_nonces`],
+//! [`AeadCipher::seal_batch_with_nonces`], [`poly1305::poly1305_batch`]),
+//! so intra-chunk crypto is SIMD-wide even on a sequential pool — the
+//! single-core speedup compounds with thread fan-out instead of competing
+//! with it.
+//!
 //! Decryption reports the error of the **lowest-indexed** failing cell, so
 //! error behavior is also independent of thread interleaving.
 
-use dps_crypto::poly1305::{self, Poly1305};
+use dps_crypto::poly1305;
 use dps_crypto::{
     AeadCipher, BlockCipher, CryptoError, Nonce, AEAD_OVERHEAD, CIPHERTEXT_OVERHEAD,
 };
@@ -72,11 +79,11 @@ pub fn encrypt_batch_strided(
         .map(|(range, out_chunk)| {
             let range = range.clone();
             Box::new(move || {
-                for (k, cell) in range.clone().enumerate() {
-                    let pt = &plaintexts[cell * pt_stride..(cell + 1) * pt_stride];
-                    let slot = &mut out_chunk[k * ct_stride..(k + 1) * ct_stride];
-                    cipher.encrypt_with_nonce_into(&nonces[cell], pt, slot);
-                }
+                cipher.encrypt_batch_with_nonces(
+                    &nonces[range.clone()],
+                    &plaintexts[range.start * pt_stride..range.end * pt_stride],
+                    out_chunk,
+                );
             }) as Task<'_, ()>
         })
         .collect();
@@ -116,17 +123,17 @@ pub fn decrypt_batch_strided(
         .map(|(range, out_chunk)| {
             let range = range.clone();
             Box::new(move || {
-                for (k, cell) in range.clone().enumerate() {
-                    let ct = &ciphertexts[cell * ct_stride..(cell + 1) * ct_stride];
-                    let slot = &mut out_chunk[k * pt_stride..(k + 1) * pt_stride];
-                    cipher.decrypt_to_slice(ct, slot)?;
-                }
-                Ok(())
+                cipher.decrypt_batch_to_slices(
+                    &ciphertexts[range.start * ct_stride..range.end * ct_stride],
+                    range.end - range.start,
+                    out_chunk,
+                )
             }) as Task<'_, Result<(), CryptoError>>
         })
         .collect();
-    // Chunks are contiguous and results are in task order, so the first
-    // chunk error is the lowest-indexed cell error.
+    // Chunks are contiguous, each chunk reports its lowest-indexed cell
+    // error, and results are in task order — so the first chunk error is
+    // the lowest-indexed cell error overall.
     pool.run(tasks).into_iter().collect()
 }
 
@@ -163,11 +170,12 @@ pub fn seal_batch_strided(
         .map(|(range, out_chunk)| {
             let range = range.clone();
             Box::new(move || {
-                for (k, cell) in range.clone().enumerate() {
-                    let pt = &plaintexts[cell * pt_stride..(cell + 1) * pt_stride];
-                    let slot = &mut out_chunk[k * ct_stride..(k + 1) * ct_stride];
-                    cipher.seal_with_nonce_into(&nonces[cell], &aads[cell], pt, slot);
-                }
+                cipher.seal_batch_with_nonces(
+                    &nonces[range.clone()],
+                    &aads[range.clone()],
+                    &plaintexts[range.start * pt_stride..range.end * pt_stride],
+                    out_chunk,
+                );
             }) as Task<'_, ()>
         })
         .collect();
@@ -207,12 +215,11 @@ pub fn open_batch_strided(
         .map(|(range, out_chunk)| {
             let range = range.clone();
             Box::new(move || {
-                for (k, cell) in range.clone().enumerate() {
-                    let ct = &ciphertexts[cell * ct_stride..(cell + 1) * ct_stride];
-                    let slot = &mut out_chunk[k * pt_stride..(k + 1) * pt_stride];
-                    cipher.open_to_slice(&aads[cell], ct, slot)?;
-                }
-                Ok(())
+                cipher.open_batch_to_slices(
+                    &aads[range.clone()],
+                    &ciphertexts[range.start * ct_stride..range.end * ct_stride],
+                    out_chunk,
+                )
             }) as Task<'_, Result<(), CryptoError>>
         })
         .collect();
@@ -255,12 +262,13 @@ pub fn poly1305_batch_strided(
         .map(|(range, tag_chunk)| {
             let range = range.clone();
             Box::new(move || {
-                for (k, cell) in range.clone().enumerate() {
-                    let msg = &messages[cell * stride..(cell + 1) * stride];
-                    let mut mac = Poly1305::new(&keys[cell]);
-                    mac.update(msg);
-                    tag_chunk[k] = mac.finalize();
-                }
+                poly1305::poly1305_batch(
+                    &keys[range.clone()],
+                    &messages[range.start * stride..range.end * stride],
+                    stride,
+                    stride,
+                    tag_chunk,
+                );
             }) as Task<'_, ()>
         })
         .collect();

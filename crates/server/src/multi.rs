@@ -84,6 +84,18 @@ impl<S: Storage> ReplicatedServers<S> {
         &mut self.servers[i]
     }
 
+    /// Simultaneous mutable access to servers `i` and `j` (`i < j`), so a
+    /// client can drive two non-colluding replicas concurrently — e.g. the
+    /// pooled 2-server XOR-PIR scan.
+    ///
+    /// # Panics
+    /// Panics if `i >= j` or `j` is out of range.
+    pub fn pair_mut(&mut self, i: usize, j: usize) -> (&mut S, &mut S) {
+        assert!(i < j, "pair_mut requires i < j");
+        let (head, tail) = self.servers.split_at_mut(j);
+        (&mut head[i], &mut tail[0])
+    }
+
     /// Shared access to server `i`.
     pub fn server(&self, i: usize) -> &S {
         &self.servers[i]

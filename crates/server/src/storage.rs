@@ -89,11 +89,13 @@ pub trait Storage: std::fmt::Debug + Send {
     fn xor_cells_into(&mut self, addrs: &[usize], acc: &mut Vec<u8>) -> Result<(), ServerError>;
 
     /// Returns true if no cells are allocated.
+    #[inline]
     fn is_empty(&self) -> bool {
         self.capacity() == 0
     }
 
     /// Downloads the cells at `addrs` in one round trip, owning copies.
+    #[inline]
     fn read_batch(&mut self, addrs: &[usize]) -> Result<Vec<Vec<u8>>, ServerError> {
         let mut out = Vec::with_capacity(addrs.len());
         self.read_batch_with(addrs, |_, cell| out.push(cell.to_vec()))?;
@@ -101,6 +103,7 @@ pub trait Storage: std::fmt::Debug + Send {
     }
 
     /// Downloads a single cell (one round trip).
+    #[inline]
     fn read(&mut self, addr: usize) -> Result<Vec<u8>, ServerError> {
         Ok(self.read_batch(&[addr])?.pop().expect("one cell requested"))
     }
@@ -110,6 +113,7 @@ pub trait Storage: std::fmt::Debug + Send {
     ///
     /// # Panics
     /// Panics if `out` is shorter than the cell.
+    #[inline]
     fn read_into(&mut self, addr: usize, out: &mut [u8]) -> Result<usize, ServerError> {
         let mut len = 0;
         self.read_batch_with(&[addr], |_, cell| {
@@ -130,6 +134,7 @@ pub trait Storage: std::fmt::Debug + Send {
     /// # Panics
     /// Panics if `out.len()` is not a multiple of `addrs.len()`, or if any
     /// cell is longer than its slot.
+    #[inline]
     fn read_batch_strided(&mut self, addrs: &[usize], out: &mut [u8]) -> Result<(), ServerError> {
         if addrs.is_empty() {
             assert!(out.is_empty(), "output bytes without addresses");
@@ -143,11 +148,13 @@ pub trait Storage: std::fmt::Debug + Send {
     }
 
     /// Uploads a single owned cell (one round trip).
+    #[inline]
     fn write(&mut self, addr: usize, cell: Vec<u8>) -> Result<(), ServerError> {
         self.write_from(addr, &cell)
     }
 
     /// XORs the cells at `addrs` together, returning the result.
+    #[inline]
     fn xor_cells(&mut self, addrs: &[usize]) -> Result<Vec<u8>, ServerError> {
         let mut out = Vec::new();
         self.xor_cells_into(addrs, &mut out)?;

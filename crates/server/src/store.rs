@@ -64,27 +64,32 @@ impl CellStore {
     }
 
     /// Number of cell slots.
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.lens.len()
     }
 
     /// True if the store holds no slots.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.lens.is_empty()
     }
 
     /// Current slot width in bytes.
+    #[inline]
     pub fn stride(&self) -> usize {
         self.stride
     }
 
     /// Whether the cell at `addr` has ever been written.
+    #[inline]
     pub fn is_initialized(&self, addr: usize) -> bool {
         self.init[addr >> 6] & (1 << (addr & 63)) != 0
     }
 
     /// The cell at `addr`, or `None` if it was never written. The returned
     /// slice borrows the arena directly: zero-copy.
+    #[inline]
     pub fn get(&self, addr: usize) -> Option<&[u8]> {
         if !self.is_initialized(addr) {
             return None;
@@ -100,6 +105,7 @@ impl CellStore {
     ///
     /// # Panics
     /// Panics if `addr` is out of range.
+    #[inline]
     pub fn set(&mut self, addr: usize, bytes: &[u8]) {
         assert!(addr < self.lens.len(), "cell address {addr} out of range");
         if bytes.len() > self.stride {

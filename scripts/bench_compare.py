@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
-"""Soft bench-regression check across BENCH_*.json generations.
+"""Bench-regression check across BENCH_*.json generations.
 
-Usage: bench_compare.py BASELINE.json CURRENT.json [--warn-pct 25]
+Usage: bench_compare.py BASELINE.json CURRENT.json [--warn-pct 25] [--strict]
 
 Handles both bench_smoke JSON formats:
   * flat map  {"scheme": median_ns, ...}            (BENCH_1 / BENCH_2)
   * record list [{"scheme": .., "shards": S, "threads": T,
                   "median_ns": ..}, ...]            (BENCH_3 onward)
 
-Only single-config rows (shards == threads == 1) are compared against a
-flat-map baseline, so the files stay comparable across PRs as sweeps are
-added. Always exits 0: this is a *soft* check — it prints warnings for
-medians that regressed more than the threshold and a summary either way.
+When both files are record lists, every (scheme, shards, threads)
+configuration is compared — sweep rows included. Against a flat-map
+baseline only the single-config rows (shards == threads == 1) are
+comparable, and that subset is used. Rows present in only one generation
+are always reported explicitly ([gone] / [new]), never silently skipped.
+
+By default this is a *soft* check: it prints warnings for medians that
+regressed more than the threshold and exits 0 either way (what CI runs).
+With --strict, any regression beyond the threshold exits non-zero — for
+dedicated-hardware gates where the numbers are stable enough to fail on.
 """
 
 import argparse
@@ -19,17 +25,33 @@ import json
 import sys
 
 
-def load(path):
-    """Returns {scheme: median_ns} for the comparable single-config rows."""
+def load(path, single_config_only):
+    """Returns {key: median_ns}; keys are (scheme, shards, threads)."""
     with open(path) as f:
         data = json.load(f)
-    if isinstance(data, dict):
-        return {k: int(v) for k, v in data.items()}
     out = {}
+    if isinstance(data, dict):
+        for scheme, ns in data.items():
+            out[(scheme, 1, 1)] = int(ns)
+        return out
     for rec in data:
-        if rec.get("shards", 1) == 1 and rec.get("threads", 1) == 1:
-            out[rec["scheme"]] = int(rec["median_ns"])
+        key = (rec["scheme"], int(rec.get("shards", 1)), int(rec.get("threads", 1)))
+        if single_config_only and key[1:] != (1, 1):
+            continue
+        out[key] = int(rec["median_ns"])
     return out
+
+
+def is_flat_map(path):
+    with open(path) as f:
+        return isinstance(json.load(f), dict)
+
+
+def fmt(key):
+    scheme, shards, threads = key
+    if (shards, threads) == (1, 1):
+        return scheme
+    return f"{scheme}[s={shards},t={threads}]"
 
 
 def main():
@@ -37,32 +59,41 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--warn-pct", type=float, default=25.0)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any scheme regresses beyond --warn-pct",
+    )
     args = parser.parse_args()
     warn_pct = args.warn_pct
-    baseline_path, current_path = args.baseline, args.current
-    baseline = load(baseline_path)
-    current = load(current_path)
+
+    # Sweep rows are only mutually comparable between two record-format
+    # files; a flat-map side restricts both to the single-config subset.
+    single_only = is_flat_map(args.baseline) or is_flat_map(args.current)
+    baseline = load(args.baseline, single_only)
+    current = load(args.current, single_only)
 
     regressions = 0
-    for scheme in sorted(baseline):
-        if scheme not in current:
-            print(f"  [gone]  {scheme}: present in {baseline_path} only")
+    for key in sorted(baseline):
+        if key not in current:
+            print(f"  [gone]  {fmt(key)}: present in {args.baseline} only")
             continue
-        old, new = baseline[scheme], current[scheme]
+        old, new = baseline[key], current[key]
         delta = 100.0 * (new - old) / old if old else 0.0
         marker = " "
         if delta > warn_pct:
             marker = "!"
             regressions += 1
-            print(f"::warning::bench regression {scheme}: {old} -> {new} ns (+{delta:.0f}%)")
-        print(f"  [{marker}] {scheme:<24} {old:>10} -> {new:>10} ns  ({delta:+.0f}%)")
-    for scheme in sorted(set(current) - set(baseline)):
-        print(f"  [new]   {scheme}: {current[scheme]} ns")
+            print(f"::warning::bench regression {fmt(key)}: {old} -> {new} ns (+{delta:.0f}%)")
+        print(f"  [{marker}] {fmt(key):<34} {old:>10} -> {new:>10} ns  ({delta:+.0f}%)")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  [new]   {fmt(key)}: {current[key]} ns")
 
     if regressions:
-        print(f"{regressions} scheme(s) regressed more than {warn_pct:.0f}% (soft check, not failing)")
-    else:
-        print(f"no scheme regressed more than {warn_pct:.0f}%")
+        mode = "failing (--strict)" if args.strict else "soft check, not failing"
+        print(f"{regressions} scheme(s) regressed more than {warn_pct:.0f}% ({mode})")
+        return 1 if args.strict else 0
+    print(f"no scheme regressed more than {warn_pct:.0f}%")
     return 0
 
 
