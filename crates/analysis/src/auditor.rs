@@ -192,12 +192,7 @@ mod tests {
     /// Disjoint supports: everything lands in δ.
     #[test]
     fn detects_catastrophic_delta() {
-        let report = audit_views(
-            5_000,
-            10,
-            |_| vec![0u8],
-            |_| vec![1u8],
-        );
+        let report = audit_views(5_000, 10, |_| vec![0u8], |_| vec![1u8]);
         assert_eq!(report.epsilon_hat(), 0.0, "no overlapping views");
         assert!((report.delta_at(10.0) - 1.0).abs() < 1e-9, "δ̂ must be 1");
     }

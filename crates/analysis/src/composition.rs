@@ -151,12 +151,7 @@ mod tests {
         let k = 100_000;
         let a = advanced(per, k, 1e-9);
         let b = basic(per, k);
-        assert!(
-            a.epsilon < b.epsilon,
-            "advanced {} should beat basic {}",
-            a.epsilon,
-            b.epsilon
-        );
+        assert!(a.epsilon < b.epsilon, "advanced {} should beat basic {}", a.epsilon, b.epsilon);
     }
 
     #[test]

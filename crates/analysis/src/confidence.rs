@@ -68,7 +68,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -205,11 +206,8 @@ pub fn clopper_pearson(successes: u64, trials: u64, confidence: f64) -> Interval
         // p such that P[Bin(n,p) >= k] = alpha/2, i.e. I_p(k, n-k+1) = alpha/2.
         invert_betai(k, n - k + 1.0, alpha / 2.0)
     };
-    let hi = if successes == trials {
-        1.0
-    } else {
-        invert_betai(k + 1.0, n - k, 1.0 - alpha / 2.0)
-    };
+    let hi =
+        if successes == trials { 1.0 } else { invert_betai(k + 1.0, n - k, 1.0 - alpha / 2.0) };
     Interval { lo, hi }
 }
 

@@ -14,12 +14,8 @@ fn bench_path_oram(c: &mut Criterion) {
     for n in [1usize << 10, 1 << 14] {
         let db = database(n, 256);
         let mut rng = ChaChaRng::seed_from_u64(1);
-        let mut oram = PathOram::setup(
-            PathOramConfig::recommended(n, 256),
-            &db,
-            SimServer::new(),
-            &mut rng,
-        );
+        let mut oram =
+            PathOram::setup(PathOramConfig::recommended(n, 256), &db, SimServer::new(), &mut rng);
         group.bench_with_input(BenchmarkId::new("read", n), &n, |b, &n| {
             let mut i = 0usize;
             b.iter(|| {

@@ -13,21 +13,19 @@ fn bench_dp_ir_query(c: &mut Criterion) {
     group.sample_size(20);
     for n in [1usize << 10, 1 << 14] {
         let db = database(n, 256);
-        for (label, epsilon) in [("eps=ln(n)", (n as f64).ln()), ("eps=ln(n)/2", (n as f64).ln() / 2.0)] {
+        for (label, epsilon) in
+            [("eps=ln(n)", (n as f64).ln()), ("eps=ln(n)/2", (n as f64).ln() / 2.0)]
+        {
             let config = DpIrConfig::with_epsilon(n, epsilon, 0.1).unwrap();
             let mut ir = DpIr::setup(config, &db, SimServer::new()).unwrap();
             let mut rng = ChaChaRng::seed_from_u64(1);
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, &n| {
-                    let mut i = 0usize;
-                    b.iter(|| {
-                        i = (i + 1) % n;
-                        ir.query(i, &mut rng).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % n;
+                    ir.query(i, &mut rng).unwrap()
+                })
+            });
         }
     }
     group.finish();

@@ -46,12 +46,8 @@ fn bench_hashing(c: &mut Criterion) {
     group.sample_size(10);
     let n = 1 << 14;
     let mut rng = ChaChaRng::seed_from_u64(3);
-    group.bench_function("one_choice_n=16384", |b| {
-        b.iter(|| one_choice_loads(n, n, &mut rng))
-    });
-    group.bench_function("two_choice_n=16384", |b| {
-        b.iter(|| two_choice_loads(n, n, &mut rng))
-    });
+    group.bench_function("one_choice_n=16384", |b| b.iter(|| one_choice_loads(n, n, &mut rng)));
+    group.bench_function("two_choice_n=16384", |b| b.iter(|| two_choice_loads(n, n, &mut rng)));
     group.bench_function("forest_insert_n=16384", |b| {
         b.iter(|| {
             let mut forest = ObliviousForest::new(ForestGeometry::recommended(n), b"bench");

@@ -23,6 +23,7 @@ use dps_core::dp_kvs::{DpKvs, DpKvsConfig};
 use dps_core::dp_ram::{DpRam, DpRamConfig};
 use dps_core::dp_ram_ro::DpRamReadOnly;
 use dps_crypto::{BlockCipher, ChaChaRng, CIPHERTEXT_OVERHEAD};
+use dps_net::{NetDaemon, RemoteServer};
 use dps_oram::{LinearOram, PathOram, PathOramConfig};
 use dps_pir::{FullScanPir, XorPir};
 use dps_server::batch_crypto::encrypt_batch_strided;
@@ -87,7 +88,13 @@ fn median_ns(samples: usize, iters: usize, mut op: impl FnMut()) -> u64 {
 /// address range of a shared [`ShardedServer`]. Returns the median ns per
 /// *cell read* across samples (total wall time / total cells moved), the
 /// throughput measure that shard-count scaling should improve.
-fn mt_read_ns(server: &ShardedServer, clients: usize, samples: usize, iters: usize, batch: usize) -> u64 {
+fn mt_read_ns(
+    server: &ShardedServer,
+    clients: usize,
+    samples: usize,
+    iters: usize,
+    batch: usize,
+) -> u64 {
     let n = Storage::capacity(server);
     let per_client = n / clients;
     median_over_samples(samples, || {
@@ -98,8 +105,9 @@ fn mt_read_ns(server: &ShardedServer, clients: usize, samples: usize, iters: usi
                     let base = c * per_client;
                     let mut sink = 0u64;
                     for i in 0..iters {
-                        let addrs: Vec<usize> =
-                            (0..batch).map(|k| base + (i * 13 + k * 7) % per_client).collect();
+                        let addrs: Vec<usize> = (0..batch)
+                            .map(|k| base + (i * 13 + k * 7) % per_client)
+                            .collect();
                         server
                             .read_batch_with_shared(&addrs, |_, cell| {
                                 sink = sink.wrapping_add(u64::from(cell[0]));
@@ -346,8 +354,7 @@ fn main() {
         let addrs: Vec<usize> = (0..n).collect();
         let flat: Vec<u8> = db.iter().flatten().copied().collect();
         for (shards, threads) in [(1usize, 1usize), (4, 1), (4, 4), (8, 4)] {
-            let mut server =
-                ShardedServer::new(shards).with_pool(WorkerPool::new(threads));
+            let mut server = ShardedServer::new(shards).with_pool(WorkerPool::new(threads));
             Storage::init(&mut server, db.clone());
             let ns = median_ns(samples, 20, || {
                 server.write_batch_strided_shared(&addrs, &flat).unwrap();
@@ -362,6 +369,66 @@ fn main() {
         }
     }
 
+    // Remote storage over loopback TCP (dps_net): the same zero-copy
+    // batch surface the sharded_* rows measure in-process, with one
+    // framed request/response exchange per batch on top. The delta
+    // against the corresponding local row is the wire cost — framing,
+    // syscalls and loopback latency amortized over the batch — which is
+    // the round-trip term of the paper's overhead model made measurable.
+    {
+        let n = 1 << 12;
+        let db = database(n, 256);
+        for shards in [1usize, 4] {
+            let mut server = ShardedServer::new(shards);
+            Storage::init(&mut server, db.clone());
+            let daemon = NetDaemon::spawn(server).expect("spawn loopback daemon");
+            let mut remote = RemoteServer::connect(daemon.local_addr()).expect("connect to daemon");
+
+            // Batched zero-copy reads, 64 cells per round trip (the
+            // remote twin of sharded_read_mt at C = 1).
+            let batch = 64;
+            let mut sink = 0u64;
+            let mut i = 0;
+            let ns = median_ns(samples, 40, || {
+                let addrs: Vec<usize> = (0..batch).map(|k| (i * 13 + k * 7) % n).collect();
+                i += 1;
+                remote
+                    .read_batch_with(&addrs, |_, cell| {
+                        sink = sink.wrapping_add(u64::from(cell[0]));
+                    })
+                    .expect("bench remote read");
+            });
+            std::hint::black_box(sink);
+            results.push(Record {
+                scheme: "remote_read_batch".to_string(),
+                shards,
+                threads: 1,
+                median_ns: ns / batch as u64, // per cell
+                bytes: 0,
+            });
+
+            // Whole-database strided upload in one frame (the remote
+            // twin of sharded_write_strided).
+            let addrs: Vec<usize> = (0..n).collect();
+            let flat: Vec<u8> = db.iter().flatten().copied().collect();
+            let ns = median_ns(samples, 10, || {
+                remote
+                    .write_batch_strided(&addrs, &flat)
+                    .expect("bench remote write");
+            });
+            results.push(Record {
+                scheme: "remote_write_strided".to_string(),
+                shards,
+                threads: 1,
+                median_ns: ns / n as u64, // per cell
+                bytes: 0,
+            });
+
+            drop(remote);
+            daemon.shutdown();
+        }
+    }
+
     // Deterministic parallel batch encryption (nonces pre-drawn on the
     // caller thread, cells fanned over the pool).
     {
@@ -369,8 +436,7 @@ fn main() {
         let pt_len = 256;
         let mut rng = ChaChaRng::seed_from_u64(8);
         let cipher = BlockCipher::generate(&mut rng);
-        let plaintexts: Vec<u8> =
-            (0..cells * pt_len).map(|i| (i % 251) as u8).collect();
+        let plaintexts: Vec<u8> = (0..cells * pt_len).map(|i| (i % 251) as u8).collect();
         let mut out = vec![0u8; cells * (pt_len + CIPHERTEXT_OVERHEAD)];
         for threads in [1usize, 2, 4] {
             let pool = WorkerPool::new(threads);
@@ -390,10 +456,7 @@ fn main() {
 
     println!("{:<24} {:>6} {:>7}  median ns/op", "scheme", "shards", "threads");
     for r in &results {
-        println!(
-            "{:<24} {:>6} {:>7}  {}",
-            r.scheme, r.shards, r.threads, r.median_ns
-        );
+        println!("{:<24} {:>6} {:>7}  {}", r.scheme, r.shards, r.threads, r.median_ns);
     }
 
     if let Some(path) = json_path {

@@ -26,13 +26,9 @@ fn encode_ram_views(traces: &[(usize, usize)]) -> Vec<u8> {
 fn ram_view(n: usize, p: f64, queries: &[RamQuery], seed: u64) -> Vec<u8> {
     let mut rng = ChaChaRng::seed_from_u64(seed);
     let db: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 4]).collect();
-    let mut ram = DpRam::setup(
-        DpRamConfig { n, stash_probability: p },
-        &db,
-        SimServer::new(),
-        &mut rng,
-    )
-    .unwrap();
+    let mut ram =
+        DpRam::setup(DpRamConfig { n, stash_probability: p }, &db, SimServer::new(), &mut rng)
+            .unwrap();
     let mut traces = Vec::with_capacity(queries.len());
     for q in queries {
         let new_value = (q.op == Op::Write).then(|| vec![0xAA; 4]);
@@ -50,7 +46,14 @@ pub fn run_e6(fast: bool) {
     let trials = if fast { 60_000 } else { 400_000 };
     let mut t = Table::new(
         "E6 (Thm 6.1): DP-RAM empirical privacy, n = 4, p = 0.5, adjacent length-2 sequences",
-        &["pair", "epsilon-hat", "eps-hat 95% CI", "delta-hat @ eps-hat", "views Q1/Q2", "analytic bound"],
+        &[
+            "pair",
+            "epsilon-hat",
+            "eps-hat 95% CI",
+            "delta-hat @ eps-hat",
+            "views Q1/Q2",
+            "analytic bound",
+        ],
     );
     let bound = DpRamConfig { n, stash_probability: p }.epsilon_upper_bound();
 

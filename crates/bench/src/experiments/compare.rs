@@ -94,12 +94,8 @@ pub fn run_e17(fast: bool) {
 
     // Path ORAM.
     {
-        let mut oram = PathOram::setup(
-            PathOramConfig::recommended(n, block),
-            &db,
-            SimServer::new(),
-            &mut rng,
-        );
+        let mut oram =
+            PathOram::setup(PathOramConfig::recommended(n, block), &db, SimServer::new(), &mut rng);
         let before = oram.server_stats();
         let start = Instant::now();
         for i in 0..ops {
@@ -119,11 +115,8 @@ pub fn run_e17(fast: bool) {
 
     // Recursive Path ORAM (position map in ORAMs — the small-client cost).
     {
-        let mut oram = RecursivePathOram::setup(
-            RecursiveOramConfig::recommended(n, block),
-            &db,
-            &mut rng,
-        );
+        let mut oram =
+            RecursivePathOram::setup(RecursiveOramConfig::recommended(n, block), &db, &mut rng);
         let before = oram.total_stats();
         let start = Instant::now();
         for i in 0..ops {
@@ -206,8 +199,8 @@ pub fn run_e17(fast: bool) {
     // DP-KVS and ORAM-KVS (smaller value size; keyed workload).
     {
         let value = 64;
-        let mut kvs = DpKvs::setup(DpKvsConfig::recommended(n, value), SimServer::new(), &mut rng)
-            .unwrap();
+        let mut kvs =
+            DpKvs::setup(DpKvsConfig::recommended(n, value), SimServer::new(), &mut rng).unwrap();
         for k in 0..(n / 4) as u64 {
             kvs.put(k, vec![0u8; value], &mut rng).unwrap();
         }

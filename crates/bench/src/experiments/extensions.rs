@@ -31,20 +31,9 @@ pub fn run_e18(fast: bool) {
 
     let mut t = Table::new(
         format!("E18: round trips -> modeled latency, n = {n}, {block}-byte blocks, {ops} ops"),
-        &[
-            "scheme",
-            "RT/op",
-            "blocks/op",
-            "us/op DC",
-            "us/op WAN",
-            "us/op mobile",
-        ],
+        &["scheme", "RT/op", "blocks/op", "us/op DC", "us/op WAN", "us/op mobile"],
     );
-    let models = [
-        NetworkModel::datacenter(),
-        NetworkModel::wan(),
-        NetworkModel::mobile(),
-    ];
+    let models = [NetworkModel::datacenter(), NetworkModel::wan(), NetworkModel::mobile()];
 
     let mut push = |name: &str, stats: dps_server::CostStats, ops: usize| {
         let mut cells = vec![
@@ -68,11 +57,8 @@ pub fn run_e18(fast: bool) {
         push("DP-RAM", ram.server_stats().since(&before), ops);
     }
     {
-        let mut oram = RecursivePathOram::setup(
-            RecursiveOramConfig::recommended(n, block),
-            &db,
-            &mut rng,
-        );
+        let mut oram =
+            RecursivePathOram::setup(RecursiveOramConfig::recommended(n, block), &db, &mut rng);
         let before = oram.total_stats();
         for i in 0..ops {
             oram.read(i % n, &mut rng).unwrap();
@@ -168,11 +154,9 @@ pub fn run_e20(fast: bool) {
     }
     for d in [2usize, 4, 8] {
         let k = 4;
-        let mut dp = MultiServerDpIr::setup(
-            MultiServerDpIrConfig { n, servers: d, k, alpha: 0.1 },
-            &db,
-        )
-        .unwrap();
+        let mut dp =
+            MultiServerDpIr::setup(MultiServerDpIrConfig { n, servers: d, k, alpha: 0.1 }, &db)
+                .unwrap();
         let before = dp.total_stats();
         for q in 0..queries {
             dp.query(q % n, &mut rng).unwrap();
@@ -226,8 +210,7 @@ pub fn run_e21(fast: bool) {
         ]);
     }
     {
-        let mut ram =
-            HardenedDpRam::setup(DpRamConfig::recommended(n), &db, &mut rng).unwrap();
+        let mut ram = HardenedDpRam::setup(DpRamConfig::recommended(n), &db, &mut rng).unwrap();
         let before = ram.server_stats();
         let start = Instant::now();
         for i in 0..ops {
@@ -241,7 +224,10 @@ pub fn run_e21(fast: bool) {
         let cell = ram.server_mut().adversary_cells_mut().read(victim).unwrap();
         let mut bad = cell;
         bad[0] ^= 1;
-        ram.server_mut().adversary_cells_mut().write(victim, bad).unwrap();
+        ram.server_mut()
+            .adversary_cells_mut()
+            .write(victim, bad)
+            .unwrap();
         let detected = {
             // p is tiny, so the read goes straight to the victim's address.
             let mut probe_rng = ChaChaRng::seed_from_u64(99);
@@ -277,7 +263,9 @@ pub fn run_e22(fast: bool) {
     let seeds = if fast { 5 } else { 20 };
 
     let mut t = Table::new(
-        format!("E22: two-choice forest vs cuckoo hashing as the DP-KVS mapping scheme, n = {n} keys"),
+        format!(
+            "E22: two-choice forest vs cuckoo hashing as the DP-KVS mapping scheme, n = {n} keys"
+        ),
         &[
             "scheme",
             "server cells / n",
@@ -295,7 +283,10 @@ pub fn run_e22(fast: bool) {
         for seed in 0..seeds as u64 {
             let mut forest = ObliviousForest::new(geometry, &seed.to_le_bytes() as &[u8]);
             for k in 0..n as u64 {
-                if forest.insert(k.wrapping_mul(0x9e37_79b9_7f4a_7c15), Vec::new()).is_err() {
+                if forest
+                    .insert(k.wrapping_mul(0x9e37_79b9_7f4a_7c15), Vec::new())
+                    .is_err()
+                {
                     failures += 1;
                     break;
                 }

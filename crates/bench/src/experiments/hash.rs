@@ -46,11 +46,8 @@ pub fn run_e9(fast: bool) {
 /// the β_i recursion; the super root stays under Φ(n); server storage is
 /// Θ(n) vs Θ(n log log n) for naive padding.
 pub fn run_e10(fast: bool) {
-    let sizes: &[usize] = if fast {
-        &[1 << 10, 1 << 14]
-    } else {
-        &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]
-    };
+    let sizes: &[usize] =
+        if fast { &[1 << 10, 1 << 14] } else { &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18] };
     let seeds = if fast { 5 } else { 20 };
 
     let mut t = Table::new(
@@ -107,11 +104,7 @@ pub fn run_e10(fast: bool) {
         &["height i", "filled nodes H_i", "beta_i (theory envelope)"],
     );
     for (i, &h) in filled.iter().enumerate() {
-        t.row(vec![
-            i.to_string(),
-            h.to_string(),
-            f1(beta_closed(n as f64, i as u32).max(0.0)),
-        ]);
+        t.row(vec![i.to_string(), h.to_string(), f1(beta_closed(n as f64, i as u32).max(0.0))]);
     }
     t.print();
     println!("  shape check: H_i decays sharply with height (doubly exponentially, like β_i); the super root stays well under Φ(n); storage is ~2-4 cells per key vs log log n padding.");
@@ -128,7 +121,11 @@ pub fn run_e16(fast: bool) {
     );
     let log_l = (n as f64).log2().round() as usize; // ~14 -> 16
     for capacity in [1usize, 2, 3, 4] {
-        for leaves in [log_l.next_power_of_two() / 2, log_l.next_power_of_two(), log_l.next_power_of_two() * 2] {
+        for leaves in [
+            log_l.next_power_of_two() / 2,
+            log_l.next_power_of_two(),
+            log_l.next_power_of_two() * 2,
+        ] {
             let geometry = ForestGeometry {
                 n_buckets: n,
                 leaves_per_tree: leaves,
@@ -138,8 +135,10 @@ pub fn run_e16(fast: bool) {
             let mut loads = Vec::new();
             let mut failures = 0u32;
             for seed in 0..seeds {
-                let mut forest =
-                    ObliviousForest::new(geometry, format!("e16-{capacity}-{leaves}-{seed}").as_bytes());
+                let mut forest = ObliviousForest::new(
+                    geometry,
+                    format!("e16-{capacity}-{leaves}-{seed}").as_bytes(),
+                );
                 for key in 0..n as u64 {
                     if forest.insert(key, Vec::new()).is_err() {
                         failures += 1;

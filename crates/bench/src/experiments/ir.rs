@@ -51,11 +51,8 @@ pub fn run_e1(fast: bool) {
 /// tracks the lower bound within a constant for every ε; at ε = ln n it is
 /// O(1).
 pub fn run_e2(fast: bool) {
-    let sizes: &[usize] = if fast {
-        &[1 << 10, 1 << 14]
-    } else {
-        &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]
-    };
+    let sizes: &[usize] =
+        if fast { &[1 << 10, 1 << 14] } else { &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18] };
     let alpha = 0.1;
     let mut t = Table::new(
         "E2 (Thm 3.4 + 5.1): DP-IR downloads vs lower bound (alpha = 0.1)",
@@ -67,13 +64,7 @@ pub fn run_e2(fast: bool) {
             let lb = bounds::thm_3_4_ir_ops(n, epsilon, alpha, 0.0);
             let k = DpIrConfig::with_epsilon(n, epsilon, alpha).unwrap().k as f64;
             let ratio = if lb > 0.0 { k / lb } else { f64::NAN };
-            t.row(vec![
-                n.to_string(),
-                f3(epsilon),
-                f1(lb),
-                f1(k),
-                f3(ratio),
-            ]);
+            t.row(vec![n.to_string(), f3(epsilon), f1(lb), f1(k), f3(ratio)]);
         }
     }
     t.print();
@@ -83,11 +74,8 @@ pub fn run_e2(fast: bool) {
 /// E3 — Theorem 5.1 headline: at ε = Θ(log n) the construction moves O(1)
 /// blocks regardless of n, plus an empirical (ε̂, δ̂) audit at small n.
 pub fn run_e3(fast: bool) {
-    let sizes: &[usize] = if fast {
-        &[1 << 10, 1 << 14]
-    } else {
-        &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]
-    };
+    let sizes: &[usize] =
+        if fast { &[1 << 10, 1 << 14] } else { &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18] };
     let alpha = 0.1;
     let mut t = Table::new(
         "E3 (Thm 5.1): constant overhead at epsilon = ln(n) (alpha = 0.1)",
@@ -105,12 +93,7 @@ pub fn run_e3(fast: bool) {
             ir.query(q % n, &mut rng).unwrap();
         }
         let per_query = ir.server_stats().since(&before).downloads as f64 / queries as f64;
-        t.row(vec![
-            n.to_string(),
-            f3(epsilon),
-            config.k.to_string(),
-            f3(per_query),
-        ]);
+        t.row(vec![n.to_string(), f3(epsilon), config.k.to_string(), f3(per_query)]);
     }
     t.print();
 
@@ -131,7 +114,12 @@ pub fn run_e3(fast: bool) {
     let report = dps_analysis::audit_views(trials, 40, view(3, 10), view(7, 20_000_000));
     let mut t = Table::new(
         "E3b: DP-IR empirical privacy (n = 16, alpha = 0.25)",
-        &["analytic epsilon", "empirical epsilon-hat", "delta-hat at analytic eps", "views (Q1/Q2)"],
+        &[
+            "analytic epsilon",
+            "empirical epsilon-hat",
+            "delta-hat at analytic eps",
+            "views (Q1/Q2)",
+        ],
     );
     let (s1, s2) = report.support_sizes();
     t.row(vec![
@@ -171,7 +159,9 @@ pub fn run_e4(fast: bool) {
         ]);
     }
     t.print();
-    println!("  shape check: the absence event has probability 0 vs ~(n-1)/n — zero privacy, as proven.");
+    println!(
+        "  shape check: the absence event has probability 0 vs ~(n-1)/n — zero privacy, as proven."
+    );
 }
 
 /// E13 — Theorem C.1: multi-server DP-IR cost vs the corruption-fraction
@@ -200,12 +190,7 @@ pub fn run_e13(fast: bool) {
             ir.query(q % n, &mut rng).unwrap();
         }
         let measured = ir.total_stats().since(&before).operations() as f64 / queries as f64;
-        t.row(vec![
-            format!("{corrupted}/{d}"),
-            f3(eps),
-            f1(bound),
-            f1(measured),
-        ]);
+        t.row(vec![format!("{corrupted}/{d}"), f3(eps), f1(bound), f1(measured)]);
     }
     t.print();
     println!("  shape check: measured cost sits above the bound; weaker adversaries (smaller t) get more privacy at the same cost.");

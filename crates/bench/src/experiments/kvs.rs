@@ -12,11 +12,8 @@ use crate::table::{f1, f3, Table};
 /// E11 — Theorem 7.5: DP-KVS moves O(log log n) cells per op while an
 /// ORAM-backed KVS moves Θ(log n) blocks; server storage stays O(n).
 pub fn run_e11(fast: bool) {
-    let sizes: &[usize] = if fast {
-        &[1 << 8, 1 << 10]
-    } else {
-        &[1 << 8, 1 << 10, 1 << 12, 1 << 14]
-    };
+    let sizes: &[usize] =
+        if fast { &[1 << 8, 1 << 10] } else { &[1 << 8, 1 << 10, 1 << 12, 1 << 14] };
     let value = 32;
     let ops = if fast { 150 } else { 400 };
     let mut t = Table::new(

@@ -14,11 +14,8 @@ use crate::table::{f1, f3, Table};
 /// at every n; Path ORAM grows as Θ(log n) (and Θ(log n) round trips with a
 /// recursive position map).
 pub fn run_e5(fast: bool) {
-    let sizes: &[usize] = if fast {
-        &[1 << 8, 1 << 12]
-    } else {
-        &[1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16]
-    };
+    let sizes: &[usize] =
+        if fast { &[1 << 8, 1 << 12] } else { &[1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16] };
     let block = 64;
     let queries = if fast { 200 } else { 500 };
     let mut t = Table::new(
@@ -54,12 +51,8 @@ pub fn run_e5(fast: bool) {
         let ram_blocks = (d.downloads + d.uploads) as f64 / queries as f64;
         let ram_rts = d.round_trips as f64 / queries as f64;
 
-        let mut oram = PathOram::setup(
-            PathOramConfig::recommended(n, block),
-            &db,
-            SimServer::new(),
-            &mut rng,
-        );
+        let mut oram =
+            PathOram::setup(PathOramConfig::recommended(n, block), &db, SimServer::new(), &mut rng);
         let before = oram.server_stats();
         for q in &trace {
             oram.read(q.index, &mut rng).unwrap();
@@ -110,11 +103,8 @@ pub fn run_e7(_fast: bool) {
 
 /// E8 — Lemma D.1: max-over-time stash occupancy concentrates at O(Φ(n)).
 pub fn run_e8(fast: bool) {
-    let sizes: &[usize] = if fast {
-        &[1 << 10, 1 << 12]
-    } else {
-        &[1 << 10, 1 << 12, 1 << 14, 1 << 16]
-    };
+    let sizes: &[usize] =
+        if fast { &[1 << 10, 1 << 12] } else { &[1 << 10, 1 << 12, 1 << 14, 1 << 16] };
     let seeds = if fast { 10 } else { 30 };
     let queries = if fast { 2_000 } else { 10_000 };
     let mut t = Table::new(
@@ -143,7 +133,9 @@ pub fn run_e8(fast: bool) {
         ]);
     }
     t.print();
-    println!("  shape check: max stash tracks Φ(n) with small constant — client storage is Φ(n) whp.");
+    println!(
+        "  shape check: max stash tracks Φ(n) with small constant — client storage is Φ(n) whp."
+    );
 }
 
 /// E15 — ablation: the stash-probability dial. Larger p means more client

@@ -66,11 +66,7 @@ pub struct BatchedDpIr<S: Storage = SimServer> {
 impl<S: Storage> BatchedDpIr<S> {
     /// Stores the public database on the server (no secrets, like
     /// [`crate::dp_ir::DpIr::setup`]).
-    pub fn setup(
-        config: DpIrConfig,
-        blocks: &[Vec<u8>],
-        mut server: S,
-    ) -> Result<Self, DpIrError> {
+    pub fn setup(config: DpIrConfig, blocks: &[Vec<u8>], mut server: S) -> Result<Self, DpIrError> {
         if blocks.len() != config.n {
             return Err(DpIrError::InvalidConfig(format!(
                 "expected {} blocks, got {}",
@@ -274,8 +270,10 @@ impl<S: Storage> BatchedDpIr<S> {
                     })
                     .map_err(DpIrError::Server)?;
                 let pt_stride = ct_stride - AEAD_OVERHEAD;
-                let aads: Vec<[u8; 16]> =
-                    needed_positions.iter().map(|&pos| address_aad(addrs[pos], 0)).collect();
+                let aads: Vec<[u8; 16]> = needed_positions
+                    .iter()
+                    .map(|&pos| address_aad(addrs[pos], 0))
+                    .collect();
                 self.pt_scratch.resize(needed_positions.len() * pt_stride, 0);
                 batch_crypto::open_batch_strided(
                     &self.pool,

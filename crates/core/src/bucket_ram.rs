@@ -169,10 +169,8 @@ impl<S: Storage> BucketRam<S> {
         // Setup-time stashing (per-bucket, like Algorithm 2's per-record).
         for b in 0..ram.buckets.len() {
             if rng.gen_bool(stash_probability) {
-                let contents: Vec<Vec<u8>> = ram.buckets[b]
-                    .iter()
-                    .map(|&cell| cells[cell].clone())
-                    .collect();
+                let contents: Vec<Vec<u8>> =
+                    ram.buckets[b].iter().map(|&cell| cells[cell].clone()).collect();
                 ram.stash_bucket(b, &contents);
             }
         }
@@ -335,9 +333,10 @@ impl<S: Storage> BucketRam<S> {
             let ct_len = self.cell_size + CIPHERTEXT_OVERHEAD;
             let ct = &mut self.ct_scratch;
             ct.clear();
-            self.server.read_batch_with(&self.buckets[overwrite], |_, cell| {
-                ct.extend_from_slice(cell);
-            })?;
+            self.server
+                .read_batch_with(&self.buckets[overwrite], |_, cell| {
+                    ct.extend_from_slice(cell);
+                })?;
             // A tampered/odd-length cell must surface as a crypto error (as
             // the per-cell decrypt did before), not skew the chunking and
             // the strided upload's inferred stride.
@@ -354,7 +353,8 @@ impl<S: Storage> BucketRam<S> {
                 self.cipher
                     .decrypt_into(chunk, &mut self.pt_scratch)
                     .map_err(|e| BucketRamError::Crypto(e.to_string()))?;
-                self.cipher.encrypt_into(&self.pt_scratch, &mut self.enc_cell, rng);
+                self.cipher
+                    .encrypt_into(&self.pt_scratch, &mut self.enc_cell, rng);
                 self.enc_flat.extend_from_slice(&self.enc_cell);
             }
             self.server
@@ -389,12 +389,7 @@ mod tests {
     fn fixture(p: f64, seed: u64) -> (BucketRam, ChaChaRng) {
         let mut rng = ChaChaRng::seed_from_u64(seed);
         let cells: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 8]).collect();
-        let buckets = vec![
-            vec![0, 4, 5],
-            vec![1, 4, 5],
-            vec![2, 4, 5],
-            vec![3, 4, 5],
-        ];
+        let buckets = vec![vec![0, 4, 5], vec![1, 4, 5], vec![2, 4, 5], vec![3, 4, 5]];
         let ram = BucketRam::setup(cells, buckets, p, SimServer::new(), &mut rng).unwrap();
         (ram, rng)
     }
@@ -437,10 +432,7 @@ mod tests {
         let (mut ram, mut rng) = fixture(0.5, 3);
         // Reference: plain cell array.
         let mut reference: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8; 8]).collect();
-        let buckets = [vec![0usize, 4, 5],
-            vec![1, 4, 5],
-            vec![2, 4, 5],
-            vec![3, 4, 5]];
+        let buckets = [vec![0usize, 4, 5], vec![1, 4, 5], vec![2, 4, 5], vec![3, 4, 5]];
         for step in 0u32..800 {
             let b = rng.gen_index(4);
             if rng.gen_bool(0.5) {
@@ -489,10 +481,7 @@ mod tests {
         }
         let freq = f64::from(self_hits) / f64::from(trials);
         let predicted = (1.0 - p) + p / 4.0;
-        assert!(
-            (freq - predicted).abs() < 0.03,
-            "measured {freq:.3}, predicted {predicted:.3}"
-        );
+        assert!((freq - predicted).abs() < 0.03, "measured {freq:.3}, predicted {predicted:.3}");
     }
 
     #[test]
@@ -519,10 +508,8 @@ mod tests {
                 .is_err(),
             "out-of-range cell reference"
         );
-        assert!(
-            BucketRam::setup(vec![vec![0]], vec![vec![0]], 1.5, SimServer::new(), &mut rng)
-                .is_err()
-        );
+        assert!(BucketRam::setup(vec![vec![0]], vec![vec![0]], 1.5, SimServer::new(), &mut rng)
+            .is_err());
         let (mut ram, mut rng) = fixture(0.1, 9);
         assert!(matches!(
             ram.query(4, |_| {}, &mut rng),

@@ -81,9 +81,7 @@ impl DpIrConfig {
             return Err(DpIrError::InvalidConfig("n must be positive".into()));
         }
         if !(0.0..=1.0).contains(&alpha) || alpha == 0.0 {
-            return Err(DpIrError::InvalidConfig(format!(
-                "alpha must be in (0, 1], got {alpha}"
-            )));
+            return Err(DpIrError::InvalidConfig(format!("alpha must be in (0, 1], got {alpha}")));
         }
         if !epsilon.is_finite() || epsilon <= 0.0 {
             return Err(DpIrError::InvalidConfig(format!(
@@ -101,14 +99,10 @@ impl DpIrConfig {
             return Err(DpIrError::InvalidConfig("n must be positive".into()));
         }
         if k == 0 || k > n {
-            return Err(DpIrError::InvalidConfig(format!(
-                "k must be in [1, n = {n}], got {k}"
-            )));
+            return Err(DpIrError::InvalidConfig(format!("k must be in [1, n = {n}], got {k}")));
         }
         if !(0.0..=1.0).contains(&alpha) || alpha == 0.0 {
-            return Err(DpIrError::InvalidConfig(format!(
-                "alpha must be in (0, 1], got {alpha}"
-            )));
+            return Err(DpIrError::InvalidConfig(format!("alpha must be in (0, 1], got {alpha}")));
         }
         Ok(Self { n, alpha, k })
     }
@@ -161,7 +155,11 @@ impl<S: Storage> DpIr<S> {
     /// Algorithm 1: build the download set for query `index`. Exposed for
     /// the privacy auditor, which needs the typed transcript without
     /// touching the server.
-    pub fn sample_download_set(&self, index: usize, rng: &mut ChaChaRng) -> (BTreeSet<usize>, bool) {
+    pub fn sample_download_set(
+        &self,
+        index: usize,
+        rng: &mut ChaChaRng,
+    ) -> (BTreeSet<usize>, bool) {
         let mut t = BTreeSet::new();
         // r > alpha: the real record is included.
         let success = !rng.gen_bool(self.config.alpha);
@@ -179,7 +177,11 @@ impl<S: Storage> DpIr<S> {
 
     /// Queries record `index`. Returns `Some(record)` with probability
     /// `1 − α`, `None` (the error case) with probability `α`.
-    pub fn query(&mut self, index: usize, rng: &mut ChaChaRng) -> Result<Option<Vec<u8>>, DpIrError> {
+    pub fn query(
+        &mut self,
+        index: usize,
+        rng: &mut ChaChaRng,
+    ) -> Result<Option<Vec<u8>>, DpIrError> {
         Ok(self.query_traced(index, rng)?.0)
     }
 
@@ -197,8 +199,7 @@ impl<S: Storage> DpIr<S> {
         let addrs: Vec<usize> = set.iter().copied().collect();
         // Zero-copy download: only the real record (if this query succeeds)
         // is copied out of the server arena; decoys are read and discarded.
-        let pos = success
-            .then(|| addrs.binary_search(&index).expect("real index in set"));
+        let pos = success.then(|| addrs.binary_search(&index).expect("real index in set"));
         let mut record = Vec::new();
         self.server.read_batch_with(&addrs, |i, cell| {
             if Some(i) == pos {

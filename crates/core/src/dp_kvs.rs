@@ -119,17 +119,9 @@ enum NodePlan {
     /// No change (fake update).
     Fake,
     /// Overwrite the value of `key` in the node at `height`.
-    Update {
-        height: usize,
-        key: u64,
-        value: Vec<u8>,
-    },
+    Update { height: usize, key: u64, value: Vec<u8> },
     /// Insert a new entry into the node at `height`.
-    Insert {
-        height: usize,
-        key: u64,
-        value: Vec<u8>,
-    },
+    Insert { height: usize, key: u64, value: Vec<u8> },
     /// Remove `key` from the node at `height`.
     Remove { height: usize, key: u64 },
 }
@@ -149,11 +141,7 @@ impl<S: Storage> DpKvs<S> {
     /// Sets up an empty DP-KVS: allocates the forest's node cells (all
     /// vacant), derives the two mapping PRFs, and initializes the bucketed
     /// DP-RAM over the path repertoire.
-    pub fn setup(
-        config: DpKvsConfig,
-        server: S,
-        rng: &mut ChaChaRng,
-    ) -> Result<Self, DpKvsError> {
+    pub fn setup(config: DpKvsConfig, server: S, rng: &mut ChaChaRng) -> Result<Self, DpKvsError> {
         let geometry = config.geometry;
         let empty_cell = encode_bucket(&[], geometry.node_capacity, config.value_size);
         let cells = vec![empty_cell; geometry.total_nodes()];
@@ -222,10 +210,7 @@ impl<S: Storage> DpKvs<S> {
     pub fn buckets_for(&self, key: u64) -> (usize, usize) {
         let n = self.config.geometry.n_buckets as u64;
         let bytes = key.to_le_bytes();
-        (
-            self.prf1.eval_range(&bytes, n) as usize,
-            self.prf2.eval_range(&bytes, n) as usize,
-        )
+        (self.prf1.eval_range(&bytes, n) as usize, self.prf2.eval_range(&bytes, n) as usize)
     }
 
     fn decode_path(&self, cells: &[Vec<u8>]) -> Result<Vec<Vec<Slot>>, DpKvsError> {
@@ -263,23 +248,17 @@ impl<S: Storage> DpKvs<S> {
                 };
                 let result = match plan {
                     NodePlan::Fake => Ok(()),
-                    NodePlan::Update { height, key, value } => {
-                        apply(cells, height, &mut |slots| {
-                            if let Some(slot) = slots.iter_mut().find(|s| s.id == key) {
-                                slot.payload = value.clone();
-                            }
-                        })
-                    }
-                    NodePlan::Insert { height, key, value } => {
-                        apply(cells, height, &mut |slots| {
-                            slots.push(Slot { id: key, payload: value.clone() });
-                        })
-                    }
-                    NodePlan::Remove { height, key } => {
-                        apply(cells, height, &mut |slots| {
-                            slots.retain(|s| s.id != key);
-                        })
-                    }
+                    NodePlan::Update { height, key, value } => apply(cells, height, &mut |slots| {
+                        if let Some(slot) = slots.iter_mut().find(|s| s.id == key) {
+                            slot.payload = value.clone();
+                        }
+                    }),
+                    NodePlan::Insert { height, key, value } => apply(cells, height, &mut |slots| {
+                        slots.push(Slot { id: key, payload: value.clone() });
+                    }),
+                    NodePlan::Remove { height, key } => apply(cells, height, &mut |slots| {
+                        slots.retain(|s| s.id != key);
+                    }),
                 };
                 if let Err(e) = result {
                     failure = Some(e);
@@ -360,12 +339,7 @@ impl<S: Storage> DpKvs<S> {
     }
 
     /// Inserts or updates `key`.
-    pub fn put(
-        &mut self,
-        key: u64,
-        value: Vec<u8>,
-        rng: &mut ChaChaRng,
-    ) -> Result<(), DpKvsError> {
+    pub fn put(&mut self, key: u64, value: Vec<u8>, rng: &mut ChaChaRng) -> Result<(), DpKvsError> {
         self.put_traced(key, value, rng).map(|_| ())
     }
 
@@ -424,11 +398,7 @@ impl<S: Storage> DpKvs<S> {
 
     /// Removes `key`, returning its value (an extension beyond the paper's
     /// read/overwrite interface; same four-query transcript shape).
-    pub fn remove(
-        &mut self,
-        key: u64,
-        rng: &mut ChaChaRng,
-    ) -> Result<Option<Vec<u8>>, DpKvsError> {
+    pub fn remove(&mut self, key: u64, rng: &mut ChaChaRng) -> Result<Option<Vec<u8>>, DpKvsError> {
         let (result, _) = self.operate(key, rng, |kvs, _a, _b, path_a, path_b| {
             if let Some((height, value)) = Self::find_in_path(path_a, key) {
                 kvs.len -= 1;
@@ -455,12 +425,7 @@ mod tests {
 
     fn build(n: usize, seed: u64) -> (DpKvs, ChaChaRng) {
         let mut rng = ChaChaRng::seed_from_u64(seed);
-        let kvs = DpKvs::setup(
-            DpKvsConfig::recommended(n, 8),
-            SimServer::new(),
-            &mut rng,
-        )
-        .unwrap();
+        let kvs = DpKvs::setup(DpKvsConfig::recommended(n, 8), SimServer::new(), &mut rng).unwrap();
         (kvs, rng)
     }
 
@@ -501,7 +466,8 @@ mod tests {
     fn many_keys_round_trip() {
         let (mut kvs, mut rng) = build(128, 5);
         for k in 0..100u64 {
-            kvs.put(k * 0x9e3779b9, vec![(k % 251) as u8; 8], &mut rng).unwrap();
+            kvs.put(k * 0x9e3779b9, vec![(k % 251) as u8; 8], &mut rng)
+                .unwrap();
         }
         assert_eq!(kvs.len(), 100);
         for k in 0..100u64 {

@@ -532,10 +532,7 @@ mod tests {
         )
         .is_err());
         let (mut ram, mut rng) = build(4, 0.2, 11);
-        assert!(matches!(
-            ram.read(4, &mut rng),
-            Err(DpRamError::IndexOutOfRange { .. })
-        ));
+        assert!(matches!(ram.read(4, &mut rng), Err(DpRamError::IndexOutOfRange { .. })));
         assert!(matches!(
             ram.write(0, vec![0u8; 3], &mut rng),
             Err(DpRamError::BadBlockSize { got: 3, expected: 16 })

@@ -164,10 +164,7 @@ mod tests {
         }
         let freq = f64::from(self_hits) / f64::from(trials);
         let predicted = (1.0 - p) + p / n as f64;
-        assert!(
-            (freq - predicted).abs() < 0.03,
-            "measured {freq:.4}, predicted {predicted:.4}"
-        );
+        assert!((freq - predicted).abs() < 0.03, "measured {freq:.4}, predicted {predicted:.4}");
     }
 
     #[test]

@@ -98,10 +98,9 @@ impl std::error::Error for HardenedRamError {}
 impl HardenedRamError {
     fn from_verified(e: VerifiedError) -> Self {
         match e {
-            VerifiedError::IntegrityViolation { addr } => HardenedRamError::Tampering {
-                addr,
-                detected_by: TamperDetection::MerkleRoot,
-            },
+            VerifiedError::IntegrityViolation { addr } => {
+                HardenedRamError::Tampering { addr, detected_by: TamperDetection::MerkleRoot }
+            }
             VerifiedError::Server(err) => {
                 HardenedRamError::InvalidConfig(format!("server failure: {err}"))
             }
@@ -321,12 +320,9 @@ mod tests {
 
     fn build(n: usize, p: f64, seed: u64) -> (HardenedDpRam, ChaChaRng) {
         let mut rng = ChaChaRng::seed_from_u64(seed);
-        let ram = HardenedDpRam::setup(
-            DpRamConfig { n, stash_probability: p },
-            &blocks(n),
-            &mut rng,
-        )
-        .unwrap();
+        let ram =
+            HardenedDpRam::setup(DpRamConfig { n, stash_probability: p }, &blocks(n), &mut rng)
+                .unwrap();
         (ram, rng)
     }
 
@@ -383,26 +379,16 @@ mod tests {
         let c9 = ram.server_mut().adversary_cells_mut().read(9).unwrap();
         ram.server_mut().adversary_cells_mut().write(3, c9).unwrap();
         ram.server_mut().adversary_cells_mut().write(9, c3).unwrap();
-        assert!(matches!(
-            ram.read(3, &mut rng),
-            Err(HardenedRamError::Tampering { addr: 3, .. })
-        ));
+        assert!(matches!(ram.read(3, &mut rng), Err(HardenedRamError::Tampering { addr: 3, .. })));
     }
 
     #[test]
     fn validation_errors() {
         let mut rng = ChaChaRng::seed_from_u64(5);
-        assert!(HardenedDpRam::setup(
-            DpRamConfig { n: 0, stash_probability: 0.1 },
-            &[],
-            &mut rng
-        )
-        .is_err());
+        assert!(HardenedDpRam::setup(DpRamConfig { n: 0, stash_probability: 0.1 }, &[], &mut rng)
+            .is_err());
         let (mut ram, mut rng) = build(4, 0.2, 6);
-        assert!(matches!(
-            ram.read(4, &mut rng),
-            Err(HardenedRamError::IndexOutOfRange { .. })
-        ));
+        assert!(matches!(ram.read(4, &mut rng), Err(HardenedRamError::IndexOutOfRange { .. })));
         assert!(matches!(
             ram.write(0, vec![0u8; 3], &mut rng),
             Err(HardenedRamError::BadBlockSize { got: 3, expected: 16 })

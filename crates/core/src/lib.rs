@@ -31,6 +31,11 @@
 //! * [`hardened_ram`] — DP-RAM upgraded from honest-but-curious to an
 //!   actively malicious server: address-bound AEAD plus Merkle-verified
 //!   storage, same transcript and overhead profile as Theorem 6.1.
+//!
+//! Every construction is generic over `dps_server::Storage`, so the same
+//! code runs against the in-process simulators and against a real
+//! network daemon through `dps_net::RemoteServer` — the loopback
+//! equivalence suite in `dps_net` pins the two bit-identical.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +52,6 @@ pub mod strawman;
 
 pub use batched_ir::BatchedDpIr;
 pub use dp_ir::{DpIr, DpIrConfig};
-pub use hardened_ram::HardenedDpRam;
 pub use dp_kvs::{DpKvs, DpKvsConfig};
 pub use dp_ram::{DpRam, DpRamConfig};
+pub use hardened_ram::HardenedDpRam;

@@ -192,8 +192,11 @@ impl MultiServerDpIr {
             let addrs: Vec<usize> = set.iter().copied().collect();
             // Zero-copy per-server scan: only the real record (on its one
             // server) is copied out; every decoy is read and discarded.
-            let pos = (real_server == Some(s))
-                .then(|| addrs.binary_search(&index).expect("real index in its server's set"));
+            let pos = (real_server == Some(s)).then(|| {
+                addrs
+                    .binary_search(&index)
+                    .expect("real index in its server's set")
+            });
             self.servers.read_batch_with(s, &addrs, |i, cell| {
                 if Some(i) == pos {
                     result = Some(cell.to_vec());
@@ -210,11 +213,7 @@ mod tests {
 
     fn build(n: usize, d: usize, k: usize, alpha: f64) -> MultiServerDpIr {
         let blocks: Vec<Vec<u8>> = (0..n).map(|i| vec![(i % 251) as u8; 8]).collect();
-        MultiServerDpIr::setup(
-            MultiServerDpIrConfig { n, servers: d, k, alpha },
-            &blocks,
-        )
-        .unwrap()
+        MultiServerDpIr::setup(MultiServerDpIrConfig { n, servers: d, k, alpha }, &blocks).unwrap()
     }
 
     #[test]

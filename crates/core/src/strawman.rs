@@ -93,7 +93,6 @@ impl<S: Storage> InsecureStrawmanIr<S> {
         })?;
         Ok((out, set))
     }
-
 }
 
 impl InsecureStrawmanIr {
@@ -154,10 +153,7 @@ mod tests {
             .count();
         let rate = absent_under_j as f64 / trials as f64;
         let bound = InsecureStrawmanIr::delta_lower_bound(64);
-        assert!(
-            rate > bound - 0.05,
-            "absence rate {rate} should approach (n-1)/n = {bound}"
-        );
+        assert!(rate > bound - 0.05, "absence rate {rate} should approach (n-1)/n = {bound}");
     }
 
     #[test]

@@ -211,11 +211,7 @@ fn schemes_run_unmodified_on_sharded_server() {
         kvs_b.put(k, vec![k as u8; 8], &mut rng_b).unwrap();
     }
     for k in 0u64..24 {
-        assert_eq!(
-            kvs_a.get(k, &mut rng_a).unwrap(),
-            kvs_b.get(k, &mut rng_b).unwrap(),
-            "key {k}"
-        );
+        assert_eq!(kvs_a.get(k, &mut rng_a).unwrap(), kvs_b.get(k, &mut rng_b).unwrap(), "key {k}");
     }
     assert_eq!(kvs_a.server_stats(), kvs_b.server_stats());
 }

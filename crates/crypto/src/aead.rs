@@ -65,12 +65,7 @@ impl AeadCipher {
         block[..32].try_into().expect("32-byte prefix")
     }
 
-    fn tag(
-        &self,
-        nonce: &[u8; chacha::NONCE_LEN],
-        aad: &[u8],
-        ciphertext: &[u8],
-    ) -> [u8; TAG_LEN] {
+    fn tag(&self, nonce: &[u8; chacha::NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
         let mut mac = Poly1305::new(&self.one_time_key(nonce));
         mac.update(aad);
         mac.pad16();
@@ -91,13 +86,7 @@ impl AeadCipher {
     /// Seals `plaintext` into `out` (cleared first) with a fresh random
     /// nonce. Performs no heap allocation once `out` has capacity for
     /// `plaintext.len() + AEAD_OVERHEAD` bytes.
-    pub fn seal_into(
-        &self,
-        aad: &[u8],
-        plaintext: &[u8],
-        out: &mut Vec<u8>,
-        rng: &mut ChaChaRng,
-    ) {
+    pub fn seal_into(&self, aad: &[u8], plaintext: &[u8], out: &mut Vec<u8>, rng: &mut ChaChaRng) {
         let mut nonce = [0u8; chacha::NONCE_LEN];
         rng.fill_bytes(&mut nonce);
         out.clear();
@@ -295,8 +284,9 @@ impl AeadCipher {
         }
         for (i, aad) in aads.iter().enumerate().skip(cell) {
             let base = i * ct_stride;
-            let nonce: [u8; chacha::NONCE_LEN] =
-                out[base..base + chacha::NONCE_LEN].try_into().expect("nonce prefix");
+            let nonce: [u8; chacha::NONCE_LEN] = out[base..base + chacha::NONCE_LEN]
+                .try_into()
+                .expect("nonce prefix");
             let tag = self.tag(&nonce, aad, &out[base + chacha::NONCE_LEN..base + body_end]);
             out[base + body_end..base + ct_stride].copy_from_slice(&tag);
         }
@@ -429,11 +419,9 @@ mod tests {
     /// RFC 8439 §2.8.2: the complete AEAD test vector.
     #[test]
     fn rfc8439_aead_vector() {
-        let key: [u8; 32] = hex(
-            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] = hex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+            .try_into()
+            .unwrap();
         let nonce: [u8; 12] = hex("070000004041424344454647").try_into().unwrap();
         let aad = hex("50515253c0c1c2c3c4c5c6c7");
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
@@ -441,16 +429,14 @@ mod tests {
         let cipher = AeadCipher::new(key);
         let sealed = cipher.seal_with_nonce(&nonce, &aad, plaintext);
 
-        let expected_ct = hex(
-            "d31a8d34648e60db7b86afbc53ef7ec2
+        let expected_ct = hex("d31a8d34648e60db7b86afbc53ef7ec2
              a4aded51296e08fea9e2b5a736ee62d6
              3dbea45e8ca9671282fafb69da92728b
              1a71de0a9e060b2905d6a5b67ecd3b36
              92ddbd7f2d778b8c9803aee328091b58
              fab324e4fad675945585808b4831d7bc
              3ff4def08e4b7a9de576d26586cec64b
-             6116",
-        );
+             6116");
         let expected_tag = hex("1ae10b594f09e26a7e902ecbd0600691");
         let body = &sealed.0[12..sealed.0.len() - 16];
         let tag = &sealed.0[sealed.0.len() - 16..];
@@ -498,11 +484,7 @@ mod tests {
         for i in 0..sealed.len() {
             let mut bad = sealed.clone();
             bad.0[i] ^= 1;
-            assert_eq!(
-                cipher.open(b"", &bad),
-                Err(CryptoError::TagMismatch),
-                "flip at byte {i}"
-            );
+            assert_eq!(cipher.open(b"", &bad), Err(CryptoError::TagMismatch), "flip at byte {i}");
         }
     }
 

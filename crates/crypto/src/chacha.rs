@@ -208,8 +208,7 @@ mod sse2 {
         }
         let mut out = [[_mm_set_epi32(0, 0, 0, 0); 4]; WIDE_LANES];
         for tile in 0..4 {
-            let [r0, r1, r2, r3] =
-                [x[4 * tile], x[4 * tile + 1], x[4 * tile + 2], x[4 * tile + 3]];
+            let [r0, r1, r2, r3] = [x[4 * tile], x[4 * tile + 1], x[4 * tile + 2], x[4 * tile + 3]];
             let t0 = _mm_unpacklo_epi32(r0, r1);
             let t1 = _mm_unpackhi_epi32(r0, r1);
             let t2 = _mm_unpacklo_epi32(r2, r3);
@@ -336,12 +335,7 @@ fn wide_xor_lanes(init: &WideState, lanes: [&mut [u8]; WIDE_LANES]) {
 /// Reborrows 4 equal-length disjoint regions of `flat`, starting at
 /// `first` and separated by `stride` bytes (`len <= stride`).
 #[inline]
-fn lanes_mut(
-    flat: &mut [u8],
-    first: usize,
-    stride: usize,
-    len: usize,
-) -> [&mut [u8]; WIDE_LANES] {
+fn lanes_mut(flat: &mut [u8], first: usize, stride: usize, len: usize) -> [&mut [u8]; WIDE_LANES] {
     let (_, tail) = flat.split_at_mut(first);
     let (c0, tail) = tail.split_at_mut(stride);
     let (c1, tail) = tail.split_at_mut(stride);
@@ -519,12 +513,7 @@ pub fn xor_keystream_batch_strided(
     let tail = len % BLOCK_LEN;
     let mut cell = 0;
     while cell + WIDE_LANES <= nonces.len() {
-        let lane_nonces = [
-            &nonces[cell],
-            &nonces[cell + 1],
-            &nonces[cell + 2],
-            &nonces[cell + 3],
-        ];
+        let lane_nonces = [&nonces[cell], &nonces[cell + 1], &nonces[cell + 2], &nonces[cell + 3]];
         // One state parse per 4-cell group; only the counter word changes
         // between block indices.
         let mut init = wide_init(key, &[counter; WIDE_LANES], &lane_nonces);
@@ -564,38 +553,30 @@ mod tests {
     /// RFC 8439 §2.3.2: ChaCha20 block function test vector.
     #[test]
     fn rfc8439_block_vector() {
-        let key: [u8; 32] = hex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
         let nonce: [u8; 12] = hex("000000090000004a00000000").try_into().unwrap();
-        let expected = hex(
-            "10f1e7e4d13b5915500fdd1fa32071c4 c7d1f4c733c068030422aa9ac3d46c4e
-             d2826446079faa0914c2d705d98b02a2 b5129cd1de164eb9cbd083e8a2503c4e",
-        );
+        let expected = hex("10f1e7e4d13b5915500fdd1fa32071c4 c7d1f4c733c068030422aa9ac3d46c4e
+             d2826446079faa0914c2d705d98b02a2 b5129cd1de164eb9cbd083e8a2503c4e");
         assert_eq!(block(&key, 1, &nonce).to_vec(), expected);
     }
 
     /// RFC 8439 §2.4.2: ChaCha20 encryption test vector.
     #[test]
     fn rfc8439_encrypt_vector() {
-        let key: [u8; 32] = hex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
         let nonce: [u8; 12] = hex("000000000000004a00000000").try_into().unwrap();
         let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
 only one tip for the future, sunscreen would be it."
             .to_vec();
         xor_keystream(&key, 1, &nonce, &mut data);
-        let expected = hex(
-            "6e2e359a2568f98041ba0728dd0d6981 e97e7aec1d4360c20a27afccfd9fae0b
+        let expected = hex("6e2e359a2568f98041ba0728dd0d6981 e97e7aec1d4360c20a27afccfd9fae0b
              f91b65c5524733ab8f593dabcd62b357 1639d624e65152ab8f530c359f0861d8
              07ca0dbf500d6a6156a38e088a22b65e 52bc514d16ccf806818ce91ab7793736
-             5af90bbf74a35be6b40b8eedf2785e42 874d",
-        );
+             5af90bbf74a35be6b40b8eedf2785e42 874d");
         assert_eq!(data, expected);
     }
 
@@ -661,11 +642,9 @@ only one tip for the future, sunscreen would be it."
     /// mixed-lane calls agree with the scalar core lane by lane.
     #[test]
     fn rfc8439_block_vector_wide_lanes() {
-        let key: [u8; 32] = hex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
         let nonce: [u8; 12] = hex("000000090000004a00000000").try_into().unwrap();
         let expected = block(&key, 1, &nonce);
         let all = blocks4(&key, &[1; 4], &[&nonce; 4]);
@@ -687,11 +666,9 @@ only one tip for the future, sunscreen would be it."
     /// nonce, must all equal the published ciphertext.
     #[test]
     fn rfc8439_encrypt_vector_wide_batch() {
-        let key: [u8; 32] = hex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
         let nonce: [u8; 12] = hex("000000000000004a00000000").try_into().unwrap();
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
 only one tip for the future, sunscreen would be it.";
@@ -752,9 +729,13 @@ only one tip for the future, sunscreen would be it.";
     fn batch_strided_matches_per_cell_loop() {
         let key = [0x5au8; 32];
         for cells in [1usize, 2, 3, 4, 5, 7, 8, 9] {
-            for (stride, offset, len) in
-                [(80usize, 12usize, 64usize), (48, 0, 48), (100, 12, 77), (300, 12, 280), (16, 4, 0)]
-            {
+            for (stride, offset, len) in [
+                (80usize, 12usize, 64usize),
+                (48, 0, 48),
+                (100, 12, 77),
+                (300, 12, 280),
+                (16, 4, 0),
+            ] {
                 let nonces: Vec<Nonce> = (0..cells)
                     .map(|i| {
                         let mut n = [0u8; NONCE_LEN];
@@ -763,8 +744,7 @@ only one tip for the future, sunscreen would be it.";
                         n
                     })
                     .collect();
-                let original: Vec<u8> =
-                    (0..cells * stride).map(|i| (i * 13 % 251) as u8).collect();
+                let original: Vec<u8> = (0..cells * stride).map(|i| (i * 13 % 251) as u8).collect();
                 let mut batch = original.clone();
                 xor_keystream_batch_strided(&key, 1, &nonces, &mut batch, stride, offset, len);
                 let mut expected = original.clone();

@@ -522,10 +522,7 @@ mod tests {
     fn batch_decrypt_short_stride_is_malformed() {
         let (cipher, _) = cipher(10);
         let data = vec![0u8; 2 * (CIPHERTEXT_OVERHEAD - 1)];
-        assert_eq!(
-            cipher.decrypt_batch_to_slices(&data, 2, &mut []),
-            Err(CryptoError::Malformed)
-        );
+        assert_eq!(cipher.decrypt_batch_to_slices(&data, 2, &mut []), Err(CryptoError::Malformed));
     }
 
     #[test]

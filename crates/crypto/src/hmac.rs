@@ -103,10 +103,7 @@ mod tests {
     fn rfc4231_case6_long_key() {
         let key = [0xaa; 131];
         assert_eq!(
-            hex(&hmac_sha256(
-                &key,
-                b"Test Using Larger Than Block-Size Key - Hash Key First"
-            )),
+            hex(&hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
     }

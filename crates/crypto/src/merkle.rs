@@ -258,7 +258,8 @@ mod tests {
     fn update_matches_rebuild() {
         let mut data = cells(13);
         let mut tree = MerkleTree::build(&data);
-        for (i, new) in [(0usize, b"aa".as_slice()), (6, b"bb".as_slice()), (12, b"cc".as_slice())] {
+        for (i, new) in [(0usize, b"aa".as_slice()), (6, b"bb".as_slice()), (12, b"cc".as_slice())]
+        {
             data[i] = new.to_vec();
             tree.update(i, new);
             let rebuilt = MerkleTree::build(&data);

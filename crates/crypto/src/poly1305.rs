@@ -70,11 +70,7 @@ impl std::fmt::Debug for Poly1305 {
 /// the plain limb masks).
 #[inline(always)]
 fn limbs(t0: u64, t1: u64, masks: [u64; 3]) -> [u64; 3] {
-    [
-        t0 & masks[0],
-        ((t0 >> 44) | (t1 << 20)) & masks[1],
-        (t1 >> 24) & masks[2],
-    ]
+    [t0 & masks[0], ((t0 >> 44) | (t1 << 20)) & masks[1], (t1 >> 24) & masks[2]]
 }
 
 /// One Poly1305 block step on radix-2^44 limbs: `h = (h + m) · r mod p`,
@@ -350,9 +346,8 @@ impl Poly1305x4 {
             }
         }
         while len - off >= 16 {
-            let blocks: [&[u8; 16]; BATCH_LANES] = std::array::from_fn(|l| {
-                msgs[l][off..off + 16].try_into().expect("16-byte chunk")
-            });
+            let blocks: [&[u8; 16]; BATCH_LANES] =
+                std::array::from_fn(|l| msgs[l][off..off + 16].try_into().expect("16-byte chunk"));
             self.block4(blocks, 1 << 40);
             off += 16;
         }
@@ -414,12 +409,8 @@ pub fn poly1305_batch(
     assert!(len <= stride, "message region must fit its stride");
     let mut cell = 0;
     while cell + BATCH_LANES <= keys.len() {
-        let mut mac = Poly1305x4::new([
-            &keys[cell],
-            &keys[cell + 1],
-            &keys[cell + 2],
-            &keys[cell + 3],
-        ]);
+        let mut mac =
+            Poly1305x4::new([&keys[cell], &keys[cell + 1], &keys[cell + 2], &keys[cell + 3]]);
         mac.update(std::array::from_fn(|l| {
             let base = (cell + l) * stride;
             &flat[base..base + len]
@@ -453,11 +444,9 @@ mod tests {
     /// RFC 8439 §2.5.2.
     #[test]
     fn rfc8439_vector() {
-        let key: [u8; 32] = hex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] = hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+            .try_into()
+            .unwrap();
         let msg = b"Cryptographic Forum Research Group";
         let tag = poly1305(&key, msg);
         assert_eq!(tag.to_vec(), hex("a8061dc1305136c6c22b8baf0c0127a9"));
@@ -490,10 +479,7 @@ mod tests {
         let mut key = [0u8; 32];
         key[..16].copy_from_slice(&hex("36e5f6b5c5e06070f0efca96227a863e"));
         let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
-        assert_eq!(
-            poly1305(&key, msg).to_vec(),
-            hex("f3477e7cd95417af89a6b8794c310cf0")
-        );
+        assert_eq!(poly1305(&key, msg).to_vec(), hex("f3477e7cd95417af89a6b8794c310cf0"));
     }
 
     /// RFC 8439 §A.3 vector 10-ish: wraparound at 2^130 - 5. Message block
@@ -513,11 +499,9 @@ mod tests {
 
     #[test]
     fn incremental_matches_one_shot() {
-        let key: [u8; 32] = hex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] = hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+            .try_into()
+            .unwrap();
         let msg: Vec<u8> = (0..217).map(|i| (i * 7 % 256) as u8).collect();
         let one_shot = poly1305(&key, &msg);
         for split in [0usize, 1, 15, 16, 17, 100, 216, 217] {
@@ -536,11 +520,9 @@ mod tests {
 
     #[test]
     fn pad16_absorbs_to_boundary() {
-        let key: [u8; 32] = hex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] = hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+            .try_into()
+            .unwrap();
         // update(7 bytes) + pad16 == update(7 bytes ++ 9 zeros).
         let mut a = Poly1305::new(&key);
         a.update(&[1, 2, 3, 4, 5, 6, 7]);
@@ -561,11 +543,9 @@ mod tests {
 
     #[test]
     fn different_messages_different_tags() {
-        let key: [u8; 32] = hex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] = hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+            .try_into()
+            .unwrap();
         assert_ne!(poly1305(&key, b"message one"), poly1305(&key, b"message two"));
     }
 
@@ -584,8 +564,7 @@ mod tests {
             let msgs: [Vec<u8>; 4] = std::array::from_fn(|l| {
                 (0..len).map(|i| ((l + 1) * (i + 3) % 251) as u8).collect()
             });
-            let mut mac =
-                Poly1305x4::new([&keys[0], &keys[1], &keys[2], &keys[3]]);
+            let mut mac = Poly1305x4::new([&keys[0], &keys[1], &keys[2], &keys[3]]);
             mac.update(std::array::from_fn(|l| msgs[l].as_slice()));
             let tags = mac.finalize();
             for l in 0..4 {
@@ -624,8 +603,7 @@ mod tests {
                 let keys: Vec<[u8; 32]> = (0..cells)
                     .map(|c| std::array::from_fn(|i| (c * 53 + i * 13 + 2) as u8))
                     .collect();
-                let flat: Vec<u8> =
-                    (0..cells * stride).map(|i| (i * 7 % 251) as u8).collect();
+                let flat: Vec<u8> = (0..cells * stride).map(|i| (i * 7 % 251) as u8).collect();
                 let mut tags = vec![[0u8; TAG_LEN]; cells];
                 poly1305_batch(&keys, &flat, stride, len, &mut tags);
                 for (i, key) in keys.iter().enumerate() {

@@ -98,15 +98,8 @@ impl ChaChaRng {
         self.offset += take;
         let mut filled = take;
         // Whole blocks straight into `dest`, 4 counters per wide pass.
-        while dest.len() - filled >= 4 * chacha::BLOCK_LEN
-            && self.counter < u32::MAX - 4
-        {
-            let counters = [
-                self.counter,
-                self.counter + 1,
-                self.counter + 2,
-                self.counter + 3,
-            ];
+        while dest.len() - filled >= 4 * chacha::BLOCK_LEN && self.counter < u32::MAX - 4 {
+            let counters = [self.counter, self.counter + 1, self.counter + 2, self.counter + 3];
             let blocks = chacha::blocks4(&self.key, &counters, &[&self.nonce; 4]);
             for block in &blocks {
                 dest[filled..filled + chacha::BLOCK_LEN].copy_from_slice(block);

@@ -80,10 +80,7 @@ mod tests {
             let mut rng = ChaChaRng::seed_from_u64(seed);
             let one = max_load(&one_choice_loads(n, n, &mut rng));
             let two = max_load(&two_choice_loads(n, n, &mut rng));
-            assert!(
-                two < one,
-                "seed {seed}: two-choice max load {two} not below one-choice {one}"
-            );
+            assert!(two < one, "seed {seed}: two-choice max load {two} not below one-choice {one}");
         }
     }
 

@@ -40,7 +40,9 @@ pub enum CuckooError {
 impl std::fmt::Display for CuckooError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CuckooError::Full => write!(f, "cuckoo table full (eviction bound and stash exhausted)"),
+            CuckooError::Full => {
+                write!(f, "cuckoo table full (eviction bound and stash exhausted)")
+            }
         }
     }
 }
@@ -73,10 +75,7 @@ impl CuckooTable {
         assert!(buckets_per_table > 0, "need at least one bucket per table");
         let master = HmacPrf::new(master_key);
         Self {
-            tables: [
-                vec![None; buckets_per_table],
-                vec![None; buckets_per_table],
-            ],
+            tables: [vec![None; buckets_per_table], vec![None; buckets_per_table]],
             prf: [master.derive(b"cuckoo-0"), master.derive(b"cuckoo-1")],
             stash: Vec::new(),
             stash_capacity,
@@ -321,11 +320,7 @@ mod tests {
                     assert_eq!(t.remove(key), model.remove(&key), "step {step}");
                 }
                 _ => {
-                    assert_eq!(
-                        t.get(key),
-                        model.get(&key).map(Vec::as_slice),
-                        "step {step}"
-                    );
+                    assert_eq!(t.get(key), model.get(&key).map(Vec::as_slice), "step {step}");
                 }
             }
             assert_eq!(t.len(), model.len(), "step {step}");

@@ -79,12 +79,7 @@ impl ForestGeometry {
         let log_n = (n.max(2) as f64).log2();
         let leaves_per_tree = (log_n.round() as usize).next_power_of_two().max(4);
         let super_root_capacity = ((log_n * log_n).ceil() as usize).max(16);
-        Self {
-            n_buckets: n,
-            leaves_per_tree,
-            node_capacity: 3,
-            super_root_capacity,
-        }
+        Self { n_buckets: n, leaves_per_tree, node_capacity: 3, super_root_capacity }
     }
 
     /// Number of trees `R = ceil(n / L)`.
@@ -153,7 +148,11 @@ impl ForestGeometry {
 /// `(path_choice, height)` with `0 = a`, `1 = b`, or `None` if both paths
 /// are full. This pure function is shared by the in-memory forest and the
 /// DP-KVS client, guaranteeing identical placement decisions.
-pub fn choose_slot(loads_a: &[usize], loads_b: &[usize], capacity: usize) -> Option<(usize, usize)> {
+pub fn choose_slot(
+    loads_a: &[usize],
+    loads_b: &[usize],
+    capacity: usize,
+) -> Option<(usize, usize)> {
     debug_assert_eq!(loads_a.len(), loads_b.len());
     for h in 0..loads_a.len() {
         let free_a = loads_a[h] < capacity;
@@ -217,10 +216,7 @@ impl ObliviousForest {
     pub fn buckets_for(&self, key: u64) -> (usize, usize) {
         let n = self.geometry.n_buckets as u64;
         let bytes = key.to_le_bytes();
-        (
-            self.prf1.eval_range(&bytes, n) as usize,
-            self.prf2.eval_range(&bytes, n) as usize,
-        )
+        (self.prf1.eval_range(&bytes, n) as usize, self.prf2.eval_range(&bytes, n) as usize)
     }
 
     fn find(&self, key: u64) -> Option<(Option<usize>, usize)> {
@@ -447,8 +443,10 @@ mod tests {
                 Placement::SuperRoot => heights.push(usize::MAX),
             }
         }
-        assert!(heights.iter().filter(|&&h| h == 0).count() >= 12,
-            "most early inserts should land at leaves: {heights:?}");
+        assert!(
+            heights.iter().filter(|&&h| h == 0).count() >= 12,
+            "most early inserts should land at leaves: {heights:?}"
+        );
     }
 
     #[test]
@@ -515,7 +513,8 @@ mod tests {
         let g = ForestGeometry::recommended(n);
         let mut f = ObliviousForest::new(g, b"load-test");
         for key in 0..n as u64 {
-            f.insert(key, vec![]).unwrap_or_else(|e| panic!("key {key}: {e}"));
+            f.insert(key, vec![])
+                .unwrap_or_else(|e| panic!("key {key}: {e}"));
         }
         assert!(
             f.super_root_load() <= g.super_root_capacity,

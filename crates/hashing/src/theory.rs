@@ -81,10 +81,7 @@ mod tests {
     fn beta_decreases_with_height() {
         let n = 1e6;
         for i in 0..8 {
-            assert!(
-                beta_closed(n, i + 1) < beta_closed(n, i),
-                "β must decrease at i={i}"
-            );
+            assert!(beta_closed(n, i + 1) < beta_closed(n, i), "β must decrease at i={i}");
         }
     }
 

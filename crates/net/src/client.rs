@@ -1,0 +1,398 @@
+//! The remote storage client.
+//!
+//! [`RemoteServer`] speaks the [`crate::wire`] protocol over one TCP
+//! connection and implements [`Storage`], so every scheme in this
+//! workspace runs against a network daemon with zero call-site changes —
+//! `DpRam::setup(cfg, &db, RemoteServer::connect(addr)?, &mut rng)` is the
+//! whole migration. Each `Storage` method is exactly one framed
+//! request/response exchange; in particular the batch hot paths
+//! (`read_batch_with`, `write_batch_strided`, `xor_cells_into`,
+//! `access_batch`) stay single round trips no matter the batch size, so
+//! the paper's round-trip accounting carries over to the wire unchanged.
+//!
+//! # Cost accounting
+//!
+//! The client counts what it actually puts on the wire — framed exchanges
+//! and their encoded bytes, headers included — and folds those counters
+//! into the `wire_*` fields of the [`CostStats`] returned by
+//! [`Storage::stats`]. The model-level fields come from the daemon, so
+//! `remote.stats().sans_wire()` is bit-comparable with a local server's
+//! stats; the loopback equivalence suite pins exactly that.
+//!
+//! # Failure model
+//!
+//! Model-level failures ([`ServerError`]) travel in-band and are returned
+//! exactly like a local server would. *Wire*-level failures (peer gone,
+//! truncated frame, corrupt response) have no representation in the
+//! [`Storage`] error type — a broken wire is infrastructure failure, not
+//! a storage outcome — so the trait surface panics on them. Callers that
+//! need to observe transport faults (tests, reconnect logic) use the
+//! fallible inherent [`RemoteServer::try_call`] instead.
+//!
+//! # Size limits
+//!
+//! [`Storage::init`] has no practical size limit: databases whose encoded
+//! form would exceed one frame stream as `InitChunk` frames
+//! automatically. Individual *query* batches, by contrast, are bounded by
+//! [`crate::wire::MAX_FRAME`] (256 MiB per frame) — chunking those would
+//! break the one-round-trip-per-batch accounting the equivalence suite
+//! pins, and no scheme in this workspace comes within two orders of
+//! magnitude of the cap. A batch that large panics with a typed
+//! [`WireError::BadLength`] message rather than degrading silently.
+
+use std::cell::Cell;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+use dps_server::{CostStats, ServerError, Storage, Transcript};
+
+use crate::wire::{read_frame, visit_cells, Request, Response, WireError, HEADER_LEN};
+
+/// A wire-level or model-level failure of a remote call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The transport or codec failed; the connection is unusable.
+    Wire(WireError),
+    /// The server executed the operation and reported a model error; the
+    /// connection remains usable.
+    Server(ServerError),
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Wire(e) => write!(f, "wire: {e}"),
+            RemoteError::Server(e) => write!(f, "server: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<WireError> for RemoteError {
+    fn from(e: WireError) -> Self {
+        RemoteError::Wire(e)
+    }
+}
+
+/// A [`Storage`] backend living on the far side of a TCP connection.
+///
+/// See the [module docs](self) for the round-trip and failure contracts.
+#[derive(Debug)]
+pub struct RemoteServer {
+    stream: TcpStream,
+    peer: SocketAddr,
+    /// Databases whose encoded `Init` frame would exceed this many bytes
+    /// are streamed as `InitChunk` frames instead (see
+    /// [`RemoteServer::with_init_chunk_bytes`]).
+    init_chunk_bytes: usize,
+    // Interior mutability because half the `Storage` surface is `&self`
+    // (`stats`, `capacity`, …) but still performs an exchange. `Cell` is
+    // `Send` (the trait's bound) without the cost of atomics; the
+    // connection itself serializes all exchanges anyway.
+    wire_round_trips: Cell<u64>,
+    wire_bytes_up: Cell<u64>,
+    wire_bytes_down: Cell<u64>,
+}
+
+/// Default [`RemoteServer::with_init_chunk_bytes`] threshold: 32 MiB,
+/// comfortably under [`crate::wire::MAX_FRAME`] while keeping chunked
+/// setup to a handful of frames per GiB.
+pub const DEFAULT_INIT_CHUNK_BYTES: usize = 1 << 25;
+
+/// Unwraps a transport result on the infallible `Storage` surface.
+fn wire_ok<T>(result: Result<T, WireError>) -> T {
+    result.unwrap_or_else(|e| panic!("dps_net wire failure: {e}"))
+}
+
+/// Maps a remote result onto the `Storage` error surface: model errors
+/// pass through, wire errors panic (see the module docs).
+fn model<T>(result: Result<T, RemoteError>) -> Result<T, ServerError> {
+    match result {
+        Ok(v) => Ok(v),
+        Err(RemoteError::Server(e)) => Err(e),
+        Err(RemoteError::Wire(e)) => panic!("dps_net wire failure: {e}"),
+    }
+}
+
+impl RemoteServer {
+    /// Connects to a [`crate::NetDaemon`] (or anything speaking the same
+    /// protocol) at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
+        Ok(Self {
+            stream,
+            peer,
+            init_chunk_bytes: DEFAULT_INIT_CHUNK_BYTES,
+            wire_round_trips: Cell::new(0),
+            wire_bytes_up: Cell::new(0),
+            wire_bytes_down: Cell::new(0),
+        })
+    }
+
+    /// Sets the per-frame byte threshold above which [`Storage::init`]
+    /// streams the database as multiple `InitChunk` frames instead of one
+    /// `Init` frame (clamped to at least one cell per frame). The default
+    /// [`DEFAULT_INIT_CHUNK_BYTES`] suits any database; lowering it is
+    /// mainly for tests and for daemons behind small
+    /// [`crate::DaemonLimits`].
+    pub fn with_init_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.init_chunk_bytes = bytes.max(1);
+        self
+    }
+
+    /// The daemon's address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Round-trips the connection without touching any cell.
+    pub fn ping(&self) -> Result<(), RemoteError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(WireError::BadPayload(unexpected(&other)).into()),
+        }
+    }
+
+    /// The client-side wire counters alone (every model-level field zero):
+    /// framed exchanges and framed bytes since construction or the last
+    /// [`Storage::reset_stats`]. No exchange is performed.
+    pub fn wire_stats(&self) -> CostStats {
+        CostStats {
+            wire_round_trips: self.wire_round_trips.get(),
+            wire_bytes_up: self.wire_bytes_up.get(),
+            wire_bytes_down: self.wire_bytes_down.get(),
+            ..CostStats::default()
+        }
+    }
+
+    /// Performs one framed exchange, returning the raw response payload.
+    /// This is the only place bytes touch the socket, so the wire counters
+    /// are exact by construction: one `try_call`, one wire round trip.
+    pub fn try_call(&self, request: &Request) -> Result<Vec<u8>, WireError> {
+        let framed = request.encode_framed()?;
+        (&self.stream).write_all(&framed)?;
+        let payload = read_frame(&mut (&self.stream))?
+            .ok_or(WireError::Truncated { expected: HEADER_LEN, got: 0 })?;
+        self.wire_round_trips.set(self.wire_round_trips.get() + 1);
+        self.wire_bytes_up
+            .set(self.wire_bytes_up.get() + framed.len() as u64);
+        self.wire_bytes_down
+            .set(self.wire_bytes_down.get() + (HEADER_LEN + payload.len()) as u64);
+        Ok(payload)
+    }
+
+    /// [`RemoteServer::try_call`] plus response decoding, with in-band
+    /// server failures separated from wire failures.
+    pub fn request(&self, request: &Request) -> Result<Response, RemoteError> {
+        let payload = self.try_call(request)?;
+        match Response::decode(&payload)? {
+            Response::Fail(e) => Err(RemoteError::Server(e)),
+            response => Ok(response),
+        }
+    }
+
+    fn expect_ok(&self, request: &Request) -> Result<(), RemoteError> {
+        match self.request(request)? {
+            Response::Ok => Ok(()),
+            other => Err(WireError::BadPayload(unexpected(&other)).into()),
+        }
+    }
+
+    fn expect_number(&self, request: &Request) -> Result<u64, RemoteError> {
+        match self.request(request)? {
+            Response::Number(v) => Ok(v),
+            other => Err(WireError::BadPayload(unexpected(&other)).into()),
+        }
+    }
+}
+
+/// A static description for "the response kind was wrong" errors —
+/// `WireError::BadPayload` carries `&'static str` to stay `Copy`-cheap.
+fn unexpected(response: &Response) -> &'static str {
+    match response {
+        Response::Ok => "unexpected Ok response",
+        Response::Pong => "unexpected Pong response",
+        Response::Number(_) => "unexpected Number response",
+        Response::Flag(_) => "unexpected Flag response",
+        Response::Stats(_) => "unexpected Stats response",
+        Response::TranscriptData(_) => "unexpected Transcript response",
+        Response::Cells(_) => "unexpected Cells response",
+        Response::Bytes(_) => "unexpected Bytes response",
+        Response::Fail(_) => "unexpected Fail response",
+    }
+}
+
+impl Storage for RemoteServer {
+    /// One `Init` frame for small databases; above the chunking threshold
+    /// the cells stream as `InitChunk` frames so setup never hits the
+    /// [`crate::wire::MAX_FRAME`] cap, whatever the database size. Init
+    /// is uncharged setup either way — model stats and transcript are
+    /// untouched; only the wire counters see the extra frames.
+    fn init(&mut self, cells: Vec<Vec<u8>>) {
+        let encoded: usize = cells.iter().map(|c| c.len() + 8).sum::<usize>() + 16;
+        if cells.is_empty() || encoded <= self.init_chunk_bytes {
+            model(self.expect_ok(&Request::Init { cells })).expect("init is infallible");
+            return;
+        }
+        let mut chunk: Vec<Vec<u8>> = Vec::new();
+        let mut chunk_bytes = 0usize;
+        let mut iter = cells.into_iter().peekable();
+        while let Some(cell) = iter.next() {
+            chunk_bytes += cell.len() + 8;
+            chunk.push(cell);
+            let next_fits = iter
+                .peek()
+                .is_some_and(|next| chunk_bytes + next.len() + 8 <= self.init_chunk_bytes);
+            if !next_fits {
+                let done = iter.peek().is_none();
+                let request = Request::InitChunk { done, cells: std::mem::take(&mut chunk) };
+                chunk_bytes = 0;
+                model(self.expect_ok(&request)).expect("init chunk is infallible");
+            }
+        }
+    }
+
+    fn init_empty(&mut self, capacity: usize) {
+        model(self.expect_ok(&Request::InitEmpty { capacity })).expect("init_empty is infallible");
+    }
+
+    fn capacity(&self) -> usize {
+        model(self.expect_number(&Request::Capacity)).expect("capacity is infallible") as usize
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        model(self.expect_number(&Request::StoredBytes)).expect("stored_bytes is infallible")
+    }
+
+    fn cell_stride(&self) -> usize {
+        model(self.expect_number(&Request::CellStride)).expect("cell_stride is infallible") as usize
+    }
+
+    fn start_recording(&mut self) {
+        model(self.expect_ok(&Request::StartRecording)).expect("start_recording is infallible");
+    }
+
+    fn take_transcript(&mut self) -> Transcript {
+        match model(self.request(&Request::TakeTranscript)).expect("take_transcript is infallible")
+        {
+            Response::TranscriptData(t) => t,
+            other => panic!("dps_net wire failure: {}", unexpected(&other)),
+        }
+    }
+
+    fn is_recording(&self) -> bool {
+        match model(self.request(&Request::IsRecording)).expect("is_recording is infallible") {
+            Response::Flag(b) => b,
+            other => panic!("dps_net wire failure: {}", unexpected(&other)),
+        }
+    }
+
+    /// Server-side model counters plus this client's wire counters (the
+    /// stats exchange itself included).
+    fn stats(&self) -> CostStats {
+        let server = match model(self.request(&Request::Stats)).expect("stats is infallible") {
+            Response::Stats(s) => s,
+            other => panic!("dps_net wire failure: {}", unexpected(&other)),
+        };
+        server.plus(&self.wire_stats())
+    }
+
+    fn reset_stats(&mut self) {
+        model(self.expect_ok(&Request::ResetStats)).expect("reset_stats is infallible");
+        // Wire counters restart *after* the reset exchange, so they count
+        // exchanges since the reset — mirroring the server-side counters.
+        self.wire_round_trips.set(0);
+        self.wire_bytes_up.set(0);
+        self.wire_bytes_down.set(0);
+    }
+
+    fn read_batch_with(
+        &mut self,
+        addrs: &[usize],
+        mut visit: impl FnMut(usize, &[u8]),
+    ) -> Result<(), ServerError> {
+        let payload = wire_ok(self.try_call(&Request::ReadBatch { addrs: addrs.to_vec() }));
+        // Hot path: hand out slices borrowed from the one response
+        // buffer. The count check keeps the Storage contract honest (one
+        // visit per requested address, in order) even against a
+        // non-conforming peer — a broken wire must panic, never
+        // fabricate or skip cells.
+        let mut seen = 0usize;
+        if wire_ok(visit_cells(&payload, |i, cell| {
+            assert!(i < addrs.len(), "dps_net wire failure: more cells than requested");
+            seen += 1;
+            visit(i, cell);
+        })) {
+            assert_eq!(
+                seen,
+                addrs.len(),
+                "dps_net wire failure: cell count mismatch (got {seen}, requested {})",
+                addrs.len()
+            );
+            return Ok(());
+        }
+        match wire_ok(Response::decode(&payload)) {
+            Response::Fail(e) => Err(e),
+            other => panic!("dps_net wire failure: {}", unexpected(&other)),
+        }
+    }
+
+    fn write_batch(&mut self, writes: Vec<(usize, Vec<u8>)>) -> Result<(), ServerError> {
+        model(self.expect_ok(&Request::WriteBatch { writes }))
+    }
+
+    fn write_from(&mut self, addr: usize, cell: &[u8]) -> Result<(), ServerError> {
+        model(self.expect_ok(&Request::WriteFrom { addr, cell: cell.to_vec() }))
+    }
+
+    fn write_batch_strided(&mut self, addrs: &[usize], flat: &[u8]) -> Result<(), ServerError> {
+        // Enforce the caller contract locally, like the in-process
+        // servers, so a bug panics at the call site instead of silently
+        // dropping the connection daemon-side.
+        if addrs.is_empty() {
+            assert!(flat.is_empty(), "flat bytes without addresses");
+        } else {
+            assert_eq!(flat.len() % addrs.len(), 0, "flat length not a multiple of cell count");
+        }
+        model(
+            self.expect_ok(&Request::WriteBatchStrided {
+                addrs: addrs.to_vec(),
+                flat: flat.to_vec(),
+            }),
+        )
+    }
+
+    fn access_batch(
+        &mut self,
+        reads: &[usize],
+        writes: Vec<(usize, Vec<u8>)>,
+    ) -> Result<Vec<Vec<u8>>, ServerError> {
+        match model(self.request(&Request::AccessBatch { reads: reads.to_vec(), writes }))? {
+            Response::Cells(cells) => {
+                assert_eq!(
+                    cells.len(),
+                    reads.len(),
+                    "dps_net wire failure: cell count mismatch (got {}, requested {})",
+                    cells.len(),
+                    reads.len()
+                );
+                Ok(cells)
+            }
+            other => panic!("dps_net wire failure: {}", unexpected(&other)),
+        }
+    }
+
+    fn xor_cells_into(&mut self, addrs: &[usize], acc: &mut Vec<u8>) -> Result<(), ServerError> {
+        match model(self.request(&Request::XorCells { addrs: addrs.to_vec() }))? {
+            Response::Bytes(bytes) => {
+                acc.clear();
+                acc.extend_from_slice(&bytes);
+                Ok(())
+            }
+            other => panic!("dps_net wire failure: {}", unexpected(&other)),
+        }
+    }
+}

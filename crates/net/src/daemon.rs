@@ -1,0 +1,360 @@
+//! The threaded TCP storage daemon.
+//!
+//! [`NetDaemon`] owns a [`ShardedServer`] and serves the full
+//! [`Storage`](dps_server::Storage) surface over the wire protocol of
+//! [`crate::wire`]. One accept-loop thread hands each connection to its
+//! own handler thread, so concurrent clients map one-to-one onto the
+//! sharded server's `*_shared` concurrent API — the same determinism
+//! contract the `shard_concurrency` suite pins for in-process clients
+//! applies verbatim: data operations from different connections
+//! interleave at batch granularity under the per-shard locks, and if the
+//! wrapped server was built `.with_pool(WorkerPool::new(t))`, every large
+//! batch additionally fans its data movement across `t` worker threads.
+//!
+//! Control operations (`init`, transcript and stats management) take the
+//! write side of an `RwLock` and so serialize against all data traffic;
+//! data operations share the read side and proceed concurrently.
+//!
+//! # Hostile peers
+//!
+//! Protocol errors (bad magic, oversized length prefix, malformed body)
+//! close the offending connection — there is no way to resynchronize a
+//! corrupt byte stream — but never take the daemon down; other
+//! connections and future connects are unaffected. Model-level failures
+//! ([`dps_server::ServerError`]) are answered in-band with
+//! [`Response::Fail`] and leave the connection open.
+//!
+//! The frame layer caps what one frame can make the daemon read
+//! ([`crate::wire::MAX_FRAME`]); [`DaemonLimits`] caps what a frame can
+//! make it *allocate*. `init_empty` with an astronomical capacity, an
+//! `Init` whose flat-arena footprint (`cells × longest cell`) explodes
+//! past its encoded size, or a write that would re-stride the whole arena
+//! beyond the budget are all rejected by closing the connection before
+//! any allocation happens. Legitimate deployments size
+//! [`DaemonLimits::max_stored_bytes`] to the machine.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::thread::JoinHandle;
+
+use dps_server::{ShardedServer, Storage};
+
+use crate::wire::{read_frame, Request, Response, WireError};
+
+/// Per-cell bookkeeping bytes (length table + init bitmap + slack) used
+/// when projecting an allocation from a cell count.
+const CELL_OVERHEAD: u64 = 16;
+
+/// Resource bounds a daemon enforces against its peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonLimits {
+    /// Upper bound on the storage arena a request may cause the server to
+    /// allocate, in bytes (projected as `capacity × (longest cell +
+    /// per-cell bookkeeping)`). Requests that would exceed it close the
+    /// connection instead of allocating. Default: 4 GiB.
+    pub max_stored_bytes: u64,
+}
+
+impl Default for DaemonLimits {
+    fn default() -> Self {
+        Self { max_stored_bytes: 1 << 32 }
+    }
+}
+
+/// A running TCP storage daemon. Dropping it (or calling
+/// [`NetDaemon::shutdown`]) stops accepting new connections; established
+/// connections are served until their clients hang up.
+#[derive(Debug)]
+pub struct NetDaemon {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetDaemon {
+    /// Serves `server` on an OS-assigned loopback port (the test/bench
+    /// configuration) with default [`DaemonLimits`]. Query the actual
+    /// address with [`NetDaemon::local_addr`].
+    pub fn spawn(server: ShardedServer) -> std::io::Result<Self> {
+        Self::bind("127.0.0.1:0", server)
+    }
+
+    /// Serves `server` on `addr` with default [`DaemonLimits`].
+    pub fn bind(addr: impl ToSocketAddrs, server: ShardedServer) -> std::io::Result<Self> {
+        Self::bind_with(addr, server, DaemonLimits::default())
+    }
+
+    /// Serves `server` on `addr`, enforcing `limits` per request.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        server: ShardedServer,
+        limits: DaemonLimits,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(RwLock::new(server));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(&listener, &state, limits, &stop))
+        };
+        Ok(Self { local_addr, stop, accept: Some(accept) })
+    }
+
+    /// The address the daemon is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in `accept`; poke it awake so it can
+        // see the flag and exit. A wildcard bind address (0.0.0.0/[::])
+        // is not connectable, so aim the wake-up at loopback on the same
+        // port; if even that fails, skip the join rather than hang the
+        // dropping thread on a listener that will never wake.
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let woke = TcpStream::connect_timeout(&wake, std::time::Duration::from_secs(2)).is_ok();
+        if let Some(handle) = self.accept.take() {
+            if woke {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for NetDaemon {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<RwLock<ShardedServer>>,
+    limits: DaemonLimits,
+    stop: &AtomicBool,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(state);
+        std::thread::spawn(move || handle_connection(stream, &state, limits));
+    }
+}
+
+/// Per-connection state: cells accumulated by a chunked init that has
+/// not yet seen its `done` frame.
+#[derive(Default)]
+struct PendingInit {
+    cells: Vec<Vec<u8>>,
+    longest: u64,
+}
+
+impl PendingInit {
+    /// Projected arena footprint if `more` joins the accumulated cells:
+    /// the flat store allocates `capacity × stride`, where the stride is
+    /// the longest cell — so one long cell among many short ones
+    /// multiplies across the whole capacity.
+    fn projected_bytes(&self, more: &[Vec<u8>]) -> u64 {
+        let longest = more.iter().map(|c| c.len() as u64).fold(self.longest, u64::max);
+        let count = (self.cells.len() + more.len()) as u64;
+        count.saturating_mul(longest.saturating_add(CELL_OVERHEAD))
+    }
+
+    fn push(&mut self, mut more: Vec<Vec<u8>>) {
+        self.longest = more.iter().map(|c| c.len() as u64).fold(self.longest, u64::max);
+        self.cells.append(&mut more);
+    }
+}
+
+/// Serves one connection until the client hangs up or breaks protocol.
+fn handle_connection(stream: TcpStream, state: &Arc<RwLock<ShardedServer>>, limits: DaemonLimits) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    let mut pending = PendingInit::default();
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            // Clean disconnect between frames, or an unrecoverable
+            // protocol/socket error: either way this connection is done.
+            Ok(None) | Err(_) => return,
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(_) => return,
+        };
+        let response = match dispatch(state, limits, &mut pending, request) {
+            Ok(response) => response,
+            // A structurally valid frame whose contents violate a caller
+            // contract (e.g. a strided write with a non-multiple flat
+            // length) or would blow the allocation budget. A local caller
+            // would have panicked; over the wire the daemon must stay up,
+            // so the connection is dropped.
+            Err(_) => return,
+        };
+        let Ok(framed) = response.encode_framed() else { return };
+        if write_half.write_all(&framed).is_err() {
+            return;
+        }
+    }
+}
+
+fn lock_read(state: &RwLock<ShardedServer>) -> std::sync::RwLockReadGuard<'_, ShardedServer> {
+    state.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_write(state: &RwLock<ShardedServer>) -> std::sync::RwLockWriteGuard<'_, ShardedServer> {
+    state.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Rejects a request whose projected allocation exceeds the budget.
+fn within_budget(limits: DaemonLimits, projected: u64) -> Result<(), WireError> {
+    if projected > limits.max_stored_bytes {
+        return Err(WireError::BadPayload("allocation exceeds daemon budget"));
+    }
+    Ok(())
+}
+
+/// Guard for the write paths: a cell longer than the current stride
+/// re-strides the *whole* arena to the new length, so the budget check
+/// must project `capacity × longest incoming cell`, not just the write's
+/// own bytes. Takes the already-held read guard's server so check and
+/// write happen under one lock acquisition — a concurrent `Init` (write
+/// lock) cannot slip between them and invalidate the projection.
+fn check_write_budget(
+    server: &ShardedServer,
+    limits: DaemonLimits,
+    longest_cell: usize,
+) -> Result<(), WireError> {
+    if longest_cell > server.cell_stride() {
+        let projected =
+            (server.capacity() as u64).saturating_mul(longest_cell as u64 + CELL_OVERHEAD);
+        within_budget(limits, projected)?;
+    }
+    Ok(())
+}
+
+/// Executes one request against the shared server. `Err` means the
+/// request violated a caller contract the in-process API enforces by
+/// panicking (or the daemon's allocation budget); the handler closes the
+/// connection in response.
+fn dispatch(
+    state: &RwLock<ShardedServer>,
+    limits: DaemonLimits,
+    pending: &mut PendingInit,
+    request: Request,
+) -> Result<Response, WireError> {
+    Ok(match request {
+        Request::Ping => Response::Pong,
+        Request::Init { cells } => {
+            within_budget(limits, PendingInit::default().projected_bytes(&cells))?;
+            *pending = PendingInit::default(); // a whole-DB init supersedes stale chunks
+            lock_write(state).init(cells);
+            Response::Ok
+        }
+        Request::InitChunk { done, cells } => {
+            within_budget(limits, pending.projected_bytes(&cells))?;
+            pending.push(cells);
+            if done {
+                let assembled = std::mem::take(pending);
+                lock_write(state).init(assembled.cells);
+            }
+            Response::Ok
+        }
+        Request::InitEmpty { capacity } => {
+            within_budget(limits, (capacity as u64).saturating_mul(CELL_OVERHEAD))?;
+            *pending = PendingInit::default();
+            lock_write(state).init_empty(capacity);
+            Response::Ok
+        }
+        Request::Capacity => Response::Number(lock_read(state).capacity() as u64),
+        Request::StoredBytes => Response::Number(lock_read(state).stored_bytes()),
+        Request::CellStride => Response::Number(lock_read(state).cell_stride() as u64),
+        Request::StartRecording => {
+            lock_write(state).start_recording();
+            Response::Ok
+        }
+        Request::TakeTranscript => Response::TranscriptData(lock_write(state).take_transcript()),
+        Request::IsRecording => Response::Flag(lock_read(state).is_recording()),
+        Request::Stats => Response::Stats(lock_read(state).stats()),
+        Request::ResetStats => {
+            lock_write(state).reset_stats();
+            Response::Ok
+        }
+        Request::ReadBatch { addrs } => match lock_read(state).read_batch_shared(&addrs) {
+            Ok(cells) => Response::Cells(cells),
+            Err(e) => Response::Fail(e),
+        },
+        Request::WriteBatch { writes } => {
+            let longest = writes.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+            let server = lock_read(state);
+            check_write_budget(&server, limits, longest)?;
+            match server.write_batch_shared(writes) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Fail(e),
+            }
+        }
+        Request::WriteFrom { addr, cell } => {
+            let server = lock_read(state);
+            check_write_budget(&server, limits, cell.len())?;
+            match server.write_from_shared(addr, &cell) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Fail(e),
+            }
+        }
+        Request::WriteBatchStrided { addrs, flat } => {
+            // The in-process API asserts these; a remote peer must not be
+            // able to panic a handler thread.
+            if addrs.is_empty() {
+                if !flat.is_empty() {
+                    return Err(WireError::BadPayload("flat bytes without addresses"));
+                }
+            } else if flat.len() % addrs.len() != 0 {
+                return Err(WireError::BadPayload("flat length not a multiple of cell count"));
+            }
+            let stride = if addrs.is_empty() { 0 } else { flat.len() / addrs.len() };
+            let server = lock_read(state);
+            check_write_budget(&server, limits, stride)?;
+            match server.write_batch_strided_shared(&addrs, &flat) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Fail(e),
+            }
+        }
+        Request::AccessBatch { reads, writes } => {
+            let longest = writes.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
+            let server = lock_read(state);
+            check_write_budget(&server, limits, longest)?;
+            match server.access_batch_shared(&reads, writes) {
+                Ok(cells) => Response::Cells(cells),
+                Err(e) => Response::Fail(e),
+            }
+        }
+        Request::XorCells { addrs } => {
+            let mut acc = Vec::new();
+            match lock_read(state).xor_cells_into_shared(&addrs, &mut acc) {
+                Ok(()) => Response::Bytes(acc),
+                Err(e) => Response::Fail(e),
+            }
+        }
+    })
+}

@@ -1,0 +1,61 @@
+//! Network-backed storage: the paper's server model on a real wire.
+//!
+//! The paper's schemes assume an *untrusted storage server reached over a
+//! network*; everything else in this workspace simulates that server
+//! in-process. This crate closes the gap with three pieces:
+//!
+//! * [`wire`] — a length-prefixed binary protocol carrying the full
+//!   [`Storage`](dps_server::Storage) surface: batched reads, strided
+//!   batch writes, XOR partials, stats/transcript queries. One frame per
+//!   request, one per response; batch operations are single round trips
+//!   by construction.
+//! * [`daemon::NetDaemon`] — a threaded `std::net` TCP daemon wrapping a
+//!   [`ShardedServer`](dps_server::ShardedServer): one handler thread per
+//!   connection mapped onto the shard layer's `*_shared` concurrent API,
+//!   with optional intra-batch `WorkerPool` fan-out inherited from the
+//!   wrapped server.
+//! * [`client::RemoteServer`] — a client implementing `Storage`, so every
+//!   scheme in `dps_core`/`dps_oram`/`dps_pir` runs against the daemon
+//!   with zero call-site changes.
+//!
+//! The loopback equivalence suite (`tests/loopback_equivalence.rs`) pins
+//! the whole stack observationally equivalent to a local
+//! [`ShardedServer`](dps_server::ShardedServer): identical cells,
+//! identical [`CostStats`](dps_server::CostStats) modulo the new `wire_*`
+//! counters, identical transcripts — and exactly one wire round trip per
+//! batch operation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod wire;
+
+pub use client::{RemoteError, RemoteServer};
+pub use daemon::{DaemonLimits, NetDaemon};
+pub use wire::{Request, Response, WireError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_server::{ShardedServer, Storage};
+
+    #[test]
+    fn loopback_smoke() {
+        let daemon = NetDaemon::spawn(ShardedServer::new(2)).unwrap();
+        let mut remote = RemoteServer::connect(daemon.local_addr()).unwrap();
+        remote.ping().unwrap();
+        remote.init((0..8).map(|i| vec![i as u8; 4]).collect());
+        assert_eq!(remote.capacity(), 8);
+        assert_eq!(remote.read(3).unwrap(), vec![3u8; 4]);
+        remote.write(5, vec![9u8; 4]).unwrap();
+        assert_eq!(remote.read(5).unwrap(), vec![9u8; 4]);
+        let stats = remote.stats();
+        assert_eq!(stats.downloads, 2);
+        assert_eq!(stats.uploads, 1);
+        assert!(stats.wire_round_trips > 0);
+        drop(remote);
+        daemon.shutdown();
+    }
+}

@@ -1,0 +1,405 @@
+//! Observational equivalence of [`RemoteServer`] against a local
+//! [`ShardedServer`] over loopback TCP.
+//!
+//! The wire must be invisible: for any program of batched reads, writes,
+//! XOR folds and combined accesses — including failing operations — a
+//! `RemoteServer` talking to a [`NetDaemon`] must return identical cells
+//! and errors, charge identical model-level [`CostStats`] (the new
+//! `wire_*` counters are the only permitted difference, checked via
+//! [`CostStats::sans_wire`]), and record an identical transcript to the
+//! in-process server the daemon wraps. On top, every batch operation must
+//! cost exactly **one** wire round trip regardless of batch size — the
+//! property that makes the paper's round-trip accounting meaningful on a
+//! real network.
+//!
+//! The second half runs every scheme family (DP-RAM, DP-KVS, DP-IR,
+//! linear/path ORAM, full-scan and 2-server XOR PIR) twice from identical
+//! seeds — once on an in-process server, once through the wire — and
+//! requires bit-identical answers and model stats, with zero call-site
+//! changes beyond the server argument.
+
+use dps_core::dp_ir::{DpIr, DpIrConfig};
+use dps_core::dp_kvs::{DpKvs, DpKvsConfig};
+use dps_core::dp_ram::{DpRam, DpRamConfig};
+use dps_crypto::ChaChaRng;
+use dps_net::{NetDaemon, RemoteServer};
+use dps_oram::{LinearOram, PathOram, PathOramConfig};
+use dps_pir::{FullScanPir, XorPir};
+use dps_server::{ServerError, ShardedServer, SimServer, Storage, WorkerPool};
+use dps_workloads::generators::database;
+
+/// Builds a daemon-backed remote and an identically configured local
+/// twin, runs `f` on both, and shuts the daemon down.
+fn with_pair<R>(
+    shards: usize,
+    threads: usize,
+    f: impl FnOnce(ShardedServer, RemoteServer) -> R,
+) -> R {
+    let local = ShardedServer::new(shards).with_pool(WorkerPool::new(threads));
+    let served = ShardedServer::new(shards).with_pool(WorkerPool::new(threads));
+    let daemon = NetDaemon::spawn(served).expect("spawn daemon");
+    let remote = RemoteServer::connect(daemon.local_addr()).expect("connect");
+    let out = f(local, remote);
+    daemon.shutdown();
+    out
+}
+
+fn cell(byte: u8, len: usize) -> Vec<u8> {
+    (0..len).map(|i| byte.wrapping_add(i as u8)).collect()
+}
+
+/// A fixed single-client program touching every `Storage` entry point,
+/// error paths included, applied step-by-step to both servers with the
+/// results compared after each step.
+fn run_program(local: &mut ShardedServer, remote: &mut RemoteServer) {
+    const N: usize = 12;
+    const LEN: usize = 8;
+
+    // Uninitialized phase: errors must match.
+    local.init_empty(N);
+    remote.init_empty(N);
+    assert_eq!(remote.capacity(), local.capacity());
+    assert_eq!(Storage::read(remote, 2), Storage::read(local, 2));
+    assert_eq!(
+        Storage::read(remote, N + 3),
+        Err(ServerError::OutOfBounds { addr: N + 3, capacity: N })
+    );
+    assert_eq!(Storage::write(remote, 0, cell(1, LEN)), Storage::write(local, 0, cell(1, LEN)));
+    assert_eq!(Storage::read(remote, 0), Storage::read(local, 0));
+    // Partial failure: addresses 1..4 handed out, then out-of-bounds.
+    let bad = vec![1, 0, 99];
+    assert_eq!(Storage::read_batch(remote, &bad), Storage::read_batch(local, &bad));
+
+    // Initialized phase, transcripts recording.
+    let cells: Vec<Vec<u8>> = (0..N as u8).map(|i| cell(i, LEN)).collect();
+    local.init(cells.clone());
+    remote.init(cells);
+    local.start_recording();
+    remote.start_recording();
+    assert!(remote.is_recording());
+
+    let addrs = vec![0, 5, 11, 5];
+    assert_eq!(Storage::read_batch(remote, &addrs), Storage::read_batch(local, &addrs));
+
+    let mut flat_local = vec![0u8; 3 * LEN];
+    let mut flat_remote = vec![0u8; 3 * LEN];
+    Storage::read_batch_strided(local, &[2, 7, 9], &mut flat_local).unwrap();
+    Storage::read_batch_strided(remote, &[2, 7, 9], &mut flat_remote).unwrap();
+    assert_eq!(flat_remote, flat_local);
+
+    let writes = vec![(3, cell(0xA0, LEN)), (8, cell(0xB0, LEN))];
+    assert_eq!(remote.write_batch(writes.clone()), local.write_batch(writes));
+
+    let strided_addrs = vec![1, 6, 10];
+    let strided_flat: Vec<u8> = (0..3).flat_map(|i| cell(0xC0 + i, LEN)).collect();
+    assert_eq!(
+        remote.write_batch_strided(&strided_addrs, &strided_flat),
+        local.write_batch_strided(&strided_addrs, &strided_flat)
+    );
+    // Empty strided batch still costs (and records) a round trip.
+    assert_eq!(remote.write_batch_strided(&[], &[]), local.write_batch_strided(&[], &[]));
+
+    assert_eq!(remote.write_from(4, &cell(0xD0, LEN)), local.write_from(4, &cell(0xD0, LEN)));
+
+    let ab = (vec![0usize, 4], vec![(2usize, cell(0xE0, LEN))]);
+    assert_eq!(remote.access_batch(&ab.0, ab.1.clone()), local.access_batch(&ab.0, ab.1));
+
+    assert_eq!(remote.xor_cells(&[0, 1, 2, 3]), local.xor_cells(&[0, 1, 2, 3]));
+    assert_eq!(remote.xor_cells(&[]), local.xor_cells(&[]));
+
+    // Failing writes charge identical partial stats and mutate nothing.
+    let failing = vec![(0usize, cell(9, LEN)), (N + 1, cell(9, LEN))];
+    assert_eq!(remote.write_batch(failing.clone()), local.write_batch(failing));
+    assert_eq!(remote.xor_cells(&[1, N + 5]), local.xor_cells(&[1, N + 5]));
+
+    // Full final state: cells, geometry, model stats, transcript.
+    let every: Vec<usize> = (0..N).collect();
+    assert_eq!(Storage::read_batch(remote, &every), Storage::read_batch(local, &every));
+    assert_eq!(remote.stored_bytes(), local.stored_bytes());
+    assert_eq!(remote.cell_stride(), local.cell_stride());
+    assert_eq!(Storage::stats(remote).sans_wire(), Storage::stats(local));
+    assert_eq!(
+        remote.take_transcript().canonical_encoding(),
+        local.take_transcript().canonical_encoding()
+    );
+    assert!(!remote.is_recording());
+}
+
+#[test]
+fn raw_storage_programs_match_for_every_config() {
+    for shards in [1usize, 3] {
+        for threads in [1usize, 4] {
+            with_pair(shards, threads, |mut local, mut remote| {
+                run_program(&mut local, &mut remote);
+            });
+        }
+    }
+}
+
+/// Every batch operation is exactly one framed exchange, no matter the
+/// batch size — including batches large enough to cross the daemon-side
+/// worker-pool fan-out threshold.
+#[test]
+fn batch_operations_are_single_wire_round_trips() {
+    const N: usize = 300; // > PAR_MIN_CELLS, crosses shard boundaries
+    const LEN: usize = 16;
+    with_pair(4, 4, |_, mut remote| {
+        remote.init((0..N).map(|i| cell(i as u8, LEN)).collect());
+        let addrs: Vec<usize> = (0..N).collect();
+        let flat: Vec<u8> = addrs.iter().flat_map(|&a| cell(a as u8 ^ 0x77, LEN)).collect();
+
+        let mut trips = remote.wire_stats().wire_round_trips;
+        let mut one_trip = |remote: &mut RemoteServer, what: &str| {
+            let now = remote.wire_stats().wire_round_trips;
+            assert_eq!(now - trips, 1, "{what} must be exactly one wire round trip");
+            trips = now;
+        };
+
+        Storage::read_batch(&mut remote, &addrs).unwrap();
+        one_trip(&mut remote, "read_batch");
+        let mut sink = vec![0u8; N * LEN];
+        Storage::read_batch_strided(&mut remote, &addrs, &mut sink).unwrap();
+        one_trip(&mut remote, "read_batch_strided");
+        remote.write_batch_strided(&addrs, &flat).unwrap();
+        one_trip(&mut remote, "write_batch_strided");
+        remote
+            .write_batch(vec![(0, cell(1, LEN)), (N - 1, cell(2, LEN))])
+            .unwrap();
+        one_trip(&mut remote, "write_batch");
+        remote
+            .access_batch(&addrs[..10], vec![(5, cell(3, LEN))])
+            .unwrap();
+        one_trip(&mut remote, "access_batch");
+        remote.xor_cells(&addrs).unwrap();
+        one_trip(&mut remote, "xor_cells");
+
+        // The wire moved real bytes both ways, and the model round-trip
+        // counter agrees with the wire counter for pure data traffic.
+        let stats = Storage::stats(&remote);
+        assert!(stats.wire_bytes_up > (N * LEN) as u64);
+        assert!(stats.wire_bytes_down > (N * LEN) as u64);
+    });
+}
+
+/// A database too big for one `Init` frame streams as `InitChunk`
+/// frames; the outcome must be indistinguishable from a single-frame
+/// init — same cells, same geometry, untouched model stats — with a
+/// tiny threshold forcing one cell per chunk to exercise the seams.
+#[test]
+fn chunked_init_is_equivalent_to_single_frame_init() {
+    const N: usize = 40;
+    const LEN: usize = 24;
+    let cells: Vec<Vec<u8>> = (0..N as u8).map(|i| cell(i, LEN)).collect();
+    with_pair(3, 1, |mut local, remote| {
+        let mut remote = remote.with_init_chunk_bytes(1); // 1 cell per frame
+        local.init(cells.clone());
+        remote.init(cells.clone());
+        assert!(remote.wire_stats().wire_round_trips >= N as u64, "must have chunked");
+        assert_eq!(remote.capacity(), local.capacity());
+        assert_eq!(remote.cell_stride(), local.cell_stride());
+        assert_eq!(remote.stored_bytes(), local.stored_bytes());
+        let every: Vec<usize> = (0..N).collect();
+        assert_eq!(
+            Storage::read_batch(&mut remote, &every),
+            Storage::read_batch(&mut local, &every)
+        );
+        // Init is uncharged setup whatever the framing.
+        assert_eq!(Storage::stats(&remote).sans_wire(), Storage::stats(&local));
+
+        // Re-init over the wire replaces the contents like a local
+        // re-init would, chunked or not.
+        let smaller: Vec<Vec<u8>> = (0..8u8).map(|i| cell(i ^ 0xF0, LEN)).collect();
+        local.init(smaller.clone());
+        remote.init(smaller);
+        assert_eq!(remote.capacity(), 8);
+        assert_eq!(Storage::read(&mut remote, 3), Storage::read(&mut local, 3));
+    });
+}
+
+// ---- Scheme-level equivalence: zero call-site changes. -----------------
+
+/// Runs `scheme` once against an in-process `SimServer` and once against
+/// a remote daemon, comparing whatever the closure returns.
+fn scheme_matches<R: PartialEq + std::fmt::Debug>(
+    scheme: impl Fn(&'static str) -> R + Copy,
+) -> (R, R) {
+    let local = scheme("local");
+    let remote = scheme("remote");
+    assert_eq!(remote, local);
+    (local, remote)
+}
+
+/// The two backends behind one generic entry point: schemes only see
+/// `impl Storage`.
+enum Backend {
+    Local(SimServer),
+    Remote(RemoteServer, NetDaemon),
+}
+
+fn backend(kind: &str) -> Backend {
+    match kind {
+        "local" => Backend::Local(SimServer::new()),
+        _ => {
+            let daemon = NetDaemon::spawn(ShardedServer::new(2)).expect("spawn daemon");
+            let remote = RemoteServer::connect(daemon.local_addr()).expect("connect");
+            Backend::Remote(remote, daemon)
+        }
+    }
+}
+
+macro_rules! run_scheme {
+    ($kind:expr, |$server:ident| $body:expr) => {
+        match backend($kind) {
+            Backend::Local($server) => $body,
+            Backend::Remote($server, _daemon) => $body,
+        }
+    };
+}
+
+#[test]
+fn dp_ram_is_bit_identical_over_the_wire() {
+    let n = 64;
+    let db = database(n, 32);
+    let run = |kind: &'static str| {
+        run_scheme!(kind, |server| {
+            let mut rng = ChaChaRng::seed_from_u64(11);
+            let mut ram = DpRam::setup(DpRamConfig::recommended(n), &db, server, &mut rng).unwrap();
+            ram.server_mut().start_recording();
+            let mut out = Vec::new();
+            for i in 0..n {
+                out.push(ram.read(i % n, &mut rng).unwrap());
+                if i % 3 == 0 {
+                    ram.write(i, vec![i as u8; 32], &mut rng).unwrap();
+                }
+            }
+            (
+                out,
+                ram.server_stats().sans_wire(),
+                ram.server_mut().take_transcript().canonical_encoding(),
+            )
+        })
+    };
+    scheme_matches(run);
+}
+
+#[test]
+fn dp_kvs_is_bit_identical_over_the_wire() {
+    let n = 64;
+    let run = |kind: &'static str| {
+        run_scheme!(kind, |server| {
+            let mut rng = ChaChaRng::seed_from_u64(22);
+            let mut kvs = DpKvs::setup(DpKvsConfig::recommended(n, 16), server, &mut rng).unwrap();
+            let keys: Vec<u64> = (0..12u64).map(|k| k * 0x9e37_79b9 + 1).collect();
+            for &k in &keys {
+                kvs.put(k, vec![(k % 251) as u8; 16], &mut rng).unwrap();
+            }
+            let mut out = Vec::new();
+            for &k in &keys {
+                out.push(kvs.get(k, &mut rng).unwrap());
+            }
+            out.push(kvs.get(0xDEAD_BEEF, &mut rng).unwrap()); // miss
+            (out, kvs.server_stats().sans_wire())
+        })
+    };
+    scheme_matches(run);
+}
+
+#[test]
+fn dp_ir_is_bit_identical_over_the_wire() {
+    let n = 128;
+    let db = database(n, 24);
+    let config = DpIrConfig::with_epsilon(n, (n as f64).ln(), 0.1).unwrap();
+    let run = |kind: &'static str| {
+        run_scheme!(kind, |server| {
+            let mut rng = ChaChaRng::seed_from_u64(33);
+            let mut ir = DpIr::setup(config, &db, server).unwrap();
+            let out: Vec<_> = (0..n).map(|i| ir.query(i, &mut rng).unwrap()).collect();
+            (out, ir.server_stats().sans_wire())
+        })
+    };
+    scheme_matches(run);
+}
+
+#[test]
+fn linear_oram_is_bit_identical_over_the_wire() {
+    let n = 32;
+    let db = database(n, 16);
+    let run = |kind: &'static str| {
+        run_scheme!(kind, |server| {
+            let mut rng = ChaChaRng::seed_from_u64(44);
+            let mut oram = LinearOram::setup(&db, server, &mut rng);
+            let mut out = Vec::new();
+            for i in 0..n {
+                out.push(oram.read(i, &mut rng).unwrap());
+                oram.write(i, vec![i as u8 ^ 0x3C; 16], &mut rng).unwrap();
+            }
+            for i in 0..n {
+                out.push(oram.read(i, &mut rng).unwrap());
+            }
+            (out, oram.server_stats().sans_wire())
+        })
+    };
+    scheme_matches(run);
+}
+
+#[test]
+fn path_oram_is_bit_identical_over_the_wire() {
+    let n = 64;
+    let db = database(n, 16);
+    let run = |kind: &'static str| {
+        run_scheme!(kind, |server| {
+            let mut rng = ChaChaRng::seed_from_u64(55);
+            let mut oram =
+                PathOram::setup(PathOramConfig::recommended(n, 16), &db, server, &mut rng);
+            let mut out = Vec::new();
+            for i in 0..n {
+                out.push(oram.read(i, &mut rng).unwrap());
+                if i % 2 == 0 {
+                    oram.write(i, vec![i as u8; 16], &mut rng).unwrap();
+                }
+            }
+            (out, oram.server_stats().sans_wire())
+        })
+    };
+    scheme_matches(run);
+}
+
+#[test]
+fn full_scan_pir_is_bit_identical_over_the_wire() {
+    let n = 64;
+    let db = database(n, 32);
+    let run = |kind: &'static str| {
+        run_scheme!(kind, |server| {
+            let mut pir = FullScanPir::setup(&db, server);
+            let out: Vec<_> = (0..n).map(|i| pir.query(i).unwrap()).collect();
+            (out, pir.server_stats().sans_wire())
+        })
+    };
+    scheme_matches(run);
+}
+
+#[test]
+fn xor_pir_is_bit_identical_over_the_wire() {
+    let n = 64;
+    let db = database(n, 32);
+    let local = {
+        let mut pir: XorPir<SimServer> = XorPir::setup_with(&db, |_| SimServer::new());
+        let mut rng = ChaChaRng::seed_from_u64(66);
+        let out: Vec<_> = (0..n).map(|i| pir.query(i, &mut rng).unwrap()).collect();
+        (out, pir.total_stats().sans_wire())
+    };
+    let remote = {
+        // Two replicas on two independent daemons, like a real 2-server
+        // deployment; the factory hands XorPir one connection per replica.
+        let daemons: Vec<NetDaemon> = (0..2)
+            .map(|_| NetDaemon::spawn(ShardedServer::new(2)).expect("spawn daemon"))
+            .collect();
+        let mut pir: XorPir<RemoteServer> = XorPir::setup_with(&db, |i| {
+            RemoteServer::connect(daemons[i].local_addr()).expect("connect")
+        });
+        let mut rng = ChaChaRng::seed_from_u64(66);
+        let out: Vec<_> = (0..n).map(|i| pir.query(i, &mut rng).unwrap()).collect();
+        (out, pir.total_stats().sans_wire())
+    };
+    assert_eq!(remote, local);
+}

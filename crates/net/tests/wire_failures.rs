@@ -1,0 +1,440 @@
+//! Wire-protocol failure modes: what happens when the bytes are wrong.
+//!
+//! Three layers of defense are pinned here:
+//!
+//! * **Codec totality** — `decode(encode(x)) == x` for arbitrary requests
+//!   and responses (proptest), and the decoders never panic or allocate
+//!   unboundedly on arbitrary byte soup, corrupt headers, truncated
+//!   frames or oversized length prefixes.
+//! * **Daemon resilience** — a connection sending garbage, a truncated
+//!   frame, or a hostile length prefix is dropped, while the daemon keeps
+//!   serving other connections.
+//! * **Client failure surfacing** — a peer that vanishes mid-batch
+//!   produces a typed [`WireError`] through the fallible
+//!   [`RemoteServer::try_call`] API, and a panic (never a wrong answer)
+//!   through the infallible [`Storage`] surface.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use dps_net::wire::{deframe, frame, visit_cells, HEADER_LEN, MAGIC, MAX_FRAME};
+use dps_net::{DaemonLimits, NetDaemon, RemoteServer, Request, Response, WireError};
+use dps_server::{ServerError, ShardedServer, Storage};
+use proptest::prelude::*;
+
+// ---- Codec proptests ---------------------------------------------------
+
+/// Ingredient-tuple strategy (the vendored proptest has no `prop_oneof!`):
+/// a selector byte picks the request variant.
+fn arb_request() -> impl Strategy<Value = Request> {
+    let addrs = proptest::collection::vec(0usize..10_000, 0..8);
+    let cells = proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 0..6);
+    let writes = proptest::collection::vec(
+        (0usize..10_000, proptest::collection::vec(any::<u8>(), 0..24)),
+        0..6,
+    );
+    (0u8..18, addrs, cells, writes, 0usize..10_000, proptest::collection::vec(any::<u8>(), 0..48))
+        .prop_map(|(variant, addrs, cells, writes, n, flat)| match variant {
+            0 => Request::Ping,
+            1 => Request::Init { cells },
+            17 => Request::InitChunk { done: n % 2 == 0, cells },
+            2 => Request::InitEmpty { capacity: n },
+            3 => Request::Capacity,
+            4 => Request::StoredBytes,
+            5 => Request::CellStride,
+            6 => Request::StartRecording,
+            7 => Request::TakeTranscript,
+            8 => Request::IsRecording,
+            9 => Request::Stats,
+            10 => Request::ResetStats,
+            11 => Request::ReadBatch { addrs },
+            12 => Request::WriteBatch { writes },
+            13 => Request::WriteFrom { addr: n, cell: flat },
+            14 => Request::WriteBatchStrided { addrs, flat },
+            15 => Request::AccessBatch { reads: addrs, writes },
+            _ => Request::XorCells { addrs },
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    let cells = proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 0..6);
+    let events = proptest::collection::vec((0u8..3, 0usize..10_000), 0..10);
+    (0u8..9, cells, events, any::<u64>(), 0usize..10_000).prop_map(
+        |(variant, cells, events, v, n)| match variant {
+            0 => Response::Ok,
+            1 => Response::Pong,
+            2 => Response::Number(v),
+            3 => Response::Flag(v % 2 == 0),
+            4 => Response::Stats(dps_server::CostStats {
+                downloads: v,
+                uploads: v ^ 0xFF,
+                bytes_down: v >> 3,
+                round_trips: v % 997,
+                wire_round_trips: v % 31,
+                wire_bytes_up: v % 7919,
+                ..Default::default()
+            }),
+            5 => {
+                let mut t = dps_server::Transcript::new();
+                // Split the events into two batches to exercise batch
+                // framing, not just flat event lists.
+                let half = events.len() / 2;
+                for chunk in [&events[..half], &events[half..]] {
+                    t.push_batch(
+                        chunk
+                            .iter()
+                            .map(|&(tag, addr)| match tag {
+                                0 => dps_server::AccessEvent::Download(addr),
+                                1 => dps_server::AccessEvent::Upload(addr),
+                                _ => dps_server::AccessEvent::Compute(addr),
+                            })
+                            .collect(),
+                    );
+                }
+                Response::TranscriptData(t)
+            }
+            6 => Response::Cells(cells),
+            7 => Response::Bytes(cells.into_iter().flatten().collect()),
+            _ => Response::Fail(if v % 2 == 0 {
+                ServerError::OutOfBounds { addr: n, capacity: n / 2 }
+            } else {
+                ServerError::Uninitialized { addr: n }
+            }),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode ∘ encode = id, through the frame layer too.
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        let framed = frame(&req.encode()).unwrap();
+        let (payload, rest) = deframe(&framed).unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(Request::decode(payload).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip(resp in arb_response()) {
+        let framed = frame(&resp.encode()).unwrap();
+        let (payload, _) = deframe(&framed).unwrap();
+        assert_eq!(Response::decode(payload).unwrap(), resp);
+        // The zero-copy cells walk agrees with the owning decoder.
+        let mut walked = Vec::new();
+        let was_cells = visit_cells(payload, |i, c| walked.push((i, c.to_vec()))).unwrap();
+        if let Response::Cells(cells) = &resp {
+            assert!(was_cells);
+            let expect: Vec<_> = cells.iter().cloned().enumerate().collect();
+            assert_eq!(walked, expect);
+        } else {
+            assert!(!was_cells);
+        }
+    }
+
+    /// Arbitrary byte soup must produce a typed error or a value — never
+    /// a panic, never an unbounded allocation (the `count` guard).
+    #[test]
+    fn decoders_are_total_on_garbage(blob in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Request::decode(&blob);
+        let _ = Response::decode(&blob);
+        let _ = deframe(&blob);
+        let _ = visit_cells(&blob, |_, _| {});
+    }
+
+    /// Any single-bit corruption of the 4 magic bytes is caught at the
+    /// header, before the payload is even looked at.
+    #[test]
+    fn corrupt_magic_never_passes(bit in 0u32..32) {
+        let mut framed = frame(&Request::Ping.encode()).unwrap();
+        framed[(bit / 8) as usize] ^= 1 << (bit % 8);
+        assert!(matches!(deframe(&framed), Err(WireError::BadMagic { .. })));
+    }
+
+    /// Any truncation of a frame is `Truncated`, at every cut point.
+    #[test]
+    fn truncation_is_always_detected(cut in 0usize..20) {
+        let framed = frame(&Request::ReadBatch { addrs: vec![1, 2, 3] }.encode()).unwrap();
+        let cut = cut.min(framed.len() - 1);
+        assert!(matches!(deframe(&framed[..cut]), Err(WireError::Truncated { .. })));
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let mut framed = frame(&Request::Ping.encode()).unwrap();
+    for huge in [MAX_FRAME as u32 + 1, u32::MAX] {
+        framed[4..8].copy_from_slice(&huge.to_le_bytes());
+        assert_eq!(deframe(&framed), Err(WireError::BadLength { len: u64::from(huge) }));
+    }
+}
+
+// ---- Daemon resilience -------------------------------------------------
+
+fn daemon_with_cells(n: usize) -> NetDaemon {
+    let mut server = ShardedServer::new(2);
+    server.init((0..n).map(|i| vec![i as u8; 8]).collect());
+    NetDaemon::spawn(server).expect("spawn daemon")
+}
+
+/// Reads until EOF; returns how many bytes the peer sent before closing.
+fn drain(stream: &mut TcpStream) -> usize {
+    let mut total = 0;
+    let mut buf = [0u8; 256];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return total,
+            Ok(n) => total += n,
+            Err(_) => return total,
+        }
+    }
+}
+
+fn assert_still_serving(addr: SocketAddr) {
+    let mut ok = RemoteServer::connect(addr).expect("connect");
+    ok.ping().expect("daemon must still answer");
+    assert_eq!(Storage::read(&mut ok, 1).unwrap(), vec![1u8; 8]);
+}
+
+#[test]
+fn daemon_drops_garbage_connections_and_keeps_serving() {
+    let daemon = daemon_with_cells(4);
+    let mut bad = TcpStream::connect(daemon.local_addr()).unwrap();
+    bad.write_all(b"GET / HTTP/1.1\r\n\r\n this is not the protocol")
+        .unwrap();
+    assert_eq!(drain(&mut bad), 0, "garbage must be answered with a close, not bytes");
+    assert_still_serving(daemon.local_addr());
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_rejects_oversized_length_prefix() {
+    let daemon = daemon_with_cells(4);
+    let mut bad = TcpStream::connect(daemon.local_addr()).unwrap();
+    let mut header = Vec::new();
+    header.extend_from_slice(&MAGIC.to_le_bytes());
+    header.extend_from_slice(&u32::MAX.to_le_bytes()); // 4 GiB claim
+    bad.write_all(&header).unwrap();
+    assert_eq!(drain(&mut bad), 0, "hostile length prefix must close the connection");
+    assert_still_serving(daemon.local_addr());
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_survives_truncated_frame_then_disconnect() {
+    let daemon = daemon_with_cells(4);
+    {
+        let mut bad = TcpStream::connect(daemon.local_addr()).unwrap();
+        let framed = frame(&Request::ReadBatch { addrs: vec![0, 1, 2] }.encode()).unwrap();
+        bad.write_all(&framed[..framed.len() / 2]).unwrap();
+        // Drop mid-frame: the handler sees Truncated and closes quietly.
+    }
+    assert_still_serving(daemon.local_addr());
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_refuses_contract_violating_strided_writes() {
+    // flat length not a multiple of the address count would panic an
+    // in-process caller; over the wire it must only cost the offender its
+    // connection.
+    let daemon = daemon_with_cells(4);
+    let mut bad = TcpStream::connect(daemon.local_addr()).unwrap();
+    let evil = Request::WriteBatchStrided { addrs: vec![0, 1], flat: vec![9u8; 7] };
+    bad.write_all(&frame(&evil.encode()).unwrap()).unwrap();
+    assert_eq!(drain(&mut bad), 0, "contract violation must close, not crash");
+    assert_still_serving(daemon.local_addr());
+    daemon.shutdown();
+}
+
+/// Allocation amplification attacks are stopped by [`DaemonLimits`]: a
+/// tiny frame must not be able to make the daemon allocate far beyond
+/// its budget, whether via `init_empty` capacity, init stride
+/// amplification, or a write that re-strides the whole arena.
+#[test]
+fn daemon_budget_stops_allocation_amplification() {
+    let mut server = ShardedServer::new(2);
+    server.init((0..64).map(|i| vec![i as u8; 8]).collect());
+    let limits = DaemonLimits { max_stored_bytes: 1 << 20 }; // 1 MiB budget
+    let daemon = NetDaemon::bind_with("127.0.0.1:0", server, limits).expect("bind");
+
+    // A 17-byte frame claiming 2^40 empty cells.
+    let mut bad = TcpStream::connect(daemon.local_addr()).unwrap();
+    let evil = Request::InitEmpty { capacity: 1 << 40 };
+    bad.write_all(&frame(&evil.encode()).unwrap()).unwrap();
+    assert_eq!(drain(&mut bad), 0, "huge init_empty must close, not allocate");
+
+    // Stride amplification: 64 Ki one-byte cells plus a single 4 KiB
+    // cell encode to ~580 KiB but would allocate 64 Ki × 4 KiB = 256 MiB.
+    let mut bad = TcpStream::connect(daemon.local_addr()).unwrap();
+    let mut cells = vec![vec![0u8; 1]; 1 << 16];
+    cells.push(vec![0u8; 4096]);
+    bad.write_all(&frame(&Request::Init { cells }.encode()).unwrap())
+        .unwrap();
+    assert_eq!(drain(&mut bad), 0, "stride amplification must close, not allocate");
+
+    // Re-stride amplification: against the 64-cell live server a write
+    // longer than the stride re-strides every cell; a budget-busting
+    // cell length must be rejected even though the write itself is small.
+    let mut bad = TcpStream::connect(daemon.local_addr()).unwrap();
+    let evil = Request::WriteFrom { addr: 0, cell: vec![0u8; 1 << 19] };
+    // 64 cells × 512 KiB projected = 32 MiB > 1 MiB budget.
+    bad.write_all(&frame(&evil.encode()).unwrap()).unwrap();
+    assert_eq!(drain(&mut bad), 0, "re-stride amplification must close");
+
+    // In-budget traffic still works, and the daemon survived all three.
+    assert_still_serving(daemon.local_addr());
+    daemon.shutdown();
+}
+
+/// Within-budget chunked inits pass the same budget check cumulatively:
+/// the accumulated total is what counts, not each chunk alone.
+#[test]
+fn daemon_budget_applies_across_init_chunks() {
+    let limits = DaemonLimits { max_stored_bytes: 4096 };
+    let daemon = NetDaemon::bind_with("127.0.0.1:0", ShardedServer::new(1), limits).expect("bind");
+
+    // 8 cells of 64 B ≈ 8 × (64+16) = 640 projected bytes per chunk;
+    // seven chunks in, the cumulative projection crosses 4096 and the
+    // connection must drop mid-stream.
+    let mut client = TcpStream::connect(daemon.local_addr()).unwrap();
+    let mut closed = false;
+    for _ in 0..16 {
+        let chunk = Request::InitChunk { done: false, cells: vec![vec![0u8; 64]; 8] };
+        if client.write_all(&frame(&chunk.encode()).unwrap()).is_err() {
+            closed = true;
+            break;
+        }
+        let mut reader = &client;
+        match dps_net::wire::read_frame(&mut reader) {
+            Ok(Some(_)) => {}
+            _ => {
+                closed = true;
+                break;
+            }
+        }
+    }
+    assert!(closed, "cumulative chunked init must eventually breach the budget");
+    daemon.shutdown();
+}
+
+// ---- Client-side failure surfacing -------------------------------------
+
+/// A one-connection fake peer running `behavior`, for client-side tests.
+fn fake_peer(behavior: impl FnOnce(TcpStream) + Send + 'static) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        if let Ok((stream, _)) = listener.accept() {
+            behavior(stream);
+        }
+    });
+    addr
+}
+
+/// Reads one full frame off the socket (header + payload), so the fake
+/// peer can respond at a protocol-meaningful boundary.
+fn swallow_request(stream: &mut TcpStream) {
+    let mut header = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header).unwrap();
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).unwrap();
+}
+
+#[test]
+fn mid_batch_connection_drop_is_a_truncated_error() {
+    let addr = fake_peer(|mut stream| {
+        swallow_request(&mut stream);
+        // Answer with the first half of a valid Cells response, then die.
+        let full = frame(&Response::Cells(vec![vec![7u8; 64]; 8]).encode()).unwrap();
+        stream.write_all(&full[..full.len() / 2]).unwrap();
+        // stream drops here: connection reset mid-frame.
+    });
+    let remote = RemoteServer::connect(addr).unwrap();
+    let err = remote
+        .try_call(&Request::ReadBatch { addrs: (0..8).collect() })
+        .unwrap_err();
+    assert!(
+        matches!(err, WireError::Truncated { .. } | WireError::Io(_)),
+        "mid-frame drop must surface as Truncated/Io, got {err:?}"
+    );
+}
+
+#[test]
+fn peer_vanishing_before_responding_is_truncated_at_zero() {
+    let addr = fake_peer(|mut stream| {
+        swallow_request(&mut stream);
+        // Close without responding at a clean frame boundary.
+    });
+    let remote = RemoteServer::connect(addr).unwrap();
+    let err = remote.try_call(&Request::Capacity).unwrap_err();
+    assert_eq!(err, WireError::Truncated { expected: HEADER_LEN, got: 0 });
+}
+
+#[test]
+fn storage_surface_panics_rather_than_fabricating_answers() {
+    let addr = fake_peer(|mut stream| {
+        swallow_request(&mut stream);
+    });
+    let mut remote = RemoteServer::connect(addr).unwrap();
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Storage::read(&mut remote, 0)));
+    assert!(result.is_err(), "a broken wire must panic the Storage surface");
+}
+
+/// A structurally valid `Cells` response carrying the *wrong number* of
+/// cells must panic, not fire the visitor a different number of times
+/// than the Storage contract promises (one visit per requested address).
+#[test]
+fn wrong_cell_count_panics_rather_than_skipping_visits() {
+    for wrong_count in [2usize, 5] {
+        let addr = fake_peer(move |mut stream| {
+            swallow_request(&mut stream);
+            let short = Response::Cells(vec![vec![7u8; 4]; wrong_count]).encode();
+            stream.write_all(&frame(&short).unwrap()).unwrap();
+            let mut sink = [0u8; 1];
+            let _ = stream.read(&mut sink);
+        });
+        let mut remote = RemoteServer::connect(addr).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Storage::read_batch(&mut remote, &[0, 1, 2]) // 3 requested
+        }));
+        assert!(result.is_err(), "a {wrong_count}-cell answer to a 3-cell request must panic");
+    }
+}
+
+/// Same for `access_batch`, which returns owned cells.
+#[test]
+fn wrong_access_batch_count_panics() {
+    let addr = fake_peer(|mut stream| {
+        swallow_request(&mut stream);
+        let short = Response::Cells(vec![vec![7u8; 4]]).encode();
+        stream.write_all(&frame(&short).unwrap()).unwrap();
+        let mut sink = [0u8; 1];
+        let _ = stream.read(&mut sink);
+    });
+    let mut remote = RemoteServer::connect(addr).unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        remote.access_batch(&[0, 1], Vec::new())
+    }));
+    assert!(result.is_err(), "a 1-cell answer to a 2-read access_batch must panic");
+}
+
+#[test]
+fn corrupt_response_magic_is_a_bad_magic_error() {
+    let addr = fake_peer(|mut stream| {
+        swallow_request(&mut stream);
+        let mut framed = frame(&Response::Pong.encode()).unwrap();
+        framed[0] ^= 0xFF;
+        stream.write_all(&framed).unwrap();
+        // Hold the socket open briefly so the client reads our bytes
+        // rather than a reset.
+        let mut sink = [0u8; 1];
+        let _ = stream.read(&mut sink);
+    });
+    let remote = RemoteServer::connect(addr).unwrap();
+    let err = remote.try_call(&Request::Ping).unwrap_err();
+    assert!(matches!(err, WireError::BadMagic { .. }), "got {err:?}");
+}

@@ -148,10 +148,7 @@ impl<S: Storage> OramKvs<S> {
         rng: &mut ChaChaRng,
     ) -> Result<(), OramKvsError> {
         if value.len() != self.value_size {
-            return Err(OramKvsError::BadValueSize {
-                got: value.len(),
-                expected: self.value_size,
-            });
+            return Err(OramKvsError::BadValueSize { got: value.len(), expected: self.value_size });
         }
         let index = match self.directory.get(&key).copied() {
             Some(index) => index,
@@ -167,7 +164,11 @@ impl<S: Storage> OramKvs<S> {
 
     /// Removes `key`, returning its value. Performs one ORAM access either
     /// way (dummy on miss).
-    pub fn remove(&mut self, key: u64, rng: &mut ChaChaRng) -> Result<Option<Vec<u8>>, OramKvsError> {
+    pub fn remove(
+        &mut self,
+        key: u64,
+        rng: &mut ChaChaRng,
+    ) -> Result<Option<Vec<u8>>, OramKvsError> {
         match self.directory.remove(&key) {
             Some(index) => {
                 let old = self.oram.write(index, vec![0u8; self.value_size], rng)?;
@@ -221,10 +222,7 @@ mod tests {
         let mut kvs = OramKvs::new(2, 4, &mut rng);
         kvs.put(1, vec![1; 4], &mut rng).unwrap();
         kvs.put(2, vec![2; 4], &mut rng).unwrap();
-        assert!(matches!(
-            kvs.put(3, vec![3; 4], &mut rng),
-            Err(OramKvsError::CapacityExhausted)
-        ));
+        assert!(matches!(kvs.put(3, vec![3; 4], &mut rng), Err(OramKvsError::CapacityExhausted)));
         assert_eq!(kvs.remove(1, &mut rng).unwrap(), Some(vec![1; 4]));
         kvs.put(3, vec![3; 4], &mut rng).unwrap();
         assert_eq!(kvs.get(3, &mut rng).unwrap(), Some(vec![3; 4]));

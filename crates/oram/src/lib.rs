@@ -22,6 +22,11 @@
 //! * [`kvs`] — an ORAM-backed key-value store: the "oblivious key-value
 //!   storage built from ORAMs" that Theorem 7.5's `O(log log n)` overhead is
 //!   exponentially better than.
+//!
+//! All ORAMs are generic over `dps_server::Storage` and run unmodified
+//! against a network server via `dps_net::RemoteServer`; round-trip
+//! counts (the measure the recursive comparison is about) then map
+//! one-to-one onto framed wire exchanges.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -244,10 +244,7 @@ mod tests {
     #[test]
     fn out_of_range() {
         let (mut oram, mut rng) = build(4);
-        assert!(matches!(
-            oram.read(4, &mut rng),
-            Err(LinearOramError::IndexOutOfRange { .. })
-        ));
+        assert!(matches!(oram.read(4, &mut rng), Err(LinearOramError::IndexOutOfRange { .. })));
     }
 
     /// A pooled LinearOram produces the same results, stats, and

@@ -116,9 +116,7 @@ impl<S: Storage> PathOram<S> {
         // Assign random leaves, then build the tree bottom-up by evicting
         // every block along its own path (greedy initial packing); blocks
         // that do not fit go to the stash, exactly as during operation.
-        let position: Vec<usize> = (0..config.n)
-            .map(|_| rng.gen_index(1usize << height))
-            .collect();
+        let position: Vec<usize> = (0..config.n).map(|_| rng.gen_index(1usize << height)).collect();
 
         let mut buckets: Vec<Vec<Slot>> = vec![Vec::new(); num_buckets];
         let mut stash = std::collections::HashMap::new();
@@ -319,7 +317,8 @@ impl<S: Storage> PathOram<S> {
                 self.config.block_size,
                 &mut self.bucket_scratch,
             );
-            self.cipher.encrypt_into(&self.bucket_scratch, &mut self.enc_cell, rng);
+            self.cipher
+                .encrypt_into(&self.bucket_scratch, &mut self.enc_cell, rng);
             self.enc_flat.extend_from_slice(&self.enc_cell);
             self.evict_addrs.push(bucket_id);
         }

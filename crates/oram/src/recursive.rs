@@ -76,10 +76,8 @@ impl<S: Storage> TreeLayer<S> {
             for level in (0..=height).rev() {
                 let b = Self::bucket_index(leaf, level, height);
                 if buckets[b].len() < bucket_size {
-                    buckets[b].push(Slot {
-                        id: index as u64,
-                        payload: Self::attach_leaf(leaf, block),
-                    });
+                    buckets[b]
+                        .push(Slot { id: index as u64, payload: Self::attach_leaf(leaf, block) });
                     placed = true;
                     break;
                 }
@@ -156,8 +154,9 @@ impl<S: Storage> TreeLayer<S> {
         // Round trip 1: path down into the stash, decrypting each borrowed
         // bucket slice through the reusable plaintext scratch.
         self.path_scratch.clear();
-        self.path_scratch
-            .extend((0..=self.height).map(|level| Self::bucket_index(old_leaf, level, self.height)));
+        self.path_scratch.extend(
+            (0..=self.height).map(|level| Self::bucket_index(old_leaf, level, self.height)),
+        );
         {
             let cipher = &self.cipher;
             let stash = &mut self.stash;
@@ -205,9 +204,7 @@ impl<S: Storage> TreeLayer<S> {
             let chosen: Vec<u64> = self
                 .stash
                 .iter()
-                .filter(|(_, (leaf, _))| {
-                    Self::bucket_index(*leaf, level, self.height) == bucket_id
-                })
+                .filter(|(_, (leaf, _))| Self::bucket_index(*leaf, level, self.height) == bucket_id)
                 .map(|(&id, _)| id)
                 .take(self.bucket_size)
                 .collect();
@@ -219,7 +216,8 @@ impl<S: Storage> TreeLayer<S> {
                 })
                 .collect();
             encode_bucket_into(&slots, self.bucket_size, stored_size, &mut self.bucket_scratch);
-            self.cipher.encrypt_into(&self.bucket_scratch, &mut self.enc_cell, rng);
+            self.cipher
+                .encrypt_into(&self.bucket_scratch, &mut self.enc_cell, rng);
             self.enc_flat.extend_from_slice(&self.enc_cell);
             self.evict_addrs.push(bucket_id);
         }
@@ -313,8 +311,7 @@ impl<S: Storage> RecursivePathOram<S> {
             assert_eq!(b.len(), config.block_size, "block size mismatch");
         }
 
-        let (layer0, mut positions) =
-            TreeLayer::setup(blocks, config.bucket_size, make(0), rng);
+        let (layer0, mut positions) = TreeLayer::setup(blocks, config.bucket_size, make(0), rng);
         let mut layers = vec![layer0];
 
         while positions.len() > config.client_map_limit {
@@ -560,7 +557,8 @@ mod tests {
                     vec![((i + round - 1) % 256) as u8; 16]
                 };
                 assert_eq!(oram.read(i, &mut rng).unwrap(), expected, "round {round}, i {i}");
-                oram.write(i, vec![((i + round) % 256) as u8; 16], &mut rng).unwrap();
+                oram.write(i, vec![((i + round) % 256) as u8; 16], &mut rng)
+                    .unwrap();
             }
         }
     }

@@ -81,11 +81,8 @@ impl<S: Storage> SquareRootOram<S> {
         let mut cells = vec![Vec::new(); n + 2 * shelter_size];
         for (i, block) in blocks.iter().enumerate() {
             let addr = prp.permute(i as u64) as usize;
-            let plain = encode_bucket(
-                &[Slot { id: i as u64, payload: block.clone() }],
-                1,
-                block_size,
-            );
+            let plain =
+                encode_bucket(&[Slot { id: i as u64, payload: block.clone() }], 1, block_size);
             cells[addr] = cipher.encrypt(&plain, rng).0;
         }
         // Dummies and shelter slots are encrypted empty cells.
@@ -263,7 +260,8 @@ impl<S: Storage> SquareRootOram<S> {
             self.block_size,
             &mut self.bucket_scratch,
         );
-        self.cipher.encrypt_into(&self.bucket_scratch, &mut self.enc_cell, rng);
+        self.cipher
+            .encrypt_into(&self.bucket_scratch, &mut self.enc_cell, rng);
         let shelter_slot = self.shelter_addr(self.epoch_queries);
         self.server
             .write_from(shelter_slot, &self.enc_cell)
@@ -331,7 +329,8 @@ impl<S: Storage> SquareRootOram<S> {
         // slots — the highest addresses — are already processed last.)
 
         self.epoch += 1;
-        self.prp = SmallDomainPrp::new(&self.prp_key, self.epoch, (self.n + self.shelter_size) as u64);
+        self.prp =
+            SmallDomainPrp::new(&self.prp_key, self.epoch, (self.n + self.shelter_size) as u64);
 
         let mut writes = Vec::with_capacity(total);
         let empty = encode_bucket(&[], 1, self.block_size);

@@ -199,10 +199,7 @@ mod tests {
         for (server, counts) in inclusion.iter().enumerate() {
             for (record, &c) in counts.iter().enumerate() {
                 let f = f64::from(c) / f64::from(trials);
-                assert!(
-                    (f - 0.5).abs() < 0.05,
-                    "server {server}, record {record}: inclusion {f}"
-                );
+                assert!((f - 0.5).abs() < 0.05, "server {server}, record {record}: inclusion {f}");
             }
         }
     }

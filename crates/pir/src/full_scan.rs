@@ -107,7 +107,8 @@ impl<S: Storage> FullScanPir<S> {
                 // so the strided read overwrites the whole scratch — no
                 // zeroing needed on reuse.
                 self.scan_scratch.resize(self.n * len, 0);
-                self.server.read_batch_strided(&self.addrs, &mut self.scan_scratch)?;
+                self.server
+                    .read_batch_strided(&self.addrs, &mut self.scan_scratch)?;
                 return Ok(self.scan_scratch[index * len..(index + 1) * len].to_vec());
             }
         }
@@ -153,8 +154,8 @@ mod tests {
     fn pooled_scan_matches_default() {
         let blocks: Vec<Vec<u8>> = (0..24).map(|i| vec![i as u8; 8]).collect();
         let mut reference = FullScanPir::setup(&blocks, SimServer::new());
-        let mut pooled = FullScanPir::setup(&blocks, SimServer::new())
-            .with_pool(WorkerPool::new(4));
+        let mut pooled =
+            FullScanPir::setup(&blocks, SimServer::new()).with_pool(WorkerPool::new(4));
         let mut sharded = FullScanPir::setup(
             &blocks,
             dps_server::ShardedServer::new(4).with_pool(WorkerPool::new(4)),

@@ -16,6 +16,11 @@
 //! * [`cgks`] — the `D`-server generalization: private against any `D − 1`
 //!   colluding servers, still `Θ(n)` total server work — the oblivious
 //!   multi-server baseline Theorem C.1's DP relaxation escapes.
+//!
+//! The multi-server schemes take a per-replica server factory
+//! (`setup_with`), so each replica can be its own `dps_net::RemoteServer`
+//! connection — a genuine `D`-machine deployment shape, pinned equivalent
+//! to the in-process one by the `dps_net` loopback suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

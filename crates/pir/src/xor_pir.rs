@@ -190,8 +190,7 @@ mod tests {
         let run = |threads: usize| {
             let mut pir = XorPir::<SimServer>::setup(&blocks).with_pool(WorkerPool::new(threads));
             let mut rng = ChaChaRng::seed_from_u64(5);
-            let answers: Vec<Vec<u8>> =
-                (0..48).map(|i| pir.query(i, &mut rng).unwrap()).collect();
+            let answers: Vec<Vec<u8>> = (0..48).map(|i| pir.query(i, &mut rng).unwrap()).collect();
             (answers, pir.total_stats())
         };
         let sequential = run(1);
@@ -210,9 +209,6 @@ mod tests {
         }
         let diff = pir.total_stats().since(&before);
         let per_query = diff.computed as f64 / 20.0;
-        assert!(
-            (per_query - 64.0).abs() < 10.0,
-            "expected ~n = 64 ops/query, got {per_query}"
-        );
+        assert!((per_query - 64.0).abs() < 10.0, "expected ~n = 64 ops/query, got {per_query}");
     }
 }

@@ -23,9 +23,7 @@
 //! error behavior is also independent of thread interleaving.
 
 use dps_crypto::poly1305;
-use dps_crypto::{
-    AeadCipher, BlockCipher, CryptoError, Nonce, AEAD_OVERHEAD, CIPHERTEXT_OVERHEAD,
-};
+use dps_crypto::{AeadCipher, BlockCipher, CryptoError, Nonce, AEAD_OVERHEAD, CIPHERTEXT_OVERHEAD};
 
 use crate::pool::{split_ranges, Task, WorkerPool};
 

@@ -40,8 +40,7 @@ impl NetworkModel {
     /// by `stats`: one RTT per round trip plus serialized transfer time.
     pub fn estimate_us(&self, stats: &CostStats) -> f64 {
         assert!(self.rtt_us >= 0.0 && self.bytes_per_us > 0.0, "invalid model");
-        stats.round_trips as f64 * self.rtt_us
-            + stats.bytes_total() as f64 / self.bytes_per_us
+        stats.round_trips as f64 * self.rtt_us + stats.bytes_total() as f64 / self.bytes_per_us
     }
 
     /// Modeled microseconds per query given a total over `queries` queries.

@@ -41,8 +41,8 @@ pub use multi::ReplicatedServers;
 pub use pool::WorkerPool;
 pub use server::{ServerError, SimServer};
 pub use shard::ShardedServer;
+pub use stats::CostStats;
 pub use storage::Storage;
 pub use store::CellStore;
-pub use stats::CostStats;
 pub use transcript::{AccessEvent, Transcript};
 pub use verified::{VerifiedError, VerifiedServer};

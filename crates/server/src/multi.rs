@@ -7,8 +7,8 @@
 //! a corruption-view helper for the auditor.
 
 use crate::server::{ServerError, SimServer};
-use crate::storage::Storage;
 use crate::stats::CostStats;
+use crate::storage::Storage;
 use crate::transcript::Transcript;
 
 /// `D` replicas of a database on independent passive servers.

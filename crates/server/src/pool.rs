@@ -158,9 +158,7 @@ mod tests {
         let tasks: Vec<Task<'_, ()>> = data
             .chunks_mut(16)
             .enumerate()
-            .map(|(i, chunk)| {
-                Box::new(move || chunk.fill(i as u8 + 1)) as Task<'_, ()>
-            })
+            .map(|(i, chunk)| Box::new(move || chunk.fill(i as u8 + 1)) as Task<'_, ()>)
             .collect();
         pool.run(tasks);
         for (i, chunk) in data.chunks(16).enumerate() {

@@ -154,10 +154,7 @@ impl SimServer {
     ) -> Result<(), ServerError> {
         for (i, &addr) in addrs.iter().enumerate() {
             self.check(addr)?;
-            let cell = self
-                .cells
-                .get(addr)
-                .ok_or(ServerError::Uninitialized { addr })?;
+            let cell = self.cells.get(addr).ok_or(ServerError::Uninitialized { addr })?;
             self.stats.downloads += 1;
             self.stats.bytes_down += cell.len() as u64;
             visit(i, cell);
@@ -273,10 +270,7 @@ impl SimServer {
         }
         let mut out = Vec::with_capacity(reads.len());
         for &addr in reads {
-            let cell = self
-                .cells
-                .get(addr)
-                .ok_or(ServerError::Uninitialized { addr })?;
+            let cell = self.cells.get(addr).ok_or(ServerError::Uninitialized { addr })?;
             self.stats.downloads += 1;
             self.stats.bytes_down += cell.len() as u64;
             out.push(cell.to_vec());
@@ -309,15 +303,16 @@ impl SimServer {
     /// first): XOR runs u64-chunked over contiguous arena slices, with no
     /// allocation once `acc` has capacity.
     #[inline]
-    pub fn xor_cells_into(&mut self, addrs: &[usize], acc: &mut Vec<u8>) -> Result<(), ServerError> {
+    pub fn xor_cells_into(
+        &mut self,
+        addrs: &[usize],
+        acc: &mut Vec<u8>,
+    ) -> Result<(), ServerError> {
         acc.clear();
         let mut first = true;
         for &addr in addrs {
             self.check(addr)?;
-            let cell = self
-                .cells
-                .get(addr)
-                .ok_or(ServerError::Uninitialized { addr })?;
+            let cell = self.cells.get(addr).ok_or(ServerError::Uninitialized { addr })?;
             self.stats.computed += 1;
             if first {
                 acc.extend_from_slice(cell);
@@ -360,14 +355,8 @@ mod tests {
     #[test]
     fn out_of_bounds_is_reported() {
         let mut s = server_with(4);
-        assert_eq!(
-            s.read(4),
-            Err(ServerError::OutOfBounds { addr: 4, capacity: 4 })
-        );
-        assert_eq!(
-            s.write(9, vec![]),
-            Err(ServerError::OutOfBounds { addr: 9, capacity: 4 })
-        );
+        assert_eq!(s.read(4), Err(ServerError::OutOfBounds { addr: 4, capacity: 4 }));
+        assert_eq!(s.write(9, vec![]), Err(ServerError::OutOfBounds { addr: 9, capacity: 4 }));
     }
 
     #[test]
@@ -475,10 +464,7 @@ mod tests {
         let mut seen = Vec::new();
         s.read_batch_with(&[5, 1, 5], |i, cell| seen.push((i, cell.to_vec())))
             .unwrap();
-        assert_eq!(
-            seen,
-            vec![(0, vec![5u8; 4]), (1, vec![1u8; 4]), (2, vec![5u8; 4])]
-        );
+        assert_eq!(seen, vec![(0, vec![5u8; 4]), (1, vec![1u8; 4]), (2, vec![5u8; 4])]);
         let diff = s.stats().since(&before);
         assert_eq!(diff.downloads, 3);
         assert_eq!(diff.bytes_down, 12);
@@ -546,14 +532,16 @@ mod tests {
         a.start_recording();
         a.read_batch(&[2, 0]).unwrap();
         a.write(1, vec![0u8; 4]).unwrap();
-        a.write_batch(vec![(2, vec![1u8; 4]), (3, vec![2u8; 4])]).unwrap();
+        a.write_batch(vec![(2, vec![1u8; 4]), (3, vec![2u8; 4])])
+            .unwrap();
         let view_a = a.take_transcript().canonical_encoding();
 
         let mut b = server_with(4);
         b.start_recording();
         b.read_batch_with(&[2, 0], |_, _| {}).unwrap();
         b.write_from(1, &[0u8; 4]).unwrap();
-        b.write_batch_strided(&[2, 3], &[1, 1, 1, 1, 2, 2, 2, 2]).unwrap();
+        b.write_batch_strided(&[2, 3], &[1, 1, 1, 1, 2, 2, 2, 2])
+            .unwrap();
         let view_b = b.take_transcript().canonical_encoding();
         assert_eq!(view_a, view_b);
     }

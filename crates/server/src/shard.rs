@@ -558,8 +558,11 @@ impl ShardedServer {
         for (addr, _) in &writes {
             self.locate(*addr)?;
         }
-        let all: Vec<usize> =
-            reads.iter().copied().chain(writes.iter().map(|&(a, _)| a)).collect();
+        let all: Vec<usize> = reads
+            .iter()
+            .copied()
+            .chain(writes.iter().map(|&(a, _)| a))
+            .collect();
         let mut guards = self.lock_touched(&all);
         let mut out = Vec::with_capacity(reads.len());
         for &addr in reads {
@@ -626,7 +629,11 @@ impl Storage for ShardedServer {
     fn cell_stride(&self) -> usize {
         // Per-shard strides grow independently, but the max over shards is
         // the longest cell ever seen anywhere — exactly SimServer's stride.
-        self.shards.iter().map(|s| lock(s).store.stride()).max().unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|s| lock(s).store.stride())
+            .max()
+            .unwrap_or(0)
     }
 
     fn start_recording(&mut self) {
@@ -654,11 +661,12 @@ impl Storage for ShardedServer {
     }
 
     fn reset_stats(&mut self) {
-        self.batch.get_mut().unwrap_or_else(PoisonError::into_inner).stats =
-            CostStats::default();
+        self.batch
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats = CostStats::default();
         for shard in &mut self.shards {
-            shard.get_mut().unwrap_or_else(PoisonError::into_inner).stats =
-                CostStats::default();
+            shard.get_mut().unwrap_or_else(PoisonError::into_inner).stats = CostStats::default();
         }
     }
 
@@ -744,10 +752,7 @@ mod tests {
     #[test]
     fn out_of_bounds_reports_global_capacity() {
         let mut s = server_with(4, 10);
-        assert_eq!(
-            s.read(10),
-            Err(ServerError::OutOfBounds { addr: 10, capacity: 10 })
-        );
+        assert_eq!(s.read(10), Err(ServerError::OutOfBounds { addr: 10, capacity: 10 }));
     }
 
     #[test]

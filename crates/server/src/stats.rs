@@ -5,6 +5,14 @@
 //! lower bounds), *bandwidth* (bytes moved), and *round trips* (the
 //! client-to-server latency measure used in the comparison with recursive
 //! Path ORAM). [`CostStats`] tracks all three.
+//!
+//! The `wire_*` counters are a fourth, physical currency: what a
+//! network-backed server (`dps_net`) actually put on a TCP socket — framed
+//! request/response exchanges and their encoded bytes, headers included.
+//! They stay zero for in-process servers, so the model counters above
+//! remain directly comparable between local and remote runs; use
+//! [`CostStats::sans_wire`] to compare a remote server's stats against a
+//! local oracle bit-for-bit.
 
 /// Cumulative cost counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -21,6 +29,15 @@ pub struct CostStats {
     pub bytes_up: u64,
     /// Number of client-server round trips.
     pub round_trips: u64,
+    /// Framed request/response exchanges performed on a real network wire
+    /// (0 for in-process servers).
+    pub wire_round_trips: u64,
+    /// Bytes of framed requests written to the wire, headers included
+    /// (client -> server; 0 for in-process servers).
+    pub wire_bytes_up: u64,
+    /// Bytes of framed responses read off the wire, headers included
+    /// (server -> client; 0 for in-process servers).
+    pub wire_bytes_down: u64,
 }
 
 impl CostStats {
@@ -34,6 +51,18 @@ impl CostStats {
         self.bytes_down + self.bytes_up
     }
 
+    /// Total framed bytes moved on the wire in either direction.
+    pub fn wire_bytes_total(&self) -> u64 {
+        self.wire_bytes_down + self.wire_bytes_up
+    }
+
+    /// This snapshot with the `wire_*` counters zeroed: the model-level
+    /// view, directly comparable between an in-process server and a
+    /// network-backed one serving the same requests.
+    pub fn sans_wire(&self) -> CostStats {
+        CostStats { wire_round_trips: 0, wire_bytes_up: 0, wire_bytes_down: 0, ..*self }
+    }
+
     /// Component-wise sum `self + other`; useful for aggregating over
     /// multiple servers (multi-server PIR, recursive ORAM layers).
     pub fn plus(&self, other: &CostStats) -> CostStats {
@@ -44,6 +73,9 @@ impl CostStats {
             bytes_down: self.bytes_down + other.bytes_down,
             bytes_up: self.bytes_up + other.bytes_up,
             round_trips: self.round_trips + other.round_trips,
+            wire_round_trips: self.wire_round_trips + other.wire_round_trips,
+            wire_bytes_up: self.wire_bytes_up + other.wire_bytes_up,
+            wire_bytes_down: self.wire_bytes_down + other.wire_bytes_down,
         }
     }
 
@@ -57,6 +89,9 @@ impl CostStats {
             bytes_down: self.bytes_down - earlier.bytes_down,
             bytes_up: self.bytes_up - earlier.bytes_up,
             round_trips: self.round_trips - earlier.round_trips,
+            wire_round_trips: self.wire_round_trips - earlier.wire_round_trips,
+            wire_bytes_up: self.wire_bytes_up - earlier.wire_bytes_up,
+            wire_bytes_down: self.wire_bytes_down - earlier.wire_bytes_down,
         }
     }
 }
@@ -74,7 +109,18 @@ impl std::fmt::Display for CostStats {
             self.bytes_down,
             self.bytes_up,
             self.round_trips
-        )
+        )?;
+        if self.wire_round_trips != 0 || self.wire_bytes_total() != 0 {
+            write!(
+                f,
+                ", wire: round_trips={} bytes={} (down={} up={})",
+                self.wire_round_trips,
+                self.wire_bytes_total(),
+                self.wire_bytes_down,
+                self.wire_bytes_up
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -101,8 +147,10 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let early = CostStats { downloads: 1, bytes_down: 100, round_trips: 1, ..Default::default() };
-        let late = CostStats { downloads: 4, bytes_down: 500, round_trips: 3, ..Default::default() };
+        let early =
+            CostStats { downloads: 1, bytes_down: 100, round_trips: 1, ..Default::default() };
+        let late =
+            CostStats { downloads: 4, bytes_down: 500, round_trips: 3, ..Default::default() };
         let diff = late.since(&early);
         assert_eq!(diff.downloads, 3);
         assert_eq!(diff.bytes_down, 400);
@@ -114,5 +162,29 @@ mod tests {
         let s = CostStats { downloads: 1, uploads: 1, ..Default::default() };
         let rendered = format!("{s}");
         assert!(rendered.contains("ops=2"));
+        // The wire section only appears once wire traffic exists.
+        assert!(!rendered.contains("wire"));
+        let wired = CostStats { wire_round_trips: 3, wire_bytes_up: 40, ..s };
+        assert!(format!("{wired}").contains("wire: round_trips=3"));
+    }
+
+    #[test]
+    fn sans_wire_zeroes_only_the_wire_counters() {
+        let s = CostStats {
+            downloads: 2,
+            bytes_down: 9,
+            round_trips: 1,
+            wire_round_trips: 4,
+            wire_bytes_up: 100,
+            wire_bytes_down: 200,
+            ..Default::default()
+        };
+        let model = s.sans_wire();
+        assert_eq!(model.downloads, 2);
+        assert_eq!(model.bytes_down, 9);
+        assert_eq!(model.round_trips, 1);
+        assert_eq!(model.wire_round_trips, 0);
+        assert_eq!(model.wire_bytes_total(), 0);
+        assert_eq!(s.wire_bytes_total(), 300);
     }
 }

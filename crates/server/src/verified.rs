@@ -231,10 +231,7 @@ mod tests {
     fn batch_read_detects_single_bad_cell() {
         let mut s = build(8);
         s.adversary_cells_mut().write(6, vec![0u8; 8]).unwrap();
-        assert_eq!(
-            s.read_batch(&[0, 6, 7]),
-            Err(VerifiedError::IntegrityViolation { addr: 6 })
-        );
+        assert_eq!(s.read_batch(&[0, 6, 7]), Err(VerifiedError::IntegrityViolation { addr: 6 }));
     }
 
     #[test]

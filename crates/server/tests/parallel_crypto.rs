@@ -27,7 +27,9 @@ const CELLS: usize = 37; // deliberately not a multiple of any pool width
 const PT_LEN: usize = 100;
 
 fn plaintexts(seed: u8) -> Vec<u8> {
-    (0..CELLS * PT_LEN).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..CELLS * PT_LEN)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 /// ChaCha20 cipher: the pooled strided path equals the sequential

@@ -28,8 +28,7 @@ fn pattern(t: usize, round: usize, addr: usize, seed: u64) -> Vec<u8> {
         .map(|i| {
             (seed as usize)
                 .wrapping_mul(31)
-                .wrapping_add(t * 17 + round * 7 + addr * 3 + i)
-                as u8
+                .wrapping_add(t * 17 + round * 7 + addr * 3 + i) as u8
         })
         .collect()
 }
@@ -41,7 +40,9 @@ fn run(seed: u64, shards: usize, pool_threads: usize) -> (Vec<Vec<u8>>, CostStat
     let mut server = ShardedServer::new(shards).with_pool(WorkerPool::new(pool_threads));
     Storage::init(
         &mut server,
-        (0..N).map(|a| pattern(a / CELLS_PER_WRITER, 0, a, seed)).collect(),
+        (0..N)
+            .map(|a| pattern(a / CELLS_PER_WRITER, 0, a, seed))
+            .collect(),
     );
 
     {

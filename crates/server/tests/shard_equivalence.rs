@@ -104,10 +104,7 @@ fn probe_len(oracle: &SimServer, addr: usize) -> Option<usize> {
 fn step(op: &Op, oracle: &mut SimServer, subject: &mut ShardedServer) {
     match op {
         Op::ReadBatch(addrs) => {
-            assert_eq!(
-                Storage::read_batch(subject, addrs),
-                Storage::read_batch(oracle, addrs)
-            );
+            assert_eq!(Storage::read_batch(subject, addrs), Storage::read_batch(oracle, addrs));
         }
         Op::ReadZeroCopy(addrs) => {
             let mut seen_subject = Vec::new();
@@ -287,8 +284,7 @@ fn large_batches_hit_the_pooled_paths_bit_identically() {
 
     for shards in SHARD_COUNTS {
         for threads in THREAD_COUNTS {
-            let mut subject =
-                ShardedServer::new(shards).with_pool(WorkerPool::new(threads));
+            let mut subject = ShardedServer::new(shards).with_pool(WorkerPool::new(threads));
             Storage::init(&mut subject, cells.clone());
             Storage::start_recording(&mut subject);
             Storage::write_batch_strided(&mut subject, &addrs, &flat).unwrap();
@@ -297,11 +293,7 @@ fn large_batches_hit_the_pooled_paths_bit_identically() {
             let subject_xor = Storage::xor_cells(&mut subject, &addrs).unwrap();
             assert_eq!(subject_read, oracle_read, "S = {shards}, T = {threads}");
             assert_eq!(subject_xor, oracle_xor, "S = {shards}, T = {threads}");
-            assert_eq!(
-                Storage::stats(&subject),
-                oracle_stats,
-                "S = {shards}, T = {threads}"
-            );
+            assert_eq!(Storage::stats(&subject), oracle_stats, "S = {shards}, T = {threads}");
             assert_eq!(
                 Storage::take_transcript(&mut subject).canonical_encoding(),
                 oracle_view,
@@ -328,8 +320,7 @@ fn pooled_size_failures_charge_the_sequential_prefix() {
 
     for shards in SHARD_COUNTS {
         for threads in THREAD_COUNTS {
-            let mut subject =
-                ShardedServer::new(shards).with_pool(WorkerPool::new(threads));
+            let mut subject = ShardedServer::new(shards).with_pool(WorkerPool::new(threads));
             Storage::init(&mut subject, cells.clone());
             let mut flat = vec![0u8; addrs.len() * 8];
             let got = subject.read_batch_strided(&addrs, &mut flat);

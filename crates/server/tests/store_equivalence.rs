@@ -313,7 +313,10 @@ fn run_program(init_all: bool, ops: &[Op]) {
         "transcripts diverged"
     );
     // Final cell-by-cell state match (including initialized-ness).
-    assert_eq!(arena.stored_bytes(), reference.cells.iter().flatten().map(|c| c.len() as u64).sum());
+    assert_eq!(
+        arena.stored_bytes(),
+        reference.cells.iter().flatten().map(|c| c.len() as u64).sum()
+    );
     for addr in 0..CAPACITY {
         let got = arena.read_batch(&[addr]).map(|mut v| v.pop().unwrap());
         let expected = reference.read_batch(&[addr]).map(|mut v| v.pop().unwrap());

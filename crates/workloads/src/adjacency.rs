@@ -29,10 +29,7 @@ impl<Q: PartialEq + Clone> AdjacentPair<Q> {
     /// would not be adjacent) or `position` is out of range.
     pub fn substitute(base: Vec<Q>, position: usize, replacement: Q) -> Self {
         assert!(position < base.len(), "position out of range");
-        assert!(
-            base[position] != replacement,
-            "replacement must change the query at `position`"
-        );
+        assert!(base[position] != replacement, "replacement must change the query at `position`");
         let mut q2 = base.clone();
         q2[position] = replacement;
         Self { q1: base, q2, position }
@@ -90,19 +87,20 @@ pub fn ram_interleaved_pair(
 
 /// KVS pair where the differing query swaps a *present* key for an *absent*
 /// one — the adversary must not learn whether a lookup hit or missed.
-pub fn kvs_hit_miss_pair(
-    l: usize,
-    k: usize,
-    present: u64,
-    absent: u64,
-) -> AdjacentPair<KvsQuery> {
+pub fn kvs_hit_miss_pair(l: usize, k: usize, present: u64, absent: u64) -> AdjacentPair<KvsQuery> {
     assert_ne!(present, absent);
     let base = vec![KvsQuery::read(present); l];
     AdjacentPair::substitute(base, k, KvsQuery::read(absent))
 }
 
 /// KVS pair between two present keys, differing at `k`; may also flip the op.
-pub fn kvs_key_pair(l: usize, k: usize, key_a: u64, key_b: u64, op_b: Op) -> AdjacentPair<KvsQuery> {
+pub fn kvs_key_pair(
+    l: usize,
+    k: usize,
+    key_a: u64,
+    key_b: u64,
+    op_b: Op,
+) -> AdjacentPair<KvsQuery> {
     let base = vec![KvsQuery::read(key_a); l];
     let replacement = KvsQuery { key: key_b, op: op_b };
     AdjacentPair::substitute(base, k, replacement)

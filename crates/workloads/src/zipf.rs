@@ -111,10 +111,7 @@ mod tests {
         for (rank, &count) in counts.iter().enumerate() {
             let freq = count as f64 / trials as f64;
             let pmf = z.pmf(rank);
-            assert!(
-                (freq - pmf).abs() < 0.01,
-                "rank {rank}: freq {freq:.4} vs pmf {pmf:.4}"
-            );
+            assert!((freq - pmf).abs() < 0.01, "rank {rank}: freq {freq:.4} vs pmf {pmf:.4}");
         }
     }
 

@@ -40,7 +40,11 @@ fn main() {
             .put(user, vec![(i % 251) as u8; profile_size], &mut rng)
             .expect("capacity not exceeded");
     }
-    println!("registered {} users; super-root load = {}", directory.len(), directory.super_root_load());
+    println!(
+        "registered {} users; super-root load = {}",
+        directory.len(),
+        directory.super_root_load()
+    );
 
     // A client checks its address book: 20 contacts, most not registered.
     let mut found = 0;
@@ -70,7 +74,9 @@ fn main() {
     // ORAM-backed directory baseline at the same capacity.
     let mut oram_dir = OramKvs::new(capacity, profile_size, &mut rng);
     for (i, &user) in registered.iter().enumerate() {
-        oram_dir.put(user, vec![(i % 251) as u8; profile_size], &mut rng).expect("capacity");
+        oram_dir
+            .put(user, vec![(i % 251) as u8; profile_size], &mut rng)
+            .expect("capacity");
     }
     let before = oram_dir.server_stats();
     for &user in registered.iter().take(20) {

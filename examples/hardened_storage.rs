@@ -29,13 +29,8 @@ fn main() {
     let config = DpRamConfig { n, stash_probability: 0.0 };
 
     // ---- Cost parity with the paper's scheme ----
-    let mut plain = DpRam::setup(
-        DpRamConfig::recommended(n),
-        &db,
-        SimServer::new(),
-        &mut rng,
-    )
-    .expect("valid parameters");
+    let mut plain = DpRam::setup(DpRamConfig::recommended(n), &db, SimServer::new(), &mut rng)
+        .expect("valid parameters");
     let mut hardened =
         HardenedDpRam::setup(DpRamConfig::recommended(n), &db, &mut rng).expect("valid parameters");
     let (b1, b2) = (plain.server_stats(), hardened.server_stats());
@@ -43,10 +38,7 @@ fn main() {
         plain.read(i % n, &mut rng).unwrap();
         hardened.read(i % n, &mut rng).unwrap();
     }
-    let (d1, d2) = (
-        plain.server_stats().since(&b1),
-        hardened.server_stats().since(&b2),
-    );
+    let (d1, d2) = (plain.server_stats().since(&b1), hardened.server_stats().since(&b2));
     println!("200 reads each:");
     println!(
         "  paper DP-RAM   : {} downloads, {} uploads, {} round trips",
@@ -63,7 +55,10 @@ fn main() {
     let cell = ram.server_mut().adversary_cells_mut().read(victim).unwrap();
     let mut corrupted = cell.clone();
     corrupted[30] ^= 0x40;
-    ram.server_mut().adversary_cells_mut().write(victim, corrupted).unwrap();
+    ram.server_mut()
+        .adversary_cells_mut()
+        .write(victim, corrupted)
+        .unwrap();
     report("bit-flip corruption", ram.read(victim, &mut rng));
 
     // ---- Attack 2: cell swap (authentic ciphertexts, wrong places) ----

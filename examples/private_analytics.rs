@@ -48,14 +48,13 @@ fn main() {
     let db: Vec<Vec<u8>> = (0..n as u64)
         .map(|id| record(id, 20 + (rng.gen_range(61)) as u8))
         .collect();
-    let true_mean =
-        db.iter().map(|r| biomarker(r)).sum::<f64>() / n as f64;
+    let true_mean = db.iter().map(|r| biomarker(r)).sum::<f64>() / n as f64;
     println!("outsourced {n} patient records (true mean biomarker {true_mean:.2})");
 
     // 2. DP-IR access: eps_access = ln n gives constant downloads/query.
     let alpha = 0.1;
-    let access_config = DpIrConfig::with_epsilon(n, (n as f64).ln() - 2.0, alpha)
-        .expect("valid DP-IR parameters");
+    let access_config =
+        DpIrConfig::with_epsilon(n, (n as f64).ln() - 2.0, alpha).expect("valid DP-IR parameters");
     let mut store = BatchedDpIr::setup(access_config, &db, SimServer::new())
         .expect("setup over the outsourced records");
     println!(
@@ -72,11 +71,7 @@ fn main() {
         .query_batch(&sample_ids, &mut rng)
         .expect("indices validated above");
     let cost = store.server_stats().since(&before);
-    let sample: Vec<f64> = results
-        .iter()
-        .flatten()
-        .map(|r| biomarker(r))
-        .collect();
+    let sample: Vec<f64> = results.iter().flatten().map(|r| biomarker(r)).collect();
     println!(
         "sampled {} of {m} requested records ({} lost to the designed alpha-error) — {} blocks, {} round trip(s)",
         sample.len(),
@@ -105,10 +100,7 @@ fn main() {
     //    query's download set moves); the published number costs
     //    eps_release. A single patient's record affects one retrieval and
     //    the release, so the per-patient budget is:
-    let per_patient = basic(
-        PrivacyBudget::pure(store.config().epsilon()),
-        1,
-    );
+    let per_patient = basic(PrivacyBudget::pure(store.config().epsilon()), 1);
     let total = PrivacyBudget::pure(per_patient.epsilon + eps_release);
     println!(
         "per-patient budget: access {} + release ε = {eps_release} => total {total}",

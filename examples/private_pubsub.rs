@@ -24,13 +24,9 @@ fn main() {
     // One mailbox per topic, all initially empty.
     let mailboxes: Vec<Vec<u8>> = vec![vec![0u8; MAILBOX_SIZE]; TOPICS];
     let mut rng = ChaChaRng::seed_from_u64(2024);
-    let mut board = DpRam::setup(
-        DpRamConfig::recommended(TOPICS),
-        &mailboxes,
-        SimServer::new(),
-        &mut rng,
-    )
-    .expect("setup");
+    let mut board =
+        DpRam::setup(DpRamConfig::recommended(TOPICS), &mailboxes, SimServer::new(), &mut rng)
+            .expect("setup");
 
     // Record the adversary's view while clients work.
     board.server_mut().start_recording();
@@ -80,11 +76,17 @@ fn main() {
     board.read(10, &mut rng).expect("poll");
     let read_view = board.server_mut().take_transcript();
     board.server_mut().start_recording();
-    board.write(10, vec![1u8; MAILBOX_SIZE], &mut rng).expect("publish");
+    board
+        .write(10, vec![1u8; MAILBOX_SIZE], &mut rng)
+        .expect("publish");
     let write_view = board.server_mut().take_transcript();
     let shape = |t: &dp_storage::server::Transcript| {
         t.batches()
-            .map(|b| b.iter().map(|e| matches!(e, AccessEvent::Upload(_))).collect::<Vec<_>>())
+            .map(|b| {
+                b.iter()
+                    .map(|e| matches!(e, AccessEvent::Upload(_)))
+                    .collect::<Vec<_>>()
+            })
             .collect::<Vec<_>>()
     };
     assert_eq!(shape(&read_view), shape(&write_view));

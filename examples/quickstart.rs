@@ -49,10 +49,7 @@ fn main() {
         diff.round_trips,
         (diff.downloads + diff.uploads) as f64 / 100.0
     );
-    println!(
-        "client stash currently holds {} blocks (bound: O(Φ(n)) whp)",
-        ram.stash_size()
-    );
+    println!("client stash currently holds {} blocks (bound: O(Φ(n)) whp)", ram.stash_size());
     println!(
         "privacy: pure ε-DP with ε = O(log n) (proof's loose upper bound: {:.1})",
         ram.config().epsilon_upper_bound()

@@ -2,6 +2,7 @@
 """Bench-regression check across BENCH_*.json generations.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--warn-pct 25] [--strict]
+                        [--only KEY_PREFIX ...]
 
 Handles both bench_smoke JSON formats:
   * flat map  {"scheme": median_ns, ...}            (BENCH_1 / BENCH_2)
@@ -18,6 +19,11 @@ By default this is a *soft* check: it prints warnings for medians that
 regressed more than the threshold and exits 0 either way (what CI runs).
 With --strict, any regression beyond the threshold exits non-zero — for
 dedicated-hardware gates where the numbers are stable enough to fail on.
+
+--only SCHEME_PREFIX (repeatable) restricts the comparison to schemes
+whose name starts with one of the given prefixes. This lets CI run a
+hard --strict gate on the stable crypto-throughput rows while the noisy
+scheme rows stay on the soft full-sweep check.
 """
 
 import argparse
@@ -64,6 +70,12 @@ def main():
         action="store_true",
         help="exit non-zero when any scheme regresses beyond --warn-pct",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="SCHEME_PREFIX",
+        help="compare only schemes starting with this prefix (repeatable)",
+    )
     args = parser.parse_args()
     warn_pct = args.warn_pct
 
@@ -73,9 +85,23 @@ def main():
     baseline = load(args.baseline, single_only)
     current = load(args.current, single_only)
 
+    if args.only:
+        prefixes = tuple(args.only)
+        baseline = {k: v for k, v in baseline.items() if k[0].startswith(prefixes)}
+        current = {k: v for k, v in current.items() if k[0].startswith(prefixes)}
+        if not baseline or not current:
+            # A gate whose rows vanished from either side must not pass
+            # vacuously: a renamed bench row would otherwise silently
+            # disable the --strict CI gate forever.
+            side = args.baseline if not baseline else args.current
+            print(f"no scheme matches --only {list(prefixes)} in {side}; nothing to compare")
+            return 1 if args.strict else 0
+
     regressions = 0
+    missing = 0
     for key in sorted(baseline):
         if key not in current:
+            missing += 1
             print(f"  [gone]  {fmt(key)}: present in {args.baseline} only")
             continue
         old, new = baseline[key], current[key]
@@ -89,9 +115,17 @@ def main():
     for key in sorted(set(current) - set(baseline)):
         print(f"  [new]   {fmt(key)}: {current[key]} ns")
 
+    failures = []
     if regressions:
+        failures.append(f"{regressions} scheme(s) regressed more than {warn_pct:.0f}%")
+    if args.strict and missing:
+        # Disappeared rows only fail strict runs: soft cross-generation
+        # diffs legitimately outgrow old baselines, but a strict gate's
+        # rows going [gone] means the gate no longer measures anything.
+        failures.append(f"{missing} baseline scheme(s) missing from {args.current}")
+    if failures:
         mode = "failing (--strict)" if args.strict else "soft check, not failing"
-        print(f"{regressions} scheme(s) regressed more than {warn_pct:.0f}% ({mode})")
+        print(f"{'; '.join(failures)} ({mode})")
         return 1 if args.strict else 0
     print(f"no scheme regressed more than {warn_pct:.0f}%")
     return 0

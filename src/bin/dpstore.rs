@@ -110,7 +110,10 @@ fn demo_ram(flags: &Flags) {
         config.stash_probability,
         config.expected_stash()
     );
-    println!("  privacy: pure eps-DP, eps = O(log n); proof bound {:.1}", config.epsilon_upper_bound());
+    println!(
+        "  privacy: pure eps-DP, eps = O(log n); proof bound {:.1}",
+        config.epsilon_upper_bound()
+    );
 
     let before = ram.server_stats();
     for i in 0..ops {
@@ -240,10 +243,7 @@ fn audit(flags: &Flags) {
     }
     // Error bar on the dominant view's probability, for calibration.
     let ci = wilson((trials as f64 / s1.max(1) as f64) as u64, trials as u64, 0.95);
-    println!(
-        "  (per-view sampling resolution ~{:.1e} at 95% confidence)",
-        ci.width()
-    );
+    println!("  (per-view sampling resolution ~{:.1e} at 95% confidence)", ci.width());
     if scheme == "strawman" {
         println!("  verdict: delta stays ~1 at every eps — no privacy, as Section 4 proves.");
     } else {

@@ -10,6 +10,9 @@
 //! * [`crypto`] — ChaCha20/CTR encryption, HMAC-SHA256 PRF, deterministic CSPRNG.
 //! * [`server`] — the balls-and-bins passive storage server with transcript
 //!   recording and cost accounting.
+//! * [`net`] — the same server model on a real wire: a length-prefixed
+//!   binary protocol, a threaded TCP daemon, and a remote client every
+//!   scheme runs against unmodified.
 //! * [`workloads`] — query-sequence generators (uniform, Zipf, adjacency pairs).
 //! * [`hashing`] — classic and oblivious two-choice hashing (Section 7.2).
 //! * [`oram`] — Path ORAM and linear-scan ORAM baselines.
@@ -44,6 +47,7 @@ pub use dps_analysis as analysis;
 pub use dps_core as core;
 pub use dps_crypto as crypto;
 pub use dps_hashing as hashing;
+pub use dps_net as net;
 pub use dps_oram as oram;
 pub use dps_pir as pir;
 pub use dps_server as server;

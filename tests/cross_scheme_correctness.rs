@@ -22,17 +22,11 @@ fn retrieval_schemes_agree_on_static_database() {
     let db = database(N, BLOCK);
     let mut rng = ChaChaRng::seed_from_u64(1);
 
-    let mut dp_ir = DpIr::setup(
-        DpIrConfig::with_epsilon(N, 4.0, 0.1).unwrap(),
-        &db,
-        SimServer::new(),
-    )
-    .unwrap();
-    let mut multi = MultiServerDpIr::setup(
-        MultiServerDpIrConfig { n: N, servers: 3, k: 4, alpha: 0.1 },
-        &db,
-    )
-    .unwrap();
+    let mut dp_ir =
+        DpIr::setup(DpIrConfig::with_epsilon(N, 4.0, 0.1).unwrap(), &db, SimServer::new()).unwrap();
+    let mut multi =
+        MultiServerDpIr::setup(MultiServerDpIrConfig { n: N, servers: 3, k: 4, alpha: 0.1 }, &db)
+            .unwrap();
     let mut scan = FullScanPir::setup(&db, SimServer::new());
     let mut xor = XorPir::setup(&db);
     let mut ro = DpRamReadOnly::setup(&db, 0.3, SimServer::new(), &mut rng);
@@ -62,12 +56,8 @@ fn mutable_schemes_agree_under_shared_workload() {
     let mut reference = db.clone();
     let mut dp_ram =
         DpRam::setup(DpRamConfig::recommended(N), &db, SimServer::new(), &mut rng).unwrap();
-    let mut path = PathOram::setup(
-        PathOramConfig::recommended(N, BLOCK),
-        &db,
-        SimServer::new(),
-        &mut rng,
-    );
+    let mut path =
+        PathOram::setup(PathOramConfig::recommended(N, BLOCK), &db, SimServer::new(), &mut rng);
     let mut linear = LinearOram::setup(&db, SimServer::new(), &mut rng);
 
     for step in 0u32..300 {
@@ -92,12 +82,8 @@ fn mutable_schemes_agree_under_shared_workload() {
 fn kvs_schemes_agree_under_shared_workload() {
     let mut rng = ChaChaRng::seed_from_u64(3);
     let value_size = 16;
-    let mut dp_kvs = DpKvs::setup(
-        DpKvsConfig::recommended(N, value_size),
-        SimServer::new(),
-        &mut rng,
-    )
-    .unwrap();
+    let mut dp_kvs =
+        DpKvs::setup(DpKvsConfig::recommended(N, value_size), SimServer::new(), &mut rng).unwrap();
     let mut oram_kvs = OramKvs::new(N, value_size, &mut rng);
     let mut reference: std::collections::HashMap<u64, Vec<u8>> = std::collections::HashMap::new();
 

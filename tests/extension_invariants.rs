@@ -46,12 +46,8 @@ fn oram_variants_agree_on_contents() {
     let n = 80;
     let db = database(n, 16);
     let mut rng = ChaChaRng::seed_from_u64(2);
-    let mut path = PathOram::setup(
-        PathOramConfig::recommended(n, 16),
-        &db,
-        SimServer::new(),
-        &mut rng,
-    );
+    let mut path =
+        PathOram::setup(PathOramConfig::recommended(n, 16), &db, SimServer::new(), &mut rng);
     let mut recursive = RecursivePathOram::setup(
         RecursiveOramConfig { n, block_size: 16, bucket_size: 4, pack: 8, client_map_limit: 8 },
         &db,
@@ -89,12 +85,8 @@ fn round_trip_hierarchy_is_measured() {
     let db = database(n, 32);
     let mut rng = ChaChaRng::seed_from_u64(3);
 
-    let mut path = PathOram::setup(
-        PathOramConfig::recommended(n, 32),
-        &db,
-        SimServer::new(),
-        &mut rng,
-    );
+    let mut path =
+        PathOram::setup(PathOramConfig::recommended(n, 32), &db, SimServer::new(), &mut rng);
     let mut recursive = RecursivePathOram::setup(
         RecursiveOramConfig { n, block_size: 32, bucket_size: 4, pack: 8, client_map_limit: 8 },
         &db,
@@ -115,14 +107,10 @@ fn round_trip_hierarchy_is_measured() {
 
     // And the latency model orders them accordingly on a WAN.
     let wan = NetworkModel::wan();
-    let path_us = wan.estimate_us(&dp_storage::server::CostStats {
-        round_trips: path_rt,
-        ..Default::default()
-    });
-    let rec_us = wan.estimate_us(&dp_storage::server::CostStats {
-        round_trips: rec_rt,
-        ..Default::default()
-    });
+    let path_us = wan
+        .estimate_us(&dp_storage::server::CostStats { round_trips: path_rt, ..Default::default() });
+    let rec_us = wan
+        .estimate_us(&dp_storage::server::CostStats { round_trips: rec_rt, ..Default::default() });
     assert!(rec_us > path_us);
 }
 
@@ -134,8 +122,7 @@ fn round_trip_hierarchy_is_measured() {
 fn kvs_budget_composes_from_bucket_queries() {
     let n = 256;
     let mut rng = ChaChaRng::seed_from_u64(4);
-    let mut kvs =
-        DpKvs::setup(DpKvsConfig::recommended(n, 8), SimServer::new(), &mut rng).unwrap();
+    let mut kvs = DpKvs::setup(DpKvsConfig::recommended(n, 8), SimServer::new(), &mut rng).unwrap();
 
     // Count bucket queries per op via round trips: each bucket query is 3.
     kvs.put(1, vec![0u8; 8], &mut rng).unwrap();
@@ -171,8 +158,5 @@ fn square_root_amortization_formula_is_exact_over_epochs() {
     // vs the formula's worst-case s + 2), so measured <= predicted and
     // within the scan-averaging slack of s/2 + 1.
     assert!(measured <= predicted, "{measured} > {predicted}");
-    assert!(
-        predicted - measured <= s as f64 / 2.0 + 1.5,
-        "{measured} too far below {predicted}"
-    );
+    assert!(predicted - measured <= s as f64 / 2.0 + 1.5, "{measured} too far below {predicted}");
 }

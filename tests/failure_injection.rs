@@ -21,13 +21,9 @@ fn dp_ram_detects_corrupted_ciphertext() {
     let mut rng = ChaChaRng::seed_from_u64(1);
     let db = database(N, BLOCK);
     // p = 0 pins reads to their own address, so the corrupted cell is hit.
-    let mut ram = DpRam::setup(
-        DpRamConfig { n: N, stash_probability: 0.0 },
-        &db,
-        SimServer::new(),
-        &mut rng,
-    )
-    .unwrap();
+    let mut ram =
+        DpRam::setup(DpRamConfig { n: N, stash_probability: 0.0 }, &db, SimServer::new(), &mut rng)
+            .unwrap();
 
     let cell = ram.server_mut().read(9).unwrap();
     let mut bad = cell;
@@ -46,13 +42,9 @@ fn dp_ram_detects_corrupted_ciphertext() {
 fn dp_ram_rejects_truncated_cell() {
     let mut rng = ChaChaRng::seed_from_u64(2);
     let db = database(N, BLOCK);
-    let mut ram = DpRam::setup(
-        DpRamConfig { n: N, stash_probability: 0.0 },
-        &db,
-        SimServer::new(),
-        &mut rng,
-    )
-    .unwrap();
+    let mut ram =
+        DpRam::setup(DpRamConfig { n: N, stash_probability: 0.0 }, &db, SimServer::new(), &mut rng)
+            .unwrap();
     ram.server_mut().write(3, vec![0u8; 2]).unwrap();
     assert!(matches!(ram.read(3, &mut rng), Err(DpRamError::Crypto(_))));
 }
@@ -62,12 +54,8 @@ fn dp_ram_rejects_truncated_cell() {
 fn path_oram_detects_corrupted_bucket() {
     let mut rng = ChaChaRng::seed_from_u64(3);
     let db = database(N, BLOCK);
-    let mut oram = PathOram::setup(
-        PathOramConfig::recommended(N, BLOCK),
-        &db,
-        SimServer::new(),
-        &mut rng,
-    );
+    let mut oram =
+        PathOram::setup(PathOramConfig::recommended(N, BLOCK), &db, SimServer::new(), &mut rng);
     // Corrupt the root bucket — every path includes it.
     let cell = oram.server_mut().read(0).unwrap();
     let mut bad = cell;
@@ -80,8 +68,7 @@ fn path_oram_detects_corrupted_bucket() {
 #[test]
 fn dp_kvs_detects_corrupted_node() {
     let mut rng = ChaChaRng::seed_from_u64(4);
-    let mut kvs =
-        DpKvs::setup(DpKvsConfig::recommended(N, 8), SimServer::new(), &mut rng).unwrap();
+    let mut kvs = DpKvs::setup(DpKvsConfig::recommended(N, 8), SimServer::new(), &mut rng).unwrap();
     kvs.put(42, vec![7u8; 8], &mut rng).unwrap();
     // Corrupt every server cell: whatever path the next get touches fails.
     let capacity = kvs.server_mut().capacity();
@@ -103,20 +90,17 @@ fn verified_server_defeats_tree_rewriting_adversary() {
 
     let mut forged = cells;
     forged[11] = vec![0xEE; 8];
-    server.adversary_cells_mut().write(11, forged[11].clone()).unwrap();
+    server
+        .adversary_cells_mut()
+        .write(11, forged[11].clone())
+        .unwrap();
     server.adversary_replace_tree(MerkleTree::build(&forged));
 
-    assert_eq!(
-        server.read(11),
-        Err(VerifiedError::IntegrityViolation { addr: 11 })
-    );
+    assert_eq!(server.read(11), Err(VerifiedError::IntegrityViolation { addr: 11 }));
     // With the whole (untrusted) tree forged, proofs for untouched cells
     // no longer chain to the trusted root either — conservative rejection
     // is the correct behavior, not a false negative.
-    assert_eq!(
-        server.read(3),
-        Err(VerifiedError::IntegrityViolation { addr: 3 })
-    );
+    assert_eq!(server.read(3), Err(VerifiedError::IntegrityViolation { addr: 3 }));
 }
 
 /// Hardened DP-RAM: all three active attacks produce `Tampering` with the
@@ -146,10 +130,7 @@ fn hardened_ram_attack_matrix() {
     let b = ram.server_mut().adversary_cells_mut().read(2).unwrap();
     ram.server_mut().adversary_cells_mut().write(1, b).unwrap();
     ram.server_mut().adversary_cells_mut().write(2, a).unwrap();
-    assert!(matches!(
-        ram.read(1, &mut rng),
-        Err(HardenedRamError::Tampering { addr: 1, .. })
-    ));
+    assert!(matches!(ram.read(1, &mut rng), Err(HardenedRamError::Tampering { addr: 1, .. })));
 
     // Rollback.
     let mut rng = ChaChaRng::seed_from_u64(7);
@@ -157,10 +138,7 @@ fn hardened_ram_attack_matrix() {
     let stale = ram.server_mut().adversary_cells_mut().read(4).unwrap();
     ram.write(4, vec![0xAB; BLOCK], &mut rng).unwrap();
     ram.server_mut().adversary_cells_mut().write(4, stale).unwrap();
-    assert!(matches!(
-        ram.read(4, &mut rng),
-        Err(HardenedRamError::Tampering { addr: 4, .. })
-    ));
+    assert!(matches!(ram.read(4, &mut rng), Err(HardenedRamError::Tampering { addr: 4, .. })));
 }
 
 /// After a detected attack the client state is still usable for other

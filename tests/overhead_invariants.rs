@@ -62,10 +62,7 @@ fn dp_ir_is_within_constant_of_lower_bound() {
         for epsilon in [2.0, (n as f64).ln() / 2.0, (n as f64).ln()] {
             let k = DpIrConfig::with_epsilon(n, epsilon, alpha).unwrap().k as f64;
             let lb = bounds::thm_3_4_ir_ops(n, epsilon, alpha, 0.0);
-            assert!(
-                k <= 4.0 * lb.max(1.0),
-                "n={n} eps={epsilon}: K = {k} vs bound {lb}"
-            );
+            assert!(k <= 4.0 * lb.max(1.0), "n={n} eps={epsilon}: K = {k} vs bound {lb}");
             assert!(k >= lb * 0.5, "construction cannot beat the bound meaningfully");
         }
     }
@@ -82,10 +79,7 @@ fn dp_ram_cost_is_feasible_per_thm_3_7() {
     // At the construction's epsilon (O(log n)), the bound must be <= 3.
     let eps = config.epsilon_upper_bound();
     let bound = bounds::thm_3_7_ram_ops(n, eps, 0.0, phi.max(2));
-    assert!(
-        bound <= 3.0,
-        "at eps = {eps:.1} the Thm 3.7 bound is {bound:.2} > 3 — contradiction"
-    );
+    assert!(bound <= 3.0, "at eps = {eps:.1} the Thm 3.7 bound is {bound:.2} > 3 — contradiction");
     // At constant epsilon the bound must *exceed* 3: constant overhead
     // impossible.
     let bound_low_eps = bounds::thm_3_7_ram_ops(n, 1.0, 0.0, 4);
@@ -121,22 +115,15 @@ fn dp_kvs_overhead_scales_as_loglog_vs_oram_log() {
 
         // Path ORAM at the same n moves Z * levels * 2 blocks.
         let db = database(n, 32);
-        let mut oram = PathOram::setup(
-            PathOramConfig::recommended(n, 32),
-            &db,
-            SimServer::new(),
-            &mut rng,
-        );
+        let mut oram =
+            PathOram::setup(PathOramConfig::recommended(n, 32), &db, SimServer::new(), &mut rng);
         let before = oram.server_stats();
         oram.read(0, &mut rng).unwrap();
         let d = oram.server_stats().since(&before);
         let oram_blocks = d.downloads + d.uploads;
         // log log n grows much slower than log n; at n = 2^12 the KVS depth
         // is ~5 while the ORAM path is 13 levels.
-        assert!(
-            (depth as u64) < oram_blocks,
-            "depth {depth} vs ORAM blocks {oram_blocks}"
-        );
+        assert!((depth as u64) < oram_blocks, "depth {depth} vs ORAM blocks {oram_blocks}");
     }
 }
 

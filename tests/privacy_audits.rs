@@ -70,10 +70,7 @@ fn strawman_fails_the_audit() {
     // Under Q1 (query 0), record 0 is always present; under Q2 it is absent
     // w.p. (n-1)/n. No finite epsilon covers a zero-probability event:
     let delta = report.delta_at(10.0);
-    assert!(
-        delta > 0.8,
-        "strawman must leak catastrophically: δ̂ at ε = 10 is only {delta}"
-    );
+    assert!(delta > 0.8, "strawman must leak catastrophically: δ̂ at ε = 10 is only {delta}");
 }
 
 /// DP-RAM: finite ε̂ on worst-case adjacent pairs, δ̂ ≈ 0 (pure DP), and

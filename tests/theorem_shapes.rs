@@ -53,11 +53,7 @@ fn forest_fill_decays_like_beta() {
     // β_0 envelope sanity: the number of filled leaves is below c·β_0 for a
     // small constant (β's constants are loose in the safe direction).
     let beta0 = beta_closed(n as f64, 0);
-    assert!(
-        (filled[0] as f64) < 40.0 * beta0,
-        "filled leaves {} vs β_0 = {beta0}",
-        filled[0]
-    );
+    assert!((filled[0] as f64) < 40.0 * beta0, "filled leaves {} vs β_0 = {beta0}", filled[0]);
 }
 
 /// The i* height where β drops below Φ is Θ(log log n): it must grow by at
@@ -106,10 +102,7 @@ fn forest_storage_is_linear() {
         let n = 1usize << exp;
         let g = ForestGeometry::recommended(n);
         let cells = g.total_nodes();
-        assert!(
-            cells <= 4 * n,
-            "n = 2^{exp}: {cells} cells is not O(n)"
-        );
+        assert!(cells <= 4 * n, "n = 2^{exp}: {cells} cells is not O(n)");
         assert!(cells >= n, "must at least cover the buckets");
     }
 }

@@ -41,16 +41,12 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` identifier.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId {
-            id: format!("{}/{}", function_name.into(), parameter),
-        }
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
     }
 
     /// Identifier from a parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId {
-            id: parameter.to_string(),
-        }
+        BenchmarkId { id: parameter.to_string() }
     }
 }
 
@@ -92,8 +88,8 @@ impl Bencher {
         let warm_start = Instant::now();
         black_box(routine());
         let one = warm_start.elapsed().max(Duration::from_nanos(1));
-        let iters_per_sample = (Duration::from_millis(2).as_nanos() / one.as_nanos())
-            .clamp(1, 10_000) as usize;
+        let iters_per_sample =
+            (Duration::from_millis(2).as_nanos() / one.as_nanos()).clamp(1, 10_000) as usize;
 
         for _ in 0..self.sample_size {
             let start = Instant::now();
@@ -113,10 +109,8 @@ impl Bencher {
         let min = sorted[0];
         let median = sorted[sorted.len() / 2];
         let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
-        let mut line = format!(
-            "{:<48} min {:>12?}  median {:>12?}  mean {:>12?}",
-            id, min, median, mean
-        );
+        let mut line =
+            format!("{:<48} min {:>12?}  median {:>12?}  mean {:>12?}", id, min, median, mean);
         if let Some(Throughput::Bytes(bytes)) = throughput {
             let gib_s = bytes as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
             line.push_str(&format!("  ({gib_s:.3} GiB/s)"));
@@ -162,10 +156,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into_id());
-        let mut b = Bencher {
-            samples: Vec::new(),
-            sample_size: self.sample_size,
-        };
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
         f(&mut b);
         b.report(&label, self.throughput);
         self
@@ -182,10 +173,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.id);
-        let mut b = Bencher {
-            samples: Vec::new(),
-            sample_size: self.sample_size,
-        };
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
         f(&mut b, input);
         b.report(&label, self.throughput);
         self
@@ -208,12 +196,7 @@ impl Criterion {
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            name: name.into(),
-            sample_size: 10,
-            throughput: None,
-            _criterion: self,
-        }
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, _criterion: self }
     }
 
     /// Runs a stand-alone benchmark outside any group.

@@ -48,9 +48,7 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x100_0000_01b3);
         }
-        TestRng {
-            state: h ^ base,
-        }
+        TestRng { state: h ^ base }
     }
 
     /// Next raw 64-bit output (splitmix64).
@@ -94,9 +92,7 @@ impl ProptestConfig {
             .ok()
             .and_then(|s| s.parse::<u32>().ok())
         {
-            Some(cap) => ProptestConfig {
-                cases: self.cases.min(cap.max(1)),
-            },
+            Some(cap) => ProptestConfig { cases: self.cases.min(cap.max(1)) },
             None => self,
         }
     }
@@ -131,11 +127,7 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter {
-            inner: self,
-            whence,
-            f,
-        }
+        Filter { inner: self, whence, f }
     }
 
     /// Chains a dependent strategy derived from each generated value.
@@ -221,10 +213,7 @@ where
                 return v;
             }
         }
-        panic!(
-            "prop_filter ({}) rejected 10000 consecutive candidates",
-            self.whence
-        );
+        panic!("prop_filter ({}) rejected 10000 consecutive candidates", self.whence);
     }
 }
 
@@ -407,29 +396,20 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange {
-                min: n,
-                max_inclusive: n,
-            }
+            SizeRange { min: n, max_inclusive: n }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange {
-                min: r.start,
-                max_inclusive: r.end - 1,
-            }
+            SizeRange { min: r.start, max_inclusive: r.end - 1 }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange {
-                min: *r.start(),
-                max_inclusive: *r.end(),
-            }
+            SizeRange { min: *r.start(), max_inclusive: *r.end() }
         }
     }
 
@@ -442,10 +422,7 @@ pub mod collection {
     /// Generates a vector with length drawn from `size` and elements from
     /// `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy {
-            element,
-            size: size.into(),
-        }
+        VecStrategy { element, size: size.into() }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
