@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run -p dps_bench --release --bin bench_smoke
 //! cargo run -p dps_bench --release --bin bench_smoke -- --json BENCH_3.json
+//! cargo run -p dps_bench --release --bin bench_smoke -- load --clients 8 --ops 5000
 //! ```
 //!
 //! Unlike the full Criterion targets this finishes in a few seconds; the
@@ -12,11 +13,20 @@
 //! PR can record its numbers (`BENCH_<pr>.json`) and diff against the
 //! previous ones. Single-config schemes carry `shards = threads = 1`,
 //! keeping their rows comparable with the flat `{"scheme": ns}` maps of
-//! BENCH_1/BENCH_2; the sharded sweeps add S/T columns on top, and
-//! throughput rows (`chacha_wide_throughput`, `linear_oram_reencrypt`)
-//! add a `"bytes"` field recording the payload bytes per op.
+//! BENCH_1/BENCH_2; the sharded sweeps add S/T columns on top, throughput
+//! rows (`chacha_wide_throughput`, `linear_oram_reencrypt`) add a
+//! `"bytes"` field recording the payload bytes per op, and the closed-loop
+//! network rows (`net_load_*`) add `"p95_ns"`, `"p99_ns"` and
+//! `"ops_per_s"` tail-latency columns.
+//!
+//! The `load` subcommand runs just the closed-loop network load driver
+//! with its knobs exposed (`--clients`, `--ops`, `--cells`, `--theta`,
+//! `--writes`), for interactive latency exploration outside CI.
 
 use std::time::Instant;
+
+use dps_workloads::generators::zipf_ram;
+use dps_workloads::Op;
 
 use dps_core::dp_ir::{DpIr, DpIrConfig};
 use dps_core::dp_kvs::{DpKvs, DpKvsConfig};
@@ -33,27 +43,41 @@ use dps_workloads::generators::database;
 /// One bench record: scheme name plus the sharding/threading configuration
 /// it ran under (1/1 for the sequential baselines). `threads` counts the
 /// threads doing the work, whichever side they live on: concurrent
-/// *client* threads for `sharded_read_mt`, worker-*pool* width for
-/// `sharded_write_strided` / `par_encrypt_batch`. Throughput-oriented rows
-/// additionally record `bytes` — the payload bytes one op moves through
-/// the crypto core — so ns/op stays interpretable as bytes/s across PRs;
-/// `bytes` is omitted from the JSON when zero, keeping legacy rows
-/// byte-stable.
+/// *client* threads for `sharded_read_mt` and `net_load_*`, worker-*pool*
+/// width for `sharded_write_strided` / `par_encrypt_batch`, and the
+/// in-flight request window for `remote_pipelined_read` (one client
+/// thread, `threads` tagged requests outstanding). Throughput-oriented
+/// rows additionally record `bytes` — the payload bytes one op moves
+/// through the crypto core — and closed-loop load rows record tail
+/// latency (`p95_ns`, `p99_ns`; `median_ns` is their p50) plus
+/// `ops_per_s`; every extra column is omitted from the JSON when zero,
+/// keeping legacy rows byte-stable.
+#[derive(Default)]
 struct Record {
     scheme: String,
     shards: usize,
     threads: usize,
     median_ns: u64,
     bytes: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    ops_per_s: u64,
 }
 
 impl Record {
     fn single(scheme: &str, median_ns: u64) -> Self {
-        Self { scheme: scheme.to_string(), shards: 1, threads: 1, median_ns, bytes: 0 }
+        Self { scheme: scheme.to_string(), shards: 1, threads: 1, median_ns, ..Self::default() }
     }
 
     fn throughput(scheme: &str, median_ns: u64, bytes: u64) -> Self {
-        Self { scheme: scheme.to_string(), shards: 1, threads: 1, median_ns, bytes }
+        Self {
+            scheme: scheme.to_string(),
+            shards: 1,
+            threads: 1,
+            median_ns,
+            bytes,
+            ..Self::default()
+        }
     }
 }
 
@@ -123,8 +147,136 @@ fn mt_read_ns(
     })
 }
 
+/// What one closed-loop load run measured: per-op latency percentiles
+/// over every op of every client, plus aggregate throughput.
+struct LoadSummary {
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    ops_per_s: u64,
+}
+
+/// `sorted` must be ascending; returns the `pct`-th percentile sample.
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    sorted[(sorted.len() - 1) * pct / 100]
+}
+
+/// Closed-loop network load driver: `clients` threads each hold one
+/// connection to a fresh loopback daemon over `n` cells of `block` bytes
+/// and replay a private `zipf_ram` trace (Zipf(θ) indices,
+/// `write_fraction` overwrites) one op at a time — the next op is issued
+/// only once the previous response lands, so each recorded latency is a
+/// full request/response round trip including the daemon's queueing under
+/// whatever contention the other clients generate.
+fn net_load(
+    clients: usize,
+    ops_per_client: usize,
+    n: usize,
+    block: usize,
+    theta: f64,
+    write_fraction: f64,
+) -> LoadSummary {
+    let db = database(n, block);
+    let mut server = ShardedServer::new(4);
+    Storage::init(&mut server, db);
+    let daemon = NetDaemon::spawn(server).expect("spawn load daemon");
+    let addr = daemon.local_addr();
+
+    // Traces are pre-drawn so trace generation never shows up in the
+    // measured latencies.
+    let traces: Vec<_> = (0..clients)
+        .map(|c| {
+            let mut rng = ChaChaRng::seed_from_u64(0xC0FFEE + c as u64);
+            zipf_ram(n, ops_per_client, theta, write_fraction, &mut rng)
+        })
+        .collect();
+
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = traces
+            .iter()
+            .map(|trace| {
+                scope.spawn(move || {
+                    let remote = RemoteServer::connect(addr).expect("connect load client");
+                    let payload = vec![0x5Au8; block];
+                    let mut lats = Vec::with_capacity(trace.len());
+                    for q in trace {
+                        let t = Instant::now();
+                        match q.op {
+                            Op::Read => {
+                                remote.try_read_batch(&[q.index]).expect("load read");
+                            }
+                            Op::Write => {
+                                remote
+                                    .try_write_batch(vec![(q.index, payload.clone())])
+                                    .expect("load write");
+                            }
+                        }
+                        lats.push(t.elapsed().as_nanos() as u64);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    daemon.shutdown();
+
+    latencies.sort_unstable();
+    let total_ops = (clients * ops_per_client) as u64;
+    LoadSummary {
+        p50_ns: percentile(&latencies, 50),
+        p95_ns: percentile(&latencies, 95),
+        p99_ns: percentile(&latencies, 99),
+        ops_per_s: total_ops.saturating_mul(1_000_000_000) / wall_ns.max(1),
+    }
+}
+
+/// `--flag value` parsing for the `load` subcommand, with a default.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|e| panic!("bad value for {name}: {e:?}"))
+        })
+        .unwrap_or(default)
+}
+
+/// The `load` subcommand: run one configurable closed-loop load and print
+/// its latency profile, without the rest of the smoke suite.
+fn run_load_command(args: &[String]) {
+    let clients: usize = flag(args, "--clients", 4);
+    let ops: usize = flag(args, "--ops", 2000);
+    let cells: usize = flag(args, "--cells", 4096);
+    let block: usize = flag(args, "--block", 256);
+    let theta: f64 = flag(args, "--theta", 0.99);
+    let writes: f64 = flag(args, "--writes", 0.1);
+    println!(
+        "net load: {clients} clients x {ops} ops, {cells} cells x {block} B, \
+         Zipf(theta = {theta}), write fraction {writes}"
+    );
+    let s = net_load(clients, ops, cells, block, theta, writes);
+    println!(
+        "p50 {} ns   p95 {} ns   p99 {} ns   {} ops/s",
+        s.p50_ns, s.p95_ns, s.p99_ns, s.ops_per_s
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("load") {
+        run_load_command(&args[1..]);
+        return;
+    }
     let json_path = args
         .iter()
         .position(|a| a == "--json")
@@ -340,7 +492,7 @@ fn main() {
                     shards,
                     threads: clients,
                     median_ns: ns,
-                    bytes: 0,
+                    ..Record::default()
                 });
             }
         }
@@ -364,7 +516,7 @@ fn main() {
                 shards,
                 threads,
                 median_ns: ns / n as u64, // per cell
-                bytes: 0,
+                ..Record::default()
             });
         }
     }
@@ -404,8 +556,53 @@ fn main() {
                 shards,
                 threads: 1,
                 median_ns: ns / batch as u64, // per cell
-                bytes: 0,
+                ..Record::default()
             });
+
+            // Single-cell tagged reads with a window of requests in
+            // flight (wire v2 pipelining), swept over window sizes. At
+            // one cell per request the fixed per-round-trip cost —
+            // scheduler ping-pong between the client and the daemon
+            // thread, the daemon wake-up — dominates the payload, which
+            // is exactly the regime pipelining exists for: with window W
+            // the whole window crosses each direction of the loopback in
+            // one burst, so that fixed cost is paid once per *window*
+            // instead of once per request. `threads` records the
+            // in-flight window (one OS thread either way); the W = 1 row
+            // is the one-in-flight baseline the W = 8 row's speedup is
+            // read against.
+            let small = 1;
+            for window in [1usize, 8] {
+                let mut sink = 0u64;
+                let mut i = 0;
+                let ns = median_ns(samples, 100, || {
+                    let requests: Vec<_> = (0..window)
+                        .map(|w| {
+                            let addrs: Vec<usize> =
+                                (0..small).map(|k| ((i + w) * 13 + k * 7) % n).collect();
+                            dps_net::Request::ReadBatch { addrs }
+                        })
+                        .collect();
+                    let tickets = remote.submit_all(&requests).expect("bench pipelined submit");
+                    i += window;
+                    for ticket in tickets {
+                        let payload = remote.wait_payload(ticket).expect("bench pipelined wait");
+                        let cells = dps_net::wire::visit_cells(&payload, |_, cell| {
+                            sink = sink.wrapping_add(u64::from(cell[0]));
+                        })
+                        .expect("bench pipelined decode");
+                        assert!(cells, "expected a Cells response");
+                    }
+                });
+                std::hint::black_box(sink);
+                results.push(Record {
+                    scheme: "remote_pipelined_read".to_string(),
+                    shards,
+                    threads: window, // in-flight window, not OS threads
+                    median_ns: ns / (window * small) as u64, // per cell
+                    ..Record::default()
+                });
+            }
 
             // Whole-database strided upload in one frame (the remote
             // twin of sharded_write_strided).
@@ -421,7 +618,7 @@ fn main() {
                 shards,
                 threads: 1,
                 median_ns: ns / n as u64, // per cell
-                bytes: 0,
+                ..Record::default()
             });
 
             drop(remote);
@@ -449,24 +646,61 @@ fn main() {
                 shards: 1,
                 threads,
                 median_ns: ns / cells as u64, // per cell
-                bytes: 0,
+                ..Record::default()
+            });
+        }
+    }
+
+    // Closed-loop load against one loopback daemon: C client threads
+    // replaying Zipf read/write mixes, one op in flight per client. The
+    // read-only mix isolates the round-trip floor; the mixed trace adds
+    // write traffic on the hot Zipf head. `median_ns` is the per-op p50.
+    {
+        let n = 1 << 12;
+        let ops = 1200;
+        for (clients, write_fraction) in [(1usize, 0.0f64), (4, 0.0), (4, 0.2)] {
+            let s = net_load(clients, ops, n, 256, 0.99, write_fraction);
+            let scheme =
+                if write_fraction == 0.0 { "net_load_zipf_read" } else { "net_load_zipf_mixed" };
+            results.push(Record {
+                scheme: scheme.to_string(),
+                shards: 4,
+                threads: clients,
+                median_ns: s.p50_ns,
+                p95_ns: s.p95_ns,
+                p99_ns: s.p99_ns,
+                ops_per_s: s.ops_per_s,
+                ..Record::default()
             });
         }
     }
 
     println!("{:<24} {:>6} {:>7}  median ns/op", "scheme", "shards", "threads");
     for r in &results {
-        println!("{:<24} {:>6} {:>7}  {}", r.scheme, r.shards, r.threads, r.median_ns);
+        print!("{:<24} {:>6} {:>7}  {}", r.scheme, r.shards, r.threads, r.median_ns);
+        if r.ops_per_s > 0 {
+            print!("  (p95 {}, p99 {}, {} ops/s)", r.p95_ns, r.p99_ns, r.ops_per_s);
+        }
+        println!();
     }
 
     if let Some(path) = json_path {
         let mut json = String::from("[\n");
         for (i, r) in results.iter().enumerate() {
             let comma = if i + 1 == results.len() { "" } else { "," };
-            let bytes_field =
-                if r.bytes > 0 { format!(", \"bytes\": {}", r.bytes) } else { String::new() };
+            let mut extra = String::new();
+            for (name, value) in [
+                ("bytes", r.bytes),
+                ("p95_ns", r.p95_ns),
+                ("p99_ns", r.p99_ns),
+                ("ops_per_s", r.ops_per_s),
+            ] {
+                if value > 0 {
+                    extra.push_str(&format!(", \"{name}\": {value}"));
+                }
+            }
             json.push_str(&format!(
-                "  {{\"scheme\": \"{}\", \"shards\": {}, \"threads\": {}, \"median_ns\": {}{bytes_field}}}{comma}\n",
+                "  {{\"scheme\": \"{}\", \"shards\": {}, \"threads\": {}, \"median_ns\": {}{extra}}}{comma}\n",
                 r.scheme, r.shards, r.threads, r.median_ns
             ));
         }

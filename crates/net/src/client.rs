@@ -10,12 +10,30 @@
 //! `access_batch`) stay single round trips no matter the batch size, so
 //! the paper's round-trip accounting carries over to the wire unchanged.
 //!
+//! # Protocol versions and pipelining
+//!
+//! [`RemoteServer::connect`] speaks wire protocol v2 (`DPS2`): every
+//! request frame carries a fresh id, and responses echo it. That makes
+//! the connection *pipelineable* — [`RemoteServer::submit`] puts a
+//! request on the wire without waiting, returning a [`Ticket`];
+//! [`RemoteServer::wait`] collects a specific response whenever it is
+//! wanted, matching by id and stashing whatever else arrives in between,
+//! so completions are order-independent. The synchronous `Storage`
+//! surface is simply `submit` immediately followed by `wait`.
+//!
+//! [`RemoteServer::connect_v1`] speaks the original one-in-flight v1
+//! protocol (`DPS1`) instead — the compatibility mode old clients get
+//! from a new daemon, and what the compatibility suite pins. A v1
+//! connection cannot pipeline; [`RemoteServer::submit`] on it returns a
+//! typed error.
+//!
 //! # Cost accounting
 //!
 //! The client counts what it actually puts on the wire — framed exchanges
-//! and their encoded bytes, headers included — and folds those counters
-//! into the `wire_*` fields of the [`CostStats`] returned by
-//! [`Storage::stats`]. The model-level fields come from the daemon, so
+//! and their encoded bytes, headers included, plus the high-water mark of
+//! simultaneously in-flight requests — and folds those counters into the
+//! `wire_*` fields of the [`CostStats`] returned by [`Storage::stats`].
+//! The model-level fields come from the daemon, so
 //! `remote.stats().sans_wire()` is bit-comparable with a local server's
 //! stats; the loopback equivalence suite pins exactly that.
 //!
@@ -23,11 +41,15 @@
 //!
 //! Model-level failures ([`ServerError`]) travel in-band and are returned
 //! exactly like a local server would. *Wire*-level failures (peer gone,
-//! truncated frame, corrupt response) have no representation in the
+//! truncated frame, corrupt response, a `Cells` response with the wrong
+//! cell count, an unknown response id) have no representation in the
 //! [`Storage`] error type — a broken wire is infrastructure failure, not
 //! a storage outcome — so the trait surface panics on them. Callers that
 //! need to observe transport faults (tests, reconnect logic) use the
-//! fallible inherent [`RemoteServer::try_call`] instead.
+//! fallible inherent surface instead: every `Storage` method has a
+//! `try_*` twin returning [`RemoteError`], with wire-level misbehavior
+//! surfaced typed ([`WireError::CellCountMismatch`],
+//! [`WireError::UnknownRequestId`], …) instead of panicking.
 //!
 //! # Size limits
 //!
@@ -40,13 +62,16 @@
 //! magnitude of the cap. A batch that large panics with a typed
 //! [`WireError::BadLength`] message rather than degrading silently.
 
-use std::cell::Cell;
-use std::io::Write;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 
 use dps_server::{CostStats, ServerError, Storage, Transcript};
 
-use crate::wire::{read_frame, visit_cells, Request, Response, WireError, HEADER_LEN};
+use crate::wire::{
+    read_frame, read_frame_v2, visit_cells, Request, Response, WireError, HEADER2_LEN, HEADER_LEN,
+};
 
 /// A wire-level or model-level failure of a remote call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,35 +100,65 @@ impl From<WireError> for RemoteError {
     }
 }
 
+/// A claim on the response to one pipelined request (see
+/// [`RemoteServer::submit`]). Tickets are per-connection and single-use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// The request id this ticket's response will carry on the wire.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Which frame header this connection speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Original `DPS1` framing: un-tagged, strictly one in flight.
+    V1,
+    /// `DPS2` framing: id-tagged frames, pipelining allowed.
+    V2,
+}
+
 /// A [`Storage`] backend living on the far side of a TCP connection.
 ///
-/// See the [module docs](self) for the round-trip and failure contracts.
+/// See the [module docs](self) for the round-trip, pipelining and
+/// failure contracts.
 #[derive(Debug)]
 pub struct RemoteServer {
     stream: TcpStream,
+    /// Buffered receive side (a cloned handle of `stream`): one `read`
+    /// syscall can pull a whole burst of pipelined responses off the
+    /// socket, instead of two-plus syscalls per frame.
+    reader: RefCell<BufReader<TcpStream>>,
     peer: SocketAddr,
+    mode: Mode,
     /// Databases whose encoded `Init` frame would exceed this many bytes
     /// are streamed as `InitChunk` frames instead (see
     /// [`RemoteServer::with_init_chunk_bytes`]).
     init_chunk_bytes: usize,
     // Interior mutability because half the `Storage` surface is `&self`
-    // (`stats`, `capacity`, …) but still performs an exchange. `Cell` is
-    // `Send` (the trait's bound) without the cost of atomics; the
-    // connection itself serializes all exchanges anyway.
+    // (`stats`, `capacity`, …) but still performs an exchange.
+    // `Cell`/`RefCell` are `Send` (the trait's bound) without the cost of
+    // atomics; the connection itself serializes all exchanges anyway.
+    /// Next v2 request id to assign.
+    next_id: Cell<u64>,
+    /// Ids submitted and not yet answered.
+    outstanding: RefCell<HashSet<u64>>,
+    /// Answered-but-unclaimed response payloads, keyed by id — how
+    /// out-of-order completions wait for their ticket holder.
+    stash: RefCell<HashMap<u64, Vec<u8>>>,
     wire_round_trips: Cell<u64>,
     wire_bytes_up: Cell<u64>,
     wire_bytes_down: Cell<u64>,
+    wire_inflight_max: Cell<u64>,
 }
 
 /// Default [`RemoteServer::with_init_chunk_bytes`] threshold: 32 MiB,
 /// comfortably under [`crate::wire::MAX_FRAME`] while keeping chunked
 /// setup to a handful of frames per GiB.
 pub const DEFAULT_INIT_CHUNK_BYTES: usize = 1 << 25;
-
-/// Unwraps a transport result on the infallible `Storage` surface.
-fn wire_ok<T>(result: Result<T, WireError>) -> T {
-    result.unwrap_or_else(|e| panic!("dps_net wire failure: {e}"))
-}
 
 /// Maps a remote result onto the `Storage` error surface: model errors
 /// pass through, wire errors panic (see the module docs).
@@ -117,18 +172,37 @@ fn model<T>(result: Result<T, RemoteError>) -> Result<T, ServerError> {
 
 impl RemoteServer {
     /// Connects to a [`crate::NetDaemon`] (or anything speaking the same
-    /// protocol) at `addr`.
+    /// protocol) at `addr`, speaking the pipelined v2 protocol.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_mode(addr, Mode::V2)
+    }
+
+    /// Connects speaking the original one-in-flight v1 protocol — what a
+    /// pre-pipelining client looks like to the daemon. The full
+    /// `Storage` surface works identically; only [`RemoteServer::submit`]
+    /// is unavailable.
+    pub fn connect_v1(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_mode(addr, Mode::V1)
+    }
+
+    fn connect_mode(addr: impl ToSocketAddrs, mode: Mode) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let peer = stream.peer_addr()?;
+        let reader = RefCell::new(BufReader::new(stream.try_clone()?));
         Ok(Self {
             stream,
+            reader,
             peer,
+            mode,
             init_chunk_bytes: DEFAULT_INIT_CHUNK_BYTES,
+            next_id: Cell::new(1),
+            outstanding: RefCell::new(HashSet::new()),
+            stash: RefCell::new(HashMap::new()),
             wire_round_trips: Cell::new(0),
             wire_bytes_up: Cell::new(0),
             wire_bytes_down: Cell::new(0),
+            wire_inflight_max: Cell::new(0),
         })
     }
 
@@ -156,32 +230,147 @@ impl RemoteServer {
         }
     }
 
-    /// The client-side wire counters alone (every model-level field zero):
-    /// framed exchanges and framed bytes since construction or the last
+    /// The client-side wire counters alone (every model-level field
+    /// zero): framed exchanges, framed bytes, and the in-flight
+    /// high-water mark since construction or the last
     /// [`Storage::reset_stats`]. No exchange is performed.
     pub fn wire_stats(&self) -> CostStats {
         CostStats {
             wire_round_trips: self.wire_round_trips.get(),
             wire_bytes_up: self.wire_bytes_up.get(),
             wire_bytes_down: self.wire_bytes_down.get(),
+            wire_inflight_max: self.wire_inflight_max.get(),
             ..CostStats::default()
         }
     }
 
-    /// Performs one framed exchange, returning the raw response payload.
-    /// This is the only place bytes touch the socket, so the wire counters
-    /// are exact by construction: one `try_call`, one wire round trip.
-    pub fn try_call(&self, request: &Request) -> Result<Vec<u8>, WireError> {
-        let framed = request.encode_framed()?;
+    /// Requests currently submitted and unanswered.
+    pub fn inflight(&self) -> usize {
+        self.outstanding.borrow().len()
+    }
+
+    // ---- pipelined core ------------------------------------------------
+
+    /// Puts `request` on the wire without waiting for its response,
+    /// returning the [`Ticket`] that [`RemoteServer::wait`] (or
+    /// [`RemoteServer::wait_payload`]) later redeems. Any number of
+    /// tickets may be outstanding; responses may be redeemed in any
+    /// order. Requires a v2 connection — a [`RemoteServer::connect_v1`]
+    /// client returns a typed error.
+    pub fn submit(&self, request: &Request) -> Result<Ticket, WireError> {
+        if self.mode == Mode::V1 {
+            return Err(WireError::BadPayload("a v1 connection cannot pipeline"));
+        }
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        let framed = request.encode_framed_v2(id)?;
         (&self.stream).write_all(&framed)?;
-        let payload = read_frame(&mut (&self.stream))?
-            .ok_or(WireError::Truncated { expected: HEADER_LEN, got: 0 })?;
-        self.wire_round_trips.set(self.wire_round_trips.get() + 1);
         self.wire_bytes_up
             .set(self.wire_bytes_up.get() + framed.len() as u64);
-        self.wire_bytes_down
-            .set(self.wire_bytes_down.get() + (HEADER_LEN + payload.len()) as u64);
-        Ok(payload)
+        self.outstanding.borrow_mut().insert(id);
+        let inflight = self.outstanding.borrow().len() as u64;
+        self.wire_inflight_max
+            .set(self.wire_inflight_max.get().max(inflight));
+        Ok(Ticket(id))
+    }
+
+    /// [`RemoteServer::submit`] for a whole window at once: every request
+    /// is framed into one buffer and put on the wire with a *single*
+    /// write, so the window crosses the loopback (and wakes the daemon)
+    /// as one burst instead of one wake-up per request. Semantically
+    /// identical to submitting each request in order — it exists purely
+    /// because N syscalls and N scheduler round trips are the dominant
+    /// cost of small pipelined requests.
+    pub fn submit_all(&self, requests: &[Request]) -> Result<Vec<Ticket>, WireError> {
+        if self.mode == Mode::V1 {
+            return Err(WireError::BadPayload("a v1 connection cannot pipeline"));
+        }
+        let mut burst = Vec::new();
+        let mut tickets = Vec::with_capacity(requests.len());
+        for request in requests {
+            let id = self.next_id.get();
+            self.next_id.set(id + 1);
+            burst.extend_from_slice(&request.encode_framed_v2(id)?);
+            tickets.push(Ticket(id));
+        }
+        (&self.stream).write_all(&burst)?;
+        self.wire_bytes_up
+            .set(self.wire_bytes_up.get() + burst.len() as u64);
+        let mut outstanding = self.outstanding.borrow_mut();
+        for ticket in &tickets {
+            outstanding.insert(ticket.0);
+        }
+        let inflight = outstanding.len() as u64;
+        drop(outstanding);
+        self.wire_inflight_max
+            .set(self.wire_inflight_max.get().max(inflight));
+        Ok(tickets)
+    }
+
+    /// Redeems a ticket for its raw response payload, reading frames off
+    /// the socket until the matching id arrives. Responses for *other*
+    /// tickets that arrive first are stashed for their own `wait`; a
+    /// response whose id matches no outstanding request is a protocol
+    /// violation ([`WireError::UnknownRequestId`]).
+    pub fn wait_payload(&self, ticket: Ticket) -> Result<Vec<u8>, WireError> {
+        if let Some(payload) = self.stash.borrow_mut().remove(&ticket.0) {
+            return Ok(payload);
+        }
+        if !self.outstanding.borrow().contains(&ticket.0) {
+            return Err(WireError::UnknownRequestId(ticket.0));
+        }
+        loop {
+            let (id, payload) = read_frame_v2(&mut *self.reader.borrow_mut())?
+                .ok_or(WireError::Truncated { expected: HEADER2_LEN, got: 0 })?;
+            if !self.outstanding.borrow_mut().remove(&id) {
+                return Err(WireError::UnknownRequestId(id));
+            }
+            self.wire_round_trips.set(self.wire_round_trips.get() + 1);
+            self.wire_bytes_down
+                .set(self.wire_bytes_down.get() + (HEADER2_LEN + payload.len()) as u64);
+            if id == ticket.0 {
+                return Ok(payload);
+            }
+            self.stash.borrow_mut().insert(id, payload);
+        }
+    }
+
+    /// [`RemoteServer::wait_payload`] plus response decoding, with
+    /// in-band server failures separated from wire failures.
+    pub fn wait(&self, ticket: Ticket) -> Result<Response, RemoteError> {
+        let payload = self.wait_payload(ticket)?;
+        match Response::decode(&payload)? {
+            Response::Fail(e) => Err(RemoteError::Server(e)),
+            response => Ok(response),
+        }
+    }
+
+    /// Performs one framed exchange, returning the raw response payload.
+    /// On a v2 connection this is [`RemoteServer::submit`] immediately
+    /// followed by [`RemoteServer::wait_payload`]; on a v1 connection it
+    /// is the original blocking write-then-read. Either way the wire
+    /// counters are exact by construction: one `try_call`, one wire
+    /// round trip.
+    pub fn try_call(&self, request: &Request) -> Result<Vec<u8>, WireError> {
+        match self.mode {
+            Mode::V2 => {
+                let ticket = self.submit(request)?;
+                self.wait_payload(ticket)
+            }
+            Mode::V1 => {
+                let framed = request.encode_framed()?;
+                (&self.stream).write_all(&framed)?;
+                let payload = read_frame(&mut *self.reader.borrow_mut())?
+                    .ok_or(WireError::Truncated { expected: HEADER_LEN, got: 0 })?;
+                self.wire_round_trips.set(self.wire_round_trips.get() + 1);
+                self.wire_bytes_up
+                    .set(self.wire_bytes_up.get() + framed.len() as u64);
+                self.wire_bytes_down
+                    .set(self.wire_bytes_down.get() + (HEADER_LEN + payload.len()) as u64);
+                self.wire_inflight_max.set(self.wire_inflight_max.get().max(1));
+                Ok(payload)
+            }
+        }
     }
 
     /// [`RemoteServer::try_call`] plus response decoding, with in-band
@@ -207,6 +396,214 @@ impl RemoteServer {
             other => Err(WireError::BadPayload(unexpected(&other)).into()),
         }
     }
+
+    // ---- fallible Storage surface --------------------------------------
+    //
+    // One `try_*` twin per `Storage` method: identical exchanges and
+    // semantics, but every wire-level failure comes back as a typed
+    // `RemoteError` instead of a panic. The `Storage` impl below is a
+    // thin panicking adapter over these.
+
+    /// Fallible [`Storage::init`]: one `Init` frame for small databases;
+    /// above the chunking threshold the cells stream as `InitChunk`
+    /// frames so setup never hits the [`crate::wire::MAX_FRAME`] cap,
+    /// whatever the database size.
+    pub fn try_init(&self, cells: Vec<Vec<u8>>) -> Result<(), RemoteError> {
+        let encoded: usize = cells.iter().map(|c| c.len() + 8).sum::<usize>() + 16;
+        if cells.is_empty() || encoded <= self.init_chunk_bytes {
+            return self.expect_ok(&Request::Init { cells });
+        }
+        let mut chunk: Vec<Vec<u8>> = Vec::new();
+        let mut chunk_bytes = 0usize;
+        let mut iter = cells.into_iter().peekable();
+        while let Some(cell) = iter.next() {
+            chunk_bytes += cell.len() + 8;
+            chunk.push(cell);
+            let next_fits = iter
+                .peek()
+                .is_some_and(|next| chunk_bytes + next.len() + 8 <= self.init_chunk_bytes);
+            if !next_fits {
+                let done = iter.peek().is_none();
+                let request = Request::InitChunk { done, cells: std::mem::take(&mut chunk) };
+                chunk_bytes = 0;
+                self.expect_ok(&request)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fallible [`Storage::init_empty`].
+    pub fn try_init_empty(&self, capacity: usize) -> Result<(), RemoteError> {
+        self.expect_ok(&Request::InitEmpty { capacity })
+    }
+
+    /// Fallible [`Storage::capacity`].
+    pub fn try_capacity(&self) -> Result<usize, RemoteError> {
+        Ok(self.expect_number(&Request::Capacity)? as usize)
+    }
+
+    /// Fallible [`Storage::stored_bytes`].
+    pub fn try_stored_bytes(&self) -> Result<u64, RemoteError> {
+        self.expect_number(&Request::StoredBytes)
+    }
+
+    /// Fallible [`Storage::cell_stride`].
+    pub fn try_cell_stride(&self) -> Result<usize, RemoteError> {
+        Ok(self.expect_number(&Request::CellStride)? as usize)
+    }
+
+    /// Fallible [`Storage::start_recording`].
+    pub fn try_start_recording(&self) -> Result<(), RemoteError> {
+        self.expect_ok(&Request::StartRecording)
+    }
+
+    /// Fallible [`Storage::take_transcript`].
+    pub fn try_take_transcript(&self) -> Result<Transcript, RemoteError> {
+        match self.request(&Request::TakeTranscript)? {
+            Response::TranscriptData(t) => Ok(t),
+            other => Err(WireError::BadPayload(unexpected(&other)).into()),
+        }
+    }
+
+    /// Fallible [`Storage::is_recording`].
+    pub fn try_is_recording(&self) -> Result<bool, RemoteError> {
+        match self.request(&Request::IsRecording)? {
+            Response::Flag(b) => Ok(b),
+            other => Err(WireError::BadPayload(unexpected(&other)).into()),
+        }
+    }
+
+    /// Fallible [`Storage::stats`]: server-side model counters plus this
+    /// client's wire counters (the stats exchange itself included).
+    pub fn try_stats(&self) -> Result<CostStats, RemoteError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s.plus(&self.wire_stats())),
+            other => Err(WireError::BadPayload(unexpected(&other)).into()),
+        }
+    }
+
+    /// Fallible [`Storage::reset_stats`]. Wire counters restart *after*
+    /// the reset exchange, so they count exchanges since the reset —
+    /// mirroring the server-side counters.
+    pub fn try_reset_stats(&self) -> Result<(), RemoteError> {
+        self.expect_ok(&Request::ResetStats)?;
+        self.wire_round_trips.set(0);
+        self.wire_bytes_up.set(0);
+        self.wire_bytes_down.set(0);
+        self.wire_inflight_max.set(0);
+        Ok(())
+    }
+
+    /// Fallible [`Storage::read_batch_with`]. A response with the wrong
+    /// cell count comes back as [`WireError::CellCountMismatch`]; cells
+    /// visited before the count is known stay visited, so on error the
+    /// callback may already have observed a prefix.
+    pub fn try_read_batch_with(
+        &self,
+        addrs: &[usize],
+        mut visit: impl FnMut(usize, &[u8]),
+    ) -> Result<(), RemoteError> {
+        let payload = self.try_call(&Request::ReadBatch { addrs: addrs.to_vec() })?;
+        // Hot path: hand out slices borrowed from the one response
+        // buffer. The count check keeps the Storage contract honest (one
+        // visit per requested address, in order) even against a
+        // non-conforming peer — a broken wire must never silently
+        // fabricate or skip cells.
+        let mut got = 0usize;
+        let was_cells = visit_cells(&payload, |i, cell| {
+            got += 1;
+            if i < addrs.len() {
+                visit(i, cell);
+            }
+        })
+        .map_err(RemoteError::from)?;
+        if was_cells {
+            if got != addrs.len() {
+                return Err(WireError::CellCountMismatch { got, expected: addrs.len() }.into());
+            }
+            return Ok(());
+        }
+        match Response::decode(&payload).map_err(RemoteError::from)? {
+            Response::Fail(e) => Err(RemoteError::Server(e)),
+            other => Err(WireError::BadPayload(unexpected(&other)).into()),
+        }
+    }
+
+    /// Fallible [`Storage::read_batch`].
+    pub fn try_read_batch(&self, addrs: &[usize]) -> Result<Vec<Vec<u8>>, RemoteError> {
+        let mut out = Vec::with_capacity(addrs.len());
+        self.try_read_batch_with(addrs, |_, cell| out.push(cell.to_vec()))?;
+        Ok(out)
+    }
+
+    /// Fallible [`Storage::write_batch`].
+    pub fn try_write_batch(&self, writes: Vec<(usize, Vec<u8>)>) -> Result<(), RemoteError> {
+        self.expect_ok(&Request::WriteBatch { writes })
+    }
+
+    /// Fallible [`Storage::write_from`].
+    pub fn try_write_from(&self, addr: usize, cell: &[u8]) -> Result<(), RemoteError> {
+        self.expect_ok(&Request::WriteFrom { addr, cell: cell.to_vec() })
+    }
+
+    /// Fallible [`Storage::write_batch_strided`]. The caller contract the
+    /// in-process API asserts (flat length a multiple of the cell count)
+    /// comes back as a typed error here instead of a panic.
+    pub fn try_write_batch_strided(&self, addrs: &[usize], flat: &[u8]) -> Result<(), RemoteError> {
+        if addrs.is_empty() {
+            if !flat.is_empty() {
+                return Err(WireError::BadPayload("flat bytes without addresses").into());
+            }
+        } else if !flat.len().is_multiple_of(addrs.len()) {
+            return Err(WireError::BadPayload("flat length not a multiple of cell count").into());
+        }
+        self.expect_ok(&Request::WriteBatchStrided { addrs: addrs.to_vec(), flat: flat.to_vec() })
+    }
+
+    /// Fallible [`Storage::access_batch`]. A response with the wrong cell
+    /// count comes back as [`WireError::CellCountMismatch`].
+    pub fn try_access_batch(
+        &self,
+        reads: &[usize],
+        writes: Vec<(usize, Vec<u8>)>,
+    ) -> Result<Vec<Vec<u8>>, RemoteError> {
+        match self.request(&Request::AccessBatch { reads: reads.to_vec(), writes })? {
+            Response::Cells(cells) => {
+                if cells.len() != reads.len() {
+                    return Err(WireError::CellCountMismatch {
+                        got: cells.len(),
+                        expected: reads.len(),
+                    }
+                    .into());
+                }
+                Ok(cells)
+            }
+            other => Err(WireError::BadPayload(unexpected(&other)).into()),
+        }
+    }
+
+    /// Fallible [`Storage::xor_cells_into`].
+    pub fn try_xor_cells_into(
+        &self,
+        addrs: &[usize],
+        acc: &mut Vec<u8>,
+    ) -> Result<(), RemoteError> {
+        match self.request(&Request::XorCells { addrs: addrs.to_vec() })? {
+            Response::Bytes(bytes) => {
+                acc.clear();
+                acc.extend_from_slice(&bytes);
+                Ok(())
+            }
+            other => Err(WireError::BadPayload(unexpected(&other)).into()),
+        }
+    }
+
+    /// Fallible [`Storage::xor_cells`].
+    pub fn try_xor_cells(&self, addrs: &[usize]) -> Result<Vec<u8>, RemoteError> {
+        let mut acc = Vec::new();
+        self.try_xor_cells_into(addrs, &mut acc)?;
+        Ok(acc)
+    }
 }
 
 /// A static description for "the response kind was wrong" errors —
@@ -226,126 +623,63 @@ fn unexpected(response: &Response) -> &'static str {
 }
 
 impl Storage for RemoteServer {
-    /// One `Init` frame for small databases; above the chunking threshold
-    /// the cells stream as `InitChunk` frames so setup never hits the
-    /// [`crate::wire::MAX_FRAME`] cap, whatever the database size. Init
-    /// is uncharged setup either way — model stats and transcript are
-    /// untouched; only the wire counters see the extra frames.
+    /// See [`RemoteServer::try_init`]; init is uncharged setup either way
+    /// — model stats and transcript are untouched; only the wire counters
+    /// see the extra frames.
     fn init(&mut self, cells: Vec<Vec<u8>>) {
-        let encoded: usize = cells.iter().map(|c| c.len() + 8).sum::<usize>() + 16;
-        if cells.is_empty() || encoded <= self.init_chunk_bytes {
-            model(self.expect_ok(&Request::Init { cells })).expect("init is infallible");
-            return;
-        }
-        let mut chunk: Vec<Vec<u8>> = Vec::new();
-        let mut chunk_bytes = 0usize;
-        let mut iter = cells.into_iter().peekable();
-        while let Some(cell) = iter.next() {
-            chunk_bytes += cell.len() + 8;
-            chunk.push(cell);
-            let next_fits = iter
-                .peek()
-                .is_some_and(|next| chunk_bytes + next.len() + 8 <= self.init_chunk_bytes);
-            if !next_fits {
-                let done = iter.peek().is_none();
-                let request = Request::InitChunk { done, cells: std::mem::take(&mut chunk) };
-                chunk_bytes = 0;
-                model(self.expect_ok(&request)).expect("init chunk is infallible");
-            }
-        }
+        model(self.try_init(cells)).expect("init is infallible");
     }
 
     fn init_empty(&mut self, capacity: usize) {
-        model(self.expect_ok(&Request::InitEmpty { capacity })).expect("init_empty is infallible");
+        model(self.try_init_empty(capacity)).expect("init_empty is infallible");
     }
 
     fn capacity(&self) -> usize {
-        model(self.expect_number(&Request::Capacity)).expect("capacity is infallible") as usize
+        model(self.try_capacity()).expect("capacity is infallible")
     }
 
     fn stored_bytes(&self) -> u64 {
-        model(self.expect_number(&Request::StoredBytes)).expect("stored_bytes is infallible")
+        model(self.try_stored_bytes()).expect("stored_bytes is infallible")
     }
 
     fn cell_stride(&self) -> usize {
-        model(self.expect_number(&Request::CellStride)).expect("cell_stride is infallible") as usize
+        model(self.try_cell_stride()).expect("cell_stride is infallible")
     }
 
     fn start_recording(&mut self) {
-        model(self.expect_ok(&Request::StartRecording)).expect("start_recording is infallible");
+        model(self.try_start_recording()).expect("start_recording is infallible");
     }
 
     fn take_transcript(&mut self) -> Transcript {
-        match model(self.request(&Request::TakeTranscript)).expect("take_transcript is infallible")
-        {
-            Response::TranscriptData(t) => t,
-            other => panic!("dps_net wire failure: {}", unexpected(&other)),
-        }
+        model(self.try_take_transcript()).expect("take_transcript is infallible")
     }
 
     fn is_recording(&self) -> bool {
-        match model(self.request(&Request::IsRecording)).expect("is_recording is infallible") {
-            Response::Flag(b) => b,
-            other => panic!("dps_net wire failure: {}", unexpected(&other)),
-        }
+        model(self.try_is_recording()).expect("is_recording is infallible")
     }
 
-    /// Server-side model counters plus this client's wire counters (the
-    /// stats exchange itself included).
     fn stats(&self) -> CostStats {
-        let server = match model(self.request(&Request::Stats)).expect("stats is infallible") {
-            Response::Stats(s) => s,
-            other => panic!("dps_net wire failure: {}", unexpected(&other)),
-        };
-        server.plus(&self.wire_stats())
+        model(self.try_stats()).expect("stats is infallible")
     }
 
     fn reset_stats(&mut self) {
-        model(self.expect_ok(&Request::ResetStats)).expect("reset_stats is infallible");
-        // Wire counters restart *after* the reset exchange, so they count
-        // exchanges since the reset — mirroring the server-side counters.
-        self.wire_round_trips.set(0);
-        self.wire_bytes_up.set(0);
-        self.wire_bytes_down.set(0);
+        model(self.try_reset_stats()).expect("reset_stats is infallible");
     }
 
     fn read_batch_with(
         &mut self,
         addrs: &[usize],
-        mut visit: impl FnMut(usize, &[u8]),
+        visit: impl FnMut(usize, &[u8]),
     ) -> Result<(), ServerError> {
-        let payload = wire_ok(self.try_call(&Request::ReadBatch { addrs: addrs.to_vec() }));
-        // Hot path: hand out slices borrowed from the one response
-        // buffer. The count check keeps the Storage contract honest (one
-        // visit per requested address, in order) even against a
-        // non-conforming peer — a broken wire must panic, never
-        // fabricate or skip cells.
-        let mut seen = 0usize;
-        if wire_ok(visit_cells(&payload, |i, cell| {
-            assert!(i < addrs.len(), "dps_net wire failure: more cells than requested");
-            seen += 1;
-            visit(i, cell);
-        })) {
-            assert_eq!(
-                seen,
-                addrs.len(),
-                "dps_net wire failure: cell count mismatch (got {seen}, requested {})",
-                addrs.len()
-            );
-            return Ok(());
-        }
-        match wire_ok(Response::decode(&payload)) {
-            Response::Fail(e) => Err(e),
-            other => panic!("dps_net wire failure: {}", unexpected(&other)),
-        }
+        model(self.try_read_batch_with(addrs, visit))
     }
 
     fn write_batch(&mut self, writes: Vec<(usize, Vec<u8>)>) -> Result<(), ServerError> {
-        model(self.expect_ok(&Request::WriteBatch { writes }))
+        model(self.try_write_batch(writes))
     }
 
     fn write_from(&mut self, addr: usize, cell: &[u8]) -> Result<(), ServerError> {
-        model(self.expect_ok(&Request::WriteFrom { addr, cell: cell.to_vec() }))
+        model(self.try_write_from(addr, cell))
     }
 
     fn write_batch_strided(&mut self, addrs: &[usize], flat: &[u8]) -> Result<(), ServerError> {
@@ -357,12 +691,7 @@ impl Storage for RemoteServer {
         } else {
             assert_eq!(flat.len() % addrs.len(), 0, "flat length not a multiple of cell count");
         }
-        model(
-            self.expect_ok(&Request::WriteBatchStrided {
-                addrs: addrs.to_vec(),
-                flat: flat.to_vec(),
-            }),
-        )
+        model(self.try_write_batch_strided(addrs, flat))
     }
 
     fn access_batch(
@@ -370,29 +699,10 @@ impl Storage for RemoteServer {
         reads: &[usize],
         writes: Vec<(usize, Vec<u8>)>,
     ) -> Result<Vec<Vec<u8>>, ServerError> {
-        match model(self.request(&Request::AccessBatch { reads: reads.to_vec(), writes }))? {
-            Response::Cells(cells) => {
-                assert_eq!(
-                    cells.len(),
-                    reads.len(),
-                    "dps_net wire failure: cell count mismatch (got {}, requested {})",
-                    cells.len(),
-                    reads.len()
-                );
-                Ok(cells)
-            }
-            other => panic!("dps_net wire failure: {}", unexpected(&other)),
-        }
+        model(self.try_access_batch(reads, writes))
     }
 
     fn xor_cells_into(&mut self, addrs: &[usize], acc: &mut Vec<u8>) -> Result<(), ServerError> {
-        match model(self.request(&Request::XorCells { addrs: addrs.to_vec() }))? {
-            Response::Bytes(bytes) => {
-                acc.clear();
-                acc.extend_from_slice(&bytes);
-                Ok(())
-            }
-            other => panic!("dps_net wire failure: {}", unexpected(&other)),
-        }
+        model(self.try_xor_cells_into(addrs, acc))
     }
 }

@@ -1,51 +1,94 @@
-//! The threaded TCP storage daemon.
+//! The readiness-based TCP storage daemon.
 //!
 //! [`NetDaemon`] owns a [`ShardedServer`] and serves the full
 //! [`Storage`](dps_server::Storage) surface over the wire protocol of
-//! [`crate::wire`]. One accept-loop thread hands each connection to its
-//! own handler thread, so concurrent clients map one-to-one onto the
-//! sharded server's `*_shared` concurrent API — the same determinism
-//! contract the `shard_concurrency` suite pins for in-process clients
-//! applies verbatim: data operations from different connections
-//! interleave at batch granularity under the per-shard locks, and if the
-//! wrapped server was built `.with_pool(WorkerPool::new(t))`, every large
-//! batch additionally fans its data movement across `t` worker threads.
+//! [`crate::wire`]. One event-loop thread multiplexes every connection
+//! through a readiness poller ([`crate::PollBackend`]: epoll on Linux,
+//! portable `poll(2)` elsewhere) — no thread per connection, so the
+//! accept rate and the connection count stop being thread-spawn bound.
+//! Each connection is a small non-blocking state machine:
 //!
-//! Control operations (`init`, transcript and stats management) take the
-//! write side of an `RwLock` and so serialize against all data traffic;
-//! data operations share the read side and proceed concurrently.
+//! ```text
+//!             readable                      complete frame
+//!   socket ──────────────▶ FrameAssembler ────────────────▶ dispatch
+//!      ▲                    (partial-frame                      │
+//!      │ stop reading        read buffer)                       ▼
+//!      │ while queue                                     response queue
+//!      │ is over the cap                                  (VecDeque)
+//!      └──────────────────────◀── backpressure ──◀──────────────┘
+//!                                                 writable ──▶ socket
+//! ```
+//!
+//! Frames self-describe their protocol version through the magic, so v1
+//! (`DPS1`) and v2 (`DPS2`) clients share one port: each response is
+//! framed in the version of its request, and the FIFO response queue
+//! preserves arrival order, which is exactly the one-in-flight contract
+//! a v1 client relies on.
+//!
+//! # Backpressure
+//!
+//! Responses are queued per connection and drained as the socket accepts
+//! them. A connection whose queued bytes exceed
+//! [`DaemonLimits::max_queued_bytes`] is *paused*: the daemon stops
+//! reading from (and stops decoding frames of) that socket until the
+//! queue fully drains, then resumes. A slow or stalled reader therefore
+//! costs the daemon at most `max_queued_bytes` plus one read burst of
+//! buffered memory — never an unbounded queue — and never stalls other
+//! connections. Pauses are observable as
+//! [`DaemonMetrics::read_stalls`].
 //!
 //! # Hostile peers
 //!
 //! Protocol errors (bad magic, oversized length prefix, malformed body)
 //! close the offending connection — there is no way to resynchronize a
-//! corrupt byte stream — but never take the daemon down; other
-//! connections and future connects are unaffected. Model-level failures
-//! ([`dps_server::ServerError`]) are answered in-band with
-//! [`Response::Fail`] and leave the connection open.
+//! corrupt byte stream — but never take the daemon down; queued
+//! responses for earlier valid requests are flushed first, then the
+//! connection closes. Other connections and future connects are
+//! unaffected. Model-level failures ([`dps_server::ServerError`]) are
+//! answered in-band with [`Response::Fail`] and leave the connection
+//! open.
 //!
 //! The frame layer caps what one frame can make the daemon read
 //! ([`crate::wire::MAX_FRAME`]); [`DaemonLimits`] caps what a frame can
 //! make it *allocate*. `init_empty` with an astronomical capacity, an
 //! `Init` whose flat-arena footprint (`cells × longest cell`) explodes
-//! past its encoded size, or a write that would re-stride the whole arena
-//! beyond the budget are all rejected by closing the connection before
-//! any allocation happens. Legitimate deployments size
+//! past its encoded size, or a write that would re-stride the whole
+//! arena beyond the budget are all rejected by closing the connection
+//! before any allocation happens. Legitimate deployments size
 //! [`DaemonLimits::max_stored_bytes`] to the machine.
 
-use std::io::{BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use dps_server::{ShardedServer, Storage};
 
-use crate::wire::{read_frame, Request, Response, WireError};
+use crate::sys::{Event, PollBackend, Poller};
+use crate::wire::{FrameAssembler, Request, Response, WireError, WireFrame};
 
 /// Per-cell bookkeeping bytes (length table + init bitmap + slack) used
 /// when projecting an allocation from a cell count.
 const CELL_OVERHEAD: u64 = 16;
+
+/// The poller token reserved for the listening socket; connection tokens
+/// are their slab index plus one.
+const LISTENER: usize = 0;
+
+/// Bytes read from a ready socket per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Poll timeout: the upper bound on shutdown latency when the wake-up
+/// connect cannot reach the listener.
+const POLL_TIMEOUT_MS: i32 = 500;
+
+/// Most response buffers one vectored write gathers — comfortably under
+/// every platform's `IOV_MAX` (POSIX guarantees at least 16; Linux allows
+/// 1024).
+const MAX_WRITE_VECTORS: usize = 64;
 
 /// Resource bounds a daemon enforces against its peers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,22 +98,52 @@ pub struct DaemonLimits {
     /// per-cell bookkeeping)`). Requests that would exceed it close the
     /// connection instead of allocating. Default: 4 GiB.
     pub max_stored_bytes: u64,
+    /// Per-connection backpressure threshold: once a connection's queued
+    /// response bytes exceed this, the daemon stops reading from that
+    /// socket until the queue drains (see the module docs). A single
+    /// response larger than the cap is still queued whole — the cap
+    /// bounds what a slow reader can pile up, not what one request may
+    /// answer. Default: 4 MiB.
+    pub max_queued_bytes: usize,
 }
 
 impl Default for DaemonLimits {
     fn default() -> Self {
-        Self { max_stored_bytes: 1 << 32 }
+        Self { max_stored_bytes: 1 << 32, max_queued_bytes: 1 << 22 }
     }
 }
 
+/// A snapshot of the daemon's event-loop counters, for observability and
+/// for the backpressure tests. Taken with [`NetDaemon::metrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DaemonMetrics {
+    /// Connections accepted since the daemon started.
+    pub connections: u64,
+    /// Times a connection's reads were paused because its queued response
+    /// bytes exceeded [`DaemonLimits::max_queued_bytes`].
+    pub read_stalls: u64,
+    /// Connections closed for violating the wire protocol (corrupt
+    /// framing, malformed bodies, or requests that break caller
+    /// contracts / the allocation budget).
+    pub protocol_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    connections: AtomicU64,
+    read_stalls: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
 /// A running TCP storage daemon. Dropping it (or calling
-/// [`NetDaemon::shutdown`]) stops accepting new connections; established
-/// connections are served until their clients hang up.
+/// [`NetDaemon::shutdown`]) stops the event loop: no new connections are
+/// accepted and established connections are closed.
 #[derive(Debug)]
 pub struct NetDaemon {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    metrics: Arc<MetricsInner>,
+    event_loop: Option<JoinHandle<()>>,
 }
 
 impl NetDaemon {
@@ -86,21 +159,39 @@ impl NetDaemon {
         Self::bind_with(addr, server, DaemonLimits::default())
     }
 
-    /// Serves `server` on `addr`, enforcing `limits` per request.
+    /// Serves `server` on `addr`, enforcing `limits` per request, on the
+    /// default readiness backend.
     pub fn bind_with(
         addr: impl ToSocketAddrs,
         server: ShardedServer,
         limits: DaemonLimits,
     ) -> std::io::Result<Self> {
+        Self::bind_with_backend(addr, server, limits, PollBackend::Auto)
+    }
+
+    /// [`NetDaemon::bind_with`] on an explicit readiness backend — how
+    /// the test suites exercise the portable `poll(2)` fallback on Linux.
+    pub fn bind_with_backend(
+        addr: impl ToSocketAddrs,
+        server: ShardedServer,
+        limits: DaemonLimits,
+        backend: PollBackend,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        // Open the poller on the caller's thread so a backend failure
+        // surfaces as an error here, not a silently dead daemon.
+        let poller = Poller::new(backend)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let state = Arc::new(RwLock::new(server));
-        let accept = {
+        let metrics = Arc::new(MetricsInner::default());
+        let event_loop = {
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(&listener, &state, limits, &stop))
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("dps-net-loop".into())
+                .spawn(move || event_loop(poller, listener, server, limits, &stop, &metrics))?
         };
-        Ok(Self { local_addr, stop, accept: Some(accept) })
+        Ok(Self { local_addr, stop, metrics, event_loop: Some(event_loop) })
     }
 
     /// The address the daemon is listening on.
@@ -108,7 +199,16 @@ impl NetDaemon {
         self.local_addr
     }
 
-    /// Stops accepting connections and joins the accept loop.
+    /// A snapshot of the event-loop counters.
+    pub fn metrics(&self) -> DaemonMetrics {
+        DaemonMetrics {
+            connections: self.metrics.connections.load(Ordering::Relaxed),
+            read_stalls: self.metrics.read_stalls.load(Ordering::Relaxed),
+            protocol_errors: self.metrics.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the event loop and joins it.
     pub fn shutdown(mut self) {
         self.stop_now();
     }
@@ -117,11 +217,11 @@ impl NetDaemon {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // The accept loop blocks in `accept`; poke it awake so it can
-        // see the flag and exit. A wildcard bind address (0.0.0.0/[::])
-        // is not connectable, so aim the wake-up at loopback on the same
-        // port; if even that fails, skip the join rather than hang the
-        // dropping thread on a listener that will never wake.
+        // The loop re-checks the flag after every poll wake-up; a
+        // connect to the listener wakes it immediately, and the poll
+        // timeout bounds the join even if the wake-up cannot connect. A
+        // wildcard bind address (0.0.0.0/[::]) is not connectable, so
+        // aim the wake-up at loopback on the same port.
         let mut wake = self.local_addr;
         if wake.ip().is_unspecified() {
             wake.set_ip(match wake.ip() {
@@ -129,11 +229,9 @@ impl NetDaemon {
                 std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
             });
         }
-        let woke = TcpStream::connect_timeout(&wake, std::time::Duration::from_secs(2)).is_ok();
-        if let Some(handle) = self.accept.take() {
-            if woke {
-                let _ = handle.join();
-            }
+        let _ = TcpStream::connect_timeout(&wake, std::time::Duration::from_secs(2));
+        if let Some(handle) = self.event_loop.take() {
+            let _ = handle.join();
         }
     }
 }
@@ -144,25 +242,338 @@ impl Drop for NetDaemon {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    state: &Arc<RwLock<ShardedServer>>,
+/// Per-connection state machine (see the module diagram).
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    /// Partial-frame read buffer; complete frames come out as they close.
+    assembler: FrameAssembler,
+    /// Encoded, framed responses waiting for the socket to accept them.
+    outq: VecDeque<Vec<u8>>,
+    /// Bytes of the front queue entry already written.
+    out_pos: usize,
+    /// Total bytes across `outq` (including the written prefix).
+    queued_bytes: usize,
+    /// Cells accumulated by a chunked init that has not seen `done` yet.
+    pending: PendingInit,
+    /// Backpressured: reads and frame processing are suspended until the
+    /// write queue drains.
+    paused: bool,
+    /// Flush the queue, then close (peer EOF or protocol violation).
+    closing: bool,
+    /// Remove this connection after the current event.
+    dead: bool,
+    /// Interest set currently registered with the poller.
+    want_read: bool,
+    want_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            assembler: FrameAssembler::new(),
+            outq: VecDeque::new(),
+            out_pos: 0,
+            queued_bytes: 0,
+            pending: PendingInit::default(),
+            paused: false,
+            closing: false,
+            dead: false,
+            want_read: true,
+            want_write: false,
+        }
+    }
+}
+
+/// The daemon thread: one poller, one server, many connection state
+/// machines.
+fn event_loop(
+    mut poller: Poller,
+    listener: TcpListener,
+    mut server: ShardedServer,
     limits: DaemonLimits,
     stop: &AtomicBool,
+    metrics: &MetricsInner,
 ) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    if poller
+        .register(listener.as_raw_fd(), LISTENER, true, false)
+        .is_err()
+    {
+        return;
+    }
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    loop {
+        if poller.wait(&mut events, POLL_TIMEOUT_MS).is_err() {
             return;
         }
-        let Ok(stream) = stream else { continue };
-        let state = Arc::clone(state);
-        std::thread::spawn(move || handle_connection(stream, &state, limits));
+        if stop.load(Ordering::SeqCst) {
+            return; // drops listener + conns: sockets close, clients see EOF
+        }
+        for ev in events.iter().copied() {
+            if ev.token == LISTENER {
+                accept_ready(&listener, &mut poller, &mut conns, metrics);
+                continue;
+            }
+            let idx = ev.token - 1;
+            // A token can go stale within one batch (closed by an
+            // earlier event); skip it.
+            let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else { continue };
+            if ev.writable && !conn.dead {
+                flush_conn(conn, &mut server, limits, metrics);
+            }
+            if ev.readable && !conn.dead {
+                fill_conn(conn, &mut server, limits, metrics);
+                // Opportunistic flush: most responses leave in the same
+                // event that produced them, without a poller round trip.
+                flush_conn(conn, &mut server, limits, metrics);
+            }
+            settle_conn(&mut poller, &mut conns, idx);
+        }
+    }
+}
+
+/// Accepts every pending connection on the ready listener.
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &mut Poller,
+    conns: &mut Vec<Option<Conn>>,
+    metrics: &MetricsInner,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                // Linear free-slot scan: connection counts here are far
+                // below where a free list would matter.
+                let idx = match conns.iter().position(Option::is_none) {
+                    Some(idx) => idx,
+                    None => {
+                        conns.push(None);
+                        conns.len() - 1
+                    }
+                };
+                if poller
+                    .register(stream.as_raw_fd(), idx + 1, true, false)
+                    .is_err()
+                {
+                    continue;
+                }
+                metrics.connections.fetch_add(1, Ordering::Relaxed);
+                conns[idx] = Some(Conn::new(stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Reads everything the socket has, decoding and dispatching complete
+/// frames as they close — until the socket would block, the peer hangs
+/// up, or backpressure pauses the connection.
+fn fill_conn(
+    conn: &mut Conn,
+    server: &mut ShardedServer,
+    limits: DaemonLimits,
+    metrics: &MetricsInner,
+) {
+    let mut buf = [0u8; READ_CHUNK];
+    while !conn.paused && !conn.closing && !conn.dead {
+        match (&conn.stream).read(&mut buf) {
+            Ok(0) => {
+                // Clean EOF: answer nothing further, flush what's queued.
+                conn.closing = true;
+                if conn.outq.is_empty() {
+                    conn.dead = true;
+                }
+                return;
+            }
+            Ok(n) => {
+                conn.assembler.push(&buf[..n]);
+                process_frames(conn, server, limits, metrics);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Drains complete frames out of the connection's assembler: decode,
+/// dispatch, enqueue the response in the frame's own protocol version.
+/// Stops early when the queued bytes cross the backpressure cap (leaving
+/// any further frames buffered in the assembler for the resume).
+fn process_frames(
+    conn: &mut Conn,
+    server: &mut ShardedServer,
+    limits: DaemonLimits,
+    metrics: &MetricsInner,
+) {
+    while !conn.closing && !conn.dead {
+        let frame = match conn.assembler.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(_) => return violation(conn, metrics),
+        };
+        let Ok(request) = Request::decode(frame.payload()) else {
+            return violation(conn, metrics);
+        };
+        // A structurally valid frame whose contents violate a caller
+        // contract (e.g. a strided write with a non-multiple flat
+        // length) or would blow the allocation budget is a violation
+        // too: a local caller would have panicked; over the wire the
+        // daemon must stay up, so the connection is dropped instead.
+        let Ok(response) = dispatch(server, limits, &mut conn.pending, request) else {
+            return violation(conn, metrics);
+        };
+        let framed = match &frame {
+            WireFrame::V1(_) => response.encode_framed(),
+            WireFrame::V2 { id, .. } => response.encode_framed_v2(*id),
+        };
+        let Ok(framed) = framed else {
+            return violation(conn, metrics);
+        };
+        conn.queued_bytes += framed.len();
+        conn.outq.push_back(framed);
+        if conn.queued_bytes > limits.max_queued_bytes {
+            conn.paused = true;
+            metrics.read_stalls.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Marks a protocol violation: flush whatever is queued, then close.
+fn violation(conn: &mut Conn, metrics: &MetricsInner) {
+    metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    conn.closing = true;
+    if conn.outq.is_empty() {
+        conn.dead = true;
+    }
+}
+
+/// Writes queued responses until the socket would block or the queue is
+/// empty. Draining the queue resumes a backpressured connection (its
+/// buffered frames are processed immediately, and anything they enqueue
+/// is written in the same pass) and completes a closing one.
+fn flush_conn(
+    conn: &mut Conn,
+    server: &mut ShardedServer,
+    limits: DaemonLimits,
+    metrics: &MetricsInner,
+) {
+    loop {
+        while !conn.outq.is_empty() {
+            // Gather queued responses (the front buffer minus what is
+            // already written, then whole followers) into one vectored
+            // write: a burst of pipelined responses leaves in a single
+            // syscall instead of one per frame.
+            let wrote = {
+                let mut slices: Vec<std::io::IoSlice<'_>> =
+                    Vec::with_capacity(conn.outq.len().min(MAX_WRITE_VECTORS));
+                let mut iter = conn.outq.iter();
+                let front = iter.next().expect("queue is non-empty");
+                slices.push(std::io::IoSlice::new(&front[conn.out_pos..]));
+                slices.extend(
+                    iter.take(MAX_WRITE_VECTORS - 1)
+                        .map(|b| std::io::IoSlice::new(b)),
+                );
+                (&conn.stream).write_vectored(&slices)
+            };
+            match wrote {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(mut n) => {
+                    // A vectored write can span several queue entries;
+                    // retire them front to back.
+                    while n > 0 {
+                        let len = conn
+                            .outq
+                            .front()
+                            .expect("bytes written implies queued data")
+                            .len();
+                        let remaining = len - conn.out_pos;
+                        if n >= remaining {
+                            conn.outq.pop_front();
+                            conn.out_pos = 0;
+                            conn.queued_bytes -= len;
+                            n -= remaining;
+                        } else {
+                            conn.out_pos += n;
+                            n = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+        if conn.closing {
+            conn.dead = true;
+            return;
+        }
+        if !conn.paused {
+            return;
+        }
+        // Backpressure released: pick the buffered frames back up.
+        conn.paused = false;
+        process_frames(conn, server, limits, metrics);
+        if conn.outq.is_empty() {
+            if conn.closing {
+                conn.dead = true;
+            }
+            return;
+        }
+        // New responses came out of the buffered frames — write them now.
+    }
+}
+
+/// Applies the connection's post-event fate: removal if dead, otherwise
+/// a poller interest update when it changed.
+fn settle_conn(poller: &mut Poller, conns: &mut [Option<Conn>], idx: usize) {
+    let token = idx + 1;
+    let Some(conn) = conns[idx].as_mut() else { return };
+    if !conn.dead {
+        let want_read = !conn.paused && !conn.closing;
+        let want_write = !conn.outq.is_empty();
+        if (want_read, want_write) == (conn.want_read, conn.want_write) {
+            return;
+        }
+        if poller
+            .reregister(conn.stream.as_raw_fd(), token, want_read, want_write)
+            .is_ok()
+        {
+            conn.want_read = want_read;
+            conn.want_write = want_write;
+            return;
+        }
+        conn.dead = true;
+    }
+    if let Some(conn) = conns[idx].take() {
+        let _ = poller.deregister(conn.stream.as_raw_fd(), token);
     }
 }
 
 /// Per-connection state: cells accumulated by a chunked init that has
 /// not yet seen its `done` frame.
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct PendingInit {
     cells: Vec<Vec<u8>>,
     longest: u64,
@@ -185,48 +596,6 @@ impl PendingInit {
     }
 }
 
-/// Serves one connection until the client hangs up or breaks protocol.
-fn handle_connection(stream: TcpStream, state: &Arc<RwLock<ShardedServer>>, limits: DaemonLimits) {
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(read_half);
-    let mut write_half = stream;
-    let mut pending = PendingInit::default();
-    loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            // Clean disconnect between frames, or an unrecoverable
-            // protocol/socket error: either way this connection is done.
-            Ok(None) | Err(_) => return,
-        };
-        let request = match Request::decode(&payload) {
-            Ok(request) => request,
-            Err(_) => return,
-        };
-        let response = match dispatch(state, limits, &mut pending, request) {
-            Ok(response) => response,
-            // A structurally valid frame whose contents violate a caller
-            // contract (e.g. a strided write with a non-multiple flat
-            // length) or would blow the allocation budget. A local caller
-            // would have panicked; over the wire the daemon must stay up,
-            // so the connection is dropped.
-            Err(_) => return,
-        };
-        let Ok(framed) = response.encode_framed() else { return };
-        if write_half.write_all(&framed).is_err() {
-            return;
-        }
-    }
-}
-
-fn lock_read(state: &RwLock<ShardedServer>) -> std::sync::RwLockReadGuard<'_, ShardedServer> {
-    state.read().unwrap_or_else(PoisonError::into_inner)
-}
-
-fn lock_write(state: &RwLock<ShardedServer>) -> std::sync::RwLockWriteGuard<'_, ShardedServer> {
-    state.write().unwrap_or_else(PoisonError::into_inner)
-}
-
 /// Rejects a request whose projected allocation exceeds the budget.
 fn within_budget(limits: DaemonLimits, projected: u64) -> Result<(), WireError> {
     if projected > limits.max_stored_bytes {
@@ -238,9 +607,8 @@ fn within_budget(limits: DaemonLimits, projected: u64) -> Result<(), WireError> 
 /// Guard for the write paths: a cell longer than the current stride
 /// re-strides the *whole* arena to the new length, so the budget check
 /// must project `capacity × longest incoming cell`, not just the write's
-/// own bytes. Takes the already-held read guard's server so check and
-/// write happen under one lock acquisition — a concurrent `Init` (write
-/// lock) cannot slip between them and invalidate the projection.
+/// own bytes. The event loop is the sole owner of the server, so check
+/// and write cannot be interleaved with another connection's init.
 fn check_write_budget(
     server: &ShardedServer,
     limits: DaemonLimits,
@@ -254,12 +622,17 @@ fn check_write_budget(
     Ok(())
 }
 
-/// Executes one request against the shared server. `Err` means the
-/// request violated a caller contract the in-process API enforces by
-/// panicking (or the daemon's allocation budget); the handler closes the
+/// Executes one request against the server. `Err` means the request
+/// violated a caller contract the in-process API enforces by panicking
+/// (or the daemon's allocation budget); the event loop closes the
 /// connection in response.
+///
+/// The loop thread owns the server outright — no locks. Batch-internal
+/// parallelism still applies: a server built
+/// `.with_pool(WorkerPool::new(t))` fans each large batch's data
+/// movement across `t` workers exactly as before.
 fn dispatch(
-    state: &RwLock<ShardedServer>,
+    server: &mut ShardedServer,
     limits: DaemonLimits,
     pending: &mut PendingInit,
     request: Request,
@@ -269,7 +642,7 @@ fn dispatch(
         Request::Init { cells } => {
             within_budget(limits, PendingInit::default().projected_bytes(&cells))?;
             *pending = PendingInit::default(); // a whole-DB init supersedes stale chunks
-            lock_write(state).init(cells);
+            server.init(cells);
             Response::Ok
         }
         Request::InitChunk { done, cells } => {
@@ -277,54 +650,52 @@ fn dispatch(
             pending.push(cells);
             if done {
                 let assembled = std::mem::take(pending);
-                lock_write(state).init(assembled.cells);
+                server.init(assembled.cells);
             }
             Response::Ok
         }
         Request::InitEmpty { capacity } => {
             within_budget(limits, (capacity as u64).saturating_mul(CELL_OVERHEAD))?;
             *pending = PendingInit::default();
-            lock_write(state).init_empty(capacity);
+            server.init_empty(capacity);
             Response::Ok
         }
-        Request::Capacity => Response::Number(lock_read(state).capacity() as u64),
-        Request::StoredBytes => Response::Number(lock_read(state).stored_bytes()),
-        Request::CellStride => Response::Number(lock_read(state).cell_stride() as u64),
+        Request::Capacity => Response::Number(server.capacity() as u64),
+        Request::StoredBytes => Response::Number(server.stored_bytes()),
+        Request::CellStride => Response::Number(server.cell_stride() as u64),
         Request::StartRecording => {
-            lock_write(state).start_recording();
+            server.start_recording();
             Response::Ok
         }
-        Request::TakeTranscript => Response::TranscriptData(lock_write(state).take_transcript()),
-        Request::IsRecording => Response::Flag(lock_read(state).is_recording()),
-        Request::Stats => Response::Stats(lock_read(state).stats()),
+        Request::TakeTranscript => Response::TranscriptData(server.take_transcript()),
+        Request::IsRecording => Response::Flag(server.is_recording()),
+        Request::Stats => Response::Stats(server.stats()),
         Request::ResetStats => {
-            lock_write(state).reset_stats();
+            server.reset_stats();
             Response::Ok
         }
-        Request::ReadBatch { addrs } => match lock_read(state).read_batch_shared(&addrs) {
+        Request::ReadBatch { addrs } => match server.read_batch(&addrs) {
             Ok(cells) => Response::Cells(cells),
             Err(e) => Response::Fail(e),
         },
         Request::WriteBatch { writes } => {
             let longest = writes.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
-            let server = lock_read(state);
-            check_write_budget(&server, limits, longest)?;
-            match server.write_batch_shared(writes) {
+            check_write_budget(server, limits, longest)?;
+            match server.write_batch(writes) {
                 Ok(()) => Response::Ok,
                 Err(e) => Response::Fail(e),
             }
         }
         Request::WriteFrom { addr, cell } => {
-            let server = lock_read(state);
-            check_write_budget(&server, limits, cell.len())?;
-            match server.write_from_shared(addr, &cell) {
+            check_write_budget(server, limits, cell.len())?;
+            match server.write_from(addr, &cell) {
                 Ok(()) => Response::Ok,
                 Err(e) => Response::Fail(e),
             }
         }
         Request::WriteBatchStrided { addrs, flat } => {
             // The in-process API asserts these; a remote peer must not be
-            // able to panic a handler thread.
+            // able to panic the event loop.
             if addrs.is_empty() {
                 if !flat.is_empty() {
                     return Err(WireError::BadPayload("flat bytes without addresses"));
@@ -333,25 +704,23 @@ fn dispatch(
                 return Err(WireError::BadPayload("flat length not a multiple of cell count"));
             }
             let stride = if addrs.is_empty() { 0 } else { flat.len() / addrs.len() };
-            let server = lock_read(state);
-            check_write_budget(&server, limits, stride)?;
-            match server.write_batch_strided_shared(&addrs, &flat) {
+            check_write_budget(server, limits, stride)?;
+            match server.write_batch_strided(&addrs, &flat) {
                 Ok(()) => Response::Ok,
                 Err(e) => Response::Fail(e),
             }
         }
         Request::AccessBatch { reads, writes } => {
             let longest = writes.iter().map(|(_, c)| c.len()).max().unwrap_or(0);
-            let server = lock_read(state);
-            check_write_budget(&server, limits, longest)?;
-            match server.access_batch_shared(&reads, writes) {
+            check_write_budget(server, limits, longest)?;
+            match server.access_batch(&reads, writes) {
                 Ok(cells) => Response::Cells(cells),
                 Err(e) => Response::Fail(e),
             }
         }
         Request::XorCells { addrs } => {
             let mut acc = Vec::new();
-            match lock_read(state).xor_cells_into_shared(&addrs, &mut acc) {
+            match server.xor_cells_into(&addrs, &mut acc) {
                 Ok(()) => Response::Bytes(acc),
                 Err(e) => Response::Fail(e),
             }

@@ -2,21 +2,28 @@
 //!
 //! The paper's schemes assume an *untrusted storage server reached over a
 //! network*; everything else in this workspace simulates that server
-//! in-process. This crate closes the gap with three pieces:
+//! in-process. This crate closes the gap with four pieces:
 //!
 //! * [`wire`] — a length-prefixed binary protocol carrying the full
 //!   [`Storage`](dps_server::Storage) surface: batched reads, strided
 //!   batch writes, XOR partials, stats/transcript queries. One frame per
 //!   request, one per response; batch operations are single round trips
-//!   by construction.
-//! * [`daemon::NetDaemon`] — a threaded `std::net` TCP daemon wrapping a
-//!   [`ShardedServer`](dps_server::ShardedServer): one handler thread per
-//!   connection mapped onto the shard layer's `*_shared` concurrent API,
-//!   with optional intra-batch `WorkerPool` fan-out inherited from the
-//!   wrapped server.
+//!   by construction. Two frame headers share every port: the original
+//!   one-in-flight `DPS1` framing and the id-tagged `DPS2` framing that
+//!   makes per-connection pipelining possible.
+//! * [`daemon::NetDaemon`] — a readiness-based `std::net` TCP daemon
+//!   wrapping a [`ShardedServer`](dps_server::ShardedServer): one event
+//!   loop multiplexing every connection (epoll on Linux, portable
+//!   `poll(2)` fallback — see [`PollBackend`]), with per-connection
+//!   partial-frame buffers, bounded response queues, and explicit
+//!   backpressure on slow readers.
 //! * [`client::RemoteServer`] — a client implementing `Storage`, so every
 //!   scheme in `dps_core`/`dps_oram`/`dps_pir` runs against the daemon
-//!   with zero call-site changes.
+//!   with zero call-site changes; its `submit`/`wait` surface pipelines N
+//!   tagged requests per connection with order-independent completion.
+//! * A private `sys` module — the crate's one audited `unsafe` boundary,
+//!   declaring the handful of libc readiness calls (`epoll_*`, `poll`)
+//!   directly instead of pulling in mio/tokio.
 //!
 //! The loopback equivalence suite (`tests/loopback_equivalence.rs`) pins
 //! the whole stack observationally equivalent to a local
@@ -25,15 +32,17 @@
 //! counters, identical transcripts — and exactly one wire round trip per
 //! batch operation.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `allow`ed in exactly one place: the audited `sys` module
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod daemon;
+mod sys;
 pub mod wire;
 
-pub use client::{RemoteError, RemoteServer};
-pub use daemon::{DaemonLimits, NetDaemon};
+pub use client::{RemoteError, RemoteServer, Ticket};
+pub use daemon::{DaemonLimits, DaemonMetrics, NetDaemon};
+pub use sys::PollBackend;
 pub use wire::{Request, Response, WireError};
 
 #[cfg(test)]
@@ -55,6 +64,21 @@ mod tests {
         assert_eq!(stats.downloads, 2);
         assert_eq!(stats.uploads, 1);
         assert!(stats.wire_round_trips > 0);
+        drop(remote);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn loopback_smoke_v1_compat() {
+        // The original one-in-flight protocol against the event-loop
+        // daemon: same surface, same answers.
+        let daemon = NetDaemon::spawn(ShardedServer::new(2)).unwrap();
+        let mut remote = RemoteServer::connect_v1(daemon.local_addr()).unwrap();
+        remote.ping().unwrap();
+        remote.init((0..8).map(|i| vec![i as u8; 4]).collect());
+        assert_eq!(remote.capacity(), 8);
+        assert_eq!(remote.read(3).unwrap(), vec![3u8; 4]);
+        assert_eq!(remote.wire_stats().wire_inflight_max, 1);
         drop(remote);
         daemon.shutdown();
     }

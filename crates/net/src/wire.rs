@@ -1,6 +1,7 @@
-//! The length-prefixed binary wire protocol.
+//! The length-prefixed binary wire protocol, in two frame versions.
 //!
-//! Every exchange is one *frame* in each direction:
+//! **v1 ("DPS1")** is strictly request-response — one frame out, one frame
+//! back, nothing else in flight:
 //!
 //! ```text
 //! +----------------+----------------+-----------+------------------+
@@ -9,17 +10,34 @@
 //! |<------- 8-byte header --------->|<------ payload (len B) ----->|
 //! ```
 //!
-//! `len` counts the payload bytes (opcode included) and is capped at
-//! [`MAX_FRAME`]; a peer announcing more is rejected *before* any
-//! allocation, so a corrupt or hostile length prefix cannot balloon
-//! memory. (Requests whose *execution* would allocate far beyond their
-//! encoded size — `init_empty` capacities, flat-arena stride
-//! amplification — are bounded separately by
-//! [`crate::DaemonLimits`].) All integers are little-endian; addresses travel as `u64` and
-//! are checked back into `usize` on decode. A [`Request`] frame carries
-//! one [`Storage`](dps_server::Storage) operation — batch reads, strided
-//! batch writes and XOR partials each fit in a single frame, which is what
-//! keeps every batch operation a single round trip on the wire.
+//! **v2 ("DPS2")** adds a `request_id` to the header so a client may keep
+//! many tagged requests in flight on one connection (*pipelining*); the
+//! server echoes the id on the matching response, and responses may be
+//! consumed in any order:
+//!
+//! ```text
+//! +----------------+----------------+--------------------+-----------+----------------+
+//! | magic (u32 LE) |  len (u32 LE)  | request_id (u64 LE)| opcode u8 | body (len-1 B) |
+//! +----------------+----------------+--------------------+-----------+----------------+
+//! |<------------------ 16-byte header ----------------->|<---- payload (len B) ----->|
+//! ```
+//!
+//! The payload encoding (opcode + body) is byte-identical between the two
+//! versions; only the header differs. Every frame self-describes its
+//! version through the magic, so a daemon serves v1 and v2 clients on the
+//! same port — it answers each frame in the frame's own version
+//! ([`FrameAssembler`] accepts both). `len` counts the payload bytes
+//! (opcode included) and is capped at [`MAX_FRAME`]; a peer announcing
+//! more is rejected *before* any allocation, so a corrupt or hostile
+//! length prefix cannot balloon memory. (Requests whose *execution* would
+//! allocate far beyond their encoded size — `init_empty` capacities,
+//! flat-arena stride amplification — are bounded separately by
+//! [`crate::DaemonLimits`].) All integers are little-endian; addresses
+//! travel as `u64` and are checked back into `usize` on decode. A
+//! [`Request`] frame carries one [`Storage`](dps_server::Storage)
+//! operation — batch reads, strided batch writes and XOR partials each fit
+//! in a single frame, which is what keeps every batch operation a single
+//! round trip on the wire.
 //!
 //! Encoding is hand-rolled (no serde in this offline workspace) but
 //! property-pinned: `decode(encode(x)) == x` for arbitrary requests and
@@ -31,12 +49,19 @@ use std::io::{Read, Write};
 
 use dps_server::{AccessEvent, CostStats, ServerError, Transcript};
 
-/// Frame magic: `"DPS1"` little-endian. A connection speaking anything
-/// else is dropped at the first header.
+/// v1 frame magic: `"DPS1"` little-endian. A connection speaking neither
+/// this nor [`MAGIC2`] is dropped at the first header.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"DPS1");
 
-/// Bytes of frame header (magic + payload length).
+/// v2 frame magic: `"DPS2"` little-endian — the pipelined framing whose
+/// header carries a request id.
+pub const MAGIC2: u32 = u32::from_le_bytes(*b"DPS2");
+
+/// Bytes of v1 frame header (magic + payload length).
 pub const HEADER_LEN: usize = 8;
+
+/// Bytes of v2 frame header (magic + payload length + request id).
+pub const HEADER2_LEN: usize = 16;
 
 /// Maximum payload bytes per frame (256 MiB). Caps what a length prefix
 /// can make the receiver allocate; large databases still fit one `Init`
@@ -70,6 +95,19 @@ pub enum WireError {
     UnknownOpcode(u8),
     /// The body is structurally invalid for its opcode.
     BadPayload(&'static str),
+    /// A `Cells` response carried the wrong number of cells for the batch
+    /// that was requested — a non-conforming peer, surfaced typed on the
+    /// fallible client paths (the infallible [`Storage`](dps_server::Storage)
+    /// surface panics with it instead).
+    CellCountMismatch {
+        /// Cells the peer answered with.
+        got: usize,
+        /// Cells the request asked for.
+        expected: usize,
+    },
+    /// A v2 response carried a request id that matches no in-flight
+    /// request on this connection.
+    UnknownRequestId(u64),
     /// The underlying socket failed.
     Io(std::io::ErrorKind),
 }
@@ -86,6 +124,12 @@ impl std::fmt::Display for WireError {
             }
             WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
             WireError::BadPayload(what) => write!(f, "malformed payload: {what}"),
+            WireError::CellCountMismatch { got, expected } => {
+                write!(f, "cell count mismatch: got {got}, requested {expected}")
+            }
+            WireError::UnknownRequestId(id) => {
+                write!(f, "response id {id} matches no in-flight request")
+            }
             WireError::Io(kind) => write!(f, "socket error: {kind}"),
         }
     }
@@ -195,6 +239,183 @@ pub fn seal_frame(buf: &mut [u8]) -> Result<(), WireError> {
     Ok(())
 }
 
+// ---- v2 frame layer ----------------------------------------------------
+
+/// Wraps an encoded payload in a v2 frame header tagged with `id`.
+pub fn frame_v2(id: u64, payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    if payload.is_empty() || payload.len() > MAX_FRAME {
+        return Err(WireError::BadLength { len: payload.len() as u64 });
+    }
+    let mut out = Vec::with_capacity(HEADER2_LEN + payload.len());
+    out.extend_from_slice(&MAGIC2.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Fills in the v2 frame header of a buffer whose first [`HEADER2_LEN`]
+/// bytes were reserved by the caller and whose remainder is the payload —
+/// the in-place twin of [`frame_v2`].
+pub fn seal_frame_v2(buf: &mut [u8], id: u64) -> Result<(), WireError> {
+    let len = buf.len().saturating_sub(HEADER2_LEN);
+    if len == 0 || len > MAX_FRAME {
+        return Err(WireError::BadLength { len: len as u64 });
+    }
+    buf[0..4].copy_from_slice(&MAGIC2.to_le_bytes());
+    buf[4..8].copy_from_slice(&(len as u32).to_le_bytes());
+    buf[8..16].copy_from_slice(&id.to_le_bytes());
+    Ok(())
+}
+
+/// Reads one v2 frame, returning `(request_id, payload)`. `Ok(None)`
+/// means the peer closed cleanly *between* frames; closing mid-frame is
+/// [`WireError::Truncated`], and a v1 magic here is [`WireError::BadMagic`]
+/// (a v2 speaker must be answered in v2).
+pub fn read_frame_v2(r: &mut impl Read) -> Result<Option<(u64, Vec<u8>)>, WireError> {
+    let mut header = [0u8; HEADER2_LEN];
+    // Validate magic and length as soon as the first 8 bytes are in, so a
+    // v1 (or corrupt) header is `BadMagic` even when the peer sends fewer
+    // than 16 bytes total.
+    let mut filled = 0;
+    while filled < 8 {
+        let n = r.read(&mut header[filled..8])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(WireError::Truncated { expected: HEADER2_LEN, got: filled });
+        }
+        filled += n;
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC2 {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(WireError::BadLength { len: len as u64 });
+    }
+    while filled < HEADER2_LEN {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            return Err(WireError::Truncated { expected: HEADER2_LEN, got: filled });
+        }
+        filled += n;
+    }
+    let id = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        let n = r.read(&mut payload[filled..])?;
+        if n == 0 {
+            return Err(WireError::Truncated { expected: len, got: filled });
+        }
+        filled += n;
+    }
+    Ok(Some((id, payload)))
+}
+
+/// One complete frame pulled out of a [`FrameAssembler`], version and all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFrame {
+    /// A v1 frame: the peer expects its answer un-tagged, one at a time.
+    V1(Vec<u8>),
+    /// A v2 frame: the answer must echo `id`.
+    V2 {
+        /// The request id to echo on the response.
+        id: u64,
+        /// The encoded payload (opcode + body).
+        payload: Vec<u8>,
+    },
+}
+
+impl WireFrame {
+    /// The payload bytes, whichever the version.
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            WireFrame::V1(payload) | WireFrame::V2 { payload, .. } => payload,
+        }
+    }
+}
+
+/// Incremental frame decoder for readiness-based I/O: bytes arrive in
+/// arbitrary slices ([`FrameAssembler::push`]), complete frames come out
+/// ([`FrameAssembler::next_frame`]) as soon as they are whole. Accepts v1
+/// and v2 frames interleaved on the same stream — each frame
+/// self-describes through its magic — which is how the daemon serves old
+/// and new clients on one port.
+///
+/// Corrupt headers are rejected as soon as the header bytes are present:
+/// a bad magic or an oversized length prefix fails *before* the payload
+/// arrives, so a hostile peer cannot make the assembler buffer toward a
+/// bogus length.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted opportunistically.
+    start: usize,
+}
+
+impl FrameAssembler {
+    /// A fresh assembler with nothing buffered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered and not yet consumed by a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pulls the next complete frame, if the buffered bytes hold one.
+    /// `Ok(None)` means "need more bytes"; errors are unrecoverable for
+    /// the stream (there is no way to resynchronize a corrupt framing).
+    pub fn next_frame(&mut self) -> Result<Option<WireFrame>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(avail[0..4].try_into().expect("4 bytes"));
+        let header_len = match magic {
+            MAGIC => HEADER_LEN,
+            MAGIC2 => HEADER2_LEN,
+            found => return Err(WireError::BadMagic { found }),
+        };
+        if avail.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[4..8].try_into().expect("4 bytes")) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(WireError::BadLength { len: len as u64 });
+        }
+        if avail.len() < header_len + len {
+            return Ok(None);
+        }
+        let frame = if magic == MAGIC {
+            WireFrame::V1(avail[HEADER_LEN..HEADER_LEN + len].to_vec())
+        } else {
+            let id = u64::from_le_bytes(avail[8..16].try_into().expect("8 bytes"));
+            WireFrame::V2 { id, payload: avail[HEADER2_LEN..HEADER2_LEN + len].to_vec() }
+        };
+        self.start += header_len + len;
+        // Compact: cheap when fully drained, bounded otherwise.
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > (1 << 16) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
 // ---- Body primitives ---------------------------------------------------
 
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
@@ -239,6 +460,7 @@ fn put_stats(buf: &mut Vec<u8>, s: &CostStats) {
         s.wire_round_trips,
         s.wire_bytes_up,
         s.wire_bytes_down,
+        s.wire_inflight_max,
     ] {
         put_u64(buf, v);
     }
@@ -347,6 +569,7 @@ impl<'a> Reader<'a> {
             wire_round_trips: self.u64()?,
             wire_bytes_up: self.u64()?,
             wire_bytes_down: self.u64()?,
+            wire_inflight_max: self.u64()?,
         })
     }
 
@@ -516,6 +739,15 @@ impl Request {
         Ok(buf)
     }
 
+    /// [`Request::encode_framed`] for the v2 framing: the header carries
+    /// `id`, which the server echoes on the matching response.
+    pub fn encode_framed_v2(&self, id: u64) -> Result<Vec<u8>, WireError> {
+        let mut buf = vec![0u8; HEADER2_LEN];
+        self.encode_into(&mut buf);
+        seal_frame_v2(&mut buf, id)?;
+        Ok(buf)
+    }
+
     fn encode_into(&self, buf: &mut Vec<u8>) {
         match self {
             Request::Ping => buf.push(op::PING),
@@ -648,6 +880,15 @@ impl Response {
         let mut buf = vec![0u8; HEADER_LEN];
         self.encode_into(&mut buf);
         seal_frame(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// [`Response::encode_framed`] for the v2 framing, echoing the id of
+    /// the request this response answers.
+    pub fn encode_framed_v2(&self, id: u64) -> Result<Vec<u8>, WireError> {
+        let mut buf = vec![0u8; HEADER2_LEN];
+        self.encode_into(&mut buf);
+        seal_frame_v2(&mut buf, id)?;
         Ok(buf)
     }
 
@@ -875,5 +1116,70 @@ mod tests {
     fn unknown_opcodes_are_typed_errors() {
         assert_eq!(Request::decode(&[0x7F]), Err(WireError::UnknownOpcode(0x7F)));
         assert_eq!(Response::decode(&[0x20]), Err(WireError::UnknownOpcode(0x20)));
+    }
+
+    #[test]
+    fn v2_frame_roundtrip_preserves_the_id() {
+        let req = Request::ReadBatch { addrs: vec![4, 2] };
+        let framed = req.encode_framed_v2(0xDEAD_BEEF_F00D).unwrap();
+        assert_eq!(framed, frame_v2(0xDEAD_BEEF_F00D, &req.encode()).unwrap());
+        let mut cursor = &framed[..];
+        let (id, payload) = read_frame_v2(&mut cursor).unwrap().unwrap();
+        assert_eq!(id, 0xDEAD_BEEF_F00D);
+        assert_eq!(Request::decode(&payload).unwrap(), req);
+    }
+
+    #[test]
+    fn read_frame_v2_rejects_v1_magic() {
+        let framed = Request::Ping.encode_framed().unwrap();
+        let mut cursor = &framed[..];
+        assert_eq!(read_frame_v2(&mut cursor), Err(WireError::BadMagic { found: MAGIC }));
+    }
+
+    #[test]
+    fn assembler_handles_mixed_versions_and_arbitrary_chunking() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&Request::Ping.encode_framed().unwrap());
+        stream.extend_from_slice(&Request::Capacity.encode_framed_v2(7).unwrap());
+        stream.extend_from_slice(
+            &Request::ReadBatch { addrs: vec![1, 2, 3] }
+                .encode_framed_v2(8)
+                .unwrap(),
+        );
+        // Push one byte at a time: frames must pop out exactly at their
+        // completion points, in order, with versions intact.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            asm.push(&[b]);
+            while let Some(frame) = asm.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(asm.buffered(), 0);
+        assert_eq!(
+            got,
+            vec![
+                WireFrame::V1(Request::Ping.encode()),
+                WireFrame::V2 { id: 7, payload: Request::Capacity.encode() },
+                WireFrame::V2 {
+                    id: 8,
+                    payload: Request::ReadBatch { addrs: vec![1, 2, 3] }.encode()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn assembler_rejects_bad_headers_before_the_payload_arrives() {
+        let mut asm = FrameAssembler::new();
+        asm.push(b"HTTP");
+        assert!(matches!(asm.next_frame(), Err(WireError::BadMagic { .. })));
+
+        let mut asm = FrameAssembler::new();
+        asm.push(&MAGIC2.to_le_bytes());
+        asm.push(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        // Oversized claim dies at 8 header bytes, long before any payload.
+        assert_eq!(asm.next_frame(), Err(WireError::BadLength { len: MAX_FRAME as u64 + 1 }));
     }
 }

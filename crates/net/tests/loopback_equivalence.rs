@@ -136,6 +136,41 @@ fn raw_storage_programs_match_for_every_config() {
     }
 }
 
+/// A pre-pipelining `DPS1` client must complete the identical program
+/// against the event-loop daemon — the one-in-flight compatibility mode
+/// old clients get from a new daemon.
+#[test]
+fn raw_storage_programs_match_for_v1_clients() {
+    let mut local = ShardedServer::new(3).with_pool(WorkerPool::new(2));
+    let served = ShardedServer::new(3).with_pool(WorkerPool::new(2));
+    let daemon = NetDaemon::spawn(served).expect("spawn daemon");
+    let mut remote = RemoteServer::connect_v1(daemon.local_addr()).expect("connect v1");
+    run_program(&mut local, &mut remote);
+    drop(remote);
+    daemon.shutdown();
+}
+
+/// The identical program through the portable `poll(2)` readiness
+/// backend instead of epoll: the fallback must be observationally
+/// indistinguishable.
+#[test]
+fn raw_storage_programs_match_on_the_poll_fallback_backend() {
+    use dps_net::{DaemonLimits, PollBackend};
+    let mut local = ShardedServer::new(2).with_pool(WorkerPool::new(2));
+    let served = ShardedServer::new(2).with_pool(WorkerPool::new(2));
+    let daemon = NetDaemon::bind_with_backend(
+        "127.0.0.1:0",
+        served,
+        DaemonLimits::default(),
+        PollBackend::Poll,
+    )
+    .expect("bind poll backend");
+    let mut remote = RemoteServer::connect(daemon.local_addr()).expect("connect");
+    run_program(&mut local, &mut remote);
+    drop(remote);
+    daemon.shutdown();
+}
+
 /// Every batch operation is exactly one framed exchange, no matter the
 /// batch size — including batches large enough to cross the daemon-side
 /// worker-pool fan-out threshold.

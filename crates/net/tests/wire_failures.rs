@@ -17,8 +17,8 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 
-use dps_net::wire::{deframe, frame, visit_cells, HEADER_LEN, MAGIC, MAX_FRAME};
-use dps_net::{DaemonLimits, NetDaemon, RemoteServer, Request, Response, WireError};
+use dps_net::wire::{deframe, frame, frame_v2, visit_cells, HEADER2_LEN, MAGIC, MAX_FRAME};
+use dps_net::{DaemonLimits, NetDaemon, RemoteError, RemoteServer, Request, Response, WireError};
 use dps_server::{ServerError, ShardedServer, Storage};
 use proptest::prelude::*;
 
@@ -256,7 +256,7 @@ fn daemon_refuses_contract_violating_strided_writes() {
 fn daemon_budget_stops_allocation_amplification() {
     let mut server = ShardedServer::new(2);
     server.init((0..64).map(|i| vec![i as u8; 8]).collect());
-    let limits = DaemonLimits { max_stored_bytes: 1 << 20 }; // 1 MiB budget
+    let limits = DaemonLimits { max_stored_bytes: 1 << 20, ..Default::default() }; // 1 MiB budget
     let daemon = NetDaemon::bind_with("127.0.0.1:0", server, limits).expect("bind");
 
     // A 17-byte frame claiming 2^40 empty cells.
@@ -292,7 +292,7 @@ fn daemon_budget_stops_allocation_amplification() {
 /// the accumulated total is what counts, not each chunk alone.
 #[test]
 fn daemon_budget_applies_across_init_chunks() {
-    let limits = DaemonLimits { max_stored_bytes: 4096 };
+    let limits = DaemonLimits { max_stored_bytes: 4096, ..Default::default() };
     let daemon = NetDaemon::bind_with("127.0.0.1:0", ShardedServer::new(1), limits).expect("bind");
 
     // 8 cells of 64 B ≈ 8 × (64+16) = 640 projected bytes per chunk;
@@ -333,22 +333,25 @@ fn fake_peer(behavior: impl FnOnce(TcpStream) + Send + 'static) -> SocketAddr {
     addr
 }
 
-/// Reads one full frame off the socket (header + payload), so the fake
-/// peer can respond at a protocol-meaningful boundary.
-fn swallow_request(stream: &mut TcpStream) {
-    let mut header = [0u8; HEADER_LEN];
+/// Reads one full v2 frame off the socket (header + payload), returning
+/// its request id so the fake peer can respond at a protocol-meaningful
+/// boundary with a correctly (or deliberately wrongly) tagged answer.
+fn swallow_request(stream: &mut TcpStream) -> u64 {
+    let mut header = [0u8; HEADER2_LEN];
     stream.read_exact(&mut header).unwrap();
     let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    let id = u64::from_le_bytes(header[8..16].try_into().unwrap());
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body).unwrap();
+    id
 }
 
 #[test]
 fn mid_batch_connection_drop_is_a_truncated_error() {
     let addr = fake_peer(|mut stream| {
-        swallow_request(&mut stream);
+        let id = swallow_request(&mut stream);
         // Answer with the first half of a valid Cells response, then die.
-        let full = frame(&Response::Cells(vec![vec![7u8; 64]; 8]).encode()).unwrap();
+        let full = frame_v2(id, &Response::Cells(vec![vec![7u8; 64]; 8]).encode()).unwrap();
         stream.write_all(&full[..full.len() / 2]).unwrap();
         // stream drops here: connection reset mid-frame.
     });
@@ -370,7 +373,7 @@ fn peer_vanishing_before_responding_is_truncated_at_zero() {
     });
     let remote = RemoteServer::connect(addr).unwrap();
     let err = remote.try_call(&Request::Capacity).unwrap_err();
-    assert_eq!(err, WireError::Truncated { expected: HEADER_LEN, got: 0 });
+    assert_eq!(err, WireError::Truncated { expected: HEADER2_LEN, got: 0 });
 }
 
 #[test]
@@ -391,9 +394,9 @@ fn storage_surface_panics_rather_than_fabricating_answers() {
 fn wrong_cell_count_panics_rather_than_skipping_visits() {
     for wrong_count in [2usize, 5] {
         let addr = fake_peer(move |mut stream| {
-            swallow_request(&mut stream);
+            let id = swallow_request(&mut stream);
             let short = Response::Cells(vec![vec![7u8; 4]; wrong_count]).encode();
-            stream.write_all(&frame(&short).unwrap()).unwrap();
+            stream.write_all(&frame_v2(id, &short).unwrap()).unwrap();
             let mut sink = [0u8; 1];
             let _ = stream.read(&mut sink);
         });
@@ -409,9 +412,9 @@ fn wrong_cell_count_panics_rather_than_skipping_visits() {
 #[test]
 fn wrong_access_batch_count_panics() {
     let addr = fake_peer(|mut stream| {
-        swallow_request(&mut stream);
+        let id = swallow_request(&mut stream);
         let short = Response::Cells(vec![vec![7u8; 4]]).encode();
-        stream.write_all(&frame(&short).unwrap()).unwrap();
+        stream.write_all(&frame_v2(id, &short).unwrap()).unwrap();
         let mut sink = [0u8; 1];
         let _ = stream.read(&mut sink);
     });
@@ -425,8 +428,8 @@ fn wrong_access_batch_count_panics() {
 #[test]
 fn corrupt_response_magic_is_a_bad_magic_error() {
     let addr = fake_peer(|mut stream| {
-        swallow_request(&mut stream);
-        let mut framed = frame(&Response::Pong.encode()).unwrap();
+        let id = swallow_request(&mut stream);
+        let mut framed = frame_v2(id, &Response::Pong.encode()).unwrap();
         framed[0] ^= 0xFF;
         stream.write_all(&framed).unwrap();
         // Hold the socket open briefly so the client reads our bytes
@@ -437,4 +440,52 @@ fn corrupt_response_magic_is_a_bad_magic_error() {
     let remote = RemoteServer::connect(addr).unwrap();
     let err = remote.try_call(&Request::Ping).unwrap_err();
     assert!(matches!(err, WireError::BadMagic { .. }), "got {err:?}");
+}
+
+/// A response tagged with an id that matches no in-flight request is a
+/// protocol violation the client surfaces typed, never misdelivers.
+#[test]
+fn unknown_response_id_is_a_typed_error() {
+    let addr = fake_peer(|mut stream| {
+        let id = swallow_request(&mut stream);
+        let framed = frame_v2(id + 999, &Response::Pong.encode()).unwrap();
+        stream.write_all(&framed).unwrap();
+        let mut sink = [0u8; 1];
+        let _ = stream.read(&mut sink);
+    });
+    let remote = RemoteServer::connect(addr).unwrap();
+    let err = remote.try_call(&Request::Ping).unwrap_err();
+    assert!(matches!(err, WireError::UnknownRequestId(_)), "got {err:?}");
+}
+
+/// The `try_*` surface turns a short `Cells` answer into a typed
+/// [`WireError::CellCountMismatch`] instead of the panic the infallible
+/// `Storage` surface throws.
+#[test]
+fn short_cells_answer_is_typed_on_the_fallible_surface() {
+    let addr = fake_peer(|mut stream| {
+        let id = swallow_request(&mut stream);
+        let short = Response::Cells(vec![vec![7u8; 4]; 2]).encode();
+        stream.write_all(&frame_v2(id, &short).unwrap()).unwrap();
+        let mut sink = [0u8; 1];
+        let _ = stream.read(&mut sink);
+    });
+    let remote = RemoteServer::connect(addr).unwrap();
+    let err = remote.try_read_batch(&[0, 1, 2]).unwrap_err();
+    assert_eq!(err, RemoteError::Wire(WireError::CellCountMismatch { got: 2, expected: 3 }));
+}
+
+/// Same for `access_batch`'s owned-cells path.
+#[test]
+fn short_access_batch_answer_is_typed_on_the_fallible_surface() {
+    let addr = fake_peer(|mut stream| {
+        let id = swallow_request(&mut stream);
+        let short = Response::Cells(vec![vec![7u8; 4]]).encode();
+        stream.write_all(&frame_v2(id, &short).unwrap()).unwrap();
+        let mut sink = [0u8; 1];
+        let _ = stream.read(&mut sink);
+    });
+    let remote = RemoteServer::connect(addr).unwrap();
+    let err = remote.try_access_batch(&[0, 1], Vec::new()).unwrap_err();
+    assert_eq!(err, RemoteError::Wire(WireError::CellCountMismatch { got: 1, expected: 2 }));
 }

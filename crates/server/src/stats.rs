@@ -38,6 +38,13 @@ pub struct CostStats {
     /// Bytes of framed responses read off the wire, headers included
     /// (server -> client; 0 for in-process servers).
     pub wire_bytes_down: u64,
+    /// High-water mark of simultaneously in-flight pipelined wire
+    /// requests on one connection (0 for in-process servers; 1 for a
+    /// strictly request-response client). Unlike the other counters this
+    /// is a maximum, not a sum: [`CostStats::plus`] takes the larger of
+    /// the two marks and [`CostStats::since`] keeps the current one —
+    /// high-water marks don't subtract.
+    pub wire_inflight_max: u64,
 }
 
 impl CostStats {
@@ -60,7 +67,13 @@ impl CostStats {
     /// view, directly comparable between an in-process server and a
     /// network-backed one serving the same requests.
     pub fn sans_wire(&self) -> CostStats {
-        CostStats { wire_round_trips: 0, wire_bytes_up: 0, wire_bytes_down: 0, ..*self }
+        CostStats {
+            wire_round_trips: 0,
+            wire_bytes_up: 0,
+            wire_bytes_down: 0,
+            wire_inflight_max: 0,
+            ..*self
+        }
     }
 
     /// Component-wise sum `self + other`; useful for aggregating over
@@ -76,11 +89,14 @@ impl CostStats {
             wire_round_trips: self.wire_round_trips + other.wire_round_trips,
             wire_bytes_up: self.wire_bytes_up + other.wire_bytes_up,
             wire_bytes_down: self.wire_bytes_down + other.wire_bytes_down,
+            wire_inflight_max: self.wire_inflight_max.max(other.wire_inflight_max),
         }
     }
 
     /// Component-wise difference `self - earlier`; useful for measuring the
     /// cost of a single query given snapshots before and after.
+    /// `wire_inflight_max` is a high-water mark, not a sum, so the current
+    /// mark is kept as-is.
     pub fn since(&self, earlier: &CostStats) -> CostStats {
         CostStats {
             downloads: self.downloads - earlier.downloads,
@@ -92,6 +108,7 @@ impl CostStats {
             wire_round_trips: self.wire_round_trips - earlier.wire_round_trips,
             wire_bytes_up: self.wire_bytes_up - earlier.wire_bytes_up,
             wire_bytes_down: self.wire_bytes_down - earlier.wire_bytes_down,
+            wire_inflight_max: self.wire_inflight_max,
         }
     }
 }
@@ -113,11 +130,12 @@ impl std::fmt::Display for CostStats {
         if self.wire_round_trips != 0 || self.wire_bytes_total() != 0 {
             write!(
                 f,
-                ", wire: round_trips={} bytes={} (down={} up={})",
+                ", wire: round_trips={} bytes={} (down={} up={}) inflight_max={}",
                 self.wire_round_trips,
                 self.wire_bytes_total(),
                 self.wire_bytes_down,
-                self.wire_bytes_up
+                self.wire_bytes_up,
+                self.wire_inflight_max
             )?;
         }
         Ok(())
@@ -177,6 +195,7 @@ mod tests {
             wire_round_trips: 4,
             wire_bytes_up: 100,
             wire_bytes_down: 200,
+            wire_inflight_max: 8,
             ..Default::default()
         };
         let model = s.sans_wire();
@@ -185,6 +204,24 @@ mod tests {
         assert_eq!(model.round_trips, 1);
         assert_eq!(model.wire_round_trips, 0);
         assert_eq!(model.wire_bytes_total(), 0);
+        assert_eq!(model.wire_inflight_max, 0);
         assert_eq!(s.wire_bytes_total(), 300);
+    }
+
+    #[test]
+    fn inflight_max_is_a_high_water_mark() {
+        let a = CostStats { wire_inflight_max: 3, wire_round_trips: 10, ..Default::default() };
+        let b = CostStats { wire_inflight_max: 8, wire_round_trips: 5, ..Default::default() };
+        // plus: counters add, the mark takes the larger side.
+        let sum = a.plus(&b);
+        assert_eq!(sum.wire_round_trips, 15);
+        assert_eq!(sum.wire_inflight_max, 8);
+        // since: counters subtract, but the mark is carried through
+        // unchanged (on a connection it only ever rises).
+        let early = CostStats { wire_inflight_max: 3, wire_round_trips: 4, ..Default::default() };
+        let late = CostStats { wire_inflight_max: 8, wire_round_trips: 10, ..Default::default() };
+        let diff = late.since(&early);
+        assert_eq!(diff.wire_round_trips, 6);
+        assert_eq!(diff.wire_inflight_max, 8);
     }
 }
