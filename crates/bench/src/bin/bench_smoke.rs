@@ -23,7 +23,7 @@
 //! with its knobs exposed (`--clients`, `--ops`, `--cells`, `--theta`,
 //! `--writes`), for interactive latency exploration outside CI.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dps_workloads::generators::zipf_ram;
 use dps_workloads::Op;
@@ -33,7 +33,9 @@ use dps_core::dp_kvs::{DpKvs, DpKvsConfig};
 use dps_core::dp_ram::{DpRam, DpRamConfig};
 use dps_core::dp_ram_ro::DpRamReadOnly;
 use dps_crypto::{BlockCipher, ChaChaRng, CIPHERTEXT_OVERHEAD};
-use dps_net::{NetDaemon, RemoteServer};
+use dps_net::{
+    ChaosConfig, ChaosProxy, NetDaemon, ReconnectPolicy, RemoteError, RemoteServer, Timeouts,
+};
 use dps_oram::{LinearOram, PathOram, PathOramConfig};
 use dps_pir::{FullScanPir, XorPir};
 use dps_server::batch_crypto::encrypt_batch_strided;
@@ -175,12 +177,20 @@ fn net_load(
     block: usize,
     theta: f64,
     write_fraction: f64,
+    chaos: Option<ChaosConfig>,
 ) -> LoadSummary {
     let db = database(n, block);
     let mut server = ShardedServer::new(4);
     Storage::init(&mut server, db);
     let daemon = NetDaemon::spawn(server).expect("spawn load daemon");
-    let addr = daemon.local_addr();
+    // With a chaos schedule, every client dials through a seeded
+    // fault-injecting proxy and carries a reconnect policy; reads replay
+    // transparently, interrupted writes are retried by the loop below —
+    // the measured latencies then include redial + replay cost.
+    let proxy = chaos
+        .map(|config| ChaosProxy::spawn(daemon.local_addr(), config).expect("spawn chaos proxy"));
+    let faulty = proxy.is_some();
+    let addr = proxy.as_ref().map_or(daemon.local_addr(), |p| p.local_addr());
 
     // Traces are pre-drawn so trace generation never shows up in the
     // measured latencies.
@@ -195,9 +205,19 @@ fn net_load(
     let mut latencies: Vec<u64> = std::thread::scope(|scope| {
         let handles: Vec<_> = traces
             .iter()
-            .map(|trace| {
+            .enumerate()
+            .map(|(c, trace)| {
                 scope.spawn(move || {
-                    let remote = RemoteServer::connect(addr).expect("connect load client");
+                    let remote = if faulty {
+                        RemoteServer::connect_with(addr, Timeouts::all(Duration::from_secs(10)))
+                            .expect("connect load client")
+                            .with_reconnect(ReconnectPolicy {
+                                jitter_seed: c as u64,
+                                ..ReconnectPolicy::default()
+                            })
+                    } else {
+                        RemoteServer::connect(addr).expect("connect load client")
+                    };
                     let payload = vec![0x5Au8; block];
                     let mut lats = Vec::with_capacity(trace.len());
                     for q in trace {
@@ -206,11 +226,16 @@ fn net_load(
                             Op::Read => {
                                 remote.try_read_batch(&[q.index]).expect("load read");
                             }
-                            Op::Write => {
-                                remote
-                                    .try_write_batch(vec![(q.index, payload.clone())])
-                                    .expect("load write");
-                            }
+                            Op::Write => loop {
+                                match remote.try_write_batch(vec![(q.index, payload.clone())]) {
+                                    Ok(()) => break,
+                                    // A reset caught the write in flight:
+                                    // ambiguous on a real system, safe to
+                                    // re-issue for idempotent overwrites.
+                                    Err(RemoteError::Interrupted) => continue,
+                                    Err(e) => panic!("load write failed: {e}"),
+                                }
+                            },
                         }
                         lats.push(t.elapsed().as_nanos() as u64);
                     }
@@ -224,6 +249,7 @@ fn net_load(
             .collect()
     });
     let wall_ns = start.elapsed().as_nanos() as u64;
+    drop(proxy);
     daemon.shutdown();
 
     latencies.sort_unstable();
@@ -264,7 +290,7 @@ fn run_load_command(args: &[String]) {
         "net load: {clients} clients x {ops} ops, {cells} cells x {block} B, \
          Zipf(theta = {theta}), write fraction {writes}"
     );
-    let s = net_load(clients, ops, cells, block, theta, writes);
+    let s = net_load(clients, ops, cells, block, theta, writes, None);
     println!(
         "p50 {} ns   p95 {} ns   p99 {} ns   {} ops/s",
         s.p50_ns, s.p95_ns, s.p99_ns, s.ops_per_s
@@ -659,13 +685,34 @@ fn main() {
         let n = 1 << 12;
         let ops = 1200;
         for (clients, write_fraction) in [(1usize, 0.0f64), (4, 0.0), (4, 0.2)] {
-            let s = net_load(clients, ops, n, 256, 0.99, write_fraction);
+            let s = net_load(clients, ops, n, 256, 0.99, write_fraction, None);
             let scheme =
                 if write_fraction == 0.0 { "net_load_zipf_read" } else { "net_load_zipf_mixed" };
             results.push(Record {
                 scheme: scheme.to_string(),
                 shards: 4,
                 threads: clients,
+                median_ns: s.p50_ns,
+                p95_ns: s.p95_ns,
+                p99_ns: s.p99_ns,
+                ops_per_s: s.ops_per_s,
+                ..Record::default()
+            });
+        }
+
+        // The same mixed trace through a seeded chaos proxy cutting
+        // connections roughly every 32 KiB per direction (~1% of ops hit
+        // a reset): the price of fault tolerance — redial, backoff and
+        // idempotent replay — paid inside the measured latencies.
+        {
+            let mut config = ChaosConfig::seeded(0xFA17).cuts_only();
+            config.mean_gap_bytes = 32 * 1024;
+            config.max_fatal = u64::MAX;
+            let s = net_load(4, ops, n, 256, 0.99, 0.2, Some(config));
+            results.push(Record {
+                scheme: "net_load_zipf_faulty".to_string(),
+                shards: 4,
+                threads: 4,
                 median_ns: s.p50_ns,
                 p95_ns: s.p95_ns,
                 p99_ns: s.p99_ns,

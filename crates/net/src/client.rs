@@ -51,6 +51,25 @@
 //! surfaced typed ([`WireError::CellCountMismatch`],
 //! [`WireError::UnknownRequestId`], …) instead of panicking.
 //!
+//! # Resilience
+//!
+//! Two opt-in layers harden a client against a faulty network. First,
+//! [`RemoteServer::connect_with`] applies [`Timeouts`] — connect, read
+//! and write deadlines — so no call blocks forever on a stalled peer; an
+//! expired deadline is connection-fatal ([`RemoteError::TimedOut`]),
+//! because a byte stream cut mid-frame cannot be resynchronized. Second,
+//! [`RemoteServer::with_reconnect`] installs a [`ReconnectPolicy`]:
+//! connection faults redial the same peer under capped exponential
+//! backoff with deterministic jitter, then replay the idempotent
+//! in-flight requests (reads, XOR folds, pure queries) in submission
+//! order — so a read-only workload rides out connection resets with no
+//! caller-visible failure beyond latency and a bumped `wire_reconnects`
+//! counter. Requests that are *not* safe to replay (writes, inits,
+//! transcript takes) surface [`RemoteError::Interrupted`] instead —
+//! mapped to [`ServerError::Interrupted`] on the `Storage` surface — and
+//! the caller decides whether to re-verify and re-issue: the server may
+//! or may not have applied them, and the client refuses to guess.
+//!
 //! # Size limits
 //!
 //! [`Storage::init`] has no practical size limit: databases whose encoded
@@ -63,12 +82,14 @@
 //! [`WireError::BadLength`] message rather than degrading silently.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use dps_server::{CostStats, ServerError, Storage, Transcript};
 
+use crate::chaos::splitmix64;
 use crate::wire::{
     read_frame, read_frame_v2, visit_cells, Request, Response, WireError, HEADER2_LEN, HEADER_LEN,
 };
@@ -76,8 +97,21 @@ use crate::wire::{
 /// A wire-level or model-level failure of a remote call.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RemoteError {
-    /// The transport or codec failed; the connection is unusable.
+    /// The transport or codec failed; the connection is unusable (unless
+    /// a [`ReconnectPolicy`] already replaced it — then this is the error
+    /// that exhausted the policy).
     Wire(WireError),
+    /// A connect/read/write deadline ([`Timeouts`]) expired. The
+    /// connection is unusable: a timeout can strike mid-frame, and a
+    /// byte stream cut mid-frame cannot be resynchronized.
+    TimedOut,
+    /// The connection died while a non-idempotent request (a write, an
+    /// init, a transcript take) was in flight, and a [`ReconnectPolicy`]
+    /// re-established the session *without* replaying it: whether the
+    /// server applied it is unknown, and blindly replaying could apply
+    /// it twice. The connection is usable again; the caller decides
+    /// whether to re-issue.
+    Interrupted,
     /// The server executed the operation and reported a model error; the
     /// connection remains usable.
     Server(ServerError),
@@ -87,6 +121,10 @@ impl std::fmt::Display for RemoteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RemoteError::Wire(e) => write!(f, "wire: {e}"),
+            RemoteError::TimedOut => write!(f, "wire: deadline expired"),
+            RemoteError::Interrupted => {
+                write!(f, "wire: connection lost with a non-idempotent request in flight")
+            }
             RemoteError::Server(e) => write!(f, "server: {e}"),
         }
     }
@@ -96,7 +134,86 @@ impl std::error::Error for RemoteError {}
 
 impl From<WireError> for RemoteError {
     fn from(e: WireError) -> Self {
-        RemoteError::Wire(e)
+        match e {
+            // A blocking socket under a read/write deadline reports the
+            // expiry as TimedOut or WouldBlock depending on the platform.
+            WireError::Io(std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock) => {
+                RemoteError::TimedOut
+            }
+            e => RemoteError::Wire(e),
+        }
+    }
+}
+
+/// Connect/read/write deadlines for a [`RemoteServer`] (see
+/// [`RemoteServer::connect_with`]). `None` fields block indefinitely —
+/// the default, matching plain [`RemoteServer::connect`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timeouts {
+    /// Deadline for establishing the TCP connection (initially and on
+    /// every reconnect dial).
+    pub connect: Option<Duration>,
+    /// Deadline for each socket read while waiting on a response.
+    pub read: Option<Duration>,
+    /// Deadline for each socket write.
+    pub write: Option<Duration>,
+}
+
+impl Timeouts {
+    /// The same deadline for connect, read and write.
+    pub fn all(deadline: Duration) -> Self {
+        Self { connect: Some(deadline), read: Some(deadline), write: Some(deadline) }
+    }
+}
+
+/// Opt-in transparent reconnection for a [`RemoteServer`] (see
+/// [`RemoteServer::with_reconnect`]): when the connection faults, dial
+/// the same peer up to [`ReconnectPolicy::max_attempts`] times under
+/// capped exponential backoff with deterministic jitter, then replay the
+/// idempotent in-flight requests (reads, XOR folds, pure queries) in
+/// submission order. Non-idempotent in-flight requests are *not*
+/// replayed; they surface as [`RemoteError::Interrupted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Dial attempts per outage before giving up and surfacing the
+    /// original fault.
+    pub max_attempts: u32,
+    /// Backoff before the first dial; doubles each attempt.
+    pub base_delay: Duration,
+    /// Backoff cap.
+    pub max_delay: Duration,
+    /// Seed for the jitter: the backoff for attempt `k` lands
+    /// deterministically in `[d/2, d]` where `d = min(base·2^k, max)`,
+    /// so failure runs reproduce exactly while still decorrelating
+    /// retries across differently seeded clients.
+    pub jitter_seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(1),
+            jitter_seed: 0x5EED_D1A1,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The deterministic backoff before dial `attempt` (0-based).
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let capped = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_delay);
+        let nanos = u64::try_from(capped.as_nanos()).unwrap_or(u64::MAX);
+        let span = nanos / 2;
+        if span == 0 {
+            return capped;
+        }
+        let jitter = splitmix64(self.jitter_seed ^ (u64::from(attempt) << 32));
+        Duration::from_nanos(nanos - span + jitter % (span + 1))
     }
 }
 
@@ -121,38 +238,85 @@ enum Mode {
     V2,
 }
 
+/// Client-side record of one submitted-but-unanswered request.
+#[derive(Debug)]
+struct Pending {
+    /// The encoded frame, kept so a reconnect can replay it — `Some` only
+    /// for idempotent requests on a client with a [`ReconnectPolicy`].
+    replay: Option<Vec<u8>>,
+    /// The connection died while this non-replayable request was in
+    /// flight; its `wait` surfaces [`RemoteError::Interrupted`].
+    interrupted: bool,
+}
+
+/// Whether blindly re-executing `request` cannot change server state or
+/// the caller-observable outcome — the requests a reconnect may replay.
+/// Deliberately strict: writes, inits, recording toggles, transcript
+/// takes, stat resets and combined access batches all mutate something,
+/// so they are excluded even where a replay would *often* be harmless.
+/// (Replaying a read does still advance the server's cost counters and
+/// any active transcript; callers comparing those across a faulty run
+/// must treat them as monotone rather than exact.)
+fn idempotent(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Ping
+            | Request::Capacity
+            | Request::StoredBytes
+            | Request::CellStride
+            | Request::IsRecording
+            | Request::Stats
+            | Request::ReadBatch { .. }
+            | Request::XorCells { .. }
+    )
+}
+
 /// A [`Storage`] backend living on the far side of a TCP connection.
 ///
 /// See the [module docs](self) for the round-trip, pipelining and
 /// failure contracts.
 #[derive(Debug)]
 pub struct RemoteServer {
-    stream: TcpStream,
+    /// `RefCell` (not a bare stream) so a reconnect can swap in a fresh
+    /// socket behind the `&self` call surface.
+    stream: RefCell<TcpStream>,
     /// Buffered receive side (a cloned handle of `stream`): one `read`
     /// syscall can pull a whole burst of pipelined responses off the
-    /// socket, instead of two-plus syscalls per frame.
+    /// socket, instead of two-plus syscalls per frame. Replaced together
+    /// with `stream` on reconnect, which also discards any bytes of a
+    /// partially received frame — a cut byte stream cannot be resumed.
     reader: RefCell<BufReader<TcpStream>>,
     peer: SocketAddr,
     mode: Mode,
+    timeouts: Timeouts,
+    reconnect: Option<ReconnectPolicy>,
     /// Databases whose encoded `Init` frame would exceed this many bytes
     /// are streamed as `InitChunk` frames instead (see
     /// [`RemoteServer::with_init_chunk_bytes`]).
     init_chunk_bytes: usize,
+    /// Caps on the stash (see [`RemoteServer::with_stash_limits`]).
+    stash_max_frames: usize,
+    stash_max_bytes: usize,
     // Interior mutability because half the `Storage` surface is `&self`
     // (`stats`, `capacity`, …) but still performs an exchange.
     // `Cell`/`RefCell` are `Send` (the trait's bound) without the cost of
     // atomics; the connection itself serializes all exchanges anyway.
     /// Next v2 request id to assign.
     next_id: Cell<u64>,
-    /// Ids submitted and not yet answered.
-    outstanding: RefCell<HashSet<u64>>,
+    /// Requests submitted and not yet answered, keyed by id. A `BTreeMap`
+    /// so a reconnect replays survivors in submission order.
+    outstanding: RefCell<BTreeMap<u64, Pending>>,
     /// Answered-but-unclaimed response payloads, keyed by id — how
     /// out-of-order completions wait for their ticket holder.
     stash: RefCell<HashMap<u64, Vec<u8>>>,
+    /// Total payload bytes currently stashed (maintained alongside
+    /// `stash`, checked against `stash_max_bytes`).
+    stash_bytes: Cell<usize>,
     wire_round_trips: Cell<u64>,
     wire_bytes_up: Cell<u64>,
     wire_bytes_down: Cell<u64>,
     wire_inflight_max: Cell<u64>,
+    wire_reconnects: Cell<u64>,
 }
 
 /// Default [`RemoteServer::with_init_chunk_bytes`] threshold: 32 MiB,
@@ -160,21 +324,51 @@ pub struct RemoteServer {
 /// setup to a handful of frames per GiB.
 pub const DEFAULT_INIT_CHUNK_BYTES: usize = 1 << 25;
 
+/// Default [`RemoteServer::with_stash_limits`] frame cap: far above any
+/// sane pipelining window, low enough that a leak of unclaimed tickets
+/// fails loudly instead of accumulating forever.
+pub const DEFAULT_STASH_FRAMES: usize = 1 << 16;
+
+/// Default [`RemoteServer::with_stash_limits`] byte cap (1 GiB).
+pub const DEFAULT_STASH_BYTES: usize = 1 << 30;
+
 /// Maps a remote result onto the `Storage` error surface: model errors
-/// pass through, wire errors panic (see the module docs).
+/// pass through, an interrupted-by-reconnect request maps to the typed
+/// [`ServerError::Interrupted`] (the connection is live again and the
+/// scheme decides whether to re-issue), and genuine wire errors panic
+/// (see the module docs).
 fn model<T>(result: Result<T, RemoteError>) -> Result<T, ServerError> {
     match result {
         Ok(v) => Ok(v),
         Err(RemoteError::Server(e)) => Err(e),
+        Err(RemoteError::Interrupted) => Err(ServerError::Interrupted),
+        Err(RemoteError::TimedOut) => panic!("dps_net wire failure: deadline expired"),
         Err(RemoteError::Wire(e)) => panic!("dps_net wire failure: {e}"),
     }
+}
+
+/// Establishes one configured socket to `addr`: nodelay, deadlines
+/// applied, receive side buffered.
+fn dial(
+    addr: &SocketAddr,
+    timeouts: &Timeouts,
+) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+    let stream = match timeouts.connect {
+        Some(deadline) => TcpStream::connect_timeout(addr, deadline)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(timeouts.read)?;
+    stream.set_write_timeout(timeouts.write)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok((stream, reader))
 }
 
 impl RemoteServer {
     /// Connects to a [`crate::NetDaemon`] (or anything speaking the same
     /// protocol) at `addr`, speaking the pipelined v2 protocol.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        Self::connect_mode(addr, Mode::V2)
+        Self::connect_mode(addr, Mode::V2, Timeouts::default())
     }
 
     /// Connects speaking the original one-in-flight v1 protocol — what a
@@ -182,28 +376,85 @@ impl RemoteServer {
     /// `Storage` surface works identically; only [`RemoteServer::submit`]
     /// is unavailable.
     pub fn connect_v1(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        Self::connect_mode(addr, Mode::V1)
+        Self::connect_mode(addr, Mode::V1, Timeouts::default())
     }
 
-    fn connect_mode(addr: impl ToSocketAddrs, mode: Mode) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+    /// [`RemoteServer::connect`] with connect/read/write deadlines. Each
+    /// deadline expiry on an established connection surfaces as
+    /// [`RemoteError::TimedOut`] (or, absent a [`ReconnectPolicy`], a
+    /// panic on the bare `Storage` surface); an expired *connect*
+    /// deadline surfaces here as `io::ErrorKind::TimedOut`.
+    pub fn connect_with(addr: impl ToSocketAddrs, timeouts: Timeouts) -> std::io::Result<Self> {
+        Self::connect_mode(addr, Mode::V2, timeouts)
+    }
+
+    fn connect_mode(
+        addr: impl ToSocketAddrs,
+        mode: Mode,
+        timeouts: Timeouts,
+    ) -> std::io::Result<Self> {
+        let mut last_err = None;
+        let mut dialed = None;
+        for candidate in addr.to_socket_addrs()? {
+            match dial(&candidate, &timeouts) {
+                Ok(pair) => {
+                    dialed = Some(pair);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let Some((stream, reader)) = dialed else {
+            return Err(last_err.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+            }));
+        };
         let peer = stream.peer_addr()?;
-        let reader = RefCell::new(BufReader::new(stream.try_clone()?));
         Ok(Self {
-            stream,
-            reader,
+            stream: RefCell::new(stream),
+            reader: RefCell::new(reader),
             peer,
             mode,
+            timeouts,
+            reconnect: None,
             init_chunk_bytes: DEFAULT_INIT_CHUNK_BYTES,
+            stash_max_frames: DEFAULT_STASH_FRAMES,
+            stash_max_bytes: DEFAULT_STASH_BYTES,
             next_id: Cell::new(1),
-            outstanding: RefCell::new(HashSet::new()),
+            outstanding: RefCell::new(BTreeMap::new()),
             stash: RefCell::new(HashMap::new()),
+            stash_bytes: Cell::new(0),
             wire_round_trips: Cell::new(0),
             wire_bytes_up: Cell::new(0),
             wire_bytes_down: Cell::new(0),
             wire_inflight_max: Cell::new(0),
+            wire_reconnects: Cell::new(0),
         })
+    }
+
+    /// Opts in to transparent reconnection under `policy` (see
+    /// [`ReconnectPolicy`]): connection-level faults — the socket
+    /// erroring, the peer vanishing mid-frame, a deadline expiring — tear
+    /// the session down, redial the same peer under backoff, and replay
+    /// the idempotent in-flight requests. Protocol violations (corrupt
+    /// magic, unknown ids) still surface immediately: reconnecting cannot
+    /// repair a peer that speaks the protocol wrongly.
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = Some(policy);
+        self
+    }
+
+    /// Bounds the response stash that out-of-order pipelining can
+    /// accumulate: at most `frames` unclaimed responses and at most
+    /// `bytes` unclaimed payload bytes (each clamped to at least 1).
+    /// Exceeding either surfaces [`crate::WireError::StashOverflow`] to
+    /// the waiter that pulled the overflowing frame — the frame itself is
+    /// dropped, so treat the connection as poisoned afterwards. Defaults:
+    /// [`DEFAULT_STASH_FRAMES`] / [`DEFAULT_STASH_BYTES`].
+    pub fn with_stash_limits(mut self, frames: usize, bytes: usize) -> Self {
+        self.stash_max_frames = frames.max(1);
+        self.stash_max_bytes = bytes.max(1);
+        self
     }
 
     /// Sets the per-frame byte threshold above which [`Storage::init`]
@@ -240,6 +491,7 @@ impl RemoteServer {
             wire_bytes_up: self.wire_bytes_up.get(),
             wire_bytes_down: self.wire_bytes_down.get(),
             wire_inflight_max: self.wire_inflight_max.get(),
+            wire_reconnects: self.wire_reconnects.get(),
             ..CostStats::default()
         }
     }
@@ -247,6 +499,87 @@ impl RemoteServer {
     /// Requests currently submitted and unanswered.
     pub fn inflight(&self) -> usize {
         self.outstanding.borrow().len()
+    }
+
+    // ---- recovery ------------------------------------------------------
+
+    /// Whether a reconnect could plausibly cure `fault`: socket-level
+    /// errors and cut streams, yes; protocol violations, never.
+    fn connection_fault(fault: &WireError) -> bool {
+        matches!(fault, WireError::Io(_) | WireError::Truncated { .. })
+    }
+
+    /// Handles one connection outage: marks non-replayable in-flight
+    /// requests interrupted, then (if a [`ReconnectPolicy`] is set and
+    /// `fault` is a connection-level fault) redials under backoff and
+    /// replays the idempotent in-flight frames in submission order.
+    /// Returns `Ok(())` once a replacement session is live, or the
+    /// classified original fault if recovery is off the table or every
+    /// dial attempt failed.
+    fn recover(&self, fault: WireError) -> Result<(), RemoteError> {
+        let classified = RemoteError::from(fault.clone());
+        let Some(policy) = self.reconnect else { return Err(classified) };
+        if !Self::connection_fault(&fault) {
+            return Err(classified);
+        }
+        for pending in self.outstanding.borrow_mut().values_mut() {
+            if pending.replay.is_none() {
+                pending.interrupted = true;
+            }
+        }
+        'attempt: for attempt in 0..policy.max_attempts {
+            std::thread::sleep(policy.delay_for(attempt));
+            let Ok((stream, reader)) = dial(&self.peer, &self.timeouts) else { continue };
+            *self.stream.borrow_mut() = stream;
+            *self.reader.borrow_mut() = reader;
+            self.wire_reconnects.set(self.wire_reconnects.get() + 1);
+            for pending in self.outstanding.borrow().values() {
+                if let Some(frame) = &pending.replay {
+                    if self.send(frame).is_err() {
+                        // The replacement died mid-replay; burn another
+                        // attempt. Replaying a prefix twice is safe —
+                        // only idempotent frames carry a replay buffer.
+                        continue 'attempt;
+                    }
+                }
+            }
+            return Ok(());
+        }
+        Err(classified)
+    }
+
+    /// Dial attempts this client may spend per outage *episode* — and,
+    /// by reuse, outage episodes one call may survive before giving up.
+    fn recovery_budget(&self) -> u32 {
+        self.reconnect.map_or(0, |p| p.max_attempts)
+    }
+
+    /// Writes one pre-framed buffer, counting its bytes on success.
+    fn send(&self, framed: &[u8]) -> Result<(), WireError> {
+        self.stream.borrow_mut().write_all(framed)?;
+        self.wire_bytes_up
+            .set(self.wire_bytes_up.get() + framed.len() as u64);
+        Ok(())
+    }
+
+    /// Stashes an out-of-order response, enforcing the frame/byte caps.
+    fn stash_insert(&self, id: u64, payload: Vec<u8>) -> Result<(), WireError> {
+        let mut stash = self.stash.borrow_mut();
+        let frames = stash.len() + 1;
+        let bytes = self.stash_bytes.get() + payload.len();
+        if frames > self.stash_max_frames || bytes > self.stash_max_bytes {
+            return Err(WireError::StashOverflow { frames, bytes });
+        }
+        self.stash_bytes.set(bytes);
+        stash.insert(id, payload);
+        Ok(())
+    }
+
+    /// Removes a stashed response, keeping the byte accounting honest.
+    fn stash_take(&self, id: u64) -> Option<Vec<u8>> {
+        let payload = self.stash.borrow_mut().remove(&id)?;
+        self.stash_bytes.set(self.stash_bytes.get() - payload.len());
+        Some(payload)
     }
 
     // ---- pipelined core ------------------------------------------------
@@ -257,20 +590,29 @@ impl RemoteServer {
     /// tickets may be outstanding; responses may be redeemed in any
     /// order. Requires a v2 connection — a [`RemoteServer::connect_v1`]
     /// client returns a typed error.
-    pub fn submit(&self, request: &Request) -> Result<Ticket, WireError> {
+    pub fn submit(&self, request: &Request) -> Result<Ticket, RemoteError> {
         if self.mode == Mode::V1 {
-            return Err(WireError::BadPayload("a v1 connection cannot pipeline"));
+            return Err(WireError::BadPayload("a v1 connection cannot pipeline").into());
         }
         let id = self.next_id.get();
         self.next_id.set(id + 1);
         let framed = request.encode_framed_v2(id)?;
-        (&self.stream).write_all(&framed)?;
-        self.wire_bytes_up
-            .set(self.wire_bytes_up.get() + framed.len() as u64);
-        self.outstanding.borrow_mut().insert(id);
-        let inflight = self.outstanding.borrow().len() as u64;
+        // Registered before the write so a mid-write fault hands the
+        // frame straight to `recover` like any other in-flight request.
+        let replay = (self.reconnect.is_some() && idempotent(request)).then(|| framed.clone());
+        let inflight = {
+            let mut outstanding = self.outstanding.borrow_mut();
+            outstanding.insert(id, Pending { replay, interrupted: false });
+            outstanding.len() as u64
+        };
         self.wire_inflight_max
             .set(self.wire_inflight_max.get().max(inflight));
+        if let Err(fault) = self.send(&framed) {
+            if let Err(err) = self.recover(fault) {
+                self.outstanding.borrow_mut().remove(&id);
+                return Err(err);
+            }
+        }
         Ok(Ticket(id))
     }
 
@@ -281,57 +623,93 @@ impl RemoteServer {
     /// identical to submitting each request in order — it exists purely
     /// because N syscalls and N scheduler round trips are the dominant
     /// cost of small pipelined requests.
-    pub fn submit_all(&self, requests: &[Request]) -> Result<Vec<Ticket>, WireError> {
+    pub fn submit_all(&self, requests: &[Request]) -> Result<Vec<Ticket>, RemoteError> {
         if self.mode == Mode::V1 {
-            return Err(WireError::BadPayload("a v1 connection cannot pipeline"));
+            return Err(WireError::BadPayload("a v1 connection cannot pipeline").into());
         }
-        let mut burst = Vec::new();
-        let mut tickets = Vec::with_capacity(requests.len());
+        // Encode the whole window before registering anything, so an
+        // encode failure leaves no phantom in-flight entries behind.
+        let mut frames = Vec::with_capacity(requests.len());
         for request in requests {
             let id = self.next_id.get();
             self.next_id.set(id + 1);
-            burst.extend_from_slice(&request.encode_framed_v2(id)?);
-            tickets.push(Ticket(id));
+            let framed = request.encode_framed_v2(id)?;
+            let replay = (self.reconnect.is_some() && idempotent(request)).then(|| framed.clone());
+            frames.push((id, framed, replay));
         }
-        (&self.stream).write_all(&burst)?;
-        self.wire_bytes_up
-            .set(self.wire_bytes_up.get() + burst.len() as u64);
-        let mut outstanding = self.outstanding.borrow_mut();
-        for ticket in &tickets {
-            outstanding.insert(ticket.0);
+        let mut burst = Vec::new();
+        let mut tickets = Vec::with_capacity(requests.len());
+        {
+            let mut outstanding = self.outstanding.borrow_mut();
+            for (id, framed, replay) in frames {
+                outstanding.insert(id, Pending { replay, interrupted: false });
+                burst.extend_from_slice(&framed);
+                tickets.push(Ticket(id));
+            }
+            let inflight = outstanding.len() as u64;
+            self.wire_inflight_max
+                .set(self.wire_inflight_max.get().max(inflight));
         }
-        let inflight = outstanding.len() as u64;
-        drop(outstanding);
-        self.wire_inflight_max
-            .set(self.wire_inflight_max.get().max(inflight));
+        if let Err(fault) = self.send(&burst) {
+            if let Err(err) = self.recover(fault) {
+                let mut outstanding = self.outstanding.borrow_mut();
+                for ticket in &tickets {
+                    outstanding.remove(&ticket.0);
+                }
+                return Err(err);
+            }
+        }
         Ok(tickets)
     }
 
     /// Redeems a ticket for its raw response payload, reading frames off
     /// the socket until the matching id arrives. Responses for *other*
-    /// tickets that arrive first are stashed for their own `wait`; a
-    /// response whose id matches no outstanding request is a protocol
-    /// violation ([`WireError::UnknownRequestId`]).
-    pub fn wait_payload(&self, ticket: Ticket) -> Result<Vec<u8>, WireError> {
-        if let Some(payload) = self.stash.borrow_mut().remove(&ticket.0) {
-            return Ok(payload);
-        }
-        if !self.outstanding.borrow().contains(&ticket.0) {
-            return Err(WireError::UnknownRequestId(ticket.0));
-        }
+    /// tickets that arrive first are stashed for their own `wait` (up to
+    /// the [`RemoteServer::with_stash_limits`] caps); a response whose id
+    /// matches no outstanding request is a protocol violation
+    /// ([`crate::WireError::UnknownRequestId`]). Under a
+    /// [`ReconnectPolicy`], connection faults while waiting trigger
+    /// reconnect-and-replay; a ticket whose request could not be replayed
+    /// comes back as [`RemoteError::Interrupted`].
+    pub fn wait_payload(&self, ticket: Ticket) -> Result<Vec<u8>, RemoteError> {
+        let mut episodes = 0u32;
         loop {
-            let (id, payload) = read_frame_v2(&mut *self.reader.borrow_mut())?
-                .ok_or(WireError::Truncated { expected: HEADER2_LEN, got: 0 })?;
-            if !self.outstanding.borrow_mut().remove(&id) {
-                return Err(WireError::UnknownRequestId(id));
-            }
-            self.wire_round_trips.set(self.wire_round_trips.get() + 1);
-            self.wire_bytes_down
-                .set(self.wire_bytes_down.get() + (HEADER2_LEN + payload.len()) as u64);
-            if id == ticket.0 {
+            if let Some(payload) = self.stash_take(ticket.0) {
                 return Ok(payload);
             }
-            self.stash.borrow_mut().insert(id, payload);
+            {
+                let mut outstanding = self.outstanding.borrow_mut();
+                match outstanding.get(&ticket.0) {
+                    None => return Err(WireError::UnknownRequestId(ticket.0).into()),
+                    Some(pending) if pending.interrupted => {
+                        outstanding.remove(&ticket.0);
+                        return Err(RemoteError::Interrupted);
+                    }
+                    Some(_) => {}
+                }
+            }
+            let fault = match read_frame_v2(&mut *self.reader.borrow_mut()) {
+                Ok(Some((id, payload))) => {
+                    if self.outstanding.borrow_mut().remove(&id).is_none() {
+                        return Err(WireError::UnknownRequestId(id).into());
+                    }
+                    self.wire_round_trips.set(self.wire_round_trips.get() + 1);
+                    self.wire_bytes_down
+                        .set(self.wire_bytes_down.get() + (HEADER2_LEN + payload.len()) as u64);
+                    if id == ticket.0 {
+                        return Ok(payload);
+                    }
+                    self.stash_insert(id, payload)?;
+                    continue;
+                }
+                Ok(None) => WireError::Truncated { expected: HEADER2_LEN, got: 0 },
+                Err(e) => e,
+            };
+            episodes += 1;
+            if episodes > self.recovery_budget() {
+                return Err(fault.into());
+            }
+            self.recover(fault)?;
         }
     }
 
@@ -348,29 +726,51 @@ impl RemoteServer {
     /// Performs one framed exchange, returning the raw response payload.
     /// On a v2 connection this is [`RemoteServer::submit`] immediately
     /// followed by [`RemoteServer::wait_payload`]; on a v1 connection it
-    /// is the original blocking write-then-read. Either way the wire
-    /// counters are exact by construction: one `try_call`, one wire
-    /// round trip.
-    pub fn try_call(&self, request: &Request) -> Result<Vec<u8>, WireError> {
+    /// is the original blocking write-then-read (retried across
+    /// reconnects only when `request` is idempotent). Either way the wire
+    /// counters are exact by construction: one fault-free `try_call`, one
+    /// wire round trip.
+    pub fn try_call(&self, request: &Request) -> Result<Vec<u8>, RemoteError> {
         match self.mode {
             Mode::V2 => {
                 let ticket = self.submit(request)?;
                 self.wait_payload(ticket)
             }
             Mode::V1 => {
-                let framed = request.encode_framed()?;
-                (&self.stream).write_all(&framed)?;
-                let payload = read_frame(&mut *self.reader.borrow_mut())?
-                    .ok_or(WireError::Truncated { expected: HEADER_LEN, got: 0 })?;
-                self.wire_round_trips.set(self.wire_round_trips.get() + 1);
-                self.wire_bytes_up
-                    .set(self.wire_bytes_up.get() + framed.len() as u64);
-                self.wire_bytes_down
-                    .set(self.wire_bytes_down.get() + (HEADER_LEN + payload.len()) as u64);
-                self.wire_inflight_max.set(self.wire_inflight_max.get().max(1));
-                Ok(payload)
+                let mut episodes = 0u32;
+                loop {
+                    let fault = match self.v1_exchange(request) {
+                        Ok(payload) => return Ok(payload),
+                        Err(e) if Self::connection_fault(&e) => e,
+                        Err(e) => return Err(e.into()),
+                    };
+                    episodes += 1;
+                    if episodes > self.recovery_budget() {
+                        return Err(fault.into());
+                    }
+                    self.recover(fault)?;
+                    // v1 has no request ids, so nothing was registered
+                    // for replay; re-run the whole exchange iff that is
+                    // safe, otherwise hand the ambiguity to the caller.
+                    if !idempotent(request) {
+                        return Err(RemoteError::Interrupted);
+                    }
+                }
             }
         }
+    }
+
+    /// One blocking v1 write-then-read exchange.
+    fn v1_exchange(&self, request: &Request) -> Result<Vec<u8>, WireError> {
+        let framed = request.encode_framed()?;
+        self.send(&framed)?;
+        let payload = read_frame(&mut *self.reader.borrow_mut())?
+            .ok_or(WireError::Truncated { expected: HEADER_LEN, got: 0 })?;
+        self.wire_round_trips.set(self.wire_round_trips.get() + 1);
+        self.wire_bytes_down
+            .set(self.wire_bytes_down.get() + (HEADER_LEN + payload.len()) as u64);
+        self.wire_inflight_max.set(self.wire_inflight_max.get().max(1));
+        Ok(payload)
     }
 
     /// [`RemoteServer::try_call`] plus response decoding, with in-band
@@ -491,6 +891,7 @@ impl RemoteServer {
         self.wire_bytes_up.set(0);
         self.wire_bytes_down.set(0);
         self.wire_inflight_max.set(0);
+        self.wire_reconnects.set(0);
         Ok(())
     }
 

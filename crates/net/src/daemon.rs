@@ -37,6 +37,20 @@
 //! connections. Pauses are observable as
 //! [`DaemonMetrics::read_stalls`].
 //!
+//! # Deadlines
+//!
+//! The event loop keeps a coarse timer: each connection carries a
+//! last-activity stamp and a last-write-progress stamp, checked on every
+//! poll wake-up (the poll timeout shrinks to the nearest deadline, so
+//! reaping happens on time, not on the next unrelated event).
+//! [`DaemonLimits::idle_timeout`] reaps slowloris peers — connected but
+//! never sending a full frame — and [`DaemonLimits::write_stall_timeout`]
+//! reaps backpressured peers that refuse to drain their responses.
+//! Reaped connections are counted in [`DaemonMetrics::idle_reaped`] and
+//! [`DaemonMetrics::stall_reaped`]; other connections are unaffected.
+//! [`DaemonLimits::max_connections`] bounds the slab itself against
+//! connection floods.
+//!
 //! # Hostile peers
 //!
 //! Protocol errors (bad magic, oversized length prefix, malformed body)
@@ -64,10 +78,11 @@ use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use dps_server::{ShardedServer, Storage};
 
-use crate::sys::{Event, PollBackend, Poller};
+use crate::sys::{timeout_ms_until, Event, PollBackend, Poller};
 use crate::wire::{FrameAssembler, Request, Response, WireError, WireFrame};
 
 /// Per-cell bookkeeping bytes (length table + init bitmap + slack) used
@@ -82,8 +97,15 @@ const LISTENER: usize = 0;
 const READ_CHUNK: usize = 64 * 1024;
 
 /// Poll timeout: the upper bound on shutdown latency when the wake-up
-/// connect cannot reach the listener.
+/// connect cannot reach the listener. Timer deadlines (idle and
+/// write-stall reaping) shorten individual waits below this; they never
+/// lengthen them.
 const POLL_TIMEOUT_MS: i32 = 500;
+
+/// How long a stopping daemon keeps flushing queued responses before
+/// giving up on peers that will not drain them (see
+/// [`NetDaemon::shutdown`]).
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Most response buffers one vectored write gathers — comfortably under
 /// every platform's `IOV_MAX` (POSIX guarantees at least 16; Linux allows
@@ -105,11 +127,35 @@ pub struct DaemonLimits {
     /// bounds what a slow reader can pile up, not what one request may
     /// answer. Default: 4 MiB.
     pub max_queued_bytes: usize,
+    /// Connections a daemon keeps open at once. Accepts beyond the cap
+    /// are closed immediately (counted in
+    /// [`DaemonMetrics::accept_rejects`]), so a connection flood cannot
+    /// exhaust the slab or the fd table. Default: 1024.
+    pub max_connections: usize,
+    /// Reap a connection that has shown no activity — no bytes read from
+    /// it, no response bytes accepted by it — for this long. This is the
+    /// slowloris bound: a peer that connects and trickles (or sends
+    /// nothing) cannot hold a slab slot forever. `None` disables idle
+    /// reaping. Default: 60 s.
+    pub idle_timeout: Option<Duration>,
+    /// Reap a connection that has queued responses but has not accepted a
+    /// single byte of them for this long — a backpressured peer that
+    /// refuses to drain. Measured from the last write progress (or from
+    /// when the queue became non-empty), independently of
+    /// [`DaemonLimits::idle_timeout`]. `None` disables stall reaping.
+    /// Default: 60 s.
+    pub write_stall_timeout: Option<Duration>,
 }
 
 impl Default for DaemonLimits {
     fn default() -> Self {
-        Self { max_stored_bytes: 1 << 32, max_queued_bytes: 1 << 22 }
+        Self {
+            max_stored_bytes: 1 << 32,
+            max_queued_bytes: 1 << 22,
+            max_connections: 1024,
+            idle_timeout: Some(Duration::from_secs(60)),
+            write_stall_timeout: Some(Duration::from_secs(60)),
+        }
     }
 }
 
@@ -126,6 +172,13 @@ pub struct DaemonMetrics {
     /// framing, malformed bodies, or requests that break caller
     /// contracts / the allocation budget).
     pub protocol_errors: u64,
+    /// Connections reaped by [`DaemonLimits::idle_timeout`].
+    pub idle_reaped: u64,
+    /// Connections reaped by [`DaemonLimits::write_stall_timeout`].
+    pub stall_reaped: u64,
+    /// Accepts closed immediately because the daemon was already at
+    /// [`DaemonLimits::max_connections`].
+    pub accept_rejects: u64,
 }
 
 #[derive(Debug, Default)]
@@ -133,11 +186,16 @@ struct MetricsInner {
     connections: AtomicU64,
     read_stalls: AtomicU64,
     protocol_errors: AtomicU64,
+    idle_reaped: AtomicU64,
+    stall_reaped: AtomicU64,
+    accept_rejects: AtomicU64,
 }
 
 /// A running TCP storage daemon. Dropping it (or calling
-/// [`NetDaemon::shutdown`]) stops the event loop: no new connections are
-/// accepted and established connections are closed.
+/// [`NetDaemon::shutdown`]) stops the event loop *gracefully*: no new
+/// connections are accepted, requests already received are answered, and
+/// queued responses are flushed (bounded by an internal drain deadline
+/// and the write-stall timeout) before the sockets close.
 #[derive(Debug)]
 pub struct NetDaemon {
     local_addr: SocketAddr,
@@ -205,10 +263,16 @@ impl NetDaemon {
             connections: self.metrics.connections.load(Ordering::Relaxed),
             read_stalls: self.metrics.read_stalls.load(Ordering::Relaxed),
             protocol_errors: self.metrics.protocol_errors.load(Ordering::Relaxed),
+            idle_reaped: self.metrics.idle_reaped.load(Ordering::Relaxed),
+            stall_reaped: self.metrics.stall_reaped.load(Ordering::Relaxed),
+            accept_rejects: self.metrics.accept_rejects.load(Ordering::Relaxed),
         }
     }
 
-    /// Stops the event loop and joins it.
+    /// Stops the event loop and joins it, draining first: buffered
+    /// requests are answered and queued responses flushed before the
+    /// sockets close. Peers that will not drain their responses are cut
+    /// off after an internal deadline, so shutdown always completes.
     pub fn shutdown(mut self) {
         self.stop_now();
     }
@@ -266,10 +330,17 @@ struct Conn {
     /// Interest set currently registered with the poller.
     want_read: bool,
     want_write: bool,
+    /// Last time the peer showed life: bytes read from it, or response
+    /// bytes it accepted. Drives [`DaemonLimits::idle_timeout`].
+    last_activity: Instant,
+    /// Last time a queued response byte left for the peer (reset when the
+    /// queue turns non-empty). Drives
+    /// [`DaemonLimits::write_stall_timeout`].
+    last_write_progress: Instant,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, now: Instant) -> Self {
         Self {
             stream,
             assembler: FrameAssembler::new(),
@@ -282,6 +353,8 @@ impl Conn {
             dead: false,
             want_read: true,
             want_write: false,
+            last_activity: now,
+            last_write_progress: now,
         }
     }
 }
@@ -307,16 +380,30 @@ fn event_loop(
     }
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut events: Vec<Event> = Vec::new();
+    // Set once the stop flag is seen: the drain deadline after which
+    // still-undrained connections are cut off and the loop returns.
+    let mut drain_until: Option<Instant> = None;
     loop {
-        if poller.wait(&mut events, POLL_TIMEOUT_MS).is_err() {
+        let timeout = {
+            let now = Instant::now();
+            let mut next = next_deadline(&conns, limits);
+            if let Some(deadline) = drain_until {
+                next = Some(next.map_or(deadline, |d| d.min(deadline)));
+            }
+            timeout_ms_until(next, now, POLL_TIMEOUT_MS)
+        };
+        if poller.wait(&mut events, timeout).is_err() {
             return;
         }
-        if stop.load(Ordering::SeqCst) {
-            return; // drops listener + conns: sockets close, clients see EOF
+        if drain_until.is_none() && stop.load(Ordering::SeqCst) {
+            drain_until = Some(Instant::now() + DRAIN_TIMEOUT);
+            begin_drain(&mut poller, &listener, &mut conns, &mut server, limits, metrics);
         }
         for ev in events.iter().copied() {
             if ev.token == LISTENER {
-                accept_ready(&listener, &mut poller, &mut conns, metrics);
+                if drain_until.is_none() {
+                    accept_ready(&listener, &mut poller, &mut conns, limits, metrics);
+                }
                 continue;
             }
             let idx = ev.token - 1;
@@ -334,19 +421,134 @@ fn event_loop(
             }
             settle_conn(&mut poller, &mut conns, idx);
         }
+        reap_deadlines(&mut poller, &mut conns, limits, metrics);
+        if let Some(deadline) = drain_until {
+            // Drained, or out of patience with peers that will not drain.
+            if conns.iter().all(Option::is_none) || Instant::now() >= deadline {
+                return;
+            }
+        }
     }
 }
 
-/// Accepts every pending connection on the ready listener.
+/// The nearest timer deadline across all live connections, if any timer
+/// is armed: idle reaping measures from the last peer activity,
+/// write-stall reaping from the last write progress of a non-empty
+/// queue.
+fn next_deadline(conns: &[Option<Conn>], limits: DaemonLimits) -> Option<Instant> {
+    let mut next: Option<Instant> = None;
+    let mut fold = |deadline: Instant| {
+        next = Some(next.map_or(deadline, |cur| cur.min(deadline)));
+    };
+    for conn in conns.iter().flatten() {
+        if let Some(t) = limits.idle_timeout {
+            if !conn.closing {
+                fold(conn.last_activity + t);
+            }
+        }
+        if let Some(t) = limits.write_stall_timeout {
+            if !conn.outq.is_empty() {
+                fold(conn.last_write_progress + t);
+            }
+        }
+    }
+    next
+}
+
+/// Closes every connection whose idle or write-stall deadline has
+/// passed. Reaping is an immediate close — a peer that earned a deadline
+/// has shown it will not make progress, so there is nothing to flush to
+/// it that would not stall again.
+fn reap_deadlines(
+    poller: &mut Poller,
+    conns: &mut [Option<Conn>],
+    limits: DaemonLimits,
+    metrics: &MetricsInner,
+) {
+    if limits.idle_timeout.is_none() && limits.write_stall_timeout.is_none() {
+        return;
+    }
+    let now = Instant::now();
+    for idx in 0..conns.len() {
+        let Some(conn) = conns[idx].as_mut() else { continue };
+        if conn.dead {
+            continue;
+        }
+        let stalled = !conn.outq.is_empty()
+            && limits
+                .write_stall_timeout
+                .is_some_and(|t| now.duration_since(conn.last_write_progress) >= t);
+        // A draining (closing) connection no longer reads, so only the
+        // stall deadline applies to it.
+        let idle = !conn.closing
+            && limits
+                .idle_timeout
+                .is_some_and(|t| now.duration_since(conn.last_activity) >= t);
+        if stalled {
+            metrics.stall_reaped.fetch_add(1, Ordering::Relaxed);
+        } else if idle {
+            metrics.idle_reaped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            continue;
+        }
+        conn.dead = true;
+        settle_conn(poller, conns, idx);
+    }
+}
+
+/// Turns the loop toward shutdown: stop accepting, answer every request
+/// already buffered (the backpressure cap is released frame by frame —
+/// drain work is bounded by bytes already received), then mark every
+/// connection flush-then-close.
+fn begin_drain(
+    poller: &mut Poller,
+    listener: &TcpListener,
+    conns: &mut [Option<Conn>],
+    server: &mut ShardedServer,
+    limits: DaemonLimits,
+    metrics: &MetricsInner,
+) {
+    let _ = poller.deregister(listener.as_raw_fd(), LISTENER);
+    for idx in 0..conns.len() {
+        let Some(conn) = conns[idx].as_mut() else { continue };
+        // Un-pause repeatedly: each pass decodes buffered frames until
+        // the cap re-pauses it, until the assembler holds no complete
+        // frame. Everything received gets its answer queued.
+        while conn.paused && !conn.dead {
+            conn.paused = false;
+            process_frames(conn, server, limits, metrics);
+        }
+        if !conn.dead {
+            conn.closing = true;
+            if conn.outq.is_empty() {
+                conn.dead = true;
+            } else {
+                flush_conn(conn, server, limits, metrics);
+            }
+        }
+        settle_conn(poller, conns, idx);
+    }
+}
+
+/// Accepts every pending connection on the ready listener; accepts over
+/// [`DaemonLimits::max_connections`] are closed on the spot (the backlog
+/// still drains, so the flood cannot park connections there either).
 fn accept_ready(
     listener: &TcpListener,
     poller: &mut Poller,
     conns: &mut Vec<Option<Conn>>,
+    limits: DaemonLimits,
     metrics: &MetricsInner,
 ) {
+    let mut live = conns.iter().filter(|c| c.is_some()).count();
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                if live >= limits.max_connections {
+                    metrics.accept_rejects.fetch_add(1, Ordering::Relaxed);
+                    drop(stream);
+                    continue;
+                }
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
@@ -367,7 +569,8 @@ fn accept_ready(
                     continue;
                 }
                 metrics.connections.fetch_add(1, Ordering::Relaxed);
-                conns[idx] = Some(Conn::new(stream));
+                conns[idx] = Some(Conn::new(stream, Instant::now()));
+                live += 1;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -397,6 +600,7 @@ fn fill_conn(
                 return;
             }
             Ok(n) => {
+                conn.last_activity = Instant::now();
                 conn.assembler.push(&buf[..n]);
                 process_frames(conn, server, limits, metrics);
             }
@@ -444,6 +648,12 @@ fn process_frames(
         let Ok(framed) = framed else {
             return violation(conn, metrics);
         };
+        if conn.outq.is_empty() {
+            // The stall clock measures from when there was first
+            // something to write, not from the last time long ago the
+            // queue happened to be busy.
+            conn.last_write_progress = Instant::now();
+        }
         conn.queued_bytes += framed.len();
         conn.outq.push_back(framed);
         if conn.queued_bytes > limits.max_queued_bytes {
@@ -497,6 +707,12 @@ fn flush_conn(
                     return;
                 }
                 Ok(mut n) => {
+                    // Write progress doubles as peer activity: a peer
+                    // that only downloads for minutes on end is alive,
+                    // not idle.
+                    let now = Instant::now();
+                    conn.last_write_progress = now;
+                    conn.last_activity = now;
                     // A vectored write can span several queue entries;
                     // retire them front to back.
                     while n > 0 {

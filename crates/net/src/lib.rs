@@ -24,6 +24,13 @@
 //! * A private `sys` module — the crate's one audited `unsafe` boundary,
 //!   declaring the handful of libc readiness calls (`epoll_*`, `poll`)
 //!   directly instead of pulling in mio/tokio.
+//! * [`chaos`] — a deterministic fault-injection harness: a seeded TCP
+//!   relay ([`chaos::ChaosProxy`]) cutting, delaying and splitting the
+//!   byte stream at reproducible offsets, and a [`chaos::FaultStorage`]
+//!   wrapper injecting typed model-level failures. Together with the
+//!   client's [`client::Timeouts`] / [`client::ReconnectPolicy`] and the
+//!   daemon's idle/stall deadlines, these make the stack's failure
+//!   behavior a tested contract rather than an accident.
 //!
 //! The loopback equivalence suite (`tests/loopback_equivalence.rs`) pins
 //! the whole stack observationally equivalent to a local
@@ -35,12 +42,14 @@
 #![deny(unsafe_code)] // `allow`ed in exactly one place: the audited `sys` module
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod daemon;
 mod sys;
 pub mod wire;
 
-pub use client::{RemoteError, RemoteServer, Ticket};
+pub use chaos::{ChaosConfig, ChaosMetrics, ChaosProxy, FaultStorage};
+pub use client::{ReconnectPolicy, RemoteError, RemoteServer, Ticket, Timeouts};
 pub use daemon::{DaemonLimits, DaemonMetrics, NetDaemon};
 pub use sys::PollBackend;
 pub use wire::{Request, Response, WireError};

@@ -135,6 +135,25 @@ impl Poller {
     }
 }
 
+/// Converts the nearest timer deadline into a [`Poller::wait`] timeout in
+/// milliseconds: the time until `deadline`, rounded *up* (so a wake-up
+/// never lands before the deadline it is meant to service), clamped to
+/// `[0, cap_ms]`. `None` means "no timer armed" and yields `cap_ms`
+/// unchanged — the coarse heartbeat the event loop always keeps so stop
+/// flags are observed.
+pub fn timeout_ms_until(
+    deadline: Option<std::time::Instant>,
+    now: std::time::Instant,
+    cap_ms: i32,
+) -> i32 {
+    let Some(deadline) = deadline else { return cap_ms };
+    let Some(until) = deadline.checked_duration_since(now) else { return 0 };
+    let ms = until
+        .as_millis()
+        .saturating_add(u128::from(until.subsec_nanos() % 1_000_000 != 0));
+    i32::try_from(ms).unwrap_or(i32::MAX).min(cap_ms).max(0)
+}
+
 // ---- poll(2) backend ---------------------------------------------------
 
 const POLLIN: c_short = 0x001;
@@ -396,5 +415,23 @@ mod tests {
     #[test]
     fn poll_backend_reports_readiness() {
         exercise(PollBackend::Poll);
+    }
+
+    #[test]
+    fn timeout_ms_until_rounds_up_and_clamps() {
+        use std::time::{Duration, Instant};
+        let now = Instant::now();
+        // No timer: the heartbeat cap passes through.
+        assert_eq!(timeout_ms_until(None, now, 500), 500);
+        // A deadline in the past (or right now) polls without blocking.
+        assert_eq!(timeout_ms_until(Some(now), now, 500), 0);
+        assert_eq!(timeout_ms_until(Some(now - Duration::from_secs(3)), now, 500), 0);
+        // Sub-millisecond remainders round up, never down to a busy loop
+        // of premature wake-ups.
+        assert_eq!(timeout_ms_until(Some(now + Duration::from_micros(1)), now, 500), 1);
+        assert_eq!(timeout_ms_until(Some(now + Duration::from_millis(7)), now, 500), 7);
+        assert_eq!(timeout_ms_until(Some(now + Duration::from_micros(7_300)), now, 500), 8);
+        // Far deadlines clamp to the heartbeat cap.
+        assert_eq!(timeout_ms_until(Some(now + Duration::from_secs(60)), now, 500), 500);
     }
 }

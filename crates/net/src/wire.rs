@@ -108,6 +108,16 @@ pub enum WireError {
     /// A v2 response carried a request id that matches no in-flight
     /// request on this connection.
     UnknownRequestId(u64),
+    /// The client's out-of-order response stash hit its frame or byte
+    /// cap: the peer answered so far ahead of the tickets being redeemed
+    /// that buffering any more would grow without bound. See
+    /// `RemoteServer::with_stash_limits`.
+    StashOverflow {
+        /// Stashed response frames at the time of the overflow.
+        frames: usize,
+        /// Stashed response bytes at the time of the overflow.
+        bytes: usize,
+    },
     /// The underlying socket failed.
     Io(std::io::ErrorKind),
 }
@@ -129,6 +139,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::UnknownRequestId(id) => {
                 write!(f, "response id {id} matches no in-flight request")
+            }
+            WireError::StashOverflow { frames, bytes } => {
+                write!(f, "response stash overflow: {frames} frames / {bytes} bytes unclaimed")
             }
             WireError::Io(kind) => write!(f, "socket error: {kind}"),
         }
@@ -460,6 +473,7 @@ fn put_stats(buf: &mut Vec<u8>, s: &CostStats) {
         s.wire_round_trips,
         s.wire_bytes_up,
         s.wire_bytes_down,
+        s.wire_reconnects,
         s.wire_inflight_max,
     ] {
         put_u64(buf, v);
@@ -569,6 +583,7 @@ impl<'a> Reader<'a> {
             wire_round_trips: self.u64()?,
             wire_bytes_up: self.u64()?,
             wire_bytes_down: self.u64()?,
+            wire_reconnects: self.u64()?,
             wire_inflight_max: self.u64()?,
         })
     }
@@ -932,6 +947,7 @@ impl Response {
                         buf.push(1);
                         put_u64(buf, *addr as u64);
                     }
+                    ServerError::Interrupted => buf.push(2),
                 }
             }
         }
@@ -960,6 +976,7 @@ impl Response {
                     ServerError::OutOfBounds { addr, capacity: r.size()? }
                 }
                 1 => ServerError::Uninitialized { addr: r.size()? },
+                2 => ServerError::Interrupted,
                 _ => return Err(WireError::BadPayload("unknown server-error tag")),
             }),
             other => return Err(WireError::UnknownOpcode(other)),
@@ -1067,6 +1084,7 @@ mod tests {
                 downloads: 1,
                 bytes_up: 9,
                 wire_round_trips: 2,
+                wire_reconnects: 5,
                 ..Default::default()
             }),
             Response::TranscriptData(t),
@@ -1074,6 +1092,7 @@ mod tests {
             Response::Bytes(vec![0xAB; 7]),
             Response::Fail(ServerError::OutOfBounds { addr: 12, capacity: 10 }),
             Response::Fail(ServerError::Uninitialized { addr: 3 }),
+            Response::Fail(ServerError::Interrupted),
         ];
         for resp in resps {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

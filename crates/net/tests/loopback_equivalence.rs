@@ -266,6 +266,9 @@ fn scheme_matches<R: PartialEq + std::fmt::Debug>(
 
 /// The two backends behind one generic entry point: schemes only see
 /// `impl Storage`.
+// The size skew is the remote's client-side machinery; test-only, and
+// schemes need it by value (`impl Storage`), so boxing doesn't fit.
+#[allow(clippy::large_enum_variant)]
 enum Backend {
     Local(SimServer),
     Remote(RemoteServer, NetDaemon),

@@ -95,10 +95,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
             }
             6 => Response::Cells(cells),
             7 => Response::Bytes(cells.into_iter().flatten().collect()),
-            _ => Response::Fail(if v % 2 == 0 {
-                ServerError::OutOfBounds { addr: n, capacity: n / 2 }
-            } else {
-                ServerError::Uninitialized { addr: n }
+            _ => Response::Fail(match v % 3 {
+                0 => ServerError::OutOfBounds { addr: n, capacity: n / 2 },
+                1 => ServerError::Uninitialized { addr: n },
+                _ => ServerError::Interrupted,
             }),
         },
     )
@@ -360,7 +360,7 @@ fn mid_batch_connection_drop_is_a_truncated_error() {
         .try_call(&Request::ReadBatch { addrs: (0..8).collect() })
         .unwrap_err();
     assert!(
-        matches!(err, WireError::Truncated { .. } | WireError::Io(_)),
+        matches!(err, RemoteError::Wire(WireError::Truncated { .. } | WireError::Io(_))),
         "mid-frame drop must surface as Truncated/Io, got {err:?}"
     );
 }
@@ -373,7 +373,7 @@ fn peer_vanishing_before_responding_is_truncated_at_zero() {
     });
     let remote = RemoteServer::connect(addr).unwrap();
     let err = remote.try_call(&Request::Capacity).unwrap_err();
-    assert_eq!(err, WireError::Truncated { expected: HEADER2_LEN, got: 0 });
+    assert_eq!(err, RemoteError::Wire(WireError::Truncated { expected: HEADER2_LEN, got: 0 }));
 }
 
 #[test]
@@ -439,7 +439,7 @@ fn corrupt_response_magic_is_a_bad_magic_error() {
     });
     let remote = RemoteServer::connect(addr).unwrap();
     let err = remote.try_call(&Request::Ping).unwrap_err();
-    assert!(matches!(err, WireError::BadMagic { .. }), "got {err:?}");
+    assert!(matches!(err, RemoteError::Wire(WireError::BadMagic { .. })), "got {err:?}");
 }
 
 /// A response tagged with an id that matches no in-flight request is a
@@ -455,7 +455,7 @@ fn unknown_response_id_is_a_typed_error() {
     });
     let remote = RemoteServer::connect(addr).unwrap();
     let err = remote.try_call(&Request::Ping).unwrap_err();
-    assert!(matches!(err, WireError::UnknownRequestId(_)), "got {err:?}");
+    assert!(matches!(err, RemoteError::Wire(WireError::UnknownRequestId(_))), "got {err:?}");
 }
 
 /// The `try_*` surface turns a short `Cells` answer into a typed

@@ -19,6 +19,14 @@ pub enum ServerError {
         /// The offending address.
         addr: usize,
     },
+    /// The operation was cut off mid-flight by infrastructure failure
+    /// (e.g. the network connection carrying it dropped before the
+    /// acknowledgement arrived): whether it was applied server-side is
+    /// unknown, and the caller must re-verify before retrying anything
+    /// non-idempotent. In-process servers never return this; it exists so
+    /// a network-backed [`Storage`](crate::Storage) can surface an
+    /// interrupted write as a typed error instead of a panic.
+    Interrupted,
 }
 
 impl std::fmt::Display for ServerError {
@@ -29,6 +37,9 @@ impl std::fmt::Display for ServerError {
             }
             ServerError::Uninitialized { addr } => {
                 write!(f, "cell {addr} read before initialization")
+            }
+            ServerError::Interrupted => {
+                write!(f, "operation interrupted mid-flight; application state unknown")
             }
         }
     }

@@ -38,6 +38,10 @@ pub struct CostStats {
     /// Bytes of framed responses read off the wire, headers included
     /// (server -> client; 0 for in-process servers).
     pub wire_bytes_down: u64,
+    /// Times the network client tore down and re-established its
+    /// connection after a wire-level fault (0 for in-process servers and
+    /// for clients without a reconnect policy).
+    pub wire_reconnects: u64,
     /// High-water mark of simultaneously in-flight pipelined wire
     /// requests on one connection (0 for in-process servers; 1 for a
     /// strictly request-response client). Unlike the other counters this
@@ -71,6 +75,7 @@ impl CostStats {
             wire_round_trips: 0,
             wire_bytes_up: 0,
             wire_bytes_down: 0,
+            wire_reconnects: 0,
             wire_inflight_max: 0,
             ..*self
         }
@@ -89,6 +94,7 @@ impl CostStats {
             wire_round_trips: self.wire_round_trips + other.wire_round_trips,
             wire_bytes_up: self.wire_bytes_up + other.wire_bytes_up,
             wire_bytes_down: self.wire_bytes_down + other.wire_bytes_down,
+            wire_reconnects: self.wire_reconnects + other.wire_reconnects,
             wire_inflight_max: self.wire_inflight_max.max(other.wire_inflight_max),
         }
     }
@@ -108,6 +114,7 @@ impl CostStats {
             wire_round_trips: self.wire_round_trips - earlier.wire_round_trips,
             wire_bytes_up: self.wire_bytes_up - earlier.wire_bytes_up,
             wire_bytes_down: self.wire_bytes_down - earlier.wire_bytes_down,
+            wire_reconnects: self.wire_reconnects - earlier.wire_reconnects,
             wire_inflight_max: self.wire_inflight_max,
         }
     }
@@ -137,6 +144,9 @@ impl std::fmt::Display for CostStats {
                 self.wire_bytes_up,
                 self.wire_inflight_max
             )?;
+            if self.wire_reconnects != 0 {
+                write!(f, " reconnects={}", self.wire_reconnects)?;
+            }
         }
         Ok(())
     }
@@ -195,6 +205,7 @@ mod tests {
             wire_round_trips: 4,
             wire_bytes_up: 100,
             wire_bytes_down: 200,
+            wire_reconnects: 2,
             wire_inflight_max: 8,
             ..Default::default()
         };
@@ -204,8 +215,19 @@ mod tests {
         assert_eq!(model.round_trips, 1);
         assert_eq!(model.wire_round_trips, 0);
         assert_eq!(model.wire_bytes_total(), 0);
+        assert_eq!(model.wire_reconnects, 0);
         assert_eq!(model.wire_inflight_max, 0);
         assert_eq!(s.wire_bytes_total(), 300);
+    }
+
+    #[test]
+    fn reconnects_sum_and_subtract() {
+        let a = CostStats { wire_reconnects: 2, ..Default::default() };
+        let b = CostStats { wire_reconnects: 3, ..Default::default() };
+        assert_eq!(a.plus(&b).wire_reconnects, 5);
+        assert_eq!(b.since(&a).wire_reconnects, 1);
+        let rendered = format!("{}", CostStats { wire_round_trips: 1, wire_reconnects: 4, ..a });
+        assert!(rendered.contains("reconnects=4"));
     }
 
     #[test]
