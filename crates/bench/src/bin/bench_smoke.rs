@@ -15,9 +15,11 @@
 //! keeping their rows comparable with the flat `{"scheme": ns}` maps of
 //! BENCH_1/BENCH_2; the sharded sweeps add S/T columns on top, throughput
 //! rows (`chacha_wide_throughput`, `linear_oram_reencrypt`) add a
-//! `"bytes"` field recording the payload bytes per op, and the closed-loop
+//! `"bytes"` field recording the payload bytes per op, the closed-loop
 //! network rows (`net_load_*`) add `"p95_ns"`, `"p99_ns"` and
-//! `"ops_per_s"` tail-latency columns.
+//! `"ops_per_s"` tail-latency columns, and the durable-backend rows
+//! (`disk_*`) add a `"policy"` column recording the fsync policy the
+//! figure was measured under.
 //!
 //! The `load` subcommand runs just the closed-loop network load driver
 //! with its knobs exposed (`--clients`, `--ops`, `--cells`, `--theta`,
@@ -39,7 +41,9 @@ use dps_net::{
 use dps_oram::{LinearOram, PathOram, PathOramConfig};
 use dps_pir::{FullScanPir, XorPir};
 use dps_server::batch_crypto::encrypt_batch_strided;
-use dps_server::{ShardedServer, SimServer, Storage, WorkerPool};
+use dps_server::{
+    DiskOptions, DiskStore, ShardedServer, SimServer, Storage, SyncPolicy, WorkerPool,
+};
 use dps_workloads::generators::database;
 
 /// One bench record: scheme name plus the sharding/threading configuration
@@ -52,8 +56,9 @@ use dps_workloads::generators::database;
 /// rows additionally record `bytes` — the payload bytes one op moves
 /// through the crypto core — and closed-loop load rows record tail
 /// latency (`p95_ns`, `p99_ns`; `median_ns` is their p50) plus
-/// `ops_per_s`; every extra column is omitted from the JSON when zero,
-/// keeping legacy rows byte-stable.
+/// `ops_per_s`; durable-backend rows record the fsync `policy` they ran
+/// under; every extra column is omitted from the JSON when zero (or
+/// empty), keeping legacy rows byte-stable.
 #[derive(Default)]
 struct Record {
     scheme: String,
@@ -64,6 +69,7 @@ struct Record {
     p95_ns: u64,
     p99_ns: u64,
     ops_per_s: u64,
+    policy: String,
 }
 
 impl Record {
@@ -547,6 +553,65 @@ fn main() {
         }
     }
 
+    // Durable backend (DiskStore): the same strided-write / batched-read
+    // surface as the sharded rows, against the WAL-backed arena in a
+    // scratch directory. Fsync is off — recorded in the row's `policy`
+    // column — so the figure tracks the WAL codec + pwrite path rather
+    // than the device's flush latency; every strided write appends ~1 MiB
+    // of WAL and immediately crosses the checkpoint threshold, so the
+    // checkpoint cost is *included* in each op, not amortized away.
+    {
+        let n = 1 << 12;
+        let block = 256;
+        let db = database(n, block);
+        let dir = std::env::temp_dir().join(format!("dps_bench_disk_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+        let opts = DiskOptions { sync: SyncPolicy::Never, ..DiskOptions::default() };
+        let mut store = DiskStore::open_with(&dir, opts).expect("open bench store");
+        Storage::init(&mut store, db.clone());
+
+        let addrs: Vec<usize> = (0..n).collect();
+        let flat: Vec<u8> = db.iter().flatten().copied().collect();
+        let ns = median_ns(samples, 10, || {
+            store
+                .write_batch_strided(&addrs, &flat)
+                .expect("bench disk write");
+        });
+        results.push(Record {
+            scheme: "disk_write_strided".to_string(),
+            shards: 1,
+            threads: 1,
+            median_ns: ns / n as u64, // per cell
+            policy: "fsync_off".to_string(),
+            ..Record::default()
+        });
+
+        let batch = 64;
+        let mut sink = 0u64;
+        let mut i = 0;
+        let ns = median_ns(samples, 40, || {
+            let addrs: Vec<usize> = (0..batch).map(|k| (i * 13 + k * 7) % n).collect();
+            i += 1;
+            store
+                .read_batch_with(&addrs, |_, cell| {
+                    sink = sink.wrapping_add(u64::from(cell[0]));
+                })
+                .expect("bench disk read");
+        });
+        std::hint::black_box(sink);
+        results.push(Record {
+            scheme: "disk_read_batch".to_string(),
+            shards: 1,
+            threads: 1,
+            median_ns: ns / batch as u64, // per cell
+            policy: "fsync_off".to_string(),
+            ..Record::default()
+        });
+
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     // Remote storage over loopback TCP (dps_net): the same zero-copy
     // batch surface the sharded_* rows measure in-process, with one
     // framed request/response exchange per batch on top. The delta
@@ -745,6 +810,9 @@ fn main() {
                 if value > 0 {
                     extra.push_str(&format!(", \"{name}\": {value}"));
                 }
+            }
+            if !r.policy.is_empty() {
+                extra.push_str(&format!(", \"policy\": \"{}\"", r.policy));
             }
             json.push_str(&format!(
                 "  {{\"scheme\": \"{}\", \"shards\": {}, \"threads\": {}, \"median_ns\": {}{extra}}}{comma}\n",

@@ -1,8 +1,10 @@
 //! The readiness-based TCP storage daemon.
 //!
-//! [`NetDaemon`] owns a [`ShardedServer`] and serves the full
-//! [`Storage`](dps_server::Storage) surface over the wire protocol of
-//! [`crate::wire`]. One event-loop thread multiplexes every connection
+//! [`NetDaemon`] owns any [`Storage`](dps_server::Storage) backend — the
+//! sharded in-memory [`ShardedServer`](dps_server::ShardedServer) or the
+//! durable
+//! [`DiskStore`](dps_server::DiskStore) — and serves the full trait
+//! surface over the wire protocol of [`crate::wire`]. One event-loop thread multiplexes every connection
 //! through a readiness poller ([`crate::PollBackend`]: epoll on Linux,
 //! portable `poll(2)` elsewhere) — no thread per connection, so the
 //! accept rate and the connection count stop being thread-spawn bound.
@@ -80,7 +82,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dps_server::{ShardedServer, Storage};
+use dps_server::Storage;
 
 use crate::sys::{timeout_ms_until, Event, PollBackend, Poller};
 use crate::wire::{FrameAssembler, Request, Response, WireError, WireFrame};
@@ -207,21 +209,26 @@ pub struct NetDaemon {
 impl NetDaemon {
     /// Serves `server` on an OS-assigned loopback port (the test/bench
     /// configuration) with default [`DaemonLimits`]. Query the actual
-    /// address with [`NetDaemon::local_addr`].
-    pub fn spawn(server: ShardedServer) -> std::io::Result<Self> {
+    /// address with [`NetDaemon::local_addr`]. Any [`Storage`] backend
+    /// works: an in-memory [`ShardedServer`](dps_server::ShardedServer)
+    /// or a durable [`DiskStore`](dps_server::DiskStore).
+    pub fn spawn<S: Storage + 'static>(server: S) -> std::io::Result<Self> {
         Self::bind("127.0.0.1:0", server)
     }
 
     /// Serves `server` on `addr` with default [`DaemonLimits`].
-    pub fn bind(addr: impl ToSocketAddrs, server: ShardedServer) -> std::io::Result<Self> {
+    pub fn bind<S: Storage + 'static>(
+        addr: impl ToSocketAddrs,
+        server: S,
+    ) -> std::io::Result<Self> {
         Self::bind_with(addr, server, DaemonLimits::default())
     }
 
     /// Serves `server` on `addr`, enforcing `limits` per request, on the
     /// default readiness backend.
-    pub fn bind_with(
+    pub fn bind_with<S: Storage + 'static>(
         addr: impl ToSocketAddrs,
-        server: ShardedServer,
+        server: S,
         limits: DaemonLimits,
     ) -> std::io::Result<Self> {
         Self::bind_with_backend(addr, server, limits, PollBackend::Auto)
@@ -229,9 +236,9 @@ impl NetDaemon {
 
     /// [`NetDaemon::bind_with`] on an explicit readiness backend — how
     /// the test suites exercise the portable `poll(2)` fallback on Linux.
-    pub fn bind_with_backend(
+    pub fn bind_with_backend<S: Storage + 'static>(
         addr: impl ToSocketAddrs,
-        server: ShardedServer,
+        server: S,
         limits: DaemonLimits,
         backend: PollBackend,
     ) -> std::io::Result<Self> {
@@ -361,10 +368,10 @@ impl Conn {
 
 /// The daemon thread: one poller, one server, many connection state
 /// machines.
-fn event_loop(
+fn event_loop<S: Storage>(
     mut poller: Poller,
     listener: TcpListener,
-    mut server: ShardedServer,
+    mut server: S,
     limits: DaemonLimits,
     stop: &AtomicBool,
     metrics: &MetricsInner,
@@ -500,11 +507,11 @@ fn reap_deadlines(
 /// already buffered (the backpressure cap is released frame by frame —
 /// drain work is bounded by bytes already received), then mark every
 /// connection flush-then-close.
-fn begin_drain(
+fn begin_drain<S: Storage>(
     poller: &mut Poller,
     listener: &TcpListener,
     conns: &mut [Option<Conn>],
-    server: &mut ShardedServer,
+    server: &mut S,
     limits: DaemonLimits,
     metrics: &MetricsInner,
 ) {
@@ -582,9 +589,9 @@ fn accept_ready(
 /// Reads everything the socket has, decoding and dispatching complete
 /// frames as they close — until the socket would block, the peer hangs
 /// up, or backpressure pauses the connection.
-fn fill_conn(
+fn fill_conn<S: Storage>(
     conn: &mut Conn,
-    server: &mut ShardedServer,
+    server: &mut S,
     limits: DaemonLimits,
     metrics: &MetricsInner,
 ) {
@@ -618,9 +625,9 @@ fn fill_conn(
 /// dispatch, enqueue the response in the frame's own protocol version.
 /// Stops early when the queued bytes cross the backpressure cap (leaving
 /// any further frames buffered in the assembler for the resume).
-fn process_frames(
+fn process_frames<S: Storage>(
     conn: &mut Conn,
-    server: &mut ShardedServer,
+    server: &mut S,
     limits: DaemonLimits,
     metrics: &MetricsInner,
 ) {
@@ -677,9 +684,9 @@ fn violation(conn: &mut Conn, metrics: &MetricsInner) {
 /// empty. Draining the queue resumes a backpressured connection (its
 /// buffered frames are processed immediately, and anything they enqueue
 /// is written in the same pass) and completes a closing one.
-fn flush_conn(
+fn flush_conn<S: Storage>(
     conn: &mut Conn,
-    server: &mut ShardedServer,
+    server: &mut S,
     limits: DaemonLimits,
     metrics: &MetricsInner,
 ) {
@@ -825,8 +832,8 @@ fn within_budget(limits: DaemonLimits, projected: u64) -> Result<(), WireError> 
 /// must project `capacity × longest incoming cell`, not just the write's
 /// own bytes. The event loop is the sole owner of the server, so check
 /// and write cannot be interleaved with another connection's init.
-fn check_write_budget(
-    server: &ShardedServer,
+fn check_write_budget<S: Storage>(
+    server: &S,
     limits: DaemonLimits,
     longest_cell: usize,
 ) -> Result<(), WireError> {
@@ -847,8 +854,8 @@ fn check_write_budget(
 /// parallelism still applies: a server built
 /// `.with_pool(WorkerPool::new(t))` fans each large batch's data
 /// movement across `t` workers exactly as before.
-fn dispatch(
-    server: &mut ShardedServer,
+fn dispatch<S: Storage>(
+    server: &mut S,
     limits: DaemonLimits,
     pending: &mut PendingInit,
     request: Request,

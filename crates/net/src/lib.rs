@@ -12,7 +12,9 @@
 //!   one-in-flight `DPS1` framing and the id-tagged `DPS2` framing that
 //!   makes per-connection pipelining possible.
 //! * [`daemon::NetDaemon`] — a readiness-based `std::net` TCP daemon
-//!   wrapping a [`ShardedServer`](dps_server::ShardedServer): one event
+//!   wrapping any [`Storage`](dps_server::Storage) backend — the
+//!   in-memory [`ShardedServer`](dps_server::ShardedServer) or the
+//!   durable [`DiskStore`](dps_server::DiskStore): one event
 //!   loop multiplexing every connection (epoll on Linux, portable
 //!   `poll(2)` fallback — see [`PollBackend`]), with per-connection
 //!   partial-frame buffers, bounded response queues, and explicit

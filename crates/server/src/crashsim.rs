@@ -1,0 +1,379 @@
+//! Deterministic crash-injection filesystem for testing [`crate::DiskStore`].
+//!
+//! [`CrashSim`] implements [`Vfs`] over purely in-memory files, each with
+//! two images: *visible* (what reads observe — the OS page cache) and
+//! *durable* (what survives a crash — stable storage). Writes land in the
+//! visible image immediately and are queued as *pending*; `sync` promotes
+//! a file's pending operations to the durable image, modelling `fsync`.
+//!
+//! Every `write_at` / `set_len` / `sync` call is one numbered *I/O event*.
+//! A test arms [`CrashSim::plan_crash`] with an event number; when that
+//! event fires the simulator "loses power":
+//!
+//! - the crashing write persists only a prefix of its bytes (a torn
+//!   write, configurable per mille);
+//! - every *other* pending (unsynced) operation across all files persists
+//!   or vanishes by an independent seeded coin flip — modelling the disk
+//!   reordering writes inside the no-fsync window;
+//! - every subsequent operation fails with an I/O error, which
+//!   [`crate::DiskStore`] surfaces as
+//!   [`ServerError::Interrupted`](crate::ServerError) and poisons itself on.
+//!
+//! [`CrashSim::recover`] then plays the role of the machine rebooting:
+//! visible images are reset to the durable ones and a fresh
+//! [`DiskStore::open_on`](crate::DiskStore::open_on) runs real recovery.
+//! Because the event count of a program run is deterministic, a test can
+//! sweep *every* crash point of a workload exhaustively.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use crate::disk::{DiskFile, Vfs};
+
+/// Splitmix64: tiny deterministic mixer for the persistence coin flips.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    Write { offset: u64, data: Vec<u8> },
+    SetLen(u64),
+}
+
+#[derive(Debug, Default)]
+struct FileState {
+    visible: Vec<u8>,
+    durable: Vec<u8>,
+    /// Unsynced operations in submission order, tagged with their event
+    /// number (the coin-flip key at crash time).
+    pending: Vec<(u64, Pending)>,
+}
+
+fn apply(image: &mut Vec<u8>, op: &Pending) {
+    match op {
+        Pending::Write { offset, data } => {
+            let end = *offset as usize + data.len();
+            if image.len() < end {
+                image.resize(end, 0);
+            }
+            image[*offset as usize..end].copy_from_slice(data);
+        }
+        Pending::SetLen(len) => image.resize(*len as usize, 0),
+    }
+}
+
+#[derive(Debug)]
+struct SimState {
+    files: BTreeMap<String, FileState>,
+    events: u64,
+    plan: Option<CrashPlan>,
+    crashed: bool,
+    seed: u64,
+}
+
+/// When and how violently to crash (see [`CrashSim::plan_crash`]).
+#[derive(Debug, Clone, Copy)]
+struct CrashPlan {
+    at_event: u64,
+    torn_per_mille: u16,
+}
+
+/// A deterministic crash-injection [`Vfs`]. Cloning shares the same
+/// simulated disk, so a test can keep a handle while the store owns the
+/// files.
+#[derive(Debug, Clone)]
+pub struct CrashSim {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl CrashSim {
+    /// A fresh simulated disk. `seed` drives the persistence coin flips
+    /// for unsynced writes at crash time.
+    pub fn new(seed: u64) -> Self {
+        CrashSim {
+            state: Arc::new(Mutex::new(SimState {
+                files: BTreeMap::new(),
+                events: 0,
+                plan: None,
+                crashed: false,
+                seed,
+            })),
+        }
+    }
+
+    /// Total I/O events (writes, truncations, syncs) observed so far.
+    pub fn events(&self) -> u64 {
+        self.state.lock().unwrap().events
+    }
+
+    /// Arms a crash at event number `at_event` (0-based; the event with
+    /// that number is the one interrupted). If the event is a write, a
+    /// `torn_per_mille`/1000 prefix of its bytes still reaches stable
+    /// storage.
+    pub fn plan_crash(&self, at_event: u64, torn_per_mille: u16) {
+        let mut s = self.state.lock().unwrap();
+        s.plan = Some(CrashPlan { at_event, torn_per_mille });
+    }
+
+    /// Whether the armed crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// Reboots the machine: every file's visible image is reset to its
+    /// durable image, pending operations are dropped, and the crash plan
+    /// is cleared (the event counter keeps counting, so a follow-up crash
+    /// can be armed at an absolute event number).
+    pub fn recover(&self) {
+        let mut s = self.state.lock().unwrap();
+        for file in s.files.values_mut() {
+            file.visible = file.durable.clone();
+            file.pending.clear();
+        }
+        s.plan = None;
+        s.crashed = false;
+    }
+
+    /// XORs `mask` into the durable (and visible) byte of `name` at
+    /// `offset` — bit-rot injection for corruption tests.
+    ///
+    /// # Panics
+    /// Panics if the file or offset does not exist.
+    pub fn corrupt_byte(&self, name: &str, offset: u64, mask: u8) {
+        let mut s = self.state.lock().unwrap();
+        let file = s.files.get_mut(name).expect("corrupt_byte: no such file");
+        file.durable[offset as usize] ^= mask;
+        file.visible[offset as usize] ^= mask;
+    }
+
+    /// Durable length of `name` (0 if never created).
+    pub fn durable_len(&self, name: &str) -> u64 {
+        let s = self.state.lock().unwrap();
+        s.files.get(name).map_or(0, |f| f.durable.len() as u64)
+    }
+}
+
+impl Vfs for CrashSim {
+    type File = CrashFile;
+
+    fn open(&mut self, name: &str) -> io::Result<CrashFile> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(crash_error());
+        }
+        s.files.entry(name.to_string()).or_default();
+        Ok(CrashFile { sim: self.clone(), name: name.to_string() })
+    }
+}
+
+fn crash_error() -> io::Error {
+    io::Error::other("simulated crash: machine is down")
+}
+
+impl SimState {
+    /// Counts one I/O event; if it is the planned crash point, persists a
+    /// seeded subset of the unsynced window (plus `torn` prefix bytes of
+    /// the crashing write itself, if any) and downs the machine.
+    fn io_event(&mut self, torn: Option<(&str, u64, &[u8])>) -> io::Result<u64> {
+        if self.crashed {
+            return Err(crash_error());
+        }
+        let event = self.events;
+        self.events += 1;
+        let Some(plan) = self.plan else { return Ok(event) };
+        if event < plan.at_event {
+            return Ok(event);
+        }
+        // Crash: each pending (unsynced) op independently made it to the
+        // platter or didn't — the disk was free to reorder them.
+        let seed = self.seed;
+        for file in self.files.values_mut() {
+            for (ev, op) in std::mem::take(&mut file.pending) {
+                if splitmix64(seed ^ ev) & 1 == 0 {
+                    apply(&mut file.durable, &op);
+                }
+            }
+        }
+        if let Some((name, offset, data)) = torn {
+            let keep = data.len() * plan.torn_per_mille as usize / 1000;
+            if keep > 0 {
+                let file = self.files.get_mut(name).expect("crashing write on open file");
+                apply(&mut file.durable, &Pending::Write { offset, data: data[..keep].to_vec() });
+            }
+        }
+        self.crashed = true;
+        Err(crash_error())
+    }
+}
+
+/// One file of a [`CrashSim`] disk.
+#[derive(Debug)]
+pub struct CrashFile {
+    sim: CrashSim,
+    name: String,
+}
+
+impl DiskFile for CrashFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let s = self.sim.state.lock().unwrap();
+        if s.crashed {
+            return Err(crash_error());
+        }
+        let visible = &s.files[&self.name].visible;
+        let start = (offset as usize).min(visible.len());
+        let n = buf.len().min(visible.len() - start);
+        buf[..n].copy_from_slice(&visible[start..start + n]);
+        Ok(n)
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        let mut s = self.sim.state.lock().unwrap();
+        let event = s.io_event(Some((&self.name, offset, buf)))?;
+        let op = Pending::Write { offset, data: buf.to_vec() };
+        let file = s.files.get_mut(&self.name).expect("write on open file");
+        apply(&mut file.visible, &op);
+        file.pending.push((event, op));
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut s = self.sim.state.lock().unwrap();
+        s.io_event(None)?;
+        let file = s.files.get_mut(&self.name).expect("sync on open file");
+        for (_, op) in std::mem::take(&mut file.pending) {
+            apply(&mut file.durable, &op);
+        }
+        Ok(())
+    }
+
+    fn file_len(&self) -> io::Result<u64> {
+        let s = self.sim.state.lock().unwrap();
+        if s.crashed {
+            return Err(crash_error());
+        }
+        Ok(s.files[&self.name].visible.len() as u64)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        let mut s = self.sim.state.lock().unwrap();
+        let event = s.io_event(None)?;
+        let op = Pending::SetLen(len);
+        let file = s.files.get_mut(&self.name).expect("set_len on open file");
+        apply(&mut file.visible, &op);
+        file.pending.push((event, op));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(sim: &CrashSim, name: &str) -> CrashFile {
+        sim.clone().open(name).unwrap()
+    }
+
+    #[test]
+    fn unsynced_writes_are_visible_but_not_durable() {
+        let sim = CrashSim::new(1);
+        let mut f = open(&sim, "a");
+        f.write_at(0, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        assert_eq!(sim.durable_len("a"), 0);
+        f.sync().unwrap();
+        assert_eq!(sim.durable_len("a"), 5);
+    }
+
+    #[test]
+    fn crash_fails_all_subsequent_io_until_recover() {
+        let sim = CrashSim::new(2);
+        let mut f = open(&sim, "a");
+        f.write_at(0, b"aa").unwrap();
+        f.sync().unwrap();
+        sim.plan_crash(sim.events(), 0);
+        assert!(f.write_at(2, b"bb").is_err());
+        assert!(sim.crashed());
+        assert!(f.sync().is_err());
+        assert!(f.read_at(0, &mut [0u8; 1]).is_err());
+        sim.recover();
+        let mut buf = [0u8; 4];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"aa");
+    }
+
+    #[test]
+    fn torn_write_persists_a_prefix() {
+        let sim = CrashSim::new(3);
+        let mut f = open(&sim, "a");
+        f.write_at(0, b"base").unwrap();
+        f.sync().unwrap();
+        sim.plan_crash(sim.events(), 500); // half the crashing write lands
+        assert!(f.write_at(0, b"XXXXXXXX").is_err());
+        sim.recover();
+        let mut buf = [0u8; 8];
+        assert_eq!(f.read_at(0, &mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"XXXX");
+    }
+
+    #[test]
+    fn unsynced_window_persists_a_seeded_subset() {
+        // With many pending one-byte writes, a crash should persist some
+        // and drop others (for almost every seed), and the outcome must be
+        // reproducible for a fixed seed.
+        let outcome = |seed: u64| -> Vec<u8> {
+            let sim = CrashSim::new(seed);
+            let mut f = open(&sim, "a");
+            f.write_at(0, &[0xFF; 16]).unwrap();
+            f.sync().unwrap();
+            for i in 0..16u64 {
+                f.write_at(i, &[i as u8]).unwrap();
+            }
+            sim.plan_crash(sim.events(), 0);
+            assert!(f.sync().is_err());
+            sim.recover();
+            let mut buf = [0u8; 16];
+            assert_eq!(f.read_at(0, &mut buf).unwrap(), 16);
+            buf.to_vec()
+        };
+        let a = outcome(7);
+        assert_eq!(a, outcome(7), "same seed, same surviving subset");
+        let survived = a.iter().filter(|&&b| b != 0xFF).count();
+        assert!(survived > 0 && survived < 16, "subset neither empty nor full: {a:?}");
+        assert_ne!(a, outcome(8), "different seed, different subset");
+    }
+
+    #[test]
+    fn reopen_after_recover_sees_durable_contents() {
+        let sim = CrashSim::new(4);
+        let mut f = open(&sim, "a");
+        f.write_at(0, b"keep").unwrap();
+        f.sync().unwrap();
+        f.write_at(0, b"lost").unwrap(); // never synced
+        sim.plan_crash(u64::MAX, 0);
+        drop(f);
+        sim.recover();
+        let f = open(&sim, "a");
+        let mut buf = [0u8; 4];
+        f.read_at(0, &mut buf).unwrap();
+        // "lost" was pending and the plan never fired (recover dropped it).
+        assert_eq!(&buf, b"keep");
+    }
+
+    #[test]
+    fn set_len_truncates_visible_image() {
+        let sim = CrashSim::new(5);
+        let mut f = open(&sim, "a");
+        f.write_at(0, b"0123456789").unwrap();
+        f.set_len(4).unwrap();
+        assert_eq!(f.file_len().unwrap(), 4);
+        f.sync().unwrap();
+        assert_eq!(sim.durable_len("a"), 4);
+    }
+}

@@ -1,0 +1,821 @@
+//! Durable, crash-safe storage backend: [`DiskStore`].
+//!
+//! `DiskStore` is a write-ahead-logged, file-backed [`Storage`]
+//! implementation. It keeps a full in-memory [`SimServer`] mirror (which is
+//! what makes the zero-copy read surface possible and keeps stats /
+//! transcript accounting bit-identical to the in-process servers) and
+//! persists every mutation before acknowledging it:
+//!
+//! 1. the batch is encoded as one checksummed WAL record, appended, and
+//!    fsynced — *this* is the durability point;
+//! 2. the changed cells are pwritten into the active arena file (not yet
+//!    synced);
+//! 3. the batch is applied to the in-memory mirror.
+//!
+//! A *checkpoint* makes the arena authoritative again and truncates the
+//! log: sync the arena, write a metadata snapshot (stride, lengths,
+//! init-bitmap) with a bumped generation stamp, then reset the WAL to an
+//! empty log carrying the new stamp. Snapshots alternate between two
+//! metadata files and — for geometry-changing checkpoints (init, re-stride)
+//! — between two arena files, so a torn write can never damage the
+//! checkpoint being superseded. [`DiskStore::open`] picks the newest valid
+//! snapshot, replays any complete WAL records stamped with its generation,
+//! discards the (at most one) torn tail record, and surfaces everything
+//! else as [`DiskError::Corrupt`].
+//!
+//! All I/O goes through the [`Vfs`]/[`DiskFile`] traits; production uses
+//! [`RealVfs`] (plain files + `pwrite`), tests use
+//! [`crate::CrashSim`], a deterministic crash-injection implementation.
+//!
+//! ## Failure semantics
+//!
+//! The first I/O error *poisons* the store: the failing mutation returns
+//! [`ServerError::Interrupted`] (matching the network client's typed
+//! surface for "application state unknown") and every later mutation fails
+//! fast the same way. Reads keep serving from the in-memory mirror. The
+//! recovery path is to drop the store and `open` the directory again.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::server::{ServerError, SimServer};
+use crate::stats::CostStats;
+use crate::storage::Storage;
+use crate::store::CellStore;
+use crate::transcript::Transcript;
+use crate::wal::{
+    decode_meta, decode_wal_header, encode_meta, encode_record, encode_wal_header, scan_records,
+    DiskError, Meta, WalHeader, WAL_HEADER_LEN,
+};
+
+/// One open file inside a [`Vfs`]: positioned reads/writes plus explicit
+/// durability control. Implementations must make `write_at` all-or-error
+/// at the API level (partial writes are modelled by the crash simulator,
+/// not leaked to callers).
+pub trait DiskFile: Send + std::fmt::Debug {
+    /// Reads as many bytes as available at `offset` into `buf`, returning
+    /// the count (short only at end-of-file).
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize>;
+    /// Writes all of `buf` at `offset`, extending the file as needed.
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()>;
+    /// Forces all previous writes to stable storage (`fsync`).
+    fn sync(&mut self) -> io::Result<()>;
+    /// Current file length in bytes.
+    fn file_len(&self) -> io::Result<u64>;
+    /// Truncates or extends the file to exactly `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// A minimal virtual filesystem: a namespace of [`DiskFile`]s. Opening a
+/// name that does not exist creates an empty file.
+pub trait Vfs: Send + std::fmt::Debug {
+    /// The file handle type.
+    type File: DiskFile;
+    /// Opens (creating if absent) the file called `name` for read/write.
+    fn open(&mut self, name: &str) -> io::Result<Self::File>;
+}
+
+/// The production [`Vfs`]: plain files in one directory.
+#[derive(Debug)]
+pub struct RealVfs {
+    dir: PathBuf,
+}
+
+impl RealVfs {
+    /// A VFS rooted at `dir`, creating the directory if needed.
+    pub fn new(dir: impl AsRef<Path>) -> io::Result<Self> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(Self { dir: dir.as_ref().to_path_buf() })
+    }
+}
+
+impl Vfs for RealVfs {
+    type File = RealFile;
+
+    fn open(&mut self, name: &str) -> io::Result<RealFile> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(self.dir.join(name))?;
+        Ok(RealFile { file })
+    }
+}
+
+/// A [`DiskFile`] over a real `std::fs::File` using positioned I/O.
+#[derive(Debug)]
+pub struct RealFile {
+    file: std::fs::File,
+}
+
+impl DiskFile for RealFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        use std::os::unix::fs::FileExt;
+        let mut done = 0;
+        while done < buf.len() {
+            match self.file.read_at(&mut buf[done..], offset + done as u64) {
+                Ok(0) => break,
+                Ok(n) => done += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(done)
+    }
+
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, offset)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn file_len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+}
+
+/// When the store calls `fsync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Sync at every durability point (WAL append, checkpoint). This is
+    /// the crash-safe default: a batch is acknowledged only once its WAL
+    /// record is on stable storage.
+    Always,
+    /// Never sync. Contents still reach the files (a clean shutdown or OS
+    /// flush persists them) but a crash may lose or tear recent batches.
+    /// For benchmarks and throwaway stores only.
+    Never,
+}
+
+/// Tuning knobs for [`DiskStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiskOptions {
+    /// Fsync policy (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// Once the WAL grows past this many bytes, the next batch triggers an
+    /// automatic checkpoint that truncates it.
+    pub wal_checkpoint_bytes: u64,
+}
+
+impl Default for DiskOptions {
+    fn default() -> Self {
+        Self { sync: SyncPolicy::Always, wal_checkpoint_bytes: 1 << 20 }
+    }
+}
+
+const ARENA_NAMES: [&str; 2] = ["arena.0", "arena.1"];
+const META_NAMES: [&str; 2] = ["meta.0", "meta.1"];
+const WAL_NAME: &str = "wal";
+
+/// A durable, crash-safe [`Storage`] backend (see the [module
+/// docs](self) for the on-disk protocol).
+#[derive(Debug)]
+pub struct DiskStore<V: Vfs = RealVfs> {
+    /// In-memory mirror; the single source of truth for reads, stats and
+    /// transcripts.
+    mem: SimServer,
+    arena: [V::File; 2],
+    meta: [V::File; 2],
+    wal: V::File,
+    /// Which arena slot the newest checkpoint points at.
+    active: usize,
+    /// Which meta slot holds the newest checkpoint (the next snapshot goes
+    /// to the other one).
+    meta_slot: usize,
+    /// Current checkpoint generation stamp.
+    stamp: u64,
+    /// Bytes of valid WAL content (header + complete records).
+    wal_len: u64,
+    opts: DiskOptions,
+    poisoned: bool,
+}
+
+impl DiskStore<RealVfs> {
+    /// Opens (or creates) a durable store in `dir` with default options.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, DiskError> {
+        Self::open_with(dir, DiskOptions::default())
+    }
+
+    /// Opens (or creates) a durable store in `dir`.
+    pub fn open_with(dir: impl AsRef<Path>, opts: DiskOptions) -> Result<Self, DiskError> {
+        Self::open_on(RealVfs::new(dir)?, opts)
+    }
+}
+
+impl<V: Vfs> DiskStore<V> {
+    /// Opens (or creates) a durable store on an arbitrary [`Vfs`] —
+    /// production directories and the crash simulator take the same path.
+    ///
+    /// Recovery: pick the valid metadata snapshot with the highest stamp,
+    /// load its arena slot, then replay complete WAL records carrying that
+    /// stamp. A torn tail record (interrupted append) is discarded; a
+    /// complete record with a bad checksum, a WAL from a generation newer
+    /// than any snapshot, or a structurally inconsistent snapshot+arena
+    /// pair all surface as [`DiskError::Corrupt`]. If anything was
+    /// replayed, a fresh checkpoint is written before returning, so a
+    /// second crash during recovery re-runs the same (idempotent) replay.
+    pub fn open_on(mut vfs: V, opts: DiskOptions) -> Result<Self, DiskError> {
+        let arena = [vfs.open(ARENA_NAMES[0])?, vfs.open(ARENA_NAMES[1])?];
+        let meta = [vfs.open(META_NAMES[0])?, vfs.open(META_NAMES[1])?];
+        let wal = vfs.open(WAL_NAME)?;
+
+        let mut best: Option<(usize, Meta)> = None;
+        for (slot, file) in meta.iter().enumerate() {
+            if let Some(m) = decode_meta(&read_all(file)?) {
+                if best.as_ref().is_none_or(|(_, b)| m.stamp > b.stamp) {
+                    best = Some((slot, m));
+                }
+            }
+        }
+        let wal_bytes = read_all(&wal)?;
+
+        let Some((meta_slot, m)) = best else {
+            if wal_bytes.len() >= WAL_HEADER_LEN {
+                return Err(DiskError::corrupt(
+                    "WAL present but no valid metadata snapshot exists",
+                ));
+            }
+            // Fresh store: no snapshot, no (meaningful) WAL. Write the
+            // empty generation-1 checkpoint so the directory is
+            // well-formed from the start.
+            let mut store = Self {
+                mem: SimServer::new(),
+                arena,
+                meta,
+                wal,
+                active: 1,
+                meta_slot: 1,
+                stamp: 0,
+                wal_len: 0,
+                opts,
+                poisoned: false,
+            };
+            store.full_checkpoint()?;
+            return Ok(store);
+        };
+
+        let arena_len = m.capacity as u64 * m.stride as u64;
+        let mut data = vec![0u8; m.capacity * m.stride];
+        let got = arena[m.active].read_at(0, &mut data)?;
+        if (got as u64) < arena_len {
+            return Err(DiskError::corrupt(format!(
+                "arena slot {} holds {} bytes, snapshot expects {}",
+                m.active, got, arena_len
+            )));
+        }
+        let cells = CellStore::from_raw_parts(data, m.lens, m.init, m.stride);
+        let mut mem = SimServer::new();
+        *mem.cell_store_mut() = cells;
+
+        let (replayed, discard, wal_len) = match decode_wal_header(&wal_bytes) {
+            // Shorter than a header: a crash interrupted a WAL reset
+            // after truncation. Nothing in it can be newer than the
+            // snapshot; rebuild it.
+            WalHeader::TooShort => (false, true, 0),
+            WalHeader::Corrupt => {
+                return Err(DiskError::corrupt("WAL header fails validation"));
+            }
+            WalHeader::Valid(w) if w == m.stamp => {
+                let scan = scan_records(w, &wal_bytes[WAL_HEADER_LEN..])?;
+                for record in &scan.records {
+                    for (addr, bytes) in record {
+                        if *addr >= mem.capacity() || bytes.len() > mem.cell_stride() {
+                            return Err(DiskError::corrupt(format!(
+                                "WAL record writes cell {addr} outside snapshot geometry"
+                            )));
+                        }
+                    }
+                    for (addr, bytes) in record {
+                        mem.cell_store_mut().set(*addr, bytes);
+                    }
+                }
+                let valid = (WAL_HEADER_LEN + scan.valid_len) as u64;
+                (!scan.records.is_empty(), scan.torn, valid)
+            }
+            // A WAL from an older generation lost a race with its
+            // checkpoint's reset; its records are already in the snapshot.
+            WalHeader::Valid(w) if w < m.stamp => (false, true, 0),
+            WalHeader::Valid(w) => {
+                return Err(DiskError::corrupt(format!(
+                    "WAL generation {w} is newer than newest snapshot {}",
+                    m.stamp
+                )));
+            }
+        };
+
+        let mut store = Self {
+            mem,
+            arena,
+            meta,
+            wal,
+            active: m.active,
+            meta_slot,
+            stamp: m.stamp,
+            wal_len,
+            opts,
+            poisoned: false,
+        };
+        if replayed {
+            // Fold the replayed records into a fresh checkpoint (this also
+            // resets the WAL). A crash in here leaves the old snapshot +
+            // old WAL intact, so the next open replays identically.
+            store.full_checkpoint()?;
+        } else if discard {
+            store.reset_wal()?;
+        }
+        Ok(store)
+    }
+
+    /// Replaces the contents with `cells`, like [`Storage::init`], but
+    /// with a typed error instead of a panic when the disk fails.
+    pub fn try_init(&mut self, cells: Vec<Vec<u8>>) -> Result<(), DiskError> {
+        self.check_poisoned()?;
+        self.mem.init(cells);
+        self.full_checkpoint().map_err(|e| self.poison(e))
+    }
+
+    /// Reserves `capacity` uninitialized cells, like
+    /// [`Storage::init_empty`], but with a typed error instead of a panic
+    /// when the disk fails.
+    pub fn try_init_empty(&mut self, capacity: usize) -> Result<(), DiskError> {
+        self.check_poisoned()?;
+        self.mem.init_empty(capacity);
+        self.full_checkpoint().map_err(|e| self.poison(e))
+    }
+
+    /// Forces a checkpoint: syncs the arena, writes a metadata snapshot,
+    /// truncates the WAL. Afterwards recovery needs no replay.
+    pub fn checkpoint(&mut self) -> Result<(), DiskError> {
+        self.check_poisoned()?;
+        self.light_checkpoint().map_err(|e| self.poison(e))
+    }
+
+    /// Current checkpoint generation stamp (bumps on every checkpoint).
+    pub fn checkpoint_stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Bytes of valid WAL content (header plus complete records).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_len
+    }
+
+    /// Whether a previous I/O failure has poisoned the store (all further
+    /// mutations fail fast with [`ServerError::Interrupted`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn check_poisoned(&self) -> Result<(), DiskError> {
+        if self.poisoned {
+            Err(DiskError::Io {
+                kind: io::ErrorKind::Other,
+                detail: "store poisoned by an earlier i/o failure; reopen to recover".into(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison(&mut self, e: DiskError) -> DiskError {
+        self.poisoned = true;
+        e
+    }
+
+    fn want_sync(&self) -> bool {
+        matches!(self.opts.sync, SyncPolicy::Always)
+    }
+
+    /// Appends one batch record to the WAL and makes it durable. This is
+    /// the acknowledgement point for the batch.
+    fn wal_append(&mut self, writes: &[(usize, &[u8])]) -> Result<(), DiskError> {
+        let record = encode_record(self.stamp, writes);
+        self.wal.write_at(self.wal_len, &record)?;
+        if self.want_sync() {
+            self.wal.sync()?;
+        }
+        self.wal_len += record.len() as u64;
+        Ok(())
+    }
+
+    /// Pwrites the batch's cells into the active arena slot (durability
+    /// comes from the WAL; these bytes are synced at the next checkpoint).
+    fn arena_apply(&mut self, writes: &[(usize, &[u8])]) -> Result<(), DiskError> {
+        let stride = self.mem.cell_stride() as u64;
+        for (addr, bytes) in writes {
+            if !bytes.is_empty() {
+                self.arena[self.active].write_at(*addr as u64 * stride, bytes)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// WAL-append + arena pwrite for one validated batch (no re-stride, no
+    /// out-of-bounds). Poisons the store on failure.
+    fn persist_batch(&mut self, writes: &[(usize, &[u8])]) -> Result<(), ServerError> {
+        if let Err(e) = self.wal_append(writes).and_then(|()| self.arena_apply(writes)) {
+            self.poison(e);
+            return Err(ServerError::Interrupted);
+        }
+        Ok(())
+    }
+
+    /// After a successfully acknowledged batch: checkpoint if the WAL has
+    /// outgrown its budget. The batch is durable either way (its WAL
+    /// record survives a failed checkpoint), so a checkpoint failure
+    /// poisons the store but does not fail the batch.
+    fn maybe_auto_checkpoint(&mut self) {
+        if self.wal_len > self.opts.wal_checkpoint_bytes && !self.poisoned {
+            if let Err(e) = self.light_checkpoint() {
+                self.poison(e);
+            }
+        }
+    }
+
+    /// Checkpoint keeping the current arena slot: sync it, snapshot meta,
+    /// reset the WAL.
+    fn light_checkpoint(&mut self) -> Result<(), DiskError> {
+        if self.want_sync() {
+            self.arena[self.active].sync()?;
+        }
+        self.write_meta(self.active)?;
+        self.reset_wal()
+    }
+
+    /// Checkpoint that rewrites the whole arena into the *other* slot —
+    /// used whenever the geometry changed (init, init_empty, re-stride)
+    /// and after recovery replay, so the slot the old snapshot points at
+    /// is never modified before the new snapshot is durable.
+    fn full_checkpoint(&mut self) -> Result<(), DiskError> {
+        let target = 1 - self.active;
+        let data = self.mem.cell_store().raw_data().to_vec();
+        self.arena[target].set_len(data.len() as u64)?;
+        if !data.is_empty() {
+            self.arena[target].write_at(0, &data)?;
+        }
+        if self.want_sync() {
+            self.arena[target].sync()?;
+        }
+        self.write_meta(target)?;
+        self.active = target;
+        self.reset_wal()
+    }
+
+    /// Writes the next-generation metadata snapshot (pointing at arena
+    /// slot `active`) into the non-current meta slot and makes it durable.
+    /// Only after this returns is the new checkpoint the recovery target.
+    fn write_meta(&mut self, active: usize) -> Result<(), DiskError> {
+        let cells = self.mem.cell_store();
+        let m = Meta {
+            stamp: self.stamp + 1,
+            active,
+            capacity: cells.capacity(),
+            stride: cells.stride(),
+            lens: cells.raw_lens().to_vec(),
+            init: cells.raw_init().to_vec(),
+        };
+        let bytes = encode_meta(&m);
+        let slot = 1 - self.meta_slot;
+        self.meta[slot].set_len(0)?;
+        self.meta[slot].write_at(0, &bytes)?;
+        if self.want_sync() {
+            self.meta[slot].sync()?;
+        }
+        self.meta_slot = slot;
+        self.stamp += 1;
+        Ok(())
+    }
+
+    /// Resets the WAL to an empty log for the current generation. The
+    /// truncation is synced *before* the header is written, so a crash can
+    /// only ever leave a too-short WAL (discarded on open) — never a valid
+    /// header sitting on top of stale record bytes.
+    fn reset_wal(&mut self) -> Result<(), DiskError> {
+        self.wal.set_len(0)?;
+        if self.want_sync() {
+            self.wal.sync()?;
+        }
+        let header = encode_wal_header(self.stamp);
+        self.wal.write_at(0, &header)?;
+        if self.want_sync() {
+            self.wal.sync()?;
+        }
+        self.wal_len = header.len() as u64;
+        Ok(())
+    }
+}
+
+fn read_all(file: &impl DiskFile) -> Result<Vec<u8>, DiskError> {
+    let len = file.file_len()?;
+    let mut buf = vec![
+        0u8;
+        usize::try_from(len).map_err(|_| DiskError::Io {
+            kind: io::ErrorKind::OutOfMemory,
+            detail: format!("file of {len} bytes does not fit in memory"),
+        })?
+    ];
+    let got = file.read_at(0, &mut buf)?;
+    buf.truncate(got);
+    Ok(buf)
+}
+
+impl<V: Vfs> Storage for DiskStore<V> {
+    fn init(&mut self, cells: Vec<Vec<u8>>) {
+        self.try_init(cells).expect("DiskStore::init: checkpoint failed");
+    }
+
+    fn init_empty(&mut self, capacity: usize) {
+        self.try_init_empty(capacity)
+            .expect("DiskStore::init_empty: checkpoint failed");
+    }
+
+    fn capacity(&self) -> usize {
+        self.mem.capacity()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.mem.stored_bytes()
+    }
+
+    fn cell_stride(&self) -> usize {
+        self.mem.cell_stride()
+    }
+
+    fn start_recording(&mut self) {
+        self.mem.start_recording();
+    }
+
+    fn take_transcript(&mut self) -> Transcript {
+        self.mem.take_transcript()
+    }
+
+    fn is_recording(&self) -> bool {
+        self.mem.is_recording()
+    }
+
+    fn stats(&self) -> CostStats {
+        self.mem.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.mem.reset_stats();
+    }
+
+    // Reads serve from the in-memory mirror: same zero-copy surface, same
+    // stats/transcript charging, no disk I/O, never poisoned.
+
+    fn read_batch_with(
+        &mut self,
+        addrs: &[usize],
+        visit: impl FnMut(usize, &[u8]),
+    ) -> Result<(), ServerError> {
+        self.mem.read_batch_with(addrs, visit)
+    }
+
+    fn xor_cells_into(&mut self, addrs: &[usize], acc: &mut Vec<u8>) -> Result<(), ServerError> {
+        self.mem.xor_cells_into(addrs, acc)
+    }
+
+    fn write_batch(&mut self, writes: Vec<(usize, Vec<u8>)>) -> Result<(), ServerError> {
+        if self.poisoned {
+            return Err(ServerError::Interrupted);
+        }
+        let capacity = self.mem.capacity();
+        // A batch the mirror would reject is forwarded untouched so the
+        // error and its (absent) charges are bit-identical; nothing needs
+        // persisting. Same for the empty batch (charges a round trip but
+        // mutates nothing).
+        if writes.is_empty() || writes.iter().any(|(a, _)| *a >= capacity) {
+            return self.mem.write_batch(writes);
+        }
+        if writes.iter().any(|(_, c)| c.len() > self.mem.cell_stride()) {
+            return self.restriding(|mem| mem.write_batch(writes));
+        }
+        let borrowed: Vec<(usize, &[u8])> =
+            writes.iter().map(|(a, c)| (*a, c.as_slice())).collect();
+        self.persist_batch(&borrowed)?;
+        drop(borrowed);
+        let out = self.mem.write_batch(writes);
+        debug_assert!(out.is_ok(), "mirror rejected a prechecked batch");
+        self.maybe_auto_checkpoint();
+        out
+    }
+
+    fn write_from(&mut self, addr: usize, cell: &[u8]) -> Result<(), ServerError> {
+        if self.poisoned {
+            return Err(ServerError::Interrupted);
+        }
+        if addr >= self.mem.capacity() {
+            return self.mem.write_from(addr, cell);
+        }
+        if cell.len() > self.mem.cell_stride() {
+            return self.restriding(|mem| mem.write_from(addr, cell));
+        }
+        self.persist_batch(&[(addr, cell)])?;
+        let out = self.mem.write_from(addr, cell);
+        debug_assert!(out.is_ok(), "mirror rejected a prechecked write");
+        self.maybe_auto_checkpoint();
+        out
+    }
+
+    fn write_batch_strided(&mut self, addrs: &[usize], flat: &[u8]) -> Result<(), ServerError> {
+        if self.poisoned {
+            return Err(ServerError::Interrupted);
+        }
+        let capacity = self.mem.capacity();
+        if addrs.is_empty() || addrs.iter().any(|&a| a >= capacity) {
+            // Empty batch (mirror asserts flat is empty and charges one
+            // round trip) or a rejected batch: forward untouched.
+            return self.mem.write_batch_strided(addrs, flat);
+        }
+        assert_eq!(flat.len() % addrs.len(), 0, "flat length not a multiple of cell count");
+        let stride = flat.len() / addrs.len();
+        if stride > self.mem.cell_stride() {
+            return self.restriding(|mem| mem.write_batch_strided(addrs, flat));
+        }
+        let borrowed: Vec<(usize, &[u8])> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, &flat[i * stride..(i + 1) * stride]))
+            .collect();
+        self.persist_batch(&borrowed)?;
+        let out = self.mem.write_batch_strided(addrs, flat);
+        debug_assert!(out.is_ok(), "mirror rejected a prechecked strided batch");
+        self.maybe_auto_checkpoint();
+        out
+    }
+
+    fn access_batch(
+        &mut self,
+        reads: &[usize],
+        writes: Vec<(usize, Vec<u8>)>,
+    ) -> Result<Vec<Vec<u8>>, ServerError> {
+        if self.poisoned {
+            return Err(ServerError::Interrupted);
+        }
+        let capacity = self.mem.capacity();
+        let would_fail = reads.iter().any(|&a| a >= capacity)
+            || writes.iter().any(|(a, _)| *a >= capacity)
+            || reads.iter().any(|&a| !self.mem.cell_store().is_initialized(a));
+        // A failing batch never mutates; forward so the mirror produces
+        // the identical error with its identical partial download charges.
+        // A pure-read batch has nothing to persist either.
+        if would_fail || writes.is_empty() {
+            return self.mem.access_batch(reads, writes);
+        }
+        if writes.iter().any(|(_, c)| c.len() > self.mem.cell_stride()) {
+            return self.restriding(|mem| mem.access_batch(reads, writes));
+        }
+        let borrowed: Vec<(usize, &[u8])> =
+            writes.iter().map(|(a, c)| (*a, c.as_slice())).collect();
+        self.persist_batch(&borrowed)?;
+        drop(borrowed);
+        let out = self.mem.access_batch(reads, writes);
+        debug_assert!(out.is_ok(), "mirror rejected a prechecked access batch");
+        self.maybe_auto_checkpoint();
+        out
+    }
+}
+
+impl<V: Vfs> DiskStore<V> {
+    /// Runs a batch that grows the arena stride through the mirror, then
+    /// persists the result as a full checkpoint (a re-stride relocates
+    /// every cell, which a per-cell WAL record cannot express). The batch
+    /// is acknowledged only once the checkpoint is durable.
+    fn restriding<T>(
+        &mut self,
+        apply: impl FnOnce(&mut SimServer) -> Result<T, ServerError>,
+    ) -> Result<T, ServerError> {
+        let out = apply(&mut self.mem);
+        debug_assert!(out.is_ok(), "mirror rejected a prechecked re-striding batch");
+        if let Err(e) = self.full_checkpoint() {
+            self.poison(e);
+            return Err(ServerError::Interrupted);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("dps_disk_unit_{}_{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn cells(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![i as u8; 8]).collect()
+    }
+
+    #[test]
+    fn reopen_serves_same_cells() {
+        let tmp = TempDir::new("reopen");
+        {
+            let mut store = DiskStore::open(&tmp.0).unwrap();
+            store.init(cells(10));
+            store.write(3, vec![0xAB; 8]).unwrap();
+            store
+                .write_batch(vec![(0, vec![1, 2]), (9, Vec::new())])
+                .unwrap();
+        }
+        let mut store = DiskStore::open(&tmp.0).unwrap();
+        assert_eq!(store.capacity(), 10);
+        assert_eq!(store.read(3).unwrap(), vec![0xAB; 8]);
+        assert_eq!(store.read(0).unwrap(), vec![1, 2]);
+        assert_eq!(store.read(9).unwrap(), Vec::<u8>::new());
+        assert_eq!(store.read(5).unwrap(), vec![5u8; 8]);
+    }
+
+    #[test]
+    fn reopen_preserves_uninitialized_holes() {
+        let tmp = TempDir::new("holes");
+        {
+            let mut store = DiskStore::open(&tmp.0).unwrap();
+            store.init_empty(70);
+            store.write(69, vec![7; 3]).unwrap();
+        }
+        let mut store = DiskStore::open(&tmp.0).unwrap();
+        assert_eq!(store.read(69).unwrap(), vec![7; 3]);
+        assert_eq!(store.read(0), Err(ServerError::Uninitialized { addr: 0 }));
+        assert_eq!(store.stored_bytes(), 3);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_bumps_stamp() {
+        let tmp = TempDir::new("ckpt");
+        let mut store = DiskStore::open(&tmp.0).unwrap();
+        store.init(cells(4));
+        let stamp = store.checkpoint_stamp();
+        store.write(0, vec![9; 8]).unwrap();
+        assert!(store.wal_bytes() > WAL_HEADER_LEN as u64);
+        store.checkpoint().unwrap();
+        assert_eq!(store.wal_bytes(), WAL_HEADER_LEN as u64);
+        assert_eq!(store.checkpoint_stamp(), stamp + 1);
+        drop(store);
+        let mut store = DiskStore::open(&tmp.0).unwrap();
+        assert_eq!(store.read(0).unwrap(), vec![9; 8]);
+    }
+
+    #[test]
+    fn restride_survives_reopen() {
+        let tmp = TempDir::new("restride");
+        {
+            let mut store = DiskStore::open(&tmp.0).unwrap();
+            store.init(cells(4));
+            store.write(2, vec![0xCD; 40]).unwrap(); // grows the stride
+        }
+        let mut store = DiskStore::open(&tmp.0).unwrap();
+        assert_eq!(store.cell_stride(), 40);
+        assert_eq!(store.read(2).unwrap(), vec![0xCD; 40]);
+        assert_eq!(store.read(1).unwrap(), vec![1u8; 8]);
+    }
+
+    #[test]
+    fn auto_checkpoint_bounds_the_wal() {
+        let tmp = TempDir::new("auto");
+        let opts = DiskOptions { wal_checkpoint_bytes: 128, ..DiskOptions::default() };
+        let mut store = DiskStore::open_with(&tmp.0, opts).unwrap();
+        store.init(cells(4));
+        for i in 0..50 {
+            store.write(i % 4, vec![i as u8; 8]).unwrap();
+            assert!(store.wal_bytes() <= 128 + 64, "wal grew unboundedly");
+        }
+        assert!(store.checkpoint_stamp() > 1, "auto checkpoint never fired");
+    }
+
+    #[test]
+    fn failed_batches_do_not_touch_the_wal() {
+        let tmp = TempDir::new("failfwd");
+        let mut store = DiskStore::open(&tmp.0).unwrap();
+        store.init(cells(2));
+        let wal = store.wal_bytes();
+        assert!(matches!(
+            store.write_batch(vec![(0, vec![1; 8]), (7, vec![2; 8])]),
+            Err(ServerError::OutOfBounds { addr: 7, .. })
+        ));
+        assert_eq!(store.wal_bytes(), wal);
+        assert_eq!(store.read(0).unwrap(), vec![0u8; 8]);
+    }
+}

@@ -19,12 +19,19 @@
 //!
 //! [`multi::ReplicatedServers`] replicates a database over `D` servers for
 //! the multi-server DP-IR setting of Appendix C.
+//!
+//! [`DiskStore`] is the durable backend: the same [`Storage`] surface over
+//! a write-ahead-logged arena file, so a restarted daemon serves the same
+//! cells ([`disk`] for the protocol, [`crashsim`] for the deterministic
+//! crash-injection harness that pins its recovery guarantees).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch_crypto;
 pub mod cells;
+pub mod crashsim;
+pub mod disk;
 pub mod latency;
 pub mod multi;
 pub mod pool;
@@ -35,7 +42,10 @@ pub mod storage;
 pub mod store;
 pub mod transcript;
 pub mod verified;
+pub mod wal;
 
+pub use crashsim::{CrashFile, CrashSim};
+pub use disk::{DiskFile, DiskOptions, DiskStore, RealVfs, SyncPolicy, Vfs};
 pub use latency::NetworkModel;
 pub use multi::ReplicatedServers;
 pub use pool::WorkerPool;
@@ -46,3 +56,4 @@ pub use storage::Storage;
 pub use store::CellStore;
 pub use transcript::{AccessEvent, Transcript};
 pub use verified::{VerifiedError, VerifiedServer};
+pub use wal::DiskError;

@@ -1,0 +1,479 @@
+//! On-disk record formats for the durable [`DiskStore`](crate::DiskStore):
+//! a checksummed write-ahead log plus double-buffered metadata snapshots.
+//!
+//! Everything here is pure codec — no I/O. [`crate::disk`] decides *when*
+//! bytes are written and synced; this module decides *what* they look like
+//! and how damaged inputs are classified (torn tail vs. corruption).
+//!
+//! ## WAL layout
+//!
+//! ```text
+//! header  : magic "DPSW" | version u32 | stamp u64 | crc u32      (20 bytes)
+//! record* : len u32 | crc u32 | payload (len bytes)
+//! payload : tag u8 (=1) | n u32 | addr u64 ×n | len u32 ×n | cell bytes
+//! ```
+//!
+//! All integers are little-endian. Each record's CRC covers
+//! `stamp ‖ len ‖ payload`, binding the record to the checkpoint
+//! generation it extends: records from an older generation can never be
+//! mistaken for current ones, even if a crash leaves them on disk.
+//!
+//! ## Metadata snapshot layout
+//!
+//! ```text
+//! magic "DPSM" | version u32 | stamp u64 | active u8 | capacity u64 |
+//! stride u64 | len u32 ×capacity | init u64 ×⌈capacity/64⌉ | crc u32
+//! ```
+//!
+//! A snapshot is valid only if the magic, version, structural lengths, and
+//! trailing CRC all check out; recovery picks the valid snapshot with the
+//! highest stamp out of the two alternating slots.
+
+use std::fmt;
+
+/// Magic prefix of the write-ahead log file.
+pub(crate) const WAL_MAGIC: [u8; 4] = *b"DPSW";
+/// Magic prefix of a metadata snapshot file.
+pub(crate) const META_MAGIC: [u8; 4] = *b"DPSM";
+/// On-disk format version (shared by the WAL and metadata snapshots).
+pub(crate) const FORMAT_VERSION: u32 = 1;
+/// Size in bytes of the WAL file header.
+pub(crate) const WAL_HEADER_LEN: usize = 20;
+/// Size in bytes of a WAL record header (`len u32 | crc u32`).
+pub(crate) const RECORD_HEADER_LEN: usize = 8;
+/// Upper bound on a single WAL record payload; anything larger is treated
+/// as corruption rather than an allocation request.
+pub(crate) const MAX_RECORD_LEN: u32 = 1 << 30;
+/// Payload tag for a cell-write batch record.
+pub(crate) const RECORD_TAG_WRITES: u8 = 1;
+
+/// Error surfaced by the durable store when the disk misbehaves.
+///
+/// `Corrupt` means the on-disk state is internally inconsistent in a way
+/// that crash recovery is *not* allowed to paper over (e.g. a complete WAL
+/// record whose checksum fails); `Io` wraps an operating-system error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// The on-disk state fails validation and cannot be recovered safely.
+    Corrupt {
+        /// Human-readable description of what failed to validate.
+        detail: String,
+    },
+    /// An underlying I/O operation failed.
+    Io {
+        /// The OS error kind.
+        kind: std::io::ErrorKind,
+        /// Human-readable context for the failed operation.
+        detail: String,
+    },
+}
+
+impl DiskError {
+    pub(crate) fn corrupt(detail: impl Into<String>) -> Self {
+        DiskError::Corrupt { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::Corrupt { detail } => write!(f, "corrupt store: {detail}"),
+            DiskError::Io { kind, detail } => write!(f, "disk i/o error ({kind:?}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+impl From<std::io::Error> for DiskError {
+    fn from(e: std::io::Error) -> Self {
+        DiskError::Io { kind: e.kind(), detail: e.to_string() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, table-driven; implemented here because the
+// container is offline and the workspace deliberately has no external deps).
+// ---------------------------------------------------------------------------
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// CRC-32 (IEEE) over the concatenation of `parts`, without materialising
+/// the concatenation.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// WAL header
+// ---------------------------------------------------------------------------
+
+/// Classification of the bytes at the head of the WAL file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WalHeader {
+    /// A structurally valid header carrying the given generation stamp.
+    Valid(u64),
+    /// Fewer than [`WAL_HEADER_LEN`] bytes: a crash interrupted a WAL
+    /// reset between truncation and the header write. Safe to discard.
+    TooShort,
+    /// A full-length header that fails magic/version/CRC validation.
+    Corrupt,
+}
+
+/// Encode the WAL file header for generation `stamp`.
+pub(crate) fn encode_wal_header(stamp: u64) -> [u8; WAL_HEADER_LEN] {
+    let mut out = [0u8; WAL_HEADER_LEN];
+    out[0..4].copy_from_slice(&WAL_MAGIC);
+    out[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out[8..16].copy_from_slice(&stamp.to_le_bytes());
+    let crc = crc32(&[&out[0..16]]);
+    out[16..20].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Classify the head of the WAL file (see [`WalHeader`]).
+pub(crate) fn decode_wal_header(bytes: &[u8]) -> WalHeader {
+    if bytes.len() < WAL_HEADER_LEN {
+        return WalHeader::TooShort;
+    }
+    let head = &bytes[..WAL_HEADER_LEN];
+    if head[0..4] != WAL_MAGIC || head[4..8] != FORMAT_VERSION.to_le_bytes() {
+        return WalHeader::Corrupt;
+    }
+    let crc = u32::from_le_bytes(head[16..20].try_into().unwrap());
+    if crc != crc32(&[&head[0..16]]) {
+        return WalHeader::Corrupt;
+    }
+    WalHeader::Valid(u64::from_le_bytes(head[8..16].try_into().unwrap()))
+}
+
+// ---------------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------------
+
+/// Encode one batch of cell writes as a complete WAL record
+/// (`len | crc | payload`), bound to generation `stamp`.
+pub(crate) fn encode_record(stamp: u64, writes: &[(usize, &[u8])]) -> Vec<u8> {
+    let bytes_total: usize = writes.iter().map(|(_, c)| c.len()).sum();
+    let payload_len = 1 + 4 + writes.len() * (8 + 4) + bytes_total;
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload_len);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // crc placeholder
+    out.push(RECORD_TAG_WRITES);
+    out.extend_from_slice(&(writes.len() as u32).to_le_bytes());
+    for (addr, _) in writes {
+        out.extend_from_slice(&(*addr as u64).to_le_bytes());
+    }
+    for (_, cell) in writes {
+        out.extend_from_slice(&(cell.len() as u32).to_le_bytes());
+    }
+    for (_, cell) in writes {
+        out.extend_from_slice(cell);
+    }
+    let crc = crc32(&[
+        &stamp.to_le_bytes(),
+        &(payload_len as u32).to_le_bytes(),
+        &out[RECORD_HEADER_LEN..],
+    ]);
+    out[4..8].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Result of scanning the record region of the WAL.
+#[derive(Debug)]
+pub(crate) struct WalScan {
+    /// Complete, checksum-valid batches in append order.
+    pub records: Vec<Vec<(usize, Vec<u8>)>>,
+    /// Byte length of the valid prefix (relative to the start of the
+    /// record region); anything past this is a discarded torn tail.
+    pub valid_len: usize,
+    /// Whether a torn (incomplete) tail record was discarded.
+    pub torn: bool,
+}
+
+/// Scan `bytes` (the WAL contents *after* the header) for records bound to
+/// generation `stamp`.
+///
+/// A record whose promised length runs past the end of the file is the
+/// (at most one) torn tail from an interrupted append and is discarded. A
+/// *complete* record whose CRC fails is real corruption and is reported as
+/// [`DiskError::Corrupt`] — never silently truncated.
+pub(crate) fn scan_records(stamp: u64, bytes: &[u8]) -> Result<WalScan, DiskError> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < RECORD_HEADER_LEN {
+            return Ok(WalScan { records, valid_len: pos, torn: true });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            return Err(DiskError::corrupt(format!(
+                "WAL record at offset {pos} claims implausible length {len}"
+            )));
+        }
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let body_start = pos + RECORD_HEADER_LEN;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            return Ok(WalScan { records, valid_len: pos, torn: true });
+        }
+        let payload = &bytes[body_start..body_end];
+        let want = crc32(&[&stamp.to_le_bytes(), &len.to_le_bytes(), payload]);
+        if crc != want {
+            return Err(DiskError::corrupt(format!(
+                "WAL record at offset {pos} fails its checksum"
+            )));
+        }
+        records.push(decode_record_payload(payload, pos)?);
+        pos = body_end;
+    }
+    Ok(WalScan { records, valid_len: pos, torn: false })
+}
+
+fn decode_record_payload(payload: &[u8], pos: usize) -> Result<Vec<(usize, Vec<u8>)>, DiskError> {
+    let bad = || DiskError::corrupt(format!("WAL record at offset {pos} has a malformed payload"));
+    if payload.is_empty() || payload[0] != RECORD_TAG_WRITES {
+        return Err(bad());
+    }
+    if payload.len() < 5 {
+        return Err(bad());
+    }
+    let n = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+    let addrs_end = 5usize
+        .checked_add(n.checked_mul(8).ok_or_else(bad)?)
+        .ok_or_else(bad)?;
+    let lens_end = addrs_end
+        .checked_add(n.checked_mul(4).ok_or_else(bad)?)
+        .ok_or_else(bad)?;
+    if lens_end > payload.len() {
+        return Err(bad());
+    }
+    let mut writes = Vec::with_capacity(n);
+    let mut data_pos = lens_end;
+    for i in 0..n {
+        let addr = u64::from_le_bytes(payload[5 + i * 8..5 + i * 8 + 8].try_into().unwrap());
+        let len = u32::from_le_bytes(
+            payload[addrs_end + i * 4..addrs_end + i * 4 + 4]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let end = data_pos.checked_add(len).ok_or_else(bad)?;
+        if end > payload.len() {
+            return Err(bad());
+        }
+        writes.push((addr as usize, payload[data_pos..end].to_vec()));
+        data_pos = end;
+    }
+    if data_pos != payload.len() {
+        return Err(bad());
+    }
+    Ok(writes)
+}
+
+// ---------------------------------------------------------------------------
+// Metadata snapshots
+// ---------------------------------------------------------------------------
+
+/// A decoded checkpoint metadata snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Meta {
+    /// Monotonic checkpoint generation stamp.
+    pub stamp: u64,
+    /// Which arena slot (`arena.0` / `arena.1`) holds the checkpointed cells.
+    pub active: usize,
+    /// Number of cells.
+    pub capacity: usize,
+    /// Arena stride in bytes.
+    pub stride: usize,
+    /// Per-cell stored lengths.
+    pub lens: Vec<u32>,
+    /// Initialization bitmap, one bit per cell.
+    pub init: Vec<u64>,
+}
+
+const META_FIXED_LEN: usize = 4 + 4 + 8 + 1 + 8 + 8;
+
+/// Encode a metadata snapshot, including its trailing CRC.
+pub(crate) fn encode_meta(meta: &Meta) -> Vec<u8> {
+    let mut out =
+        Vec::with_capacity(META_FIXED_LEN + meta.lens.len() * 4 + meta.init.len() * 8 + 4);
+    out.extend_from_slice(&META_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&meta.stamp.to_le_bytes());
+    out.push(meta.active as u8);
+    out.extend_from_slice(&(meta.capacity as u64).to_le_bytes());
+    out.extend_from_slice(&(meta.stride as u64).to_le_bytes());
+    for len in &meta.lens {
+        out.extend_from_slice(&len.to_le_bytes());
+    }
+    for word in &meta.init {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    let crc = crc32(&[&out]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode and validate a metadata snapshot. Returns `None` for anything
+/// that is not a complete, structurally consistent, checksum-valid
+/// snapshot — recovery treats such a slot as absent and falls back to the
+/// other one.
+pub(crate) fn decode_meta(bytes: &[u8]) -> Option<Meta> {
+    if bytes.len() < META_FIXED_LEN + 4 {
+        return None;
+    }
+    if bytes[0..4] != META_MAGIC || bytes[4..8] != FORMAT_VERSION.to_le_bytes() {
+        return None;
+    }
+    let stamp = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let active = bytes[16] as usize;
+    if active > 1 {
+        return None;
+    }
+    let capacity = u64::from_le_bytes(bytes[17..25].try_into().unwrap());
+    let stride = u64::from_le_bytes(bytes[25..33].try_into().unwrap());
+    if capacity > u64::MAX / 8 || capacity > usize::MAX as u64 / 8 {
+        return None;
+    }
+    let capacity = capacity as usize;
+    let stride = usize::try_from(stride).ok()?;
+    let words = capacity.div_ceil(64);
+    let expect = META_FIXED_LEN + capacity * 4 + words * 8 + 4;
+    if bytes.len() != expect {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[expect - 4..].try_into().unwrap());
+    if crc != crc32(&[&bytes[..expect - 4]]) {
+        return None;
+    }
+    let mut lens = Vec::with_capacity(capacity);
+    let mut pos = META_FIXED_LEN;
+    for _ in 0..capacity {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        if len as usize > stride {
+            return None;
+        }
+        lens.push(len);
+        pos += 4;
+    }
+    let mut init = Vec::with_capacity(words);
+    for _ in 0..words {
+        init.push(u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()));
+        pos += 8;
+    }
+    Some(Meta { stamp, active, capacity, stride, lens, init })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926, the classic check value.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[]), 0);
+    }
+
+    #[test]
+    fn wal_header_round_trip() {
+        let h = encode_wal_header(42);
+        assert_eq!(decode_wal_header(&h), WalHeader::Valid(42));
+        assert_eq!(decode_wal_header(&h[..19]), WalHeader::TooShort);
+        let mut bad = h;
+        bad[9] ^= 1;
+        assert_eq!(decode_wal_header(&bad), WalHeader::Corrupt);
+    }
+
+    #[test]
+    fn record_round_trip_including_empty_cells() {
+        let writes: Vec<(usize, &[u8])> = vec![(3, b"abc"), (0, b""), (7, b"zzzz")];
+        let mut bytes = encode_record(9, &writes);
+        bytes.extend_from_slice(&encode_record(9, &[(1, b"x")]));
+        let scan = scan_records(9, &bytes).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.valid_len, bytes.len());
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(
+            scan.records[0],
+            vec![(3, b"abc".to_vec()), (0, Vec::new()), (7, b"zzzz".to_vec())]
+        );
+        assert_eq!(scan.records[1], vec![(1, b"x".to_vec())]);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_but_bad_crc_is_corruption() {
+        let rec = encode_record(1, &[(2, b"hello")]);
+        let full = encode_record(1, &[(0, b"first")]);
+
+        // Truncated tail: every strict prefix of the second record is torn.
+        for cut in 0..rec.len() {
+            let mut bytes = full.clone();
+            bytes.extend_from_slice(&rec[..cut]);
+            let scan = scan_records(1, &bytes).unwrap();
+            assert_eq!(scan.records.len(), 1, "cut={cut}");
+            assert_eq!(scan.valid_len, full.len(), "cut={cut}");
+            assert_eq!(scan.torn, cut != 0, "cut={cut}");
+        }
+
+        // Complete record, flipped payload bit: typed corruption.
+        let mut bytes = full.clone();
+        let mut bad = rec.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x80;
+        bytes.extend_from_slice(&bad);
+        assert!(matches!(scan_records(1, &bytes), Err(DiskError::Corrupt { .. })));
+
+        // Wrong generation stamp also fails the checksum.
+        assert!(matches!(scan_records(2, &full), Err(DiskError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn meta_round_trip_and_validation() {
+        let meta = Meta {
+            stamp: 7,
+            active: 1,
+            capacity: 70,
+            stride: 16,
+            lens: (0..70).map(|i| (i % 17) as u32).collect(),
+            init: vec![!0u64, 0x3F],
+        };
+        let bytes = encode_meta(&meta);
+        assert_eq!(decode_meta(&bytes), Some(meta.clone()));
+
+        let mut flipped = bytes.clone();
+        flipped[40] ^= 4;
+        assert_eq!(decode_meta(&flipped), None);
+        assert_eq!(decode_meta(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(decode_meta(&[]), None);
+
+        // A stored length exceeding the stride is structural corruption.
+        let mut wide = meta;
+        wide.lens[0] = 17;
+        let bytes = encode_meta(&wide);
+        assert_eq!(decode_meta(&bytes), None);
+    }
+}

@@ -1,0 +1,598 @@
+//! Crash-recovery property suite for the durable [`DiskStore`].
+//!
+//! The contract under test (the tentpole of the durability work):
+//!
+//! - **Atomic batches.** For a randomized program of mutating batches, a
+//!   crash injected at *any* I/O event — including torn writes and seeded
+//!   reordering of the unsynced window — leaves the store recoverable to
+//!   the in-memory oracle's state at a batch boundary: pre-batch or
+//!   post-batch, never a torn mixture.
+//! - **Acknowledged batches survive.** Every batch whose call returned
+//!   `Ok` before the crash is present in the recovered state (its WAL
+//!   record was fsynced before the acknowledgement).
+//! - **Recovery never panics and never silently loses data.** Crashes
+//!   during recovery's own replay checkpoint re-recover identically;
+//!   genuine corruption (bit rot) surfaces as [`DiskError::Corrupt`].
+//!
+//! Seeds derive from `DPS_CRASH_SEED` (pinned in CI) so failures
+//! reproduce exactly.
+
+use dps_server::{
+    CrashSim, DiskError, DiskOptions, DiskStore, ServerError, SimServer, Storage, SyncPolicy,
+};
+
+fn base_seed() -> u64 {
+    std::env::var("DPS_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xD15C_5EED)
+}
+
+fn seeds(offset: u64, count: u64) -> Vec<u64> {
+    let base = base_seed();
+    (offset..offset + count)
+        .map(|i| base.wrapping_add(i.wrapping_mul(0x9E37_79B9)))
+        .collect()
+}
+
+/// Tiny deterministic generator (splitmix64 stream).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// One server round trip of the randomized program. Only valid operations
+/// are generated (bounds- and init-correct): invalid-op equivalence is the
+/// `store_equivalence` suite's job; this suite is about durability.
+// Variants mirror the `Storage` methods they drive (`write_batch`, ...).
+#[allow(clippy::enum_variant_names)]
+#[derive(Debug, Clone)]
+enum Batch {
+    Init(Vec<Vec<u8>>),
+    InitEmpty(usize),
+    WriteBatch(Vec<(usize, Vec<u8>)>),
+    WriteStrided(Vec<usize>, Vec<u8>),
+    WriteFrom(usize, Vec<u8>),
+    Access(Vec<usize>, Vec<(usize, Vec<u8>)>),
+    Checkpoint,
+}
+
+fn cell(rng: &mut Rng, max_len: u64) -> Vec<u8> {
+    let len = rng.below(max_len + 1) as usize;
+    (0..len).map(|_| rng.next() as u8).collect()
+}
+
+fn gen_writes(rng: &mut Rng, capacity: usize, initialized: &mut [bool]) -> Vec<(usize, Vec<u8>)> {
+    let n = rng.below(4) as usize;
+    (0..n)
+        .map(|_| {
+            let addr = rng.below(capacity as u64) as usize;
+            initialized[addr] = true;
+            // Up to 14 bytes: crosses the initial stride now and then, so
+            // re-striding checkpoints land inside the crash sweep too.
+            (addr, cell(rng, 14))
+        })
+        .collect()
+}
+
+fn gen_program(rng: &mut Rng) -> Vec<Batch> {
+    let mut capacity = 6 + rng.below(6) as usize;
+    let mut initialized = vec![true; capacity];
+    let mut batches = vec![Batch::Init((0..capacity).map(|_| cell(rng, 10)).collect::<Vec<_>>())];
+    for _ in 0..6 + rng.below(4) {
+        let batch = match rng.below(10) {
+            0 => {
+                capacity = 4 + rng.below(8) as usize;
+                initialized = vec![false; capacity];
+                Batch::InitEmpty(capacity)
+            }
+            1 => Batch::Checkpoint,
+            2 | 3 => {
+                let n = 1 + rng.below(4) as usize;
+                let w = rng.below(15) as usize; // 0 → zero-length cells
+                let addrs: Vec<usize> =
+                    (0..n).map(|_| rng.below(capacity as u64) as usize).collect();
+                for &a in &addrs {
+                    initialized[a] = true;
+                }
+                let flat = (0..n * w).map(|_| rng.next() as u8).collect();
+                Batch::WriteStrided(addrs, flat)
+            }
+            4 => {
+                let addr = rng.below(capacity as u64) as usize;
+                initialized[addr] = true;
+                Batch::WriteFrom(addr, cell(rng, 14))
+            }
+            5 | 6 => {
+                let inits: Vec<usize> = (0..capacity).filter(|&a| initialized[a]).collect();
+                let n_reads = rng.below(3);
+                let reads: Vec<usize> = if inits.is_empty() {
+                    Vec::new()
+                } else {
+                    (0..n_reads)
+                        .map(|_| inits[rng.below(inits.len() as u64) as usize])
+                        .collect()
+                };
+                Batch::Access(reads, gen_writes(rng, capacity, &mut initialized))
+            }
+            _ => Batch::WriteBatch(gen_writes(rng, capacity, &mut initialized)),
+        };
+        batches.push(batch);
+    }
+    batches
+}
+
+/// The crash fired inside this batch (it returned the typed interruption).
+struct Crashed;
+
+fn apply_disk(store: &mut DiskStore<CrashSim>, batch: &Batch) -> Result<(), Crashed> {
+    let result = match batch {
+        Batch::Init(cells) => return disk_setup(store.try_init(cells.clone())),
+        Batch::InitEmpty(capacity) => return disk_setup(store.try_init_empty(*capacity)),
+        Batch::Checkpoint => return disk_setup(store.checkpoint()),
+        Batch::WriteBatch(writes) => store.write_batch(writes.clone()),
+        Batch::WriteStrided(addrs, flat) => store.write_batch_strided(addrs, flat),
+        Batch::WriteFrom(addr, cell) => store.write_from(*addr, cell),
+        Batch::Access(reads, writes) => store.access_batch(reads, writes.clone()).map(|_| ()),
+    };
+    match result {
+        Ok(()) => Ok(()),
+        Err(ServerError::Interrupted) => Err(Crashed),
+        Err(e) => panic!("program generated an invalid batch: {e}"),
+    }
+}
+
+fn disk_setup(result: Result<(), DiskError>) -> Result<(), Crashed> {
+    match result {
+        Ok(()) => Ok(()),
+        Err(DiskError::Io { .. }) => Err(Crashed),
+        Err(e) => panic!("setup hit non-I/O error: {e}"),
+    }
+}
+
+fn apply_oracle(oracle: &mut SimServer, batch: &Batch) {
+    match batch {
+        Batch::Init(cells) => oracle.init(cells.clone()),
+        Batch::InitEmpty(capacity) => oracle.init_empty(*capacity),
+        Batch::Checkpoint => {}
+        Batch::WriteBatch(writes) => oracle.write_batch(writes.clone()).unwrap(),
+        Batch::WriteStrided(addrs, flat) => oracle.write_batch_strided(addrs, flat).unwrap(),
+        Batch::WriteFrom(addr, cell) => oracle.write_from(*addr, cell).unwrap(),
+        Batch::Access(reads, writes) => {
+            oracle.access_batch(reads, writes.clone()).map(|_| ()).unwrap()
+        }
+    }
+}
+
+/// The logical contents of a store: capacity plus per-cell values (`None`
+/// for never-written cells).
+type State = (usize, Vec<Option<Vec<u8>>>);
+
+fn state_of(store: &mut impl Storage) -> State {
+    let capacity = store.capacity();
+    let cells = (0..capacity)
+        .map(|addr| match store.read(addr) {
+            Ok(cell) => Some(cell),
+            Err(ServerError::Uninitialized { .. }) => None,
+            Err(e) => panic!("state probe failed: {e}"),
+        })
+        .collect();
+    (capacity, cells)
+}
+
+fn opts_for(seed: u64) -> DiskOptions {
+    // Vary the auto-checkpoint threshold so some seeds sweep crashes
+    // through mid-program light checkpoints and others through a long WAL.
+    let wal_checkpoint_bytes = match seed % 3 {
+        0 => 96,
+        1 => 1 << 20,
+        _ => 256,
+    };
+    DiskOptions { sync: SyncPolicy::Always, wal_checkpoint_bytes }
+}
+
+/// Runs the program with no crash plan, recording the oracle state at
+/// every batch boundary and the total I/O event count.
+fn baseline(seed: u64, program: &[Batch]) -> (Vec<State>, u64) {
+    let sim = CrashSim::new(seed);
+    let mut store =
+        DiskStore::open_on(sim.clone(), opts_for(seed)).expect("clean open must succeed");
+    let mut oracle = SimServer::new();
+    let mut snaps = vec![state_of(&mut oracle)];
+    for batch in program {
+        assert!(apply_disk(&mut store, batch).is_ok(), "no crash planned");
+        apply_oracle(&mut oracle, batch);
+        snaps.push(state_of(&mut oracle));
+    }
+    assert_eq!(state_of(&mut store), *snaps.last().unwrap(), "live store drifted from oracle");
+    (snaps, sim.events())
+}
+
+fn open_recovered(sim: &CrashSim, seed: u64, context: &str) -> DiskStore<CrashSim> {
+    match DiskStore::open_on(sim.clone(), opts_for(seed)) {
+        Ok(store) => store,
+        Err(e) => panic!("{context}: recovery must always succeed after a pure crash: {e}"),
+    }
+}
+
+fn assert_at_boundary(got: &State, snaps: &[State], boundary: usize, context: &str) {
+    let pre = &snaps[boundary];
+    let post = snaps.get(boundary + 1);
+    assert!(
+        got == pre || Some(got) == post,
+        "{context}: recovered state is not at a batch boundary \
+         (boundary {boundary}: got capacity {}, pre capacity {}, post capacity {:?})",
+        got.0,
+        pre.0,
+        post.map(|s| s.0),
+    );
+}
+
+/// The main sweep: for every seed, run the randomized program once to
+/// completion, then re-run it with a crash injected at every single I/O
+/// event (cycling torn-write fractions), recover, and check the contract.
+/// A sub-sweep re-crashes *during recovery itself* (checkpoint-during-
+/// replay) and requires the second recovery to land on the same boundary.
+fn sweep(seed_offset: u64, seed_count: u64) {
+    for seed in seeds(seed_offset, seed_count) {
+        let program = gen_program(&mut Rng(seed));
+        let (snaps, total_events) = baseline(seed, &program);
+        assert!(total_events > 20, "seed {seed}: program did almost no I/O ({total_events})");
+        let mut mid_program_crashes = 0u64;
+        for k in 0..=total_events {
+            let torn = [0u16, 333, 667, 1000][(k % 4) as usize];
+            let sim = CrashSim::new(seed);
+            sim.plan_crash(k, torn);
+            let mut crashed = false;
+            let mut boundary = 0usize;
+            match DiskStore::open_on(sim.clone(), opts_for(seed)) {
+                Err(DiskError::Corrupt { detail }) => {
+                    panic!(
+                        "seed {seed} k={k}: crash during open misreported as corruption: {detail}"
+                    )
+                }
+                Err(DiskError::Io { .. }) => crashed = true,
+                Ok(mut store) => {
+                    for batch in &program {
+                        match apply_disk(&mut store, batch) {
+                            Ok(()) => boundary += 1,
+                            Err(Crashed) => {
+                                crashed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if !crashed {
+                // Either the crash hit a post-acknowledgement auto
+                // checkpoint (the batch legitimately returned Ok — it is
+                // durable either way), or the plan never fired at all
+                // (k == total_events): both must recover to the final
+                // acknowledged state.
+                assert!(
+                    sim.crashed() || k == total_events,
+                    "crash at event {k} of {total_events} never fired"
+                );
+                boundary = program.len();
+            }
+            if sim.crashed() {
+                mid_program_crashes += 1;
+            }
+            let context = format!("seed {seed} k={k} torn={torn}");
+
+            // Occasionally crash a second time, mid-recovery, to cover
+            // checkpoint-during-replay; otherwise recover once.
+            if k % 5 == 0 {
+                sim.recover();
+                sim.plan_crash(sim.events() + k % 13, [0u16, 500][(k % 2) as usize]);
+                match DiskStore::open_on(sim.clone(), opts_for(seed)) {
+                    Ok(mut store) => {
+                        assert_at_boundary(&state_of(&mut store), &snaps, boundary, &context)
+                    }
+                    Err(DiskError::Io { .. }) => {
+                        sim.recover();
+                        let mut store =
+                            open_recovered(&sim, seed, &format!("{context} double-crash"));
+                        assert_at_boundary(
+                            &state_of(&mut store),
+                            &snaps,
+                            boundary,
+                            &format!("{context} double-crash"),
+                        );
+                    }
+                    Err(DiskError::Corrupt { detail }) => {
+                        panic!("{context}: recovery crash misreported as corruption: {detail}")
+                    }
+                }
+            } else {
+                sim.recover();
+                let mut store = open_recovered(&sim, seed, &context);
+                assert_at_boundary(&state_of(&mut store), &snaps, boundary, &context);
+            }
+        }
+        assert_eq!(
+            mid_program_crashes, total_events,
+            "seed {seed}: every in-range crash point must actually crash the run"
+        );
+    }
+}
+
+// The 32 acceptance seeds, split four ways so `cargo test` fans them out.
+
+#[test]
+fn crash_sweep_recovers_to_a_batch_boundary_seeds_0_7() {
+    sweep(0, 8);
+}
+
+#[test]
+fn crash_sweep_recovers_to_a_batch_boundary_seeds_8_15() {
+    sweep(8, 8);
+}
+
+#[test]
+fn crash_sweep_recovers_to_a_batch_boundary_seeds_16_23() {
+    sweep(16, 8);
+}
+
+#[test]
+fn crash_sweep_recovers_to_a_batch_boundary_seeds_24_31() {
+    sweep(24, 8);
+}
+
+/// Focused fsync-acknowledgement check: once a specific write returns
+/// `Ok`, *every* later crash point must preserve it (the sweep above
+/// checks this generically; this test makes the guarantee legible).
+#[test]
+fn acknowledged_write_survives_every_later_crash() {
+    let seed = base_seed() ^ 0xACED;
+    let marker = vec![0xA5u8; 8];
+
+    // Dry run to learn the event counts.
+    let sim = CrashSim::new(seed);
+    let mut store = DiskStore::open_on(sim.clone(), opts_for(seed)).unwrap();
+    store.init((0..8).map(|i| vec![i as u8; 8]).collect());
+    store.write(3, marker.clone()).unwrap();
+    let acked_at = sim.events();
+    for i in 0..16 {
+        store.write(i % 8, vec![i as u8; 8]).unwrap();
+    }
+    let total = sim.events();
+
+    for k in acked_at..=total {
+        let sim = CrashSim::new(seed);
+        sim.plan_crash(k, (k % 1000) as u16);
+        let mut store = DiskStore::open_on(sim.clone(), opts_for(seed)).unwrap();
+        store.init((0..8).map(|i| vec![i as u8; 8]).collect());
+        store.write(3, marker.clone()).unwrap();
+        // Cell 3 after recovery must equal its latest *acknowledged*
+        // write, or the one write that was interrupted mid-flight
+        // (`Interrupted` = application state unknown) — nothing else, and
+        // never absent or torn.
+        let mut allowed = vec![marker.clone()];
+        for i in 0..16u64 {
+            let cell = vec![i as u8; 8];
+            let targets_3 = i % 8 == 3;
+            match store.write((i % 8) as usize, cell.clone()) {
+                Ok(()) => {
+                    if targets_3 {
+                        allowed = vec![cell];
+                    }
+                }
+                Err(_) => {
+                    if targets_3 {
+                        allowed.push(cell);
+                    }
+                    break;
+                }
+            }
+        }
+        sim.recover();
+        let mut store = open_recovered(&sim, seed, &format!("acked k={k}"));
+        let got = store
+            .read(3)
+            .expect("acknowledged cell must exist after recovery");
+        assert!(allowed.contains(&got), "k={k}: cell 3 lost or torn: {got:?} not in {allowed:?}");
+    }
+}
+
+/// A crash that leaves records in the WAL, then crashes *again* at every
+/// point of the recovery replay + checkpoint: recovery must be idempotent.
+#[test]
+fn recovery_replay_survives_its_own_crashes() {
+    let seed = base_seed() ^ 0x2EC0;
+    let sim = CrashSim::new(seed);
+    let opts = DiskOptions { sync: SyncPolicy::Always, wal_checkpoint_bytes: 1 << 20 };
+    let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
+    store.init((0..6).map(|i| vec![i as u8; 6]).collect());
+    store
+        .write_batch(vec![(0, vec![9; 6]), (5, vec![8; 3])])
+        .unwrap();
+    store.write(2, Vec::new()).unwrap();
+    drop(store);
+    // Power loss with a populated WAL: the arena pwrites were never
+    // synced, so recovery must rebuild cells 0/5/2 from the log.
+    sim.recover();
+    let base_events = sim.events();
+
+    let expected = {
+        let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
+        let state = state_of(&mut store);
+        assert_eq!(state.1[0].as_deref(), Some(&[9u8; 6][..]));
+        assert_eq!(state.1[5].as_deref(), Some(&[8u8; 3][..]));
+        assert_eq!(state.1[2].as_deref(), Some(&[][..]));
+        state
+    };
+    let replay_events = sim.events() - base_events;
+    assert!(replay_events > 0, "recovery should have done I/O");
+
+    for j in 0..replay_events {
+        // Rebuild the same pre-recovery disk image, then crash mid-replay.
+        let sim = CrashSim::new(seed);
+        let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
+        store.init((0..6).map(|i| vec![i as u8; 6]).collect());
+        store
+            .write_batch(vec![(0, vec![9; 6]), (5, vec![8; 3])])
+            .unwrap();
+        store.write(2, Vec::new()).unwrap();
+        drop(store);
+        sim.recover();
+        sim.plan_crash(sim.events() + j, 500);
+        match DiskStore::open_on(sim.clone(), opts) {
+            Ok(mut store) => assert_eq!(state_of(&mut store), expected, "j={j}"),
+            Err(DiskError::Io { .. }) => {
+                sim.recover();
+                let mut store = open_recovered(&sim, seed, &format!("replay j={j}"));
+                assert_eq!(state_of(&mut store), expected, "j={j} after second recovery");
+            }
+            Err(DiskError::Corrupt { detail }) => {
+                panic!("j={j}: replay crash misreported as corruption: {detail}")
+            }
+        }
+    }
+}
+
+/// Bit rot in a complete mid-log record is *typed corruption*, not a
+/// silent truncation — exercised both on the simulator and on real files.
+#[test]
+fn bit_flipped_wal_record_is_typed_corruption() {
+    let seed = base_seed() ^ 0xB17F;
+    let opts = DiskOptions { sync: SyncPolicy::Always, wal_checkpoint_bytes: 1 << 20 };
+
+    // Two complete records in the WAL; flip one payload bit of the first.
+    let sim = CrashSim::new(seed);
+    let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
+    store.init((0..4).map(|i| vec![i as u8; 8]).collect());
+    let wal_before = store.wal_bytes();
+    store.write(1, vec![0xEE; 8]).unwrap();
+    store.write(2, vec![0xDD; 8]).unwrap();
+    assert!(store.wal_bytes() > wal_before);
+    drop(store);
+    sim.recover();
+    // Offset: WAL header (20 bytes) + record header (8) + into the payload.
+    sim.corrupt_byte("wal", wal_before + 8 + 3, 0x10);
+    match DiskStore::open_on(sim.clone(), opts) {
+        Err(DiskError::Corrupt { .. }) => {}
+        other => panic!("corrupted record must surface as Corrupt, got {other:?}"),
+    }
+
+    // Flipping the record's own CRC field is equally fatal.
+    let sim = CrashSim::new(seed);
+    let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
+    store.init((0..4).map(|i| vec![i as u8; 8]).collect());
+    let wal_before = store.wal_bytes();
+    store.write(1, vec![0xEE; 8]).unwrap();
+    store.write(2, vec![0xDD; 8]).unwrap();
+    drop(store);
+    sim.recover();
+    sim.corrupt_byte("wal", wal_before + 4, 0x01); // crc field of record 1
+    assert!(matches!(DiskStore::open_on(sim.clone(), opts), Err(DiskError::Corrupt { .. })));
+}
+
+#[test]
+fn bit_flipped_wal_record_is_typed_corruption_on_real_files() {
+    let dir = std::env::temp_dir().join(format!("dps_crash_corrupt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = DiskOptions { sync: SyncPolicy::Always, wal_checkpoint_bytes: 1 << 20 };
+    let wal_before;
+    {
+        let mut store = DiskStore::open_with(&dir, opts).unwrap();
+        store.init((0..4).map(|i| vec![i as u8; 8]).collect());
+        wal_before = store.wal_bytes();
+        store.write(1, vec![0xEE; 8]).unwrap();
+        store.write(2, vec![0xDD; 8]).unwrap();
+    }
+    let wal_path = dir.join("wal");
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    bytes[wal_before as usize + 8 + 3] ^= 0x10;
+    std::fs::write(&wal_path, &bytes).unwrap();
+    assert!(matches!(DiskStore::open_with(&dir, opts), Err(DiskError::Corrupt { .. })));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Zero-length cells are first-class: logged, checkpointed, recovered,
+/// and distinct from never-written cells.
+#[test]
+fn zero_length_cells_survive_restart() {
+    let seed = base_seed() ^ 0x0CE1;
+    let sim = CrashSim::new(seed);
+    let opts = opts_for(seed);
+    let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
+    store.init(vec![Vec::new(), vec![1, 2, 3], Vec::new()]);
+    store.write(1, Vec::new()).unwrap(); // overwrite with empty via the WAL
+    store.checkpoint().unwrap();
+    store.write(0, vec![7]).unwrap();
+    store.write(0, Vec::new()).unwrap(); // and once more post-checkpoint
+    drop(store);
+    sim.recover();
+    let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
+    let state = state_of(&mut store);
+    assert_eq!(
+        state,
+        (3, vec![Some(Vec::new()), Some(Vec::new()), Some(Vec::new())]),
+        "zero-length cells must stay initialized-but-empty through WAL replay"
+    );
+    assert_eq!(store.stored_bytes(), 0);
+}
+
+/// `init_empty` over an existing store is a geometry change: it must
+/// atomically replace the old arena (different capacity, reset stride)
+/// and survive restart, including a subsequent re-stride.
+#[test]
+fn restriding_init_empty_over_an_existing_store() {
+    let dir = std::env::temp_dir().join(format!("dps_crash_restride_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut store = DiskStore::open(&dir).unwrap();
+        store.init((0..16).map(|i| vec![i as u8; 32]).collect());
+    }
+    {
+        let mut store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.capacity(), 16);
+        assert_eq!(store.cell_stride(), 32);
+        store.init_empty(5); // shrink capacity, stride resets to 0
+        assert_eq!(store.cell_stride(), 0);
+        store.write(0, vec![1; 4]).unwrap(); // stride 0 → 4
+        store.write(4, vec![2; 64]).unwrap(); // re-stride 4 → 64
+    }
+    let mut store = DiskStore::open(&dir).unwrap();
+    assert_eq!(store.capacity(), 5);
+    assert_eq!(store.cell_stride(), 64);
+    assert_eq!(store.read(0).unwrap(), vec![1; 4]);
+    assert_eq!(store.read(4).unwrap(), vec![2; 64]);
+    assert_eq!(store.read(2), Err(ServerError::Uninitialized { addr: 2 }));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// After the crash fires, the store is poisoned: mutations fail fast with
+/// the typed interruption and nothing further reaches the files.
+#[test]
+fn crashed_store_poisons_until_reopen() {
+    let seed = base_seed() ^ 0x9015;
+    let sim = CrashSim::new(seed);
+    let mut store = DiskStore::open_on(sim.clone(), opts_for(seed)).unwrap();
+    store.init((0..4).map(|i| vec![i as u8; 4]).collect());
+    sim.plan_crash(sim.events(), 0);
+    assert_eq!(store.write(0, vec![9; 4]), Err(ServerError::Interrupted));
+    assert!(store.is_poisoned());
+    assert_eq!(store.write(1, vec![9; 4]), Err(ServerError::Interrupted));
+    assert_eq!(store.write_batch_strided(&[0], &[1, 2, 3, 4]), Err(ServerError::Interrupted));
+    assert_eq!(store.access_batch(&[0], vec![(0, vec![1; 4])]), Err(ServerError::Interrupted));
+    // Reads still serve from the in-memory mirror.
+    assert_eq!(store.read(0).unwrap(), vec![0u8; 4]);
+    drop(store);
+    sim.recover();
+    let mut store = DiskStore::open_on(sim.clone(), opts_for(seed)).unwrap();
+    assert_eq!(state_of(&mut store), (4, (0..4).map(|i| Some(vec![i as u8; 4])).collect()));
+}

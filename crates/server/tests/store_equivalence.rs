@@ -1,14 +1,19 @@
-//! Observational equivalence of the flat-arena [`SimServer`] against the
-//! old per-cell `Vec<Option<Vec<u8>>>` model.
+//! Observational equivalence of every [`Storage`] backend against the old
+//! per-cell `Vec<Option<Vec<u8>>>` model.
 //!
-//! The arena rewrite must be invisible: for any program of batched reads,
-//! writes, XORs and combined accesses — including failing operations and
-//! the zero-copy variants — the cells returned, the `CostStats` charged,
-//! and the recorded transcript must be byte-identical to the reference
-//! model's.
+//! Each program of batched reads, writes, XORs and combined accesses —
+//! including failing operations and the zero-copy variants — runs against
+//! three real implementations (the flat-arena [`SimServer`], the
+//! [`ShardedServer`], and the durable tempdir-backed [`DiskStore`]) and
+//! the reference oracle: the cells returned, the `CostStats` charged, and
+//! the recorded transcript must be byte-identical for all of them.
 
-use dps_server::{AccessEvent, CostStats, ServerError, SimServer, Transcript};
+use dps_server::{
+    AccessEvent, CostStats, DiskOptions, DiskStore, ServerError, ShardedServer, SimServer, Storage,
+    SyncPolicy, Transcript,
+};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The old storage model, reimplemented verbatim as the test oracle: cells
 /// as individually boxed optional vectors, with the original charging and
@@ -194,7 +199,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 /// Applies `op` to both servers and asserts identical observable results.
-fn step(op: &Op, arena: &mut SimServer, reference: &mut ReferenceServer) {
+fn step<S: Storage>(op: &Op, arena: &mut S, reference: &mut ReferenceServer) {
     match op {
         Op::ReadBatch(addrs) => {
             assert_eq!(arena.read_batch(addrs), reference.read_batch(addrs));
@@ -288,8 +293,7 @@ fn step(op: &Op, arena: &mut SimServer, reference: &mut ReferenceServer) {
     }
 }
 
-fn run_program(init_all: bool, ops: &[Op]) {
-    let mut arena = SimServer::new();
+fn run_program<S: Storage>(arena: &mut S, init_all: bool, ops: &[Op]) {
     let mut reference = ReferenceServer::default();
     if init_all {
         let cells: Vec<Vec<u8>> = (0..CAPACITY).map(|i| cell(i as u8, CELL_LEN)).collect();
@@ -303,7 +307,7 @@ fn run_program(init_all: bool, ops: &[Op]) {
     reference.start_recording();
 
     for op in ops {
-        step(op, &mut arena, &mut reference);
+        step(op, arena, &mut reference);
         assert_eq!(arena.stats(), reference.stats, "stats diverged after {op:?}");
     }
 
@@ -324,19 +328,83 @@ fn run_program(init_all: bool, ops: &[Op]) {
     }
 }
 
+/// A unique throwaway directory for one `DiskStore` case, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dps_store_equiv_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs the program against every real backend: the flat-arena server,
+/// the sharded server, and the durable disk store (fsync off — the crash
+/// suite owns durability; this suite owns observational equivalence).
+fn run_all_backends(init_all: bool, ops: &[Op]) {
+    run_program(&mut SimServer::new(), init_all, ops);
+    run_program(&mut ShardedServer::new(3), init_all, ops);
+    let tmp = TempDir::new();
+    let opts = DiskOptions { sync: SyncPolicy::Never, ..DiskOptions::default() };
+    let mut disk = DiskStore::open_with(&tmp.0, opts).expect("create disk store");
+    run_program(&mut disk, init_all, ops);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Random programs over a fully initialized server.
+    /// Random programs over fully initialized servers.
     #[test]
-    fn arena_matches_reference_initialized(ops in proptest::collection::vec(arb_op(), 0..40)) {
-        run_program(true, &ops);
+    fn backends_match_reference_initialized(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        run_all_backends(true, &ops);
     }
 
-    /// Random programs starting from an uninitialized server, exercising
+    /// Random programs starting from uninitialized servers, exercising
     /// the `Uninitialized` error paths and first-write stride selection.
     #[test]
-    fn arena_matches_reference_uninitialized(ops in proptest::collection::vec(arb_op(), 0..40)) {
-        run_program(false, &ops);
+    fn backends_match_reference_uninitialized(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        run_all_backends(false, &ops);
+    }
+}
+
+/// A `DiskStore` must also *reopen* into the reference state: after any
+/// program, a fresh store on the same directory serves identical cells.
+#[test]
+fn disk_store_reopens_into_reference_state() {
+    let ops = vec![
+        Op::WriteBatch(vec![(0, 1), (5, 2)]),
+        Op::WriteOdd(3, 9, 17),
+        Op::WriteStrided(vec![(1, 4), (2, 5)]),
+        Op::Access(vec![0, 5], vec![(7, 6)]),
+        Op::WriteOdd(4, 8, 0),
+    ];
+    let tmp = TempDir::new();
+    let opts = DiskOptions { sync: SyncPolicy::Never, ..DiskOptions::default() };
+    let mut reference = ReferenceServer::default();
+    reference.init_empty(CAPACITY);
+    {
+        let mut disk = DiskStore::open_with(&tmp.0, opts).expect("create disk store");
+        disk.init_empty(CAPACITY);
+        for op in &ops {
+            step(op, &mut disk, &mut reference);
+        }
+    }
+    let mut disk = DiskStore::open_with(&tmp.0, opts).expect("reopen disk store");
+    for addr in 0..CAPACITY {
+        let got = disk.read_batch(&[addr]).map(|mut v| v.pop().unwrap());
+        let expected = reference.read_batch(&[addr]).map(|mut v| v.pop().unwrap());
+        assert_eq!(got, expected, "cell {addr} diverged after reopen");
     }
 }
