@@ -19,7 +19,10 @@
 //! network rows (`net_load_*`) add `"p95_ns"`, `"p99_ns"` and
 //! `"ops_per_s"` tail-latency columns, and the durable-backend rows
 //! (`disk_*`) add a `"policy"` column recording the fsync policy the
-//! figure was measured under.
+//! figure was measured under. When `DPS_FORCE_ISA` pins a crypto dispatch
+//! tier, every row additionally carries an `"isa"` column naming it
+//! (omitted on default runs, so checked-in baselines stay shape-stable);
+//! an invalid override aborts the run with the crypto crate's error.
 //!
 //! The `load` subcommand runs just the closed-loop network load driver
 //! with its knobs exposed (`--clients`, `--ops`, `--cells`, `--theta`,
@@ -57,7 +60,8 @@ use dps_workloads::generators::database;
 /// through the crypto core — and closed-loop load rows record tail
 /// latency (`p95_ns`, `p99_ns`; `median_ns` is their p50) plus
 /// `ops_per_s`; durable-backend rows record the fsync `policy` they ran
-/// under; every extra column is omitted from the JSON when zero (or
+/// under; rows from a `DPS_FORCE_ISA`-pinned run record the forced tier
+/// in `isa`; every extra column is omitted from the JSON when zero (or
 /// empty), keeping legacy rows byte-stable.
 #[derive(Default)]
 struct Record {
@@ -70,6 +74,7 @@ struct Record {
     p99_ns: u64,
     ops_per_s: u64,
     policy: String,
+    isa: String,
 }
 
 impl Record {
@@ -313,6 +318,20 @@ fn main() {
         .iter()
         .position(|a| a == "--json")
         .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| "BENCH.json".into()));
+
+    // Fail fast on a bad DPS_FORCE_ISA before measuring anything; record
+    // the tier in every row when (and only when) the run is pinned.
+    let isa_label = match dps_crypto::isa::try_tier() {
+        Ok(tier) if std::env::var_os(dps_crypto::isa::FORCE_ISA_ENV).is_some() => {
+            eprintln!("crypto dispatch tier pinned: {tier}");
+            tier.name().to_string()
+        }
+        Ok(_) => String::new(),
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(2);
+        }
+    };
 
     let mut results: Vec<Record> = Vec::new();
     let samples = 15;
@@ -787,6 +806,10 @@ fn main() {
         }
     }
 
+    for r in &mut results {
+        r.isa.clone_from(&isa_label);
+    }
+
     println!("{:<24} {:>6} {:>7}  median ns/op", "scheme", "shards", "threads");
     for r in &results {
         print!("{:<24} {:>6} {:>7}  {}", r.scheme, r.shards, r.threads, r.median_ns);
@@ -813,6 +836,9 @@ fn main() {
             }
             if !r.policy.is_empty() {
                 extra.push_str(&format!(", \"policy\": \"{}\"", r.policy));
+            }
+            if !r.isa.is_empty() {
+                extra.push_str(&format!(", \"isa\": \"{}\"", r.isa));
             }
             json.push_str(&format!(
                 "  {{\"scheme\": \"{}\", \"shards\": {}, \"threads\": {}, \"median_ns\": {}{extra}}}{comma}\n",

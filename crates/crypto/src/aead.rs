@@ -11,7 +11,7 @@
 
 use crate::chacha;
 use crate::cipher::CryptoError;
-use crate::poly1305::{tags_equal, Poly1305, Poly1305x4, TAG_LEN};
+use crate::poly1305::{tags_equal, Poly1305, Poly1305xN, TAG_LEN};
 use crate::rng::ChaChaRng;
 
 /// Ciphertext expansion of [`AeadCipher`]: nonce plus Poly1305 tag.
@@ -184,19 +184,24 @@ impl AeadCipher {
         lens
     }
 
-    /// Derives four one-time Poly1305 keys in one wide ChaCha pass.
-    fn one_time_keys4(&self, nonces: &[&[u8; chacha::NONCE_LEN]; 4]) -> [[u8; 32]; 4] {
-        let blocks = chacha::blocks4(&self.key, &[0; 4], nonces);
+    /// Derives `N` one-time Poly1305 keys in wide ChaCha passes (one
+    /// 8-lane AVX2 pass when `N = 8` and the tier allows).
+    fn one_time_keys<const N: usize>(
+        &self,
+        nonces: &[&[u8; chacha::NONCE_LEN]; N],
+    ) -> [[u8; 32]; N] {
+        let mut blocks = [[0u8; chacha::BLOCK_LEN]; N];
+        chacha::blocks_each(&self.key, &[0; N], nonces, &mut blocks);
         std::array::from_fn(|l| blocks[l][..32].try_into().expect("32-byte prefix"))
     }
 
-    /// Computes the AEAD tags of cells `cell..cell + 4` laid out in `flat`
+    /// Computes the AEAD tags of cells `cell..cell + N` laid out in `flat`
     /// at `ct_stride` (nonces read from the slot prefixes, bodies of
     /// `pt_stride` bytes, `lens` the shared `aad_len || ct_len` block):
-    /// one wide pass for the 4 one-time keys, interleaved Poly1305 over
+    /// wide passes for the `N` one-time keys, interleaved Poly1305 over
     /// `aad || pad16 || body || pad16 || lens` per lane. Returns the
     /// group's nonces alongside the tags.
-    fn group_tags4(
+    fn group_tags<const N: usize>(
         &self,
         flat: &[u8],
         aads: &[[u8; 16]],
@@ -204,16 +209,16 @@ impl AeadCipher {
         ct_stride: usize,
         pt_stride: usize,
         lens: &[u8; 16],
-    ) -> ([chacha::Nonce; 4], [[u8; TAG_LEN]; 4]) {
+    ) -> ([chacha::Nonce; N], [[u8; TAG_LEN]; N]) {
         let body_end = chacha::NONCE_LEN + pt_stride;
-        let nonces: [chacha::Nonce; 4] = std::array::from_fn(|l| {
+        let nonces: [chacha::Nonce; N] = std::array::from_fn(|l| {
             flat[(cell + l) * ct_stride..(cell + l) * ct_stride + chacha::NONCE_LEN]
                 .try_into()
                 .expect("nonce prefix")
         });
-        let nonce_refs: [&chacha::Nonce; 4] = std::array::from_fn(|l| &nonces[l]);
-        let otks = self.one_time_keys4(&nonce_refs);
-        let mut mac = Poly1305x4::new([&otks[0], &otks[1], &otks[2], &otks[3]]);
+        let nonce_refs: [&chacha::Nonce; N] = std::array::from_fn(|l| &nonces[l]);
+        let otks = self.one_time_keys(&nonce_refs);
+        let mut mac = Poly1305xN::<N>::new(std::array::from_fn(|l| &otks[l]));
         mac.update(std::array::from_fn(|l| &aads[cell + l][..]));
         // 16-byte aads are already block-aligned (pad16 is a no-op),
         // matching the scalar tag()'s update(aad); pad16() sequence.
@@ -222,16 +227,62 @@ impl AeadCipher {
             &flat[base + chacha::NONCE_LEN..base + body_end]
         }));
         mac.pad16();
-        mac.update([lens; 4]);
+        mac.update([lens.as_slice(); N]);
         (nonces, mac.finalize())
+    }
+
+    /// Verifies and opens the `N` cells starting at `cell` of a strided
+    /// batch: checks every tag (constant-time per lane), copies the bodies
+    /// into their plaintext slots and strips the keystream in one wide
+    /// strided pass. The group engine behind
+    /// [`AeadCipher::open_batch_to_slices`].
+    fn open_group<const N: usize>(
+        &self,
+        aads: &[[u8; 16]],
+        ciphertexts: &[u8],
+        cell: usize,
+        ct_stride: usize,
+        lens: &[u8; 16],
+        out: &mut [u8],
+    ) -> Result<(), CryptoError> {
+        let pt_stride = ct_stride - AEAD_OVERHEAD;
+        let body_end = chacha::NONCE_LEN + pt_stride;
+        let (group_nonces, tags) =
+            self.group_tags::<N>(ciphertexts, aads, cell, ct_stride, pt_stride, lens);
+        for (l, expected) in tags.iter().enumerate() {
+            let base = (cell + l) * ct_stride;
+            let stored: [u8; TAG_LEN] = ciphertexts[base + body_end..base + ct_stride]
+                .try_into()
+                .expect("16-byte tag");
+            if !tags_equal(expected, &stored) {
+                return Err(CryptoError::TagMismatch);
+            }
+        }
+        for l in 0..N {
+            let base = (cell + l) * ct_stride;
+            out[(cell + l) * pt_stride..(cell + l + 1) * pt_stride]
+                .copy_from_slice(&ciphertexts[base + chacha::NONCE_LEN..base + body_end]);
+        }
+        let group_out = &mut out[cell * pt_stride..(cell + N) * pt_stride];
+        chacha::xor_keystream_batch_strided(
+            &self.key,
+            1,
+            &group_nonces,
+            group_out,
+            pt_stride,
+            0,
+            pt_stride,
+        );
+        Ok(())
     }
 
     /// Seals `nonces.len()` equal-length plaintexts packed back-to-back in
     /// `plaintexts` into `nonce || body || tag` slots of `out`, binding
     /// `aads[i]` to cell `i`. Byte-identical to a
     /// [`AeadCipher::seal_with_nonce_into`] loop, but drives the wide
-    /// 4-lane keystream across cells and interleaves 4 tags' Poly1305
-    /// arithmetic (one-time keys also derived 4 per pass).
+    /// keystream across cells and interleaves the tags' Poly1305
+    /// arithmetic in groups of 8, then 4 (one-time keys also derived a
+    /// group per pass).
     ///
     /// # Panics
     /// Panics if `aads.len() != nonces.len()`, `plaintexts.len()` is not
@@ -274,8 +325,16 @@ impl AeadCipher {
         let body_end = chacha::NONCE_LEN + pt_stride;
         let lens = Self::lens_block(pt_stride);
         let mut cell = 0;
+        while cell + 8 <= cells {
+            let (_, tags) = self.group_tags::<8>(out, aads, cell, ct_stride, pt_stride, &lens);
+            for (l, tag) in tags.iter().enumerate() {
+                let base = (cell + l) * ct_stride;
+                out[base + body_end..base + ct_stride].copy_from_slice(tag);
+            }
+            cell += 8;
+        }
         while cell + 4 <= cells {
-            let (_, tags) = self.group_tags4(out, aads, cell, ct_stride, pt_stride, &lens);
+            let (_, tags) = self.group_tags::<4>(out, aads, cell, ct_stride, pt_stride, &lens);
             for (l, tag) in tags.iter().enumerate() {
                 let base = (cell + l) * ct_stride;
                 out[base + body_end..base + ct_stride].copy_from_slice(tag);
@@ -293,10 +352,10 @@ impl AeadCipher {
     }
 
     /// Opens `aads.len()` equal-length sealed cells packed back-to-back in
-    /// `ciphertexts` into the plaintext slots of `out`, verifying 4 tags
-    /// per interleaved pass. Returns the lowest-indexed cell's error on
-    /// failure, with the contents of `out` unspecified. The batch twin of
-    /// [`AeadCipher::open_to_slice`].
+    /// `ciphertexts` into the plaintext slots of `out`, verifying 8, then
+    /// 4, tags per interleaved pass. Returns the lowest-indexed cell's
+    /// error on failure, with the contents of `out` unspecified. The batch
+    /// twin of [`AeadCipher::open_to_slice`].
     ///
     /// # Panics
     /// Panics if the flat lengths are inconsistent with `aads.len()`.
@@ -318,37 +377,15 @@ impl AeadCipher {
         }
         let pt_stride = ct_stride - AEAD_OVERHEAD;
         assert_eq!(out.len(), cells * pt_stride, "output must hold every plaintext");
-        let body_end = chacha::NONCE_LEN + pt_stride;
         let lens = Self::lens_block(pt_stride);
 
         let mut cell = 0;
+        while cell + 8 <= cells {
+            self.open_group::<8>(aads, ciphertexts, cell, ct_stride, &lens, out)?;
+            cell += 8;
+        }
         while cell + 4 <= cells {
-            let (group_nonces, tags) =
-                self.group_tags4(ciphertexts, aads, cell, ct_stride, pt_stride, &lens);
-            for (l, expected) in tags.iter().enumerate() {
-                let base = (cell + l) * ct_stride;
-                let stored: [u8; TAG_LEN] = ciphertexts[base + body_end..base + ct_stride]
-                    .try_into()
-                    .expect("16-byte tag");
-                if !tags_equal(expected, &stored) {
-                    return Err(CryptoError::TagMismatch);
-                }
-            }
-            for l in 0..4 {
-                let base = (cell + l) * ct_stride;
-                out[(cell + l) * pt_stride..(cell + l + 1) * pt_stride]
-                    .copy_from_slice(&ciphertexts[base + chacha::NONCE_LEN..base + body_end]);
-            }
-            let group_out = &mut out[cell * pt_stride..(cell + 4) * pt_stride];
-            chacha::xor_keystream_batch_strided(
-                &self.key,
-                1,
-                &group_nonces,
-                group_out,
-                pt_stride,
-                0,
-                pt_stride,
-            );
+            self.open_group::<4>(aads, ciphertexts, cell, ct_stride, &lens, out)?;
             cell += 4;
         }
         for i in cell..cells {
@@ -495,7 +532,7 @@ mod tests {
     fn batch_matches_sequential_loop() {
         let mut rng = ChaChaRng::seed_from_u64(8);
         let cipher = AeadCipher::generate(&mut rng);
-        for cells in [1usize, 3, 4, 6, 8, 9] {
+        for cells in [1usize, 3, 4, 6, 7, 8, 9, 11, 12, 13, 16, 17] {
             for pt_stride in [0usize, 1, 15, 16, 17, 64, 100, 256] {
                 let plaintexts: Vec<u8> =
                     (0..cells * pt_stride).map(|i| (i * 23 % 251) as u8).collect();
@@ -527,7 +564,7 @@ mod tests {
     fn batch_open_rejects_wrong_aad_and_corruption() {
         let mut rng = ChaChaRng::seed_from_u64(9);
         let cipher = AeadCipher::generate(&mut rng);
-        let cells = 5;
+        let cells = 13;
         let pt_stride = 48;
         let plaintexts = vec![7u8; cells * pt_stride];
         let nonces = rng.draw_nonces(cells);

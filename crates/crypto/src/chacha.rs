@@ -5,20 +5,30 @@
 //! built. The implementation follows RFC 8439 §2.3 exactly and is verified
 //! against the RFC's test vectors.
 //!
-//! Two permutation cores share the RFC semantics:
+//! Three permutation cores share the RFC semantics and are selected at
+//! runtime through the [`crate::isa`] dispatch table:
 //!
 //! * the scalar core ([`block`]) permutes one 64-byte block at a time;
-//! * the **wide core** permutes [`WIDE_LANES`] = 4 independent blocks per
-//!   pass in a structure-of-arrays state (`[[u32; 4]; 16]`, word-major) so
-//!   every quarter-round step is a 4-iteration loop over `[u32; 4]` lanes
-//!   that LLVM auto-vectorizes to 128-bit SIMD on any baseline x86-64 /
-//!   aarch64 target — no unstable SIMD APIs, no `unsafe`.
+//! * the **4-lane wide core** permutes 4 independent blocks per pass in a
+//!   structure-of-arrays state (`[[u32; 4]; 16]`, word-major). On x86-64
+//!   it runs as explicit SSE2 intrinsics ([`sse2`]); everywhere else (and
+//!   under `DPS_FORCE_ISA=portable`) as plain lane loops LLVM
+//!   auto-vectorizes — no unstable SIMD APIs, no `unsafe`;
+//! * the **8-lane wide core** ([`avx2`], `[[u32; 8]; 16]` over `__m256i`)
+//!   doubles the lane width when `is_x86_feature_detected!("avx2")`
+//!   reports AVX2 at runtime. On every other tier, 8-lane entry points
+//!   ([`blocks8`]) decompose into two byte-identical 4-lane passes, so
+//!   the same code compiles and runs on aarch64 unchanged.
 //!
-//! The wide core backs [`xor_keystream`] (4 consecutive counters of one
-//! stream) and [`xor_keystream_batch_strided`] (one block each of 4
-//! *different* nonce streams, the shape batch re-encryption of short cells
-//! produces). Both are byte-identical to the scalar core: the lanes compute
-//! exactly the blocks the scalar loop would, in the same positions.
+//! The wide cores back [`xor_keystream`] (consecutive counters of one
+//! stream, 8 or 4 per pass) and [`xor_keystream_batch_strided`] (one block
+//! each of 8 or 4 *different* nonce streams, the shape batch re-encryption
+//! of short cells produces). Every tier is byte-identical to the scalar
+//! core: the lanes compute exactly the blocks the scalar loop would, in
+//! the same positions — the cross-tier proptests (run once per
+//! `DPS_FORCE_ISA` tier in CI) pin this.
+
+use crate::isa::{self, IsaTier};
 
 /// Size of a ChaCha20 key in bytes.
 pub const KEY_LEN: usize = 32;
@@ -29,8 +39,13 @@ pub const NONCE_LEN: usize = 12;
 pub type Nonce = [u8; NONCE_LEN];
 /// Size of one keystream block in bytes.
 pub const BLOCK_LEN: usize = 64;
-/// Number of independent blocks the wide core permutes per pass.
-pub const WIDE_LANES: usize = 4;
+/// The widest lane count any tier permutes per pass (the AVX2 8-lane
+/// core). Batch layouts and pool chunk sizes align to this so fan-out
+/// never fragments a full-width pass; narrower tiers split the same work
+/// into 4-lane passes with byte-identical output.
+pub const WIDE_LANES: usize = 8;
+/// Lane count of the mid-tier (SSE2 / portable) wide core.
+const LANES4: usize = 4;
 
 const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 
@@ -79,30 +94,30 @@ fn permute(working: &mut [u32; 16]) {
     }
 }
 
-/// The wide core's state: 16 state words × [`WIDE_LANES`] blocks
-/// (structure-of-arrays, word-major): `state[w][l]` is word `w` of lane
-/// `l`'s block.
-type WideState = [[u32; WIDE_LANES]; 16];
+/// A wide core's state: 16 state words × `L` blocks (structure-of-arrays,
+/// word-major): `state[w][l]` is word `w` of lane `l`'s block.
+type Wide4State = [[u32; LANES4]; 16];
+/// The 8-lane twin of [`Wide4State`], consumed by the AVX2 core.
+#[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+type Wide8State = [[u32; WIDE_LANES]; 16];
 
-/// Portable wide core: permutes 4 interleaved blocks and returns the
-/// feed-forward sum `permute(init) + init`, word-major.
+/// Portable wide core, generic over the lane count: permutes `L`
+/// interleaved blocks and returns the feed-forward sum
+/// `permute(init) + init`, word-major.
 ///
 /// The per-step lane loops are written to auto-vectorize, but current
-/// LLVM refuses to build SLP trees through `v4i32` funnel-shift (rotate)
-/// nodes, so on x86-64 the [`sse2`] twin below — explicit 128-bit
-/// intrinsics, same arithmetic — is used instead. This portable form is
-/// the fallback for every other target and the cross-check oracle the
-/// `wide_cores_agree` test pins the SSE2 path against.
-#[cfg_attr(
-    all(target_arch = "x86_64", target_feature = "sse2"),
-    allow(dead_code) // only the test oracle on targets with the SSE2 core
-)]
-fn wide_core_portable(init: &WideState) -> WideState {
+/// LLVM refuses to build SLP trees through vector funnel-shift (rotate)
+/// nodes, so on x86-64 the [`sse2`] / [`avx2`] twins — explicit
+/// intrinsics, same arithmetic — are dispatched instead. This portable
+/// form is the fallback for every other target (and for
+/// `DPS_FORCE_ISA=portable`), and the cross-check oracle the
+/// `wide_cores_agree` tests pin the intrinsic paths against.
+fn wide_core_portable<const L: usize>(init: &[[u32; L]; 16]) -> [[u32; L]; 16] {
     #[derive(Clone, Copy)]
     #[repr(align(16))]
-    struct Lane([u32; WIDE_LANES]);
+    struct Lane<const L: usize>([u32; L]);
 
-    impl Lane {
+    impl<const L: usize> Lane<L> {
         #[inline(always)]
         fn add(self, o: Self) -> Self {
             Lane(std::array::from_fn(|i| self.0[i].wrapping_add(o.0[i])))
@@ -115,7 +130,12 @@ fn wide_core_portable(init: &WideState) -> WideState {
     }
 
     #[inline(always)]
-    fn quarter(a: Lane, b: Lane, c: Lane, d: Lane) -> (Lane, Lane, Lane, Lane) {
+    fn quarter<const L: usize>(
+        a: Lane<L>,
+        b: Lane<L>,
+        c: Lane<L>,
+        d: Lane<L>,
+    ) -> (Lane<L>, Lane<L>, Lane<L>, Lane<L>) {
         let a = a.add(b);
         let d = d.xor_rotl(a, 16);
         let c = c.add(d);
@@ -127,7 +147,7 @@ fn wide_core_portable(init: &WideState) -> WideState {
         (a, b, c, d)
     }
 
-    let start: [Lane; 16] = std::array::from_fn(|w| Lane(init[w]));
+    let start: [Lane<L>; 16] = std::array::from_fn(|w| Lane(init[w]));
     let [mut x0, mut x1, mut x2, mut x3, mut x4, mut x5, mut x6, mut x7, mut x8, mut x9, mut x10, mut x11, mut x12, mut x13, mut x14, mut x15] =
         start;
     for _ in 0..10 {
@@ -146,7 +166,19 @@ fn wide_core_portable(init: &WideState) -> WideState {
     std::array::from_fn(|w| end[w].add(start[w]).0)
 }
 
-/// SSE2 wide core: the x86-64 fast path. SSE2 is part of the x86-64
+/// Transposes a word-major feed-forward sum (as the portable core returns
+/// it) into lane-major keystream words.
+fn lane_major<const L: usize>(summed: &[[u32; L]; 16]) -> [[u32; 16]; L] {
+    let mut out = [[0u32; 16]; L];
+    for (w, row) in summed.iter().enumerate() {
+        for (l, lane) in out.iter_mut().enumerate() {
+            lane[w] = row[l];
+        }
+    }
+    out
+}
+
+/// SSE2 wide core: the x86-64 4-lane tier. SSE2 is part of the x86-64
 /// baseline ABI (statically enabled on every rustc x86-64 target unless
 /// explicitly disabled, which the `cfg` guard respects), so the lone
 /// `unsafe` block below — required only because `#[target_feature]`
@@ -155,7 +187,7 @@ fn wide_core_portable(init: &WideState) -> WideState {
 /// (no pointers), stable since Rust 1.27.
 #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
 mod sse2 {
-    use super::{WideState, WIDE_LANES};
+    use super::{Wide4State, LANES4};
     use std::arch::x86_64::{
         __m128i, _mm_add_epi32, _mm_loadu_si128, _mm_or_si128, _mm_set_epi32, _mm_slli_epi32,
         _mm_srli_epi32, _mm_storeu_si128, _mm_unpackhi_epi32, _mm_unpackhi_epi64,
@@ -164,15 +196,20 @@ mod sse2 {
 
     #[target_feature(enable = "sse2")]
     #[inline]
-    fn load(w: &[u32; WIDE_LANES]) -> __m128i {
-        _mm_set_epi32(w[3] as i32, w[2] as i32, w[1] as i32, w[0] as i32)
+    #[allow(unsafe_code)]
+    fn load(w: &[u32; LANES4]) -> __m128i {
+        // SAFETY: `w` is 16 valid bytes; `_mm_loadu_si128` has no
+        // alignment requirement. One `movdqu` instead of a 4-way
+        // insert chain — this runs 32 times per pass (state init +
+        // feed-forward).
+        unsafe { _mm_loadu_si128(w.as_ptr().cast::<__m128i>()) }
     }
 
     /// Permute + feed-forward + transpose, all in vector registers:
     /// returns `[lane][tile]`, where tile `t` holds lane words
     /// `4t..4t + 4` (16 contiguous keystream bytes).
     #[target_feature(enable = "sse2")]
-    fn keystream_tiles(init: &WideState) -> [[__m128i; 4]; WIDE_LANES] {
+    fn keystream_tiles(init: &Wide4State) -> [[__m128i; 4]; LANES4] {
         macro_rules! rotl {
             ($v:expr, $n:literal) => {
                 _mm_or_si128(_mm_slli_epi32::<$n>($v), _mm_srli_epi32::<{ 32 - $n }>($v))
@@ -206,7 +243,7 @@ mod sse2 {
         for w in 0..16 {
             x[w] = _mm_add_epi32(x[w], load(&init[w]));
         }
-        let mut out = [[_mm_set_epi32(0, 0, 0, 0); 4]; WIDE_LANES];
+        let mut out = [[_mm_set_epi32(0, 0, 0, 0); 4]; LANES4];
         for tile in 0..4 {
             let [r0, r1, r2, r3] = [x[4 * tile], x[4 * tile + 1], x[4 * tile + 2], x[4 * tile + 3]];
             let t0 = _mm_unpacklo_epi32(r0, r1);
@@ -223,7 +260,7 @@ mod sse2 {
 
     #[target_feature(enable = "sse2")]
     #[allow(unsafe_code)]
-    fn wide_core_impl(init: &WideState, out: &mut [[u32; 16]; WIDE_LANES]) {
+    fn wide_core_impl(init: &Wide4State, out: &mut [[u32; 16]; LANES4]) {
         let tiles = keystream_tiles(init);
         for (lane_words, lane_tiles) in out.iter_mut().zip(tiles) {
             for (tile, v) in lane_tiles.into_iter().enumerate() {
@@ -239,7 +276,7 @@ mod sse2 {
 
     #[target_feature(enable = "sse2")]
     #[allow(unsafe_code)]
-    fn xor_lanes_impl(init: &WideState, lanes: [&mut [u8]; WIDE_LANES]) {
+    fn xor_lanes_impl(init: &Wide4State, lanes: [&mut [u8]; LANES4]) {
         let tiles = keystream_tiles(init);
         for (lane, lane_tiles) in lanes.into_iter().zip(tiles) {
             assert_eq!(lane.len(), super::BLOCK_LEN, "lane must be one full block");
@@ -257,35 +294,237 @@ mod sse2 {
     }
 
     #[allow(unsafe_code)]
-    pub(super) fn wide_core(init: &WideState, out: &mut [[u32; 16]; WIDE_LANES]) {
+    pub(super) fn wide_core(init: &Wide4State, out: &mut [[u32; 16]; LANES4]) {
         // SAFETY: guarded by `cfg(target_feature = "sse2")` above, so the
         // required feature is statically enabled for this compilation.
         unsafe { wide_core_impl(init, out) }
     }
 
     #[allow(unsafe_code)]
-    pub(super) fn xor_lanes(init: &WideState, lanes: [&mut [u8]; WIDE_LANES]) {
+    pub(super) fn xor_lanes(init: &Wide4State, lanes: [&mut [u8]; LANES4]) {
         // SAFETY: as for `wide_core` — sse2 is statically enabled here.
         unsafe { xor_lanes_impl(init, lanes) }
     }
 }
 
-/// Builds the wide initial state: constants and key splatted across the
+/// AVX2 wide core: the x86-64 8-lane tier. Unlike [`sse2`], AVX2 is *not*
+/// part of the baseline ABI, so this module is compiled on every x86-64
+/// target but only ever *entered* when the [`crate::isa`] dispatch tier
+/// is [`IsaTier::Avx2`] — and the public wrappers re-assert
+/// `is_x86_feature_detected!("avx2")` (a cached atomic load) before the
+/// lone `unsafe` call into each `#[target_feature(enable = "avx2")]`
+/// body, so an unsupported instruction can never execute regardless of
+/// caller discipline. The 16/12/8/7-bit rotates use `vpshufb`
+/// byte-shuffles where a shuffle beats shift+shift+or (16 and 8), the
+/// standard AVX2 ChaCha20 formulation. All remaining intrinsics are value
+/// operations except the unaligned load/stores through pointers derived
+/// from exclusively borrowed, length-checked slices.
+#[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+mod avx2 {
+    use super::{Wide8State, BLOCK_LEN, WIDE_LANES};
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_loadu_si256, _mm256_or_si256, _mm256_permute2x128_si256,
+        _mm256_set_epi8, _mm256_shuffle_epi8, _mm256_slli_epi32, _mm256_srli_epi32,
+        _mm256_storeu_si256, _mm256_unpackhi_epi32, _mm256_unpackhi_epi64, _mm256_unpacklo_epi32,
+        _mm256_unpacklo_epi64, _mm256_xor_si256,
+    };
+
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    #[allow(unsafe_code)]
+    fn load(w: &[u32; WIDE_LANES]) -> __m256i {
+        // SAFETY: `w` is 32 valid bytes; `_mm256_loadu_si256` has no
+        // alignment requirement. One `vmovdqu` instead of an 8-way
+        // insert chain — this runs 32 times per pass (state init +
+        // feed-forward).
+        unsafe { _mm256_loadu_si256(w.as_ptr().cast::<__m256i>()) }
+    }
+
+    /// `vpshufb` mask rotating each 32-bit element left by 16 bits
+    /// (per-dword byte order [2,3,0,1]; same pattern in both 128-bit
+    /// halves, as `_mm256_shuffle_epi8` shuffles them independently).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn rot16_mask() -> __m256i {
+        _mm256_set_epi8(
+            13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2, // upper half
+            13, 12, 15, 14, 9, 8, 11, 10, 5, 4, 7, 6, 1, 0, 3, 2, // lower half
+        )
+    }
+
+    /// `vpshufb` mask rotating each 32-bit element left by 8 bits
+    /// (per-dword byte order [3,0,1,2]).
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn rot8_mask() -> __m256i {
+        _mm256_set_epi8(
+            14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3, // upper half
+            14, 13, 12, 15, 10, 9, 8, 11, 6, 5, 4, 7, 2, 1, 0, 3, // lower half
+        )
+    }
+
+    /// Transposes 8 word-rows (each holding one state word for lanes
+    /// 0..8) into 8 lane-rows of 8 consecutive words, entirely in
+    /// registers: 32-bit unpacks, 64-bit unpacks, then cross-half
+    /// permutes.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    fn transpose8(r: [__m256i; 8]) -> [__m256i; 8] {
+        let a0 = _mm256_unpacklo_epi32(r[0], r[1]);
+        let a1 = _mm256_unpackhi_epi32(r[0], r[1]);
+        let a2 = _mm256_unpacklo_epi32(r[2], r[3]);
+        let a3 = _mm256_unpackhi_epi32(r[2], r[3]);
+        let a4 = _mm256_unpacklo_epi32(r[4], r[5]);
+        let a5 = _mm256_unpackhi_epi32(r[4], r[5]);
+        let a6 = _mm256_unpacklo_epi32(r[6], r[7]);
+        let a7 = _mm256_unpackhi_epi32(r[6], r[7]);
+        let b0 = _mm256_unpacklo_epi64(a0, a2);
+        let b1 = _mm256_unpackhi_epi64(a0, a2);
+        let b2 = _mm256_unpacklo_epi64(a1, a3);
+        let b3 = _mm256_unpackhi_epi64(a1, a3);
+        let b4 = _mm256_unpacklo_epi64(a4, a6);
+        let b5 = _mm256_unpackhi_epi64(a4, a6);
+        let b6 = _mm256_unpacklo_epi64(a5, a7);
+        let b7 = _mm256_unpackhi_epi64(a5, a7);
+        [
+            _mm256_permute2x128_si256::<0x20>(b0, b4),
+            _mm256_permute2x128_si256::<0x20>(b1, b5),
+            _mm256_permute2x128_si256::<0x20>(b2, b6),
+            _mm256_permute2x128_si256::<0x20>(b3, b7),
+            _mm256_permute2x128_si256::<0x31>(b0, b4),
+            _mm256_permute2x128_si256::<0x31>(b1, b5),
+            _mm256_permute2x128_si256::<0x31>(b2, b6),
+            _mm256_permute2x128_si256::<0x31>(b3, b7),
+        ]
+    }
+
+    /// Permute + feed-forward + transpose, all in vector registers:
+    /// returns `[lane][half]`, where half `h` holds lane words
+    /// `8h..8h + 8` (32 contiguous keystream bytes).
+    #[target_feature(enable = "avx2")]
+    fn keystream_tiles(init: &Wide8State) -> [[__m256i; 2]; WIDE_LANES] {
+        let r16 = rot16_mask();
+        let r8 = rot8_mask();
+        let mut x: [__m256i; 16] = std::array::from_fn(|w| load(&init[w]));
+        macro_rules! rotl {
+            ($v:expr, $n:literal) => {
+                _mm256_or_si256(_mm256_slli_epi32::<$n>($v), _mm256_srli_epi32::<{ 32 - $n }>($v))
+            };
+        }
+        macro_rules! quarter {
+            ($a:literal, $b:literal, $c:literal, $d:literal) => {
+                x[$a] = _mm256_add_epi32(x[$a], x[$b]);
+                x[$d] = _mm256_shuffle_epi8(_mm256_xor_si256(x[$d], x[$a]), r16);
+                x[$c] = _mm256_add_epi32(x[$c], x[$d]);
+                x[$b] = rotl!(_mm256_xor_si256(x[$b], x[$c]), 12);
+                x[$a] = _mm256_add_epi32(x[$a], x[$b]);
+                x[$d] = _mm256_shuffle_epi8(_mm256_xor_si256(x[$d], x[$a]), r8);
+                x[$c] = _mm256_add_epi32(x[$c], x[$d]);
+                x[$b] = rotl!(_mm256_xor_si256(x[$b], x[$c]), 7);
+            };
+        }
+        for _ in 0..10 {
+            // Column rounds.
+            quarter!(0, 4, 8, 12);
+            quarter!(1, 5, 9, 13);
+            quarter!(2, 6, 10, 14);
+            quarter!(3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter!(0, 5, 10, 15);
+            quarter!(1, 6, 11, 12);
+            quarter!(2, 7, 8, 13);
+            quarter!(3, 4, 9, 14);
+        }
+        for w in 0..16 {
+            x[w] = _mm256_add_epi32(x[w], load(&init[w]));
+        }
+        let lo = transpose8([x[0], x[1], x[2], x[3], x[4], x[5], x[6], x[7]]);
+        let hi = transpose8([x[8], x[9], x[10], x[11], x[12], x[13], x[14], x[15]]);
+        std::array::from_fn(|l| [lo[l], hi[l]])
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    fn wide_core_impl(init: &Wide8State, out: &mut [[u32; 16]; WIDE_LANES]) {
+        let tiles = keystream_tiles(init);
+        for (lane_words, lane_tiles) in out.iter_mut().zip(tiles) {
+            for (half, v) in lane_tiles.into_iter().enumerate() {
+                // SAFETY: `lane_words[8 * half..8 * half + 8]` is 32
+                // valid, exclusively borrowed bytes; `_mm256_storeu_si256`
+                // has no alignment requirement.
+                unsafe {
+                    _mm256_storeu_si256(lane_words[8 * half..].as_mut_ptr().cast::<__m256i>(), v);
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    fn xor_stripes_impl(init: &Wide8State, flat: &mut [u8], first: usize, stride: usize) {
+        debug_assert!(stride >= BLOCK_LEN, "lanes must not overlap");
+        let tiles = keystream_tiles(init);
+        for (lane, lane_tiles) in tiles.into_iter().enumerate() {
+            let chunk = &mut flat[first + lane * stride..][..BLOCK_LEN];
+            for (half, v) in lane_tiles.into_iter().enumerate() {
+                let sub = &mut chunk[32 * half..32 * half + 32];
+                // SAFETY: `sub` is 32 valid, exclusively borrowed bytes;
+                // the unaligned load/store intrinsics have no alignment
+                // requirement.
+                unsafe {
+                    let ptr = sub.as_mut_ptr().cast::<__m256i>();
+                    _mm256_storeu_si256(ptr, _mm256_xor_si256(_mm256_loadu_si256(ptr), v));
+                }
+            }
+        }
+    }
+
+    /// Runtime guard shared by the public wrappers: proves to the
+    /// `unsafe` call sites that every instruction the AVX2 bodies may
+    /// use is supported. `is_x86_feature_detected!` caches its CPUID
+    /// result, so this is one relaxed atomic load per pass.
+    fn assert_avx2() {
+        assert!(
+            std::arch::is_x86_feature_detected!("avx2"),
+            "chacha::avx2 entered on a CPU without AVX2 (dispatch bug)"
+        );
+    }
+
+    /// Permutes 8 interleaved blocks into lane-major keystream words.
+    #[allow(unsafe_code)]
+    pub(super) fn wide_core(init: &Wide8State, out: &mut [[u32; 16]; WIDE_LANES]) {
+        assert_avx2();
+        // SAFETY: `assert_avx2` above verified AVX2 support at runtime.
+        unsafe { wide_core_impl(init, out) }
+    }
+
+    /// XORs lane `l`'s keystream block into the 64-byte region at
+    /// `flat[first + l * stride..]`, keeping the data in vector
+    /// registers end to end (permute, feed-forward, transpose, XOR).
+    #[allow(unsafe_code)]
+    pub(super) fn xor_stripes(init: &Wide8State, flat: &mut [u8], first: usize, stride: usize) {
+        assert_avx2();
+        // SAFETY: `assert_avx2` above verified AVX2 support at runtime.
+        unsafe { xor_stripes_impl(init, flat, first, stride) }
+    }
+}
+
+/// Builds a wide initial state: constants and key splatted across the
 /// lanes, per-lane counters in word 12, per-lane nonces in words 13–15.
 /// Batch loops build this once and only rewrite word 12 between passes.
 #[inline]
-fn wide_init(
+fn wide_init<const L: usize>(
     key: &[u8; KEY_LEN],
-    counters: &[u32; WIDE_LANES],
-    nonces: &[&[u8; NONCE_LEN]; WIDE_LANES],
-) -> WideState {
-    let mut init: WideState = [[0u32; WIDE_LANES]; 16];
+    counters: &[u32; L],
+    nonces: &[&[u8; NONCE_LEN]; L],
+) -> [[u32; L]; 16] {
+    let mut init = [[0u32; L]; 16];
     for (w, c) in CONSTANTS.iter().enumerate() {
-        init[w] = [*c; WIDE_LANES];
+        init[w] = [*c; L];
     }
     for (i, chunk) in key.chunks_exact(4).enumerate() {
         let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
-        init[4 + i] = [word; WIDE_LANES];
+        init[4 + i] = [word; L];
     }
     init[12] = *counters;
     for (l, nonce) in nonces.iter().enumerate() {
@@ -297,45 +536,43 @@ fn wide_init(
 }
 
 /// Permutes the 4 interleaved blocks of `init` and returns the keystream
-/// as lane-major `u32` words (feed-forward included), dispatching to the
-/// fastest core for the target.
+/// as lane-major `u32` words (feed-forward included), dispatching on the
+/// resolved tier: SSE2 intrinsics at [`IsaTier::Sse2`] and above,
+/// otherwise the portable core.
 #[inline]
-fn wide_words_from_init(init: &WideState) -> [[u32; 16]; WIDE_LANES] {
-    let mut out = [[0u32; 16]; WIDE_LANES];
+fn wide4_words_from_init(tier: IsaTier, init: &Wide4State) -> [[u32; 16]; LANES4] {
     #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
-    sse2::wide_core(init, &mut out);
-    #[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
-    {
-        let summed = wide_core_portable(init);
-        for (w, row) in summed.iter().enumerate() {
-            for l in 0..WIDE_LANES {
-                out[l][w] = row[l];
-            }
-        }
+    if tier >= IsaTier::Sse2 {
+        let mut out = [[0u32; 16]; LANES4];
+        sse2::wide_core(init, &mut out);
+        return out;
     }
-    out
+    let _ = tier; // portable fallback (non-x86 targets / forced tier)
+    lane_major(&wide_core_portable(init))
 }
 
 /// XORs each lane's 64-byte keystream block straight into `lanes[l]`
-/// (which must be exactly [`BLOCK_LEN`] bytes). On x86-64 the data rides
-/// vector registers end to end: permute, feed-forward, transpose, XOR.
+/// (which must be exactly [`BLOCK_LEN`] bytes). On the SSE2 tier the data
+/// rides vector registers end to end: permute, feed-forward, transpose,
+/// XOR.
 #[inline]
-fn wide_xor_lanes(init: &WideState, lanes: [&mut [u8]; WIDE_LANES]) {
+fn wide4_xor_lanes(tier: IsaTier, init: &Wide4State, lanes: [&mut [u8]; LANES4]) {
     #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
-    sse2::xor_lanes(init, lanes);
-    #[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
-    {
-        let words = wide_words_from_init(init);
-        for (lane, lane_words) in lanes.into_iter().zip(&words) {
-            xor_full_block(lane, lane_words);
-        }
+    if tier >= IsaTier::Sse2 {
+        sse2::xor_lanes(init, lanes);
+        return;
+    }
+    let _ = tier; // portable fallback (non-x86 targets / forced tier)
+    let words = lane_major(&wide_core_portable(init));
+    for (lane, lane_words) in lanes.into_iter().zip(&words) {
+        xor_full_block(lane, lane_words);
     }
 }
 
 /// Reborrows 4 equal-length disjoint regions of `flat`, starting at
 /// `first` and separated by `stride` bytes (`len <= stride`).
 #[inline]
-fn lanes_mut(flat: &mut [u8], first: usize, stride: usize, len: usize) -> [&mut [u8]; WIDE_LANES] {
+fn lanes_mut(flat: &mut [u8], first: usize, stride: usize, len: usize) -> [&mut [u8]; LANES4] {
     let (_, tail) = flat.split_at_mut(first);
     let (c0, tail) = tail.split_at_mut(stride);
     let (c1, tail) = tail.split_at_mut(stride);
@@ -343,30 +580,24 @@ fn lanes_mut(flat: &mut [u8], first: usize, stride: usize, len: usize) -> [&mut 
     [&mut c0[..len], &mut c1[..len], &mut c2[..len], &mut tail[..len]]
 }
 
-/// Runs the wide core once: lane `l` computes the keystream block for
-/// (`counters[l]`, `nonces[l]`) under `key`. Returns the keystream as
+/// Runs the 4-lane wide core once: lane `l` computes the keystream block
+/// for (`counters[l]`, `nonces[l]`) under `key`. Returns the keystream as
 /// lane-major `u32` words (lane `l`, word `w` — already including the
 /// final feed-forward addition), ready to XOR or serialize.
 #[inline]
-fn wide_keystream_words(
+fn wide4_keystream_words(
+    tier: IsaTier,
     key: &[u8; KEY_LEN],
-    counters: &[u32; WIDE_LANES],
-    nonces: &[&[u8; NONCE_LEN]; WIDE_LANES],
-) -> [[u32; 16]; WIDE_LANES] {
-    wide_words_from_init(&wide_init(key, counters, nonces))
+    counters: &[u32; LANES4],
+    nonces: &[&[u8; NONCE_LEN]; LANES4],
+) -> [[u32; 16]; LANES4] {
+    wide4_words_from_init(tier, &wide_init(key, counters, nonces))
 }
 
-/// Computes [`WIDE_LANES`] keystream blocks in one interleaved pass: output
-/// `l` is [`block`]`(key, counters[l], nonces[l])`. Used to derive 4 cells'
-/// Poly1305 one-time keys per pass in the batch tag paths.
-pub fn blocks4(
-    key: &[u8; KEY_LEN],
-    counters: &[u32; WIDE_LANES],
-    nonces: &[&[u8; NONCE_LEN]; WIDE_LANES],
-) -> [[u8; BLOCK_LEN]; WIDE_LANES] {
-    let words = wide_keystream_words(key, counters, nonces);
-    let mut out = [[0u8; BLOCK_LEN]; WIDE_LANES];
-    for (lane, lane_words) in out.iter_mut().zip(&words) {
+/// Serializes lane-major keystream words to little-endian blocks.
+fn serialize_blocks<const L: usize>(words: &[[u32; 16]; L]) -> [[u8; BLOCK_LEN]; L] {
+    let mut out = [[0u8; BLOCK_LEN]; L];
+    for (lane, lane_words) in out.iter_mut().zip(words) {
         for (i, word) in lane_words.iter().enumerate() {
             lane[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
         }
@@ -374,11 +605,81 @@ pub fn blocks4(
     out
 }
 
+/// Computes 4 keystream blocks in one interleaved pass: output `l` is
+/// [`block`]`(key, counters[l], nonces[l])`. One 4-lane group of the
+/// batch one-time-key derivation ([`blocks_each`]).
+pub fn blocks4(
+    key: &[u8; KEY_LEN],
+    counters: &[u32; 4],
+    nonces: &[&[u8; NONCE_LEN]; 4],
+) -> [[u8; BLOCK_LEN]; 4] {
+    let tier = isa::tier();
+    serialize_blocks(&wide4_keystream_words(tier, key, counters, nonces))
+}
+
+/// Computes [`WIDE_LANES`] = 8 keystream blocks: output `l` is
+/// [`block`]`(key, counters[l], nonces[l])`. On the AVX2 tier this is one
+/// 8-lane pass; on every other tier it decomposes into two byte-identical
+/// 4-lane passes, so callers (batch one-time-key derivation, the bulk
+/// CSPRNG refill) can group by 8 unconditionally.
+pub fn blocks8(
+    key: &[u8; KEY_LEN],
+    counters: &[u32; WIDE_LANES],
+    nonces: &[&[u8; NONCE_LEN]; WIDE_LANES],
+) -> [[u8; BLOCK_LEN]; WIDE_LANES] {
+    let tier = isa::tier();
+    #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+    if tier == IsaTier::Avx2 {
+        let init = wide_init(key, counters, nonces);
+        let mut words = [[0u32; 16]; WIDE_LANES];
+        avx2::wide_core(&init, &mut words);
+        return serialize_blocks(&words);
+    }
+    let mut out = [[0u8; BLOCK_LEN]; WIDE_LANES];
+    for half in 0..2 {
+        let c: [u32; LANES4] = std::array::from_fn(|l| counters[LANES4 * half + l]);
+        let n: [&[u8; NONCE_LEN]; LANES4] = std::array::from_fn(|l| nonces[LANES4 * half + l]);
+        let blocks = serialize_blocks(&wide4_keystream_words(tier, key, &c, &n));
+        out[LANES4 * half..LANES4 * (half + 1)].copy_from_slice(&blocks);
+    }
+    out
+}
+
+/// Computes one keystream block per (counter, nonce) pair: `out[i]` is
+/// [`block`]`(key, counters[i], nonces[i])` for any pair count,
+/// decomposed into 8-lane passes ([`blocks8`]), a 4-lane pass, and a
+/// scalar tail. This is the shape the batch tag paths use to derive one
+/// Poly1305 one-time key per cell.
+///
+/// # Panics
+/// Panics if `counters`, `nonces` and `out` differ in length.
+pub fn blocks_each(
+    key: &[u8; KEY_LEN],
+    counters: &[u32],
+    nonces: &[&[u8; NONCE_LEN]],
+    out: &mut [[u8; BLOCK_LEN]],
+) {
+    assert_eq!(counters.len(), nonces.len(), "one counter per nonce");
+    assert_eq!(out.len(), nonces.len(), "one output block per nonce");
+    let mut i = 0;
+    while i + WIDE_LANES <= nonces.len() {
+        let c: [u32; WIDE_LANES] = counters[i..i + WIDE_LANES].try_into().expect("8 counters");
+        let n: [&[u8; NONCE_LEN]; WIDE_LANES] = std::array::from_fn(|l| nonces[i + l]);
+        out[i..i + WIDE_LANES].copy_from_slice(&blocks8(key, &c, &n));
+        i += WIDE_LANES;
+    }
+    while i + LANES4 <= nonces.len() {
+        let c: [u32; LANES4] = counters[i..i + LANES4].try_into().expect("4 counters");
+        let n: [&[u8; NONCE_LEN]; LANES4] = std::array::from_fn(|l| nonces[i + l]);
+        out[i..i + LANES4].copy_from_slice(&blocks4(key, &c, &n));
+        i += LANES4;
+    }
+    for j in i..nonces.len() {
+        out[j] = block(key, counters[j], nonces[j]);
+    }
+}
+
 /// XORs one full 64-byte block with precomputed keystream words.
-#[cfg_attr(
-    all(target_arch = "x86_64", target_feature = "sse2"),
-    allow(dead_code) // the SSE2 xor_lanes path covers full blocks there
-)]
 #[inline(always)]
 fn xor_full_block(chunk: &mut [u8], words: &[u32; 16]) {
     for (i, word) in words.iter().enumerate() {
@@ -415,21 +716,40 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
 /// XORs `data` in place with the ChaCha20 keystream starting at block
 /// `counter`. This is both encryption and decryption (RFC 8439 §2.4).
 ///
-/// Fast paths: runs of 4 full blocks go through the wide core (4
-/// consecutive counters permuted per pass); the 1–3 block remainder keeps
-/// the scalar single-parse path, and only a sub-block tail falls back to
-/// byte granularity. Output is byte-identical for every length.
+/// Fast paths, widest first: on the AVX2 tier, runs of 8 full blocks go
+/// through the 8-lane core (8 consecutive counters permuted per pass);
+/// runs of 4 full blocks go through the 4-lane core; the 1–3 block
+/// remainder keeps the scalar single-parse path, and only a sub-block
+/// tail falls back to byte granularity. Output is byte-identical for
+/// every length on every tier.
 pub fn xor_keystream(
     key: &[u8; KEY_LEN],
     mut counter: u32,
     nonce: &[u8; NONCE_LEN],
     data: &mut [u8],
 ) {
-    let mut quads = data.chunks_exact_mut(WIDE_LANES * BLOCK_LEN);
+    let tier = isa::tier();
+    let mut rest: &mut [u8] = data;
+    #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+    if tier == IsaTier::Avx2 {
+        let stripe = WIDE_LANES * BLOCK_LEN;
+        let full = rest.len() / stripe * stripe;
+        if full > 0 {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(full);
+            rest = tail;
+            // Parse key and nonce into the wide state once; only the
+            // counter word changes between passes.
+            let mut init = wide_init(key, &[0; WIDE_LANES], &[nonce; WIDE_LANES]);
+            for chunk in head.chunks_exact_mut(stripe) {
+                init[12] = std::array::from_fn(|l| counter.wrapping_add(l as u32));
+                avx2::xor_stripes(&init, chunk, 0, BLOCK_LEN);
+                counter = counter.wrapping_add(WIDE_LANES as u32);
+            }
+        }
+    }
+    let mut quads = rest.chunks_exact_mut(LANES4 * BLOCK_LEN);
     if quads.len() > 0 {
-        // Parse key and nonce into the wide state once; only the counter
-        // word changes between passes.
-        let mut init = wide_init(key, &[0; WIDE_LANES], &[nonce; WIDE_LANES]);
+        let mut init = wide_init(key, &[0; LANES4], &[nonce; LANES4]);
         for quad in &mut quads {
             init[12] = [
                 counter,
@@ -437,8 +757,8 @@ pub fn xor_keystream(
                 counter.wrapping_add(2),
                 counter.wrapping_add(3),
             ];
-            wide_xor_lanes(&init, lanes_mut(quad, 0, BLOCK_LEN, BLOCK_LEN));
-            counter = counter.wrapping_add(WIDE_LANES as u32);
+            wide4_xor_lanes(tier, &init, lanes_mut(quad, 0, BLOCK_LEN, BLOCK_LEN));
+            counter = counter.wrapping_add(LANES4 as u32);
         }
     }
     let rest = quads.into_remainder();
@@ -478,11 +798,12 @@ pub fn xor_keystream(
 /// over the cells would do, byte for byte.
 ///
 /// This is the batch re-encryption fast path: when `len` is shorter than
-/// the wide core's 256-byte stripe, four *different* cells' keystreams are
-/// permuted per pass (same block index, four nonces), so short-cell batches
-/// vectorize as well as long streams. Cells of 4 blocks or more instead use
-/// the intra-cell wide path of [`xor_keystream`], which is equally wide.
-/// Leftover cells (count not a multiple of 4) take the scalar path.
+/// the active tier's full stripe (8 or 4 blocks), that many *different*
+/// cells' keystreams are permuted per pass (same block index, one nonce
+/// per lane), so short-cell batches vectorize as well as long streams.
+/// Longer cells instead use the intra-cell wide path of
+/// [`xor_keystream`], which is equally wide. Group remainders step down
+/// 8 → 4 → scalar, so every cell count vectorizes as far as it can.
 ///
 /// # Panics
 /// Panics if `flat.len() != nonces.len() * stride` or
@@ -501,8 +822,11 @@ pub fn xor_keystream_batch_strided(
     if len == 0 || nonces.is_empty() {
         return;
     }
-    if len >= WIDE_LANES * BLOCK_LEN {
-        // Long cells: each cell's own keystream already fills the wide core.
+    let tier = isa::tier();
+    let group_lanes = if tier == IsaTier::Avx2 { WIDE_LANES } else { LANES4 };
+    if len >= group_lanes * BLOCK_LEN {
+        // Long cells: each cell's own keystream already fills the widest
+        // core the tier offers.
         for (i, nonce) in nonces.iter().enumerate() {
             let base = i * stride + offset;
             xor_keystream(key, counter, nonce, &mut flat[base..base + len]);
@@ -512,25 +836,49 @@ pub fn xor_keystream_batch_strided(
     let full_blocks = len / BLOCK_LEN;
     let tail = len % BLOCK_LEN;
     let mut cell = 0;
-    while cell + WIDE_LANES <= nonces.len() {
+    #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+    if tier == IsaTier::Avx2 {
+        while cell + WIDE_LANES <= nonces.len() {
+            let lane_nonces: [&Nonce; WIDE_LANES] = std::array::from_fn(|l| &nonces[cell + l]);
+            // One state parse per 8-cell group; only the counter word
+            // changes between block indices.
+            let mut init = wide_init(key, &[counter; WIDE_LANES], &lane_nonces);
+            for j in 0..full_blocks {
+                init[12] = [counter.wrapping_add(j as u32); WIDE_LANES];
+                let first = cell * stride + offset + j * BLOCK_LEN;
+                avx2::xor_stripes(&init, flat, first, stride);
+            }
+            if tail > 0 {
+                init[12] = [counter.wrapping_add(full_blocks as u32); WIDE_LANES];
+                let mut words = [[0u32; 16]; WIDE_LANES];
+                avx2::wide_core(&init, &mut words);
+                for (l, lane_words) in words.iter().enumerate() {
+                    let base = (cell + l) * stride + offset + full_blocks * BLOCK_LEN;
+                    xor_partial_block(&mut flat[base..base + tail], lane_words);
+                }
+            }
+            cell += WIDE_LANES;
+        }
+    }
+    while cell + LANES4 <= nonces.len() {
         let lane_nonces = [&nonces[cell], &nonces[cell + 1], &nonces[cell + 2], &nonces[cell + 3]];
         // One state parse per 4-cell group; only the counter word changes
         // between block indices.
-        let mut init = wide_init(key, &[counter; WIDE_LANES], &lane_nonces);
+        let mut init = wide_init(key, &[counter; LANES4], &lane_nonces);
         for j in 0..full_blocks {
-            init[12] = [counter.wrapping_add(j as u32); WIDE_LANES];
+            init[12] = [counter.wrapping_add(j as u32); LANES4];
             let first = cell * stride + offset + j * BLOCK_LEN;
-            wide_xor_lanes(&init, lanes_mut(flat, first, stride, BLOCK_LEN));
+            wide4_xor_lanes(tier, &init, lanes_mut(flat, first, stride, BLOCK_LEN));
         }
         if tail > 0 {
-            init[12] = [counter.wrapping_add(full_blocks as u32); WIDE_LANES];
-            let words = wide_words_from_init(&init);
+            init[12] = [counter.wrapping_add(full_blocks as u32); LANES4];
+            let words = wide4_words_from_init(tier, &init);
             for (l, lane_words) in words.iter().enumerate() {
                 let base = (cell + l) * stride + offset + full_blocks * BLOCK_LEN;
                 xor_partial_block(&mut flat[base..base + tail], lane_words);
             }
         }
-        cell += WIDE_LANES;
+        cell += LANES4;
     }
     for (i, nonce) in nonces.iter().enumerate().skip(cell) {
         let base = i * stride + offset;
@@ -608,27 +956,27 @@ only one tip for the future, sunscreen would be it."
         assert_ne!(block(&key, 0, &[0u8; 12]), block(&key, 0, &[1u8; 12]));
     }
 
-    /// The portable and SSE2 wide cores compute identical feed-forward
-    /// sums for asymmetric per-lane states (the SSE2 path is what runs on
-    /// x86-64; the portable path is every other target).
-    #[test]
-    fn wide_cores_agree() {
-        let mut init = [[0u32; WIDE_LANES]; 16];
+    /// An asymmetric per-lane test state: every word of every lane
+    /// differs, so transpose bugs cannot cancel.
+    fn asymmetric_init<const L: usize>() -> [[u32; L]; 16] {
+        let mut init = [[0u32; L]; 16];
         for (w, row) in init.iter_mut().enumerate() {
             for (l, v) in row.iter_mut().enumerate() {
                 *v = (w as u32).wrapping_mul(0x9e37_79b9) ^ (l as u32) << 13;
             }
         }
-        let portable = wide_core_portable(&init);
-        let mut portable_lane_major = [[0u32; 16]; WIDE_LANES];
-        for (w, row) in portable.iter().enumerate() {
-            for l in 0..WIDE_LANES {
-                portable_lane_major[l][w] = row[l];
-            }
-        }
+        init
+    }
+
+    /// The portable and SSE2 4-lane cores compute identical feed-forward
+    /// sums for asymmetric per-lane states.
+    #[test]
+    fn wide_cores_agree() {
+        let init: Wide4State = asymmetric_init();
+        let portable_lane_major = lane_major(&wide_core_portable(&init));
         #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
         {
-            let mut dispatched = [[0u32; 16]; WIDE_LANES];
+            let mut dispatched = [[0u32; 16]; LANES4];
             sse2::wide_core(&init, &mut dispatched);
             assert_eq!(portable_lane_major, dispatched);
         }
@@ -637,9 +985,26 @@ only one tip for the future, sunscreen would be it."
         assert_ne!(portable_lane_major[0][0], init[0][0]);
     }
 
-    /// RFC 8439 §2.3.2 through the wide core: every lane of [`blocks4`]
-    /// reproduces the published block when fed the vector's inputs, and
-    /// mixed-lane calls agree with the scalar core lane by lane.
+    /// The portable 8-lane and AVX2 cores compute identical feed-forward
+    /// sums for asymmetric per-lane states (skipped where the CPU lacks
+    /// AVX2; the portable side still runs as a compile check).
+    #[test]
+    fn wide8_cores_agree() {
+        let init: [[u32; WIDE_LANES]; 16] = asymmetric_init();
+        let portable_lane_major = lane_major(&wide_core_portable(&init));
+        #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let mut dispatched = [[0u32; 16]; WIDE_LANES];
+            avx2::wide_core(&init, &mut dispatched);
+            assert_eq!(portable_lane_major, dispatched);
+        }
+        assert_ne!(portable_lane_major[0][0], init[0][0]);
+    }
+
+    /// RFC 8439 §2.3.2 through the wide cores: every lane of [`blocks4`]
+    /// and [`blocks8`] reproduces the published block when fed the
+    /// vector's inputs, and mixed-lane calls agree with the scalar core
+    /// lane by lane.
     #[test]
     fn rfc8439_block_vector_wide_lanes() {
         let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
@@ -647,9 +1012,13 @@ only one tip for the future, sunscreen would be it."
             .unwrap();
         let nonce: [u8; 12] = hex("000000090000004a00000000").try_into().unwrap();
         let expected = block(&key, 1, &nonce);
-        let all = blocks4(&key, &[1; 4], &[&nonce; 4]);
-        for (l, lane) in all.iter().enumerate() {
-            assert_eq!(lane, &expected, "lane {l}");
+        let all4 = blocks4(&key, &[1; 4], &[&nonce; 4]);
+        for (l, lane) in all4.iter().enumerate() {
+            assert_eq!(lane, &expected, "blocks4 lane {l}");
+        }
+        let all8 = blocks8(&key, &[1; WIDE_LANES], &[&nonce; WIDE_LANES]);
+        for (l, lane) in all8.iter().enumerate() {
+            assert_eq!(lane, &expected, "blocks8 lane {l}");
         }
         // Mixed counters and nonces: each lane must match its scalar twin.
         let other_nonce = [7u8; 12];
@@ -659,11 +1028,50 @@ only one tip for the future, sunscreen would be it."
         for l in 0..4 {
             assert_eq!(mixed[l], block(&key, counters[l], nonces[l]), "lane {l}");
         }
+        let counters8 = [0u32, 1, u32::MAX, 5, 2, u32::MAX - 1, 9, 1 << 30];
+        let nonces8 = [
+            &nonce,
+            &other_nonce,
+            &nonce,
+            &other_nonce,
+            &other_nonce,
+            &nonce,
+            &other_nonce,
+            &nonce,
+        ];
+        let mixed8 = blocks8(&key, &counters8, &nonces8);
+        for l in 0..WIDE_LANES {
+            assert_eq!(mixed8[l], block(&key, counters8[l], nonces8[l]), "lane {l}");
+        }
     }
 
-    /// RFC 8439 §2.4.2 through the wide batch path: four cells each holding
-    /// the RFC plaintext, encrypted per-cell at counter 1 under the RFC
-    /// nonce, must all equal the published ciphertext.
+    /// [`blocks_each`] equals a scalar [`block`] loop for every count,
+    /// covering the 8-lane groups, the 4-lane group and the scalar tail.
+    #[test]
+    fn blocks_each_matches_scalar_loop() {
+        let key = [0x21u8; 32];
+        for count in 0..=20usize {
+            let nonce_bufs: Vec<Nonce> = (0..count)
+                .map(|i| {
+                    let mut n = [0u8; NONCE_LEN];
+                    n[0] = i as u8;
+                    n[7] = 0x30 | i as u8;
+                    n
+                })
+                .collect();
+            let nonces: Vec<&Nonce> = nonce_bufs.iter().collect();
+            let counters: Vec<u32> = (0..count).map(|i| i as u32 * 3).collect();
+            let mut out = vec![[0u8; BLOCK_LEN]; count];
+            blocks_each(&key, &counters, &nonces, &mut out);
+            for i in 0..count {
+                assert_eq!(out[i], block(&key, counters[i], nonces[i]), "count {count} lane {i}");
+            }
+        }
+    }
+
+    /// RFC 8439 §2.4.2 through the wide batch path: eight cells each
+    /// holding the RFC plaintext, encrypted per-cell at counter 1 under
+    /// the RFC nonce, must all equal the published ciphertext.
     #[test]
     fn rfc8439_encrypt_vector_wide_batch() {
         let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
@@ -678,8 +1086,9 @@ only one tip for the future, sunscreen would be it.";
             data
         };
         let stride = plaintext.len();
-        let mut flat: Vec<u8> = plaintext.iter().copied().cycle().take(4 * stride).collect();
-        xor_keystream_batch_strided(&key, 1, &[nonce; 4], &mut flat, stride, 0, stride);
+        let cells = WIDE_LANES;
+        let mut flat: Vec<u8> = plaintext.iter().copied().cycle().take(cells * stride).collect();
+        xor_keystream_batch_strided(&key, 1, &[nonce; WIDE_LANES], &mut flat, stride, 0, stride);
         for (l, cell) in flat.chunks(stride).enumerate() {
             assert_eq!(cell, expected.as_slice(), "cell {l}");
         }
@@ -687,12 +1096,14 @@ only one tip for the future, sunscreen would be it.";
 
     /// The wide multi-block fast path agrees with a scalar per-block
     /// reference across every length class (empty, sub-block, block
-    /// boundaries, 4-block stripe boundaries, long).
+    /// boundaries, 4- and 8-block stripe boundaries, long).
     #[test]
     fn wide_keystream_matches_scalar_reference() {
         let key = [0x42u8; 32];
         let nonce = [9u8; 12];
-        for len in [0usize, 1, 63, 64, 65, 127, 128, 255, 256, 257, 320, 511, 1024] {
+        for len in
+            [0usize, 1, 63, 64, 65, 127, 128, 255, 256, 257, 320, 511, 512, 513, 767, 960, 1024]
+        {
             let original: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
             let mut data = original.clone();
             xor_keystream(&key, 7, &nonce, &mut data);
@@ -708,32 +1119,37 @@ only one tip for the future, sunscreen would be it.";
         }
     }
 
-    /// Counter wraparound behaves identically on the wide and scalar paths.
+    /// Counter wraparound behaves identically on the wide and scalar
+    /// paths, through both the 8- and 4-block stripe stages.
     #[test]
     fn wide_keystream_counter_wraps() {
         let key = [3u8; 32];
         let nonce = [1u8; 12];
-        let mut wide = vec![0u8; 6 * BLOCK_LEN];
-        xor_keystream(&key, u32::MAX - 1, &nonce, &mut wide);
-        let mut scalar = vec![0u8; 6 * BLOCK_LEN];
-        for (j, chunk) in scalar.chunks_mut(BLOCK_LEN).enumerate() {
-            let ks = block(&key, (u32::MAX - 1).wrapping_add(j as u32), &nonce);
-            chunk.copy_from_slice(&ks);
+        for blocks in [6usize, 13] {
+            let mut wide = vec![0u8; blocks * BLOCK_LEN];
+            xor_keystream(&key, u32::MAX - 1, &nonce, &mut wide);
+            let mut scalar = vec![0u8; blocks * BLOCK_LEN];
+            for (j, chunk) in scalar.chunks_mut(BLOCK_LEN).enumerate() {
+                let ks = block(&key, (u32::MAX - 1).wrapping_add(j as u32), &nonce);
+                chunk.copy_from_slice(&ks);
+            }
+            assert_eq!(wide, scalar, "blocks {blocks}");
         }
-        assert_eq!(wide, scalar);
     }
 
     /// The strided batch path equals a per-cell loop for every cell count
-    /// (including non-multiples of 4) and offset/length combination.
+    /// (covering all remainders mod 8 and mod 4) and offset/length
+    /// combination.
     #[test]
     fn batch_strided_matches_per_cell_loop() {
         let key = [0x5au8; 32];
-        for cells in [1usize, 2, 3, 4, 5, 7, 8, 9] {
+        for cells in [1usize, 2, 3, 4, 5, 7, 8, 9, 11, 12, 13, 15, 16, 17] {
             for (stride, offset, len) in [
                 (80usize, 12usize, 64usize),
                 (48, 0, 48),
                 (100, 12, 77),
                 (300, 12, 280),
+                (600, 20, 513),
                 (16, 4, 0),
             ] {
                 let nonces: Vec<Nonce> = (0..cells)

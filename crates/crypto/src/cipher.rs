@@ -16,7 +16,7 @@
 //! per-query crypto the benches measure.
 
 use crate::chacha;
-use crate::poly1305::{Poly1305, Poly1305x4};
+use crate::poly1305::{Poly1305, Poly1305xN};
 use crate::rng::ChaChaRng;
 
 /// Length of the integrity tag appended to each ciphertext.
@@ -232,9 +232,10 @@ impl BlockCipher {
     /// in `plaintexts` into equal-length `nonce || body || tag` slots of
     /// `out`, one pre-drawn nonce per cell. Byte-identical to a
     /// [`BlockCipher::encrypt_with_nonce_into`] loop over the cells, but
-    /// runs the wide 4-lane keystream across cells (4 different nonces per
+    /// runs the wide keystream across cells (different nonces per
     /// permutation pass when cells are short) and batches the Poly1305
-    /// one-time-key derivation and tag arithmetic 4 cells at a time.
+    /// one-time-key derivation and tag arithmetic in groups of 8, then 4,
+    /// cells at a time.
     ///
     /// # Panics
     /// Panics if `plaintexts.len()` is not `nonces.len()` equal strides or
@@ -273,12 +274,21 @@ impl BlockCipher {
             pt_stride,
         );
 
-        // Tag phase: derive 4 one-time keys per wide pass and run 4 tags'
-        // field arithmetic interleaved.
+        // Tag phase: derive a group's one-time keys per wide pass and run
+        // the group's tags' field arithmetic interleaved, 8 then 4 cells
+        // at a time.
         let msg_len = ct_stride - TAG_LEN;
         let mut cell = 0;
+        while cell + 8 <= cells {
+            let (_, tags) = self.group_tags::<8>(out, cell, ct_stride, msg_len);
+            for (l, full_tag) in tags.iter().enumerate() {
+                let base = (cell + l) * ct_stride;
+                out[base + msg_len..base + ct_stride].copy_from_slice(&full_tag[..TAG_LEN]);
+            }
+            cell += 8;
+        }
         while cell + 4 <= cells {
-            let (_, tags) = self.group_tags4(out, cell, ct_stride, msg_len);
+            let (_, tags) = self.group_tags::<4>(out, cell, ct_stride, msg_len);
             for (l, full_tag) in tags.iter().enumerate() {
                 let base = (cell + l) * ct_stride;
                 out[base + msg_len..base + ct_stride].copy_from_slice(&full_tag[..TAG_LEN]);
@@ -292,29 +302,30 @@ impl BlockCipher {
         }
     }
 
-    /// Computes the full (untruncated) Poly1305 tags of the 4 cells
+    /// Computes the full (untruncated) Poly1305 tags of the `N` cells
     /// starting at `cell`, laid out in `flat` at `ct_stride`: nonces are
-    /// read from the slot prefixes, the 4 one-time keys derive in one
-    /// wide ChaCha pass ([`chacha::blocks4`]), and the 4 tags' field
-    /// arithmetic runs interleaved. Returns the group's nonces alongside
-    /// the tags.
-    fn group_tags4(
+    /// read from the slot prefixes, the `N` one-time keys derive in wide
+    /// ChaCha passes ([`chacha::blocks_each`], one 8-lane AVX2 pass when
+    /// `N = 8` and the tier allows), and the `N` tags' field arithmetic
+    /// runs interleaved. Returns the group's nonces alongside the tags.
+    fn group_tags<const N: usize>(
         &self,
         flat: &[u8],
         cell: usize,
         ct_stride: usize,
         msg_len: usize,
-    ) -> ([chacha::Nonce; 4], [[u8; 16]; 4]) {
-        let nonces: [chacha::Nonce; 4] = std::array::from_fn(|l| {
+    ) -> ([chacha::Nonce; N], [[u8; 16]; N]) {
+        let nonces: [chacha::Nonce; N] = std::array::from_fn(|l| {
             flat[(cell + l) * ct_stride..(cell + l) * ct_stride + chacha::NONCE_LEN]
                 .try_into()
                 .expect("nonce prefix")
         });
-        let nonce_refs: [&chacha::Nonce; 4] = std::array::from_fn(|l| &nonces[l]);
-        let otk_blocks = chacha::blocks4(&self.key.mac, &[0; 4], &nonce_refs);
-        let otks: [[u8; 32]; 4] =
+        let nonce_refs: [&chacha::Nonce; N] = std::array::from_fn(|l| &nonces[l]);
+        let mut otk_blocks = [[0u8; chacha::BLOCK_LEN]; N];
+        chacha::blocks_each(&self.key.mac, &[0; N], &nonce_refs, &mut otk_blocks);
+        let otks: [[u8; 32]; N] =
             std::array::from_fn(|l| otk_blocks[l][..32].try_into().expect("32-byte prefix"));
-        let mut mac = Poly1305x4::new([&otks[0], &otks[1], &otks[2], &otks[3]]);
+        let mut mac = Poly1305xN::<N>::new(std::array::from_fn(|l| &otks[l]));
         mac.update(std::array::from_fn(|l| {
             let base = (cell + l) * ct_stride;
             &flat[base..base + msg_len]
@@ -322,11 +333,56 @@ impl BlockCipher {
         (nonces, mac.finalize())
     }
 
+    /// Verifies and decrypts the `N` cells starting at `cell` of a strided
+    /// batch: checks every truncated tag (constant-time within the group),
+    /// copies the bodies into their plaintext slots and strips the
+    /// keystream in one wide strided pass. The group engine behind
+    /// [`BlockCipher::decrypt_batch_to_slices`].
+    fn decrypt_group<const N: usize>(
+        &self,
+        ciphertexts: &[u8],
+        cell: usize,
+        ct_stride: usize,
+        msg_len: usize,
+        out: &mut [u8],
+    ) -> Result<(), CryptoError> {
+        let pt_stride = msg_len - chacha::NONCE_LEN;
+        let (group_nonces, tags) = self.group_tags::<N>(ciphertexts, cell, ct_stride, msg_len);
+        for (l, full_tag) in tags.iter().enumerate() {
+            let base = (cell + l) * ct_stride;
+            let stored = &ciphertexts[base + msg_len..base + ct_stride];
+            // Constant-time comparison of the truncated tag.
+            let diff = full_tag[..TAG_LEN]
+                .iter()
+                .zip(stored)
+                .fold(0u8, |acc, (a, b)| acc | (a ^ b));
+            if diff != 0 {
+                return Err(CryptoError::TagMismatch);
+            }
+        }
+        for l in 0..N {
+            let base = (cell + l) * ct_stride;
+            out[(cell + l) * pt_stride..(cell + l + 1) * pt_stride]
+                .copy_from_slice(&ciphertexts[base + chacha::NONCE_LEN..base + msg_len]);
+        }
+        let group_out = &mut out[cell * pt_stride..(cell + N) * pt_stride];
+        chacha::xor_keystream_batch_strided(
+            &self.key.enc,
+            0,
+            &group_nonces,
+            group_out,
+            pt_stride,
+            0,
+            pt_stride,
+        );
+        Ok(())
+    }
+
     /// Decrypts `cells` equal-length ciphertexts packed back-to-back in
     /// `ciphertexts` into the equal-length plaintext slots of `out`,
-    /// verifying every tag (4 cells' tags checked per interleaved pass).
-    /// On failure, returns the error of the lowest-indexed bad cell and
-    /// the contents of `out` are unspecified. The batch twin of
+    /// verifying every tag (8, then 4, cells' tags checked per interleaved
+    /// pass). On failure, returns the error of the lowest-indexed bad cell
+    /// and the contents of `out` are unspecified. The batch twin of
     /// [`BlockCipher::decrypt_to_slice`].
     ///
     /// # Panics
@@ -351,35 +407,12 @@ impl BlockCipher {
         let msg_len = ct_stride - TAG_LEN;
 
         let mut cell = 0;
+        while cell + 8 <= cells {
+            self.decrypt_group::<8>(ciphertexts, cell, ct_stride, msg_len, out)?;
+            cell += 8;
+        }
         while cell + 4 <= cells {
-            let (group_nonces, tags) = self.group_tags4(ciphertexts, cell, ct_stride, msg_len);
-            for (l, full_tag) in tags.iter().enumerate() {
-                let base = (cell + l) * ct_stride;
-                let stored = &ciphertexts[base + msg_len..base + ct_stride];
-                // Constant-time comparison of the truncated tag.
-                let diff = full_tag[..TAG_LEN]
-                    .iter()
-                    .zip(stored)
-                    .fold(0u8, |acc, (a, b)| acc | (a ^ b));
-                if diff != 0 {
-                    return Err(CryptoError::TagMismatch);
-                }
-            }
-            for l in 0..4 {
-                let base = (cell + l) * ct_stride;
-                out[(cell + l) * pt_stride..(cell + l + 1) * pt_stride]
-                    .copy_from_slice(&ciphertexts[base + chacha::NONCE_LEN..base + msg_len]);
-            }
-            let group_out = &mut out[cell * pt_stride..(cell + 4) * pt_stride];
-            chacha::xor_keystream_batch_strided(
-                &self.key.enc,
-                0,
-                &group_nonces,
-                group_out,
-                pt_stride,
-                0,
-                pt_stride,
-            );
+            self.decrypt_group::<4>(ciphertexts, cell, ct_stride, msg_len, out)?;
             cell += 4;
         }
         for i in cell..cells {
@@ -467,7 +500,7 @@ mod tests {
     #[test]
     fn batch_matches_sequential_loop() {
         let (cipher, mut rng) = cipher(8);
-        for cells in [1usize, 2, 3, 4, 5, 8, 9] {
+        for cells in [1usize, 2, 3, 4, 5, 7, 8, 9, 11, 12, 13, 16, 17] {
             for pt_stride in [0usize, 1, 16, 33, 64, 100, 256, 300] {
                 let plaintexts: Vec<u8> =
                     (0..cells * pt_stride).map(|i| (i * 17 % 251) as u8).collect();
@@ -491,12 +524,12 @@ mod tests {
         }
     }
 
-    /// Batch decryption reports corruption in any cell (first group, mid
-    /// group, and scalar remainder cells alike).
+    /// Batch decryption reports corruption in any cell (8-cell group,
+    /// 4-cell group, and scalar remainder cells alike).
     #[test]
     fn batch_decrypt_detects_corruption_everywhere() {
         let (cipher, mut rng) = cipher(9);
-        let cells = 6;
+        let cells = 13;
         let pt_stride = 40;
         let plaintexts = vec![0xCDu8; cells * pt_stride];
         let nonces = rng.draw_nonces(cells);

@@ -29,13 +29,16 @@
 //! against the published RFC 8439 / FIPS 180-4 / RFC 4231 vectors.
 
 // `deny` rather than `forbid`: every `unsafe` in the crate is confined to
-// the audited `chacha::sse2` module (crates/crypto/src/chacha.rs), whose
-// `#[allow(unsafe_code)]` sites cover (a) calling the
-// `#[target_feature(enable = "sse2")]` cores — a formality on x86-64,
-// where SSE2 is the baseline ABI and the module is compile-time gated on
-// it — and (b) 16-byte unaligned vector load/stores through pointers
-// derived from exclusively borrowed, length-checked slices. No other
-// pointer arithmetic, no transmutes; the rest of the crate remains
+// the audited `chacha::sse2` and `chacha::avx2` modules
+// (crates/crypto/src/chacha.rs), whose `#[allow(unsafe_code)]` sites
+// cover (a) calling the `#[target_feature(enable = ...)]` cores — a
+// formality for SSE2, which is the x86-64 baseline ABI the module is
+// compile-time gated on, and runtime-guarded for AVX2, whose public
+// wrappers assert `is_x86_feature_detected!("avx2")` before entering the
+// `target_feature` body — and (b) 16-/32-byte unaligned vector
+// load/stores through pointers derived from exclusively borrowed,
+// length-checked slices. No other pointer arithmetic, no transmutes; the
+// rest of the crate (including the `isa` dispatch table) remains
 // unsafe-free and the lint rejects any new exception without review.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +47,7 @@ pub mod aead;
 pub mod chacha;
 pub mod cipher;
 pub mod hmac;
+pub mod isa;
 pub mod merkle;
 pub mod poly1305;
 pub mod prf;
@@ -55,6 +59,7 @@ pub use aead::{AeadCipher, Sealed, AEAD_OVERHEAD};
 pub use chacha::Nonce;
 pub use cipher::{BlockCipher, Ciphertext, CryptoError, Key, CIPHERTEXT_OVERHEAD};
 pub use hmac::HmacKey;
+pub use isa::IsaTier;
 pub use prf::{HmacPrf, Prf};
 pub use prp::SmallDomainPrp;
 pub use rng::ChaChaRng;

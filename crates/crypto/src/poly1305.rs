@@ -7,14 +7,19 @@
 //! 8439 test vectors (tags are fully reduced before serialization, so the
 //! limb radix is unobservable).
 //!
-//! For batch tagging, [`Poly1305x4`] advances four authenticators in
-//! lock-step with limb-major ("interleaved") state — `h[limb][lane]` — so
-//! the field multiply and carry chain run as short lane loops over
-//! independent data. Each lane's arithmetic is the shared [`block_step`]
-//! applied to its own column, so the tags are bit-identical to four
-//! sequential [`Poly1305`] runs (pinned by the `x4_matches_scalar` tests
-//! and the crypto proptests). [`poly1305_batch`] is the strided one-shot
-//! form the batch cipher/AEAD paths drive.
+//! For batch tagging, [`Poly1305xN`] advances `N` authenticators (4 or 8,
+//! matching the active ChaCha lane width) in lock-step with limb-major
+//! ("interleaved") state — `h[limb][lane]` — so the field multiply and
+//! carry chain run as short lane loops over independent data. Each lane's
+//! arithmetic is the shared [`block_step`] applied to its own column —
+//! runs of full blocks take the fused multi-block
+//! `(h + m1)·rᴺ + … + mN·r` step ([`block_step_wide`], up to four
+//! blocks via precomputed `r²`/`r³`/`r⁴`), which divides the serial
+//! carry chains by `N` at the same multiply count. Both forms are exact
+//! mod `2^130 − 5`, so the tags are bit-identical to `N` sequential
+//! [`Poly1305`] runs (pinned by the `x4_matches_scalar` /
+//! `x8_matches_scalar` tests and the crypto proptests). [`poly1305_batch`] is the strided one-shot form the batch
+//! cipher/AEAD paths drive, grouping cells 8 → 4 → scalar.
 
 /// Length of a Poly1305 key (`r || s`).
 pub const KEY_LEN: usize = 32;
@@ -73,39 +78,108 @@ fn limbs(t0: u64, t1: u64, masks: [u64; 3]) -> [u64; 3] {
     [t0 & masks[0], ((t0 >> 44) | (t1 << 20)) & masks[1], (t1 >> 24) & masks[2]]
 }
 
+/// The serial carry chain shared by every block form: propagates the
+/// `u128` limb products down to partially reduced 44/44/42 limbs (limb 1
+/// may hold a small excess carry, absorbed by the next step or by
+/// [`finalize_limbs`]).
+#[inline(always)]
+fn carry_reduce(d0: u128, d1: u128, d2: u128) -> [u64; 3] {
+    let mut c = (d0 >> 44) as u64;
+    let mut h0 = (d0 as u64) & M44;
+    let d1 = d1 + u128::from(c);
+    c = (d1 >> 44) as u64;
+    let h1 = (d1 as u64) & M44;
+    let d2 = d2 + u128::from(c);
+    c = (d2 >> 42) as u64;
+    let h2 = (d2 as u64) & M42;
+    h0 += c * 5;
+    c = h0 >> 44;
+    h0 &= M44;
+    [h0, h1 + c, h2]
+}
+
+/// Accumulates the 9 schoolbook products of `a · r` (with the `20·`
+/// folding constants `s` standing in for the wrapped high limbs) into
+/// the three limb-row accumulators. Shared by every block-step width;
+/// each product is ≲ 2^94, so even twelve of them per row (the widest,
+/// four-block form) stay far below `u128` range.
+#[inline(always)]
+fn accum(d: &mut [u128; 3], a: [u64; 3], r: &[u64; 3], s: &[u64; 2]) {
+    d[0] += u128::from(a[0]) * u128::from(r[0])
+        + u128::from(a[1]) * u128::from(s[1])
+        + u128::from(a[2]) * u128::from(s[0]);
+    d[1] += u128::from(a[0]) * u128::from(r[1])
+        + u128::from(a[1]) * u128::from(r[0])
+        + u128::from(a[2]) * u128::from(s[1]);
+    d[2] += u128::from(a[0]) * u128::from(r[2])
+        + u128::from(a[1]) * u128::from(r[1])
+        + u128::from(a[2]) * u128::from(r[0]);
+}
+
+/// `a · r mod p` on 44/44/42 limbs — the 9-multiply core of
+/// [`block_step`] without the message add. Also used to precompute the
+/// `r²`/`r³`/`r⁴` powers for the fused multi-block steps.
+#[inline(always)]
+fn mul_limbs(a: [u64; 3], r: &[u64; 3], s: &[u64; 2]) -> [u64; 3] {
+    let mut d = [0u128; 3];
+    accum(&mut d, a, r, s);
+    carry_reduce(d[0], d[1], d[2])
+}
+
+/// Loads a full 16-byte message block into 44/44/42 limbs with the
+/// 2^128 marker set (full blocks only — the final padded partial block
+/// goes through [`block_step`] with `hibit = 0`).
+#[inline(always)]
+fn load_block(m: &[u8; 16]) -> [u64; 3] {
+    let t0 = le64(&m[0..8]);
+    let t1 = le64(&m[8..16]);
+    [t0 & M44, ((t0 >> 44) | (t1 << 20)) & M44, ((t1 >> 24) & M42) | (1 << 40)]
+}
+
 /// One Poly1305 block step on radix-2^44 limbs: `h = (h + m) · r mod p`,
-/// shared verbatim by the scalar and interleaved 4-lane forms so their
+/// shared verbatim by the scalar and interleaved lane forms so their
 /// accumulators evolve identically.
 #[inline(always)]
 fn block_step(h: &mut [u64; 3], r: &[u64; 3], s: &[u64; 2], m: &[u8; 16], hibit: u64) {
     let t0 = le64(&m[0..8]);
     let t1 = le64(&m[8..16]);
-    let h0 = h[0] + (t0 & M44);
-    let h1 = h[1] + (((t0 >> 44) | (t1 << 20)) & M44);
-    let h2 = h[2] + (((t1 >> 24) & M42) | hibit);
+    let a = [
+        h[0] + (t0 & M44),
+        h[1] + (((t0 >> 44) | (t1 << 20)) & M44),
+        h[2] + (((t1 >> 24) & M42) | hibit),
+    ];
+    *h = mul_limbs(a, r, s);
+}
 
-    let d0 = u128::from(h0) * u128::from(r[0])
-        + u128::from(h1) * u128::from(s[1])
-        + u128::from(h2) * u128::from(s[0]);
-    let d1 = u128::from(h0) * u128::from(r[1])
-        + u128::from(h1) * u128::from(r[0])
-        + u128::from(h2) * u128::from(s[1]);
-    let d2 = u128::from(h0) * u128::from(r[2])
-        + u128::from(h1) * u128::from(r[1])
-        + u128::from(h2) * u128::from(r[0]);
-
-    let mut c = (d0 >> 44) as u64;
-    h[0] = (d0 as u64) & M44;
-    let d1 = d1 + u128::from(c);
-    c = (d1 >> 44) as u64;
-    h[1] = (d1 as u64) & M44;
-    let d2 = d2 + u128::from(c);
-    c = (d2 >> 42) as u64;
-    h[2] = (d2 as u64) & M42;
-    h[0] += c * 5;
-    c = h[0] >> 44;
-    h[0] &= M44;
-    h[1] += c;
+/// `N` full blocks fused into one step using precomputed powers of `r`:
+/// `h = (h + m1)·rᴺ + m2·rᴺ⁻¹ + … + mN·r mod p`, algebraically
+/// identical to `N` chained [`block_step`]s but with one serial carry
+/// chain instead of `N` and `N` independent product groups for the
+/// multiplier ports to overlap. `powers[j]` holds `(limbs, folds)` of
+/// `r^(N−j)`, so `powers[N−1]` is `r` itself. The limb representation
+/// of `h` can differ from the step-at-a-time path mid-stream, yet stays
+/// congruent mod `2^130 − 5`, so tags are bit-identical after
+/// [`finalize_limbs`]' full reduction (pinned by the
+/// `*_matches_scalar` tests). All `N` blocks are full message blocks,
+/// so [`load_block`] hardwires the 2^128 marker.
+#[inline(always)]
+fn block_step_wide<const N: usize>(
+    h: &mut [u64; 3],
+    powers: &[([u64; 3], [u64; 2])],
+    blocks: [&[u8; 16]; N],
+) {
+    debug_assert_eq!(powers.len(), N);
+    let mut d = [0u128; 3];
+    for (j, (r, s)) in powers.iter().enumerate() {
+        let mut a = load_block(blocks[j]);
+        if j == 0 {
+            a[0] += h[0];
+            a[1] += h[1];
+            a[2] += h[2];
+        }
+        accum(&mut d, a, r, s);
+    }
+    *h = carry_reduce(d[0], d[1], d[2]);
 }
 
 /// Final reduction and serialization shared by the scalar and 4-lane
@@ -248,60 +322,66 @@ pub fn poly1305(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
     p.finalize()
 }
 
-/// Number of authenticators [`Poly1305x4`] advances per pass.
-pub const BATCH_LANES: usize = 4;
-
-/// Four Poly1305 authenticators in lock-step, limb-interleaved
+/// `LANES` Poly1305 authenticators in lock-step, limb-interleaved
 /// (`h[limb][lane]` — the state of lane `l` lives in column `l` of each
-/// limb row, so the four field multiplies and carry chains advance
-/// together per absorbed block).
+/// limb row, so the field multiplies and carry chains advance together
+/// per absorbed block). [`Poly1305x4`] pairs with the 4-lane ChaCha
+/// one-time-key derivation, [`Poly1305x8`] with the 8-lane
+/// ([`crate::chacha::blocks8`]) one.
 ///
-/// All four lanes must absorb the same number of bytes per
-/// [`Poly1305x4::update`] call (the batch paths tag equal-length cells, so
-/// this costs nothing), which keeps the shared block buffer fill identical
-/// across lanes. Lane `l`'s tag equals a scalar [`Poly1305`] run over the
-/// concatenation of the `msgs[l]` slices — the same [`block_step`] /
-/// [`finalize_limbs`] arithmetic runs on each column.
+/// All lanes must absorb the same number of bytes per
+/// [`Poly1305xN::update`] call (the batch paths tag equal-length cells,
+/// so this costs nothing), which keeps the shared block buffer fill
+/// identical across lanes. Lane `l`'s tag equals a scalar [`Poly1305`]
+/// run over the concatenation of the `msgs[l]` slices — the same
+/// [`block_step`] / [`finalize_limbs`] arithmetic runs on each column.
 #[derive(Clone)]
-pub struct Poly1305x4 {
-    /// Clamped `r` per lane, limb-major: `r[limb][lane]`.
-    r: [[u64; BATCH_LANES]; 3],
-    /// Precomputed `20·r1`, `20·r2` per lane.
-    s: [[u64; BATCH_LANES]; 2],
+pub struct Poly1305xN<const LANES: usize> {
+    /// Per-lane powers of `r` for the fused multi-block steps:
+    /// `powers[l][j]` holds `(limbs, folds)` of `r^(4−j)`, so
+    /// `powers[l][3]` is `r` itself (used by the single-block and
+    /// finalize paths) and `powers[l][0]` is `r⁴`.
+    powers: [[([u64; 3], [u64; 2]); 4]; LANES],
     /// Key pads per lane: `pad[word][lane]`.
-    pad: [[u64; BATCH_LANES]; 2],
+    pad: [[u64; LANES]; 2],
     /// Accumulators, limb-major.
-    h: [[u64; BATCH_LANES]; 3],
-    buf: [[u8; 16]; BATCH_LANES],
+    h: [[u64; LANES]; 3],
+    buf: [[u8; 16]; LANES],
     buf_len: usize,
 }
 
-impl std::fmt::Debug for Poly1305x4 {
+/// Four interleaved authenticators, matching 4-lane one-time keys.
+pub type Poly1305x4 = Poly1305xN<4>;
+/// Eight interleaved authenticators, matching 8-lane one-time keys.
+pub type Poly1305x8 = Poly1305xN<8>;
+
+impl<const LANES: usize> std::fmt::Debug for Poly1305xN<LANES> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material or the accumulators.
-        write!(f, "Poly1305x4(..)")
+        write!(f, "Poly1305x{LANES}(..)")
     }
 }
 
-impl Poly1305x4 {
-    /// Initializes four authenticators from four one-time keys.
-    pub fn new(keys: [&[u8; KEY_LEN]; BATCH_LANES]) -> Self {
+impl<const LANES: usize> Poly1305xN<LANES> {
+    /// Initializes `LANES` authenticators from as many one-time keys.
+    pub fn new(keys: [&[u8; KEY_LEN]; LANES]) -> Self {
         let lanes = keys.map(Poly1305::new);
         let mut out = Self {
-            r: [[0; BATCH_LANES]; 3],
-            s: [[0; BATCH_LANES]; 2],
-            pad: [[0; BATCH_LANES]; 2],
-            h: [[0; BATCH_LANES]; 3],
-            buf: [[0; 16]; BATCH_LANES],
+            powers: [[([0; 3], [0; 2]); 4]; LANES],
+            pad: [[0; LANES]; 2],
+            h: [[0; LANES]; 3],
+            buf: [[0; 16]; LANES],
             buf_len: 0,
         };
         for (l, lane) in lanes.iter().enumerate() {
-            for (limb, row) in out.r.iter_mut().enumerate() {
-                row[l] = lane.r[limb];
-            }
-            for (i, row) in out.s.iter_mut().enumerate() {
-                row[l] = lane.s[i];
-            }
+            let (r, s) = (lane.r, lane.s);
+            let r2 = mul_limbs(r, &r, &s);
+            let s2 = [r2[1] * 20, r2[2] * 20];
+            let r3 = mul_limbs(r2, &r, &s);
+            let s3 = [r3[1] * 20, r3[2] * 20];
+            let r4 = mul_limbs(r2, &r2, &s2);
+            let s4 = [r4[1] * 20, r4[2] * 20];
+            out.powers[l] = [(r4, s4), (r3, s3), (r2, s2), (r, s)];
             for (word, row) in out.pad.iter_mut().enumerate() {
                 row[l] = lane.pad[word];
             }
@@ -311,13 +391,32 @@ impl Poly1305x4 {
 
     /// One 16-byte block per lane; `hibit` as in [`Poly1305::block`]. Each
     /// column runs [`block_step`], so the interleaved state stays
-    /// bit-identical to four scalar authenticators.
-    fn block4(&mut self, m: [&[u8; 16]; BATCH_LANES], hibit: u64) {
+    /// bit-identical to `LANES` scalar authenticators.
+    fn block_lanes(&mut self, m: [&[u8; 16]; LANES], hibit: u64) {
         for (l, block) in m.into_iter().enumerate() {
             let mut h = [self.h[0][l], self.h[1][l], self.h[2][l]];
-            let r = [self.r[0][l], self.r[1][l], self.r[2][l]];
-            let s = [self.s[0][l], self.s[1][l]];
+            let (r, s) = self.powers[l][3];
             block_step(&mut h, &r, &s, block, hibit);
+            for (row, value) in self.h.iter_mut().zip(h) {
+                row[l] = value;
+            }
+        }
+    }
+
+    /// `N` full 16-byte blocks per lane (`N` ∈ {2, 4}) at byte offset
+    /// `off` of each lane's message, through the fused
+    /// [`block_step_wide`] — one serial carry chain per `N` blocks and
+    /// a single accumulator round-trip per lane, with tags unchanged.
+    fn block_lanes_wide<const N: usize>(&mut self, msgs: &[&[u8]; LANES], off: usize) {
+        for l in 0..LANES {
+            let mut h = [self.h[0][l], self.h[1][l], self.h[2][l]];
+            let blocks: [&[u8; 16]; N] = std::array::from_fn(|j| {
+                msgs[l][off + 16 * j..off + 16 * (j + 1)]
+                    .try_into()
+                    .expect("16-byte chunk")
+            });
+            // `powers[4 − N..]` are exactly `rᴺ … r`.
+            block_step_wide(&mut h, &self.powers[l][4 - N..], blocks);
             for (row, value) in self.h.iter_mut().zip(h) {
                 row[l] = value;
             }
@@ -327,9 +426,9 @@ impl Poly1305x4 {
     /// Absorbs one equal-length slice into each lane.
     ///
     /// # Panics
-    /// Panics if the four slices differ in length.
-    pub fn update(&mut self, msgs: [&[u8]; BATCH_LANES]) {
-        let len = msgs[0].len();
+    /// Panics if the slices differ in length.
+    pub fn update(&mut self, msgs: [&[u8]; LANES]) {
+        let len = msgs.first().map_or(0, |m| m.len());
         assert!(msgs.iter().all(|m| m.len() == len), "lanes must absorb equal lengths");
         let mut off = 0;
         if self.buf_len > 0 {
@@ -341,14 +440,22 @@ impl Poly1305x4 {
             off = take;
             if self.buf_len == 16 {
                 let blocks = self.buf;
-                self.block4([&blocks[0], &blocks[1], &blocks[2], &blocks[3]], 1 << 40);
+                self.block_lanes(std::array::from_fn(|l| &blocks[l]), 1 << 40);
                 self.buf_len = 0;
             }
         }
-        while len - off >= 16 {
-            let blocks: [&[u8; 16]; BATCH_LANES] =
+        while len - off >= 64 {
+            self.block_lanes_wide::<4>(&msgs, off);
+            off += 64;
+        }
+        if len - off >= 32 {
+            self.block_lanes_wide::<2>(&msgs, off);
+            off += 32;
+        }
+        if len - off >= 16 {
+            let blocks: [&[u8; 16]; LANES] =
                 std::array::from_fn(|l| msgs[l][off..off + 16].try_into().expect("16-byte chunk"));
-            self.block4(blocks, 1 << 40);
+            self.block_lanes(blocks, 1 << 40);
             off += 16;
         }
         if off < len {
@@ -365,22 +472,21 @@ impl Poly1305x4 {
         if self.buf_len > 0 {
             let zeros = [0u8; 16];
             let pad = 16 - self.buf_len;
-            self.update([&zeros[..pad]; BATCH_LANES]);
+            self.update([&zeros[..pad]; LANES]);
         }
     }
 
-    /// Finalizes all four lanes, returning their tags in lane order. Each
+    /// Finalizes all lanes, returning their tags in lane order. Each
     /// lane runs the scalar trailing-partial-block and [`finalize_limbs`]
     /// path on its column.
-    pub fn finalize(self) -> [[u8; TAG_LEN]; BATCH_LANES] {
+    pub fn finalize(self) -> [[u8; TAG_LEN]; LANES] {
         std::array::from_fn(|l| {
             let mut h = [self.h[0][l], self.h[1][l], self.h[2][l]];
             if self.buf_len > 0 {
                 let mut block = [0u8; 16];
                 block[..self.buf_len].copy_from_slice(&self.buf[l][..self.buf_len]);
                 block[self.buf_len] = 1;
-                let r = [self.r[0][l], self.r[1][l], self.r[2][l]];
-                let s = [self.s[0][l], self.s[1][l]];
+                let (r, s) = self.powers[l][3];
                 block_step(&mut h, &r, &s, &block, 0);
             }
             finalize_limbs(h, [self.pad[0][l], self.pad[1][l]])
@@ -390,9 +496,10 @@ impl Poly1305x4 {
 
 /// One tag per cell over equal-shape strided messages: message `i` is
 /// `flat[i * stride..i * stride + len]`, tagged under `keys[i]` into
-/// `tags[i]`. Cells are processed four at a time through [`Poly1305x4`];
-/// a leftover `keys.len() % 4` takes the scalar path. Identical to a
-/// sequential [`poly1305`] loop for any cell count.
+/// `tags[i]`. Cells are processed eight at a time through [`Poly1305x8`]
+/// (matching the widest ChaCha lane group), then four through
+/// [`Poly1305x4`]; the final leftover takes the scalar path. Identical to
+/// a sequential [`poly1305`] loop for any cell count.
 ///
 /// # Panics
 /// Panics if `tags.len() != keys.len()`, `flat.len() != keys.len() *
@@ -408,15 +515,23 @@ pub fn poly1305_batch(
     assert_eq!(flat.len(), keys.len() * stride, "flat must hold one stride per key");
     assert!(len <= stride, "message region must fit its stride");
     let mut cell = 0;
-    while cell + BATCH_LANES <= keys.len() {
-        let mut mac =
-            Poly1305x4::new([&keys[cell], &keys[cell + 1], &keys[cell + 2], &keys[cell + 3]]);
+    while cell + 8 <= keys.len() {
+        let mut mac = Poly1305x8::new(std::array::from_fn(|l| &keys[cell + l]));
         mac.update(std::array::from_fn(|l| {
             let base = (cell + l) * stride;
             &flat[base..base + len]
         }));
-        tags[cell..cell + BATCH_LANES].copy_from_slice(&mac.finalize());
-        cell += BATCH_LANES;
+        tags[cell..cell + 8].copy_from_slice(&mac.finalize());
+        cell += 8;
+    }
+    while cell + 4 <= keys.len() {
+        let mut mac = Poly1305x4::new(std::array::from_fn(|l| &keys[cell + l]));
+        mac.update(std::array::from_fn(|l| {
+            let base = (cell + l) * stride;
+            &flat[base..base + len]
+        }));
+        tags[cell..cell + 4].copy_from_slice(&mac.finalize());
+        cell += 4;
     }
     for i in cell..keys.len() {
         let base = i * stride;
@@ -573,6 +688,46 @@ mod tests {
         }
     }
 
+    /// Eight interleaved lanes produce exactly the eight scalar tags,
+    /// across message lengths with and without trailing partial blocks.
+    #[test]
+    fn x8_matches_scalar() {
+        for len in [0usize, 1, 15, 16, 17, 31, 33, 64, 76, 100, 255, 256, 1024] {
+            let keys: [[u8; 32]; 8] = std::array::from_fn(|l| {
+                let mut k = [0u8; 32];
+                for (i, b) in k.iter_mut().enumerate() {
+                    *b = (l * 41 + i * 13 + 9) as u8;
+                }
+                k
+            });
+            let msgs: [Vec<u8>; 8] = std::array::from_fn(|l| {
+                (0..len).map(|i| ((l + 2) * (i + 5) % 251) as u8).collect()
+            });
+            let mut mac = Poly1305x8::new(std::array::from_fn(|l| &keys[l]));
+            mac.update(std::array::from_fn(|l| msgs[l].as_slice()));
+            let tags = mac.finalize();
+            for l in 0..8 {
+                assert_eq!(tags[l], poly1305(&keys[l], &msgs[l]), "lane {l}, len {len}");
+            }
+        }
+    }
+
+    /// RFC 8439 §2.5.2 through the interleaved lanes: every lane of an x8
+    /// run over the RFC message reproduces the published tag.
+    #[test]
+    fn rfc8439_vector_x8() {
+        let key: [u8; 32] = hex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+            .try_into()
+            .unwrap();
+        let msg = b"Cryptographic Forum Research Group";
+        let expected: Vec<u8> = hex("a8061dc1305136c6c22b8baf0c0127a9");
+        let mut mac = Poly1305x8::new([&key; 8]);
+        mac.update([msg.as_slice(); 8]);
+        for (l, tag) in mac.finalize().iter().enumerate() {
+            assert_eq!(tag.to_vec(), expected, "lane {l}");
+        }
+    }
+
     /// Split updates and pad16 agree with scalar split updates and pad16.
     #[test]
     fn x4_incremental_and_pad16_match_scalar() {
@@ -595,10 +750,10 @@ mod tests {
     }
 
     /// The strided one-shot batch covers every remainder class (cell count
-    /// mod 4) and gap layouts where `len < stride`.
+    /// mod 8 and mod 4) and gap layouts where `len < stride`.
     #[test]
     fn batch_matches_scalar_loop() {
-        for cells in [0usize, 1, 2, 3, 4, 5, 7, 8, 11] {
+        for cells in [0usize, 1, 2, 3, 4, 5, 7, 8, 11, 12, 13, 15, 16, 17] {
             for (stride, len) in [(80usize, 76usize), (48, 48), (20, 0), (33, 17)] {
                 let keys: Vec<[u8; 32]> = (0..cells)
                     .map(|c| std::array::from_fn(|i| (c * 53 + i * 13 + 2) as u8))
@@ -624,6 +779,16 @@ mod tests {
         let key = [1u8; 32];
         let mut mac = Poly1305x4::new([&key; 4]);
         mac.update([&[1u8, 2][..], &[1u8][..], &[1u8, 2][..], &[1u8, 2][..]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn x8_rejects_unequal_lane_lengths() {
+        let key = [1u8; 32];
+        let mut mac = Poly1305x8::new([&key; 8]);
+        let mut msgs = [&[1u8, 2][..]; 8];
+        msgs[5] = &[1u8][..];
+        mac.update(msgs);
     }
 
     #[test]

@@ -87,17 +87,28 @@ impl ChaChaRng {
 
     /// Fills `dest` exactly like [`ChaChaRng::fill_bytes`] (same bytes,
     /// same final generator state) but generates whole keystream blocks
-    /// through the wide 4-lane core, 4 per pass, instead of staging each
-    /// through the internal buffer. Falls back to the scalar path near the
-    /// (practically unreachable) counter wrap so the nonce-roll behavior
-    /// stays identical.
+    /// through the wide cores — 8 consecutive counters per pass, then 4 —
+    /// instead of staging each through the internal buffer. Falls back to
+    /// the scalar path near the (practically unreachable) counter wrap so
+    /// the nonce-roll behavior stays identical.
     fn fill_bytes_bulk(&mut self, dest: &mut [u8]) {
         // Drain the currently buffered partial block first.
         let take = (chacha::BLOCK_LEN - self.offset).min(dest.len());
         dest[..take].copy_from_slice(&self.buffer[self.offset..self.offset + take]);
         self.offset += take;
         let mut filled = take;
-        // Whole blocks straight into `dest`, 4 counters per wide pass.
+        // Whole blocks straight into `dest`, 8 counters per wide pass
+        // (one AVX2 permutation, or two 4-lane passes below that tier).
+        while dest.len() - filled >= 8 * chacha::BLOCK_LEN && self.counter < u32::MAX - 8 {
+            let counters: [u32; 8] = std::array::from_fn(|i| self.counter + i as u32);
+            let blocks = chacha::blocks8(&self.key, &counters, &[&self.nonce; 8]);
+            for block in &blocks {
+                dest[filled..filled + chacha::BLOCK_LEN].copy_from_slice(block);
+                filled += chacha::BLOCK_LEN;
+            }
+            self.counter += 8;
+        }
+        // Remaining whole blocks, 4 counters per pass.
         while dest.len() - filled >= 4 * chacha::BLOCK_LEN && self.counter < u32::MAX - 4 {
             let counters = [self.counter, self.counter + 1, self.counter + 2, self.counter + 3];
             let blocks = chacha::blocks4(&self.key, &counters, &[&self.nonce; 4]);

@@ -192,9 +192,12 @@ proptest! {
         prop_assert!(cipher.open(&aad, &sealed).is_err());
     }
 
-    /// The wide multi-block keystream (4 consecutive counters per pass) is
-    /// byte-identical to a scalar per-block reference for lengths spanning
-    /// sub-block tails through several 256-byte stripes.
+    /// The wide multi-block keystream (8, then 4, consecutive counters per
+    /// pass) is byte-identical to a scalar per-block reference for lengths
+    /// spanning sub-block tails through several 512-byte stripes. Run under
+    /// each `DPS_FORCE_ISA` tier (as CI does), this pins the avx2, sse2 and
+    /// portable cores byte-identical to one another via the shared scalar
+    /// reference.
     #[test]
     fn wide_keystream_matches_scalar_blocks(
         len in 0usize..=1024,
@@ -218,37 +221,40 @@ proptest! {
         prop_assert_eq!(data, expected);
     }
 
-    /// The strided multi-cell keystream entry point (4 different nonces per
-    /// pass) equals a per-cell `xor_keystream` loop for every cell count
-    /// (incl. non-multiples of 4) and sub-block cell lengths.
+    /// The strided multi-cell keystream entry point (up to 8 different
+    /// nonces per pass) equals a per-cell `xor_keystream` loop for every
+    /// cell-count remainder class of both group widths (1..=8 and beyond),
+    /// sub-block cell lengths, and misaligned in-slot byte offsets.
     #[test]
     fn wide_batch_strided_matches_per_cell(
-        cells in 0usize..9,
+        cells in 0usize..18,
         len in 0usize..300,
+        offset in 0usize..8,
         pad in 0usize..20,
         key in proptest::array::uniform32(any::<u8>()),
         seed in any::<u64>(),
     ) {
         use dps_crypto::chacha;
         let mut rng = ChaChaRng::seed_from_u64(seed);
-        let stride = len + pad;
+        let stride = offset + len + pad;
         let nonces = rng.draw_nonces(cells);
         let original: Vec<u8> = (0..cells * stride).map(|i| (i * 31 % 251) as u8).collect();
         let mut batch = original.clone();
-        chacha::xor_keystream_batch_strided(&key, 1, &nonces, &mut batch, stride, 0, len);
+        chacha::xor_keystream_batch_strided(&key, 1, &nonces, &mut batch, stride, offset, len);
         let mut expected = original;
         for (i, nonce) in nonces.iter().enumerate() {
-            chacha::xor_keystream(&key, 1, nonce, &mut expected[i * stride..i * stride + len]);
+            let start = i * stride + offset;
+            chacha::xor_keystream(&key, 1, nonce, &mut expected[start..start + len]);
         }
         prop_assert_eq!(batch, expected);
     }
 
-    /// `poly1305_batch` (4 tags' field arithmetic interleaved) equals a
-    /// scalar per-message loop for message lengths 0..=1024 and every cell
-    /// count remainder class.
+    /// `poly1305_batch` (8, then 4, tags' field arithmetic interleaved)
+    /// equals a scalar per-message loop for message lengths 0..=1024 and
+    /// every cell count remainder class of both group widths.
     #[test]
     fn poly1305_batch_matches_scalar(
-        cells in 0usize..10,
+        cells in 0usize..18,
         len in 0usize..=1024,
         seed in any::<u64>(),
     ) {
@@ -273,7 +279,7 @@ proptest! {
     /// per-cell loops over the same pre-drawn nonces, and round-trip.
     #[test]
     fn cipher_batch_matches_sequential(
-        cells in 0usize..9,
+        cells in 0usize..18,
         pt_stride in 0usize..200,
         seed in any::<u64>(),
     ) {
@@ -303,7 +309,7 @@ proptest! {
     /// per-cell seals over the same nonces and AADs, and open correctly.
     #[test]
     fn aead_batch_matches_sequential(
-        cells in 0usize..9,
+        cells in 0usize..18,
         pt_stride in 0usize..200,
         seed in any::<u64>(),
     ) {

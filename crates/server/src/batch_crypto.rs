@@ -12,20 +12,44 @@
 //! `parallel_crypto` test suite pins against `encrypt_into` /
 //! `decrypt_in_place` / `seal_into` / `open_in_place` for every cipher.
 //!
-//! Each worker chunk runs the **wide 4-lane** batch entry points
+//! Each worker chunk runs the **wide** batch entry points
 //! ([`BlockCipher::encrypt_batch_with_nonces`],
 //! [`AeadCipher::seal_batch_with_nonces`], [`poly1305::poly1305_batch`]),
 //! so intra-chunk crypto is SIMD-wide even on a sequential pool — the
 //! single-core speedup compounds with thread fan-out instead of competing
-//! with it.
+//! with it. Chunk boundaries are aligned to [`chacha::WIDE_LANES`] (the
+//! widest lane count any dispatch tier permutes per pass) so fan-out never
+//! fragments a full 8-lane AVX2 group into narrower remainder passes, and
+//! the fan-out itself is clamped to the machine's available parallelism —
+//! a pool wider than the core count only adds spawn and scheduling
+//! overhead to compute-bound work.
 //!
 //! Decryption reports the error of the **lowest-indexed** failing cell, so
 //! error behavior is also independent of thread interleaving.
 
+use dps_crypto::chacha;
 use dps_crypto::poly1305;
 use dps_crypto::{AeadCipher, BlockCipher, CryptoError, Nonce, AEAD_OVERHEAD, CIPHERTEXT_OVERHEAD};
 
-use crate::pool::{split_ranges, Task, WorkerPool};
+use crate::pool::{split_ranges_aligned, Task, WorkerPool};
+
+/// The number of worker threads a batch call actually fans out to: the
+/// pool's width clamped to [`std::thread::available_parallelism`].
+/// Batch crypto is compute-bound, so threads beyond the core count can
+/// only time-slice against each other — the BENCH_8 `par_encrypt_batch`
+/// rows showed per-cell cost *rising* with pool width on a 1-core box
+/// before this clamp.
+fn effective_threads(pool: &WorkerPool) -> usize {
+    let cores = std::thread::available_parallelism().map_or(usize::MAX, |n| n.get());
+    pool.threads().min(cores)
+}
+
+/// Cell-range chunking shared by every batch helper: at most
+/// [`effective_threads`] contiguous chunks, each starting on a
+/// [`chacha::WIDE_LANES`] boundary.
+fn cell_chunks(pool: &WorkerPool, cells: usize) -> Vec<std::ops::Range<usize>> {
+    split_ranges_aligned(cells, effective_threads(pool), chacha::WIDE_LANES)
+}
 
 /// Splits `flat` into one `&mut` chunk per range of `ranges` (ranges are in
 /// cell units; `stride` converts to bytes).
@@ -69,7 +93,7 @@ pub fn encrypt_batch_strided(
     let ct_stride = pt_stride + CIPHERTEXT_OVERHEAD;
     assert_eq!(out.len(), cells * ct_stride, "output must hold every ciphertext");
 
-    let ranges = split_ranges(cells, pool.threads());
+    let ranges = cell_chunks(pool, cells);
     let out_chunks = chunk_flat(out, &ranges, ct_stride);
     let tasks: Vec<Task<'_, ()>> = ranges
         .iter()
@@ -113,7 +137,7 @@ pub fn decrypt_batch_strided(
     let pt_stride = ct_stride - CIPHERTEXT_OVERHEAD;
     assert_eq!(out.len(), cells * pt_stride, "output must hold every plaintext");
 
-    let ranges = split_ranges(cells, pool.threads());
+    let ranges = cell_chunks(pool, cells);
     let out_chunks = chunk_flat(out, &ranges, pt_stride);
     let tasks: Vec<Task<'_, Result<(), CryptoError>>> = ranges
         .iter()
@@ -160,7 +184,7 @@ pub fn seal_batch_strided(
     let ct_stride = pt_stride + AEAD_OVERHEAD;
     assert_eq!(out.len(), cells * ct_stride, "output must hold every ciphertext");
 
-    let ranges = split_ranges(cells, pool.threads());
+    let ranges = cell_chunks(pool, cells);
     let out_chunks = chunk_flat(out, &ranges, ct_stride);
     let tasks: Vec<Task<'_, ()>> = ranges
         .iter()
@@ -205,7 +229,7 @@ pub fn open_batch_strided(
     let pt_stride = ct_stride - AEAD_OVERHEAD;
     assert_eq!(out.len(), cells * pt_stride, "output must hold every plaintext");
 
-    let ranges = split_ranges(cells, pool.threads());
+    let ranges = cell_chunks(pool, cells);
     let out_chunks = chunk_flat(out, &ranges, pt_stride);
     let tasks: Vec<Task<'_, Result<(), CryptoError>>> = ranges
         .iter()
@@ -246,7 +270,7 @@ pub fn poly1305_batch_strided(
     assert_eq!(messages.len() % cells, 0, "message length not a multiple of cell count");
     let stride = messages.len() / cells;
 
-    let ranges = split_ranges(cells, pool.threads());
+    let ranges = cell_chunks(pool, cells);
     let mut tag_chunks: Vec<&mut [[u8; poly1305::TAG_LEN]]> = Vec::with_capacity(ranges.len());
     let mut rest = tags;
     for range in &ranges {

@@ -120,6 +120,21 @@ pub fn split_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
+/// Like [`split_ranges`], but every range boundary except the final end
+/// is a multiple of `align`: `len` items split into at most `parts`
+/// contiguous ranges whose starts are `align`-aligned (the last range
+/// absorbs the remainder). Batch crypto chunks cells this way so a
+/// worker's chunk never fragments a full wide-lane group — with
+/// `align = 8`, every chunk but the last is a whole number of 8-cell
+/// SIMD passes.
+pub fn split_ranges_aligned(len: usize, parts: usize, align: usize) -> Vec<std::ops::Range<usize>> {
+    let align = align.max(1);
+    split_ranges(len.div_ceil(align), parts)
+        .into_iter()
+        .map(|r| (r.start * align)..(r.end * align).min(len))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +207,32 @@ mod tests {
             }
             assert_eq!(next, len, "len {len} parts {parts}");
             assert!(ranges.len() <= parts.max(1).min(len.max(1)));
+        }
+    }
+
+    #[test]
+    fn split_ranges_aligned_covers_exactly_on_boundaries() {
+        for (len, parts, align) in [
+            (0usize, 3usize, 8usize),
+            (5, 3, 8),
+            (8, 3, 8),
+            (17, 2, 8),
+            (24, 3, 8),
+            (100, 4, 8),
+            (100, 4, 4),
+            (7, 4, 1),
+            (9, 16, 8),
+        ] {
+            let ranges = split_ranges_aligned(len, parts, align);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "len {len} parts {parts} align {align}");
+                assert!(r.end > r.start, "no empty ranges");
+                assert_eq!(r.start % align, 0, "chunk starts on a lane-group boundary");
+                next = r.end;
+            }
+            assert_eq!(next, len, "len {len} parts {parts} align {align}");
+            assert!(ranges.len() <= parts);
         }
     }
 
