@@ -631,6 +631,80 @@ fn main() {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    // Fsync-priced durable rows: the same DiskStore surface with
+    // `SyncPolicy::Always`, on a small store and small batches so the
+    // flush cost dominates the arithmetic. `fsync_always` commits (and
+    // fsyncs) every batch; `group_commit` shares one fsync across a
+    // 16-batch window — the delta between the two `disk_write_strided`
+    // rows is exactly what the `wal_group_commit` knob buys. The read row
+    // rides the same always-synced store: reads never fsync, so it should
+    // track the `fsync_off` read row (cache ≥ DB here, all hits after the
+    // first sweep).
+    {
+        let n = 256;
+        let block = 256;
+        let batch = 16;
+        let db = database(n, block);
+        let flat_all: Vec<u8> = db.iter().flatten().copied().collect();
+        for (policy, window) in [("fsync_always", 1usize), ("group_commit", 16)] {
+            let dir = std::env::temp_dir()
+                .join(format!("dps_bench_disk_{policy}_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+            let opts = DiskOptions {
+                sync: SyncPolicy::Always,
+                wal_group_commit: window,
+                ..DiskOptions::default()
+            };
+            let mut store = DiskStore::open_with(&dir, opts).expect("open bench store");
+            Storage::init(&mut store, db.clone());
+
+            let mut i = 0usize;
+            let ns = median_ns(samples, 8, || {
+                let start = (i * batch) % n;
+                i += 1;
+                let addrs: Vec<usize> = (start..start + batch).collect();
+                store
+                    .write_batch_strided(&addrs, &flat_all[start * block..(start + batch) * block])
+                    .expect("bench durable write");
+            });
+            results.push(Record {
+                scheme: "disk_write_strided".to_string(),
+                shards: 1,
+                threads: 1,
+                median_ns: ns / batch as u64, // per cell
+                policy: policy.to_string(),
+                ..Record::default()
+            });
+
+            if window == 1 {
+                let read_batch = 64;
+                let mut sink = 0u64;
+                let mut j = 0;
+                let ns = median_ns(samples, 40, || {
+                    let addrs: Vec<usize> = (0..read_batch).map(|k| (j * 13 + k * 7) % n).collect();
+                    j += 1;
+                    store
+                        .read_batch_with(&addrs, |_, cell| {
+                            sink = sink.wrapping_add(u64::from(cell[0]));
+                        })
+                        .expect("bench durable read");
+                });
+                std::hint::black_box(sink);
+                results.push(Record {
+                    scheme: "disk_read_batch".to_string(),
+                    shards: 1,
+                    threads: 1,
+                    median_ns: ns / read_batch as u64, // per cell
+                    policy: policy.to_string(),
+                    ..Record::default()
+                });
+            }
+
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
     // Remote storage over loopback TCP (dps_net): the same zero-copy
     // batch surface the sharded_* rows measure in-process, with one
     // framed request/response exchange per batch on top. The delta

@@ -690,6 +690,14 @@ fn flush_conn<S: Storage>(
     limits: DaemonLimits,
     metrics: &MetricsInner,
 ) {
+    // A response on the wire is the client's acknowledgement, so the
+    // backend's deferred durability (an open group-commit window) must be
+    // resolved before any byte of it leaves. A failed flush means the
+    // store can no longer honor what the queued responses claim.
+    if !conn.outq.is_empty() && server.flush().is_err() {
+        conn.dead = true;
+        return;
+    }
     loop {
         while !conn.outq.is_empty() {
             // Gather queued responses (the front buffer minus what is

@@ -475,6 +475,9 @@ fn put_stats(buf: &mut Vec<u8>, s: &CostStats) {
         s.wire_bytes_down,
         s.wire_reconnects,
         s.wire_inflight_max,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_evictions,
     ] {
         put_u64(buf, v);
     }
@@ -585,6 +588,9 @@ impl<'a> Reader<'a> {
             wire_bytes_down: self.u64()?,
             wire_reconnects: self.u64()?,
             wire_inflight_max: self.u64()?,
+            cache_hits: self.u64()?,
+            cache_misses: self.u64()?,
+            cache_evictions: self.u64()?,
         })
     }
 

@@ -64,9 +64,16 @@ impl Drop for TempDir {
 
 /// Opens the durable store under test: crash-safe fsync policy, with a
 /// checkpoint threshold small enough that restarts exercise both WAL
-/// replay and checkpoint truncation.
+/// replay and checkpoint truncation, and a group-commit window so the
+/// daemon's pre-acknowledgement flush is load-bearing. The cache budget is
+/// inherited from `DPS_CACHE_BYTES` (the small-cache CI leg pins it tiny).
 fn open_store(dir: &Path) -> DiskStore {
-    let opts = DiskOptions { sync: SyncPolicy::Always, wal_checkpoint_bytes: 2048 };
+    let opts = DiskOptions {
+        sync: SyncPolicy::Always,
+        wal_checkpoint_bytes: 2048,
+        wal_group_commit: 4,
+        ..DiskOptions::default()
+    };
     DiskStore::open_with(dir, opts).expect("open durable store")
 }
 

@@ -1,27 +1,58 @@
 //! Durable, crash-safe storage backend: [`DiskStore`].
 //!
 //! `DiskStore` is a write-ahead-logged, file-backed [`Storage`]
-//! implementation. It keeps a full in-memory [`SimServer`] mirror (which is
-//! what makes the zero-copy read surface possible and keeps stats /
-//! transcript accounting bit-identical to the in-process servers) and
-//! persists every mutation before acknowledging it:
+//! implementation that serves databases **larger than RAM**. Only the
+//! per-cell metadata (length table, init bitmap — ~5 bytes per cell) is
+//! always resident; cell *payloads* live in the arena file and are served
+//! through a bounded read-through cache ([`crate::cache`]):
 //!
-//! 1. the batch is encoded as one checksummed WAL record, appended, and
-//!    fsynced — *this* is the durability point;
-//! 2. the changed cells are pwritten into the active arena file (not yet
-//!    synced);
-//! 3. the batch is applied to the in-memory mirror.
+//! - a read **hit** hands out a slice borrowed straight from the cache
+//!   slab — the same zero-copy surface as [`SimServer`](crate::SimServer);
+//! - a read **miss** refills the slot with one `pread`-style
+//!   [`DiskFile::read_at`] from the active arena slot (through the same
+//!   VFS the crash simulator instruments), evicting a *clean* entry by
+//!   CLOCK second-chance if the [`DiskOptions::cache_bytes`] budget is
+//!   full;
+//! - hits, misses and evictions are surfaced as the `cache_*` counters in
+//!   [`CostStats`] (excluded from the paper's cost model — compare with
+//!   [`CostStats::sans_cache`]).
+//!
+//! ## Mutation and group commit
+//!
+//! Every mutation is encoded as one checksummed WAL record and applied to
+//! the cache as a *dirty* (pinned) entry. Records accumulate in an
+//! in-memory window of up to [`DiskOptions::wal_group_commit`] batches;
+//! closing the window *commits* it:
+//!
+//! 1. the whole window is appended to the WAL in **one** contiguous
+//!    write and fsynced — the covering fsync is the durability point for
+//!    every batch in the window, and a torn window write always leaves a
+//!    valid record prefix ending on a batch boundary;
+//! 2. only then are the dirty cells pwritten into the active arena slot
+//!    (so the arena never holds bytes that are not covered by durable WAL
+//!    records) and unpinned.
+//!
+//! With the default window of 1 every batch commits before it returns,
+//! which is the classic crash-safe WAL discipline. With a larger window,
+//! `Ok` from a mutation means *applied*, not yet *durable*; call
+//! [`DiskStore::commit`] (or [`Storage::flush`], which the network daemon
+//! invokes before acknowledging responses on the wire) to close the
+//! window. Either way, recovery always lands on a batch boundary of the
+//! committed prefix — the acked-prefix contract that `crash_recovery`
+//! sweeps.
 //!
 //! A *checkpoint* makes the arena authoritative again and truncates the
-//! log: sync the arena, write a metadata snapshot (stride, lengths,
-//! init-bitmap) with a bumped generation stamp, then reset the WAL to an
-//! empty log carrying the new stamp. Snapshots alternate between two
-//! metadata files and — for geometry-changing checkpoints (init, re-stride)
-//! — between two arena files, so a torn write can never damage the
-//! checkpoint being superseded. [`DiskStore::open`] picks the newest valid
-//! snapshot, replays any complete WAL records stamped with its generation,
-//! discards the (at most one) torn tail record, and surfaces everything
-//! else as [`DiskError::Corrupt`].
+//! log: commit the open window, sync the arena, write a metadata snapshot
+//! (stride, lengths, init-bitmap) with a bumped generation stamp, then
+//! reset the WAL to an empty log carrying the new stamp. Snapshots
+//! alternate between two metadata files and — for geometry-changing
+//! checkpoints (init, re-stride) — between two arena files, so a torn
+//! write can never damage the checkpoint being superseded.
+//! [`DiskStore::open`] picks the newest valid snapshot, replays any
+//! complete WAL records stamped with its generation *in place* (replay is
+//! idempotent, so a crash mid-recovery just re-runs it), discards the (at
+//! most one) torn tail record, and surfaces everything else as
+//! [`DiskError::Corrupt`].
 //!
 //! All I/O goes through the [`Vfs`]/[`DiskFile`] traits; production uses
 //! [`RealVfs`] (plain files + `pwrite`), tests use
@@ -29,20 +60,25 @@
 //!
 //! ## Failure semantics
 //!
-//! The first I/O error *poisons* the store: the failing mutation returns
+//! The first I/O error *poisons* the store: the failing operation returns
 //! [`ServerError::Interrupted`] (matching the network client's typed
 //! surface for "application state unknown") and every later mutation fails
-//! fast the same way. Reads keep serving from the in-memory mirror. The
-//! recovery path is to drop the store and `open` the directory again.
+//! fast the same way. Reads keep serving **cache hits** (including every
+//! dirty cell pinned by an uncommitted window) and zero-length cells, but
+//! a cache *miss* would have to touch the failing arena file, so it also
+//! returns `Interrupted` instead of handing back bytes of unknown
+//! provenance. The recovery path is to drop the store and `open` the
+//! directory again.
 
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::server::{ServerError, SimServer};
+use crate::cache::CellCache;
+use crate::server::ServerError;
 use crate::stats::CostStats;
 use crate::storage::Storage;
-use crate::store::CellStore;
-use crate::transcript::Transcript;
+use crate::store::xor_slices;
+use crate::transcript::{AccessEvent, Transcript};
 use crate::wal::{
     decode_meta, decode_wal_header, encode_meta, encode_record, encode_wal_header, scan_records,
     DiskError, Meta, WalHeader, WAL_HEADER_LEN,
@@ -145,9 +181,9 @@ impl DiskFile for RealFile {
 /// When the store calls `fsync`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncPolicy {
-    /// Sync at every durability point (WAL append, checkpoint). This is
-    /// the crash-safe default: a batch is acknowledged only once its WAL
-    /// record is on stable storage.
+    /// Sync at every durability point (group-commit window close,
+    /// checkpoint). This is the crash-safe default: a batch is durable
+    /// once the fsync covering its WAL record has completed.
     Always,
     /// Never sync. Contents still reach the files (a clean shutdown or OS
     /// flush persists them) but a crash may lose or tear recent batches.
@@ -155,19 +191,44 @@ pub enum SyncPolicy {
     Never,
 }
 
+/// Default cache budget when `DPS_CACHE_BYTES` is not set: generous (1 GiB
+/// of payload), so small stores behave like the old fully-mirrored design.
+const DEFAULT_CACHE_BYTES: usize = 1 << 30;
+
 /// Tuning knobs for [`DiskStore`].
 #[derive(Debug, Clone, Copy)]
 pub struct DiskOptions {
     /// Fsync policy (see [`SyncPolicy`]).
     pub sync: SyncPolicy,
-    /// Once the WAL grows past this many bytes, the next batch triggers an
-    /// automatic checkpoint that truncates it.
+    /// Once the WAL grows past this many bytes, the next commit triggers
+    /// an automatic checkpoint that truncates it. An open group-commit
+    /// window that would overflow this budget is committed early, so the
+    /// budget also bounds the dirty-pinned cache overshoot.
     pub wal_checkpoint_bytes: u64,
+    /// Byte budget of the read-through cell cache (payload bytes; the
+    /// per-cell metadata is always resident). Defaults to the
+    /// `DPS_CACHE_BYTES` environment variable when set, else 1 GiB.
+    pub cache_bytes: usize,
+    /// Group-commit window: how many mutation batches share one WAL
+    /// write and fsync. 1 (the default) commits every batch before it
+    /// returns; larger windows defer durability until the window closes
+    /// (or [`DiskStore::commit`] / [`Storage::flush`] is called). Values
+    /// of 0 are treated as 1.
+    pub wal_group_commit: usize,
 }
 
 impl Default for DiskOptions {
     fn default() -> Self {
-        Self { sync: SyncPolicy::Always, wal_checkpoint_bytes: 1 << 20 }
+        let cache_bytes = std::env::var("DPS_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CACHE_BYTES);
+        Self {
+            sync: SyncPolicy::Always,
+            wal_checkpoint_bytes: 1 << 20,
+            cache_bytes,
+            wal_group_commit: 1,
+        }
     }
 }
 
@@ -179,9 +240,21 @@ const WAL_NAME: &str = "wal";
 /// docs](self) for the on-disk protocol).
 #[derive(Debug)]
 pub struct DiskStore<V: Vfs = RealVfs> {
-    /// In-memory mirror; the single source of truth for reads, stats and
-    /// transcripts.
-    mem: SimServer,
+    // ---- always-resident per-cell metadata ----
+    /// Arena slot width in bytes.
+    stride: usize,
+    /// Actual byte length of each cell (≤ `stride`).
+    lens: Vec<u32>,
+    /// Initialized-bitmap, one bit per cell.
+    init: Vec<u64>,
+    /// Running total of initialized cell bytes.
+    stored: u64,
+    /// Bounded payload cache (see [`crate::cache`]).
+    cache: CellCache,
+    // ---- observability ----
+    stats: CostStats,
+    transcript: Option<Transcript>,
+    // ---- files ----
     arena: [V::File; 2],
     meta: [V::File; 2],
     wal: V::File,
@@ -192,8 +265,13 @@ pub struct DiskStore<V: Vfs = RealVfs> {
     meta_slot: usize,
     /// Current checkpoint generation stamp.
     stamp: u64,
-    /// Bytes of valid WAL content (header + complete records).
+    /// Bytes of committed WAL content (header + fsync-covered records).
     wal_len: u64,
+    // ---- group commit ----
+    /// Encoded WAL records of the open (uncommitted) window.
+    pending: Vec<u8>,
+    /// Number of batches in the open window.
+    pending_batches: usize,
     opts: DiskOptions,
     poisoned: bool,
 }
@@ -215,13 +293,14 @@ impl<V: Vfs> DiskStore<V> {
     /// production directories and the crash simulator take the same path.
     ///
     /// Recovery: pick the valid metadata snapshot with the highest stamp,
-    /// load its arena slot, then replay complete WAL records carrying that
-    /// stamp. A torn tail record (interrupted append) is discarded; a
-    /// complete record with a bad checksum, a WAL from a generation newer
-    /// than any snapshot, or a structurally inconsistent snapshot+arena
-    /// pair all surface as [`DiskError::Corrupt`]. If anything was
-    /// replayed, a fresh checkpoint is written before returning, so a
-    /// second crash during recovery re-runs the same (idempotent) replay.
+    /// adopt its metadata (the arena payload stays on disk and is served
+    /// through the cache), then replay complete WAL records carrying that
+    /// stamp into the active arena slot. Replay is idempotent — the same
+    /// records pwrite the same bytes — so a crash during recovery re-runs
+    /// it identically. A torn tail record (interrupted append) is
+    /// discarded; a complete record with a bad checksum, a WAL from a
+    /// generation newer than any snapshot, or a structurally inconsistent
+    /// snapshot+arena pair all surface as [`DiskError::Corrupt`].
     pub fn open_on(mut vfs: V, opts: DiskOptions) -> Result<Self, DiskError> {
         let arena = [vfs.open(ARENA_NAMES[0])?, vfs.open(ARENA_NAMES[1])?];
         let meta = [vfs.open(META_NAMES[0])?, vfs.open(META_NAMES[1])?];
@@ -246,100 +325,153 @@ impl<V: Vfs> DiskStore<V> {
             // Fresh store: no snapshot, no (meaningful) WAL. Write the
             // empty generation-1 checkpoint so the directory is
             // well-formed from the start.
-            let mut store = Self {
-                mem: SimServer::new(),
-                arena,
-                meta,
-                wal,
-                active: 1,
-                meta_slot: 1,
-                stamp: 0,
-                wal_len: 0,
-                opts,
-                poisoned: false,
-            };
-            store.full_checkpoint()?;
+            let mut store = Self::assemble(arena, meta, wal, 1, Meta::empty(), opts);
+            store.geometry_checkpoint(&[])?;
             return Ok(store);
         };
 
+        // The snapshot's arena must be fully present; its payload is read
+        // lazily, so only the length is validated here.
         let arena_len = m.capacity as u64 * m.stride as u64;
-        let mut data = vec![0u8; m.capacity * m.stride];
-        let got = arena[m.active].read_at(0, &mut data)?;
-        if (got as u64) < arena_len {
+        let have = arena[m.active].file_len()?;
+        if have < arena_len {
             return Err(DiskError::corrupt(format!(
                 "arena slot {} holds {} bytes, snapshot expects {}",
-                m.active, got, arena_len
+                m.active, have, arena_len
             )));
         }
-        let cells = CellStore::from_raw_parts(data, m.lens, m.init, m.stride);
-        let mut mem = SimServer::new();
-        *mem.cell_store_mut() = cells;
 
-        let (replayed, discard, wal_len) = match decode_wal_header(&wal_bytes) {
+        let mut store = Self::assemble(arena, meta, wal, meta_slot, m, opts);
+        match decode_wal_header(&wal_bytes) {
             // Shorter than a header: a crash interrupted a WAL reset
             // after truncation. Nothing in it can be newer than the
             // snapshot; rebuild it.
-            WalHeader::TooShort => (false, true, 0),
+            WalHeader::TooShort => store.reset_wal()?,
             WalHeader::Corrupt => {
                 return Err(DiskError::corrupt("WAL header fails validation"));
             }
-            WalHeader::Valid(w) if w == m.stamp => {
+            WalHeader::Valid(w) if w == store.stamp => {
                 let scan = scan_records(w, &wal_bytes[WAL_HEADER_LEN..])?;
                 for record in &scan.records {
                     for (addr, bytes) in record {
-                        if *addr >= mem.capacity() || bytes.len() > mem.cell_stride() {
+                        if *addr >= store.lens.len() || bytes.len() > store.stride {
                             return Err(DiskError::corrupt(format!(
                                 "WAL record writes cell {addr} outside snapshot geometry"
                             )));
                         }
                     }
-                    for (addr, bytes) in record {
-                        mem.cell_store_mut().set(*addr, bytes);
-                    }
                 }
-                let valid = (WAL_HEADER_LEN + scan.valid_len) as u64;
-                (!scan.records.is_empty(), scan.torn, valid)
+                if scan.records.is_empty() {
+                    store.wal_len = (WAL_HEADER_LEN + scan.valid_len) as u64;
+                    if scan.torn {
+                        store.reset_wal()?;
+                    }
+                } else {
+                    for record in &scan.records {
+                        for (addr, bytes) in record {
+                            store.replay(*addr, bytes)?;
+                        }
+                    }
+                    // Fold the replayed records into a fresh checkpoint
+                    // (this also resets the WAL). A crash in here leaves
+                    // the old snapshot + old WAL intact, so the next open
+                    // replays identically.
+                    store.light_checkpoint()?;
+                }
             }
             // A WAL from an older generation lost a race with its
             // checkpoint's reset; its records are already in the snapshot.
-            WalHeader::Valid(w) if w < m.stamp => (false, true, 0),
+            WalHeader::Valid(w) if w < store.stamp => store.reset_wal()?,
             WalHeader::Valid(w) => {
                 return Err(DiskError::corrupt(format!(
                     "WAL generation {w} is newer than newest snapshot {}",
-                    m.stamp
+                    store.stamp
                 )));
             }
-        };
+        }
+        store.warm_cache()?;
+        Ok(store)
+    }
 
-        let mut store = Self {
-            mem,
+    /// Builds the in-memory store state for a decoded snapshot.
+    fn assemble(
+        arena: [V::File; 2],
+        meta: [V::File; 2],
+        wal: V::File,
+        meta_slot: usize,
+        m: Meta,
+        opts: DiskOptions,
+    ) -> Self {
+        let stored = m
+            .lens
+            .iter()
+            .enumerate()
+            .filter(|&(a, _)| m.init[a >> 6] & (1 << (a & 63)) != 0)
+            .map(|(_, &l)| u64::from(l))
+            .sum();
+        Self {
+            stride: m.stride,
+            cache: CellCache::new(m.capacity, m.stride, opts.cache_bytes),
+            lens: m.lens,
+            init: m.init,
+            stored,
+            stats: CostStats::default(),
+            transcript: None,
             arena,
             meta,
             wal,
             active: m.active,
             meta_slot,
             stamp: m.stamp,
-            wal_len,
+            wal_len: 0,
+            pending: Vec::new(),
+            pending_batches: 0,
             opts,
             poisoned: false,
-        };
-        if replayed {
-            // Fold the replayed records into a fresh checkpoint (this also
-            // resets the WAL). A crash in here leaves the old snapshot +
-            // old WAL intact, so the next open replays identically.
-            store.full_checkpoint()?;
-        } else if discard {
-            store.reset_wal()?;
         }
-        Ok(store)
+    }
+
+    /// Applies one recovered WAL write: pwrite into the active arena slot
+    /// and update the resident metadata. Replay is not an observable
+    /// operation (no stats, no transcript, no cache population), and it is
+    /// idempotent — re-running it after a crash writes the same bytes.
+    fn replay(&mut self, addr: usize, bytes: &[u8]) -> Result<(), DiskError> {
+        if !bytes.is_empty() {
+            self.arena[self.active].write_at(addr as u64 * self.stride as u64, bytes)?;
+        }
+        let was = if self.is_init(addr) { u64::from(self.lens[addr]) } else { 0 };
+        self.stored = self.stored - was + bytes.len() as u64;
+        self.lens[addr] = bytes.len() as u32;
+        self.set_init(addr);
+        Ok(())
     }
 
     /// Replaces the contents with `cells`, like [`Storage::init`], but
     /// with a typed error instead of a panic when the disk fails.
     pub fn try_init(&mut self, cells: Vec<Vec<u8>>) -> Result<(), DiskError> {
         self.check_poisoned()?;
-        self.mem.init(cells);
-        self.full_checkpoint().map_err(|e| self.poison(e))
+        let capacity = cells.len();
+        let stride = cells.iter().map(Vec::len).max().unwrap_or(0);
+        self.stride = stride;
+        self.lens = cells.iter().map(|c| c.len() as u32).collect();
+        self.init = vec![0u64; capacity.div_ceil(64)];
+        for addr in 0..capacity {
+            self.init[addr >> 6] |= 1 << (addr & 63);
+        }
+        self.stored = cells.iter().map(|c| c.len() as u64).sum();
+        self.cache.reset(capacity, stride);
+        let mut image = vec![0u8; capacity * stride];
+        for (addr, cell) in cells.iter().enumerate() {
+            image[addr * stride..addr * stride + cell.len()].copy_from_slice(cell);
+        }
+        self.geometry_checkpoint(&image).map_err(|e| self.poison(e))?;
+        if self.cache.is_identity() && stride > 0 {
+            // The full image is already in hand: warm the slab from it
+            // instead of reading the arena back.
+            self.cache.slab_mut().copy_from_slice(&image);
+            self.adopt_initialized();
+        }
+        Ok(())
     }
 
     /// Reserves `capacity` uninitialized cells, like
@@ -347,15 +479,35 @@ impl<V: Vfs> DiskStore<V> {
     /// when the disk fails.
     pub fn try_init_empty(&mut self, capacity: usize) -> Result<(), DiskError> {
         self.check_poisoned()?;
-        self.mem.init_empty(capacity);
-        self.full_checkpoint().map_err(|e| self.poison(e))
+        self.stride = 0;
+        self.lens = vec![0u32; capacity];
+        self.init = vec![0u64; capacity.div_ceil(64)];
+        self.stored = 0;
+        self.cache.reset(capacity, 0);
+        self.geometry_checkpoint(&[]).map_err(|e| self.poison(e))
     }
 
-    /// Forces a checkpoint: syncs the arena, writes a metadata snapshot,
-    /// truncates the WAL. Afterwards recovery needs no replay.
+    /// Forces a checkpoint: commits the open window, syncs the arena,
+    /// writes a metadata snapshot, truncates the WAL. Afterwards recovery
+    /// needs no replay.
     pub fn checkpoint(&mut self) -> Result<(), DiskError> {
         self.check_poisoned()?;
         self.light_checkpoint().map_err(|e| self.poison(e))
+    }
+
+    /// Closes the open group-commit window: one contiguous WAL write, the
+    /// covering fsync, then the dirty cache entries flush to the arena and
+    /// unpin. A no-op when the window is empty. Every batch applied before
+    /// this call is durable once it returns.
+    pub fn commit(&mut self) -> Result<(), DiskError> {
+        self.check_poisoned()?;
+        self.commit_pending().map_err(|e| self.poison(e))
+    }
+
+    /// Number of applied-but-uncommitted batches in the open window
+    /// (always 0 when `wal_group_commit` ≤ 1).
+    pub fn pending_batches(&self) -> usize {
+        self.pending_batches
     }
 
     /// Current checkpoint generation stamp (bumps on every checkpoint).
@@ -363,15 +515,22 @@ impl<V: Vfs> DiskStore<V> {
         self.stamp
     }
 
-    /// Bytes of valid WAL content (header plus complete records).
+    /// Bytes of committed WAL content (header plus fsync-covered records;
+    /// the open group-commit window is not included).
     pub fn wal_bytes(&self) -> u64 {
         self.wal_len
     }
 
     /// Whether a previous I/O failure has poisoned the store (all further
-    /// mutations fail fast with [`ServerError::Interrupted`]).
+    /// mutations fail fast with [`ServerError::Interrupted`]; reads serve
+    /// cache hits and fail on misses).
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
+    }
+
+    /// Number of cells currently resident in the payload cache.
+    pub fn cache_resident(&self) -> usize {
+        self.cache.resident()
     }
 
     fn check_poisoned(&self) -> Result<(), DiskError> {
@@ -394,41 +553,222 @@ impl<V: Vfs> DiskStore<V> {
         matches!(self.opts.sync, SyncPolicy::Always)
     }
 
-    /// Appends one batch record to the WAL and makes it durable. This is
-    /// the acknowledgement point for the batch.
-    fn wal_append(&mut self, writes: &[(usize, &[u8])]) -> Result<(), DiskError> {
+    fn group_window(&self) -> usize {
+        self.opts.wal_group_commit.max(1)
+    }
+
+    #[inline]
+    fn is_init(&self, addr: usize) -> bool {
+        self.init[addr >> 6] & (1 << (addr & 63)) != 0
+    }
+
+    #[inline]
+    fn set_init(&mut self, addr: usize) {
+        self.init[addr >> 6] |= 1 << (addr & 63);
+    }
+
+    #[inline]
+    fn check(&self, addr: usize) -> Result<(), ServerError> {
+        if addr < self.lens.len() {
+            Ok(())
+        } else {
+            Err(ServerError::OutOfBounds { addr, capacity: self.lens.len() })
+        }
+    }
+
+    /// Records one round trip's events, building them only when a
+    /// transcript is actually being captured.
+    fn record_with(&mut self, events: impl FnOnce() -> Vec<AccessEvent>) {
+        if let Some(t) = self.transcript.as_mut() {
+            t.push_batch(events());
+        }
+    }
+
+    /// The payload bytes of the *initialized* cell at `addr` (whose
+    /// length the caller already loaded), served through the cache
+    /// (refilling from the arena file on a miss).
+    #[inline(always)]
+    fn cell_bytes(&mut self, addr: usize, len: usize) -> Result<&[u8], ServerError> {
+        if self.cache.is_identity() {
+            // Identity mode: the warm-up invariant makes the slab
+            // authoritative for every initialized cell, so this is a
+            // direct slice — the mirror-read fast path. Zero-length
+            // cells are neither hits nor misses in either mode.
+            self.stats.cache_hits += u64::from(len > 0);
+            return Ok(self.cache.identity_bytes(addr, len));
+        }
+        if let Some(slot) = self.cache.lookup(addr) {
+            self.stats.cache_hits += 1;
+            return Ok(self.cache.slot_bytes(slot, len));
+        }
+        if len == 0 {
+            // Zero-length payloads live entirely in the length table.
+            return Ok(&[]);
+        }
+        let slot = self.refill(addr, len)?;
+        Ok(self.cache.slot_bytes(slot, len))
+    }
+
+    /// Identity-mode warm-up: when the cache budget covers the whole
+    /// database, bulk-read the active arena slot into the slab and mark
+    /// every initialized non-empty cell resident. From then on reads are
+    /// direct slab slices and misses cannot occur; bounded budgets skip
+    /// this and take the CLOCK read-through path instead.
+    fn warm_cache(&mut self) -> Result<(), DiskError> {
+        if !self.cache.is_identity() || self.stride == 0 {
+            return Ok(());
+        }
+        let active = self.active;
+        let slab = self.cache.slab_mut();
+        if !slab.is_empty() {
+            let want = slab.len();
+            let got = self.arena[active].read_at(0, slab)?;
+            if got < want {
+                return Err(DiskError::corrupt(format!(
+                    "arena warm-up read returned {got} of {want} bytes"
+                )));
+            }
+        }
+        self.adopt_initialized();
+        Ok(())
+    }
+
+    /// Marks every initialized non-empty cell resident (identity-mode
+    /// bookkeeping after the slab has been bulk-filled).
+    fn adopt_initialized(&mut self) {
+        for addr in 0..self.lens.len() {
+            if self.lens[addr] > 0 && self.init[addr >> 6] & (1 << (addr & 63)) != 0 {
+                self.cache.adopt(addr);
+            }
+        }
+    }
+
+    /// Cache-miss path: installs `addr` (evicting a clean entry if the
+    /// budget is full) and reads its payload from the active arena slot.
+    #[inline(never)]
+    fn refill(&mut self, addr: usize, len: usize) -> Result<usize, ServerError> {
+        if self.poisoned {
+            // The backing file is failing; a refill would return bytes of
+            // unknown provenance. Hits keep working, misses fail typed.
+            return Err(ServerError::Interrupted);
+        }
+        self.stats.cache_misses += 1;
+        let (slot, evicted) = self.cache.install(addr, false);
+        self.stats.cache_evictions += evicted;
+        let offset = addr as u64 * self.stride as u64;
+        match self.arena[self.active].read_at(offset, self.cache.slot_bytes_mut(slot, len)) {
+            Ok(got) if got >= len => Ok(slot),
+            Ok(got) => {
+                // The snapshot promised these bytes; a short read means the
+                // arena file is inconsistent with the metadata.
+                self.cache.discard(addr);
+                self.poison(DiskError::corrupt(format!(
+                    "arena read of cell {addr} returned {got} of {len} bytes"
+                )));
+                Err(ServerError::Interrupted)
+            }
+            Err(e) => {
+                self.cache.discard(addr);
+                self.poison(e.into());
+                Err(ServerError::Interrupted)
+            }
+        }
+    }
+
+    /// Routes one validated batch to the re-stride or group-commit path.
+    /// On `Ok`, the batch is applied (and durable per the commit policy);
+    /// nothing is charged to stats here.
+    fn persist_and_apply(&mut self, writes: &[(usize, &[u8])]) -> Result<(), ServerError> {
+        if writes.iter().any(|(_, c)| c.len() > self.stride) {
+            self.restride_apply(writes)
+        } else {
+            self.queue_batch(writes)
+        }
+    }
+
+    /// Appends the batch's WAL record to the open window, applies its
+    /// cells to the cache as dirty (pinned), and commits the window when
+    /// it is full or would overflow the WAL budget.
+    fn queue_batch(&mut self, writes: &[(usize, &[u8])]) -> Result<(), ServerError> {
         let record = encode_record(self.stamp, writes);
-        self.wal.write_at(self.wal_len, &record)?;
+        self.pending.extend_from_slice(&record);
+        self.pending_batches += 1;
+        for (addr, cell) in writes {
+            self.apply_to_cache(*addr, cell);
+        }
+        let window_full = self.pending_batches >= self.group_window();
+        let budget_hit = self.wal_len + self.pending.len() as u64 > self.opts.wal_checkpoint_bytes;
+        if window_full || budget_hit {
+            if let Err(e) = self.commit_pending() {
+                self.poison(e);
+                return Err(ServerError::Interrupted);
+            }
+            // The batch is durable now; a failed auto-checkpoint poisons
+            // the store but does not fail the batch.
+            self.maybe_auto_checkpoint();
+        }
+        Ok(())
+    }
+
+    /// Applies one cell write to the resident metadata and the cache. The
+    /// new entry is dirty (pinned) until the covering fsync; writes
+    /// allocate a cache slot because until then the cache holds the only
+    /// copy of the payload.
+    fn apply_to_cache(&mut self, addr: usize, cell: &[u8]) {
+        let was = if self.is_init(addr) { u64::from(self.lens[addr]) } else { 0 };
+        self.stored = self.stored - was + cell.len() as u64;
+        self.lens[addr] = cell.len() as u32;
+        self.set_init(addr);
+        if cell.is_empty() {
+            // Zero-length payloads never occupy a slot; any stale resident
+            // bytes are masked by the length table.
+            return;
+        }
+        if let Some(slot) = self.cache.lookup(addr) {
+            self.cache.slot_bytes_mut(slot, cell.len()).copy_from_slice(cell);
+            self.cache.mark_dirty(slot);
+        } else {
+            let (slot, evicted) = self.cache.install(addr, true);
+            self.stats.cache_evictions += evicted;
+            self.cache.slot_bytes_mut(slot, cell.len()).copy_from_slice(cell);
+        }
+    }
+
+    /// Closes the open window (see [`DiskStore::commit`]): one contiguous
+    /// WAL write, the covering fsync, then — and only then — the dirty
+    /// cells pwrite into the arena and unpin. The ordering is the crash
+    /// contract: the arena never holds bytes that are not covered by
+    /// durable WAL records, so a torn window can only ever lose an
+    /// *unacknowledged* suffix of whole batches.
+    fn commit_pending(&mut self) -> Result<(), DiskError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut self.pending);
+        self.pending_batches = 0;
+        self.wal.write_at(self.wal_len, &pending)?;
         if self.want_sync() {
             self.wal.sync()?;
         }
-        self.wal_len += record.len() as u64;
-        Ok(())
-    }
-
-    /// Pwrites the batch's cells into the active arena slot (durability
-    /// comes from the WAL; these bytes are synced at the next checkpoint).
-    fn arena_apply(&mut self, writes: &[(usize, &[u8])]) -> Result<(), DiskError> {
-        let stride = self.mem.cell_stride() as u64;
-        for (addr, bytes) in writes {
-            if !bytes.is_empty() {
-                self.arena[self.active].write_at(*addr as u64 * stride, bytes)?;
+        self.wal_len += pending.len() as u64;
+        let active = self.active;
+        let stride = self.stride as u64;
+        // Deterministic flush order (first-dirtied), so the crash
+        // simulator sees identical event streams across replays.
+        for &slot in self.cache.dirty_slots() {
+            let addr = self.cache.addr_of(slot as usize);
+            let len = self.lens[addr] as usize;
+            if len > 0 {
+                self.arena[active]
+                    .write_at(addr as u64 * stride, self.cache.slot_bytes(slot as usize, len))?;
             }
         }
+        self.cache.clean_all();
+        self.stats.cache_evictions += self.cache.enforce_budget();
         Ok(())
     }
 
-    /// WAL-append + arena pwrite for one validated batch (no re-stride, no
-    /// out-of-bounds). Poisons the store on failure.
-    fn persist_batch(&mut self, writes: &[(usize, &[u8])]) -> Result<(), ServerError> {
-        if let Err(e) = self.wal_append(writes).and_then(|()| self.arena_apply(writes)) {
-            self.poison(e);
-            return Err(ServerError::Interrupted);
-        }
-        Ok(())
-    }
-
-    /// After a successfully acknowledged batch: checkpoint if the WAL has
+    /// After a successfully committed batch: checkpoint if the WAL has
     /// outgrown its budget. The batch is durable either way (its WAL
     /// record survives a failed checkpoint), so a checkpoint failure
     /// poisons the store but does not fail the batch.
@@ -440,9 +780,10 @@ impl<V: Vfs> DiskStore<V> {
         }
     }
 
-    /// Checkpoint keeping the current arena slot: sync it, snapshot meta,
-    /// reset the WAL.
+    /// Checkpoint keeping the current arena slot: commit the open window,
+    /// sync the arena, snapshot meta, reset the WAL.
     fn light_checkpoint(&mut self) -> Result<(), DiskError> {
+        self.commit_pending()?;
         if self.want_sync() {
             self.arena[self.active].sync()?;
         }
@@ -450,37 +791,128 @@ impl<V: Vfs> DiskStore<V> {
         self.reset_wal()
     }
 
-    /// Checkpoint that rewrites the whole arena into the *other* slot —
-    /// used whenever the geometry changed (init, init_empty, re-stride)
-    /// and after recovery replay, so the slot the old snapshot points at
-    /// is never modified before the new snapshot is durable.
-    fn full_checkpoint(&mut self) -> Result<(), DiskError> {
+    /// Writes a complete arena image into the *other* slot and makes it
+    /// the checkpoint — used by geometry changes (init, init_empty), where
+    /// the whole image is already in the caller's hands. The slot the old
+    /// snapshot points at is never modified before the new snapshot is
+    /// durable.
+    fn geometry_checkpoint(&mut self, image: &[u8]) -> Result<(), DiskError> {
         let target = 1 - self.active;
-        let data = self.mem.cell_store().raw_data().to_vec();
-        self.arena[target].set_len(data.len() as u64)?;
-        if !data.is_empty() {
-            self.arena[target].write_at(0, &data)?;
+        self.arena[target].set_len(image.len() as u64)?;
+        if !image.is_empty() {
+            self.arena[target].write_at(0, image)?;
         }
+        self.finish_geometry_checkpoint(target)
+    }
+
+    /// Tail shared by every geometry-changing checkpoint: sync the target
+    /// slot, point a new snapshot at it, drop the (superseded) open
+    /// window, unpin the cache, and reset the WAL.
+    fn finish_geometry_checkpoint(&mut self, target: usize) -> Result<(), DiskError> {
         if self.want_sync() {
             self.arena[target].sync()?;
         }
         self.write_meta(target)?;
         self.active = target;
+        // The new snapshot covers everything the open window (and its
+        // pinned cells) carried; durable WAL records from before it are
+        // superseded by the bumped stamp.
+        self.pending.clear();
+        self.pending_batches = 0;
+        self.cache.clean_all();
+        self.stats.cache_evictions += self.cache.enforce_budget();
         self.reset_wal()
+    }
+
+    /// Runs a stride-growing batch: stream every initialized cell (cache
+    /// copies first — the pinned dirty ones exist nowhere else) into the
+    /// inactive arena slot at the new stride, lay the batch's cells on
+    /// top, and make it all durable as one geometry checkpoint. The batch
+    /// is acknowledged only once the checkpoint is durable (a re-stride
+    /// relocates every cell, which a per-cell WAL record cannot express).
+    fn restride_apply(&mut self, writes: &[(usize, &[u8])]) -> Result<(), ServerError> {
+        if let Err(e) = self.restride_inner(writes) {
+            self.poison(e);
+            return Err(ServerError::Interrupted);
+        }
+        Ok(())
+    }
+
+    fn restride_inner(&mut self, writes: &[(usize, &[u8])]) -> Result<(), DiskError> {
+        let capacity = self.lens.len();
+        let old_stride = self.stride;
+        let new_stride = writes
+            .iter()
+            .map(|(_, c)| c.len())
+            .max()
+            .unwrap_or(0)
+            .max(old_stride);
+        let target = 1 - self.active;
+        self.arena[target].set_len(capacity as u64 * new_stride as u64)?;
+        let mut scratch = vec![0u8; old_stride];
+        for addr in 0..capacity {
+            let len = self.lens[addr] as usize;
+            if len == 0 || !self.is_init(addr) {
+                continue;
+            }
+            let bytes: &[u8] = if let Some(slot) = self.cache.peek(addr) {
+                self.cache.slot_bytes(slot, len)
+            } else {
+                let got = self.arena[self.active]
+                    .read_at(addr as u64 * old_stride as u64, &mut scratch[..len])?;
+                if got < len {
+                    return Err(DiskError::corrupt(format!(
+                        "arena read of cell {addr} returned {got} of {len} bytes during re-stride"
+                    )));
+                }
+                &scratch[..len]
+            };
+            self.arena[target].write_at(addr as u64 * new_stride as u64, bytes)?;
+        }
+        for (addr, cell) in writes {
+            if !cell.is_empty() {
+                self.arena[target].write_at(*addr as u64 * new_stride as u64, cell)?;
+            }
+        }
+        // Adopt the new geometry in memory, then apply the batch to the
+        // resident metadata (and to any already-resident cache entries, so
+        // hits cannot serve pre-batch bytes).
+        self.cache.restride(new_stride);
+        self.stride = new_stride;
+        for (addr, cell) in writes {
+            let was = if self.is_init(*addr) { u64::from(self.lens[*addr]) } else { 0 };
+            self.stored = self.stored - was + cell.len() as u64;
+            self.lens[*addr] = cell.len() as u32;
+            self.set_init(*addr);
+            if let Some(slot) = self.cache.peek(*addr) {
+                if !cell.is_empty() {
+                    self.cache.slot_bytes_mut(slot, cell.len()).copy_from_slice(cell);
+                }
+            } else if !cell.is_empty() {
+                // Install the batch's cells clean (they are durable once
+                // the checkpoint below lands) — mandatory in identity
+                // mode, where every initialized cell must be resident,
+                // and a free warm-up in bounded mode (the budget is
+                // re-enforced by the checkpoint tail).
+                let (slot, evicted) = self.cache.install(*addr, false);
+                self.stats.cache_evictions += evicted;
+                self.cache.slot_bytes_mut(slot, cell.len()).copy_from_slice(cell);
+            }
+        }
+        self.finish_geometry_checkpoint(target)
     }
 
     /// Writes the next-generation metadata snapshot (pointing at arena
     /// slot `active`) into the non-current meta slot and makes it durable.
     /// Only after this returns is the new checkpoint the recovery target.
     fn write_meta(&mut self, active: usize) -> Result<(), DiskError> {
-        let cells = self.mem.cell_store();
         let m = Meta {
             stamp: self.stamp + 1,
             active,
-            capacity: cells.capacity(),
-            stride: cells.stride(),
-            lens: cells.raw_lens().to_vec(),
-            init: cells.raw_init().to_vec(),
+            capacity: self.lens.len(),
+            stride: self.stride,
+            lens: self.lens.clone(),
+            init: self.init.clone(),
         };
         let bytes = encode_meta(&m);
         let slot = 1 - self.meta_slot;
@@ -513,6 +945,14 @@ impl<V: Vfs> DiskStore<V> {
     }
 }
 
+impl Meta {
+    /// The metadata of a brand-new empty store (the fresh-open path; the
+    /// first checkpoint flips `active` to slot 0).
+    fn empty() -> Self {
+        Meta { stamp: 0, active: 1, capacity: 0, stride: 0, lens: Vec::new(), init: Vec::new() }
+    }
+}
+
 fn read_all(file: &impl DiskFile) -> Result<Vec<u8>, DiskError> {
     let len = file.file_len()?;
     let mut buf = vec![
@@ -538,119 +978,178 @@ impl<V: Vfs> Storage for DiskStore<V> {
     }
 
     fn capacity(&self) -> usize {
-        self.mem.capacity()
+        self.lens.len()
     }
 
     fn stored_bytes(&self) -> u64 {
-        self.mem.stored_bytes()
+        self.stored
     }
 
     fn cell_stride(&self) -> usize {
-        self.mem.cell_stride()
+        self.stride
     }
 
     fn start_recording(&mut self) {
-        self.mem.start_recording();
+        if self.transcript.is_none() {
+            self.transcript = Some(Transcript::new());
+        }
     }
 
     fn take_transcript(&mut self) -> Transcript {
-        self.mem.take_transcript()
+        self.transcript.take().unwrap_or_default()
     }
 
     fn is_recording(&self) -> bool {
-        self.mem.is_recording()
+        self.transcript.is_some()
     }
 
     fn stats(&self) -> CostStats {
-        self.mem.stats()
+        self.stats
     }
 
     fn reset_stats(&mut self) {
-        self.mem.reset_stats();
+        self.stats = CostStats::default();
     }
 
-    // Reads serve from the in-memory mirror: same zero-copy surface, same
-    // stats/transcript charging, no disk I/O, never poisoned.
+    fn flush(&mut self) -> Result<(), ServerError> {
+        if self.poisoned {
+            return Err(ServerError::Interrupted);
+        }
+        if let Err(e) = self.commit_pending() {
+            self.poison(e);
+            return Err(ServerError::Interrupted);
+        }
+        Ok(())
+    }
+
+    // Reads serve through the bounded cache: hits and zero-length cells
+    // straight from memory, misses with one positioned read from the
+    // active arena slot. Charging is bit-identical to `SimServer` modulo
+    // the `cache_*` counters (compare with `CostStats::sans_cache`).
 
     fn read_batch_with(
         &mut self,
         addrs: &[usize],
-        visit: impl FnMut(usize, &[u8]),
+        mut visit: impl FnMut(usize, &[u8]),
     ) -> Result<(), ServerError> {
-        self.mem.read_batch_with(addrs, visit)
+        if self.cache.is_identity() {
+            // Hand-unswitched identity loop: every initialized cell is
+            // resident, so this is the mirror-read hot path — keeping the
+            // mode test out of the loop keeps it at SimServer speed.
+            for (i, &addr) in addrs.iter().enumerate() {
+                self.check(addr)?;
+                if !self.is_init(addr) {
+                    return Err(ServerError::Uninitialized { addr });
+                }
+                let len = self.lens[addr] as usize;
+                self.stats.downloads += 1;
+                self.stats.bytes_down += len as u64;
+                self.stats.cache_hits += u64::from(len > 0);
+                visit(i, self.cache.identity_bytes(addr, len));
+            }
+        } else {
+            for (i, &addr) in addrs.iter().enumerate() {
+                self.check(addr)?;
+                if !self.is_init(addr) {
+                    return Err(ServerError::Uninitialized { addr });
+                }
+                let len = self.lens[addr] as usize;
+                self.stats.downloads += 1;
+                self.stats.bytes_down += len as u64;
+                let cell = self.cell_bytes(addr, len)?;
+                visit(i, cell);
+            }
+        }
+        self.stats.round_trips += 1;
+        self.record_with(|| addrs.iter().map(|&a| AccessEvent::Download(a)).collect());
+        Ok(())
     }
 
     fn xor_cells_into(&mut self, addrs: &[usize], acc: &mut Vec<u8>) -> Result<(), ServerError> {
-        self.mem.xor_cells_into(addrs, acc)
+        acc.clear();
+        let mut first = true;
+        for &addr in addrs {
+            self.check(addr)?;
+            if !self.is_init(addr) {
+                return Err(ServerError::Uninitialized { addr });
+            }
+            self.stats.computed += 1;
+            let len = self.lens[addr] as usize;
+            let cell = self.cell_bytes(addr, len)?;
+            if first {
+                acc.extend_from_slice(cell);
+                first = false;
+            } else {
+                debug_assert_eq!(acc.len(), cell.len(), "XOR over unequal cells");
+                xor_slices(acc, cell);
+            }
+        }
+        self.stats.bytes_down += acc.len() as u64;
+        self.stats.round_trips += 1;
+        self.record_with(|| addrs.iter().map(|&a| AccessEvent::Compute(a)).collect());
+        Ok(())
     }
 
     fn write_batch(&mut self, writes: Vec<(usize, Vec<u8>)>) -> Result<(), ServerError> {
         if self.poisoned {
             return Err(ServerError::Interrupted);
         }
-        let capacity = self.mem.capacity();
-        // A batch the mirror would reject is forwarded untouched so the
-        // error and its (absent) charges are bit-identical; nothing needs
-        // persisting. Same for the empty batch (charges a round trip but
-        // mutates nothing).
-        if writes.is_empty() || writes.iter().any(|(a, _)| *a >= capacity) {
-            return self.mem.write_batch(writes);
+        for (addr, _) in &writes {
+            self.check(*addr)?;
         }
-        if writes.iter().any(|(_, c)| c.len() > self.mem.cell_stride()) {
-            return self.restriding(|mem| mem.write_batch(writes));
+        if !writes.is_empty() {
+            let borrowed: Vec<(usize, &[u8])> =
+                writes.iter().map(|(a, c)| (*a, c.as_slice())).collect();
+            self.persist_and_apply(&borrowed)?;
         }
-        let borrowed: Vec<(usize, &[u8])> =
-            writes.iter().map(|(a, c)| (*a, c.as_slice())).collect();
-        self.persist_batch(&borrowed)?;
-        drop(borrowed);
-        let out = self.mem.write_batch(writes);
-        debug_assert!(out.is_ok(), "mirror rejected a prechecked batch");
-        self.maybe_auto_checkpoint();
-        out
+        for (_, cell) in &writes {
+            self.stats.uploads += 1;
+            self.stats.bytes_up += cell.len() as u64;
+        }
+        self.stats.round_trips += 1;
+        self.record_with(|| writes.iter().map(|&(a, _)| AccessEvent::Upload(a)).collect());
+        Ok(())
     }
 
     fn write_from(&mut self, addr: usize, cell: &[u8]) -> Result<(), ServerError> {
         if self.poisoned {
             return Err(ServerError::Interrupted);
         }
-        if addr >= self.mem.capacity() {
-            return self.mem.write_from(addr, cell);
-        }
-        if cell.len() > self.mem.cell_stride() {
-            return self.restriding(|mem| mem.write_from(addr, cell));
-        }
-        self.persist_batch(&[(addr, cell)])?;
-        let out = self.mem.write_from(addr, cell);
-        debug_assert!(out.is_ok(), "mirror rejected a prechecked write");
-        self.maybe_auto_checkpoint();
-        out
+        self.check(addr)?;
+        self.persist_and_apply(&[(addr, cell)])?;
+        self.stats.uploads += 1;
+        self.stats.bytes_up += cell.len() as u64;
+        self.stats.round_trips += 1;
+        self.record_with(|| vec![AccessEvent::Upload(addr)]);
+        Ok(())
     }
 
     fn write_batch_strided(&mut self, addrs: &[usize], flat: &[u8]) -> Result<(), ServerError> {
         if self.poisoned {
             return Err(ServerError::Interrupted);
         }
-        let capacity = self.mem.capacity();
-        if addrs.is_empty() || addrs.iter().any(|&a| a >= capacity) {
-            // Empty batch (mirror asserts flat is empty and charges one
-            // round trip) or a rejected batch: forward untouched.
-            return self.mem.write_batch_strided(addrs, flat);
+        if addrs.is_empty() {
+            assert!(flat.is_empty(), "flat bytes without addresses");
+            self.stats.round_trips += 1;
+            self.record_with(Vec::new);
+            return Ok(());
         }
         assert_eq!(flat.len() % addrs.len(), 0, "flat length not a multiple of cell count");
         let stride = flat.len() / addrs.len();
-        if stride > self.mem.cell_stride() {
-            return self.restriding(|mem| mem.write_batch_strided(addrs, flat));
+        for &addr in addrs {
+            self.check(addr)?;
         }
         let borrowed: Vec<(usize, &[u8])> = addrs
             .iter()
             .enumerate()
             .map(|(i, &a)| (a, &flat[i * stride..(i + 1) * stride]))
             .collect();
-        self.persist_batch(&borrowed)?;
-        let out = self.mem.write_batch_strided(addrs, flat);
-        debug_assert!(out.is_ok(), "mirror rejected a prechecked strided batch");
-        self.maybe_auto_checkpoint();
-        out
+        self.persist_and_apply(&borrowed)?;
+        self.stats.uploads += addrs.len() as u64;
+        self.stats.bytes_up += flat.len() as u64;
+        self.stats.round_trips += 1;
+        self.record_with(|| addrs.iter().map(|&a| AccessEvent::Upload(a)).collect());
+        Ok(())
     }
 
     fn access_batch(
@@ -661,52 +1160,51 @@ impl<V: Vfs> Storage for DiskStore<V> {
         if self.poisoned {
             return Err(ServerError::Interrupted);
         }
-        let capacity = self.mem.capacity();
-        let would_fail = reads.iter().any(|&a| a >= capacity)
-            || writes.iter().any(|(a, _)| *a >= capacity)
-            || reads.iter().any(|&a| !self.mem.cell_store().is_initialized(a));
-        // A failing batch never mutates; forward so the mirror produces
-        // the identical error with its identical partial download charges.
-        // A pure-read batch has nothing to persist either.
-        if would_fail || writes.is_empty() {
-            return self.mem.access_batch(reads, writes);
+        for &addr in reads {
+            self.check(addr)?;
         }
-        if writes.iter().any(|(_, c)| c.len() > self.mem.cell_stride()) {
-            return self.restriding(|mem| mem.access_batch(reads, writes));
+        for (addr, _) in &writes {
+            self.check(*addr)?;
         }
-        let borrowed: Vec<(usize, &[u8])> =
-            writes.iter().map(|(a, c)| (*a, c.as_slice())).collect();
-        self.persist_batch(&borrowed)?;
-        drop(borrowed);
-        let out = self.mem.access_batch(reads, writes);
-        debug_assert!(out.is_ok(), "mirror rejected a prechecked access batch");
-        self.maybe_auto_checkpoint();
-        out
-    }
-}
-
-impl<V: Vfs> DiskStore<V> {
-    /// Runs a batch that grows the arena stride through the mirror, then
-    /// persists the result as a full checkpoint (a re-stride relocates
-    /// every cell, which a per-cell WAL record cannot express). The batch
-    /// is acknowledged only once the checkpoint is durable.
-    fn restriding<T>(
-        &mut self,
-        apply: impl FnOnce(&mut SimServer) -> Result<T, ServerError>,
-    ) -> Result<T, ServerError> {
-        let out = apply(&mut self.mem);
-        debug_assert!(out.is_ok(), "mirror rejected a prechecked re-striding batch");
-        if let Err(e) = self.full_checkpoint() {
-            self.poison(e);
-            return Err(ServerError::Interrupted);
+        // Reads are collected (owned) before any write applies, so a
+        // combined read+write of the same address observes the old cell —
+        // and an uninitialized read mid-loop keeps its partial download
+        // charges, exactly like `SimServer`.
+        let mut out = Vec::with_capacity(reads.len());
+        for &addr in reads {
+            if !self.is_init(addr) {
+                return Err(ServerError::Uninitialized { addr });
+            }
+            let len = self.lens[addr] as usize;
+            self.stats.downloads += 1;
+            self.stats.bytes_down += len as u64;
+            let cell = self.cell_bytes(addr, len)?;
+            out.push(cell.to_vec());
         }
-        out
+        if !writes.is_empty() {
+            let borrowed: Vec<(usize, &[u8])> =
+                writes.iter().map(|(a, c)| (*a, c.as_slice())).collect();
+            self.persist_and_apply(&borrowed)?;
+        }
+        for (_, cell) in &writes {
+            self.stats.uploads += 1;
+            self.stats.bytes_up += cell.len() as u64;
+        }
+        self.stats.round_trips += 1;
+        self.record_with(|| {
+            let mut events: Vec<AccessEvent> =
+                reads.iter().map(|&a| AccessEvent::Download(a)).collect();
+            events.extend(writes.iter().map(|&(a, _)| AccessEvent::Upload(a)));
+            events
+        });
+        Ok(out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crashsim::CrashSim;
 
     struct TempDir(PathBuf);
 
@@ -817,5 +1315,97 @@ mod tests {
         ));
         assert_eq!(store.wal_bytes(), wal);
         assert_eq!(store.read(0).unwrap(), vec![0u8; 8]);
+    }
+
+    #[test]
+    fn tiny_cache_evicts_but_serves_identically() {
+        let tmp = TempDir::new("tinycache");
+        // Room for two 8-byte payloads; the store holds 64 cells.
+        let opts = DiskOptions { cache_bytes: 16, ..DiskOptions::default() };
+        {
+            let mut store = DiskStore::open_with(&tmp.0, opts).unwrap();
+            store.init(cells(64));
+        }
+        let mut store = DiskStore::open_with(&tmp.0, opts).unwrap();
+        for round in 0..3 {
+            for addr in 0..64 {
+                assert_eq!(store.read(addr).unwrap(), vec![addr as u8; 8], "round {round}");
+            }
+        }
+        let stats = store.stats();
+        assert!(stats.cache_misses >= 64, "first sweep must miss: {stats:?}");
+        assert!(stats.cache_evictions > 0, "a 2-slot cache must evict: {stats:?}");
+        assert!(store.cache_resident() <= 2, "budget exceeded at rest");
+        // Writes also bound residency once committed.
+        for addr in 0..64 {
+            store.write(addr, vec![!addr as u8; 8]).unwrap();
+        }
+        assert!(store.cache_resident() <= 2, "budget exceeded after writes");
+        assert_eq!(store.read(63).unwrap(), vec![!63u8; 8]);
+    }
+
+    #[test]
+    fn group_commit_defers_durability_to_the_window_close() {
+        let tmp = TempDir::new("group");
+        let opts = DiskOptions { wal_group_commit: 4, ..DiskOptions::default() };
+        let mut store = DiskStore::open_with(&tmp.0, opts).unwrap();
+        store.init(cells(8));
+        let base = store.wal_bytes();
+        for i in 0..3 {
+            store.write(i, vec![0xEE; 8]).unwrap();
+            assert_eq!(store.pending_batches(), i + 1);
+            assert_eq!(store.wal_bytes(), base, "no WAL write before the window closes");
+        }
+        // Dirty cells are pinned and readable while uncommitted.
+        assert_eq!(store.read(1).unwrap(), vec![0xEE; 8]);
+        store.write(3, vec![0xEE; 8]).unwrap(); // fourth batch closes the window
+        assert_eq!(store.pending_batches(), 0);
+        assert!(store.wal_bytes() > base, "window close must append to the WAL");
+        // An explicit commit closes a half-open window too.
+        store.write(4, vec![0xDD; 8]).unwrap();
+        assert_eq!(store.pending_batches(), 1);
+        store.commit().unwrap();
+        assert_eq!(store.pending_batches(), 0);
+        drop(store);
+        let mut store = DiskStore::open(&tmp.0).unwrap();
+        assert_eq!(store.read(4).unwrap(), vec![0xDD; 8]);
+    }
+
+    #[test]
+    fn poisoned_store_serves_hits_and_fails_misses_typed() {
+        let sim = CrashSim::new(11);
+        // Cache holds four 8-byte cells out of 8, so the poisoned write
+        // below installs its dirty cell without evicting the resident two.
+        let opts = DiskOptions { cache_bytes: 32, ..DiskOptions::default() };
+        let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
+        store.init(cells(8));
+        // Make 0 and 1 resident, then crash the disk.
+        assert_eq!(store.read(0).unwrap(), vec![0u8; 8]);
+        assert_eq!(store.read(1).unwrap(), vec![1u8; 8]);
+        sim.plan_crash(sim.events(), 0);
+        assert_eq!(store.write(2, vec![9; 8]), Err(ServerError::Interrupted));
+        assert!(store.is_poisoned());
+        // Hits keep serving; misses fail typed instead of touching the
+        // dead file; further mutations fail fast.
+        assert_eq!(store.read(0).unwrap(), vec![0u8; 8]);
+        assert_eq!(store.read(1).unwrap(), vec![1u8; 8]);
+        assert_eq!(store.read(5), Err(ServerError::Interrupted));
+        assert_eq!(store.write(0, vec![1; 8]), Err(ServerError::Interrupted));
+    }
+
+    #[test]
+    fn zero_length_cells_bypass_the_cache() {
+        let tmp = TempDir::new("zerolen");
+        let opts = DiskOptions { cache_bytes: 16, ..DiskOptions::default() };
+        let mut store = DiskStore::open_with(&tmp.0, opts).unwrap();
+        store.init_empty(16);
+        store.write(3, Vec::new()).unwrap();
+        assert_eq!(store.read(3).unwrap(), Vec::<u8>::new());
+        assert_eq!(store.cache_resident(), 0, "empty payloads take no slot");
+        // Overwriting a non-empty cell with an empty one shrinks it.
+        store.write(3, vec![5; 4]).unwrap();
+        store.write(3, Vec::new()).unwrap();
+        assert_eq!(store.read(3).unwrap(), Vec::<u8>::new());
+        assert_eq!(store.stored_bytes(), 0);
     }
 }

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod batch_crypto;
+mod cache;
 pub mod cells;
 pub mod crashsim;
 pub mod disk;

@@ -133,18 +133,6 @@ impl SimServer {
         self.stats = CostStats::default();
     }
 
-    /// The backing arena, for persistence by the durable store.
-    pub(crate) fn cell_store(&self) -> &CellStore {
-        &self.cells
-    }
-
-    /// Mutable access to the backing arena, for WAL replay by the durable
-    /// store (replay is not an observable operation: no stats, no
-    /// transcript).
-    pub(crate) fn cell_store_mut(&mut self) -> &mut CellStore {
-        &mut self.cells
-    }
-
     fn check(&self, addr: usize) -> Result<(), ServerError> {
         if addr < self.cells.capacity() {
             Ok(())

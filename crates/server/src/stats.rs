@@ -13,6 +13,13 @@
 //! remain directly comparable between local and remote runs; use
 //! [`CostStats::sans_wire`] to compare a remote server's stats against a
 //! local oracle bit-for-bit.
+//!
+//! The `cache_*` counters are a fifth currency, owned by the durable
+//! backend: how the bounded read-through cell cache of
+//! `dps_server::DiskStore` behaved (hits, misses refilled by `pread`,
+//! evictions). They stay zero for in-memory servers; use
+//! [`CostStats::sans_cache`] to compare a cache-bounded store against an
+//! in-memory oracle bit-for-bit.
 
 /// Cumulative cost counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -49,6 +56,15 @@ pub struct CostStats {
     /// the two marks and [`CostStats::since`] keeps the current one —
     /// high-water marks don't subtract.
     pub wire_inflight_max: u64,
+    /// Reads served straight from the durable backend's in-memory cell
+    /// cache (0 for in-memory servers).
+    pub cache_hits: u64,
+    /// Reads that missed the cell cache and were refilled from the arena
+    /// file by a positional read (0 for in-memory servers).
+    pub cache_misses: u64,
+    /// Clean cache entries evicted to stay inside the configured cache
+    /// budget (0 for in-memory servers).
+    pub cache_evictions: u64,
 }
 
 impl CostStats {
@@ -81,6 +97,13 @@ impl CostStats {
         }
     }
 
+    /// This snapshot with the `cache_*` counters zeroed: the model-level
+    /// view, directly comparable between an in-memory server and a
+    /// cache-bounded durable one serving the same requests.
+    pub fn sans_cache(&self) -> CostStats {
+        CostStats { cache_hits: 0, cache_misses: 0, cache_evictions: 0, ..*self }
+    }
+
     /// Component-wise sum `self + other`; useful for aggregating over
     /// multiple servers (multi-server PIR, recursive ORAM layers).
     pub fn plus(&self, other: &CostStats) -> CostStats {
@@ -96,6 +119,9 @@ impl CostStats {
             wire_bytes_down: self.wire_bytes_down + other.wire_bytes_down,
             wire_reconnects: self.wire_reconnects + other.wire_reconnects,
             wire_inflight_max: self.wire_inflight_max.max(other.wire_inflight_max),
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            cache_evictions: self.cache_evictions + other.cache_evictions,
         }
     }
 
@@ -116,6 +142,9 @@ impl CostStats {
             wire_bytes_down: self.wire_bytes_down - earlier.wire_bytes_down,
             wire_reconnects: self.wire_reconnects - earlier.wire_reconnects,
             wire_inflight_max: self.wire_inflight_max,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
         }
     }
 }
@@ -147,6 +176,13 @@ impl std::fmt::Display for CostStats {
             if self.wire_reconnects != 0 {
                 write!(f, " reconnects={}", self.wire_reconnects)?;
             }
+        }
+        if self.cache_hits != 0 || self.cache_misses != 0 || self.cache_evictions != 0 {
+            write!(
+                f,
+                ", cache: hits={} misses={} evictions={}",
+                self.cache_hits, self.cache_misses, self.cache_evictions
+            )?;
         }
         Ok(())
     }
@@ -228,6 +264,34 @@ mod tests {
         assert_eq!(b.since(&a).wire_reconnects, 1);
         let rendered = format!("{}", CostStats { wire_round_trips: 1, wire_reconnects: 4, ..a });
         assert!(rendered.contains("reconnects=4"));
+    }
+
+    #[test]
+    fn sans_cache_zeroes_only_the_cache_counters() {
+        let s = CostStats {
+            downloads: 2,
+            round_trips: 1,
+            cache_hits: 10,
+            cache_misses: 4,
+            cache_evictions: 3,
+            ..Default::default()
+        };
+        let model = s.sans_cache();
+        assert_eq!(model.downloads, 2);
+        assert_eq!(model.round_trips, 1);
+        assert_eq!(model.cache_hits, 0);
+        assert_eq!(model.cache_misses, 0);
+        assert_eq!(model.cache_evictions, 0);
+        // plus/since treat cache counters as plain sums.
+        assert_eq!(s.plus(&s).cache_misses, 8);
+        assert_eq!(
+            s.since(&CostStats { cache_hits: 4, ..Default::default() })
+                .cache_hits,
+            6
+        );
+        // The cache section only appears once cache traffic exists.
+        assert!(!format!("{model}").contains("cache"));
+        assert!(format!("{s}").contains("cache: hits=10 misses=4 evictions=3"));
     }
 
     #[test]

@@ -127,37 +127,6 @@ impl CellStore {
             .sum()
     }
 
-    /// Rebuilds a store from its raw persisted parts (arena bytes, length
-    /// table, init bitmap, stride). Used by the durable backend when
-    /// loading a checkpoint; the caller has already validated structural
-    /// consistency (lengths ≤ stride, bitmap sized to capacity).
-    pub(crate) fn from_raw_parts(
-        data: Vec<u8>,
-        lens: Vec<u32>,
-        init: Vec<u64>,
-        stride: usize,
-    ) -> Self {
-        debug_assert_eq!(data.len(), lens.len() * stride);
-        debug_assert_eq!(init.len(), lens.len().div_ceil(64));
-        debug_assert!(lens.iter().all(|&l| l as usize <= stride));
-        Self { data, lens, init, stride }
-    }
-
-    /// The raw arena bytes (`capacity * stride`), for persistence.
-    pub(crate) fn raw_data(&self) -> &[u8] {
-        &self.data
-    }
-
-    /// The per-cell length table, for persistence.
-    pub(crate) fn raw_lens(&self) -> &[u32] {
-        &self.lens
-    }
-
-    /// The initialized-bitmap words, for persistence.
-    pub(crate) fn raw_init(&self) -> &[u64] {
-        &self.init
-    }
-
     fn restride(&mut self, new_stride: usize) {
         let mut data = vec![0u8; self.capacity() * new_stride];
         for addr in 0..self.capacity() {

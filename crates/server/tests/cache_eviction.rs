@@ -1,0 +1,296 @@
+//! Cache-correctness property suite for the larger-than-RAM [`DiskStore`].
+//!
+//! Every test here runs a database that is much bigger than the cell
+//! cache (`DiskOptions::cache_bytes` sized to a handful of cells), so the
+//! miss/refill/evict machinery — not the always-resident fast path — is
+//! what serves the data. The oracle is [`SimServer`], whose equivalence to
+//! the original reference model is pinned by `store_equivalence`:
+//! results, errors, the paper-model `CostStats` currencies (compared via
+//! [`CostStats::sans_cache`]) and the final cell-by-cell state must be
+//! bit-identical. Randomized programs cover re-striding across evictions,
+//! zero-length cells, dirty pinning under group commit, and explicit
+//! commits; focused tests make hits/misses/evictions and the dirty-pin
+//! overshoot legible.
+//!
+//! [`CostStats::sans_cache`]: dps_server::CostStats::sans_cache
+
+use dps_server::{DiskOptions, DiskStore, ServerError, SimServer, Storage, SyncPolicy};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const CAPACITY: usize = 96;
+const CELL_LEN: usize = 16;
+/// Four resident cells out of 96: every sweep of the address space evicts.
+const TINY_CACHE: usize = 4 * CELL_LEN;
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dps_cache_evict_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn tiny_cache_opts(wal_group_commit: usize) -> DiskOptions {
+    DiskOptions {
+        sync: SyncPolicy::Never, // crash_recovery owns fsync; this suite owns the cache
+        cache_bytes: TINY_CACHE,
+        wal_group_commit,
+        ..DiskOptions::default()
+    }
+}
+
+fn cell(byte: u8, len: usize) -> Vec<u8> {
+    (0..len).map(|i| byte.wrapping_add(i as u8)).collect()
+}
+
+/// One step of a random program. Addresses reach slightly out of bounds so
+/// error paths stay equivalent too; `WriteOdd` lengths of 0 exercise
+/// zero-length cells and lengths past `CELL_LEN` force re-strides while
+/// the cache is full of evicted-and-refilled entries.
+#[derive(Debug, Clone)]
+enum Op {
+    Read(Vec<usize>),
+    Write(Vec<(usize, u8)>),
+    WriteOdd(usize, u8, usize),
+    Access(Vec<usize>, Vec<(usize, u8)>),
+    Commit,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let addrs = proptest::collection::vec(0usize..CAPACITY + 2, 0..8);
+    let writes = proptest::collection::vec((0usize..CAPACITY + 2, any::<u8>()), 0..8);
+    (0u8..8, addrs, writes, 0usize..CAPACITY + 2, any::<u8>(), 0usize..2 * CELL_LEN).prop_map(
+        |(variant, addrs, writes, addr, byte, odd_len)| match variant {
+            0..=2 => Op::Read(addrs),
+            3 | 4 => Op::Write(writes),
+            5 => Op::WriteOdd(addr, byte, odd_len),
+            6 => Op::Access(addrs, writes),
+            _ => Op::Commit,
+        },
+    )
+}
+
+fn step(op: &Op, disk: &mut DiskStore, oracle: &mut SimServer) {
+    match op {
+        Op::Read(addrs) => {
+            assert_eq!(disk.read_batch(addrs), oracle.read_batch(addrs));
+        }
+        Op::Write(writes) => {
+            let w = |&(a, b): &(usize, u8)| (a, cell(b, CELL_LEN));
+            assert_eq!(
+                disk.write_batch(writes.iter().map(w).collect()),
+                oracle.write_batch(writes.iter().map(w).collect()),
+            );
+        }
+        Op::WriteOdd(addr, byte, len) => {
+            assert_eq!(
+                disk.write(*addr, cell(*byte, *len)),
+                oracle.write(*addr, cell(*byte, *len)),
+            );
+        }
+        Op::Access(reads, writes) => {
+            let w = |&(a, b): &(usize, u8)| (a, cell(b, CELL_LEN));
+            assert_eq!(
+                disk.access_batch(reads, writes.iter().map(w).collect()),
+                oracle.access_batch(reads, writes.iter().map(w).collect()),
+            );
+        }
+        Op::Commit => {
+            disk.commit().expect("commit on a healthy store");
+        }
+    }
+}
+
+fn run_case(init_all: bool, window: usize, ops: &[Op]) {
+    let tmp = TempDir::new();
+    let mut disk = DiskStore::open_with(&tmp.0, tiny_cache_opts(window)).expect("open disk store");
+    let mut oracle = SimServer::new();
+    if init_all {
+        let cells: Vec<Vec<u8>> = (0..CAPACITY).map(|i| cell(i as u8, CELL_LEN)).collect();
+        disk.init(cells.clone());
+        oracle.init(cells);
+    } else {
+        disk.init_empty(CAPACITY);
+        oracle.init_empty(CAPACITY);
+    }
+    for op in ops {
+        step(op, &mut disk, &mut oracle);
+        assert_eq!(
+            disk.stats().sans_cache(),
+            oracle.stats(),
+            "model currencies diverged after {op:?}"
+        );
+    }
+    // Final state: every cell identical, including uninitialized holes.
+    for addr in 0..CAPACITY {
+        assert_eq!(disk.read(addr), oracle.read(addr), "cell {addr} diverged");
+    }
+    assert_eq!(disk.stored_bytes(), oracle.stored_bytes());
+    // The budget holds at rest (the final read sweep leaves only clean
+    // entries; pinned-dirty overshoot is transient by construction).
+    disk.commit().expect("final commit");
+    assert!(
+        disk.cache_resident() <= TINY_CACHE / disk.cell_stride().max(1) + 1,
+        "cache residency {} exceeds its budget at rest",
+        disk.cache_resident()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Randomized programs over a fully initialized store, per-batch
+    /// commit: the read path constantly evicts and refills.
+    #[test]
+    fn tiny_cache_matches_simserver_initialized(
+        ops in proptest::collection::vec(arb_op(), 0..48),
+    ) {
+        run_case(true, 1, &ops);
+    }
+
+    /// Randomized programs from an uninitialized store under a
+    /// group-commit window: dirty-pinned cells answer reads before their
+    /// covering commit, and `Uninitialized` holes stay equivalent.
+    #[test]
+    fn tiny_cache_matches_simserver_grouped(
+        ops in proptest::collection::vec(arb_op(), 0..48),
+    ) {
+        run_case(false, 6, &ops);
+    }
+}
+
+/// The metrics tell the truth: a DB ≫ cache scan must miss on the first
+/// sweep, hit nothing on repeat sweeps larger than the budget (CLOCK
+/// keeps recycling), and evict on every refill past the budget.
+#[test]
+fn evictions_are_observed_when_db_exceeds_cache() {
+    let tmp = TempDir::new();
+    let mut disk = DiskStore::open_with(&tmp.0, tiny_cache_opts(1)).expect("open disk store");
+    disk.init((0..CAPACITY).map(|i| cell(i as u8, CELL_LEN)).collect());
+    for _ in 0..3 {
+        for addr in 0..CAPACITY {
+            assert_eq!(disk.read(addr).unwrap(), cell(addr as u8, CELL_LEN));
+        }
+    }
+    let stats = disk.stats();
+    assert!(stats.cache_misses >= CAPACITY as u64, "first sweep must miss every cell: {stats}");
+    assert!(
+        stats.cache_evictions >= stats.cache_misses - (TINY_CACHE / CELL_LEN) as u64,
+        "refills past the budget must evict: {stats}"
+    );
+    assert!(disk.cache_resident() <= TINY_CACHE / CELL_LEN, "budget violated");
+}
+
+/// Re-striding while most of the database is *not* resident must stream
+/// the evicted cells from disk correctly: grow the stride with a single
+/// big write after a full eviction churn, then verify every cell.
+#[test]
+fn restride_across_evictions_preserves_all_cells() {
+    let tmp = TempDir::new();
+    let mut disk = DiskStore::open_with(&tmp.0, tiny_cache_opts(1)).expect("open disk store");
+    let mut oracle = SimServer::new();
+    let cells: Vec<Vec<u8>> = (0..CAPACITY).map(|i| cell(i as u8, CELL_LEN)).collect();
+    disk.init(cells.clone());
+    oracle.init(cells);
+    // Churn the cache so the resident set is a tiny arbitrary slice.
+    for addr in (0..CAPACITY).rev().step_by(3) {
+        disk.read(addr).unwrap();
+    }
+    // Grow the stride twice, with zero-length writes mixed in.
+    for (round, new_len) in [(1u8, 3 * CELL_LEN / 2), (2u8, 4 * CELL_LEN)] {
+        let addr = usize::from(round) * 7;
+        assert_eq!(
+            disk.write(addr, cell(round, new_len)),
+            oracle.write(addr, cell(round, new_len)),
+        );
+        assert_eq!(disk.write(addr + 1, Vec::new()), oracle.write(addr + 1, Vec::new()));
+        assert_eq!(disk.cell_stride(), new_len, "stride must grow in round {round}");
+        for a in 0..CAPACITY {
+            assert_eq!(disk.read(a), oracle.read(a), "cell {a} diverged in round {round}");
+        }
+    }
+    assert!(disk.stats().cache_evictions > 0, "churn must have evicted");
+    // And the grown geometry survives a reopen.
+    drop(disk);
+    let mut disk = DiskStore::open_with(&tmp.0, tiny_cache_opts(1)).expect("reopen");
+    for a in 0..CAPACITY {
+        assert_eq!(disk.read(a), oracle.read(a), "cell {a} diverged after reopen");
+    }
+}
+
+/// Dirty cells are pinned: with a group-commit window larger than the
+/// cache budget, uncommitted writes overshoot the budget (they exist
+/// nowhere else), keep serving reads, and the overshoot drains right back
+/// to the budget once the covering commit lands.
+#[test]
+fn dirty_pins_overshoot_and_drain_on_commit() {
+    let budget_slots = TINY_CACHE / CELL_LEN; // 4
+    let dirty = 3 * budget_slots; // 12 uncommitted cells
+    let tmp = TempDir::new();
+    let mut disk =
+        DiskStore::open_with(&tmp.0, tiny_cache_opts(dirty + 1)).expect("open disk store");
+    disk.init((0..CAPACITY).map(|i| cell(i as u8, CELL_LEN)).collect());
+    for addr in 0..dirty {
+        disk.write(addr, cell(0xC0 | addr as u8, CELL_LEN)).unwrap();
+    }
+    assert_eq!(disk.pending_batches(), dirty);
+    assert!(
+        disk.cache_resident() >= dirty,
+        "every uncommitted cell must stay pinned ({} resident)",
+        disk.cache_resident()
+    );
+    for addr in 0..dirty {
+        assert_eq!(disk.read(addr).unwrap(), cell(0xC0 | addr as u8, CELL_LEN));
+    }
+    disk.commit().unwrap();
+    assert_eq!(disk.pending_batches(), 0);
+    assert!(
+        disk.cache_resident() <= budget_slots,
+        "budget must be restored after the covering commit ({} resident)",
+        disk.cache_resident()
+    );
+    for addr in 0..dirty {
+        assert_eq!(disk.read(addr).unwrap(), cell(0xC0 | addr as u8, CELL_LEN));
+    }
+}
+
+/// Zero-length cells take no cache slot, survive eviction churn around
+/// them, and stay distinct from uninitialized holes.
+#[test]
+fn zero_length_cells_are_cache_free_and_exact() {
+    let tmp = TempDir::new();
+    let mut disk = DiskStore::open_with(&tmp.0, tiny_cache_opts(1)).expect("open disk store");
+    disk.init_empty(CAPACITY);
+    for addr in (0..CAPACITY).step_by(2) {
+        disk.write(addr, Vec::new()).unwrap();
+    }
+    assert_eq!(disk.cache_resident(), 0, "empty payloads must not occupy slots");
+    for addr in (1..CAPACITY).step_by(2) {
+        disk.write(addr, cell(addr as u8, CELL_LEN)).unwrap();
+    }
+    for addr in 0..CAPACITY {
+        if addr % 2 == 0 {
+            assert_eq!(disk.read(addr).unwrap(), Vec::<u8>::new());
+        } else {
+            assert_eq!(disk.read(addr).unwrap(), cell(addr as u8, CELL_LEN));
+        }
+    }
+    assert_eq!(
+        disk.read(CAPACITY + 1),
+        Err(ServerError::OutOfBounds { addr: CAPACITY + 1, capacity: CAPACITY })
+    );
+}

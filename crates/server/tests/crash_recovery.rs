@@ -199,7 +199,17 @@ fn opts_for(seed: u64) -> DiskOptions {
         1 => 1 << 20,
         _ => 256,
     };
-    DiskOptions { sync: SyncPolicy::Always, wal_checkpoint_bytes }
+    // Sweep the cache budget (the env-aware default, which the CI
+    // small-cache leg pins tiny, plus two hard-coded tiny budgets that
+    // force evictions and refills inside the crash schedule) and the
+    // group-commit window (per-batch fsync vs a shared one).
+    let cache_bytes = match (seed / 3) % 3 {
+        0 => DiskOptions::default().cache_bytes,
+        1 => 256,
+        _ => 64,
+    };
+    let wal_group_commit = if seed.is_multiple_of(2) { 1 } else { 4 };
+    DiskOptions { sync: SyncPolicy::Always, wal_checkpoint_bytes, cache_bytes, wal_group_commit }
 }
 
 /// Runs the program with no crash plan, recording the oracle state at
@@ -226,16 +236,25 @@ fn open_recovered(sim: &CrashSim, seed: u64, context: &str) -> DiskStore<CrashSi
     }
 }
 
-fn assert_at_boundary(got: &State, snaps: &[State], boundary: usize, context: &str) {
-    let pre = &snaps[boundary];
-    let post = snaps.get(boundary + 1);
+/// Recovery must land on a batch boundary in the *committed-prefix* range:
+/// no earlier than `durable` (the last batch covered by an acknowledged
+/// fsync — with `wal_group_commit: 1` that is every `Ok` batch, restoring
+/// the exact old contract) and no later than `boundary + 1` (the one
+/// in-flight batch whose record may have reached the torn WAL tail).
+fn assert_at_boundary(
+    got: &State,
+    snaps: &[State],
+    durable: usize,
+    boundary: usize,
+    context: &str,
+) {
+    let hi = (boundary + 1).min(snaps.len() - 1);
     assert!(
-        got == pre || Some(got) == post,
-        "{context}: recovered state is not at a batch boundary \
-         (boundary {boundary}: got capacity {}, pre capacity {}, post capacity {:?})",
+        snaps[durable..=hi].contains(got),
+        "{context}: recovered state is not at a committed batch boundary \
+         (durable {durable}, boundary {boundary}: got capacity {}, allowed capacities {:?})",
         got.0,
-        pre.0,
-        post.map(|s| s.0),
+        snaps[durable..=hi].iter().map(|s| s.0).collect::<Vec<_>>(),
     );
 }
 
@@ -256,6 +275,7 @@ fn sweep(seed_offset: u64, seed_count: u64) {
             sim.plan_crash(k, torn);
             let mut crashed = false;
             let mut boundary = 0usize;
+            let mut durable = 0usize;
             match DiskStore::open_on(sim.clone(), opts_for(seed)) {
                 Err(DiskError::Corrupt { detail }) => {
                     panic!(
@@ -266,7 +286,15 @@ fn sweep(seed_offset: u64, seed_count: u64) {
                 Ok(mut store) => {
                     for batch in &program {
                         match apply_disk(&mut store, batch) {
-                            Ok(()) => boundary += 1,
+                            Ok(()) => {
+                                boundary += 1;
+                                // An empty group-commit window means the
+                                // covering fsync for everything up to here
+                                // has completed: the durable prefix.
+                                if store.pending_batches() == 0 {
+                                    durable = boundary;
+                                }
+                            }
                             Err(Crashed) => {
                                 crashed = true;
                                 break;
@@ -298,9 +326,13 @@ fn sweep(seed_offset: u64, seed_count: u64) {
                 sim.recover();
                 sim.plan_crash(sim.events() + k % 13, [0u16, 500][(k % 2) as usize]);
                 match DiskStore::open_on(sim.clone(), opts_for(seed)) {
-                    Ok(mut store) => {
-                        assert_at_boundary(&state_of(&mut store), &snaps, boundary, &context)
-                    }
+                    Ok(mut store) => assert_at_boundary(
+                        &state_of(&mut store),
+                        &snaps,
+                        durable,
+                        boundary,
+                        &context,
+                    ),
                     Err(DiskError::Io { .. }) => {
                         sim.recover();
                         let mut store =
@@ -308,6 +340,7 @@ fn sweep(seed_offset: u64, seed_count: u64) {
                         assert_at_boundary(
                             &state_of(&mut store),
                             &snaps,
+                            durable,
                             boundary,
                             &format!("{context} double-crash"),
                         );
@@ -319,7 +352,7 @@ fn sweep(seed_offset: u64, seed_count: u64) {
             } else {
                 sim.recover();
                 let mut store = open_recovered(&sim, seed, &context);
-                assert_at_boundary(&state_of(&mut store), &snaps, boundary, &context);
+                assert_at_boundary(&state_of(&mut store), &snaps, durable, boundary, &context);
             }
         }
         assert_eq!(
@@ -358,10 +391,14 @@ fn crash_sweep_recovers_to_a_batch_boundary_seeds_24_31() {
 fn acknowledged_write_survives_every_later_crash() {
     let seed = base_seed() ^ 0xACED;
     let marker = vec![0xA5u8; 8];
+    // This test spells out the per-write fsync acknowledgement, so pin the
+    // window to 1 (the generic sweep covers group-commit windows, where
+    // the acknowledgement is the *commit*, not the `Ok`).
+    let opts = DiskOptions { wal_group_commit: 1, ..opts_for(seed) };
 
     // Dry run to learn the event counts.
     let sim = CrashSim::new(seed);
-    let mut store = DiskStore::open_on(sim.clone(), opts_for(seed)).unwrap();
+    let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
     store.init((0..8).map(|i| vec![i as u8; 8]).collect());
     store.write(3, marker.clone()).unwrap();
     let acked_at = sim.events();
@@ -373,7 +410,7 @@ fn acknowledged_write_survives_every_later_crash() {
     for k in acked_at..=total {
         let sim = CrashSim::new(seed);
         sim.plan_crash(k, (k % 1000) as u16);
-        let mut store = DiskStore::open_on(sim.clone(), opts_for(seed)).unwrap();
+        let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
         store.init((0..8).map(|i| vec![i as u8; 8]).collect());
         store.write(3, marker.clone()).unwrap();
         // Cell 3 after recovery must equal its latest *acknowledged*
@@ -413,7 +450,11 @@ fn acknowledged_write_survives_every_later_crash() {
 fn recovery_replay_survives_its_own_crashes() {
     let seed = base_seed() ^ 0x2EC0;
     let sim = CrashSim::new(seed);
-    let opts = DiskOptions { sync: SyncPolicy::Always, wal_checkpoint_bytes: 1 << 20 };
+    let opts = DiskOptions {
+        sync: SyncPolicy::Always,
+        wal_checkpoint_bytes: 1 << 20,
+        ..DiskOptions::default()
+    };
     let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
     store.init((0..6).map(|i| vec![i as u8; 6]).collect());
     store
@@ -468,7 +509,11 @@ fn recovery_replay_survives_its_own_crashes() {
 #[test]
 fn bit_flipped_wal_record_is_typed_corruption() {
     let seed = base_seed() ^ 0xB17F;
-    let opts = DiskOptions { sync: SyncPolicy::Always, wal_checkpoint_bytes: 1 << 20 };
+    let opts = DiskOptions {
+        sync: SyncPolicy::Always,
+        wal_checkpoint_bytes: 1 << 20,
+        ..DiskOptions::default()
+    };
 
     // Two complete records in the WAL; flip one payload bit of the first.
     let sim = CrashSim::new(seed);
@@ -504,7 +549,11 @@ fn bit_flipped_wal_record_is_typed_corruption() {
 fn bit_flipped_wal_record_is_typed_corruption_on_real_files() {
     let dir = std::env::temp_dir().join(format!("dps_crash_corrupt_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let opts = DiskOptions { sync: SyncPolicy::Always, wal_checkpoint_bytes: 1 << 20 };
+    let opts = DiskOptions {
+        sync: SyncPolicy::Always,
+        wal_checkpoint_bytes: 1 << 20,
+        ..DiskOptions::default()
+    };
     let wal_before;
     {
         let mut store = DiskStore::open_with(&dir, opts).unwrap();
@@ -576,12 +625,20 @@ fn restriding_init_empty_over_an_existing_store() {
 }
 
 /// After the crash fires, the store is poisoned: mutations fail fast with
-/// the typed interruption and nothing further reaches the files.
+/// the typed interruption and nothing further reaches the files. Reads
+/// keep serving *cache hits* (including the interrupted write's applied
+/// cell — "state unknown" allows either value), but a cache miss would
+/// have to touch the failing file, so it surfaces the same typed error.
 #[test]
 fn crashed_store_poisons_until_reopen() {
     let seed = base_seed() ^ 0x9015;
     let sim = CrashSim::new(seed);
-    let mut store = DiskStore::open_on(sim.clone(), opts_for(seed)).unwrap();
+    // Window 1 so the first write commits (and crashes) immediately, and
+    // a 2-slot cache (below the 16-byte database) so the store runs
+    // bounded — with an identity-mode budget every read is a hit and the
+    // miss expectation below could never fire.
+    let opts = DiskOptions { wal_group_commit: 1, cache_bytes: 8, ..opts_for(seed) };
+    let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
     store.init((0..4).map(|i| vec![i as u8; 4]).collect());
     sim.plan_crash(sim.events(), 0);
     assert_eq!(store.write(0, vec![9; 4]), Err(ServerError::Interrupted));
@@ -589,10 +646,13 @@ fn crashed_store_poisons_until_reopen() {
     assert_eq!(store.write(1, vec![9; 4]), Err(ServerError::Interrupted));
     assert_eq!(store.write_batch_strided(&[0], &[1, 2, 3, 4]), Err(ServerError::Interrupted));
     assert_eq!(store.access_batch(&[0], vec![(0, vec![1; 4])]), Err(ServerError::Interrupted));
-    // Reads still serve from the in-memory mirror.
-    assert_eq!(store.read(0).unwrap(), vec![0u8; 4]);
+    // Cell 0 was applied to the cache before the commit failed: a hit,
+    // serving the in-flight value. Cell 1 was rejected before it was
+    // applied and is not resident: a miss, typed error.
+    assert_eq!(store.read(0).unwrap(), vec![9u8; 4]);
+    assert_eq!(store.read(1), Err(ServerError::Interrupted));
     drop(store);
     sim.recover();
-    let mut store = DiskStore::open_on(sim.clone(), opts_for(seed)).unwrap();
+    let mut store = DiskStore::open_on(sim.clone(), opts).unwrap();
     assert_eq!(state_of(&mut store), (4, (0..4).map(|i| Some(vec![i as u8; 4])).collect()));
 }

@@ -9,8 +9,11 @@ Handles both bench_smoke JSON formats:
   * record list [{"scheme": .., "shards": S, "threads": T,
                   "median_ns": ..}, ...]            (BENCH_3 onward)
 
-When both files are record lists, every (scheme, shards, threads)
-configuration is compared — sweep rows included. Against a flat-map
+When both files are record lists, every (scheme, shards, threads, policy)
+configuration is compared — sweep rows included; the optional "policy"
+column (durable disk rows: fsync_off / fsync_always / group_commit)
+keeps same-named rows under different durability policies from
+colliding. Against a flat-map
 baseline only the single-config rows (shards == threads == 1) are
 comparable, and that subset is used. Rows present in only one generation
 are always reported explicitly ([gone] / [new]), never silently skipped.
@@ -32,17 +35,22 @@ import sys
 
 
 def load(path, single_config_only):
-    """Returns {key: median_ns}; keys are (scheme, shards, threads)."""
+    """Returns {key: median_ns}; keys are (scheme, shards, threads, policy)."""
     with open(path) as f:
         data = json.load(f)
     out = {}
     if isinstance(data, dict):
         for scheme, ns in data.items():
-            out[(scheme, 1, 1)] = int(ns)
+            out[(scheme, 1, 1, "")] = int(ns)
         return out
     for rec in data:
-        key = (rec["scheme"], int(rec.get("shards", 1)), int(rec.get("threads", 1)))
-        if single_config_only and key[1:] != (1, 1):
+        key = (
+            rec["scheme"],
+            int(rec.get("shards", 1)),
+            int(rec.get("threads", 1)),
+            rec.get("policy", ""),
+        )
+        if single_config_only and key[1:3] != (1, 1):
             continue
         out[key] = int(rec["median_ns"])
     return out
@@ -54,10 +62,11 @@ def is_flat_map(path):
 
 
 def fmt(key):
-    scheme, shards, threads = key
+    scheme, shards, threads, policy = key
+    name = scheme if not policy else f"{scheme}{{{policy}}}"
     if (shards, threads) == (1, 1):
-        return scheme
-    return f"{scheme}[s={shards},t={threads}]"
+        return name
+    return f"{name}[s={shards},t={threads}]"
 
 
 def main():
